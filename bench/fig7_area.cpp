@@ -1,0 +1,65 @@
+// Reproduces Figure 7: the distribution of configurable-hardware cost
+// (Xilinx-style 4-input LUTs) across the extended instructions chosen by
+// the selective algorithm over all eight benchmarks.
+//
+// Paper result: most selected instructions need little hardware thanks to
+// profiled narrow operand widths; the largest needs 105 LUTs, comfortably
+// inside a ~150-LUT PFU.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+using namespace t1000;
+
+int main() {
+  std::printf(
+      "Figure 7: LUT-cost distribution of the extended instructions chosen\n"
+      "by the selective algorithm (4 PFUs, 10-cycle reconfiguration)\n\n");
+
+  std::vector<int> costs;
+  Table per_bench({"benchmark", "configs", "min LUTs", "max LUTs"});
+  for (const Workload& w : all_workloads()) {
+    WorkloadExperiment exp(w);
+    SelectPolicy policy;
+    policy.num_pfus = 4;
+    const RunOutcome r =
+        exp.run(Selector::kSelective, pfu_machine(4, 10), policy);
+    int lo = 0;
+    int hi = 0;
+    if (!r.lut_costs.empty()) {
+      lo = *std::min_element(r.lut_costs.begin(), r.lut_costs.end());
+      hi = *std::max_element(r.lut_costs.begin(), r.lut_costs.end());
+    }
+    per_bench.add_row({w.name, std::to_string(r.num_configs),
+                       std::to_string(lo), std::to_string(hi)});
+    costs.insert(costs.end(), r.lut_costs.begin(), r.lut_costs.end());
+  }
+  std::printf("%s\n", per_bench.to_string().c_str());
+
+  // Histogram in 15-LUT buckets, as a text rendering of the figure.
+  constexpr int kBucket = 15;
+  constexpr int kBuckets = 10;  // up to 150 LUTs
+  std::vector<int> hist(kBuckets, 0);
+  int max_cost = 0;
+  for (const int c : costs) {
+    hist[static_cast<std::size_t>(std::min(c / kBucket, kBuckets - 1))] += 1;
+    max_cost = std::max(max_cost, c);
+  }
+  const int peak = *std::max_element(hist.begin(), hist.end());
+  std::printf("# of extended instructions per LUT-cost bucket:\n");
+  for (int b = 0; b < kBuckets; ++b) {
+    std::printf("  %3d-%3d LUTs  %2d  %s\n", b * kBucket,
+                (b + 1) * kBucket - 1, hist[static_cast<std::size_t>(b)],
+                bar(hist[static_cast<std::size_t>(b)], peak, 30).c_str());
+  }
+  std::printf(
+      "\nLargest selected instruction: %d LUTs (paper: 105; PFU budget "
+      "150).\n%s\n",
+      max_cost,
+      max_cost <= 150 ? "All selected instructions fit the PFU."
+                      : "ERROR: an instruction exceeds the PFU budget!");
+  return max_cost <= 150 ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Infrastructure microbenchmarks (google-benchmark): throughput of the
+// functional simulator, the timing model, the extractor, and the selection
+// algorithms. These gate the practicality of the toolchain itself rather
+// than reproducing a paper figure.
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.hpp"
+#include "sim/executor.hpp"
+
+namespace t1000 {
+namespace {
+
+const Workload& bench_workload() { return *find_workload("gsm_dec"); }
+
+void BM_FunctionalSim(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    Executor e(p);
+    instructions += e.run(1u << 24);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_FunctionalSim)->Unit(benchmark::kMillisecond);
+
+void BM_TimingSim(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const SimStats st = simulate(p, nullptr, baseline_machine());
+    instructions += st.committed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_TimingSim)->Unit(benchmark::kMillisecond);
+
+void BM_ProfileAndExtract(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_program(p, 1u << 24));
+  }
+}
+BENCHMARK(BM_ProfileAndExtract)->Unit(benchmark::kMillisecond);
+
+void BM_SelectGreedy(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  const AnalyzedProgram ap = analyze_program(p, 1u << 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(select_greedy(ap));
+  }
+}
+BENCHMARK(BM_SelectGreedy)->Unit(benchmark::kMicrosecond);
+
+void BM_SelectSelective(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  const AnalyzedProgram ap = analyze_program(p, 1u << 24);
+  SelectPolicy policy;
+  policy.num_pfus = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(select_selective(ap, policy));
+  }
+}
+BENCHMARK(BM_SelectSelective)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RewriteProgram(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  const AnalyzedProgram ap = analyze_program(p, 1u << 24);
+  const Selection sel = select_greedy(ap);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rewrite_program(p, sel.apps));
+  }
+}
+BENCHMARK(BM_RewriteProgram)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace t1000
+
+BENCHMARK_MAIN();

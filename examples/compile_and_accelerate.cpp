@@ -1,0 +1,91 @@
+// The full story in one example: write a DSP kernel in MiniC, compile it,
+// let the selective algorithm mine extended instructions out of the
+// *compiled* code (exactly the paper's Section 2.1 flow), and measure the
+// speedup on a 2-PFU T1000.
+//
+//   ./build/examples/compile_and_accelerate
+#include <cstdio>
+
+#include "asmkit/assembler.hpp"
+#include "extinst/rewrite.hpp"
+#include "extinst/select.hpp"
+#include "minic/minic.hpp"
+#include "sim/executor.hpp"
+#include "uarch/timing.hpp"
+
+using namespace t1000;
+
+int main() {
+  const char* kSource = R"(
+    // A GSM-flavoured synthesis filter written in MiniC.
+    int frame[256];
+    int hist[256];
+
+    int synth(int rounds) {
+      int state = 0;
+      int acc = 0;
+      for (int r = 0; r < rounds; r = r + 1) {
+        for (int i = 0; i < 256; i = i + 1) {
+          frame[i] = (i * 73 + r * 19) & 0x1FFF;
+        }
+        for (int i = 0; i < 256; i = i + 1) {
+          int x = frame[i];
+          int y = ((x << 2) + state >> 1) + 33;
+          y = y + x;
+          hist[i] = y;
+          state = (y >> 2) & 0xFFF;
+          acc = acc + ((x << 1) ^ y);
+        }
+      }
+      return acc;
+    }
+
+    int main() { return synth(40) & 0xFFFFFF; }
+  )";
+
+  std::printf("compiling MiniC kernel...\n");
+  const std::string asm_text = minic::compile_to_assembly(kSource);
+  const Program program = assemble(asm_text);
+  std::printf("  %d instructions of T1000 assembly\n\n", program.size());
+
+  const AnalyzedProgram ap = analyze_program(program, 1u << 26);
+  std::printf("profile: %llu dynamic instructions, %zu candidate chains\n",
+              static_cast<unsigned long long>(ap.profile.total_dynamic),
+              ap.sites.size());
+
+  SelectPolicy policy;
+  policy.num_pfus = 2;
+  Selection sel = select_selective(ap, policy);
+  std::printf("selective algorithm chose %d configuration(s):\n",
+              sel.num_configs());
+  for (int c = 0; c < sel.num_configs(); ++c) {
+    const ExtInstDef& def = sel.table.at(static_cast<ConfId>(c));
+    std::printf("  Conf %d (%d ops):", c, def.length());
+    for (const MicroOp& u : def.uops()) {
+      std::printf(" %s", std::string(mnemonic(u.op)).c_str());
+    }
+    std::printf("\n");
+  }
+
+  const RewriteResult rr = rewrite_program(program, sel.apps);
+  Executor ref(program);
+  ref.run(1u << 26);
+  Executor opt(rr.program, &sel.table);
+  opt.run(1u << 26);
+  std::printf("\nchecksums: 0x%08X vs 0x%08X (%s)\n", ref.reg(2), opt.reg(2),
+              ref.reg(2) == opt.reg(2) ? "match" : "MISMATCH");
+
+  MachineConfig base_cfg;
+  MachineConfig pfu_cfg;
+  pfu_cfg.pfu = {.count = 2, .reconfig_latency = 10};
+  const SimStats base = simulate(program, nullptr, base_cfg);
+  const SimStats fast = simulate(rr.program, &sel.table, pfu_cfg);
+  std::printf(
+      "baseline superscalar: %llu cycles (IPC %.2f)\n"
+      "T1000 with 2 PFUs:    %llu cycles (IPC %.2f)\n"
+      "speedup from compiled code: %.3fx\n",
+      static_cast<unsigned long long>(base.cycles), base.ipc(),
+      static_cast<unsigned long long>(fast.cycles), fast.ipc(),
+      static_cast<double>(base.cycles) / static_cast<double>(fast.cycles));
+  return ref.reg(2) == opt.reg(2) ? 0 : 1;
+}

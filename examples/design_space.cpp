@@ -1,0 +1,51 @@
+// Design-space exploration: how many PFUs, and how fast must
+// reconfiguration be? Sweeps both knobs for one workload and prints the
+// resulting speedup matrix - the question a RISC-V-style ISA-extension
+// architect would ask of this toolchain.
+//
+//   ./build/examples/design_space [workload]      (default: gsm_enc)
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+using namespace t1000;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "gsm_enc";
+  const Workload* w = find_workload(name);
+  if (w == nullptr) {
+    std::printf("unknown workload '%s'\n", name.c_str());
+    return 1;
+  }
+
+  WorkloadExperiment exp(*w);
+  const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
+  std::printf("%s: baseline %llu cycles, IPC %.2f\n\n", w->name.c_str(),
+              static_cast<unsigned long long>(base.stats.cycles),
+              base.stats.ipc());
+
+  const int pfu_counts[] = {1, 2, 3, 4, 6, 8};
+  const int latencies[] = {0, 10, 50, 200, 500};
+
+  Table table({"PFUs \\ reconfig", "0", "10", "50", "200", "500"});
+  for (const int pfus : pfu_counts) {
+    std::vector<std::string> row{std::to_string(pfus)};
+    for (const int lat : latencies) {
+      SelectPolicy policy;
+      policy.num_pfus = pfus;
+      const RunOutcome r =
+          exp.run(Selector::kSelective, pfu_machine(pfus, lat), policy);
+      row.push_back(fmt_ratio(speedup(base.stats, r.stats)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("selective-algorithm speedup:\n%s\n",
+              table.to_string().c_str());
+  std::printf(
+      "Reading guide: rows saturate once the PFU count covers the hot\n"
+      "loop's distinct sequences; columns barely move because the selective\n"
+      "algorithm leaves almost no reconfigurations on the hot path.\n");
+  return 0;
+}

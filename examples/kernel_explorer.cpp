@@ -1,0 +1,99 @@
+// Kernel explorer: inspect what the toolchain finds in a benchmark.
+//
+//   ./build/examples/kernel_explorer [workload] [--dot]   (default: gsm_dec)
+//
+// Prints the benchmark's loop structure, every maximal candidate sequence
+// with its dataflow, and the configurations selected for 2- and 4-PFU
+// machines with their LUT costs. With --dot, emits the control-flow graph
+// in Graphviz format instead (pipe through `dot -Tsvg`).
+#include <cstdio>
+#include <string>
+
+#include "cfg/cfg.hpp"
+#include "cfg/dot.hpp"
+#include "extinst/select.hpp"
+#include "hwcost/lut_model.hpp"
+#include "workloads/workload.hpp"
+
+using namespace t1000;
+
+namespace {
+
+void print_selection(const char* label, const AnalyzedProgram& ap, int pfus) {
+  SelectPolicy policy;
+  policy.num_pfus = pfus;
+  const Selection sel = select_selective(ap, policy);
+  std::printf("%s: %d configuration(s), %zu application site(s)\n", label,
+              sel.num_configs(), sel.apps.size());
+  for (int c = 0; c < sel.num_configs(); ++c) {
+    const ExtInstDef& def = sel.table.at(static_cast<ConfId>(c));
+    std::printf("  Conf %d (%d ops, ~%d LUTs):", c, def.length(),
+                sel.lut_costs[static_cast<std::size_t>(c)]);
+    for (const MicroOp& u : def.uops()) {
+      std::printf(" %s", std::string(mnemonic(u.op)).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool dot = false;
+  std::string name = "gsm_dec";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--dot") {
+      dot = true;
+    } else {
+      name = argv[i];
+    }
+  }
+  const Workload* w = find_workload(name);
+  if (w == nullptr) {
+    std::printf("unknown workload '%s'; available:\n", name.c_str());
+    for (const Workload& x : all_workloads()) {
+      std::printf("  %-10s %s\n", x.name.c_str(), x.description.c_str());
+    }
+    return 1;
+  }
+
+  const Program program = workload_program(*w);
+  if (dot) {
+    std::printf("%s", cfg_to_dot(program, Cfg::build(program)).c_str());
+    return 0;
+  }
+  std::printf("== %s ==\n%s\n\n", w->name.c_str(), w->description.c_str());
+  const AnalyzedProgram ap = analyze_program(program, w->max_steps);
+
+  std::printf("static instructions: %d\n", program.size());
+  std::printf("dynamic instructions: %llu\n",
+              static_cast<unsigned long long>(ap.profile.total_dynamic));
+  std::printf("basic blocks: %d, natural loops: %zu\n", ap.cfg.num_blocks(),
+              ap.cfg.loops().size());
+
+  std::printf("\nmaximal candidate sequences (%zu):\n", ap.sites.size());
+  for (const SeqSite& site : ap.sites) {
+    const WindowView v = full_view(program, site);
+    const auto widths = window_input_widths(ap.profile, site, 0,
+                                            site.length() - 1);
+    const LutEstimate cost = estimate_luts(v.def, widths);
+    std::printf(
+        "  @%-4d len %d  execs %-8llu  loop %-2d  inputs %d  ~%3d LUTs  |",
+        site.positions.front(), site.length(),
+        static_cast<unsigned long long>(site.exec_count), site.loop,
+        v.num_inputs, cost.luts);
+    for (const std::int32_t pos : site.positions) {
+      std::printf(" %s",
+                  std::string(mnemonic(
+                                  program.text[static_cast<std::size_t>(pos)].op))
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n");
+  print_selection("selective @2 PFUs", ap, 2);
+  std::printf("\n");
+  print_selection("selective @4 PFUs", ap, 4);
+  return 0;
+}

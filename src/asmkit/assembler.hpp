@@ -1,0 +1,53 @@
+// Two-pass assembler for the T1000 ISA.
+//
+// Accepted syntax (MIPS-flavoured):
+//
+//   # comment  ; comment  // comment
+//           .data
+//   buf:    .space 64
+//   tbl:    .word 1, 0x2C, other_label
+//           .half 1, 2
+//           .byte 3
+//           .align 2
+//   msg:    .asciiz "hi"
+//           .text
+//   main:   li   $t0, 100000        # pseudo: expands as needed
+//           la   $a0, buf           # pseudo: lui+ori
+//   loop:   lw   $t1, 0($a0)
+//           addiu $a0, $a0, 4
+//           bne  $a0, $t2, loop
+//           ext  $t0, $t1, $t2, 5   # extended instruction, Conf=5
+//           halt
+//
+// Pseudo-instructions: li, la, move, b, not, neg, blt, bge, bgt, ble,
+// bltu, bgeu (the comparison pseudos clobber $at, as in MIPS).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "asmkit/program.hpp"
+
+namespace t1000 {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+// Assembles `source`; throws AsmError on the first syntax or range error.
+Program assemble(std::string_view source);
+
+// Renders a program back to assembly text. Branch/jump targets become
+// synthesized labels (`L<index>`); the output re-assembles to an equivalent
+// program.
+std::string disassemble(const Program& program);
+
+}  // namespace t1000

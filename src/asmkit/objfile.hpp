@@ -1,0 +1,45 @@
+// Binary object-file format for assembled programs.
+//
+// Layout (little-endian):
+//   u32 magic "T1K1"    u32 version
+//   u32 text words      u32 data bytes
+//   u32 text symbols    u32 data symbols    u32 ext-inst defs
+//   text words (binary-encoded instructions, see isa/encoding.hpp)
+//   data bytes
+//   symbols: u32 name length, name bytes, i32/u32 value
+//   ext defs: u8 num_inputs, u8 uop count, uops (u8 op, i8 dst/a/b, i32 imm)
+//
+// The extended-instruction table rides along so a rewritten program and the
+// PFU configurations it depends on form one artifact, like an ELF section
+// would carry them.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "asmkit/program.hpp"
+#include "isa/extdef.hpp"
+
+namespace t1000 {
+
+class ObjError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct LoadedObject {
+  Program program;
+  ExtInstTable ext_table;  // empty when the object carries none
+};
+
+void save_object(std::ostream& os, const Program& program,
+                 const ExtInstTable* ext_table = nullptr);
+LoadedObject load_object(std::istream& is);
+
+// File-path conveniences; throw ObjError on I/O failure.
+void save_object_file(const std::string& path, const Program& program,
+                      const ExtInstTable* ext_table = nullptr);
+LoadedObject load_object_file(const std::string& path);
+
+}  // namespace t1000

@@ -1,0 +1,25 @@
+#include "asmkit/program.hpp"
+
+#include "isa/encoding.hpp"
+
+namespace t1000 {
+
+std::vector<std::uint32_t> Program::encode_text() const {
+  std::vector<std::uint32_t> words;
+  words.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    words.push_back(encode(text[i], static_cast<std::uint32_t>(i)));
+  }
+  return words;
+}
+
+Program decode_text(const std::vector<std::uint32_t>& words) {
+  Program p;
+  p.text.reserve(words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    p.text.push_back(decode(words[i], static_cast<std::uint32_t>(i)));
+  }
+  return p;
+}
+
+}  // namespace t1000

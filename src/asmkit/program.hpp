@@ -1,0 +1,43 @@
+// An assembled program: text (decoded instructions), a data-segment image,
+// and symbol tables. Branch/jump targets inside `text` are absolute
+// instruction indices, which keeps every later pass (CFG construction,
+// rewriting, simulation) free of address arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace t1000 {
+
+inline constexpr std::uint32_t kTextBase = 0x0040'0000;
+inline constexpr std::uint32_t kDataBase = 0x1000'0000;
+inline constexpr std::uint32_t kStackTop = 0x7FFF'F000;
+
+class Program {
+ public:
+  std::vector<Instruction> text;
+  std::vector<std::uint8_t> data;
+  // Label -> instruction index.
+  std::map<std::string, std::int32_t> text_symbols;
+  // Label -> absolute data address (kDataBase + offset).
+  std::map<std::string, std::uint32_t> data_symbols;
+
+  int size() const { return static_cast<int>(text.size()); }
+
+  // Byte address of instruction `index` (used by the I-cache model).
+  std::uint32_t pc_of(std::int32_t index) const {
+    return kTextBase + static_cast<std::uint32_t>(index) * 4;
+  }
+
+  // Encodes the text segment to binary words (see isa/encoding.hpp).
+  std::vector<std::uint32_t> encode_text() const;
+};
+
+// Rebuilds a Program's text from binary words (symbols are not recoverable).
+Program decode_text(const std::vector<std::uint32_t>& words);
+
+}  // namespace t1000

@@ -1,0 +1,276 @@
+#include "cfg/cfg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "isa/opcode.hpp"
+
+namespace t1000 {
+namespace {
+
+// Successor instruction targets a control op can reach (excluding
+// fall-through, which the caller adds).
+void add_explicit_target(const Instruction& ins, std::set<std::int32_t>* out) {
+  if (is_branch(ins.op) || ins.op == Opcode::kJ) out->insert(ins.imm);
+  if (ins.op == Opcode::kJal) out->insert(ins.imm);  // function entry leader
+}
+
+}  // namespace
+
+Cfg Cfg::build(const Program& program) {
+  Cfg cfg;
+  const int n = program.size();
+  if (n == 0) return cfg;
+
+  // --- leaders ---
+  std::set<std::int32_t> leaders;
+  leaders.insert(0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    const Instruction& ins = program.text[static_cast<std::size_t>(i)];
+    if (is_control(ins.op)) {
+      if (i + 1 < n) leaders.insert(i + 1);
+      add_explicit_target(ins, &leaders);
+    }
+  }
+  for (const auto& [name, index] : program.text_symbols) {
+    if (index < n) leaders.insert(index);  // symbols may be jalr targets
+  }
+
+  // --- blocks ---
+  cfg.block_of_.assign(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> starts(leaders.begin(), leaders.end());
+  for (std::size_t b = 0; b < starts.size(); ++b) {
+    BasicBlock block;
+    block.id = static_cast<int>(b);
+    block.first = starts[b];
+    block.last = (b + 1 < starts.size() ? starts[b + 1] : n) - 1;
+    for (std::int32_t i = block.first; i <= block.last; ++i) {
+      cfg.block_of_[static_cast<std::size_t>(i)] = block.id;
+    }
+    cfg.blocks_.push_back(std::move(block));
+  }
+
+  // --- edges ---
+  for (BasicBlock& block : cfg.blocks_) {
+    const Instruction& tail =
+        program.text[static_cast<std::size_t>(block.last)];
+    std::set<int> succs;
+    const bool has_fallthrough =
+        block.last + 1 < n &&
+        (!is_control(tail.op) || is_branch(tail.op) ||
+         tail.op == Opcode::kJal || tail.op == Opcode::kJalr);
+    if (has_fallthrough) succs.insert(cfg.block_of_[static_cast<std::size_t>(block.last + 1)]);
+    if (is_branch(tail.op) || tail.op == Opcode::kJ) {
+      succs.insert(cfg.block_of_[static_cast<std::size_t>(tail.imm)]);
+    }
+    // jal: the call-return edge is the fall-through; the callee body is a
+    // separate region rooted at its entry. jr: function return, no static
+    // successor.
+    block.succs.assign(succs.begin(), succs.end());
+  }
+  for (const BasicBlock& block : cfg.blocks_) {
+    for (const int s : block.succs) {
+      cfg.blocks_[static_cast<std::size_t>(s)].preds.push_back(block.id);
+    }
+  }
+
+  const auto it = program.text_symbols.find("main");
+  cfg.entry_ =
+      cfg.block_of_[static_cast<std::size_t>(it == program.text_symbols.end() ? 0 : it->second)];
+
+  cfg.compute_dominators(program);
+  cfg.find_loops();
+  return cfg;
+}
+
+void Cfg::compute_dominators(const Program& program) {
+  const int n = num_blocks();
+  const int vroot = n;  // virtual super-root feeding every region entry
+
+  // Region entries: the program entry, every jal target, and any block with
+  // no predecessors (covers jalr targets reached via function pointers).
+  std::set<int> roots;
+  roots.insert(entry_);
+  for (const Instruction& ins : program.text) {
+    if (ins.op == Opcode::kJal) {
+      roots.insert(block_of_[static_cast<std::size_t>(ins.imm)]);
+    }
+  }
+  for (const BasicBlock& b : blocks_) {
+    if (b.preds.empty()) roots.insert(b.id);
+  }
+
+  auto succs_of = [&](int node) -> std::vector<int> {
+    if (node == vroot) return {roots.begin(), roots.end()};
+    return blocks_[static_cast<std::size_t>(node)].succs;
+  };
+
+  // Reverse postorder from the virtual root.
+  std::vector<int> rpo_index(static_cast<std::size_t>(n) + 1, -1);
+  std::vector<int> order;
+  {
+    std::vector<int> state(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<std::pair<int, std::size_t>> stack{{vroot, 0}};
+    state[static_cast<std::size_t>(vroot)] = 1;
+    std::vector<int> post;
+    while (!stack.empty()) {
+      auto& [node, child] = stack.back();
+      const std::vector<int> succs = succs_of(node);
+      if (child < succs.size()) {
+        const int next = succs[child++];
+        if (state[static_cast<std::size_t>(next)] == 0) {
+          state[static_cast<std::size_t>(next)] = 1;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        post.push_back(node);
+        stack.pop_back();
+      }
+    }
+    order.assign(post.rbegin(), post.rend());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      rpo_index[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+    }
+  }
+
+  // Cooper-Harvey-Kennedy iteration.
+  std::vector<int> idom(static_cast<std::size_t>(n) + 1, -1);
+  idom[static_cast<std::size_t>(vroot)] = vroot;
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpo_index[static_cast<std::size_t>(a)] >
+             rpo_index[static_cast<std::size_t>(b)]) {
+        a = idom[static_cast<std::size_t>(a)];
+      }
+      while (rpo_index[static_cast<std::size_t>(b)] >
+             rpo_index[static_cast<std::size_t>(a)]) {
+        b = idom[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+  // Predecessors including the virtual root's edges.
+  std::vector<std::vector<int>> preds(static_cast<std::size_t>(n) + 1);
+  for (const BasicBlock& b : blocks_) {
+    preds[static_cast<std::size_t>(b.id)] = b.preds;
+  }
+  for (const int r : roots) preds[static_cast<std::size_t>(r)].push_back(vroot);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const int b : order) {
+      if (b == vroot) continue;
+      int new_idom = -1;
+      for (const int p : preds[static_cast<std::size_t>(b)]) {
+        if (idom[static_cast<std::size_t>(p)] == -1) continue;  // unreachable
+        new_idom = new_idom == -1 ? p : intersect(p, new_idom);
+      }
+      if (new_idom != -1 && idom[static_cast<std::size_t>(b)] != new_idom) {
+        idom[static_cast<std::size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  idom_.assign(static_cast<std::size_t>(n), -1);
+  dom_depth_.assign(static_cast<std::size_t>(n), -1);
+  for (int b = 0; b < n; ++b) {
+    const int d = idom[static_cast<std::size_t>(b)];
+    idom_[static_cast<std::size_t>(b)] = d == vroot ? -1 : d;
+  }
+  // Dominator-tree depths (vroot children have depth 0), in RPO so parents
+  // come first.
+  for (const int b : order) {
+    if (b == vroot) continue;
+    const int d = idom[static_cast<std::size_t>(b)];
+    if (d == -1) continue;
+    dom_depth_[static_cast<std::size_t>(b)] =
+        d == vroot ? 0 : dom_depth_[static_cast<std::size_t>(d)] + 1;
+  }
+}
+
+bool Cfg::dominates(int a, int b) const {
+  if (dom_depth_[static_cast<std::size_t>(a)] < 0 ||
+      dom_depth_[static_cast<std::size_t>(b)] < 0) {
+    return false;
+  }
+  while (dom_depth_[static_cast<std::size_t>(b)] >
+         dom_depth_[static_cast<std::size_t>(a)]) {
+    b = idom_[static_cast<std::size_t>(b)];
+    if (b < 0) return false;
+  }
+  return a == b;
+}
+
+void Cfg::find_loops() {
+  const int n = num_blocks();
+  innermost_.assign(static_cast<std::size_t>(n), -1);
+
+  // Gather natural-loop bodies keyed by header; merge shared headers.
+  std::map<int, std::set<int>> body_of;
+  for (const BasicBlock& b : blocks_) {
+    for (const int h : b.succs) {
+      if (!dominates(h, b.id)) continue;  // not a back edge
+      std::set<int>& body = body_of[h];
+      body.insert(h);
+      std::vector<int> work;
+      if (body.insert(b.id).second) work.push_back(b.id);
+      while (!work.empty()) {
+        const int m = work.back();
+        work.pop_back();
+        for (const int p : blocks_[static_cast<std::size_t>(m)].preds) {
+          if (body.insert(p).second) work.push_back(p);
+        }
+      }
+    }
+  }
+
+  loops_.clear();
+  for (const auto& [header, body] : body_of) {
+    Loop loop;
+    loop.header = header;
+    loop.blocks.assign(body.begin(), body.end());
+    loops_.push_back(std::move(loop));
+  }
+
+  // Parent = the smallest distinct loop that contains this loop's header.
+  const auto contains = [&](const Loop& l, int block) {
+    return std::binary_search(l.blocks.begin(), l.blocks.end(), block);
+  };
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    int best = -1;
+    for (std::size_t j = 0; j < loops_.size(); ++j) {
+      if (i == j || !contains(loops_[j], loops_[i].header)) continue;
+      if (best == -1 ||
+          loops_[j].blocks.size() < loops_[static_cast<std::size_t>(best)].blocks.size()) {
+        best = static_cast<int>(j);
+      }
+    }
+    loops_[i].parent = best;
+  }
+  // Depths (walk parent chains; forest is acyclic).
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    int depth = 1;
+    for (int p = loops_[i].parent; p != -1;
+         p = loops_[static_cast<std::size_t>(p)].parent) {
+      ++depth;
+    }
+    loops_[i].depth = depth;
+  }
+  // Innermost loop per block = the deepest loop containing it.
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    for (const int b : loops_[i].blocks) {
+      const int cur = innermost_[static_cast<std::size_t>(b)];
+      if (cur == -1 ||
+          loops_[static_cast<std::size_t>(cur)].depth < loops_[i].depth) {
+        innermost_[static_cast<std::size_t>(b)] = static_cast<int>(i);
+      }
+    }
+  }
+}
+
+}  // namespace t1000

@@ -1,0 +1,83 @@
+// Control-flow graph over an assembled program, with dominators and natural
+// loops. The selective algorithm (paper Section 5) works loop by loop, so
+// loop structure — headers, bodies, nesting — is the central product here.
+//
+// Calls (`jal`/`jalr`) are modelled as straight-line instructions whose
+// successor is the fall-through block (the call returns); `jr` ends a
+// function and has no static successors. Loop analysis is therefore
+// intraprocedural, which matches the paper's per-loop selection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asmkit/program.hpp"
+
+namespace t1000 {
+
+struct BasicBlock {
+  int id = 0;
+  std::int32_t first = 0;  // inclusive instruction index range
+  std::int32_t last = 0;
+  std::vector<int> succs;
+  std::vector<int> preds;
+
+  int length() const { return last - first + 1; }
+};
+
+struct Loop {
+  int header = 0;           // block id
+  std::vector<int> blocks;  // member block ids (header included)
+  int parent = -1;          // index of the innermost enclosing loop
+  int depth = 1;            // 1 = outermost
+};
+
+class Cfg {
+ public:
+  static Cfg build(const Program& program);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  const BasicBlock& block(int id) const {
+    return blocks_[static_cast<std::size_t>(id)];
+  }
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+
+  // Block containing instruction `index`.
+  int block_of(std::int32_t index) const {
+    return block_of_[static_cast<std::size_t>(index)];
+  }
+
+  // Entry block (the `main` symbol or instruction 0).
+  int entry() const { return entry_; }
+
+  // Immediate dominator of block `b`; -1 for unreachable blocks and for
+  // roots of the dominator forest.
+  int idom(int b) const { return idom_[static_cast<std::size_t>(b)]; }
+
+  // True when block `a` dominates block `b`.
+  bool dominates(int a, int b) const;
+
+  // Natural loops, discovered from back edges t->h with h dominating t.
+  // Loops sharing a header are merged. Ordered outermost-first within a
+  // nest; `parent`/`depth` describe the nesting forest.
+  const std::vector<Loop>& loops() const { return loops_; }
+
+  // Index into loops() of the innermost loop containing block `b`, or -1.
+  int innermost_loop_of(int b) const {
+    return innermost_[static_cast<std::size_t>(b)];
+  }
+
+ private:
+  void compute_dominators(const Program& program);
+  void find_loops();
+
+  std::vector<BasicBlock> blocks_;
+  std::vector<int> block_of_;
+  std::vector<int> idom_;
+  std::vector<int> dom_depth_;
+  std::vector<Loop> loops_;
+  std::vector<int> innermost_;
+  int entry_ = 0;
+};
+
+}  // namespace t1000

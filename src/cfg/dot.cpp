@@ -1,0 +1,75 @@
+#include "cfg/dot.hpp"
+
+#include <sstream>
+
+namespace t1000 {
+namespace {
+
+// Light fill colors by loop depth (depth 0 = not in a loop).
+const char* depth_color(int depth) {
+  switch (depth) {
+    case 0: return "white";
+    case 1: return "#fff3e0";
+    case 2: return "#ffe0b2";
+    case 3: return "#ffcc80";
+    default: return "#ffb74d";
+  }
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string cfg_to_dot(const Program& program, const Cfg& cfg,
+                       const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph cfg {\n"
+     << "  node [shape=box, fontname=\"monospace\", fontsize=9];\n"
+     << "  edge [fontsize=8];\n";
+
+  for (const BasicBlock& b : cfg.blocks()) {
+    const int loop = cfg.innermost_loop_of(b.id);
+    const int depth =
+        loop < 0 ? 0 : cfg.loops()[static_cast<std::size_t>(loop)].depth;
+    os << "  b" << b.id << " [style=filled, fillcolor=\""
+       << depth_color(depth) << "\", label=\"";
+    os << "B" << b.id << " [" << b.first << ".." << b.last << "]";
+    if (loop >= 0) os << " loop" << loop;
+    if (options.show_instructions) {
+      int shown = 0;
+      for (std::int32_t i = b.first; i <= b.last; ++i) {
+        if (shown++ == options.max_instructions_per_block) {
+          os << "\\l...";
+          break;
+        }
+        os << "\\l"
+           << escape(to_string(program.text[static_cast<std::size_t>(i)]));
+      }
+      os << "\\l";
+    }
+    os << "\"];\n";
+  }
+  for (const BasicBlock& b : cfg.blocks()) {
+    for (const int s : b.succs) {
+      os << "  b" << b.id << " -> b" << s;
+      // Highlight back edges (loop closing).
+      if (cfg.dominates(s, b.id)) os << " [color=red, penwidth=1.5]";
+      os << ";\n";
+    }
+  }
+  if (cfg.num_blocks() > 0) {
+    os << "  entry [shape=plaintext, label=\"entry\"];\n"
+       << "  entry -> b" << cfg.entry() << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace t1000

@@ -1,0 +1,22 @@
+// Graphviz export of control-flow graphs, with loop nesting rendered as
+// colored clusters. Feeds `kernel_explorer --dot` and debugging sessions:
+//
+//   ./build/examples/kernel_explorer gsm_dec --dot | dot -Tsvg > cfg.svg
+#pragma once
+
+#include <string>
+
+#include "asmkit/program.hpp"
+#include "cfg/cfg.hpp"
+
+namespace t1000 {
+
+struct DotOptions {
+  bool show_instructions = true;  // instruction text inside block nodes
+  int max_instructions_per_block = 12;  // elide long blocks
+};
+
+std::string cfg_to_dot(const Program& program, const Cfg& cfg,
+                       const DotOptions& options = {});
+
+}  // namespace t1000

@@ -1,0 +1,39 @@
+// Global register liveness over the CFG. Used by the extractor to prove
+// that a candidate sequence's intermediate values are dead outside the
+// sequence (the "one output" constraint of Section 4).
+//
+// Boundary model:
+//  * call instructions (jal/jalr) are treated as reading every register,
+//    since the callee's uses are not tracked interprocedurally (maximally
+//    conservative);
+//  * function returns (jr) keep the ABI-visible set live: $v0/$v1 results,
+//    callee-saved $s0-$s7, and $gp/$sp/$fp/$ra;
+//  * halt keeps only the $v0/$v1 result convention live.
+// Programs assembled for this toolchain must follow those conventions
+// (return values travel in $v0/$v1), which all bundled workloads do.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "asmkit/program.hpp"
+#include "cfg/cfg.hpp"
+
+namespace t1000 {
+
+using RegSet = std::bitset<kNumRegs>;
+
+struct Liveness {
+  std::vector<RegSet> live_in;   // per block
+  std::vector<RegSet> live_out;  // per block
+
+  // Registers live immediately *after* instruction `index` executes.
+  // Computed by walking backward from the block's live-out; O(block size).
+  RegSet live_after(const Program& program, const Cfg& cfg,
+                    std::int32_t index) const;
+};
+
+Liveness compute_liveness(const Program& program, const Cfg& cfg);
+
+}  // namespace t1000

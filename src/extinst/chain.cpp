@@ -1,0 +1,123 @@
+#include "extinst/chain.hpp"
+
+#include <cassert>
+
+namespace t1000 {
+namespace {
+
+// Source slot count an ALU instruction consumes (by kind).
+int reg_src_count(const Instruction& ins) { return src_regs(ins).count; }
+
+}  // namespace
+
+std::optional<WindowView> window_view(const Program& program,
+                                      const SeqSite& site, int a, int b) {
+  assert(0 <= a && a <= b && b < site.length());
+  WindowView view;
+  view.positions.assign(site.positions.begin() + a,
+                        site.positions.begin() + b + 1);
+
+  // Slot assignment: inputs first (in first-use order), then one slot per
+  // member. `member_slot[m]` is the slot of member m's value (window
+  // members only).
+  std::vector<std::int8_t> member_slot(static_cast<std::size_t>(site.length()), -1);
+  auto input_slot = [&view](Reg r) -> std::optional<std::int8_t> {
+    for (int i = 0; i < view.num_inputs; ++i) {
+      if (view.inputs[static_cast<std::size_t>(i)] == r) {
+        return static_cast<std::int8_t>(i);
+      }
+    }
+    if (view.num_inputs == 2) return std::nullopt;  // out of input ports
+    view.inputs[static_cast<std::size_t>(view.num_inputs)] = r;
+    return static_cast<std::int8_t>(view.num_inputs++);
+  };
+
+  std::vector<MicroOp> uops;
+  std::int8_t next_slot = 2;
+  for (int m = a; m <= b; ++m) {
+    const Instruction& ins =
+        program.text[static_cast<std::size_t>(site.positions[static_cast<std::size_t>(m)])];
+    MicroOp u;
+    u.op = ins.op;
+    u.imm = ins.imm;
+    u.dst = next_slot;
+    const int nsrc = reg_src_count(ins);
+    std::int8_t slots[2] = {-1, -1};
+    for (int s = 0; s < nsrc; ++s) {
+      const SrcRef& ref = site.srcs[static_cast<std::size_t>(m)][static_cast<std::size_t>(s)];
+      if (ref.kind == SrcRef::Kind::kMember && ref.member >= a) {
+        assert(member_slot[static_cast<std::size_t>(ref.member)] >= 0);
+        slots[s] = member_slot[static_cast<std::size_t>(ref.member)];
+      } else {
+        // External value: either a true chain external or the value flowing
+        // in from the member just before the window (the "link").
+        const Reg carrier =
+            ref.kind == SrcRef::Kind::kMember
+                ? *dst_reg(program.text[static_cast<std::size_t>(
+                      site.positions[static_cast<std::size_t>(ref.member)])])
+                : ref.reg;
+        const auto slot = input_slot(carrier);
+        if (!slot) return std::nullopt;
+        slots[s] = *slot;
+      }
+    }
+    u.a = slots[0];
+    u.b = slots[1];
+    member_slot[static_cast<std::size_t>(m)] = next_slot;
+    ++next_slot;
+    uops.push_back(u);
+  }
+
+  view.def = ExtInstDef(view.num_inputs, std::move(uops));
+  view.output = *dst_reg(program.text[static_cast<std::size_t>(
+      site.positions[static_cast<std::size_t>(b)])]);
+  return view;
+}
+
+bool window_valid(const Program& program, const SeqSite& site, int a, int b) {
+  const auto view = window_view(program, site, a, b);
+  if (!view) return false;
+
+  // Danger zone: positions strictly after the link-producing member (or the
+  // window head, when a == 0) up to and including the EXT landing position.
+  const std::int32_t lo = a == 0
+                              ? site.positions[0]
+                              : site.positions[static_cast<std::size_t>(a - 1)];
+  const std::int32_t hi = site.positions[static_cast<std::size_t>(b)];
+  for (std::int32_t q = lo + 1; q <= hi; ++q) {
+    bool is_window_member = false;
+    for (int m = a; m <= b; ++m) {
+      if (site.positions[static_cast<std::size_t>(m)] == q) {
+        is_window_member = true;
+        break;
+      }
+    }
+    if (is_window_member) continue;
+    const Instruction& ins = program.text[static_cast<std::size_t>(q)];
+    for (int i = 0; i < view->num_inputs; ++i) {
+      if (writes_reg(ins, view->inputs[static_cast<std::size_t>(i)])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+WindowView full_view(const Program& program, const SeqSite& site) {
+  auto view = window_view(program, site, 0, site.length() - 1);
+  assert(view.has_value());
+  return *view;
+}
+
+std::array<int, 2> window_input_widths(const Profile& profile,
+                                       const SeqSite& site, int a, int b) {
+  int w = 1;
+  for (int m = a; m <= b; ++m) {
+    const InstProfile& ip =
+        profile.at(site.positions[static_cast<std::size_t>(m)]);
+    w = std::max(w, ip.max_src_width);
+  }
+  return {w, w};
+}
+
+}  // namespace t1000

@@ -1,0 +1,79 @@
+// Candidate-sequence sites and window extraction.
+//
+// A *site* is one concrete occurrence of a maximal candidate chain: a list
+// of instruction positions inside one basic block forming a dependence
+// chain of narrow ALU operations with at most two external register inputs
+// and one register output (paper Section 4's constraints).
+//
+// A *window* [a..b] is a contiguous run of a site's members. Windows are
+// what the selective algorithm trades off: implementing a short common
+// subsequence can beat implementing several distinct maximal sequences
+// (paper Section 5.1, Figures 3-4). `window_view` re-derives the window's
+// micro-program, inputs, and output, and `window_valid` performs the
+// rewrite-safety checks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "asmkit/program.hpp"
+#include "isa/extdef.hpp"
+#include "sim/profiler.hpp"
+
+namespace t1000 {
+
+// Provenance of one register source of a chain member.
+struct SrcRef {
+  enum class Kind : std::uint8_t {
+    kNone,      // operand slot unused (immediates, LUI)
+    kExternal,  // value defined before the chain entered
+    kMember,    // value produced by an earlier chain member
+  };
+  Kind kind = Kind::kNone;
+  Reg reg = 0;      // architectural register carrying the value
+  int member = -1;  // producing member index (kMember only)
+};
+
+struct SeqSite {
+  int block = -1;
+  int loop = -1;  // innermost loop id, -1 when not in a loop
+  std::vector<std::int32_t> positions;  // ascending instruction indices
+  std::vector<std::array<SrcRef, 2>> srcs;  // per member, parallel to positions
+  std::uint64_t exec_count = 0;  // dynamic executions of this occurrence
+
+  int length() const { return static_cast<int>(positions.size()); }
+};
+
+// A window's materialized form: what the EXT instruction will compute.
+struct WindowView {
+  ExtInstDef def;
+  std::array<Reg, 2> inputs{};  // register inputs, slot order
+  int num_inputs = 0;
+  Reg output = 0;
+  std::vector<std::int32_t> positions;  // the member positions covered
+};
+
+// Builds the window [a..b] (member indices, inclusive) of `site`.
+// Returns nullopt when the window needs more than two register inputs.
+std::optional<WindowView> window_view(const Program& program,
+                                      const SeqSite& site, int a, int b);
+
+// Rewrite-safety check: every input register of the window must still hold
+// the same value at the window's last position (where the EXT lands), i.e.
+// no instruction outside the window, between the window's defining point
+// and its last member, may write any input register.
+bool window_valid(const Program& program, const SeqSite& site, int a, int b);
+
+// Convenience: full-chain view (a=0, b=length-1). Never nullopt for a
+// well-formed site.
+WindowView full_view(const Program& program, const SeqSite& site);
+
+// Profiled bit widths of the window's register inputs (used by the LUT cost
+// model). Approximated as the widest source operand any window member saw,
+// applied to both input ports.
+std::array<int, 2> window_input_widths(const Profile& profile,
+                                       const SeqSite& site, int a, int b);
+
+}  // namespace t1000

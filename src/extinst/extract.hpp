@@ -1,0 +1,39 @@
+// Maximal candidate-sequence extraction (paper Section 4).
+//
+// Within each basic block, grows maximal dependence chains of candidate
+// instructions. An instruction is a candidate when:
+//   * its opcode is PFU-eligible (narrow ALU/logic/shift-immediate ops),
+//   * the profile saw it execute with operand and result bit widths at or
+//     below the policy threshold (default 18 bits, as in the paper),
+//   * it produces a register result.
+// A chain extends i -> j when j is the *only* reader of i's value, the
+// value dies inside the block (single-output constraint), j's remaining
+// operands are defined before the chain started (or outside the block),
+// and the chain keeps to <= 2 distinct external register inputs and the
+// maximum fusable length.
+#pragma once
+
+#include <vector>
+
+#include "asmkit/program.hpp"
+#include "cfg/cfg.hpp"
+#include "cfg/liveness.hpp"
+#include "extinst/chain.hpp"
+#include "sim/profiler.hpp"
+
+namespace t1000 {
+
+struct ExtractPolicy {
+  int max_width = 18;   // operand/result bit-width ceiling for candidates
+  int min_length = 2;   // shortest sequence worth a PFU
+  int max_length = kMaxUops;
+  bool require_executed = true;  // skip never-executed instructions
+};
+
+// All maximal candidate sites in `program`, ordered by first position.
+std::vector<SeqSite> extract_sites(const Program& program, const Cfg& cfg,
+                                   const Liveness& liveness,
+                                   const Profile& profile,
+                                   const ExtractPolicy& policy = {});
+
+}  // namespace t1000

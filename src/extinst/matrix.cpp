@@ -1,0 +1,128 @@
+#include "extinst/matrix.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "hwcost/lut_model.hpp"
+
+namespace t1000 {
+
+RegionMatrix build_region_matrix(const Program& program,
+                                 const Profile& profile,
+                                 const std::vector<SeqSite>& sites,
+                                 std::vector<int> site_indices, int loop,
+                                 int min_length, int lut_budget) {
+  RegionMatrix rm;
+  rm.loop = loop;
+  rm.site_indices = std::move(site_indices);
+  rm.windows.resize(rm.site_indices.size());
+
+  std::map<std::string, int> index_of;  // signature -> candidate index
+  auto candidate_index = [&](const ExtInstDef& def) {
+    const auto it = index_of.find(def.signature());
+    if (it != index_of.end()) return it->second;
+    const int idx = rm.k();
+    index_of.emplace(def.signature(), idx);
+    rm.candidates.push_back({def, 0});
+    return idx;
+  };
+
+  // Enumerate all valid windows of every site; intern distinct sequences.
+  for (std::size_t si = 0; si < rm.site_indices.size(); ++si) {
+    const SeqSite& site = sites[static_cast<std::size_t>(rm.site_indices[si])];
+    const int len = site.length();
+    for (int a = 0; a < len; ++a) {
+      for (int b = a + min_length - 1; b < len; ++b) {
+        const auto view = window_view(program, site, a, b);
+        if (!view || !window_valid(program, site, a, b)) continue;
+        if (!estimate_luts(view->def, window_input_widths(profile, site, a, b))
+                 .fits(lut_budget)) {
+          continue;
+        }
+        rm.windows[si].push_back({a, b, candidate_index(view->def)});
+      }
+    }
+  }
+
+  // Matrix counts: window of candidate i inside a site whose full sequence
+  // is candidate j.
+  rm.counts.assign(static_cast<std::size_t>(rm.k()),
+                   std::vector<int>(static_cast<std::size_t>(rm.k()), 0));
+  for (std::size_t si = 0; si < rm.site_indices.size(); ++si) {
+    const SeqSite& site = sites[static_cast<std::size_t>(rm.site_indices[si])];
+    // The full window defines the site's maximal identity.
+    int full_candidate = -1;
+    for (const SiteWindow& w : rm.windows[si]) {
+      if (w.a == 0 && w.b == site.length() - 1) {
+        full_candidate = w.candidate;
+        break;
+      }
+    }
+    if (full_candidate < 0) continue;  // full window invalid (rare)
+    for (const SiteWindow& w : rm.windows[si]) {
+      rm.counts[static_cast<std::size_t>(w.candidate)]
+               [static_cast<std::size_t>(full_candidate)] += 1;
+    }
+  }
+
+  // Solo gains: tile every site with only candidate c allowed.
+  for (int c = 0; c < rm.k(); ++c) {
+    std::vector<bool> allowed(static_cast<std::size_t>(rm.k()), false);
+    allowed[static_cast<std::size_t>(c)] = true;
+    std::uint64_t total = 0;
+    for (std::size_t si = 0; si < rm.site_indices.size(); ++si) {
+      std::uint64_t g = 0;
+      best_tiling(sites[static_cast<std::size_t>(rm.site_indices[si])],
+                  rm.windows[si], rm.candidates, allowed, &g);
+      total += g;
+    }
+    rm.candidates[static_cast<std::size_t>(c)].solo_gain = total;
+  }
+  return rm;
+}
+
+std::vector<int> best_tiling(const SeqSite& site,
+                             const std::vector<SiteWindow>& windows,
+                             const std::vector<RegionCandidate>& candidates,
+                             const std::vector<bool>& allowed,
+                             std::uint64_t* gain) {
+  const int len = site.length();
+  // dp[i]: best gain covering members [0, i); choice[i]: window index used
+  // ending exactly at i-1, or -1.
+  std::vector<std::uint64_t> dp(static_cast<std::size_t>(len) + 1, 0);
+  std::vector<int> choice(static_cast<std::size_t>(len) + 1, -1);
+  for (int i = 1; i <= len; ++i) {
+    dp[static_cast<std::size_t>(i)] = dp[static_cast<std::size_t>(i - 1)];
+    for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+      const SiteWindow& w = windows[wi];
+      if (w.b != i - 1 || !allowed[static_cast<std::size_t>(w.candidate)]) {
+        continue;
+      }
+      const std::uint64_t save =
+          static_cast<std::uint64_t>(
+              candidates[static_cast<std::size_t>(w.candidate)].def.base_cycles() - 1) *
+          site.exec_count;
+      const std::uint64_t total = dp[static_cast<std::size_t>(w.a)] + save;
+      if (total > dp[static_cast<std::size_t>(i)]) {
+        dp[static_cast<std::size_t>(i)] = total;
+        choice[static_cast<std::size_t>(i)] = static_cast<int>(wi);
+      }
+    }
+  }
+  if (gain != nullptr) *gain = dp[static_cast<std::size_t>(len)];
+
+  std::vector<int> chosen;
+  for (int i = len; i > 0;) {
+    const int wi = choice[static_cast<std::size_t>(i)];
+    if (wi < 0) {
+      --i;
+    } else {
+      chosen.push_back(wi);
+      i = windows[static_cast<std::size_t>(wi)].a;
+    }
+  }
+  std::reverse(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace t1000

@@ -1,0 +1,70 @@
+// The per-loop subsequence matrix of Section 5.1 (Figures 3-4).
+//
+// For the candidate sequences of one loop (or non-loop region), builds the
+// k x k matrix whose [I,J] entry counts appearances of distinct sequence I
+// inside occurrences of maximal sequence J across the loop. The diagonal
+// [I,I] counts I's maximal appearances. The selective algorithm uses the
+// matrix to decide when one short common subsequence serves several longer
+// maximal sequences without spending extra PFU configurations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "extinst/chain.hpp"
+
+namespace t1000 {
+
+// One distinct candidate sequence within a region (identified by its
+// canonical micro-program signature).
+struct RegionCandidate {
+  ExtInstDef def;
+  // Total cycles saved per full program run if this candidate alone were
+  // applied everywhere it fits in the region (greedy tiling over sites).
+  std::uint64_t solo_gain = 0;
+};
+
+// A valid window of a site, annotated with the distinct-candidate index it
+// corresponds to.
+struct SiteWindow {
+  int a = 0;
+  int b = 0;
+  int candidate = -1;  // index into RegionMatrix::candidates
+};
+
+struct RegionMatrix {
+  int loop = -1;
+  std::vector<int> site_indices;            // into the caller's site vector
+  std::vector<RegionCandidate> candidates;  // distinct sequences, stable order
+  // counts[i][j]: appearances of candidate i inside maximal occurrences of
+  // candidate j (diagonal = maximal appearances of i). Static counts, as in
+  // the paper's Figure 4.
+  std::vector<std::vector<int>> counts;
+  // Per site (parallel to site_indices): all valid windows.
+  std::vector<std::vector<SiteWindow>> windows;
+
+  int k() const { return static_cast<int>(candidates.size()); }
+};
+
+// Builds the matrix for the sites `site_indices` (all in one region) of
+// `sites`. `min_length` bounds the shortest window considered; windows whose
+// LUT estimate exceeds `lut_budget` are not valid candidates (they would not
+// fit a PFU).
+RegionMatrix build_region_matrix(const Program& program,
+                                 const Profile& profile,
+                                 const std::vector<SeqSite>& sites,
+                                 std::vector<int> site_indices, int loop,
+                                 int min_length, int lut_budget);
+
+// Optimal disjoint tiling of one site by the allowed candidate set:
+// maximizes saved cycles = sum over chosen windows of
+// (window base cycles - 1) * site execution count. Returns chosen windows
+// (by index into `windows`); `gain` receives the total.
+std::vector<int> best_tiling(const SeqSite& site,
+                             const std::vector<SiteWindow>& windows,
+                             const std::vector<RegionCandidate>& candidates,
+                             const std::vector<bool>& allowed,
+                             std::uint64_t* gain);
+
+}  // namespace t1000

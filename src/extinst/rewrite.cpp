@@ -1,0 +1,71 @@
+#include "extinst/rewrite.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace t1000 {
+
+RewriteResult rewrite_program(const Program& program,
+                              const std::vector<Application>& apps) {
+  const int n = program.size();
+  // action[p]: 0 = keep, -1 = delete, >0 = replace with EXT of apps[action-1].
+  std::vector<std::int32_t> action(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const Application& app = apps[i];
+    if (app.positions.empty()) {
+      throw std::invalid_argument("rewrite: empty application");
+    }
+    for (const std::int32_t p : app.positions) {
+      if (p < 0 || p >= n || action[static_cast<std::size_t>(p)] != 0) {
+        throw std::invalid_argument("rewrite: overlapping or bad position");
+      }
+      action[static_cast<std::size_t>(p)] = -1;
+    }
+    action[static_cast<std::size_t>(app.positions.back())] =
+        static_cast<std::int32_t>(i) + 1;
+  }
+
+  RewriteResult out;
+  out.index_map.assign(static_cast<std::size_t>(n) + 1, -1);
+  Program& q = out.program;
+  q.data = program.data;
+  q.data_symbols = program.data_symbols;
+
+  // First pass: place instructions, record new index of every kept position.
+  std::vector<std::int32_t> kept_new(static_cast<std::size_t>(n), -1);
+  for (std::int32_t p = 0; p < n; ++p) {
+    const std::int32_t act = action[static_cast<std::size_t>(p)];
+    if (act == -1) continue;
+    kept_new[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(q.text.size());
+    if (act == 0) {
+      q.text.push_back(program.text[static_cast<std::size_t>(p)]);
+    } else {
+      const Application& app = apps[static_cast<std::size_t>(act - 1)];
+      q.text.push_back(make_ext(app.output, app.num_inputs > 0 ? app.inputs[0] : kRegZero,
+                                app.num_inputs > 1 ? app.inputs[1] : kRegZero,
+                                app.conf));
+    }
+  }
+  // Deleted positions forward to the next kept instruction (a branch into a
+  // partially fused block resumes at the first surviving instruction).
+  std::int32_t next_kept = static_cast<std::int32_t>(q.text.size());
+  for (std::int32_t p = n; p >= 0; --p) {
+    if (p < n && kept_new[static_cast<std::size_t>(p)] >= 0) {
+      next_kept = kept_new[static_cast<std::size_t>(p)];
+    }
+    out.index_map[static_cast<std::size_t>(p)] = next_kept;
+  }
+
+  // Second pass: remap control-flow targets and symbols.
+  for (Instruction& ins : q.text) {
+    if (is_branch(ins.op) || op_kind(ins.op) == OpKind::kJump) {
+      ins.imm = out.index_map[static_cast<std::size_t>(ins.imm)];
+    }
+  }
+  for (const auto& [name, index] : program.text_symbols) {
+    q.text_symbols[name] = out.index_map[static_cast<std::size_t>(index)];
+  }
+  return out;
+}
+
+}  // namespace t1000

@@ -1,0 +1,42 @@
+// Program rewriting: replaces selected candidate windows with EXT
+// instructions (paper Section 2.1: "an extended instruction is created at
+// compile time by converting an appropriate instruction sequence in the
+// compiled code into a single PFU opcode").
+//
+// Each application lands the EXT at the window's *last* position and deletes
+// the other member positions; `window_valid` guarantees the inputs still
+// hold their values there. All branch/jump targets and text symbols are
+// remapped through the deletion map. Programs whose data segment embeds
+// absolute text addresses (jump tables) are not rewritable; none of the
+// bundled workloads do that.
+#pragma once
+
+#include <vector>
+
+#include "asmkit/program.hpp"
+#include "isa/extdef.hpp"
+
+namespace t1000 {
+
+// One EXT application: the covered instruction positions (ascending, within
+// one block) and the interned configuration that replaces them.
+struct Application {
+  std::vector<std::int32_t> positions;
+  ConfId conf = kInvalidConf;
+  Reg output = 0;
+  std::array<Reg, 2> inputs{};
+  int num_inputs = 0;
+};
+
+struct RewriteResult {
+  Program program;
+  // old instruction index -> new index (deleted members map to the index
+  // their EXT landed at or the next surviving instruction).
+  std::vector<std::int32_t> index_map;
+};
+
+// Applies `apps` (must cover disjoint position sets) to `program`.
+RewriteResult rewrite_program(const Program& program,
+                              const std::vector<Application>& apps);
+
+}  // namespace t1000

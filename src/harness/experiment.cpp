@@ -1,0 +1,67 @@
+#include "harness/experiment.hpp"
+
+#include <string>
+
+#include "sim/executor.hpp"
+
+namespace t1000 {
+namespace {
+
+std::uint32_t run_functional(const Program& p, const ExtInstTable* table,
+                             std::uint64_t max_steps) {
+  Executor e(p, table);
+  e.run(max_steps);
+  if (!e.halted()) throw SimError("workload did not halt");
+  return e.reg(kRegV0);
+}
+
+}  // namespace
+
+WorkloadExperiment::WorkloadExperiment(const Workload& workload)
+    : workload_(workload), program_(workload_program(workload)) {
+  analysis_ = analyze_program(program_, workload_.max_steps);
+  base_checksum_ = run_functional(program_, nullptr, workload_.max_steps);
+}
+
+RunOutcome WorkloadExperiment::run(Selector selector,
+                                   const MachineConfig& machine,
+                                   const SelectPolicy& policy) {
+  RunOutcome out;
+  if (selector == Selector::kNone) {
+    out.checksum = base_checksum_;
+    out.stats = simulate(program_, nullptr, machine);
+    return out;
+  }
+
+  Selection sel = selector == Selector::kGreedy
+                      ? select_greedy(analysis_, policy.lut_budget)
+                      : select_selective(analysis_, policy);
+  const RewriteResult rr = rewrite_program(program_, sel.apps);
+
+  out.checksum = run_functional(rr.program, &sel.table, workload_.max_steps);
+  if (out.checksum != base_checksum_) {
+    throw SimError("rewrite changed " + workload_.name + " checksum");
+  }
+  out.num_configs = sel.num_configs();
+  out.num_apps = static_cast<int>(sel.apps.size());
+  out.lengths = sel.lengths;
+  out.lut_costs = sel.lut_costs;
+  out.stats = simulate(rr.program, &sel.table, machine);
+  return out;
+}
+
+double speedup(const SimStats& baseline, const SimStats& variant) {
+  return static_cast<double>(baseline.cycles) /
+         static_cast<double>(variant.cycles);
+}
+
+MachineConfig baseline_machine() { return MachineConfig{}; }
+
+MachineConfig pfu_machine(int pfus, int reconfig_latency) {
+  MachineConfig cfg;
+  cfg.pfu.count = pfus;
+  cfg.pfu.reconfig_latency = reconfig_latency;
+  return cfg;
+}
+
+}  // namespace t1000

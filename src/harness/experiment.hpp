@@ -1,0 +1,64 @@
+// Experiment harness: runs one workload through profile -> select ->
+// rewrite -> timing simulation under a machine configuration, validating
+// that every rewrite preserves the workload's checksum. The bench binaries
+// (one per paper table/figure) are thin drivers over this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "extinst/rewrite.hpp"
+#include "extinst/select.hpp"
+#include "uarch/timing.hpp"
+#include "workloads/workload.hpp"
+
+namespace t1000 {
+
+enum class Selector {
+  kNone,       // plain superscalar baseline
+  kGreedy,     // Section 4
+  kSelective,  // Section 5
+};
+
+struct RunOutcome {
+  SimStats stats;
+  int num_configs = 0;     // distinct extended instructions
+  int num_apps = 0;        // rewrite sites
+  std::vector<int> lengths;    // per config, micro-ops
+  std::vector<int> lut_costs;  // per config, estimated LUTs
+  std::uint32_t checksum = 0;  // functional $v0 (validated)
+};
+
+// Per-workload experiment context; the (expensive) profile + extraction is
+// computed once and shared across machine configurations.
+class WorkloadExperiment {
+ public:
+  explicit WorkloadExperiment(const Workload& workload);
+
+  const Workload& workload() const { return workload_; }
+  const AnalyzedProgram& analysis() const { return analysis_; }
+
+  // Runs the workload under `machine`. For kSelective, `policy.num_pfus`
+  // should match machine.pfu.count (the selection must know the budget it
+  // is compiling for). Throws SimError if a rewritten program's checksum
+  // diverges from the baseline.
+  RunOutcome run(Selector selector, const MachineConfig& machine,
+                 const SelectPolicy& policy = {});
+
+ private:
+  Workload workload_;
+  Program program_;
+  AnalyzedProgram analysis_;
+  std::uint32_t base_checksum_ = 0;
+};
+
+// cycles(baseline) / cycles(variant): >1 means the variant is faster. This
+// is the paper's "execution time speedup" axis in Figures 2 and 6.
+double speedup(const SimStats& baseline, const SimStats& variant);
+
+// The machine configurations used throughout the paper's evaluation.
+MachineConfig baseline_machine();
+MachineConfig pfu_machine(int pfus, int reconfig_latency);
+
+}  // namespace t1000

@@ -1,0 +1,80 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace t1000 {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return std::isdigit(static_cast<unsigned char>(s.front())) != 0 ||
+         s.front() == '-' || s.front() == '+';
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      const std::size_t pad = width[c] - cell.size();
+      if (looks_numeric(cell) && c > 0) {
+        os << "  " << std::string(pad, ' ') << cell;
+      } else {
+        os << "  " << cell << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt_ratio(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fx", x);
+  return buf;
+}
+
+std::string fmt_percent_gain(double speedup_ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", (speedup_ratio - 1.0) * 100.0);
+  return buf;
+}
+
+std::string fmt_double(double x, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, x);
+  return buf;
+}
+
+std::string bar(double value, double max_value, int width) {
+  if (max_value <= 0) return "";
+  int n = static_cast<int>(value / max_value * width + 0.5);
+  n = std::clamp(n, 0, width);
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace t1000

@@ -1,0 +1,31 @@
+// Minimal fixed-width text tables for the bench binaries, so each
+// reproduced figure prints the same rows/series the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace t1000 {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Renders with column alignment; numeric-looking cells right-align.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a ratio like 1.2345 as "1.23x" / a percentage like "+23.4%".
+std::string fmt_ratio(double x);
+std::string fmt_percent_gain(double speedup_ratio);
+std::string fmt_double(double x, int decimals);
+
+// A crude horizontal bar for figure-style output (length ~ value).
+std::string bar(double value, double max_value, int width = 40);
+
+}  // namespace t1000

@@ -1,0 +1,174 @@
+#include "hwcost/lut_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "isa/alu.hpp"
+
+namespace t1000 {
+namespace {
+
+int clamp_width(int w) { return std::clamp(w, 1, 32); }
+
+// Structural classes for costing.
+enum class CostClass {
+  kArith,   // add/sub: carry chain, 1 LUT per result bit
+  kLogic,   // bitwise 2-input: packable
+  kCompare, // slt family: subtract-like comparator
+  kWire,    // constant shifts, LUI: free
+};
+
+CostClass cost_class(Opcode op) {
+  switch (op) {
+    case Opcode::kAddu:
+    case Opcode::kAddiu:
+    case Opcode::kSubu:
+      return CostClass::kArith;
+    case Opcode::kAnd:
+    case Opcode::kAndi:
+    case Opcode::kOr:
+    case Opcode::kOri:
+    case Opcode::kXor:
+    case Opcode::kXori:
+    case Opcode::kNor:
+      return CostClass::kLogic;
+    case Opcode::kSlt:
+    case Opcode::kSlti:
+    case Opcode::kSltu:
+    case Opcode::kSltiu:
+      return CostClass::kCompare;
+    case Opcode::kSll:
+    case Opcode::kSrl:
+    case Opcode::kSra:
+    case Opcode::kLui:
+      return CostClass::kWire;
+    default:
+      // Variable shifts / multiplies are not PFU candidates, but cost them
+      // honestly if a caller asks: barrel shifter ~ 3*w, multiply ~ w*w/2.
+      if (op == Opcode::kSllv || op == Opcode::kSrlv || op == Opcode::kSrav) {
+        return CostClass::kArith;  // handled specially below
+      }
+      return CostClass::kArith;
+  }
+}
+
+int result_width(const MicroOp& u, int wa, int wb) {
+  switch (u.op) {
+    case Opcode::kAddu:
+    case Opcode::kSubu:
+      return clamp_width(std::max(wa, wb) + 1);
+    case Opcode::kAddiu:
+      return clamp_width(std::max(wa, signed_width(extend_imm(u.op, u.imm))) + 1);
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kNor:
+      return clamp_width(std::max(wa, wb));
+    case Opcode::kAndi:
+      // Zero-extended mask: result no wider than the mask (plus sign bit
+      // headroom) nor the operand.
+      return clamp_width(std::min(wa, signed_width(extend_imm(u.op, u.imm)) + 1));
+    case Opcode::kOri:
+    case Opcode::kXori:
+      return clamp_width(std::max(wa, signed_width(extend_imm(u.op, u.imm))));
+    case Opcode::kSll:
+      return clamp_width(wa + u.imm);
+    case Opcode::kSrl:
+    case Opcode::kSra:
+      return clamp_width(wa - u.imm);
+    case Opcode::kSlt:
+    case Opcode::kSltu:
+    case Opcode::kSlti:
+    case Opcode::kSltiu:
+      return 2;  // 0 or 1
+    case Opcode::kLui:
+      return clamp_width(signed_width(static_cast<std::uint32_t>(u.imm & 0xFFFF)) + 16);
+    default:
+      return 32;
+  }
+}
+
+}  // namespace
+
+std::array<int, kMaxUops> propagate_widths(const ExtInstDef& def,
+                                           std::array<int, 2> input_widths) {
+  std::array<int, kMaxUops> widths{};
+  auto slot_width = [&](std::int8_t slot) {
+    if (slot < 0) return 1;
+    if (slot < 2) return clamp_width(input_widths[static_cast<std::size_t>(slot)]);
+    return widths[static_cast<std::size_t>(slot - 2)];
+  };
+  for (std::size_t i = 0; i < def.uops().size(); ++i) {
+    const MicroOp& u = def.uops()[i];
+    widths[i] = result_width(u, slot_width(u.a), slot_width(u.b));
+  }
+  return widths;
+}
+
+LutEstimate estimate_luts(const ExtInstDef& def,
+                          std::array<int, 2> input_widths) {
+  const std::array<int, kMaxUops> widths = propagate_widths(def, input_widths);
+  auto slot_width = [&](std::int8_t slot) {
+    if (slot < 0) return 1;
+    if (slot < 2) return clamp_width(input_widths[static_cast<std::size_t>(slot)]);
+    return widths[static_cast<std::size_t>(slot - 2)];
+  };
+  LutEstimate est;
+
+  // Pack runs of dependent logic ops: up to three consecutive logic
+  // micro-ops in chain order fuse into one LUT level (per bit slice).
+  int pending_logic = 0;  // ops in the currently open logic group
+  int group_width = 0;
+  auto flush_logic = [&] {
+    if (pending_logic > 0) {
+      est.luts += group_width;
+      est.levels += 1;
+      pending_logic = 0;
+      group_width = 0;
+    }
+  };
+
+  for (std::size_t i = 0; i < def.uops().size(); ++i) {
+    const MicroOp& u = def.uops()[i];
+    const int w = widths[i];
+    switch (cost_class(u.op)) {
+      case CostClass::kLogic:
+        if (pending_logic == 3) flush_logic();
+        ++pending_logic;
+        group_width = std::max(group_width, w);
+        break;
+      case CostClass::kArith:
+        flush_logic();
+        if (u.op == Opcode::kSllv || u.op == Opcode::kSrlv ||
+            u.op == Opcode::kSrav) {
+          est.luts += 3 * w;  // barrel shifter stages
+          est.levels += 3;
+        } else if (u.op == Opcode::kMul) {
+          est.luts += w * w / 2;
+          est.levels += 4;
+        } else {
+          est.luts += w;
+          est.levels += 1;
+        }
+        break;
+      case CostClass::kCompare: {
+        flush_logic();
+        // Comparator over the operand width, not the 1-bit result.
+        const int wb = u.b >= 0 ? slot_width(u.b)
+                                : signed_width(extend_imm(u.op, u.imm));
+        est.luts += std::max(slot_width(u.a), wb);
+        est.levels += 1;
+        break;
+      }
+      case CostClass::kWire:
+        // Routing only; a shift neither adds LUTs nor a logic level, but it
+        // does break a logic-packing group (bits move between slices).
+        flush_logic();
+        break;
+    }
+  }
+  flush_logic();
+  return est;
+}
+
+}  // namespace t1000

@@ -1,0 +1,49 @@
+// Analytical LUT-cost model for extended instructions (paper Section 6).
+//
+// The paper synthesizes each selected sequence to Xilinx XC4000 CLBs with
+// the Foundation toolchain and reports the LUT counts (Figure 7; largest
+// instruction 105 LUTs, PFU budget ~150). We substitute a word-level
+// technology mapper for 4-input LUTs:
+//
+//   * ripple adds/subtracts/comparisons cost ~1 LUT per result bit (the
+//     XC4000 dedicated carry logic keeps the carry chain out of the LUTs
+//     proper, but each sum bit burns one function generator);
+//   * chains of dependent two-input bitwise ops pack: a 4-input LUT absorbs
+//     up to three dependent 2-input gates per bit slice, so a fused group
+//     of <=3 logic levels costs one LUT per bit;
+//   * constant shifts are wiring (0 LUTs); LUI is constant generation
+//     (0 LUTs);
+//   * bit widths are propagated from the (profiled) input widths, so narrow
+//     operands yield the small implementations profiling promises.
+//
+// The model also reports logic depth in LUT levels, used to sanity-check
+// the single-cycle PFU execution assumption.
+#pragma once
+
+#include <array>
+
+#include "isa/extdef.hpp"
+
+namespace t1000 {
+
+// PFU capacity used throughout the paper's evaluation.
+inline constexpr int kPfuLutBudget = 150;
+
+struct LutEstimate {
+  int luts = 0;
+  int levels = 0;  // LUT levels on the critical path
+
+  bool fits(int budget = kPfuLutBudget) const { return luts <= budget; }
+};
+
+// Estimates the implementation cost of `def` given the signed bit widths of
+// its two register inputs (1..32; pass 32 when unknown).
+LutEstimate estimate_luts(const ExtInstDef& def,
+                          std::array<int, 2> input_widths);
+
+// Width of each micro-op's result under the same propagation rules
+// (exposed for tests and reporting). Index parallel to def.uops().
+std::array<int, kMaxUops> propagate_widths(const ExtInstDef& def,
+                                           std::array<int, 2> input_widths);
+
+}  // namespace t1000

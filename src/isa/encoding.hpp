@@ -1,0 +1,34 @@
+// Binary encoding of the T1000 ISA.
+//
+// Instructions encode to 32-bit words in a MIPS-style layout:
+//   R-type:  op[31:26]=0  rs[25:21] rt[20:16] rd[15:11] shamt[10:6] funct[5:0]
+//   I-type:  op[31:26]    rs[25:21] rt[20:16] imm16[15:0]
+//   J-type:  op[31:26]    target26[25:0]              (absolute instr index)
+//   EXT:     op[31:26]=0x3E rs rt rd conf[10:0]       (Section 2.2's format:
+//            a register-register operation with an added Conf field)
+//
+// Branch displacements are signed 16-bit instruction offsets relative to the
+// next instruction, so encode/decode take the instruction's index.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "isa/instruction.hpp"
+
+namespace t1000 {
+
+class EncodingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Encodes `ins` located at instruction index `index`. Throws EncodingError
+// when an immediate, displacement, or Conf id does not fit its field.
+std::uint32_t encode(const Instruction& ins, std::uint32_t index);
+
+// Decodes `word` located at instruction index `index`. Throws EncodingError
+// for unassigned opcodes.
+Instruction decode(std::uint32_t word, std::uint32_t index);
+
+}  // namespace t1000

@@ -1,0 +1,117 @@
+#include "isa/extdef.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "isa/alu.hpp"
+
+namespace t1000 {
+namespace {
+
+std::string make_signature(int num_inputs, const std::vector<MicroOp>& uops) {
+  std::ostringstream os;
+  os << "in" << num_inputs;
+  for (const MicroOp& u : uops) {
+    os << ';' << mnemonic(u.op) << ' ' << static_cast<int>(u.dst) << ','
+       << static_cast<int>(u.a) << ',' << static_cast<int>(u.b) << ','
+       << u.imm;
+  }
+  return os.str();
+}
+
+void validate(int num_inputs, const std::vector<MicroOp>& uops) {
+  if (num_inputs < 0 || num_inputs > 2) {
+    throw std::invalid_argument("ExtInstDef: 0..2 inputs required");
+  }
+  if (uops.empty() || static_cast<int>(uops.size()) > kMaxUops) {
+    throw std::invalid_argument("ExtInstDef: 1.." + std::to_string(kMaxUops) +
+                                " micro-ops required");
+  }
+  int next_slot = 2;  // slots 0,1 reserved for inputs
+  for (const MicroOp& u : uops) {
+    const OpKind k = op_kind(u.op);
+    const bool alu_kind = k == OpKind::kAlu3 || k == OpKind::kShiftImm ||
+                          k == OpKind::kAluImm || k == OpKind::kLui;
+    if (!alu_kind) {
+      throw std::invalid_argument("ExtInstDef: non-ALU micro-op");
+    }
+    auto check_src = [&](std::int8_t s) {
+      if (s < 0 || s >= next_slot) {
+        throw std::invalid_argument("ExtInstDef: bad source slot");
+      }
+      if (s >= 2 || s < num_inputs) return;
+      throw std::invalid_argument("ExtInstDef: reads undefined input slot");
+    };
+    if (k == OpKind::kAlu3) {
+      check_src(u.a);
+      check_src(u.b);
+    } else if (k != OpKind::kLui) {
+      check_src(u.a);
+    }
+    if (u.dst != next_slot) {
+      throw std::invalid_argument("ExtInstDef: dst slots must be sequential");
+    }
+    ++next_slot;
+  }
+}
+
+}  // namespace
+
+ExtInstDef::ExtInstDef(int num_inputs, std::vector<MicroOp> uops)
+    : num_inputs_(num_inputs), uops_(std::move(uops)) {
+  validate(num_inputs_, uops_);
+  signature_ = make_signature(num_inputs_, uops_);
+}
+
+int ExtInstDef::base_cycles() const {
+  int cycles = 0;
+  for (const MicroOp& u : uops_) cycles += base_latency(u.op);
+  return cycles;
+}
+
+std::uint32_t ExtInstDef::eval(std::uint32_t in0, std::uint32_t in1) const {
+  std::uint32_t slots[2 + kMaxUops] = {in0, in1};
+  std::uint32_t result = 0;
+  for (const MicroOp& u : uops_) {
+    const OpKind k = op_kind(u.op);
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    switch (k) {
+      case OpKind::kAlu3:
+        a = slots[u.a];
+        b = slots[u.b];
+        break;
+      case OpKind::kShiftImm:
+        a = slots[u.a];
+        b = static_cast<std::uint32_t>(u.imm);
+        break;
+      case OpKind::kAluImm:
+        a = slots[u.a];
+        b = extend_imm(u.op, u.imm);
+        break;
+      case OpKind::kLui:
+        b = static_cast<std::uint32_t>(u.imm) & 0xFFFF;
+        break;
+      default:
+        assert(false);
+    }
+    result = eval_alu(u.op, a, b);
+    slots[u.dst] = result;
+  }
+  return result;
+}
+
+ConfId ExtInstTable::intern(ExtInstDef def) {
+  const auto it = by_signature_.find(def.signature());
+  if (it != by_signature_.end()) return it->second;
+  const ConfId id = static_cast<ConfId>(defs_.size());
+  if (id >= (1u << kConfBits)) {
+    throw std::length_error("ExtInstTable: Conf id space exhausted");
+  }
+  by_signature_.emplace(def.signature(), id);
+  defs_.push_back(std::move(def));
+  return id;
+}
+
+}  // namespace t1000

@@ -1,0 +1,91 @@
+// Extended-instruction definitions: the micro-programs a PFU configuration
+// implements, and the table that maps `Conf` ids to them.
+//
+// An extended instruction stands for a short dependent sequence of candidate
+// ALU operations (Section 2.1 of the paper). Its semantics are kept here as
+// a slot-based micro-program so the functional simulator can evaluate it and
+// the hardware-cost model can map it to LUTs. Slots 0 and 1 hold the (up to
+// two) register inputs; each micro-op writes a fresh slot; the final
+// micro-op's slot is the single register output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "isa/opcode.hpp"
+
+namespace t1000 {
+
+// One operation inside an extended instruction.
+//
+//  * `op` is a candidate ALU opcode (Alu3 / ShiftImm / AluImm / Lui kinds).
+//  * `a` / `b` are input slot indices; -1 means "unused" (LUI) or "the
+//    immediate" (`imm`) for ShiftImm / AluImm kinds.
+//  * `dst` is the slot the result lands in.
+struct MicroOp {
+  Opcode op = Opcode::kNop;
+  std::int8_t dst = -1;
+  std::int8_t a = -1;
+  std::int8_t b = -1;
+  std::int32_t imm = 0;
+
+  friend bool operator==(const MicroOp&, const MicroOp&) = default;
+};
+
+// Maximum micro-ops per extended instruction. The paper's greedy algorithm
+// finds sequences of 2..8 instructions; 8 is also the most that still
+// plausibly evaluates in a single PFU cycle.
+inline constexpr int kMaxUops = 8;
+
+class ExtInstDef {
+ public:
+  ExtInstDef() = default;
+  ExtInstDef(int num_inputs, std::vector<MicroOp> uops);
+
+  int num_inputs() const { return num_inputs_; }
+  const std::vector<MicroOp>& uops() const { return uops_; }
+  int length() const { return static_cast<int>(uops_.size()); }
+
+  // Cycles the sequence would take on the base machine (sum of base
+  // latencies of the fused ops); the PFU evaluates it in one cycle, so the
+  // per-execution saving is `base_cycles() - 1`.
+  int base_cycles() const;
+
+  // Evaluates the micro-program over the two register inputs.
+  std::uint32_t eval(std::uint32_t in0, std::uint32_t in1) const;
+
+  // Canonical textual identity; equal signatures <=> identical PFU
+  // configuration (the paper: "the latter two sequences perform the same
+  // operation, they share an identical PFU configuration").
+  const std::string& signature() const { return signature_; }
+
+  friend bool operator==(const ExtInstDef& x, const ExtInstDef& y) {
+    return x.signature_ == y.signature_;
+  }
+
+ private:
+  int num_inputs_ = 0;
+  std::vector<MicroOp> uops_;
+  std::string signature_;
+};
+
+// Conf-id table. Interning deduplicates by signature, so every distinct PFU
+// configuration gets exactly one id.
+class ExtInstTable {
+ public:
+  // Returns the existing id for an identical definition, or a fresh one.
+  ConfId intern(ExtInstDef def);
+
+  const ExtInstDef& at(ConfId id) const { return defs_.at(id); }
+  int size() const { return static_cast<int>(defs_.size()); }
+  const std::vector<ExtInstDef>& defs() const { return defs_; }
+
+ private:
+  std::vector<ExtInstDef> defs_;
+  std::unordered_map<std::string, ConfId> by_signature_;
+};
+
+}  // namespace t1000

@@ -1,0 +1,178 @@
+#include "isa/instruction.hpp"
+
+#include <sstream>
+
+namespace t1000 {
+
+SrcRegs src_regs(const Instruction& ins) {
+  SrcRegs out;
+  switch (op_kind(ins.op)) {
+    case OpKind::kAlu3:
+      out.reg[0] = ins.rs;
+      out.reg[1] = ins.rt;
+      out.count = 2;
+      break;
+    case OpKind::kShiftImm:
+    case OpKind::kAluImm:
+    case OpKind::kLoad:
+    case OpKind::kBranch1:
+      out.reg[0] = ins.rs;
+      out.count = 1;
+      break;
+    case OpKind::kStore:
+    case OpKind::kBranch2:
+      out.reg[0] = ins.rs;
+      out.reg[1] = ins.rt;
+      out.count = 2;
+      break;
+    case OpKind::kJumpReg:
+      out.reg[0] = ins.rs;
+      out.count = 1;
+      break;
+    case OpKind::kExt:
+      out.reg[0] = ins.rs;
+      out.reg[1] = ins.rt;
+      out.count = 2;
+      break;
+    case OpKind::kLui:
+    case OpKind::kJump:
+    case OpKind::kNop:
+    case OpKind::kHalt:
+      break;
+  }
+  return out;
+}
+
+std::optional<Reg> dst_reg(const Instruction& ins) {
+  Reg d = 0;
+  switch (op_kind(ins.op)) {
+    case OpKind::kAlu3:
+    case OpKind::kShiftImm:
+    case OpKind::kAluImm:
+    case OpKind::kLui:
+    case OpKind::kLoad:
+    case OpKind::kExt:
+      d = ins.rd;
+      break;
+    case OpKind::kJump:
+      if (ins.op == Opcode::kJal) d = kRegRa;
+      break;
+    case OpKind::kJumpReg:
+      if (ins.op == Opcode::kJalr) d = ins.rd;
+      break;
+    default:
+      break;
+  }
+  if (d == kRegZero) return std::nullopt;
+  return d;
+}
+
+bool reads_reg(const Instruction& ins, Reg r) {
+  const SrcRegs s = src_regs(ins);
+  for (int i = 0; i < s.count; ++i) {
+    if (s.reg[i] == r) return true;
+  }
+  return false;
+}
+
+bool writes_reg(const Instruction& ins, Reg r) {
+  const auto d = dst_reg(ins);
+  return d.has_value() && *d == r;
+}
+
+std::string to_string(const Instruction& ins) {
+  std::ostringstream os;
+  os << mnemonic(ins.op);
+  const auto r = [](Reg x) { return std::string(reg_name(x)); };
+  switch (op_kind(ins.op)) {
+    case OpKind::kAlu3:
+      os << ' ' << r(ins.rd) << ", " << r(ins.rs) << ", " << r(ins.rt);
+      break;
+    case OpKind::kShiftImm:
+    case OpKind::kAluImm:
+      os << ' ' << r(ins.rd) << ", " << r(ins.rs) << ", " << ins.imm;
+      break;
+    case OpKind::kLui:
+      os << ' ' << r(ins.rd) << ", " << ins.imm;
+      break;
+    case OpKind::kLoad:
+      os << ' ' << r(ins.rd) << ", " << ins.imm << '(' << r(ins.rs) << ')';
+      break;
+    case OpKind::kStore:
+      os << ' ' << r(ins.rt) << ", " << ins.imm << '(' << r(ins.rs) << ')';
+      break;
+    case OpKind::kBranch2:
+      os << ' ' << r(ins.rs) << ", " << r(ins.rt) << ", @" << ins.imm;
+      break;
+    case OpKind::kBranch1:
+      os << ' ' << r(ins.rs) << ", @" << ins.imm;
+      break;
+    case OpKind::kJump:
+      os << " @" << ins.imm;
+      break;
+    case OpKind::kJumpReg:
+      if (ins.op == Opcode::kJalr) {
+        os << ' ' << r(ins.rd) << ", " << r(ins.rs);
+      } else {
+        os << ' ' << r(ins.rs);
+      }
+      break;
+    case OpKind::kExt:
+      os << ' ' << r(ins.rd) << ", " << r(ins.rs) << ", " << r(ins.rt)
+         << ", conf=" << ins.conf;
+      break;
+    case OpKind::kNop:
+    case OpKind::kHalt:
+      break;
+  }
+  return os.str();
+}
+
+Instruction make_r(Opcode op, Reg rd, Reg rs, Reg rt) {
+  return {.op = op, .rd = rd, .rs = rs, .rt = rt};
+}
+
+Instruction make_shift(Opcode op, Reg rd, Reg rs, int shamt) {
+  return {.op = op, .rd = rd, .rs = rs, .imm = shamt};
+}
+
+Instruction make_imm(Opcode op, Reg rd, Reg rs, std::int32_t imm) {
+  return {.op = op, .rd = rd, .rs = rs, .imm = imm};
+}
+
+Instruction make_lui(Reg rd, std::int32_t imm) {
+  return {.op = Opcode::kLui, .rd = rd, .imm = imm};
+}
+
+Instruction make_mem(Opcode op, Reg data, Reg base, std::int32_t disp) {
+  if (is_store(op)) return {.op = op, .rs = base, .rt = data, .imm = disp};
+  return {.op = op, .rd = data, .rs = base, .imm = disp};
+}
+
+Instruction make_branch2(Opcode op, Reg rs, Reg rt, std::int32_t target) {
+  return {.op = op, .rs = rs, .rt = rt, .imm = target};
+}
+
+Instruction make_branch1(Opcode op, Reg rs, std::int32_t target) {
+  return {.op = op, .rs = rs, .imm = target};
+}
+
+Instruction make_jump(Opcode op, std::int32_t target) {
+  return {.op = op, .imm = target};
+}
+
+Instruction make_jr(Reg rs) { return {.op = Opcode::kJr, .rs = rs}; }
+
+Instruction make_jalr(Reg rd, Reg rs) {
+  return {.op = Opcode::kJalr, .rd = rd, .rs = rs};
+}
+
+Instruction make_ext(Reg rd, Reg rs, Reg rt, ConfId conf) {
+  return {.op = Opcode::kExt, .rd = rd, .rs = rs, .rt = rt, .conf = conf};
+}
+
+Instruction make_nop() { return {.op = Opcode::kNop}; }
+
+Instruction make_halt() { return {.op = Opcode::kHalt}; }
+
+}  // namespace t1000

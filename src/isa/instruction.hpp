@@ -1,0 +1,73 @@
+// The decoded instruction representation shared by the assembler, the
+// functional simulator, the selection algorithms, and the timing model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "isa/opcode.hpp"
+#include "isa/reg.hpp"
+
+namespace t1000 {
+
+// Configuration id carried by EXT instructions (the paper's `Conf` field).
+using ConfId = std::uint16_t;
+inline constexpr ConfId kInvalidConf = 0xFFFF;
+// Width of the Conf field in the binary encoding (Section 2.2 adds the
+// field to a register-register format; 11 bits fit in the shamt+funct
+// space of an R-type word).
+inline constexpr int kConfBits = 11;
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  Reg rd = 0;  // destination (also link register for jalr)
+  Reg rs = 0;  // first source / base address register
+  Reg rt = 0;  // second source / store data register
+  // Immediate: ALU immediate (sign/zero extension applied by the executor),
+  // shift amount, memory displacement, or an absolute instruction index for
+  // branch/jump targets.
+  std::int32_t imm = 0;
+  ConfId conf = kInvalidConf;  // EXT only
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+// Source registers read by `ins` (excluding the hardwired $zero is the
+// caller's business). At most two.
+struct SrcRegs {
+  std::array<Reg, 2> reg{};
+  int count = 0;
+};
+SrcRegs src_regs(const Instruction& ins);
+
+// Destination register written by `ins`, if any. Writes to $zero are
+// reported as no destination (they are architectural no-ops).
+std::optional<Reg> dst_reg(const Instruction& ins);
+
+// True when `ins` reads `r` / writes `r`.
+bool reads_reg(const Instruction& ins, Reg r);
+bool writes_reg(const Instruction& ins, Reg r);
+
+// Renders `ins` as assembly text; branch/jump targets are printed as
+// absolute instruction indices ("@12") unless the caller substitutes
+// symbols.
+std::string to_string(const Instruction& ins);
+
+// --- Factories (keep call sites terse in tests and workload builders) ---
+Instruction make_r(Opcode op, Reg rd, Reg rs, Reg rt);
+Instruction make_shift(Opcode op, Reg rd, Reg rs, int shamt);
+Instruction make_imm(Opcode op, Reg rd, Reg rs, std::int32_t imm);
+Instruction make_lui(Reg rd, std::int32_t imm);
+Instruction make_mem(Opcode op, Reg data, Reg base, std::int32_t disp);
+Instruction make_branch2(Opcode op, Reg rs, Reg rt, std::int32_t target);
+Instruction make_branch1(Opcode op, Reg rs, std::int32_t target);
+Instruction make_jump(Opcode op, std::int32_t target);
+Instruction make_jr(Reg rs);
+Instruction make_jalr(Reg rd, Reg rs);
+Instruction make_ext(Reg rd, Reg rs, Reg rt, ConfId conf);
+Instruction make_nop();
+Instruction make_halt();
+
+}  // namespace t1000

@@ -1,0 +1,74 @@
+#include "isa/opcode.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace t1000 {
+namespace {
+
+constexpr std::array<OpcodeInfo, kNumOpcodes> kInfo = {{
+    // mnemonic, kind, fu, latency, ext_candidate
+    {"addu", OpKind::kAlu3, FuClass::kIntAlu, 1, true},       // kAddu
+    {"subu", OpKind::kAlu3, FuClass::kIntAlu, 1, true},       // kSubu
+    {"and", OpKind::kAlu3, FuClass::kIntAlu, 1, true},        // kAnd
+    {"or", OpKind::kAlu3, FuClass::kIntAlu, 1, true},         // kOr
+    {"xor", OpKind::kAlu3, FuClass::kIntAlu, 1, true},        // kXor
+    {"nor", OpKind::kAlu3, FuClass::kIntAlu, 1, true},        // kNor
+    {"slt", OpKind::kAlu3, FuClass::kIntAlu, 1, true},        // kSlt
+    {"sltu", OpKind::kAlu3, FuClass::kIntAlu, 1, true},       // kSltu
+    // Variable shifts need a barrel shifter; they are legal instructions but
+    // poor PFU candidates (LUT cost), so they are excluded by default.
+    {"sllv", OpKind::kAlu3, FuClass::kIntAlu, 1, false},      // kSllv
+    {"srlv", OpKind::kAlu3, FuClass::kIntAlu, 1, false},      // kSrlv
+    {"srav", OpKind::kAlu3, FuClass::kIntAlu, 1, false},      // kSrav
+    {"mul", OpKind::kAlu3, FuClass::kIntMul, 3, false},       // kMul
+    {"sll", OpKind::kShiftImm, FuClass::kIntAlu, 1, true},    // kSll
+    {"srl", OpKind::kShiftImm, FuClass::kIntAlu, 1, true},    // kSrl
+    {"sra", OpKind::kShiftImm, FuClass::kIntAlu, 1, true},    // kSra
+    {"addiu", OpKind::kAluImm, FuClass::kIntAlu, 1, true},    // kAddiu
+    {"andi", OpKind::kAluImm, FuClass::kIntAlu, 1, true},     // kAndi
+    {"ori", OpKind::kAluImm, FuClass::kIntAlu, 1, true},      // kOri
+    {"xori", OpKind::kAluImm, FuClass::kIntAlu, 1, true},     // kXori
+    {"slti", OpKind::kAluImm, FuClass::kIntAlu, 1, true},     // kSlti
+    {"sltiu", OpKind::kAluImm, FuClass::kIntAlu, 1, true},    // kSltiu
+    {"lui", OpKind::kLui, FuClass::kIntAlu, 1, true},         // kLui
+    {"lw", OpKind::kLoad, FuClass::kMemRead, 1, false},       // kLw
+    {"lh", OpKind::kLoad, FuClass::kMemRead, 1, false},       // kLh
+    {"lhu", OpKind::kLoad, FuClass::kMemRead, 1, false},      // kLhu
+    {"lb", OpKind::kLoad, FuClass::kMemRead, 1, false},       // kLb
+    {"lbu", OpKind::kLoad, FuClass::kMemRead, 1, false},      // kLbu
+    {"sw", OpKind::kStore, FuClass::kMemWrite, 1, false},     // kSw
+    {"sh", OpKind::kStore, FuClass::kMemWrite, 1, false},     // kSh
+    {"sb", OpKind::kStore, FuClass::kMemWrite, 1, false},     // kSb
+    {"beq", OpKind::kBranch2, FuClass::kBranch, 1, false},    // kBeq
+    {"bne", OpKind::kBranch2, FuClass::kBranch, 1, false},    // kBne
+    {"blez", OpKind::kBranch1, FuClass::kBranch, 1, false},   // kBlez
+    {"bgtz", OpKind::kBranch1, FuClass::kBranch, 1, false},   // kBgtz
+    {"bltz", OpKind::kBranch1, FuClass::kBranch, 1, false},   // kBltz
+    {"bgez", OpKind::kBranch1, FuClass::kBranch, 1, false},   // kBgez
+    {"j", OpKind::kJump, FuClass::kBranch, 1, false},         // kJ
+    {"jal", OpKind::kJump, FuClass::kBranch, 1, false},       // kJal
+    {"jr", OpKind::kJumpReg, FuClass::kBranch, 1, false},     // kJr
+    {"jalr", OpKind::kJumpReg, FuClass::kBranch, 1, false},   // kJalr
+    {"nop", OpKind::kNop, FuClass::kNone, 1, false},          // kNop
+    {"halt", OpKind::kHalt, FuClass::kNone, 1, false},        // kHalt
+    {"ext", OpKind::kExt, FuClass::kPfu, 1, false},           // kExt
+}};
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  assert(op < Opcode::kNumOpcodes);
+  return kInfo[static_cast<std::size_t>(op)];
+}
+
+Opcode parse_mnemonic(std::string_view text) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    if (kInfo[static_cast<std::size_t>(i)].mnemonic == text) {
+      return static_cast<Opcode>(i);
+    }
+  }
+  return Opcode::kNumOpcodes;
+}
+
+}  // namespace t1000

@@ -1,0 +1,146 @@
+// Opcode definitions and static properties for the T1000 ISA.
+//
+// The ISA is a compact MIPS-like 32-bit RISC: it matches the SimpleScalar
+// PISA subset the paper's workloads exercise (integer ALU ops, shifts, a
+// single-register-result multiply, loads/stores, branches, jumps) plus the
+// EXT opcode that invokes a programmable functional unit with a `Conf`
+// configuration id, exactly as described in Section 2.2 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace t1000 {
+
+enum class Opcode : std::uint8_t {
+  // R-type, three-register ALU.
+  kAddu,
+  kSubu,
+  kAnd,
+  kOr,
+  kXor,
+  kNor,
+  kSlt,
+  kSltu,
+  kSllv,
+  kSrlv,
+  kSrav,
+  kMul,
+  // Shift by immediate (rd <- rs op shamt).
+  kSll,
+  kSrl,
+  kSra,
+  // I-type ALU (rd <- rs op imm).
+  kAddiu,
+  kAndi,
+  kOri,
+  kXori,
+  kSlti,
+  kSltiu,
+  kLui,  // rd <- imm << 16 (no register source)
+  // Memory (rd/rt <- mem[rs + imm] and mem[rs + imm] <- rt).
+  kLw,
+  kLh,
+  kLhu,
+  kLb,
+  kLbu,
+  kSw,
+  kSh,
+  kSb,
+  // Control flow. Branch/jump targets are absolute instruction indices in
+  // the assembled program (`imm` field); the binary encoding converts them
+  // to PC-relative / region forms.
+  kBeq,
+  kBne,
+  kBlez,
+  kBgtz,
+  kBltz,
+  kBgez,
+  kJ,
+  kJal,
+  kJr,
+  kJalr,
+  // Specials.
+  kNop,
+  kHalt,
+  // Extended instruction executed on a PFU; `conf` selects the
+  // configuration (micro-program) it expects to find loaded.
+  kExt,
+
+  kNumOpcodes,
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kNumOpcodes);
+
+// Functional-unit class an opcode issues to in the timing model.
+enum class FuClass : std::uint8_t {
+  kIntAlu,   // single-cycle integer ALU / shifter
+  kIntMul,   // pipelined multiplier
+  kMemRead,  // load port
+  kMemWrite, // store port
+  kBranch,   // resolved on an ALU port; grouped for stats
+  kPfu,      // programmable functional unit
+  kNone,     // nop / halt
+};
+
+// Coarse structural category used by the assembler, CFG builder and
+// extractor.
+enum class OpKind : std::uint8_t {
+  kAlu3,      // rd, rs, rt
+  kShiftImm,  // rd, rs, shamt
+  kAluImm,    // rd, rs, imm
+  kLui,       // rd, imm
+  kLoad,      // rd, imm(rs)
+  kStore,     // rt, imm(rs)
+  kBranch2,   // rs, rt, label
+  kBranch1,   // rs, label
+  kJump,      // label
+  kJumpReg,   // rs  (kJalr: rd, rs)
+  kNop,
+  kHalt,
+  kExt,       // rd, rs, rt, conf
+};
+
+struct OpcodeInfo {
+  std::string_view mnemonic;
+  OpKind kind;
+  FuClass fu;
+  // Execution latency on the base machine in cycles (loads: latency of the
+  // address-generation + cache hit; cache misses are added by the memory
+  // model).
+  std::uint8_t latency;
+  // Eligible for inclusion in an extended-instruction candidate sequence
+  // (the paper's "fixed instructions marked as candidates": arithmetic and
+  // logic operations; profiling later restricts them by operand bitwidth).
+  bool ext_candidate;
+};
+
+// Static properties of `op`. Table-driven; O(1).
+const OpcodeInfo& opcode_info(Opcode op);
+
+inline std::string_view mnemonic(Opcode op) { return opcode_info(op).mnemonic; }
+inline OpKind op_kind(Opcode op) { return opcode_info(op).kind; }
+inline FuClass fu_class(Opcode op) { return opcode_info(op).fu; }
+inline int base_latency(Opcode op) { return opcode_info(op).latency; }
+inline bool is_ext_candidate(Opcode op) { return opcode_info(op).ext_candidate; }
+
+inline bool is_load(Opcode op) { return op_kind(op) == OpKind::kLoad; }
+inline bool is_store(Opcode op) { return op_kind(op) == OpKind::kStore; }
+inline bool is_mem(Opcode op) { return is_load(op) || is_store(op); }
+inline bool is_branch(Opcode op) {
+  const OpKind k = op_kind(op);
+  return k == OpKind::kBranch1 || k == OpKind::kBranch2;
+}
+inline bool is_jump(Opcode op) {
+  const OpKind k = op_kind(op);
+  return k == OpKind::kJump || k == OpKind::kJumpReg;
+}
+// Any instruction that can transfer control somewhere other than pc+1.
+inline bool is_control(Opcode op) {
+  return is_branch(op) || is_jump(op) || op == Opcode::kHalt;
+}
+
+// Parses a mnemonic (e.g. "addu"); returns kNumOpcodes when unknown.
+Opcode parse_mnemonic(std::string_view text);
+
+}  // namespace t1000

@@ -1,0 +1,93 @@
+// MiniC abstract syntax tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace t1000::minic {
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor,
+  kShl, kShr,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kLogicalAnd, kLogicalOr,
+};
+
+enum class UnOp : std::uint8_t { kNeg, kNot, kLogicalNot };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kNumber,  // number
+    kVar,     // name
+    kIndex,   // name[lhs]
+    kUnary,   // un_op lhs
+    kBinary,  // lhs bin_op rhs
+    kAssign,  // target(kVar/kIndex) = rhs; reuses lhs as the target
+    kCall,    // name(args...)
+  };
+
+  Kind kind = Kind::kNumber;
+  int line = 0;
+  std::int32_t number = 0;
+  std::string name;
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    kExpr,      // expr;
+    kDecl,      // int name = init;   (init optional)
+    kIf,        // if (cond) then_body [else else_body]
+    kWhile,     // while (cond) body
+    kFor,       // for (init; cond; step) body   (each part optional)
+    kReturn,    // return [expr];
+    kBreak,
+    kContinue,
+    kBlock,     // { stmts... }
+  };
+
+  Kind kind = Kind::kExpr;
+  int line = 0;
+  std::string name;  // kDecl
+  ExprPtr expr;      // kExpr / kDecl init / kIf cond / kWhile cond /
+                     // kFor cond / kReturn value
+  ExprPtr step;      // kFor step expression
+  StmtPtr init;      // kFor init statement (decl or expr)
+  StmtPtr body;      // kIf then / loop body
+  StmtPtr else_body; // kIf else
+  std::vector<StmtPtr> stmts;  // kBlock
+};
+
+struct Function {
+  std::string name;
+  std::vector<std::string> params;  // up to 4
+  StmtPtr body;                     // kBlock
+  int line = 0;
+};
+
+struct Global {
+  std::string name;
+  int count = 1;  // 1 = scalar, >1 = array elements
+  std::vector<std::int32_t> init;  // empty = zero-initialized
+  int line = 0;
+};
+
+struct TranslationUnit {
+  std::vector<Global> globals;
+  std::vector<Function> functions;
+};
+
+}  // namespace t1000::minic

@@ -1,0 +1,733 @@
+#include "minic/codegen.hpp"
+
+#include "minic/token.hpp"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace t1000::minic {
+namespace {
+
+constexpr int kMaxRegStack = 8;   // $t0..$t7
+constexpr int kMaxRegLocals = 8;  // $s0..$s7
+
+struct GlobalInfo {
+  bool is_array = false;
+  int count = 1;
+};
+
+struct FunctionInfo {
+  int arity = 0;
+};
+
+struct LocalSlot {
+  bool in_reg = false;
+  int index = 0;  // $s index or overflow slot number
+};
+
+class Codegen {
+ public:
+  explicit Codegen(const TranslationUnit& unit) : unit_(unit) {}
+
+  std::string run() {
+    collect_symbols();
+    std::ostringstream out;
+    emit_data(out);
+    out << "        .text\n";
+    for (const Function& fn : unit_.functions) emit_function(out, fn);
+    if (need_divide_) emit_divide_runtime(out);
+    return out.str();
+  }
+
+ private:
+  // ---------- symbols ----------
+
+  void collect_symbols() {
+    for (const Global& g : unit_.globals) {
+      if (globals_.count(g.name) != 0) {
+        throw CompileError(g.line, "duplicate global '" + g.name + "'");
+      }
+      globals_[g.name] = {g.count > 1, g.count};
+    }
+    bool has_main = false;
+    for (const Function& fn : unit_.functions) {
+      if (functions_.count(fn.name) != 0) {
+        throw CompileError(fn.line, "duplicate function '" + fn.name + "'");
+      }
+      functions_[fn.name] = {static_cast<int>(fn.params.size())};
+      if (fn.name == "main") has_main = true;
+    }
+    if (!has_main) throw CompileError(1, "no 'main' function defined");
+  }
+
+  void emit_data(std::ostringstream& out) {
+    if (unit_.globals.empty()) return;
+    out << "        .data\n";
+    for (const Global& g : unit_.globals) {
+      out << g.name << ":";
+      if (g.init.empty()) {
+        out << " .space " << g.count * 4 << "\n";
+      } else {
+        out << " .word ";
+        for (int i = 0; i < g.count; ++i) {
+          if (i != 0) out << ", ";
+          out << (i < static_cast<int>(g.init.size()) ? g.init[static_cast<std::size_t>(i)] : 0);
+        }
+        out << "\n";
+      }
+    }
+  }
+
+  // ---------- per-function state ----------
+
+  std::string treg(int slot) const { return "$t" + std::to_string(slot); }
+  std::string sreg(int index) const { return "$s" + std::to_string(index); }
+
+  std::string new_label() { return "_L" + std::to_string(label_counter_++); }
+
+  void emit(const std::string& text) { body_ << "        " << text << "\n"; }
+  void emit_label(const std::string& label) { body_ << label << ":\n"; }
+
+  // Frame layout (relative to $sp after the prologue):
+  //   [0 .. 8*4)                  expression spill slots (one per t-reg)
+  //   [32 .. 32+overflow*4)       overflow locals
+  //   saved $s registers, then $ra at the top.
+  int spill_offset(int slot) const { return slot * 4; }
+  int overflow_offset(int index) const { return 32 + index * 4; }
+
+  // ---------- virtual expression stack ----------
+
+  // Brings stack slot `s` into a register, using `scratch` for spilled
+  // slots; returns the register name.
+  std::string slot_reg(int s, const char* scratch) {
+    if (s < kMaxRegStack) return treg(s);
+    emit("lw " + std::string(scratch) + ", " +
+         std::to_string(spill_offset(s % kMaxRegStack)) + "($sp)");
+    return scratch;
+  }
+
+  // Finishes producing a value for slot `s` currently in `reg`.
+  void finish_slot(int s, const std::string& reg) {
+    if (s < kMaxRegStack) {
+      if (reg != treg(s)) emit("move " + treg(s) + ", " + reg);
+    } else {
+      emit("sw " + reg + ", " + std::to_string(spill_offset(s % kMaxRegStack)) +
+           "($sp)");
+    }
+  }
+
+  // Register to compute slot `s` into directly.
+  std::string target_reg(int s) const {
+    return s < kMaxRegStack ? "$t" + std::to_string(s) : "$t8";
+  }
+
+  // ---------- expressions ----------
+
+  bool fits_s16(std::int64_t v) const { return v >= -0x8000 && v <= 0x7FFF; }
+  bool fits_u16(std::int64_t v) const { return v >= 0 && v <= 0xFFFF; }
+
+  static std::optional<int> log2_exact(std::int32_t v) {
+    if (v <= 0 || (v & (v - 1)) != 0) return std::nullopt;
+    int n = 0;
+    while ((v >> n) != 1) ++n;
+    return n;
+  }
+
+  // Generates `e` into stack slot `depth`; returns with one more live slot.
+  void gen_expr(const Expr& e, int depth) {
+    if (depth >= kMaxRegStack * 2) {
+      throw CompileError(e.line, "expression too deep");
+    }
+    switch (e.kind) {
+      case Expr::Kind::kNumber: {
+        const std::string rd = target_reg(depth);
+        emit("li " + rd + ", " + std::to_string(e.number));
+        finish_slot(depth, rd);
+        return;
+      }
+      case Expr::Kind::kVar:
+        gen_var_read(e, depth);
+        return;
+      case Expr::Kind::kIndex:
+        gen_index_read(e, depth);
+        return;
+      case Expr::Kind::kUnary:
+        gen_unary(e, depth);
+        return;
+      case Expr::Kind::kBinary:
+        gen_binary(e, depth);
+        return;
+      case Expr::Kind::kAssign:
+        gen_assign(e, depth);
+        return;
+      case Expr::Kind::kCall:
+        gen_call(e, depth);
+        return;
+    }
+  }
+
+  void gen_var_read(const Expr& e, int depth) {
+    const std::string rd = target_reg(depth);
+    if (const LocalSlot* local = find_local(e.name)) {
+      if (local->in_reg) {
+        emit("move " + rd + ", " + sreg(local->index));
+      } else {
+        emit("lw " + rd + ", " + std::to_string(overflow_offset(local->index)) +
+             "($sp)");
+      }
+      finish_slot(depth, rd);
+      return;
+    }
+    const auto g = globals_.find(e.name);
+    if (g == globals_.end()) {
+      throw CompileError(e.line, "unknown variable '" + e.name + "'");
+    }
+    if (g->second.is_array) {
+      throw CompileError(e.line, "'" + e.name + "' is an array; index it");
+    }
+    emit("la $t9, " + e.name);
+    emit("lw " + rd + ", 0($t9)");
+    finish_slot(depth, rd);
+  }
+
+  // Leaves the element's byte address in $t9.
+  void gen_index_address(const Expr& e, int depth) {
+    const auto g = globals_.find(e.name);
+    if (g == globals_.end() || !g->second.is_array) {
+      if (find_local(e.name) || g != globals_.end()) {
+        throw CompileError(e.line, "'" + e.name + "' is not an array");
+      }
+      throw CompileError(e.line, "unknown array '" + e.name + "'");
+    }
+    gen_expr(*e.lhs, depth);
+    const std::string idx = slot_reg(depth, "$t8");
+    emit("sll $t9, " + idx + ", 2");
+    emit("la $t8, " + e.name);
+    emit("addu $t9, $t9, $t8");
+  }
+
+  void gen_index_read(const Expr& e, int depth) {
+    gen_index_address(e, depth);
+    const std::string rd = target_reg(depth);
+    emit("lw " + rd + ", 0($t9)");
+    finish_slot(depth, rd);
+  }
+
+  void gen_unary(const Expr& e, int depth) {
+    gen_expr(*e.lhs, depth);
+    const std::string src = slot_reg(depth, "$t8");
+    const std::string rd = target_reg(depth);
+    switch (e.un_op) {
+      case UnOp::kNeg: emit("subu " + rd + ", $zero, " + src); break;
+      case UnOp::kNot: emit("nor " + rd + ", " + src + ", $zero"); break;
+      case UnOp::kLogicalNot: emit("sltiu " + rd + ", " + src + ", 1"); break;
+    }
+    finish_slot(depth, rd);
+  }
+
+  // Immediate-folded binary op, when the rhs is a literal with a matching
+  // immediate form. Returns true when handled.
+  bool gen_binary_imm(const Expr& e, int depth) {
+    if (e.rhs->kind != Expr::Kind::kNumber) return false;
+    const std::int32_t v = e.rhs->number;
+    const char* op = nullptr;
+    std::int64_t imm = v;
+    switch (e.bin_op) {
+      case BinOp::kAdd: if (fits_s16(v)) op = "addiu"; break;
+      case BinOp::kSub: if (fits_s16(-static_cast<std::int64_t>(v))) { op = "addiu"; imm = -static_cast<std::int64_t>(v); } break;
+      case BinOp::kAnd: if (fits_u16(v)) op = "andi"; break;
+      case BinOp::kOr:  if (fits_u16(v)) op = "ori"; break;
+      case BinOp::kXor: if (fits_u16(v)) op = "xori"; break;
+      case BinOp::kShl: if (v >= 0 && v <= 31) op = "sll"; break;
+      case BinOp::kShr: if (v >= 0 && v <= 31) op = "sra"; break;
+      case BinOp::kLt:  if (fits_s16(v)) op = "slti"; break;
+      case BinOp::kMul:
+        if (const auto sh = log2_exact(v)) {
+          gen_expr(*e.lhs, depth);
+          const std::string src = slot_reg(depth, "$t8");
+          const std::string rd = target_reg(depth);
+          emit("sll " + rd + ", " + src + ", " + std::to_string(*sh));
+          finish_slot(depth, rd);
+          return true;
+        }
+        break;
+      default: break;
+    }
+    if (op == nullptr) return false;
+    gen_expr(*e.lhs, depth);
+    const std::string src = slot_reg(depth, "$t8");
+    const std::string rd = target_reg(depth);
+    emit(std::string(op) + " " + rd + ", " + src + ", " + std::to_string(imm));
+    finish_slot(depth, rd);
+    return true;
+  }
+
+  void gen_binary(const Expr& e, int depth) {
+    if (e.bin_op == BinOp::kLogicalAnd || e.bin_op == BinOp::kLogicalOr) {
+      gen_logical(e, depth);
+      return;
+    }
+    if (e.bin_op == BinOp::kDiv || e.bin_op == BinOp::kRem) {
+      gen_divide(e, depth);
+      return;
+    }
+    if (gen_binary_imm(e, depth)) return;
+
+    gen_expr(*e.lhs, depth);
+    gen_expr(*e.rhs, depth + 1);
+    const std::string a = slot_reg(depth, "$t8");
+    const std::string b = slot_reg(depth + 1, "$t9");
+    const std::string rd = target_reg(depth);
+    switch (e.bin_op) {
+      case BinOp::kAdd: emit("addu " + rd + ", " + a + ", " + b); break;
+      case BinOp::kSub: emit("subu " + rd + ", " + a + ", " + b); break;
+      case BinOp::kMul: emit("mul " + rd + ", " + a + ", " + b); break;
+      case BinOp::kAnd: emit("and " + rd + ", " + a + ", " + b); break;
+      case BinOp::kOr:  emit("or " + rd + ", " + a + ", " + b); break;
+      case BinOp::kXor: emit("xor " + rd + ", " + a + ", " + b); break;
+      case BinOp::kShl: emit("sllv " + rd + ", " + a + ", " + b); break;
+      case BinOp::kShr: emit("srav " + rd + ", " + a + ", " + b); break;
+      case BinOp::kLt:  emit("slt " + rd + ", " + a + ", " + b); break;
+      case BinOp::kGt:  emit("slt " + rd + ", " + b + ", " + a); break;
+      case BinOp::kLe:
+        emit("slt " + rd + ", " + b + ", " + a);
+        emit("xori " + rd + ", " + rd + ", 1");
+        break;
+      case BinOp::kGe:
+        emit("slt " + rd + ", " + a + ", " + b);
+        emit("xori " + rd + ", " + rd + ", 1");
+        break;
+      case BinOp::kEq:
+        emit("xor " + rd + ", " + a + ", " + b);
+        emit("sltiu " + rd + ", " + rd + ", 1");
+        break;
+      case BinOp::kNe:
+        emit("xor " + rd + ", " + a + ", " + b);
+        emit("sltu " + rd + ", $zero, " + rd);
+        break;
+      default:
+        throw CompileError(e.line, "internal: unhandled binary op");
+    }
+    finish_slot(depth, rd);
+  }
+
+  void gen_logical(const Expr& e, int depth) {
+    const std::string done = new_label();
+    const std::string rd = target_reg(depth);
+    gen_expr(*e.lhs, depth);
+    {
+      const std::string a = slot_reg(depth, "$t8");
+      emit("sltu " + rd + ", $zero, " + a);  // normalize to 0/1
+      finish_slot(depth, rd);
+      const std::string cur = slot_reg(depth, "$t8");
+      if (e.bin_op == BinOp::kLogicalAnd) {
+        emit("beq " + cur + ", $zero, " + done);
+      } else {
+        emit("bne " + cur + ", $zero, " + done);
+      }
+    }
+    gen_expr(*e.rhs, depth);  // overwrites the same slot
+    {
+      const std::string b = slot_reg(depth, "$t8");
+      const std::string rd2 = target_reg(depth);
+      emit("sltu " + rd2 + ", $zero, " + b);
+      finish_slot(depth, rd2);
+    }
+    emit_label(done);
+  }
+
+  void gen_divide(const Expr& e, int depth) {
+    need_divide_ = true;
+    gen_expr(*e.lhs, depth);
+    gen_expr(*e.rhs, depth + 1);
+    // Spill every live slot below `depth` (caller-saved temps).
+    save_live_slots(depth);
+    emit("move $a0, " + slot_reg(depth, "$t8"));
+    emit("move $a1, " + slot_reg(depth + 1, "$t9"));
+    emit(e.bin_op == BinOp::kDiv ? "jal __div" : "jal __rem");
+    restore_live_slots(depth);
+    finish_slot(depth, "$v0");
+  }
+
+  void gen_call(const Expr& e, int depth) {
+    const auto fn = functions_.find(e.name);
+    if (fn == functions_.end()) {
+      throw CompileError(e.line, "unknown function '" + e.name + "'");
+    }
+    if (fn->second.arity != static_cast<int>(e.args.size())) {
+      throw CompileError(e.line, "'" + e.name + "' expects " +
+                                     std::to_string(fn->second.arity) +
+                                     " argument(s)");
+    }
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      gen_expr(*e.args[i], depth + static_cast<int>(i));
+    }
+    save_live_slots(depth);
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      const std::string src =
+          slot_reg(depth + static_cast<int>(i), "$t8");
+      emit("move $a" + std::to_string(i) + ", " + src);
+    }
+    emit("jal " + e.name);
+    restore_live_slots(depth);
+    finish_slot(depth, "$v0");
+  }
+
+  // Calls clobber $t0..$t7: park live low slots in their frame spill homes.
+  void save_live_slots(int depth) {
+    for (int s = 0; s < depth && s < kMaxRegStack; ++s) {
+      emit("sw " + treg(s) + ", " + std::to_string(spill_offset(s)) + "($sp)");
+    }
+  }
+  void restore_live_slots(int depth) {
+    for (int s = 0; s < depth && s < kMaxRegStack; ++s) {
+      emit("lw " + treg(s) + ", " + std::to_string(spill_offset(s)) + "($sp)");
+    }
+  }
+
+  void gen_assign(const Expr& e, int depth) {
+    const Expr& target = *e.lhs;
+    if (target.kind == Expr::Kind::kVar) {
+      gen_expr(*e.rhs, depth);
+      const std::string val = slot_reg(depth, "$t8");
+      if (const LocalSlot* local = find_local(target.name)) {
+        if (local->in_reg) {
+          emit("move " + sreg(local->index) + ", " + val);
+        } else {
+          emit("sw " + val + ", " +
+               std::to_string(overflow_offset(local->index)) + "($sp)");
+        }
+        return;
+      }
+      const auto g = globals_.find(target.name);
+      if (g == globals_.end()) {
+        throw CompileError(target.line, "unknown variable '" + target.name + "'");
+      }
+      if (g->second.is_array) {
+        throw CompileError(target.line, "cannot assign a whole array");
+      }
+      emit("la $t9, " + target.name);
+      emit("sw " + val + ", 0($t9)");
+      return;
+    }
+    // target is name[idx]: evaluate rhs, then the address (so the value
+    // survives in its slot while $t8/$t9 are used for addressing).
+    gen_expr(*e.rhs, depth);
+    gen_index_address(target, depth + 1);
+    const std::string val = slot_reg(depth, "$t8");
+    emit("sw " + val + ", 0($t9)");
+  }
+
+  // ---------- statements ----------
+
+  struct LoopLabels {
+    std::string continue_label;
+    std::string break_label;
+  };
+
+  void gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kExpr:
+        gen_expr(*s.expr, 0);
+        return;
+      case Stmt::Kind::kDecl: {
+        const LocalSlot slot = declare_local(s);
+        if (s.expr != nullptr) {
+          gen_expr(*s.expr, 0);
+          const std::string val = slot_reg(0, "$t8");
+          if (slot.in_reg) {
+            emit("move " + sreg(slot.index) + ", " + val);
+          } else {
+            emit("sw " + val + ", " +
+                 std::to_string(overflow_offset(slot.index)) + "($sp)");
+          }
+        } else if (slot.in_reg) {
+          emit("move " + sreg(slot.index) + ", $zero");
+        } else {
+          emit("sw $zero, " + std::to_string(overflow_offset(slot.index)) +
+               "($sp)");
+        }
+        return;
+      }
+      case Stmt::Kind::kIf: {
+        const std::string else_label = new_label();
+        gen_branch_if_false(*s.expr, else_label);
+        gen_stmt(*s.body);
+        if (s.else_body != nullptr) {
+          const std::string end_label = new_label();
+          emit("j " + end_label);
+          emit_label(else_label);
+          gen_stmt(*s.else_body);
+          emit_label(end_label);
+        } else {
+          emit_label(else_label);
+        }
+        return;
+      }
+      case Stmt::Kind::kWhile: {
+        const std::string head = new_label();
+        const std::string exit = new_label();
+        emit_label(head);
+        gen_branch_if_false(*s.expr, exit);
+        loops_.push_back({head, exit});
+        gen_stmt(*s.body);
+        loops_.pop_back();
+        emit("j " + head);
+        emit_label(exit);
+        return;
+      }
+      case Stmt::Kind::kFor: {
+        push_scope();
+        if (s.init != nullptr) gen_stmt(*s.init);
+        const std::string head = new_label();
+        const std::string step = new_label();
+        const std::string exit = new_label();
+        emit_label(head);
+        if (s.expr != nullptr) gen_branch_if_false(*s.expr, exit);
+        loops_.push_back({step, exit});
+        gen_stmt(*s.body);
+        loops_.pop_back();
+        emit_label(step);
+        if (s.step != nullptr) gen_expr(*s.step, 0);
+        emit("j " + head);
+        emit_label(exit);
+        pop_scope();
+        return;
+      }
+      case Stmt::Kind::kReturn:
+        if (s.expr != nullptr) {
+          gen_expr(*s.expr, 0);
+          emit("move $v0, " + slot_reg(0, "$t8"));
+        } else {
+          emit("move $v0, $zero");
+        }
+        emit("j " + return_label_);
+        return;
+      case Stmt::Kind::kBreak:
+        if (loops_.empty()) throw CompileError(s.line, "break outside a loop");
+        emit("j " + loops_.back().break_label);
+        return;
+      case Stmt::Kind::kContinue:
+        if (loops_.empty()) {
+          throw CompileError(s.line, "continue outside a loop");
+        }
+        emit("j " + loops_.back().continue_label);
+        return;
+      case Stmt::Kind::kBlock:
+        push_scope();
+        for (const StmtPtr& child : s.stmts) gen_stmt(*child);
+        pop_scope();
+        return;
+    }
+  }
+
+  // Branches to `target` when `cond` is false, specializing comparisons.
+  void gen_branch_if_false(const Expr& cond, const std::string& target) {
+    if (cond.kind == Expr::Kind::kBinary) {
+      const char* op = nullptr;
+      bool swap = false;
+      switch (cond.bin_op) {
+        case BinOp::kEq: op = "bne"; break;
+        case BinOp::kNe: op = "beq"; break;
+        case BinOp::kLt: op = "bge"; break;
+        case BinOp::kGe: op = "blt"; break;
+        case BinOp::kGt: op = "bge"; swap = true; break;
+        case BinOp::kLe: op = "blt"; swap = true; break;
+        default: break;
+      }
+      if (op != nullptr) {
+        gen_expr(*cond.lhs, 0);
+        gen_expr(*cond.rhs, 1);
+        std::string a = slot_reg(0, "$t8");
+        std::string b = slot_reg(1, "$t9");
+        if (swap) std::swap(a, b);
+        emit(std::string(op) + " " + a + ", " + b + ", " + target);
+        return;
+      }
+    }
+    gen_expr(cond, 0);
+    emit("beq " + slot_reg(0, "$t8") + ", $zero, " + target);
+  }
+
+  // ---------- locals & scopes ----------
+
+  const LocalSlot* find_local(const std::string& name) const {
+    for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+      const auto it = scope->find(name);
+      if (it != scope->end()) return &it->second;
+    }
+    return nullptr;
+  }
+
+  LocalSlot declare_local(const Stmt& decl) {
+    if (scopes_.back().count(decl.name) != 0) {
+      throw CompileError(decl.line, "duplicate local '" + decl.name + "'");
+    }
+    LocalSlot slot;
+    if (next_local_ < kMaxRegLocals) {
+      slot.in_reg = true;
+      slot.index = next_local_;
+      used_s_regs_ = std::max(used_s_regs_, next_local_ + 1);
+    } else {
+      slot.in_reg = false;
+      slot.index = next_local_ - kMaxRegLocals;
+      overflow_locals_ = std::max(overflow_locals_, slot.index + 1);
+    }
+    ++next_local_;
+    scopes_.back()[decl.name] = slot;
+    return slot;
+  }
+
+  void push_scope() {
+    scopes_.emplace_back();
+    scope_marks_.push_back(next_local_);
+  }
+  void pop_scope() {
+    scopes_.pop_back();
+    next_local_ = scope_marks_.back();
+    scope_marks_.pop_back();
+  }
+
+  // ---------- functions ----------
+
+  void emit_function(std::ostringstream& out, const Function& fn) {
+    body_.str("");
+    body_.clear();
+    scopes_.clear();
+    scope_marks_.clear();
+    loops_.clear();
+    next_local_ = 0;
+    used_s_regs_ = 0;
+    overflow_locals_ = 0;
+    return_label_ = new_label();
+
+    push_scope();
+    // Parameters become the first locals.
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      Stmt decl;
+      decl.name = fn.params[i];
+      decl.line = fn.line;
+      const LocalSlot slot = declare_local(decl);
+      if (slot.in_reg) {
+        emit("move " + sreg(slot.index) + ", $a" + std::to_string(i));
+      } else {
+        emit("sw $a" + std::to_string(i) + ", " +
+             std::to_string(overflow_offset(slot.index)) + "($sp)");
+      }
+    }
+    gen_stmt(*fn.body);
+    pop_scope();
+
+    // Frame: 8 spill slots + overflow locals + saved $s + $ra, 8-aligned.
+    const int saved = used_s_regs_ + 1;  // +1 for $ra
+    int frame = 32 + overflow_locals_ * 4 + saved * 4;
+    frame = (frame + 7) & ~7;
+    const int ra_off = frame - 4;
+    auto s_off = [&](int i) { return frame - 8 - i * 4; };
+
+    out << fn.name << ":\n";
+    out << "        addiu $sp, $sp, -" << frame << "\n";
+    out << "        sw $ra, " << ra_off << "($sp)\n";
+    for (int i = 0; i < used_s_regs_; ++i) {
+      out << "        sw " << sreg(i) << ", " << s_off(i) << "($sp)\n";
+    }
+    out << body_.str();
+    out << "        move $v0, $zero\n";  // fall-off-the-end returns 0
+    out << return_label_ << ":\n";
+    for (int i = 0; i < used_s_regs_; ++i) {
+      out << "        lw " << sreg(i) << ", " << s_off(i) << "($sp)\n";
+    }
+    out << "        lw $ra, " << ra_off << "($sp)\n";
+    out << "        addiu $sp, $sp, " << frame << "\n";
+    out << "        jr $ra\n";
+  }
+
+  // ---------- division runtime ----------
+
+  void emit_divide_runtime(std::ostringstream& out) {
+    out << R"(
+# --- software divide runtime (restoring division) ---
+__udivmod:                     # ($a0, $a1) -> $v0 quotient, $v1 remainder
+        li   $v0, 0
+        li   $v1, 0
+        li   $t8, 32
+__udm_loop:
+        sll  $v1, $v1, 1
+        srl  $t9, $a0, 31
+        or   $v1, $v1, $t9
+        sll  $a0, $a0, 1
+        sll  $v0, $v0, 1
+        sltu $t9, $v1, $a1
+        bne  $t9, $zero, __udm_skip
+        subu $v1, $v1, $a1
+        ori  $v0, $v0, 1
+__udm_skip:
+        addiu $t8, $t8, -1
+        bgtz $t8, __udm_loop
+        jr   $ra
+__div:                          # C-style truncating signed divide
+        addiu $sp, $sp, -8
+        sw   $ra, 4($sp)
+        xor  $t8, $a0, $a1      # quotient sign
+        sw   $t8, 0($sp)
+        bgez $a0, __div_a
+        subu $a0, $zero, $a0
+__div_a:
+        bgez $a1, __div_b
+        subu $a1, $zero, $a1
+__div_b:
+        jal  __udivmod
+        lw   $t8, 0($sp)
+        bgez $t8, __div_done
+        subu $v0, $zero, $v0
+__div_done:
+        lw   $ra, 4($sp)
+        addiu $sp, $sp, 8
+        jr   $ra
+__rem:                          # remainder keeps the dividend's sign
+        addiu $sp, $sp, -8
+        sw   $ra, 4($sp)
+        sw   $a0, 0($sp)
+        bgez $a0, __rem_a
+        subu $a0, $zero, $a0
+__rem_a:
+        bgez $a1, __rem_b
+        subu $a1, $zero, $a1
+__rem_b:
+        jal  __udivmod
+        lw   $t8, 0($sp)
+        move $v0, $v1
+        bgez $t8, __rem_done
+        subu $v0, $zero, $v0
+__rem_done:
+        lw   $ra, 4($sp)
+        addiu $sp, $sp, 8
+        jr   $ra
+)";
+  }
+
+  const TranslationUnit& unit_;
+  std::map<std::string, GlobalInfo> globals_;
+  std::map<std::string, FunctionInfo> functions_;
+
+  std::ostringstream body_;
+  std::vector<std::map<std::string, LocalSlot>> scopes_;
+  std::vector<int> scope_marks_;
+  std::vector<LoopLabels> loops_;
+  std::string return_label_;
+  int label_counter_ = 0;
+  int next_local_ = 0;
+  int used_s_regs_ = 0;
+  int overflow_locals_ = 0;
+  bool need_divide_ = false;
+};
+
+}  // namespace
+
+std::string generate(const TranslationUnit& unit) {
+  return Codegen(unit).run();
+}
+
+}  // namespace t1000::minic

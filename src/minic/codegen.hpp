@@ -1,0 +1,30 @@
+// MiniC code generation to T1000 assembly text.
+//
+// Conventions:
+//  * locals and parameters live in callee-saved $s0..$s7 (overflow spills to
+//    the frame), so compiled inner loops produce the register-resident
+//    dependent ALU chains the extended-instruction selector mines;
+//  * expressions evaluate on a virtual stack mapped to $t0..$t7 with frame
+//    spilling beyond eight live temporaries; $t8/$t9 are scratch;
+//  * arguments pass in $a0..$a3, results in $v0; $ra and used $s registers
+//    are saved in the prologue;
+//  * `/` and `%` lower to calls into an emitted software divide routine
+//    (restoring division; C-style truncation semantics; division by zero
+//    returns unspecified values, as on real hardware without traps);
+//  * immediate operands fold into addiu/andi/ori/xori/sll/sra/slti forms,
+//    and multiplication by powers of two becomes a shift, matching what a
+//    1990s optimizing compiler would feed the paper's selector.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace t1000::minic {
+
+// Generates a complete assembly module (data + text + runtime helpers).
+// Throws CompileError on semantic errors (unknown names, arity mismatches,
+// assigning to arrays without an index, ...).
+std::string generate(const TranslationUnit& unit);
+
+}  // namespace t1000::minic

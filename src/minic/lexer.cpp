@@ -1,0 +1,154 @@
+#include <cctype>
+
+#include "minic/token.hpp"
+
+namespace t1000::minic {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+Tok keyword_or_ident(const std::string& text) {
+  if (text == "int") return Tok::kInt;
+  if (text == "if") return Tok::kIf;
+  if (text == "else") return Tok::kElse;
+  if (text == "while") return Tok::kWhile;
+  if (text == "for") return Tok::kFor;
+  if (text == "return") return Tok::kReturn;
+  if (text == "break") return Tok::kBreak;
+  if (text == "continue") return Tok::kContinue;
+  return Tok::kIdent;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto push = [&](Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) throw CompileError(line, "unterminated comment");
+      i += 2;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t value = 0;
+      int base = 10;
+      if (c == '0' && i + 1 < n && (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+        if (i >= n || !std::isxdigit(static_cast<unsigned char>(source[i]))) {
+          throw CompileError(line, "malformed hex literal");
+        }
+      }
+      while (i < n &&
+             (base == 16 ? std::isxdigit(static_cast<unsigned char>(source[i])) != 0
+                         : std::isdigit(static_cast<unsigned char>(source[i])) != 0)) {
+        const char d = source[i];
+        const int digit = d <= '9' ? d - '0' : (d | 0x20) - 'a' + 10;
+        value = value * base + digit;
+        if (value > 0xFFFFFFFFll) throw CompileError(line, "literal overflows 32 bits");
+        ++i;
+      }
+      Token t;
+      t.kind = Tok::kNumber;
+      t.number = value;
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && ident_char(source[i])) ++i;
+      Token t;
+      t.text = source.substr(start, i - start);
+      t.kind = keyword_or_ident(t.text);
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    auto two = [&](char second) {
+      return i + 1 < n && source[i + 1] == second;
+    };
+    switch (c) {
+      case '(': push(Tok::kLParen); ++i; break;
+      case ')': push(Tok::kRParen); ++i; break;
+      case '{': push(Tok::kLBrace); ++i; break;
+      case '}': push(Tok::kRBrace); ++i; break;
+      case '[': push(Tok::kLBracket); ++i; break;
+      case ']': push(Tok::kRBracket); ++i; break;
+      case ',': push(Tok::kComma); ++i; break;
+      case ';': push(Tok::kSemi); ++i; break;
+      case '+': push(Tok::kPlus); ++i; break;
+      case '-': push(Tok::kMinus); ++i; break;
+      case '*': push(Tok::kStar); ++i; break;
+      case '/': push(Tok::kSlash); ++i; break;
+      case '%': push(Tok::kPercent); ++i; break;
+      case '~': push(Tok::kTilde); ++i; break;
+      case '^': push(Tok::kCaret); ++i; break;
+      case '&':
+        if (two('&')) { push(Tok::kAndAnd); i += 2; } else { push(Tok::kAmp); ++i; }
+        break;
+      case '|':
+        if (two('|')) { push(Tok::kOrOr); i += 2; } else { push(Tok::kPipe); ++i; }
+        break;
+      case '<':
+        if (two('<')) { push(Tok::kShl); i += 2; }
+        else if (two('=')) { push(Tok::kLe); i += 2; }
+        else { push(Tok::kLt); ++i; }
+        break;
+      case '>':
+        if (two('>')) { push(Tok::kShr); i += 2; }
+        else if (two('=')) { push(Tok::kGe); i += 2; }
+        else { push(Tok::kGt); ++i; }
+        break;
+      case '=':
+        if (two('=')) { push(Tok::kEq); i += 2; } else { push(Tok::kAssign); ++i; }
+        break;
+      case '!':
+        if (two('=')) { push(Tok::kNe); i += 2; } else { push(Tok::kBang); ++i; }
+        break;
+      default:
+        throw CompileError(line, std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(Tok::kEof);
+  return out;
+}
+
+}  // namespace t1000::minic

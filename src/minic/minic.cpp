@@ -1,0 +1,11 @@
+#include "minic/minic.hpp"
+
+#include "asmkit/assembler.hpp"
+
+namespace t1000::minic {
+
+Program compile(const std::string& source) {
+  return assemble(compile_to_assembly(source));
+}
+
+}  // namespace t1000::minic

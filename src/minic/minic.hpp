@@ -1,0 +1,23 @@
+// MiniC public entry points.
+#pragma once
+
+#include <string>
+
+#include "asmkit/program.hpp"
+#include "minic/ast.hpp"
+#include "minic/codegen.hpp"
+#include "minic/parser.hpp"
+#include "minic/token.hpp"
+
+namespace t1000::minic {
+
+// Source -> T1000 assembly text.
+inline std::string compile_to_assembly(const std::string& source) {
+  return generate(parse(lex(source)));
+}
+
+// Source -> assembled program, ready for the simulator and the
+// extended-instruction pipeline.
+Program compile(const std::string& source);
+
+}  // namespace t1000::minic

@@ -1,0 +1,427 @@
+#include "minic/parser.hpp"
+
+namespace t1000::minic {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  TranslationUnit run() {
+    TranslationUnit unit;
+    while (!at(Tok::kEof)) {
+      expect(Tok::kInt, "expected 'int' at top level");
+      const Token name = expect(Tok::kIdent, "expected a name");
+      if (at(Tok::kLParen)) {
+        unit.functions.push_back(parse_function(name));
+      } else {
+        unit.globals.push_back(parse_global(name));
+      }
+    }
+    return unit;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool at(Tok kind) const { return peek().kind == kind; }
+  Token advance() { return tokens_[pos_++]; }
+  bool accept(Tok kind) {
+    if (!at(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  Token expect(Tok kind, const char* what) {
+    if (!at(kind)) throw CompileError(peek().line, what);
+    return advance();
+  }
+
+  // --- declarations ---
+
+  Global parse_global(const Token& name) {
+    Global g;
+    g.name = name.text;
+    g.line = name.line;
+    if (accept(Tok::kLBracket)) {
+      const Token count = expect(Tok::kNumber, "expected array size");
+      if (count.number <= 0 || count.number > (1 << 20)) {
+        throw CompileError(count.line, "bad array size");
+      }
+      g.count = static_cast<int>(count.number);
+      expect(Tok::kRBracket, "expected ']'");
+    }
+    if (accept(Tok::kAssign)) {
+      if (accept(Tok::kLBrace)) {
+        do {
+          g.init.push_back(parse_const());
+        } while (accept(Tok::kComma));
+        expect(Tok::kRBrace, "expected '}'");
+        if (static_cast<int>(g.init.size()) > g.count) {
+          throw CompileError(g.line, "too many initializers");
+        }
+      } else {
+        g.init.push_back(parse_const());
+      }
+    }
+    expect(Tok::kSemi, "expected ';'");
+    return g;
+  }
+
+  std::int32_t parse_const() {
+    const bool neg = accept(Tok::kMinus);
+    const Token num = expect(Tok::kNumber, "expected a constant");
+    const std::int64_t v = neg ? -num.number : num.number;
+    return static_cast<std::int32_t>(v);
+  }
+
+  Function parse_function(const Token& name) {
+    Function fn;
+    fn.name = name.text;
+    fn.line = name.line;
+    expect(Tok::kLParen, "expected '('");
+    if (!at(Tok::kRParen)) {
+      do {
+        expect(Tok::kInt, "expected 'int' parameter type");
+        fn.params.push_back(expect(Tok::kIdent, "expected parameter name").text);
+      } while (accept(Tok::kComma));
+    }
+    if (fn.params.size() > 4) {
+      throw CompileError(name.line, "at most 4 parameters supported");
+    }
+    expect(Tok::kRParen, "expected ')'");
+    fn.body = parse_block();
+    return fn;
+  }
+
+  // --- statements ---
+
+  StmtPtr parse_block() {
+    const Token open = expect(Tok::kLBrace, "expected '{'");
+    auto block = std::make_unique<Stmt>();
+    block->kind = Stmt::Kind::kBlock;
+    block->line = open.line;
+    while (!at(Tok::kRBrace)) {
+      if (at(Tok::kEof)) throw CompileError(open.line, "unterminated block");
+      block->stmts.push_back(parse_statement());
+    }
+    advance();  // '}'
+    return block;
+  }
+
+  StmtPtr parse_statement() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case Tok::kLBrace:
+        return parse_block();
+      case Tok::kInt:
+        return parse_decl();
+      case Tok::kIf: {
+        advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::kIf;
+        s->line = t.line;
+        expect(Tok::kLParen, "expected '(' after if");
+        s->expr = parse_expression();
+        expect(Tok::kRParen, "expected ')'");
+        s->body = parse_statement();
+        if (accept(Tok::kElse)) s->else_body = parse_statement();
+        return s;
+      }
+      case Tok::kWhile: {
+        advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::kWhile;
+        s->line = t.line;
+        expect(Tok::kLParen, "expected '(' after while");
+        s->expr = parse_expression();
+        expect(Tok::kRParen, "expected ')'");
+        s->body = parse_statement();
+        return s;
+      }
+      case Tok::kFor: {
+        advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::kFor;
+        s->line = t.line;
+        expect(Tok::kLParen, "expected '(' after for");
+        if (!at(Tok::kSemi)) {
+          if (at(Tok::kInt)) {
+            s->init = parse_decl();  // consumes ';'
+          } else {
+            auto init = std::make_unique<Stmt>();
+            init->kind = Stmt::Kind::kExpr;
+            init->line = peek().line;
+            init->expr = parse_expression();
+            s->init = std::move(init);
+            expect(Tok::kSemi, "expected ';' in for");
+          }
+        } else {
+          advance();
+        }
+        if (!at(Tok::kSemi)) s->expr = parse_expression();
+        expect(Tok::kSemi, "expected ';' in for");
+        if (!at(Tok::kRParen)) s->step = parse_expression();
+        expect(Tok::kRParen, "expected ')'");
+        s->body = parse_statement();
+        return s;
+      }
+      case Tok::kReturn: {
+        advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::kReturn;
+        s->line = t.line;
+        if (!at(Tok::kSemi)) s->expr = parse_expression();
+        expect(Tok::kSemi, "expected ';'");
+        return s;
+      }
+      case Tok::kBreak: {
+        advance();
+        expect(Tok::kSemi, "expected ';'");
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::kBreak;
+        s->line = t.line;
+        return s;
+      }
+      case Tok::kContinue: {
+        advance();
+        expect(Tok::kSemi, "expected ';'");
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::kContinue;
+        s->line = t.line;
+        return s;
+      }
+      default: {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::kExpr;
+        s->line = t.line;
+        s->expr = parse_expression();
+        expect(Tok::kSemi, "expected ';'");
+        return s;
+      }
+    }
+  }
+
+  StmtPtr parse_decl() {
+    const Token kw = expect(Tok::kInt, "expected 'int'");
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::kDecl;
+    s->line = kw.line;
+    s->name = expect(Tok::kIdent, "expected a name").text;
+    if (at(Tok::kLBracket)) {
+      throw CompileError(kw.line, "local arrays are not supported");
+    }
+    if (accept(Tok::kAssign)) s->expr = parse_expression();
+    expect(Tok::kSemi, "expected ';'");
+    return s;
+  }
+
+  // --- expressions (precedence climbing) ---
+
+  ExprPtr parse_expression() { return parse_assignment(); }
+
+  ExprPtr parse_assignment() {
+    ExprPtr lhs = parse_logical_or();
+    if (!at(Tok::kAssign)) return lhs;
+    const Token eq = advance();
+    if (lhs->kind != Expr::Kind::kVar && lhs->kind != Expr::Kind::kIndex) {
+      throw CompileError(eq.line, "assignment target must be a variable or element");
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kAssign;
+    e->line = eq.line;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_assignment();  // right associative
+    return e;
+  }
+
+  ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->bin_op = op;
+    e->line = line;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  ExprPtr parse_logical_or() {
+    ExprPtr lhs = parse_logical_and();
+    while (at(Tok::kOrOr)) {
+      const int line = advance().line;
+      lhs = binary(BinOp::kLogicalOr, std::move(lhs), parse_logical_and(), line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_logical_and() {
+    ExprPtr lhs = parse_bitor();
+    while (at(Tok::kAndAnd)) {
+      const int line = advance().line;
+      lhs = binary(BinOp::kLogicalAnd, std::move(lhs), parse_bitor(), line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_bitor() {
+    ExprPtr lhs = parse_bitxor();
+    while (at(Tok::kPipe)) {
+      const int line = advance().line;
+      lhs = binary(BinOp::kOr, std::move(lhs), parse_bitxor(), line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_bitxor() {
+    ExprPtr lhs = parse_bitand();
+    while (at(Tok::kCaret)) {
+      const int line = advance().line;
+      lhs = binary(BinOp::kXor, std::move(lhs), parse_bitand(), line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_bitand() {
+    ExprPtr lhs = parse_equality();
+    while (at(Tok::kAmp)) {
+      const int line = advance().line;
+      lhs = binary(BinOp::kAnd, std::move(lhs), parse_equality(), line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_equality() {
+    ExprPtr lhs = parse_relational();
+    while (at(Tok::kEq) || at(Tok::kNe)) {
+      const Token op = advance();
+      lhs = binary(op.kind == Tok::kEq ? BinOp::kEq : BinOp::kNe,
+                   std::move(lhs), parse_relational(), op.line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_relational() {
+    ExprPtr lhs = parse_shift();
+    while (at(Tok::kLt) || at(Tok::kLe) || at(Tok::kGt) || at(Tok::kGe)) {
+      const Token op = advance();
+      BinOp bop = BinOp::kLt;
+      if (op.kind == Tok::kLe) bop = BinOp::kLe;
+      if (op.kind == Tok::kGt) bop = BinOp::kGt;
+      if (op.kind == Tok::kGe) bop = BinOp::kGe;
+      lhs = binary(bop, std::move(lhs), parse_shift(), op.line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_shift() {
+    ExprPtr lhs = parse_additive();
+    while (at(Tok::kShl) || at(Tok::kShr)) {
+      const Token op = advance();
+      lhs = binary(op.kind == Tok::kShl ? BinOp::kShl : BinOp::kShr,
+                   std::move(lhs), parse_additive(), op.line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (at(Tok::kPlus) || at(Tok::kMinus)) {
+      const Token op = advance();
+      lhs = binary(op.kind == Tok::kPlus ? BinOp::kAdd : BinOp::kSub,
+                   std::move(lhs), parse_multiplicative(), op.line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (at(Tok::kStar) || at(Tok::kSlash) || at(Tok::kPercent)) {
+      const Token op = advance();
+      BinOp bop = BinOp::kMul;
+      if (op.kind == Tok::kSlash) bop = BinOp::kDiv;
+      if (op.kind == Tok::kPercent) bop = BinOp::kRem;
+      lhs = binary(bop, std::move(lhs), parse_unary(), op.line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    const Token& t = peek();
+    if (at(Tok::kMinus) || at(Tok::kTilde) || at(Tok::kBang)) {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->line = t.line;
+      e->un_op = t.kind == Tok::kMinus ? UnOp::kNeg
+                 : t.kind == Tok::kTilde ? UnOp::kNot
+                                         : UnOp::kLogicalNot;
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token t = advance();
+    switch (t.kind) {
+      case Tok::kNumber: {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kNumber;
+        e->line = t.line;
+        e->number = static_cast<std::int32_t>(t.number);
+        return e;
+      }
+      case Tok::kLParen: {
+        ExprPtr e = parse_expression();
+        expect(Tok::kRParen, "expected ')'");
+        return e;
+      }
+      case Tok::kIdent: {
+        if (accept(Tok::kLParen)) {
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::Kind::kCall;
+          e->line = t.line;
+          e->name = t.text;
+          if (!at(Tok::kRParen)) {
+            do {
+              e->args.push_back(parse_expression());
+            } while (accept(Tok::kComma));
+          }
+          expect(Tok::kRParen, "expected ')'");
+          if (e->args.size() > 4) {
+            throw CompileError(t.line, "at most 4 arguments supported");
+          }
+          return e;
+        }
+        if (accept(Tok::kLBracket)) {
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::Kind::kIndex;
+          e->line = t.line;
+          e->name = t.text;
+          e->lhs = parse_expression();
+          expect(Tok::kRBracket, "expected ']'");
+          return e;
+        }
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kVar;
+        e->line = t.line;
+        e->name = t.text;
+        return e;
+      }
+      default:
+        throw CompileError(t.line, "expected an expression");
+    }
+  }
+
+  const std::vector<Token>& tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TranslationUnit parse(const std::vector<Token>& tokens) {
+  return Parser(tokens).run();
+}
+
+}  // namespace t1000::minic

@@ -1,0 +1,12 @@
+// MiniC recursive-descent parser.
+#pragma once
+
+#include "minic/ast.hpp"
+#include "minic/token.hpp"
+
+namespace t1000::minic {
+
+// Parses a full translation unit; throws CompileError on syntax errors.
+TranslationUnit parse(const std::vector<Token>& tokens);
+
+}  // namespace t1000::minic

@@ -1,0 +1,70 @@
+// MiniC: a small C subset compiled to T1000 assembly.
+//
+// The paper's toolflow starts from *compiled* code - extended instructions
+// are "created at compile time by converting an appropriate instruction
+// sequence in the compiled code into a single PFU opcode" (Section 2.1).
+// MiniC closes that loop: kernels written in a C subset compile to the
+// bundled ISA with register-resident locals, so the dependent ALU chains
+// the selector mines look exactly like compiler output.
+//
+// Language: `int` scalars and global `int` arrays; functions with up to
+// four `int` parameters; `if`/`else`, `while`, `for`, `break`, `continue`,
+// `return`; C expression grammar with assignment, `?:`-free logical
+// short-circuit, comparisons, shifts, bitwise ops, `*`, and `/`/`%` via
+// emitted runtime helpers. No pointers, no types beyond int.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace t1000::minic {
+
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(int line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kNumber,
+  kIdent,
+  // keywords
+  kInt,
+  kIf,
+  kElse,
+  kWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi,
+  kAssign,        // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr,
+  kLt, kGt, kLe, kGe, kEq, kNe,
+  kAndAnd, kOrOr,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::int64_t number = 0;  // kNumber
+  std::string text;         // kIdent
+  int line = 1;
+};
+
+// Tokenizes MiniC source ('//' and '/* */' comments allowed). Throws
+// CompileError on malformed input.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace t1000::minic

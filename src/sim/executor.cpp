@@ -1,0 +1,185 @@
+#include "sim/executor.hpp"
+
+#include <string>
+
+#include "isa/alu.hpp"
+
+namespace t1000 {
+namespace {
+
+std::int32_t sext8(std::uint8_t v) { return static_cast<std::int8_t>(v); }
+std::int32_t sext16(std::uint16_t v) { return static_cast<std::int16_t>(v); }
+
+}  // namespace
+
+Executor::Executor(const Program& program, const ExtInstTable* ext_table)
+    : program_(program), ext_table_(ext_table) {
+  reset();
+}
+
+void Executor::reset() {
+  mem_ = Memory();
+  mem_.write_block(kDataBase, program_.data);
+  regs_.fill(0);
+  regs_[kRegSp] = kStackTop;
+  // A return from the entry function lands one past the end of text, which
+  // step() treats as a clean halt.
+  regs_[kRegRa] = kTextBase + static_cast<std::uint32_t>(program_.size()) * 4;
+  const auto it = program_.text_symbols.find("main");
+  pc_ = it == program_.text_symbols.end() ? 0 : it->second;
+  halted_ = program_.size() == 0 || pc_ >= program_.size();
+  steps_ = 0;
+}
+
+std::uint32_t Executor::jump_target_index(std::uint32_t byte_addr) const {
+  if (byte_addr < kTextBase || (byte_addr & 3) != 0) {
+    throw SimError("wild jump to 0x" + std::to_string(byte_addr));
+  }
+  return (byte_addr - kTextBase) / 4;
+}
+
+StepInfo Executor::step() {
+  if (halted_) throw SimError("step() after halt");
+  if (pc_ < 0 || pc_ > program_.size()) {
+    throw SimError("pc out of range: " + std::to_string(pc_));
+  }
+  if (pc_ == program_.size()) {  // ran off the end via jr $ra from entry
+    halted_ = true;
+    StepInfo off{};
+    off.index = pc_;
+    off.next_index = pc_;
+    off.ins = make_halt();
+    return off;
+  }
+
+  const Instruction& ins = program_.text[static_cast<std::size_t>(pc_)];
+  StepInfo info;
+  info.index = pc_;
+  info.ins = ins;
+
+  const SrcRegs srcs = src_regs(ins);
+  info.num_src = srcs.count;
+  for (int i = 0; i < srcs.count; ++i) info.src_vals[static_cast<std::size_t>(i)] = regs_[srcs.reg[i]];
+
+  std::int32_t next = pc_ + 1;
+  const std::uint32_t a = info.src_vals[0];
+  const std::uint32_t b = info.src_vals[1];
+
+  auto write_dst = [&](Reg r, std::uint32_t v) {
+    set_reg(r, v);
+    info.has_result = true;
+    info.result = v;
+  };
+
+  switch (op_kind(ins.op)) {
+    case OpKind::kAlu3:
+      write_dst(ins.rd, eval_alu(ins.op, a, b));
+      break;
+    case OpKind::kShiftImm:
+      write_dst(ins.rd, eval_alu(ins.op, a, static_cast<std::uint32_t>(ins.imm)));
+      break;
+    case OpKind::kAluImm:
+      write_dst(ins.rd, eval_alu(ins.op, a, extend_imm(ins.op, ins.imm)));
+      break;
+    case OpKind::kLui:
+      write_dst(ins.rd, static_cast<std::uint32_t>(ins.imm & 0xFFFF) << 16);
+      break;
+    case OpKind::kLoad: {
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(ins.imm);
+      info.is_mem = true;
+      info.mem_addr = addr;
+      std::uint32_t v = 0;
+      switch (ins.op) {
+        case Opcode::kLw: info.mem_size = 4; v = mem_.load_u32(addr); break;
+        case Opcode::kLh: info.mem_size = 2; v = static_cast<std::uint32_t>(sext16(mem_.load_u16(addr))); break;
+        case Opcode::kLhu: info.mem_size = 2; v = mem_.load_u16(addr); break;
+        case Opcode::kLb: info.mem_size = 1; v = static_cast<std::uint32_t>(sext8(mem_.load_u8(addr))); break;
+        case Opcode::kLbu: info.mem_size = 1; v = mem_.load_u8(addr); break;
+        default: throw SimError("bad load opcode");
+      }
+      write_dst(ins.rd, v);
+      break;
+    }
+    case OpKind::kStore: {
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(ins.imm);
+      info.is_mem = true;
+      info.mem_addr = addr;
+      const std::uint32_t v = b;  // store data travels in rt
+      switch (ins.op) {
+        case Opcode::kSw: info.mem_size = 4; mem_.store_u32(addr, v); break;
+        case Opcode::kSh: info.mem_size = 2; mem_.store_u16(addr, static_cast<std::uint16_t>(v)); break;
+        case Opcode::kSb: info.mem_size = 1; mem_.store_u8(addr, static_cast<std::uint8_t>(v)); break;
+        default: throw SimError("bad store opcode");
+      }
+      break;
+    }
+    case OpKind::kBranch2: {
+      const bool taken = ins.op == Opcode::kBeq ? a == b : a != b;
+      info.branch_taken = taken;
+      if (taken) next = ins.imm;
+      break;
+    }
+    case OpKind::kBranch1: {
+      const std::int32_t sa = static_cast<std::int32_t>(a);
+      bool taken = false;
+      switch (ins.op) {
+        case Opcode::kBlez: taken = sa <= 0; break;
+        case Opcode::kBgtz: taken = sa > 0; break;
+        case Opcode::kBltz: taken = sa < 0; break;
+        case Opcode::kBgez: taken = sa >= 0; break;
+        default: throw SimError("bad branch opcode");
+      }
+      info.branch_taken = taken;
+      if (taken) next = ins.imm;
+      break;
+    }
+    case OpKind::kJump:
+      if (ins.op == Opcode::kJal) {
+        write_dst(kRegRa, kTextBase + static_cast<std::uint32_t>(pc_ + 1) * 4);
+      }
+      info.branch_taken = true;
+      next = ins.imm;
+      break;
+    case OpKind::kJumpReg: {
+      const std::uint32_t target = a;
+      if (ins.op == Opcode::kJalr) {
+        write_dst(ins.rd, kTextBase + static_cast<std::uint32_t>(pc_ + 1) * 4);
+      }
+      info.branch_taken = true;
+      next = static_cast<std::int32_t>(jump_target_index(target));
+      break;
+    }
+    case OpKind::kNop:
+      break;
+    case OpKind::kHalt:
+      halted_ = true;
+      next = pc_;
+      break;
+    case OpKind::kExt: {
+      if (ext_table_ == nullptr || ins.conf >= ext_table_->size()) {
+        throw SimError("EXT with unknown Conf id " + std::to_string(ins.conf));
+      }
+      write_dst(ins.rd, ext_table_->at(ins.conf).eval(a, b));
+      break;
+    }
+  }
+
+  if (next < 0 || next > program_.size()) {
+    throw SimError("control transfer out of text: " + std::to_string(next));
+  }
+  pc_ = next;
+  info.next_index = next;
+  ++steps_;
+  return info;
+}
+
+std::uint64_t Executor::run(std::uint64_t max_steps) {
+  std::uint64_t n = 0;
+  while (!halted_ && n < max_steps) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace t1000

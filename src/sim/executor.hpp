@@ -1,0 +1,84 @@
+// Functional (architectural) simulator for assembled T1000 programs.
+//
+// Executes one instruction per step() and reports everything later passes
+// need: register values read, result produced, memory address touched, and
+// the successor instruction index. The timing simulator consumes this stream
+// directly — the paper models perfect branch prediction, so the fetched path
+// and the committed path coincide.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+#include "asmkit/program.hpp"
+#include "isa/extdef.hpp"
+#include "sim/memory.hpp"
+
+namespace t1000 {
+
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Everything observable about one executed instruction.
+struct StepInfo {
+  std::int32_t index = 0;       // instruction index that executed
+  std::int32_t next_index = 0;  // successor (pc after this step)
+  Instruction ins;
+  bool is_mem = false;
+  std::uint32_t mem_addr = 0;
+  std::uint8_t mem_size = 0;
+  bool has_result = false;
+  std::uint32_t result = 0;
+  std::array<std::uint32_t, 2> src_vals{};
+  int num_src = 0;
+  bool branch_taken = false;
+};
+
+class Executor {
+ public:
+  // `ext_table` supplies EXT semantics; may be null for programs without
+  // extended instructions. The table must outlive the executor.
+  explicit Executor(const Program& program,
+                    const ExtInstTable* ext_table = nullptr);
+
+  // Reloads the data segment, clears registers, sets $sp to the stack top
+  // and pc to the `main` symbol (or 0). The initial $ra points one past the
+  // end of text, so a final `jr $ra` halts cleanly.
+  void reset();
+
+  bool halted() const { return halted_; }
+  std::int32_t pc() const { return pc_; }
+  std::uint64_t steps_executed() const { return steps_; }
+
+  std::uint32_t reg(Reg r) const { return regs_[r]; }
+  void set_reg(Reg r, std::uint32_t v) {
+    if (r != kRegZero) regs_[r] = v;
+  }
+
+  Memory& memory() { return mem_; }
+  const Memory& memory() const { return mem_; }
+  const Program& program() const { return program_; }
+
+  // Executes one instruction. Throws SimError when already halted, on a
+  // wild pc/jump, or on an EXT with no matching table entry.
+  StepInfo step();
+
+  // Steps until halt or `max_steps`; returns the number of steps taken.
+  std::uint64_t run(std::uint64_t max_steps);
+
+ private:
+  std::uint32_t jump_target_index(std::uint32_t byte_addr) const;
+
+  const Program& program_;
+  const ExtInstTable* ext_table_;
+  Memory mem_;
+  std::array<std::uint32_t, kNumRegs> regs_{};
+  std::int32_t pc_ = 0;
+  bool halted_ = false;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace t1000

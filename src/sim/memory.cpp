@@ -1,0 +1,84 @@
+#include "sim/memory.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace t1000 {
+namespace {
+
+void check_aligned(std::uint32_t addr, std::uint32_t size) {
+  if ((addr & (size - 1)) != 0) {
+    throw MemError("misaligned " + std::to_string(size) + "-byte access at 0x" +
+                   [addr] {
+                     char buf[16];
+                     std::snprintf(buf, sizeof buf, "%08X", addr);
+                     return std::string(buf);
+                   }());
+  }
+}
+
+}  // namespace
+
+const Memory::Page* Memory::find_page(std::uint32_t addr) const {
+  const auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Memory::Page& Memory::touch_page(std::uint32_t addr) {
+  std::unique_ptr<Page>& slot = pages_[addr >> kPageBits];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+std::uint8_t Memory::load_u8(std::uint32_t addr) const {
+  const Page* page = find_page(addr);
+  return page == nullptr ? 0 : (*page)[addr & (kPageSize - 1)];
+}
+
+std::uint16_t Memory::load_u16(std::uint32_t addr) const {
+  check_aligned(addr, 2);
+  const Page* page = find_page(addr);
+  if (page == nullptr) return 0;
+  const std::uint32_t off = addr & (kPageSize - 1);
+  return static_cast<std::uint16_t>((*page)[off] | ((*page)[off + 1] << 8));
+}
+
+std::uint32_t Memory::load_u32(std::uint32_t addr) const {
+  check_aligned(addr, 4);
+  const Page* page = find_page(addr);
+  if (page == nullptr) return 0;
+  const std::uint32_t off = addr & (kPageSize - 1);
+  std::uint32_t v = 0;
+  std::memcpy(&v, page->data() + off, 4);  // host is little-endian
+  return v;
+}
+
+void Memory::store_u8(std::uint32_t addr, std::uint8_t value) {
+  touch_page(addr)[addr & (kPageSize - 1)] = value;
+}
+
+void Memory::store_u16(std::uint32_t addr, std::uint16_t value) {
+  check_aligned(addr, 2);
+  Page& page = touch_page(addr);
+  const std::uint32_t off = addr & (kPageSize - 1);
+  page[off] = static_cast<std::uint8_t>(value);
+  page[off + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void Memory::store_u32(std::uint32_t addr, std::uint32_t value) {
+  check_aligned(addr, 4);
+  Page& page = touch_page(addr);
+  std::memcpy(page.data() + (addr & (kPageSize - 1)), &value, 4);
+}
+
+void Memory::write_block(std::uint32_t addr,
+                         const std::vector<std::uint8_t>& bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    store_u8(addr + static_cast<std::uint32_t>(i), bytes[i]);
+  }
+}
+
+}  // namespace t1000

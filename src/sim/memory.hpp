@@ -1,0 +1,48 @@
+// Sparse byte-addressable little-endian memory for the functional simulator.
+// Backed by 4 KiB pages allocated on first touch, so the full 32-bit address
+// space (data segment at 0x10000000, stack below 0x7FFFF000) costs only what
+// a program actually touches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace t1000 {
+
+class MemError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Memory {
+ public:
+  static constexpr std::uint32_t kPageBits = 12;
+  static constexpr std::uint32_t kPageSize = 1u << kPageBits;
+
+  std::uint8_t load_u8(std::uint32_t addr) const;
+  std::uint16_t load_u16(std::uint32_t addr) const;  // addr must be 2-aligned
+  std::uint32_t load_u32(std::uint32_t addr) const;  // addr must be 4-aligned
+
+  void store_u8(std::uint32_t addr, std::uint8_t value);
+  void store_u16(std::uint32_t addr, std::uint16_t value);
+  void store_u32(std::uint32_t addr, std::uint32_t value);
+
+  // Bulk copy-in (used to load the data segment image).
+  void write_block(std::uint32_t addr, const std::vector<std::uint8_t>& bytes);
+
+  std::size_t pages_allocated() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageSize>;
+
+  const Page* find_page(std::uint32_t addr) const;
+  Page& touch_page(std::uint32_t addr);
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace t1000

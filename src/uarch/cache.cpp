@@ -1,0 +1,86 @@
+#include "uarch/cache.hpp"
+
+#include <cassert>
+
+namespace t1000 {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  assert(config_.num_sets() > 0 && "cache geometry must divide evenly");
+  ways_.resize(static_cast<std::size_t>(config_.num_sets()) * config_.assoc);
+}
+
+bool Cache::access(std::uint32_t addr, bool is_write) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint32_t line = addr / config_.line_bytes;
+  const std::uint32_t set = line % config_.num_sets();
+  const std::uint32_t tag = line / config_.num_sets();
+  Way* base = &ways_[static_cast<std::size_t>(set) * config_.assoc];
+  for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = tick_;
+      way.dirty = way.dirty || is_write;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].last_use < victim->last_use) victim = &base[w];
+  }
+  if (victim->valid && victim->dirty) ++stats_.writebacks;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = tick_;
+  victim->dirty = is_write;
+  return false;
+}
+
+Tlb::Tlb(const TlbConfig& config) : config_(config) {
+  entries_.resize(config_.entries);
+}
+
+int Tlb::access(std::uint32_t addr) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint32_t page = addr / config_.page_bytes;
+  Entry* victim = &entries_[0];
+  for (Entry& e : entries_) {
+    if (e.valid && e.page == page) {
+      e.last_use = tick_;
+      return 0;
+    }
+    if (!e.valid || (victim->valid && e.last_use < victim->last_use)) {
+      victim = &e;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->page = page;
+  victim->last_use = tick_;
+  return config_.miss_latency;
+}
+
+MemHierarchy::MemHierarchy(const CacheConfig& l1, Cache* shared_l2,
+                           int mem_latency, const TlbConfig& tlb)
+    : l1_(l1), l2_(shared_l2), tlb_(tlb), mem_latency_(mem_latency) {
+  assert(l2_ != nullptr);
+}
+
+int MemHierarchy::access(std::uint32_t addr, bool is_write) {
+  int latency = tlb_.access(addr);
+  latency += l1_.config().hit_latency;
+  if (l1_.access(addr, is_write)) return latency;
+  // Write-back/write-allocate: the L2 fill is a read even for store misses;
+  // dirtiness propagates to L2 only when L1 evicts (write buffer, free).
+  latency += l2_->config().hit_latency;
+  if (l2_->access(addr)) return latency;
+  return latency + mem_latency_;
+}
+
+}  // namespace t1000

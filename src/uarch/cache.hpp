@@ -1,0 +1,95 @@
+// Set-associative LRU cache and TLB models, plus the two-level hierarchy
+// used by the fetch and memory stages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/config.hpp"
+
+namespace t1000 {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;  // dirty lines evicted
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+// One level of set-associative cache with true-LRU replacement.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  // Looks up `addr`; fills the line on a miss (write-allocate) and marks it
+  // dirty on writes. Returns hit/miss; evicting a dirty line counts a
+  // writeback (drained through a write buffer, so it adds no latency).
+  bool access(std::uint32_t addr, bool is_write = false);
+
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Way {
+    std::uint32_t tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig config_;
+  std::vector<Way> ways_;  // sets * assoc, row-major by set
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+// Fully-associative LRU TLB.
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config);
+
+  // Returns the translation penalty in cycles (0 on a hit).
+  int access(std::uint32_t addr);
+
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint32_t page = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  TlbConfig config_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+// One L1 (+TLB) in front of a *shared* unified L2 (the paper simulates
+// split L1s with a unified second level). The L2 and memory latency are
+// owned by the caller so the I- and D-sides share them.
+class MemHierarchy {
+ public:
+  MemHierarchy(const CacheConfig& l1, Cache* shared_l2, int mem_latency,
+               const TlbConfig& tlb);
+
+  // Full latency of an access to `addr`, including TLB, L1, L2 and memory
+  // contributions as applicable.
+  int access(std::uint32_t addr, bool is_write = false);
+
+  const Cache& l1() const { return l1_; }
+  const Tlb& tlb() const { return tlb_; }
+
+ private:
+  Cache l1_;
+  Cache* l2_;  // shared, not owned
+  Tlb tlb_;
+  int mem_latency_;
+};
+
+}  // namespace t1000

@@ -1,0 +1,65 @@
+#include "uarch/pfu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace t1000 {
+
+PfuBank::PfuBank(const PfuConfig& config) : config_(config) {
+  if (!unlimited()) {
+    assert(config_.count >= 0);
+    units_.resize(static_cast<std::size_t>(config_.count));
+  }
+}
+
+int PfuBank::size() const { return static_cast<int>(units_.size()); }
+
+std::uint64_t PfuBank::request(ConfId conf, std::uint64_t now) {
+  ++stats_.lookups;
+  ++tick_;
+
+  const auto it = where_.find(conf);
+  if (it != where_.end()) {
+    Unit& unit = units_[it->second];
+    unit.last_use = tick_;
+    ++stats_.hits;  // tag match; may still wait on an in-flight load
+    return unit.ready_at <= now ? now : unit.ready_at;
+  }
+
+  if (unlimited()) {
+    // Every configuration gets its own unit; the first use still pays one
+    // reconfiguration (irrelevant when the latency is zero).
+    ++stats_.reconfigurations;
+    Unit unit;
+    unit.conf = conf;
+    unit.ready_at = now + static_cast<std::uint64_t>(config_.reconfig_latency);
+    unit.last_use = tick_;
+    where_.emplace(conf, units_.size());
+    units_.push_back(unit);
+    return unit.ready_at;
+  }
+
+  if (units_.empty()) {
+    // No PFUs: the caller should never dispatch EXT on such a machine.
+    assert(false && "EXT dispatched on a machine without PFUs");
+    return now;
+  }
+
+  // Miss: reload the least-recently-used unit.
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < units_.size(); ++i) {
+    if (units_[i].last_use < units_[victim].last_use) victim = i;
+  }
+  Unit& unit = units_[victim];
+  if (unit.conf != kInvalidConf) where_.erase(unit.conf);
+  ++stats_.reconfigurations;
+  unit.conf = conf;
+  // Back-to-back reconfigurations of the same unit serialize.
+  unit.ready_at = std::max(now, unit.ready_at) +
+                  static_cast<std::uint64_t>(config_.reconfig_latency);
+  unit.last_use = tick_;
+  where_.emplace(conf, victim);
+  return unit.ready_at;
+}
+
+}  // namespace t1000

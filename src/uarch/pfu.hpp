@@ -1,0 +1,52 @@
+// The bank of programmable functional units.
+//
+// Section 2.2: each extended instruction carries a Conf field that is
+// compared against the ID tag saved in each PFU at decode. A match behaves
+// like a cache hit and the instruction dispatches normally; otherwise the
+// configuration bits are loaded into the least-recently-used PFU before the
+// instruction can issue, costing the reconfiguration latency.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "uarch/config.hpp"
+
+namespace t1000 {
+
+struct PfuStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t reconfigurations = 0;
+};
+
+class PfuBank {
+ public:
+  explicit PfuBank(const PfuConfig& config);
+
+  // Decode-stage tag check at cycle `now`. Returns the cycle from which the
+  // extended instruction may issue: `now` on a hit, or the completion time
+  // of the reconfiguration started for it.
+  std::uint64_t request(ConfId conf, std::uint64_t now);
+
+  const PfuStats& stats() const { return stats_; }
+  bool unlimited() const { return config_.count == PfuConfig::kUnlimited; }
+  int size() const;
+
+ private:
+  struct Unit {
+    ConfId conf = kInvalidConf;
+    std::uint64_t ready_at = 0;  // reconfiguration completion
+    std::uint64_t last_use = 0;  // LRU clock
+  };
+
+  PfuConfig config_;
+  std::vector<Unit> units_;
+  std::unordered_map<ConfId, std::size_t> where_;  // conf -> unit index
+  std::uint64_t tick_ = 0;
+  PfuStats stats_;
+};
+
+}  // namespace t1000

@@ -1,0 +1,330 @@
+#include "uarch/timing.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "hwcost/lut_model.hpp"
+#include "sim/executor.hpp"
+
+namespace t1000 {
+namespace {
+
+constexpr std::uint64_t kNoDep = ~0ull;
+
+struct RuuEntry {
+  StepInfo info;
+  std::uint64_t seq = 0;
+  std::uint64_t deps[2] = {kNoDep, kNoDep};
+  int num_deps = 0;
+  FuClass fu = FuClass::kNone;
+  bool issued = false;
+  bool completed = false;
+  bool long_miss = false;  // occupies an MSHR while in flight
+  std::uint64_t dispatch_cycle = 0;
+  std::uint64_t complete_cycle = 0;
+  std::uint64_t pfu_ready = 0;  // EXT: earliest issue (reconfiguration)
+};
+
+struct FetchSlot {
+  StepInfo info;
+  std::uint64_t ready_cycle = 0;
+  bool mispredicted = false;
+};
+
+class Pipeline {
+ public:
+  Pipeline(const Program& program, const ExtInstTable* ext_table,
+           const MachineConfig& config)
+      : config_(config),
+        exec_(program, ext_table),
+        l2_(config.l2),
+        imem_(config.il1, &l2_, config.memory_latency, config.itlb),
+        dmem_(config.dl1, &l2_, config.memory_latency, config.dtlb),
+        pfus_(config.pfu),
+        bpred_(config.branch),
+        ruu_(static_cast<std::size_t>(config.ruu_size)) {
+    for (int r = 0; r < kNumRegs; ++r) last_writer_[r] = kNoDep;
+    if (config_.pfu.multi_cycle_ext && ext_table != nullptr) {
+      // Derive per-configuration latency from mapped logic depth, assuming
+      // worst-case (policy-width) operands.
+      ext_latency_.reserve(static_cast<std::size_t>(ext_table->size()));
+      for (const ExtInstDef& def : ext_table->defs()) {
+        const int levels = estimate_luts(def, {18, 18}).levels;
+        ext_latency_.push_back(
+            std::max(1, (levels + config_.pfu.levels_per_cycle - 1) /
+                            config_.pfu.levels_per_cycle));
+      }
+    }
+  }
+
+  SimStats run(std::uint64_t max_cycles) {
+    std::uint64_t now = 0;
+    while (!drained()) {
+      if (now > max_cycles) throw SimError("timing: cycle bound exceeded");
+      commit(now);
+      issue(now);
+      resolve_mispredict(now);
+      dispatch(now);
+      fetch(now);
+      ++now;
+    }
+    stats_.cycles = now;
+    collect();
+    return stats_;
+  }
+
+ private:
+  bool drained() const {
+    return exec_.halted() && fetch_queue_.empty() && head_ == tail_;
+  }
+
+  RuuEntry& entry(std::uint64_t seq) {
+    return ruu_[static_cast<std::size_t>(seq % ruu_.size())];
+  }
+
+  bool ruu_full() const {
+    return tail_ - head_ >= static_cast<std::uint64_t>(config_.ruu_size);
+  }
+
+  // --- commit ---
+  void commit(std::uint64_t now) {
+    for (int n = 0; n < config_.commit_width && head_ != tail_; ++n) {
+      RuuEntry& e = entry(head_);
+      if (!e.completed || e.complete_cycle > now) break;
+      ++stats_.committed;
+      ++head_;
+    }
+  }
+
+  // --- issue ---
+  bool deps_ready(const RuuEntry& e, std::uint64_t now) {
+    for (int i = 0; i < e.num_deps; ++i) {
+      const std::uint64_t dep = e.deps[i];
+      if (dep < head_) continue;  // producer already committed
+      const RuuEntry& p = entry(dep);
+      if (!p.completed || p.complete_cycle > now) return false;
+    }
+    return true;
+  }
+
+  // True when every older store that overlaps `e` has completed; loads may
+  // bypass non-overlapping stores (oracle disambiguation).
+  bool older_stores_done(const RuuEntry& e, std::uint64_t now) {
+    for (std::uint64_t s = head_; s < e.seq; ++s) {
+      const RuuEntry& p = entry(s);
+      if (!is_store(p.info.ins.op)) continue;
+      const std::uint32_t lo = std::max(p.info.mem_addr, e.info.mem_addr);
+      const std::uint32_t hi =
+          std::min(p.info.mem_addr + p.info.mem_size,
+                   e.info.mem_addr + e.info.mem_size);
+      if (lo >= hi) continue;  // disjoint
+      if (!p.completed || p.complete_cycle > now) return false;
+    }
+    return true;
+  }
+
+  // Long-latency memory operations currently in flight (for the MSHR cap).
+  int misses_in_flight(std::uint64_t now) {
+    int n = 0;
+    for (std::uint64_t s = head_; s != tail_; ++s) {
+      const RuuEntry& e = entry(s);
+      if (e.issued && e.long_miss && e.complete_cycle > now) ++n;
+    }
+    return n;
+  }
+
+  void issue(std::uint64_t now) {
+    int issued = 0;
+    int alus = 0;
+    int mults = 0;
+    int ports = 0;
+    int mshrs_free = config_.max_outstanding_misses == 0
+                         ? 1 << 30
+                         : config_.max_outstanding_misses -
+                               misses_in_flight(now);
+    for (std::uint64_t s = head_; s != tail_ && issued < config_.issue_width;
+         ++s) {
+      RuuEntry& e = entry(s);
+      if (e.issued || e.dispatch_cycle >= now) continue;
+      if (!deps_ready(e, now)) continue;
+
+      int latency = 1;
+      switch (e.fu) {
+        case FuClass::kIntAlu:
+        case FuClass::kBranch:
+          if (alus == config_.int_alus) continue;
+          ++alus;
+          break;
+        case FuClass::kIntMul:
+          if (mults == config_.int_mults) continue;
+          ++mults;
+          latency = base_latency(Opcode::kMul);
+          break;
+        case FuClass::kMemRead: {
+          if (ports == config_.mem_ports) continue;
+          if (mshrs_free <= 0) continue;  // conservative: no free miss slot
+          if (!older_stores_done(e, now)) continue;
+          ++ports;
+          latency = dmem_.access(e.info.mem_addr, /*is_write=*/false);
+          if (latency > config_.dl1.hit_latency) {
+            e.long_miss = true;
+            --mshrs_free;
+          }
+          break;
+        }
+        case FuClass::kMemWrite:
+          if (ports == config_.mem_ports) continue;
+          if (mshrs_free <= 0) continue;
+          ++ports;
+          latency = dmem_.access(e.info.mem_addr, /*is_write=*/true);
+          if (latency > config_.dl1.hit_latency) {
+            e.long_miss = true;
+            --mshrs_free;
+          }
+          break;
+        case FuClass::kPfu:
+          if (e.pfu_ready > now) continue;
+          if (!ext_latency_.empty()) {
+            latency = ext_latency_[e.info.ins.conf];
+          }
+          break;
+        case FuClass::kNone:
+          break;
+      }
+      e.issued = true;
+      e.completed = true;
+      e.complete_cycle = now + static_cast<std::uint64_t>(latency);
+      ++issued;
+    }
+  }
+
+  // --- dispatch (decode/rename) ---
+  void dispatch(std::uint64_t now) {
+    for (int n = 0; n < config_.decode_width; ++n) {
+      if (fetch_queue_.empty() || ruu_full()) return;
+      const FetchSlot& slot = fetch_queue_.front();
+      if (slot.ready_cycle > now) return;
+
+      RuuEntry& e = entry(tail_);
+      e = RuuEntry{};
+      e.info = slot.info;
+      e.seq = tail_;
+      e.fu = fu_class(e.info.ins.op);
+      e.dispatch_cycle = now;
+
+      const SrcRegs srcs = src_regs(e.info.ins);
+      for (int i = 0; i < srcs.count; ++i) {
+        const std::uint64_t w = last_writer_[srcs.reg[i]];
+        if (w != kNoDep && w >= head_) e.deps[e.num_deps++] = w;
+      }
+      if (const auto d = dst_reg(e.info.ins)) {
+        last_writer_[*d] = tail_;
+      }
+      if (e.info.ins.op == Opcode::kExt) {
+        e.pfu_ready = pfus_.request(e.info.ins.conf, now);
+      }
+      if (slot.mispredicted) pending_branch_seq_ = tail_;
+      ++tail_;
+      fetch_queue_.pop_front();
+    }
+  }
+
+  // When a mispredicted branch resolves, schedule the front-end redirect.
+  void resolve_mispredict(std::uint64_t now) {
+    if (!blocked_on_branch_ || pending_branch_seq_ == kNoDep) return;
+    // Fetch is frozen, so the RUU tail cannot advance and the entry is
+    // never recycled before this check sees it complete.
+    const RuuEntry& e = entry(pending_branch_seq_);
+    if (!e.completed || e.complete_cycle > now) return;
+    fetch_stall_until_ =
+        std::max(fetch_stall_until_,
+                 e.complete_cycle +
+                     static_cast<std::uint64_t>(config_.branch.mispredict_penalty));
+    blocked_on_branch_ = false;
+    pending_branch_seq_ = kNoDep;
+  }
+
+  // --- fetch ---
+  void fetch(std::uint64_t now) {
+    if (blocked_on_branch_) return;  // awaiting a branch redirect
+    if (now < fetch_stall_until_) return;
+    for (int n = 0; n < config_.fetch_width; ++n) {
+      if (exec_.halted()) return;
+      if (static_cast<int>(fetch_queue_.size()) >= config_.fetch_queue_size) {
+        return;
+      }
+      const std::uint32_t pc =
+          exec_.program().pc_of(exec_.pc());
+      const std::uint32_t line = pc / config_.il1.line_bytes;
+      std::uint64_t ready = now + 1;
+      if (line != current_fetch_line_) {
+        const int lat = imem_.access(pc);
+        current_fetch_line_ = line;
+        current_line_ready_ = now + static_cast<std::uint64_t>(lat);
+        if (lat > config_.il1.hit_latency) {
+          // Miss: the front end stalls until the line arrives.
+          fetch_stall_until_ = current_line_ready_;
+        }
+      }
+      ready = std::max(ready, current_line_ready_);
+
+      const StepInfo info = exec_.step();
+      if (info.index >= exec_.program().size()) return;  // off-the-end halt
+      bool correct = true;
+      if (is_control(info.ins.op) && info.ins.op != Opcode::kHalt) {
+        correct = bpred_.predict_and_update(info.ins, info.index,
+                                            info.branch_taken,
+                                            info.next_index);
+      }
+      fetch_queue_.push_back({info, ready, !correct});
+      if (!correct) {
+        // Fetch halts here until the branch resolves in the back end.
+        blocked_on_branch_ = true;
+        return;
+      }
+      if (info.branch_taken) return;  // no fetching past a taken branch
+      if (fetch_stall_until_ > now) return;
+    }
+  }
+
+  void collect() {
+    stats_.il1 = imem_.l1().stats();
+    stats_.dl1 = dmem_.l1().stats();
+    stats_.l2 = l2_.stats();
+    stats_.itlb = imem_.tlb().stats();
+    stats_.dtlb = dmem_.tlb().stats();
+    stats_.pfu = pfus_.stats();
+    stats_.branch = bpred_.stats();
+  }
+
+  MachineConfig config_;
+  Executor exec_;
+  Cache l2_;
+  MemHierarchy imem_;
+  MemHierarchy dmem_;
+  PfuBank pfus_;
+  BranchPredictor bpred_;
+
+  std::deque<FetchSlot> fetch_queue_;
+  std::vector<RuuEntry> ruu_;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+  std::uint64_t last_writer_[kNumRegs] = {};
+  std::uint32_t current_fetch_line_ = ~0u;
+  std::uint64_t current_line_ready_ = 0;
+  std::uint64_t fetch_stall_until_ = 0;
+  bool blocked_on_branch_ = false;
+  std::uint64_t pending_branch_seq_ = kNoDep;
+  std::vector<int> ext_latency_;  // per Conf id; empty = single-cycle
+
+  SimStats stats_;
+};
+
+}  // namespace
+
+SimStats simulate(const Program& program, const ExtInstTable* ext_table,
+                  const MachineConfig& config, std::uint64_t max_cycles) {
+  return Pipeline(program, ext_table, config).run(max_cycles);
+}
+
+}  // namespace t1000

@@ -1,0 +1,61 @@
+// Execution-driven timing simulator for the T1000 architecture.
+//
+// Models the paper's evaluation vehicle: a 4-wide out-of-order superscalar
+// with Register-Update-Unit (RUU) scheduling [Sohi], split L1 caches over a
+// unified L2, I/D TLBs, perfect branch prediction, and a bank of PFUs for
+// extended instructions. The committed path comes from the functional
+// executor: with perfect prediction the fetched and committed paths
+// coincide, so no wrong-path modelling is needed (Section 3.1).
+//
+// Pipeline per cycle: commit <= W oldest completed entries; issue <= W
+// ready entries oldest-first subject to FU availability (and, for EXT, the
+// decode-time PFU reconfiguration check); dispatch <= W fetched
+// instructions into the RUU with register renaming; fetch <= W
+// instructions along the true path through the I-cache/I-TLB, stopping at
+// taken branches and on I-cache miss stalls.
+//
+// Memory model: loads compute latency through DL1/L2/memory at issue;
+// a load may not issue before every older overlapping store has completed
+// (store-to-load forwarding then costs an L1 hit); disambiguation uses the
+// oracle addresses from the functional trace, i.e. a perfect dependence
+// predictor. Stores occupy a memory port and complete in the L1 hit time.
+#pragma once
+
+#include <cstdint>
+
+#include "asmkit/program.hpp"
+#include "isa/extdef.hpp"
+#include "uarch/branch.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/config.hpp"
+#include "uarch/pfu.hpp"
+
+namespace t1000 {
+
+struct SimStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t committed = 0;
+
+  CacheStats il1;
+  CacheStats dl1;
+  CacheStats l2;
+  CacheStats itlb;
+  CacheStats dtlb;
+  PfuStats pfu;
+  BranchStats branch;
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(committed) / static_cast<double>(cycles);
+  }
+};
+
+// Runs `program` to completion on the configured machine and returns the
+// statistics. `ext_table` supplies EXT semantics (may be null when the
+// program contains none). Throws SimError if the program exceeds
+// `max_cycles` or misbehaves.
+SimStats simulate(const Program& program, const ExtInstTable* ext_table,
+                  const MachineConfig& config,
+                  std::uint64_t max_cycles = 1ull << 32);
+
+}  // namespace t1000

@@ -1,0 +1,167 @@
+// EPIC (Efficient Pyramid Image Coder) analogs.
+//
+// epic builds a Laplacian-style pyramid (pairwise lowpass filtering and
+// downsampling), quantizes the band-pass coefficients, and run-length codes
+// the result; unepic inverts the process (dequantize, upsample,
+// interpolate, clamp). Both mix short fusable shift/add chains with real
+// memory traffic and a branchy coding loop, which is why the paper sees
+// mid-range speedups for the pair.
+#include "workloads/workloads_internal.hpp"
+
+namespace t1000 {
+
+Workload make_epic() {
+  Workload w;
+  w.name = "epic";
+  w.description =
+      "Pyramid image encoder analog: 3-level lowpass/highpass decomposition "
+      "with quantization chains and a branchy zero-run coder.";
+  w.max_steps = 1u << 24;
+  w.source = R"(
+        .data
+image:  .space 8192           # 2048-word signal
+pyr:    .space 8192           # pyramid storage
+hp:     .space 8192           # high-pass scratch
+        .text
+main:   li   $s7, 10          # passes (frames)
+        li   $s6, 0x0EA7
+        li   $s5, 0x41C6
+        li   $v0, 0
+frames:
+        # ---- synthesize the input scanline ----
+        la   $t8, image
+        li   $t9, 2048
+gen:    mul  $s6, $s6, $s5
+        addiu $s6, $s6, 12345
+        srl  $t2, $s6, 10
+        andi $t2, $t2, 0x0FFF
+        sw   $t2, 0($t8)
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, gen
+
+        # ---- 3 pyramid levels: lowpass/highpass + quantize ----
+        li   $s0, 3           # level counter
+        li   $s1, 1024        # pairs at this level
+level:  la   $t8, image
+        la   $s3, pyr
+        la   $s2, hp
+        move $t9, $s1
+pairs:  lw   $t2, 0($t8)
+        lw   $t3, 4($t8)
+        # chain A (2 ops): lowpass = (a+b)>>1
+        addu $t4, $t2, $t3
+        sra  $t4, $t4, 1
+        sw   $t4, 0($t8)      # downsampled in place
+        # chain B (2 ops): highpass = (a-b)>>1
+        subu $t5, $t2, $t3
+        sra  $t5, $t5, 1
+        sw   $t5, 0($s2)      # raw band kept for rate estimation
+        # chain C (3 ops): quantize the band-pass coefficient
+        addiu $t6, $t5, 4
+        sra  $t6, $t6, 3
+        andi $t6, $t6, 0x3FF
+        sw   $t6, 0($s3)
+        addu $v0, $v0, $t6
+        addiu $t8, $t8, 8
+        addiu $s3, $s3, 4
+        addiu $s2, $s2, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, pairs
+        sra  $s1, $s1, 1      # half as many pairs next level
+        addiu $s0, $s0, -1
+        bgtz $s0, level
+
+        # ---- zero-run coder: branchy scan over the quantized band ----
+        la   $s3, pyr
+        li   $t9, 1024
+        li   $t0, 0           # current run length
+runs:   lw   $t2, 0($s3)
+        bne  $t2, $zero, emit
+        addiu $t0, $t0, 1
+        j    runnext
+emit:   addu $v0, $v0, $t0
+        li   $t0, 0
+        addu $v0, $v0, $t2
+runnext:
+        addiu $s3, $s3, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, runs
+
+        addiu $s7, $s7, -1
+        bgtz $s7, frames
+        halt
+)";
+  return w;
+}
+
+Workload make_unepic() {
+  Workload w;
+  w.name = "unepic";
+  w.description =
+      "Pyramid image decoder analog: dequantize + upsample/interpolate with "
+      "a branchy clamp, more memory-bound than the encoder.";
+  w.max_steps = 1u << 24;
+  w.source = R"(
+        .data
+coef:   .space 4096           # 1024 quantized coefficients
+out:    .space 8192           # reconstructed signal
+        .text
+main:   li   $s7, 14          # frames
+        li   $s6, 0x5EED
+        li   $s5, 0x41C6
+        li   $v0, 0
+frames:
+        # ---- synthesize the coded input ----
+        la   $t8, coef
+        li   $t9, 1024
+gen:    mul  $s6, $s6, $s5
+        addiu $s6, $s6, 12345
+        srl  $t2, $s6, 13
+        andi $t2, $t2, 0x03FF
+        sw   $t2, 0($t8)
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, gen
+
+        # ---- dequantize + upsample + interpolate + clamp ----
+        la   $t8, coef
+        la   $s3, out
+        li   $t9, 1023
+        li   $s0, 0           # previous reconstructed sample
+interp: lw   $t2, 0($t8)
+        # chain A (2 ops): dequantize
+        sll  $t3, $t2, 3
+        addiu $t3, $t3, -4
+        # chain B (2 ops): midpoint interpolation with previous sample
+        addu $t4, $t3, $s0
+        sra  $t4, $t4, 1
+        # clamp the interpolated value to [0, 4095] (branchy)
+        bltz $t4, clamplo
+        li   $t5, 4095
+        ble  $t4, $t5, noclamp
+        move $t4, $t5
+        j    noclamp
+clamplo:
+        li   $t4, 0
+noclamp:
+        sw   $t4, 0($s3)
+        sw   $t3, 4($s3)
+        # chain C (2 ops): smoothing tap for the checksum
+        xori $t6, $t4, 0x55
+        andi $t6, $t6, 0xFFF
+        addu $v0, $v0, $t6
+        move $s0, $t3
+        addiu $t8, $t8, 4
+        addiu $s3, $s3, 8
+        addiu $t9, $t9, -1
+        bgtz $t9, interp
+
+        addiu $s7, $s7, -1
+        bgtz $s7, frames
+        halt
+)";
+  return w;
+}
+
+}  // namespace t1000

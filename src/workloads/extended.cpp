@@ -1,0 +1,317 @@
+// Extended suite: four more MediaBench-family analogs beyond the paper's
+// eight. They broaden the evaluation with two additional codec shapes
+// (IMA ADPCM), a JPEG-style transform coder, and - deliberately - a
+// PFU-hostile public-key-crypto kernel whose 32-bit arithmetic defeats the
+// narrow-width candidate filter, probing the *limits* of the approach.
+#include "workloads/workloads_internal.hpp"
+
+namespace t1000 {
+
+Workload make_adpcm_enc() {
+  Workload w;
+  w.name = "adpcm_enc";
+  w.description =
+      "IMA ADPCM encoder analog: per-sample delta quantization against an "
+      "adaptive step with table-driven index update; short chains inside "
+      "heavy branching.";
+  w.max_steps = 1u << 25;
+  w.source = R"(
+        .data
+pcm:    .space 4096
+codes:  .space 4096
+idxtab: .word -1, -1, -1, -1, 2, 4, 6, 8
+        .text
+main:   li   $s7, 20          # blocks
+        li   $s6, 0xADC0
+        li   $s5, 0x41C6
+        li   $v0, 0
+        li   $s0, 0           # predictor
+        li   $s1, 16          # step
+        li   $s2, 0           # step index
+frames:
+        la   $t8, pcm
+        li   $t9, 1024
+gen:    mul  $s6, $s6, $s5
+        addiu $s6, $s6, 12345
+        srl  $t2, $s6, 8
+        andi $t2, $t2, 0x1FFF
+        sw   $t2, 0($t8)
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, gen
+
+        la   $t8, pcm
+        la   $s3, codes
+        li   $t9, 1024
+sample: lw   $t2, 0($t8)
+        # delta chain (2 ops): keep raw delta live for the update below
+        subu $t2, $t2, $s0
+        sra  $t3, $t2, 1
+        li   $t4, 0
+        bgez $t3, mag
+        li   $t4, 8
+        subu $t3, $zero, $t3
+mag:    # 3-level quantization against the step (branchy)
+        li   $t5, 0
+        slt  $at, $t3, $s1
+        bne  $at, $zero, qdone
+        addiu $t5, $t5, 4
+        subu $t3, $t3, $s1
+        sra  $t6, $s1, 1
+        slt  $at, $t3, $t6
+        bne  $at, $zero, qdone
+        addiu $t5, $t5, 2
+qdone:  or   $t5, $t5, $t4
+        sw   $t5, 0($s3)
+        # code-fold chain (2 ops)
+        xori $t1, $t5, 0x9
+        andi $t1, $t1, 0xF
+        addu $v0, $v0, $t1
+        # predictor update chain (2 ops)
+        sra  $t6, $t2, 3
+        addu $s0, $t6, $zero
+        # step-index table update (loads, branchy clamps)
+        andi $t7, $t5, 0x7
+        sll  $t7, $t7, 2
+        la   $t1, idxtab
+        addu $t1, $t1, $t7
+        lw   $t7, 0($t1)
+        addu $s2, $s2, $t7
+        bgez $s2, idxlo
+        li   $s2, 0
+idxlo:  slti $at, $s2, 64
+        bne  $at, $zero, idxok
+        li   $s2, 63
+idxok:  # new step = (index << 3) + 12 : chain left unfused by 2 readers
+        sll  $s1, $s2, 3
+        addiu $s1, $s1, 12
+        addiu $t8, $t8, 4
+        addiu $s3, $s3, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, sample
+
+        addiu $s7, $s7, -1
+        bgtz $s7, frames
+        halt
+)";
+  return w;
+}
+
+Workload make_adpcm_dec() {
+  Workload w;
+  w.name = "adpcm_dec";
+  w.description =
+      "IMA ADPCM decoder analog: reconstructs samples from 4-bit codes with "
+      "an adaptive step; slightly more fusable than the encoder.";
+  w.max_steps = 1u << 25;
+  w.source = R"(
+        .data
+codes:  .space 4096
+out:    .space 4096
+        .text
+main:   li   $s7, 20
+        li   $s6, 0xDCD0
+        li   $s5, 0x41C6
+        li   $v0, 0
+        li   $s0, 0           # predictor
+        li   $s1, 16          # step
+frames:
+        la   $t8, codes
+        li   $t9, 1024
+gen:    mul  $s6, $s6, $s5
+        addiu $s6, $s6, 12345
+        srl  $t2, $s6, 10
+        andi $t2, $t2, 0xF
+        sw   $t2, 0($t8)
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, gen
+
+        la   $t8, codes
+        la   $s3, out
+        li   $t9, 1024
+sample: lw   $t2, 0($t8)
+        andi $t3, $t2, 0x7
+        andi $t4, $t2, 0x8
+        # magnitude reconstruction chain (3 ops): delta = (m*step)/4-ish
+        sll  $t5, $t3, 2
+        addu $t5, $t5, $s1
+        sra  $t5, $t5, 2
+        beq  $t4, $zero, plus
+        subu $t5, $zero, $t5
+plus:   # predictor accumulate chain (2 ops)
+        addu $s0, $s0, $t5
+        sw   $s0, 0($s3)
+        # output shaping chain (2 ops)
+        xori $t6, $t5, 0x15
+        andi $t6, $t6, 0xFFF
+        addu $v0, $v0, $t6
+        # step adaptation (branchy)
+        slti $at, $t3, 4
+        beq  $at, $zero, grow
+        addiu $s1, $s1, -2
+        bgtz $s1, stepok
+        li   $s1, 2
+        j    stepok
+grow:   addiu $s1, $s1, 8
+        slti $at, $s1, 1024
+        bne  $at, $zero, stepok
+        li   $s1, 1023
+stepok: addiu $t8, $t8, 4
+        addiu $s3, $s3, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, sample
+
+        addiu $s7, $s7, -1
+        bgtz $s7, frames
+        halt
+)";
+  return w;
+}
+
+Workload make_pegwit() {
+  Workload w;
+  w.name = "pegwit";
+  w.description =
+      "Public-key crypto analog (pegwit-like): GF(2^n) multiply/reduce over "
+      "full 32-bit words. Nearly every value exceeds the 18-bit candidate "
+      "width, so the selective algorithm should find almost nothing - a "
+      "deliberate negative control for the approach.";
+  w.max_steps = 1u << 25;
+  w.source = R"(
+        .data
+msg:    .space 4096
+        .text
+main:   li   $s7, 16          # blocks
+        li   $s6, 0x9E37
+        li   $s5, 0x41C6
+        li   $v0, 0
+        li   $s4, 0x04C11DB7  # CRC-32-like feedback polynomial
+frames:
+        la   $t8, msg
+        li   $t9, 1024
+gen:    mul  $s6, $s6, $s5
+        addiu $s6, $s6, 12345
+        sw   $s6, 0($t8)      # full-width words
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, gen
+
+        # ---- GF-style multiply-accumulate over 32-bit state ----
+        la   $t8, msg
+        li   $t9, 1024
+        li   $s0, 0xFFFFFFFF  # running digest (wide)
+mix:    lw   $t2, 0($t8)
+        xor  $s0, $s0, $t2
+        # one reduction round: shift left, conditional poly xor (wide ops)
+        bltz $s0, red
+        sll  $s0, $s0, 1
+        j    mixed
+red:    sll  $s0, $s0, 1
+        xor  $s0, $s0, $s4
+mixed:  srl  $t3, $s0, 16
+        xor  $s0, $s0, $t3
+        addu $v0, $v0, $s0
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, mix
+
+        addiu $s7, $s7, -1
+        bgtz $s7, frames
+        halt
+)";
+  return w;
+}
+
+Workload make_jpeg_enc() {
+  Workload w;
+  w.name = "jpeg_enc";
+  w.description =
+      "JPEG encoder analog: blocked forward transform + quantization chains "
+      "feeding a branchy zero-run/size coder, between mpeg2_enc and epic in "
+      "character.";
+  w.max_steps = 1u << 25;
+  w.source = R"(
+        .data
+pix:    .space 8192
+coef:   .space 8192
+        .text
+main:   li   $s7, 8
+        li   $s6, 0x1093
+        li   $s5, 0x41C6
+        li   $v0, 0
+frames:
+        la   $t8, pix
+        li   $t9, 2048
+gen:    mul  $s6, $s6, $s5
+        addiu $s6, $s6, 12345
+        srl  $t2, $s6, 14
+        andi $t2, $t2, 0xFF
+        sw   $t2, 0($t8)
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, gen
+
+        # ---- transform + quantize: three chain shapes per pair ----
+        la   $t8, pix
+        la   $s3, coef
+        li   $t9, 1024
+fdct:   lw   $t2, 0($t8)
+        lw   $t3, 4($t8)
+        # sum path chain (3 ops)
+        addu $t4, $t2, $t3
+        sll  $t4, $t4, 1
+        addiu $t4, $t4, 1
+        # diff path chain (3 ops)
+        subu $t5, $t2, $t3
+        sll  $t5, $t5, 1
+        addiu $t5, $t5, 1
+        # quantize chain (3 ops) on the sum path
+        sra  $t6, $t4, 4
+        xori $t6, $t6, 0x13
+        andi $t6, $t6, 0x3FF
+        sw   $t6, 0($s3)
+        sw   $t5, 4($s3)
+        addu $v0, $v0, $t6
+        addiu $t8, $t8, 8
+        addiu $s3, $s3, 8
+        addiu $t9, $t9, -1
+        bgtz $t9, fdct
+
+        # ---- run/size entropy coder (branchy, table-free) ----
+        la   $s3, coef
+        li   $t9, 2048
+        li   $t0, 0           # zero run
+scan:   lw   $t2, 0($s3)
+        bne  $t2, $zero, emit
+        addiu $t0, $t0, 1
+        j    scannext
+emit:   # size class of the magnitude by successive halving (branchy)
+        andi $t2, $t2, 0xFFFF   # magnitude field (keeps the loop finite)
+        li   $t3, 0
+size:   beq  $t2, $zero, coded
+        srl  $t2, $t2, 1
+        addiu $t3, $t3, 1
+        j    size
+coded:  addu $v0, $v0, $t0
+        addu $v0, $v0, $t3
+        li   $t0, 0
+scannext:
+        addiu $s3, $s3, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, scan
+
+        addiu $s7, $s7, -1
+        bgtz $s7, frames
+        halt
+)";
+  return w;
+}
+
+const std::vector<Workload>& extended_workloads() {
+  static const std::vector<Workload> suite = {
+      make_adpcm_enc(), make_adpcm_dec(), make_pegwit(), make_jpeg_enc()};
+  return suite;
+}
+
+}  // namespace t1000

@@ -1,0 +1,209 @@
+// G.721 ADPCM codec analogs.
+//
+// g721 is the paper's *worst* case (4.5% decode): its per-sample work is a
+// branchy quantizer binary search, scale-factor table lookups, and a
+// predictor update - mostly loads, compares, and branches with only short
+// fusable arithmetic. The analogs keep that profile: one short chain per
+// sample in the decoder, two in the encoder, buried in branchy control.
+#include "workloads/workloads_internal.hpp"
+
+namespace t1000 {
+
+Workload make_g721_dec() {
+  Workload w;
+  w.name = "g721_dec";
+  w.description =
+      "ADPCM decoder analog: branchy inverse quantizer with table lookups "
+      "and a single short reconstruction chain per sample.";
+  w.max_steps = 1u << 24;
+  w.source = R"(
+        .data
+codes:  .space 4096           # 1024 received 4-bit codes
+dqln:   .word 7, 14, 22, 31, 40, 50, 62, 76
+        .word 7, 14, 22, 31, 40, 50, 62, 76
+outbuf: .space 4096
+        .text
+main:   li   $s7, 24          # blocks
+        li   $s6, 0xD00D
+        li   $s5, 0x41C6
+        li   $v0, 0
+        li   $s0, 32          # step-size state
+        li   $s1, 2           # output rescale shift
+frames:
+        # ---- receive code stream ----
+        la   $t8, codes
+        li   $t9, 1024
+gen:    mul  $s6, $s6, $s5
+        addiu $s6, $s6, 12345
+        srl  $t2, $s6, 11
+        andi $t2, $t2, 0xF
+        sw   $t2, 0($t8)
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, gen
+
+        # ---- per-sample inverse quantizer (branchy) ----
+        la   $t8, codes
+        la   $s3, outbuf
+        li   $t9, 1024
+sample: lw   $t2, 0($t8)
+        # sign/magnitude split
+        andi $t3, $t2, 0x7
+        andi $t4, $t2, 0x8
+        # table lookup of the dequantized magnitude
+        sll  $t5, $t3, 2
+        la   $t6, dqln
+        addu $t6, $t6, $t5
+        lw   $t5, 0($t6)
+        # step-size scaling chain (2 ops)
+        sll  $t7, $t5, 2
+        addu $t7, $t7, $s0
+        # apply sign (branchy)
+        beq  $t4, $zero, plus
+        subu $t7, $zero, $t7
+plus:   sw   $t7, 0($s3)
+        # read-back + variable rescale of the reconstructed sample
+        # (serial, uses the barrel shifter: not fusable)
+        lw   $t1, 0($s3)
+        srlv $t1, $t1, $s1
+        addu $v0, $v0, $t1
+        # dither chain (2 ops)
+        xori $t6, $t7, 0x3
+        andi $t6, $t6, 0xFF
+        sw   $t6, 0($s3)
+        # tracking chain (2 ops)
+        sll  $t1, $t3, 1
+        xor  $t1, $t1, $t5
+        addu $v0, $v0, $t1
+        addu $v0, $v0, $t7
+        # pole/zero predictor products (multiplies: not PFU-fusable)
+        mul  $t1, $t7, $t5
+        srl  $t1, $t1, 8
+        addu $v0, $v0, $t1
+        mul  $t1, $t5, $t3
+        addu $v0, $v0, $t1
+        # adapt the step size (branchy state machine)
+        slti $at, $t3, 4
+        beq  $at, $zero, bigstep
+        addiu $s0, $s0, -2
+        bgtz $s0, stepok
+        li   $s0, 2
+        j    stepok
+bigstep:
+        addiu $s0, $s0, 6
+        slti $at, $s0, 1024
+        bne  $at, $zero, stepok
+        li   $s0, 1023
+stepok:
+        addiu $t8, $t8, 4
+        addiu $s3, $s3, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, sample
+
+        addiu $s7, $s7, -1
+        bgtz $s7, frames
+        halt
+)";
+  return w;
+}
+
+Workload make_g721_enc() {
+  Workload w;
+  w.name = "g721_enc";
+  w.description =
+      "ADPCM encoder analog: quantizer binary search plus predictor update; "
+      "slightly more fusable arithmetic than the decoder.";
+  w.max_steps = 1u << 24;
+  w.source = R"(
+        .data
+pcm:    .space 4096           # 1024 input samples
+codeout: .space 4096
+        .text
+main:   li   $s7, 22          # blocks
+        li   $s6, 0xFACE
+        li   $s5, 0x41C6
+        li   $v0, 0
+        li   $s0, 0           # predictor state
+        li   $s1, 32          # step size
+        li   $s2, 1           # quantizer scale shifts
+        li   $s4, 2
+frames:
+        # ---- capture PCM input ----
+        la   $t8, pcm
+        li   $t9, 1024
+gen:    mul  $s6, $s6, $s5
+        addiu $s6, $s6, 12345
+        srl  $t2, $s6, 8
+        andi $t2, $t2, 0x1FFF
+        sw   $t2, 0($t8)
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, gen
+
+        # ---- per-sample encode ----
+        la   $t8, pcm
+        la   $s3, codeout
+        li   $t9, 1024
+sample: lw   $t2, 0($t8)
+        # prediction error: the raw difference stays live for the predictor
+        # update below, so only the predictor chain is fusable
+        subu $t2, $t2, $s0
+        sra  $t3, $t2, 1
+        # magnitude + sign (branchy)
+        li   $t4, 0
+        bgez $t3, mag
+        li   $t4, 8
+        subu $t3, $zero, $t3
+mag:
+        # quantizer binary search against the step size (branchy)
+        li   $t5, 0
+        slt  $at, $t3, $s1
+        bne  $at, $zero, qdone
+        addiu $t5, $t5, 4
+        sllv $t6, $s1, $s2
+        slt  $at, $t3, $t6
+        bne  $at, $zero, qdone
+        addiu $t5, $t5, 2
+        sllv $t6, $s1, $s4
+        slt  $at, $t3, $t6
+        bne  $at, $zero, qdone
+        addiu $t5, $t5, 1
+qdone:  or   $t5, $t5, $t4
+        sw   $t5, 0($s3)
+        # code-fold chain (2 ops)
+        xori $t1, $t5, 0x5
+        andi $t1, $t1, 0xF
+        addu $v0, $v0, $t1
+        # predictor update chain (2 ops)
+        sra  $t6, $t2, 2
+        addu $s0, $t6, $zero
+        # pole predictor product (multiply: not PFU-fusable)
+        mul  $t1, $t3, $t3
+        srl  $t1, $t1, 10
+        addu $v0, $v0, $t1
+        # step-size adaptation (branchy)
+        andi $t7, $t5, 0x7
+        slti $at, $t7, 3
+        beq  $at, $zero, inc
+        addiu $s1, $s1, -1
+        bgtz $s1, stepok
+        li   $s1, 1
+        j    stepok
+inc:    addiu $s1, $s1, 3
+        slti $at, $s1, 2048
+        bne  $at, $zero, stepok
+        li   $s1, 2047
+stepok:
+        addiu $t8, $t8, 4
+        addiu $s3, $s3, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, sample
+
+        addiu $s7, $s7, -1
+        bgtz $s7, frames
+        halt
+)";
+  return w;
+}
+
+}  // namespace t1000

@@ -1,0 +1,210 @@
+// GSM 06.10 full-rate codec analogs.
+//
+// The real gsm_decode spends most of its time in the short-term synthesis
+// lattice filter and the long-term postfilter: tight per-sample loops of
+// dependent shift/add/mask arithmetic on 13..16-bit values with almost no
+// memory traffic beyond the sample streams. That structure - long fusable
+// chains, narrow widths - is why the paper reports its best speedups here
+// (44% greedy-unlimited, ~27% selective). The analogs reproduce it with
+// three distinct chain shapes in the synthesis loop and two in the
+// postfilter, so a 2-PFU machine must choose (and a greedy mapping
+// thrashes), while 4 PFUs cover everything.
+#include "workloads/workloads_internal.hpp"
+
+namespace t1000 {
+
+Workload make_gsm_dec() {
+  Workload w;
+  w.name = "gsm_dec";
+  w.description =
+      "GSM full-rate decoder analog: short-term synthesis lattice + "
+      "long-term postfilter over 160-sample frames; dominated by dependent "
+      "narrow shift/add chains (three distinct shapes in the hot loop).";
+  w.max_steps = 1u << 24;
+  w.source = R"(
+        .data
+frame:  .space 640            # 160 words: received residual
+hist:   .space 640            # synthesis output history
+        .text
+main:   li   $s7, 36          # frames
+        li   $s6, 0x1234      # LCG state
+        li   $s5, 0x41C6      # LCG multiplier
+        li   $v0, 0
+        li   $s0, 0           # synthesis filter state
+        li   $s4, 0           # postfilter state
+frames:
+        # ---- unpack received residual (LCG, 13-bit samples) ----
+        la   $t8, frame
+        li   $t9, 160
+gen:    mul  $s6, $s6, $s5
+        addiu $s6, $s6, 12345
+        srl  $t2, $s6, 7      # wide value: not a PFU candidate
+        andi $t2, $t2, 0x1FFF
+        sw   $t2, 0($t8)
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, gen
+
+        # ---- synthesis + postfilter: one dominant per-sample loop with
+        # ---- five distinct chain shapes (a 2-PFU machine must choose)
+        la   $t8, frame
+        la   $s3, hist
+        li   $t9, 160
+synth:  lw   $t2, 0($t8)
+        # chain A (7 ops): lattice reflection step
+        sll  $t3, $t2, 2
+        addu $t3, $t3, $s0
+        sra  $t3, $t3, 1
+        addiu $t3, $t3, 33
+        xori $t3, $t3, 0x2A
+        andi $t3, $t3, 0x3FFF
+        addu $t3, $t3, $t2
+        sw   $t3, 0($s3)
+        # chain B (3 ops): filter-state update
+        sra  $t4, $t3, 2
+        andi $t4, $t4, 0xFFF
+        addu $s0, $t4, $zero
+        # chain C (2 ops): de-emphasis tap
+        sll  $t6, $t2, 1
+        xor  $t6, $t6, $t3
+        addu $v0, $v0, $t6
+        # reflection-coefficient product (multiply: not PFU-fusable)
+        mul  $t7, $t3, $t2
+        srl  $t7, $t7, 9
+        addu $v0, $v0, $t7
+        # chain D (4 ops): long-term postfilter tap
+        sll  $t5, $t3, 1
+        subu $t5, $t5, $s4
+        sra  $t5, $t5, 3
+        addiu $t5, $t5, 5
+        # chain E (2 ops): postfilter smoothing
+        sra  $t7, $t5, 1
+        addu $t7, $t7, $t2
+        addu $v0, $v0, $t7
+        andi $s4, $t5, 0xFFF
+        addiu $t8, $t8, 4
+        addiu $s3, $s3, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, synth
+
+        addiu $s7, $s7, -1
+        bgtz $s7, frames
+        halt
+)";
+  return w;
+}
+
+Workload make_gsm_enc() {
+  Workload w;
+  w.name = "gsm_enc";
+  w.description =
+      "GSM full-rate encoder analog: preprocessing + LPC-residual chains "
+      "plus a branchy long-term-prediction lag search, diluting the fusable "
+      "fraction relative to the decoder.";
+  w.max_steps = 1u << 24;
+  w.source = R"(
+        .data
+frame:  .space 640            # 160-sample input frame
+resid:  .space 640            # short-term residual
+        .text
+main:   li   $s7, 26          # frames
+        li   $s6, 0xBEEF
+        li   $s5, 0x41C6
+        li   $v0, 0
+        li   $s0, 0           # pre-emphasis state
+frames:
+        # ---- capture input samples ----
+        la   $t8, frame
+        li   $t9, 160
+gen:    mul  $s6, $s6, $s5
+        addiu $s6, $s6, 12345
+        srl  $t2, $s6, 9
+        andi $t2, $t2, 0x1FFF
+        sw   $t2, 0($t8)
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, gen
+
+        # ---- preprocess + short-term analysis: two chains ----
+        la   $t8, frame
+        la   $s3, resid
+        li   $t9, 160
+pre:    lw   $t2, 0($t8)
+        # chain A (6 ops): pre-emphasis + scale
+        sll  $t3, $t2, 1
+        subu $t3, $t3, $s0
+        sra  $t3, $t3, 2
+        addiu $t3, $t3, 17
+        andi $t3, $t3, 0x3FFF
+        addu $t3, $t3, $t2
+        sw   $t3, 0($s3)
+        # chain B (3 ops): update pre-emphasis state
+        sra  $t4, $t3, 1
+        andi $t4, $t4, 0x1FFF
+        addu $s0, $t4, $zero
+        # chain C (3 ops): weighting tap
+        sll  $t6, $t2, 2
+        xor  $t6, $t6, $t3
+        andi $t6, $t6, 0x1FFF
+        addu $v0, $v0, $t6
+        # autocorrelation energy term (multiply: not PFU-fusable)
+        mul  $t7, $t3, $t3
+        srl  $t7, $t7, 11
+        addu $v0, $v0, $t7
+        # quantizer family sharing a 3-op core P = sra/addiu/xori (the
+        # paper's Figure 3 situation: one PFU configuration can serve all
+        # three when PFUs are scarce)
+        # chain D1 = P + andi tail
+        sra  $t5, $t3, 3
+        addiu $t5, $t5, 2
+        xori $t5, $t5, 0x55
+        andi $t5, $t5, 0xFFF
+        sw   $t5, 4($s3)
+        # chain D2 = P + addu tail
+        sra  $t6, $t3, 3
+        addiu $t6, $t6, 2
+        xori $t6, $t6, 0x55
+        addu $t6, $t6, $t3
+        addu $v0, $v0, $t6
+        # chain D3 = P alone (maximal)
+        sra  $t7, $t3, 3
+        addiu $t7, $t7, 2
+        xori $t7, $t7, 0x55
+        addu $v0, $v0, $t7
+        addiu $t8, $t8, 4
+        addiu $s3, $s3, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, pre
+
+        # ---- LTP lag search: branchy, few candidates ----
+        li   $s1, 16          # candidate lags
+        li   $s2, 0           # best score
+ltp:    la   $t8, resid
+        li   $t9, 16          # correlation window
+        li   $t0, 0           # accumulated score
+corr:   lw   $t2, 0($t8)
+        lw   $t3, 128($t8)
+        subu $t4, $t2, $t3
+        bltz $t4, neg
+        addu $t0, $t0, $t4
+        j    corrnext
+neg:    subu $t0, $t0, $t4
+corrnext:
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, corr
+        blt  $t0, $s2, notbest
+        addu $s2, $t0, $zero
+notbest:
+        addiu $s1, $s1, -1
+        bgtz $s1, ltp
+        addu $v0, $v0, $s2
+
+        addiu $s7, $s7, -1
+        bgtz $s7, frames
+        halt
+)";
+  return w;
+}
+
+}  // namespace t1000

@@ -1,0 +1,192 @@
+// MPEG-2 video codec analogs.
+//
+// mpeg2dec's hot paths are the 8x8 inverse DCT butterflies and motion
+// compensation (block adds with saturation); mpeg2enc adds the forward
+// transform, quantization, and a branchy zigzag/rate pass. Both mix
+// medium-length dependent rounding/scaling chains with substantial block
+// memory traffic, landing them between GSM (chain-dominated) and G.721
+// (branch-dominated) - exactly their position in the paper's Figure 2.
+#include "workloads/workloads_internal.hpp"
+
+namespace t1000 {
+
+Workload make_mpeg2_dec() {
+  Workload w;
+  w.name = "mpeg2_dec";
+  w.description =
+      "MPEG-2 decoder analog: IDCT butterfly passes with rounding chains "
+      "plus motion compensation with saturating adds over 8x8 blocks.";
+  w.max_steps = 1u << 25;
+  w.source = R"(
+        .data
+blocks: .space 8192           # 32 coded 8x8 blocks (words)
+refs:   .space 8192           # reference (prediction) blocks
+outb:   .space 8192
+        .text
+main:   li   $s7, 12          # pictures
+        li   $s6, 0x0DEC
+        li   $s5, 0x41C6
+        li   $v0, 0
+frames:
+        # ---- entropy-decode coefficients (synthesized) ----
+        la   $t8, blocks
+        la   $s3, refs
+        li   $t9, 2048
+gen:    mul  $s6, $s6, $s5
+        addiu $s6, $s6, 12345
+        srl  $t2, $s6, 12
+        andi $t2, $t2, 0x7FF
+        sw   $t2, 0($t8)
+        srl  $t3, $s6, 4
+        andi $t3, $t3, 0xFF
+        sw   $t3, 0($s3)
+        addiu $t8, $t8, 4
+        addiu $s3, $s3, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, gen
+
+        # ---- IDCT butterflies + motion compensation: one dominant loop,
+        # ---- butterflies unrolled x2 (each chain shape appears at two
+        # ---- sites per iteration, sharing one PFU configuration)
+        la   $t8, blocks
+        la   $s3, refs
+        la   $s2, outb
+        li   $t9, 512         # iterations of the unrolled body
+idct:   lw   $t2, 0($t8)
+        lw   $t3, 4($t8)
+        # chain A (3 ops): s = (a + b + 4) >> 3
+        addu $t4, $t2, $t3
+        addiu $t4, $t4, 4
+        sra  $t4, $t4, 3
+        # chain B (3 ops): d = (a - b + 4) >> 3
+        subu $t5, $t2, $t3
+        addiu $t5, $t5, 4
+        sra  $t5, $t5, 3
+        sw   $t4, 0($t8)
+        sw   $t5, 4($t8)
+        # chain C (2 ops): parity fold of the two outputs
+        xor  $t6, $t4, $t5
+        andi $t6, $t6, 0x3FF
+        addu $v0, $v0, $t6
+        lw   $t2, 8($t8)
+        lw   $t3, 12($t8)
+        # second unrolled copy of chains A/B/C (same configurations)
+        addu $t4, $t2, $t3
+        addiu $t4, $t4, 4
+        sra  $t4, $t4, 3
+        subu $t5, $t2, $t3
+        addiu $t5, $t5, 4
+        sra  $t5, $t5, 3
+        sw   $t4, 8($t8)
+        sw   $t5, 12($t8)
+        xor  $t6, $t4, $t5
+        andi $t6, $t6, 0x3FF
+        addu $v0, $v0, $t6
+        # motion compensation for this pair: chain D (4 ops) mixes the
+        # reconstructed sample with the reference prediction and saturates
+        lw   $t3, 0($s3)
+        addu $t4, $t4, $t3
+        addiu $t4, $t4, 1
+        sra  $t4, $t4, 1
+        andi $t4, $t4, 0xFF
+        sw   $t4, 0($s2)
+        addu $v0, $v0, $t4
+        addiu $t8, $t8, 16
+        addiu $s3, $s3, 4
+        addiu $s2, $s2, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, idct
+
+        addiu $s7, $s7, -1
+        bgtz $s7, frames
+        halt
+)";
+  return w;
+}
+
+Workload make_mpeg2_enc() {
+  Workload w;
+  w.name = "mpeg2_enc";
+  w.description =
+      "MPEG-2 encoder analog: forward transform and quantization chains "
+      "plus a branchy zigzag/rate-control scan.";
+  w.max_steps = 1u << 25;
+  w.source = R"(
+        .data
+pixels: .space 8192           # input blocks
+coefs:  .space 8192
+        .text
+main:   li   $s7, 10          # pictures
+        li   $s6, 0x0E4C
+        li   $s5, 0x41C6
+        li   $v0, 0
+        li   $t1, 0x40000     # bits estimate, accumulated across pictures
+                              # (wide value: the rate chain is not fusable)
+frames:
+        # ---- capture pixel blocks ----
+        la   $t8, pixels
+        li   $t9, 2048
+gen:    mul  $s6, $s6, $s5
+        addiu $s6, $s6, 12345
+        srl  $t2, $s6, 14
+        andi $t2, $t2, 0xFF
+        sw   $t2, 0($t8)
+        addiu $t8, $t8, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, gen
+
+        # ---- forward transform butterflies ----
+        la   $t8, pixels
+        la   $s3, coefs
+        li   $t9, 1024
+fdct:   lw   $t2, 0($t8)
+        lw   $t3, 4($t8)
+        # chain A (2 ops): sum path
+        addu $t4, $t2, $t3
+        sll  $t4, $t4, 2
+        # chain B (2 ops): difference path
+        subu $t5, $t2, $t3
+        sll  $t5, $t5, 2
+        sw   $t4, 0($s3)
+        sw   $t5, 4($s3)
+        # chain D (2 ops): energy fold
+        xor  $t6, $t4, $t5
+        andi $t6, $t6, 0x1FFF
+        addu $v0, $v0, $t6
+        # chain C (4 ops): quantize the sum-path coefficient in place
+        addiu $t7, $t4, 8
+        sra  $t7, $t7, 4
+        xori $t7, $t7, 0x21
+        andi $t7, $t7, 0x3FF
+        sw   $t7, 0($s3)
+        addu $v0, $v0, $t7
+        addiu $t8, $t8, 8
+        addiu $s3, $s3, 8
+        addiu $t9, $t9, -1
+        bgtz $t9, fdct
+
+        # ---- zigzag / rate scan: branchy ----
+        la   $s3, coefs
+        li   $t9, 2048
+        li   $t0, 0           # run
+zig:    lw   $t2, 0($s3)
+        bne  $t2, $zero, code
+        addiu $t0, $t0, 1
+        j    zignext
+code:   addu $t1, $t1, $t0
+        addiu $t1, $t1, 5
+        li   $t0, 0
+zignext:
+        addiu $s3, $s3, 4
+        addiu $t9, $t9, -1
+        bgtz $t9, zig
+        addu $v0, $v0, $t1
+
+        addiu $s7, $s7, -1
+        bgtz $s7, frames
+        halt
+)";
+  return w;
+}
+
+}  // namespace t1000

@@ -1,0 +1,28 @@
+#include "workloads/workload.hpp"
+
+#include "asmkit/assembler.hpp"
+#include "workloads/workloads_internal.hpp"
+
+namespace t1000 {
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> suite = {
+      make_unepic(),   make_epic(),     make_gsm_dec(),   make_gsm_enc(),
+      make_g721_dec(), make_g721_enc(), make_mpeg2_dec(), make_mpeg2_enc(),
+  };
+  return suite;
+}
+
+const Workload* find_workload(std::string_view name) {
+  for (const Workload& w : all_workloads()) {
+    if (w.name == name) return &w;
+  }
+  for (const Workload& w : extended_workloads()) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+Program workload_program(const Workload& w) { return assemble(w.source); }
+
+}  // namespace t1000

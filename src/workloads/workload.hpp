@@ -1,0 +1,46 @@
+// MediaBench-analog workload suite.
+//
+// The paper evaluates on eight MediaBench programs (epic/unepic, GSM
+// encode/decode, G.721 encode/decode, MPEG-2 encode/decode) compiled to
+// SimpleScalar PISA. Neither the binaries nor their inputs are available
+// here, so each program is replaced by a synthetic kernel written in the
+// T1000 assembly language that mimics its namesake's published
+// computational character: the mix of dependent narrow-width ALU chains,
+// memory traffic, and branching that drives both the selection algorithms
+// and the timing results. Inputs are generated on the fly by deterministic
+// LCGs, and every kernel folds its outputs into a $v0 checksum so rewritten
+// programs can be validated against the original bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asmkit/program.hpp"
+
+namespace t1000 {
+
+struct Workload {
+  std::string name;
+  std::string description;  // what the kernel mimics and why
+  std::string source;       // assembly text
+  std::uint64_t max_steps;  // generous functional-simulation bound
+};
+
+// All eight benchmarks, in the paper's Figure 2 order:
+// unepic, epic, gsm_dec, gsm_enc, g721_dec, g721_enc, mpeg2_dec, mpeg2_enc.
+const std::vector<Workload>& all_workloads();
+
+// Extended suite beyond the paper: adpcm_enc, adpcm_dec, pegwit (a
+// deliberately PFU-hostile wide-arithmetic negative control), jpeg_enc.
+// Exercised by bench/extended_suite, not by the paper-figure benches.
+const std::vector<Workload>& extended_workloads();
+
+// Lookup by name; returns nullptr when unknown.
+const Workload* find_workload(std::string_view name);
+
+// Assembles a workload's source.
+Program workload_program(const Workload& w);
+
+}  // namespace t1000

@@ -1,0 +1,21 @@
+// Internal: per-benchmark factory declarations for the workload registry.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace t1000 {
+
+Workload make_unepic();
+Workload make_epic();
+Workload make_gsm_dec();
+Workload make_gsm_enc();
+Workload make_g721_dec();
+Workload make_g721_enc();
+Workload make_mpeg2_dec();
+Workload make_mpeg2_enc();
+Workload make_adpcm_enc();
+Workload make_adpcm_dec();
+Workload make_pegwit();
+Workload make_jpeg_enc();
+
+}  // namespace t1000

@@ -1,0 +1,196 @@
+#include "cfg/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+
+namespace t1000 {
+namespace {
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  const Program p = assemble(R"(
+      addiu $t0, $t0, 1
+      addiu $t0, $t0, 2
+      halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.num_blocks(), 1);
+  EXPECT_EQ(cfg.block(0).first, 0);
+  EXPECT_EQ(cfg.block(0).last, 2);
+  EXPECT_TRUE(cfg.block(0).succs.empty());
+  EXPECT_TRUE(cfg.loops().empty());
+}
+
+TEST(Cfg, BranchSplitsBlocks) {
+  const Program p = assemble(R"(
+        beq $t0, $t1, skip     # block 0: [0]
+        addiu $t0, $t0, 1      # block 1: [1]
+  skip: halt                   # block 2: [2]
+  )");
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.num_blocks(), 3);
+  EXPECT_EQ(cfg.block(0).succs, (std::vector<int>{1, 2}));
+  EXPECT_EQ(cfg.block(1).succs, (std::vector<int>{2}));
+  EXPECT_TRUE(cfg.block(2).succs.empty());
+  EXPECT_EQ(cfg.block_of(0), 0);
+  EXPECT_EQ(cfg.block_of(1), 1);
+  EXPECT_EQ(cfg.block_of(2), 2);
+}
+
+TEST(Cfg, BranchToFallthroughDeduplicated) {
+  const Program p = assemble(R"(
+        beq $t0, $t1, next
+  next: halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  EXPECT_EQ(cfg.block(0).succs, (std::vector<int>{1}));
+}
+
+TEST(Cfg, SimpleLoopDetected) {
+  const Program p = assemble(R"(
+        li $t0, 0              # block 0
+  loop: addiu $t0, $t0, 1      # block 1
+        bne $t0, $t1, loop
+        halt                   # block 2
+  )");
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  const Loop& l = cfg.loops()[0];
+  EXPECT_EQ(l.header, cfg.block_of(1));
+  EXPECT_EQ(l.blocks, (std::vector<int>{cfg.block_of(1)}));
+  EXPECT_EQ(l.depth, 1);
+  EXPECT_EQ(cfg.innermost_loop_of(cfg.block_of(1)), 0);
+  EXPECT_EQ(cfg.innermost_loop_of(cfg.block_of(0)), -1);
+}
+
+TEST(Cfg, NestedLoopsHaveDepths) {
+  const Program p = assemble(R"(
+        li $t0, 0
+  outer: li $t1, 0
+  inner: addiu $t1, $t1, 1
+        bne $t1, $t3, inner
+        addiu $t0, $t0, 1
+        bne $t0, $t2, outer
+        halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.loops().size(), 2u);
+  const Loop* outer = nullptr;
+  const Loop* inner = nullptr;
+  for (const Loop& l : cfg.loops()) {
+    (l.depth == 1 ? outer : inner) = &l;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->depth, 2);
+  EXPECT_EQ(&cfg.loops()[static_cast<std::size_t>(inner->parent)], outer);
+  EXPECT_GT(outer->blocks.size(), inner->blocks.size());
+  // The inner header's innermost loop is the inner loop.
+  const int inner_header_loop = cfg.innermost_loop_of(inner->header);
+  EXPECT_EQ(cfg.loops()[static_cast<std::size_t>(inner_header_loop)].depth, 2);
+}
+
+TEST(Cfg, MultiBlockLoopBody) {
+  const Program p = assemble(R"(
+  loop: blez $t0, else
+        addiu $t1, $t1, 1
+        j tail
+  else: addiu $t1, $t1, 2
+  tail: addiu $t0, $t0, -1
+        bne $t0, $zero, loop
+        halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  EXPECT_EQ(cfg.loops()[0].blocks.size(), 4u);  // header, then, else, tail
+}
+
+TEST(Cfg, DominatorsOfDiamond) {
+  const Program p = assemble(R"(
+        beq $t0, $zero, right  # 0
+        addiu $t1, $t1, 1      # 1 (left)
+        j join                 # (same block as 1)
+  right: addiu $t1, $t1, 2     # 2
+  join: halt                   # 3
+  )");
+  const Cfg cfg = Cfg::build(p);
+  const int b0 = cfg.block_of(0);
+  const int join = cfg.block_of(p.text_symbols.at("join"));
+  const int left = cfg.block_of(1);
+  const int right = cfg.block_of(p.text_symbols.at("right"));
+  EXPECT_TRUE(cfg.dominates(b0, left));
+  EXPECT_TRUE(cfg.dominates(b0, right));
+  EXPECT_TRUE(cfg.dominates(b0, join));
+  EXPECT_FALSE(cfg.dominates(left, join));
+  EXPECT_FALSE(cfg.dominates(right, join));
+  EXPECT_EQ(cfg.idom(join), b0);
+  EXPECT_TRUE(cfg.dominates(join, join));
+}
+
+TEST(Cfg, CallsDoNotCreateLoopEdges) {
+  // A function called from inside a loop: the call must not make the callee
+  // part of the loop, and the callee's `jr` must not create wild edges.
+  const Program p = assemble(R"(
+  main: li $t0, 0
+  loop: jal helper
+        addiu $t0, $t0, 1
+        bne $t0, $t1, loop
+        halt
+  helper: addiu $v0, $zero, 1
+        jr $ra
+  )");
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  const int helper_block = cfg.block_of(p.text_symbols.at("helper"));
+  for (const int b : cfg.loops()[0].blocks) EXPECT_NE(b, helper_block);
+  // jal's successor is the fall-through, not the callee.
+  const int call_block = cfg.block_of(1);
+  EXPECT_EQ(cfg.block(call_block).succs.size(), 1u);
+  EXPECT_EQ(cfg.block(call_block).succs[0], cfg.block_of(2));
+}
+
+TEST(Cfg, EntryIsMainSymbol) {
+  const Program p = assemble(R"(
+  helper: jr $ra
+  main: halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  EXPECT_EQ(cfg.entry(), cfg.block_of(p.text_symbols.at("main")));
+}
+
+TEST(Cfg, FunctionBodiesGetDominators) {
+  // The callee is reachable only via jal; it must still get dominator info
+  // so loops inside functions are found.
+  const Program p = assemble(R"(
+  main: jal f
+        halt
+  f:    li $t0, 0
+  floop: addiu $t0, $t0, 1
+        bne $t0, $t1, floop
+        jr $ra
+  )");
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  EXPECT_EQ(cfg.loops()[0].header,
+            cfg.block_of(p.text_symbols.at("floop")));
+}
+
+TEST(Cfg, SelfLoopBlock) {
+  const Program p = assemble(R"(
+  spin: bne $t0, $zero, spin
+        halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  EXPECT_EQ(cfg.loops()[0].blocks.size(), 1u);
+}
+
+TEST(Cfg, EmptyProgram) {
+  const Program p = assemble("");
+  const Cfg cfg = Cfg::build(p);
+  EXPECT_EQ(cfg.num_blocks(), 0);
+  EXPECT_TRUE(cfg.loops().empty());
+}
+
+}  // namespace
+}  // namespace t1000

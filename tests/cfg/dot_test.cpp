@@ -1,0 +1,54 @@
+#include "cfg/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+
+namespace t1000 {
+namespace {
+
+TEST(Dot, ContainsBlocksEdgesAndEntry) {
+  const Program p = assemble(R"(
+        li $t0, 5
+  loop: addiu $t0, $t0, -1
+        bgtz $t0, loop
+        halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  const std::string dot = cfg_to_dot(p, cfg);
+  EXPECT_NE(dot.find("digraph cfg"), std::string::npos);
+  EXPECT_NE(dot.find("b0"), std::string::npos);
+  EXPECT_NE(dot.find("entry -> b"), std::string::npos);
+  // The loop back edge is highlighted.
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  // Loop blocks get a loop annotation and a fill tint.
+  EXPECT_NE(dot.find("loop0"), std::string::npos);
+  EXPECT_NE(dot.find("#fff3e0"), std::string::npos);
+}
+
+TEST(Dot, InstructionTextAppearsAndElides) {
+  std::string src = "top:\n";
+  for (int i = 0; i < 20; ++i) src += "  addiu $t0, $t0, 1\n";
+  src += "  halt\n";
+  const Program p = assemble(src);
+  const Cfg cfg = Cfg::build(p);
+  DotOptions opt;
+  opt.max_instructions_per_block = 4;
+  const std::string dot = cfg_to_dot(p, cfg, opt);
+  EXPECT_NE(dot.find("addiu $t0, $t0, 1"), std::string::npos);
+  EXPECT_NE(dot.find("..."), std::string::npos);
+
+  DotOptions bare;
+  bare.show_instructions = false;
+  const std::string plain = cfg_to_dot(p, cfg, bare);
+  EXPECT_EQ(plain.find("addiu"), std::string::npos);
+}
+
+TEST(Dot, EmptyProgramStillValid) {
+  const Program p = assemble("");
+  const std::string dot = cfg_to_dot(p, Cfg::build(p));
+  EXPECT_NE(dot.find("digraph cfg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace t1000

@@ -1,0 +1,128 @@
+#include "cfg/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+
+namespace t1000 {
+namespace {
+
+constexpr Reg kT0 = 8;
+constexpr Reg kT1 = 9;
+constexpr Reg kT2 = 10;
+
+TEST(Liveness, ValueDeadAfterLastUse) {
+  const Program p = assemble(R"(
+        li $t0, 1          # 0
+        addu $t1, $t0, $t0 # 1: last use of $t0
+        addu $t2, $t1, $t1 # 2
+        beq $t2, $zero, a  # 3  (ends block so $t1/$t0 not re-read)
+  a:    halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  const Liveness lv = compute_liveness(p, cfg);
+  EXPECT_TRUE(lv.live_after(p, cfg, 0).test(kT0));
+  EXPECT_FALSE(lv.live_after(p, cfg, 1).test(kT0));
+  EXPECT_TRUE(lv.live_after(p, cfg, 1).test(kT1));
+  EXPECT_FALSE(lv.live_after(p, cfg, 2).test(kT1));
+}
+
+TEST(Liveness, LoopCarriedValueStaysLive) {
+  const Program p = assemble(R"(
+        li $t0, 0
+        li $t1, 10
+  loop: addiu $t0, $t0, 1    # $t0 live around the back edge
+        bne $t0, $t1, loop
+        halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  const Liveness lv = compute_liveness(p, cfg);
+  const int loop_block = cfg.block_of(2);
+  EXPECT_TRUE(lv.live_in[static_cast<std::size_t>(loop_block)].test(kT0));
+  EXPECT_TRUE(lv.live_in[static_cast<std::size_t>(loop_block)].test(kT1));
+  EXPECT_TRUE(lv.live_out[static_cast<std::size_t>(loop_block)].test(kT0));
+}
+
+TEST(Liveness, BranchOperandsAreUsed) {
+  const Program p = assemble(R"(
+        li $t2, 3
+        bne $t2, $zero, a
+  a:    halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  const Liveness lv = compute_liveness(p, cfg);
+  EXPECT_TRUE(lv.live_after(p, cfg, 0).test(kT2));
+}
+
+TEST(Liveness, HaltKeepsOnlyResultRegistersLive) {
+  const Program p = assemble(R"(
+        li $t0, 1
+        halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  const Liveness lv = compute_liveness(p, cfg);
+  const RegSet at_exit = lv.live_after(p, cfg, 0);
+  EXPECT_FALSE(at_exit.test(kT0));
+  EXPECT_TRUE(at_exit.test(kRegV0));
+  EXPECT_TRUE(at_exit.test(kRegV0 + 1));
+}
+
+TEST(Liveness, ReturnKeepsAbiRegistersLive) {
+  const Program p = assemble(R"(
+  f:    li $t0, 1
+        li $s0, 2
+        jr $ra
+  )");
+  const Cfg cfg = Cfg::build(p);
+  const Liveness lv = compute_liveness(p, cfg);
+  const RegSet after_t0 = lv.live_after(p, cfg, 0);
+  EXPECT_FALSE(after_t0.test(kT0));   // temporaries die at return
+  const RegSet after_s0 = lv.live_after(p, cfg, 1);
+  EXPECT_TRUE(after_s0.test(kRegS0));  // callee-saved survive
+  EXPECT_TRUE(after_s0.test(kRegSp));
+  EXPECT_TRUE(after_s0.test(kRegRa));
+}
+
+TEST(Liveness, CallsUseEverything) {
+  const Program p = assemble(R"(
+  main: li $t0, 5            # 0: would be dead without the call
+        jal f                # 1
+        halt
+  f:    jr $ra
+  )");
+  const Cfg cfg = Cfg::build(p);
+  const Liveness lv = compute_liveness(p, cfg);
+  EXPECT_TRUE(lv.live_after(p, cfg, 0).test(kT0));
+}
+
+TEST(Liveness, ZeroRegisterNeverLive) {
+  const Program p = assemble(R"(
+  loop: addu $t0, $zero, $zero
+        bne $t0, $zero, loop
+        halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  const Liveness lv = compute_liveness(p, cfg);
+  for (int b = 0; b < cfg.num_blocks(); ++b) {
+    EXPECT_FALSE(lv.live_in[static_cast<std::size_t>(b)].test(kRegZero));
+    EXPECT_FALSE(lv.live_out[static_cast<std::size_t>(b)].test(kRegZero));
+  }
+}
+
+TEST(Liveness, RedefinitionKillsLiveness) {
+  const Program p = assemble(R"(
+        li $t0, 1             # 0: this $t0 is dead (overwritten at 1)
+        li $t0, 2             # 1
+        addu $t1, $t0, $t0    # 2
+        beq $t1, $zero, a     # 3
+  a:    halt
+  )");
+  const Cfg cfg = Cfg::build(p);
+  const Liveness lv = compute_liveness(p, cfg);
+  // After inst 0, $t0 is not live: inst 1 redefines before any use.
+  EXPECT_FALSE(lv.live_after(p, cfg, 0).test(kT0));
+  EXPECT_TRUE(lv.live_after(p, cfg, 1).test(kT0));
+}
+
+}  // namespace
+}  // namespace t1000

@@ -1,0 +1,270 @@
+#include "extinst/extract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+#include "extinst/select.hpp"
+
+namespace t1000 {
+namespace {
+
+// Analyzes a source string with a permissive policy (no execution
+// requirement so straight-line tests need not run hot).
+AnalyzedProgram analyze(const Program& p, ExtractPolicy policy = {}) {
+  AnalyzedProgram ap;
+  ap.program = &p;
+  ap.cfg = Cfg::build(p);
+  ap.liveness = compute_liveness(p, ap.cfg);
+  ap.profile = profile_program(p, 1u << 22);
+  ap.sites = extract_sites(p, ap.cfg, ap.liveness, ap.profile, policy);
+  return ap;
+}
+
+TEST(Extract, FindsSimpleChain) {
+  // sll -> addu chain feeding a store; the temp $t5 dies at the addu.
+  const Program p = assemble(R"(
+        li $t1, 100
+        li $t3, 3
+        la $t4, buf
+        li $t0, 0
+  loop: sll $t5, $t3, 4
+        addu $t6, $t5, $t1
+        sw  $t6, 0($t4)
+        addiu $t0, $t0, 1
+        slti $at, $t0, 8
+        bne $at, $zero, loop
+        halt
+        .data
+  buf:  .space 64
+  )");
+  const AnalyzedProgram ap = analyze(p);
+  ASSERT_GE(ap.sites.size(), 1u);
+  const SeqSite* chain = nullptr;
+  for (const SeqSite& s : ap.sites) {
+    if (s.positions.front() == p.text_symbols.at("loop")) chain = &s;
+  }
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->length(), 2);
+  EXPECT_EQ(chain->exec_count, 8u);
+  EXPECT_GE(chain->loop, 0);
+  const WindowView v = full_view(p, *chain);
+  EXPECT_EQ(v.num_inputs, 2);  // $t3 and $t1
+  EXPECT_EQ(v.output, 14);     // $t6
+  EXPECT_EQ(v.def.eval(3, 100), (3u << 4) + 100);
+}
+
+TEST(Extract, TempWithTwoReadersBreaksChain) {
+  const Program p = assemble(R"(
+        li $t1, 5
+        sll $t5, $t1, 2
+        addu $t6, $t5, $t1   # reader 1 of $t5
+        addu $t7, $t5, $t6   # reader 2 of $t5
+        sw $t6, 0($sp)
+        sw $t7, 4($sp)
+        halt
+  )");
+  const AnalyzedProgram ap = analyze(p);
+  // The sll cannot fuse with the first addu ($t5 read twice); the two addus
+  // can't chain into one sequence with 3 inputs either. Allowed outcome:
+  // possibly a 2-op chain addu->addu? addu $t7 reads $t5 (external) and
+  // $t6 (link): 2 externals total ($t5,$t1->no: $t6 = link). Inputs of the
+  // pair = {$t5, $t1} = 2. That chain is legal.
+  for (const SeqSite& s : ap.sites) {
+    for (const std::int32_t pos : s.positions) {
+      EXPECT_NE(pos, 1) << "sll with two readers must not be fused";
+    }
+  }
+}
+
+TEST(Extract, EscapingTempBreaksChain) {
+  // $t5 is read in the next block, so it must not be fused away.
+  const Program p = assemble(R"(
+        li $t1, 5
+        sll $t5, $t1, 2
+        addu $t6, $t5, $t1
+        beq $t6, $zero, next
+  next: sw $t5, 0($sp)
+        halt
+  )");
+  const AnalyzedProgram ap = analyze(p);
+  for (const SeqSite& s : ap.sites) {
+    EXPECT_EQ(s.length(), 0) << "no multi-op chain should survive";
+  }
+  EXPECT_TRUE(ap.sites.empty());
+}
+
+TEST(Extract, WideValuesAreNotCandidates) {
+  const Program p = assemble(R"(
+        li $t1, 0x100000      # 21 bits > 18
+        li $t0, 0
+  loop: sll $t5, $t1, 2
+        addu $t6, $t5, $t1
+        sw $t6, 0($sp)
+        addiu $t0, $t0, 1
+        slti $at, $t0, 4
+        bne $at, $zero, loop
+        halt
+  )");
+  const AnalyzedProgram ap = analyze(p);
+  for (const SeqSite& s : ap.sites) {
+    for (const std::int32_t pos : s.positions) {
+      EXPECT_NE(pos, 2);
+      EXPECT_NE(pos, 3);
+    }
+  }
+}
+
+TEST(Extract, WidthPolicyIsConfigurable) {
+  const Program p = assemble(R"(
+        li $t1, 0x100000
+        li $t0, 0
+  loop: sll $t5, $t1, 2
+        addu $t6, $t5, $t1
+        sw $t6, 0($sp)
+        addiu $t0, $t0, 1
+        slti $at, $t0, 4
+        bne $at, $zero, loop
+        halt
+  )");
+  ExtractPolicy policy;
+  policy.max_width = 32;
+  const AnalyzedProgram ap = analyze(p, policy);
+  bool found = false;
+  for (const SeqSite& s : ap.sites) {
+    if (s.positions.front() == 2) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Extract, ThreeExternalInputsRejected) {
+  // addu(a,b) -> addu(.,c) would need 3 input ports; the chain must stop.
+  const Program p = assemble(R"(
+        li $t1, 1
+        li $t2, 2
+        li $t3, 3
+        b body
+  body: addu $t5, $t1, $t2
+        addu $t6, $t5, $t3
+        sw $t6, 0($sp)
+        halt
+  )");
+  const AnalyzedProgram ap = analyze(p);
+  for (const SeqSite& s : ap.sites) {
+    EXPECT_LT(s.length(), 2);
+  }
+  EXPECT_TRUE(ap.sites.empty());
+}
+
+TEST(Extract, TwoInputChainAccepted) {
+  // Same shape but the second op reuses input $t1: 2 externals total.
+  const Program p = assemble(R"(
+        li $t1, 1
+        li $t2, 2
+        b body
+  body: addu $t5, $t1, $t2
+        addu $t6, $t5, $t1
+        sw $t6, 0($sp)
+        halt
+  )");
+  const AnalyzedProgram ap = analyze(p);
+  ASSERT_EQ(ap.sites.size(), 1u);
+  EXPECT_EQ(ap.sites[0].length(), 2);
+  const WindowView v = full_view(p, ap.sites[0]);
+  EXPECT_EQ(v.num_inputs, 2);
+  EXPECT_EQ(v.def.eval(1, 2), 4u);  // (1+2)+1
+}
+
+TEST(Extract, AccumulatorChainSameRegister) {
+  // Classic accumulator: every member writes $t2 (the paper's Figure 3).
+  const Program p = assemble(R"(
+        li $t3, 3
+        li $t1, 7
+        b body
+  body: sll $t2, $t3, 4
+        addu $t2, $t2, $t1
+        sll $t2, $t2, 2
+        sw $t2, 0($sp)
+        halt
+  )");
+  const AnalyzedProgram ap = analyze(p);
+  ASSERT_EQ(ap.sites.size(), 1u);
+  EXPECT_EQ(ap.sites[0].length(), 3);
+  const WindowView v = full_view(p, ap.sites[0]);
+  EXPECT_EQ(v.def.eval(3, 7), ((3u << 4) + 7) << 2);
+  EXPECT_EQ(v.output, 10);  // $t2
+}
+
+TEST(Extract, ChainCapsAtMaxLength) {
+  // 10 dependent addius; must split into chains of at most kMaxUops.
+  std::string src = "  li $t0, 1\n  b body\nbody:\n";
+  for (int i = 0; i < 10; ++i) src += "  addiu $t0, $t0, 1\n";
+  src += "  sw $t0, 0($sp)\n  halt\n";
+  const Program p = assemble(src);
+  const AnalyzedProgram ap = analyze(p);
+  ASSERT_GE(ap.sites.size(), 1u);
+  int covered = 0;
+  for (const SeqSite& s : ap.sites) {
+    EXPECT_LE(s.length(), kMaxUops);
+    covered += s.length();
+  }
+  EXPECT_EQ(covered, 10);
+}
+
+TEST(Extract, NeverExecutedCodeSkippedByDefault) {
+  const Program p = assemble(R"(
+        j end
+        sll $t5, $t1, 2      # dead code
+        addu $t6, $t5, $t1
+        sw $t6, 0($sp)
+  end:  halt
+  )");
+  const AnalyzedProgram ap = analyze(p);
+  EXPECT_TRUE(ap.sites.empty());
+}
+
+TEST(Extract, MemoryOpsNeverFused) {
+  const Program p = assemble(R"(
+        li $t1, 4
+  loop: lw $t5, 0($sp)
+        addu $t6, $t5, $t1
+        sw $t6, 0($sp)
+        addiu $t1, $t1, -1
+        bgtz $t1, loop
+        halt
+  )");
+  const AnalyzedProgram ap = analyze(p);
+  for (const SeqSite& s : ap.sites) {
+    for (const std::int32_t pos : s.positions) {
+      EXPECT_FALSE(is_mem(p.text[static_cast<std::size_t>(pos)].op));
+    }
+  }
+}
+
+TEST(Extract, SiteCarriesLoopId) {
+  const Program p = assemble(R"(
+        li $t1, 3
+        li $t0, 0
+  loop: sll $t5, $t1, 2
+        addu $t6, $t5, $t1
+        sw $t6, 0($sp)
+        addiu $t0, $t0, 1
+        slti $at, $t0, 4
+        bne $at, $zero, loop
+        sll $t5, $t1, 3      # outside the loop
+        addu $t7, $t5, $t1
+        sw $t7, 4($sp)
+        halt
+  )");
+  const AnalyzedProgram ap = analyze(p);
+  ASSERT_EQ(ap.sites.size(), 2u);
+  int in_loop = 0;
+  int outside = 0;
+  for (const SeqSite& s : ap.sites) {
+    (s.loop >= 0 ? in_loop : outside) += 1;
+  }
+  EXPECT_EQ(in_loop, 1);
+  EXPECT_EQ(outside, 1);
+}
+
+}  // namespace
+}  // namespace t1000

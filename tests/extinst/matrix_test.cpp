@@ -1,0 +1,225 @@
+#include "extinst/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+#include "extinst/select.hpp"
+#include "hwcost/lut_model.hpp"
+
+namespace t1000 {
+namespace {
+
+// The paper's Figure 3 loop: one maximal occurrence of
+//   I = sll;addu;sll   and two of   J = sll;addu
+// all sharing the same operation structure, so J is a common subsequence
+// of I. Figure 4's matrix says [I,I]=1, [J,J]=2, [J,I]=1.
+struct PaperExample {
+  Program program;
+  AnalyzedProgram ap;
+  RegionMatrix rm;
+  int idx_i = -1;  // candidate index of the 3-op sequence
+  int idx_j = -1;  // candidate index of the 2-op prefix
+  int idx_k = -1;  // candidate index of the 2-op suffix (addu;sll)
+
+  PaperExample() {
+    program = assemble(R"(
+          li $t1, 100
+          li $t3, 3
+          la $t4, buf
+          li $t0, 0
+    loop: sll $t2, $t3, 4      # --- sequence I: sll/addu/sll ---
+          addu $t2, $t2, $t1
+          sll $t2, $t2, 2
+          sw  $t2, 0($t4)
+          sll $t5, $t3, 4      # --- sequence J occurrence 1 ---
+          addu $t5, $t5, $t1
+          sw  $t5, 4($t4)
+          sll $t6, $t3, 4      # --- sequence J occurrence 2 ---
+          addu $t6, $t6, $t1
+          sw  $t6, 8($t4)
+          addiu $t0, $t0, 1
+          slti $at, $t0, 50
+          bne $at, $zero, loop
+          halt
+          .data
+    buf:  .space 64
+    )");
+    ap.program = &program;
+    ap.cfg = Cfg::build(program);
+    ap.liveness = compute_liveness(program, ap.cfg);
+    ap.profile = profile_program(program, 1u << 22);
+    ap.sites = extract_sites(program, ap.cfg, ap.liveness, ap.profile, {});
+
+    std::vector<int> in_loop;
+    for (std::size_t i = 0; i < ap.sites.size(); ++i) {
+      if (ap.sites[i].loop >= 0 && ap.sites[i].length() >= 2) {
+        in_loop.push_back(static_cast<int>(i));
+      }
+    }
+    rm = build_region_matrix(program, ap.profile, ap.sites, in_loop, 0, 2, kPfuLutBudget);
+    for (int c = 0; c < rm.k(); ++c) {
+      const ExtInstDef& d = rm.candidates[static_cast<std::size_t>(c)].def;
+      if (d.length() == 3) idx_i = c;
+      if (d.length() == 2 && d.uops()[0].op == Opcode::kSll) idx_j = c;
+      if (d.length() == 2 && d.uops()[0].op == Opcode::kAddu) idx_k = c;
+    }
+  }
+};
+
+TEST(RegionMatrix, PaperExampleSitesExtracted) {
+  const PaperExample ex;
+  ASSERT_EQ(ex.rm.site_indices.size(), 3u);  // I once, J twice
+  int len3 = 0;
+  int len2 = 0;
+  for (const int i : ex.rm.site_indices) {
+    const int len = ex.ap.sites[static_cast<std::size_t>(i)].length();
+    if (len == 3) ++len3;
+    if (len == 2) ++len2;
+  }
+  EXPECT_EQ(len3, 1);
+  EXPECT_EQ(len2, 2);
+}
+
+TEST(RegionMatrix, PaperExampleCandidates) {
+  const PaperExample ex;
+  // Distinct candidates: I (3 ops), J (sll;addu), and the suffix addu;sll.
+  EXPECT_EQ(ex.rm.k(), 3);
+  ASSERT_GE(ex.idx_i, 0);
+  ASSERT_GE(ex.idx_j, 0);
+  ASSERT_GE(ex.idx_k, 0);
+}
+
+TEST(RegionMatrix, PaperExampleMatrixEntries) {
+  const PaperExample ex;
+  const auto& m = ex.rm.counts;
+  const std::size_t I = static_cast<std::size_t>(ex.idx_i);
+  const std::size_t J = static_cast<std::size_t>(ex.idx_j);
+  // Figure 4: [I,I] = 1 maximal appearance of I.
+  EXPECT_EQ(m[I][I], 1);
+  // [J,J] = 2 maximal appearances of J.
+  EXPECT_EQ(m[J][J], 2);
+  // [J,I] = 1: J appears once inside I.
+  EXPECT_EQ(m[J][I], 1);
+  // I never fits inside J.
+  EXPECT_EQ(m[I][J], 0);
+}
+
+TEST(RegionMatrix, RowSumIsTotalAppearances) {
+  const PaperExample ex;
+  // "The sum of entries along the Ith row equals the total number of
+  // appearances of sequence I throughout this loop."
+  const std::size_t J = static_cast<std::size_t>(ex.idx_j);
+  int row_sum = 0;
+  for (int c = 0; c < ex.rm.k(); ++c) {
+    row_sum += ex.rm.counts[J][static_cast<std::size_t>(c)];
+  }
+  EXPECT_EQ(row_sum, 3);  // twice maximal + once inside I
+}
+
+TEST(RegionMatrix, SoloGainsFollowPaperArithmetic) {
+  const PaperExample ex;
+  const std::uint64_t iters = 50;
+  // J alone: applies at 3 places, saving 1 cycle each -> 3/iteration.
+  EXPECT_EQ(ex.rm.candidates[static_cast<std::size_t>(ex.idx_j)].solo_gain,
+            3 * iters);
+  // I alone: applies once, saving 2 cycles -> 2/iteration.
+  EXPECT_EQ(ex.rm.candidates[static_cast<std::size_t>(ex.idx_i)].solo_gain,
+            2 * iters);
+}
+
+TEST(RegionMatrix, BestTilingPrefersFullWhenAllowed) {
+  const PaperExample ex;
+  std::vector<bool> all(static_cast<std::size_t>(ex.rm.k()), true);
+  // Tiling the I site with everything allowed: the full 3-op window saves 2
+  // cycles, beating J (1 cycle); J+suffix overlap so only one can apply.
+  for (std::size_t si = 0; si < ex.rm.site_indices.size(); ++si) {
+    const SeqSite& site =
+        ex.ap.sites[static_cast<std::size_t>(ex.rm.site_indices[si])];
+    if (site.length() != 3) continue;
+    std::uint64_t gain = 0;
+    const auto chosen =
+        best_tiling(site, ex.rm.windows[si], ex.rm.candidates, all, &gain);
+    ASSERT_EQ(chosen.size(), 1u);
+    EXPECT_EQ(ex.rm.windows[si][static_cast<std::size_t>(chosen[0])].candidate,
+              ex.idx_i);
+    EXPECT_EQ(gain, 2u * 50);
+  }
+}
+
+TEST(RegionMatrix, SelectiveWithOnePfuChoosesJ) {
+  // The paper: "If we are working with an architecture with only one PFU,
+  // selecting the sequence with the highest total gain across the loop
+  // would lead us to choose sequence J."
+  const PaperExample ex;
+  SelectPolicy policy;
+  policy.num_pfus = 1;
+  policy.time_threshold = 0.0;
+  const Selection sel = select_selective(ex.ap, policy);
+  ASSERT_EQ(sel.num_configs(), 1);
+  EXPECT_EQ(sel.table.at(0).length(), 2);
+  EXPECT_EQ(sel.table.at(0).uops()[0].op, Opcode::kSll);
+  EXPECT_EQ(sel.table.at(0).uops()[1].op, Opcode::kAddu);
+  // Applied at all three places.
+  EXPECT_EQ(sel.apps.size(), 3u);
+}
+
+TEST(RegionMatrix, SelectiveWithTwoPfusCoversEverything) {
+  const PaperExample ex;
+  SelectPolicy policy;
+  policy.num_pfus = 2;
+  policy.time_threshold = 0.0;
+  const Selection sel = select_selective(ex.ap, policy);
+  // Two distinct maximal sequences exist (I and J); both fit in 2 PFUs.
+  EXPECT_EQ(sel.num_configs(), 2);
+  EXPECT_EQ(sel.apps.size(), 3u);
+}
+
+TEST(BestTiling, DisjointWindowsCombine) {
+  // A 4-op chain where only the 2-op sequence is allowed: tiling should
+  // apply it twice (members 0-1 and 2-3).
+  const Program p = assemble(R"(
+        li $t1, 3
+        li $t3, 5
+        li $t0, 0
+  loop: sll  $t2, $t1, 1
+        addu $t2, $t2, $t3
+        sll  $t2, $t2, 1
+        addu $t2, $t2, $t3
+        sw   $t2, 0($sp)
+        addiu $t0, $t0, 1
+        slti $at, $t0, 10
+        bne $at, $zero, loop
+        halt
+  )");
+  AnalyzedProgram ap;
+  ap.program = &p;
+  ap.cfg = Cfg::build(p);
+  ap.liveness = compute_liveness(p, ap.cfg);
+  ap.profile = profile_program(p, 1u << 20);
+  ap.sites = extract_sites(p, ap.cfg, ap.liveness, ap.profile, {});
+  ASSERT_EQ(ap.sites.size(), 1u);
+  ASSERT_EQ(ap.sites[0].length(), 4);
+
+  const RegionMatrix rm =
+      build_region_matrix(p, ap.profile, ap.sites, {0}, 0, 2, kPfuLutBudget);
+  // Find the sll;addu candidate.
+  int idx = -1;
+  for (int c = 0; c < rm.k(); ++c) {
+    const ExtInstDef& d = rm.candidates[static_cast<std::size_t>(c)].def;
+    if (d.length() == 2 && d.uops()[0].op == Opcode::kSll &&
+        d.uops()[1].op == Opcode::kAddu) {
+      idx = c;
+    }
+  }
+  ASSERT_GE(idx, 0);
+  std::vector<bool> allowed(static_cast<std::size_t>(rm.k()), false);
+  allowed[static_cast<std::size_t>(idx)] = true;
+  std::uint64_t gain = 0;
+  const auto chosen =
+      best_tiling(ap.sites[0], rm.windows[0], rm.candidates, allowed, &gain);
+  EXPECT_EQ(chosen.size(), 2u);
+  EXPECT_EQ(gain, 2u * 10);  // two windows x 1 cycle x 10 iterations
+}
+
+}  // namespace
+}  // namespace t1000

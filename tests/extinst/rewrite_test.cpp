@@ -1,0 +1,201 @@
+#include "extinst/rewrite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+#include "extinst/select.hpp"
+#include "sim/executor.hpp"
+
+namespace t1000 {
+namespace {
+
+AnalyzedProgram analyze(const Program& p) {
+  AnalyzedProgram ap;
+  ap.program = &p;
+  ap.cfg = Cfg::build(p);
+  ap.liveness = compute_liveness(p, ap.cfg);
+  ap.profile = profile_program(p, 1u << 22);
+  ap.sites = extract_sites(p, ap.cfg, ap.liveness, ap.profile, {});
+  return ap;
+}
+
+// Applies greedy selection and rewrites; returns the rewritten program and
+// the table.
+std::pair<Program, ExtInstTable> greedy_rewrite(const Program& p) {
+  const AnalyzedProgram ap = analyze(p);
+  Selection sel = select_greedy(ap);
+  RewriteResult rr = rewrite_program(p, sel.apps);
+  return {std::move(rr.program), std::move(sel.table)};
+}
+
+TEST(Rewrite, ReplacesChainWithExt) {
+  const Program p = assemble(R"(
+        li $t1, 100
+        li $t3, 3
+        li $t0, 0
+  loop: sll $t5, $t3, 4
+        addu $t6, $t5, $t1
+        sw  $t6, 0($sp)
+        addiu $t0, $t0, 1
+        slti $at, $t0, 8
+        bne $at, $zero, loop
+        halt
+  )");
+  const auto [q, table] = greedy_rewrite(p);
+  EXPECT_EQ(q.size(), p.size() - 1);  // two ops became one EXT
+  int ext_count = 0;
+  for (const Instruction& ins : q.text) {
+    if (ins.op == Opcode::kExt) ++ext_count;
+  }
+  EXPECT_EQ(ext_count, 1);
+  EXPECT_EQ(table.size(), 1);
+}
+
+TEST(Rewrite, BranchTargetsRemapped) {
+  const Program p = assemble(R"(
+        li $t1, 100
+        li $t3, 3
+        li $t0, 0
+  loop: sll $t5, $t3, 4
+        addu $t6, $t5, $t1
+        sw  $t6, 0($sp)
+        addiu $t0, $t0, 1
+        slti $at, $t0, 8
+        bne $at, $zero, loop
+        halt
+  )");
+  const auto [q, table] = greedy_rewrite(p);
+  // The loop back edge must point at the EXT (the fused block head).
+  const std::int32_t loop_head = q.text_symbols.at("loop");
+  EXPECT_EQ(q.text[static_cast<std::size_t>(loop_head)].op, Opcode::kExt);
+  bool found_branch = false;
+  for (const Instruction& ins : q.text) {
+    if (ins.op == Opcode::kBne) {
+      EXPECT_EQ(ins.imm, loop_head);
+      found_branch = true;
+    }
+  }
+  EXPECT_TRUE(found_branch);
+}
+
+TEST(Rewrite, FunctionalEquivalence) {
+  const Program p = assemble(R"(
+        li $t1, 100
+        li $t3, 3
+        la $t4, buf
+        li $t0, 0
+  loop: sll $t5, $t3, 4
+        addu $t6, $t5, $t1
+        sll $t7, $t6, 1
+        xori $t7, $t7, 0x55
+        sw  $t7, 0($t4)
+        lw  $t8, 0($t4)
+        addu $v0, $v0, $t8
+        addiu $t3, $t3, 1
+        andi $t3, $t3, 0xFF
+        addiu $t0, $t0, 1
+        slti $at, $t0, 100
+        bne $at, $zero, loop
+        halt
+        .data
+  buf:  .space 16
+  )");
+  Executor ref(p);
+  ref.run(1u << 20);
+  ASSERT_TRUE(ref.halted());
+
+  const auto [q, table] = greedy_rewrite(p);
+  EXPECT_LT(q.size(), p.size());
+  Executor opt(q, &table);
+  opt.run(1u << 20);
+  ASSERT_TRUE(opt.halted());
+  EXPECT_EQ(opt.reg(2), ref.reg(2));  // $v0 checksum matches
+  EXPECT_LT(opt.steps_executed(), ref.steps_executed());
+}
+
+TEST(Rewrite, OverlappingApplicationsThrow) {
+  const Program p = assemble(R"(
+      addiu $t0, $t0, 1
+      addiu $t0, $t0, 2
+      halt
+  )");
+  Application a;
+  a.positions = {0, 1};
+  a.conf = 0;
+  Application b;
+  b.positions = {1};
+  b.conf = 0;
+  EXPECT_THROW(rewrite_program(p, {a, b}), std::invalid_argument);
+}
+
+TEST(Rewrite, EmptyApplicationThrows) {
+  const Program p = assemble("halt");
+  Application a;
+  EXPECT_THROW(rewrite_program(p, {a}), std::invalid_argument);
+}
+
+TEST(Rewrite, NoApplicationsIsIdentity) {
+  const Program p = assemble(R"(
+      li $t0, 1
+      halt
+  )");
+  const RewriteResult rr = rewrite_program(p, {});
+  EXPECT_EQ(rr.program.text, p.text);
+  EXPECT_EQ(rr.index_map[0], 0);
+  EXPECT_EQ(rr.index_map[1], 1);
+}
+
+TEST(Rewrite, IndexMapForwardsDeletedPositions) {
+  const Program p = assemble(R"(
+      addiu $t1, $t1, 1
+      addiu $t1, $t1, 2
+      sw $t1, 0($sp)
+      halt
+  )");
+  Application a;
+  a.positions = {0, 1};
+  a.conf = 0;
+  a.output = 9;
+  a.inputs = {9, 0};
+  a.num_inputs = 1;
+  const RewriteResult rr = rewrite_program(p, {a});
+  EXPECT_EQ(rr.program.size(), 3);
+  EXPECT_EQ(rr.index_map[0], 0);  // deleted -> forwarded to the EXT
+  EXPECT_EQ(rr.index_map[1], 0);  // EXT landed here
+  EXPECT_EQ(rr.index_map[2], 1);
+  EXPECT_EQ(rr.index_map[3], 2);
+  EXPECT_EQ(rr.program.text[0].op, Opcode::kExt);
+}
+
+TEST(Rewrite, JalReturnsToRemappedSite) {
+  // A call inside a loop whose body gets fused: the return address must
+  // land after the call in the *new* program (return addresses are computed
+  // at run time, so this exercises consistency end to end).
+  const Program p = assemble(R"(
+  main: li $t1, 9
+        li $t0, 0
+  loop: sll $t5, $t1, 2
+        addu $t6, $t5, $t1
+        move $a0, $t6
+        jal f
+        addu $v0, $v0, $v1
+        addiu $t0, $t0, 1
+        slti $at, $t0, 20
+        bne $at, $zero, loop
+        halt
+  f:    addiu $v1, $a0, 3
+        jr $ra
+  )");
+  Executor ref(p);
+  ref.run(1u << 20);
+  ASSERT_TRUE(ref.halted());
+
+  const auto [q, table] = greedy_rewrite(p);
+  Executor opt(q, &table);
+  opt.run(1u << 20);
+  ASSERT_TRUE(opt.halted());
+  EXPECT_EQ(opt.reg(2), ref.reg(2));
+}
+
+}  // namespace
+}  // namespace t1000

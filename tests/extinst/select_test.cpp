@@ -1,0 +1,148 @@
+#include "extinst/select.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+#include "extinst/rewrite.hpp"
+#include "sim/executor.hpp"
+
+namespace t1000 {
+namespace {
+
+// A kernel with one hot chain (inside the loop) and one cold chain (runs
+// once, before the loop).
+Program hot_cold_kernel() {
+  return assemble(R"(
+        li $t1, 9
+        li $t2, 4
+        b cold
+  cold: sll $t5, $t1, 3      # cold chain: executes once
+        addu $t5, $t5, $t2
+        sw $t5, 0($sp)
+        li $s0, 500
+  loop: sll $t6, $t1, 2      # hot chain: 500 executions
+        addu $t6, $t6, $t2
+        xori $t6, $t6, 0x11
+        sw $t6, 4($sp)
+        addu $v0, $v0, $t6
+        addiu $s0, $s0, -1
+        bgtz $s0, loop
+        halt
+  )");
+}
+
+TEST(Select, ThresholdDropsColdSequences) {
+  const Program p = hot_cold_kernel();
+  const AnalyzedProgram ap = analyze_program(p, 1u << 20);
+  ASSERT_EQ(ap.sites.size(), 2u);
+
+  SelectPolicy strict;
+  strict.num_pfus = 4;
+  strict.time_threshold = 0.05;  // 5%: only the hot chain qualifies
+  const Selection hot_only = select_selective(ap, strict);
+  EXPECT_EQ(hot_only.num_configs(), 1);
+  EXPECT_EQ(hot_only.table.at(0).length(), 3);
+
+  SelectPolicy lax;
+  lax.num_pfus = 4;
+  lax.time_threshold = 0.0;
+  const Selection both = select_selective(ap, lax);
+  EXPECT_EQ(both.num_configs(), 2);
+}
+
+TEST(Select, GreedyIgnoresThreshold) {
+  const Program p = hot_cold_kernel();
+  const AnalyzedProgram ap = analyze_program(p, 1u << 20);
+  const Selection sel = select_greedy(ap);
+  EXPECT_EQ(sel.num_configs(), 2);  // hot and cold both taken
+}
+
+TEST(Select, LutBudgetForcesSplitting) {
+  // A long chain of adds on ~14-bit values: the full chain costs far more
+  // than a tiny budget, so emission must split it into budget-sized pieces.
+  const Program p = assemble(R"(
+        li $t1, 0x1FFF
+        li $s0, 100
+  loop: addiu $t2, $t1, 1
+        addiu $t2, $t2, 2
+        addiu $t2, $t2, 3
+        addiu $t2, $t2, 4
+        andi  $t2, $t2, 0x3FFF
+        sw $t2, 0($sp)
+        addiu $s0, $s0, -1
+        bgtz $s0, loop
+        halt
+  )");
+  const AnalyzedProgram ap = analyze_program(p, 1u << 20);
+  ASSERT_EQ(ap.sites.size(), 1u);
+  ASSERT_EQ(ap.sites[0].length(), 5);
+
+  const Selection fat = select_greedy(ap, /*lut_budget=*/1000);
+  EXPECT_EQ(fat.num_configs(), 1);
+  ASSERT_EQ(fat.apps.size(), 1u);
+  EXPECT_EQ(fat.apps[0].positions.size(), 5u);
+
+  const Selection thin = select_greedy(ap, /*lut_budget=*/35);
+  EXPECT_GE(thin.apps.size(), 2u);  // split into smaller windows
+  for (const int cost : thin.lut_costs) EXPECT_LE(cost, 35);
+
+  // Both variants must preserve semantics.
+  for (const Selection* sel : {&fat, &thin}) {
+    const RewriteResult rr = rewrite_program(p, sel->apps);
+    Executor ref(p);
+    ref.run(1u << 20);
+    Executor opt(rr.program, &sel->table);
+    opt.run(1u << 20);
+    EXPECT_EQ(opt.reg(2), ref.reg(2));
+  }
+}
+
+TEST(Select, ImpossibleBudgetSelectsNothing) {
+  const Program p = hot_cold_kernel();
+  const AnalyzedProgram ap = analyze_program(p, 1u << 20);
+  const Selection sel = select_greedy(ap, /*lut_budget=*/0);
+  EXPECT_EQ(sel.num_configs(), 0);
+  EXPECT_TRUE(sel.apps.empty());
+}
+
+TEST(Select, OptimizationIsIdempotent) {
+  // Re-analyzing an already-rewritten program finds nothing new: EXT ops
+  // are not candidates and the remaining instructions hold no chains.
+  const Program p = hot_cold_kernel();
+  const AnalyzedProgram ap = analyze_program(p, 1u << 20);
+  Selection sel = select_greedy(ap);
+  const RewriteResult rr = rewrite_program(p, sel.apps);
+
+  AnalyzedProgram again;
+  again.program = &rr.program;
+  again.cfg = Cfg::build(rr.program);
+  again.liveness = compute_liveness(rr.program, again.cfg);
+  again.profile = profile_program(rr.program, 1u << 20, &sel.table);
+  again.sites = extract_sites(rr.program, again.cfg, again.liveness,
+                              again.profile, {});
+  EXPECT_TRUE(again.sites.empty());
+}
+
+TEST(Select, UnlimitedPolicySelectsAllHot) {
+  const Program p = hot_cold_kernel();
+  const AnalyzedProgram ap = analyze_program(p, 1u << 20);
+  SelectPolicy policy;
+  policy.num_pfus = kUnlimitedPfus;
+  policy.time_threshold = 0.0;
+  const Selection sel = select_selective(ap, policy);
+  EXPECT_EQ(sel.num_configs(), 2);
+}
+
+TEST(Select, LengthsMatchTableDefs) {
+  const Program p = hot_cold_kernel();
+  const AnalyzedProgram ap = analyze_program(p, 1u << 20);
+  const Selection sel = select_greedy(ap);
+  ASSERT_EQ(static_cast<int>(sel.lengths.size()), sel.table.size());
+  for (int c = 0; c < sel.table.size(); ++c) {
+    EXPECT_EQ(sel.lengths[static_cast<std::size_t>(c)],
+              sel.table.at(static_cast<ConfId>(c)).length());
+  }
+}
+
+}  // namespace
+}  // namespace t1000

@@ -1,0 +1,87 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t1000 {
+namespace {
+
+const Workload& small_workload() { return *find_workload("gsm_dec"); }
+
+TEST(Experiment, BaselineRunHasNoConfigs) {
+  WorkloadExperiment exp(small_workload());
+  const RunOutcome r = exp.run(Selector::kNone, baseline_machine());
+  EXPECT_EQ(r.num_configs, 0);
+  EXPECT_EQ(r.num_apps, 0);
+  EXPECT_GT(r.stats.cycles, 0u);
+  EXPECT_NE(r.checksum, 0u);
+}
+
+TEST(Experiment, GreedyAndSelectiveValidateChecksums) {
+  WorkloadExperiment exp(small_workload());
+  const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
+  const RunOutcome greedy =
+      exp.run(Selector::kGreedy, pfu_machine(PfuConfig::kUnlimited, 0));
+  SelectPolicy policy;
+  policy.num_pfus = 2;
+  const RunOutcome sel =
+      exp.run(Selector::kSelective, pfu_machine(2, 10), policy);
+  EXPECT_EQ(greedy.checksum, base.checksum);
+  EXPECT_EQ(sel.checksum, base.checksum);
+  EXPECT_GT(greedy.num_configs, 0);
+  EXPECT_GT(sel.num_configs, 0);
+  EXPECT_LE(sel.num_configs, greedy.num_configs);
+}
+
+TEST(Experiment, OutcomeVectorsAreParallel) {
+  WorkloadExperiment exp(small_workload());
+  const RunOutcome r =
+      exp.run(Selector::kGreedy, pfu_machine(PfuConfig::kUnlimited, 0));
+  EXPECT_EQ(static_cast<int>(r.lengths.size()), r.num_configs);
+  EXPECT_EQ(static_cast<int>(r.lut_costs.size()), r.num_configs);
+  EXPECT_GE(r.num_apps, r.num_configs);
+}
+
+TEST(Experiment, SpeedupIsRatioOfCycles) {
+  SimStats a;
+  a.cycles = 200;
+  SimStats b;
+  b.cycles = 100;
+  EXPECT_DOUBLE_EQ(speedup(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(speedup(b, a), 0.5);
+}
+
+TEST(Experiment, MachineFactories) {
+  const MachineConfig base = baseline_machine();
+  EXPECT_EQ(base.pfu.count, 0);
+  const MachineConfig two = pfu_machine(2, 42);
+  EXPECT_EQ(two.pfu.count, 2);
+  EXPECT_EQ(two.pfu.reconfig_latency, 42);
+  EXPECT_EQ(two.issue_width, base.issue_width);  // only PFUs differ
+}
+
+TEST(Experiment, SelectiveHonorsThresholdPolicy) {
+  WorkloadExperiment exp(small_workload());
+  SelectPolicy impossible;
+  impossible.num_pfus = 2;
+  impossible.time_threshold = 0.9;  // nothing is 90% of runtime
+  const RunOutcome r =
+      exp.run(Selector::kSelective, pfu_machine(2, 10), impossible);
+  EXPECT_EQ(r.num_configs, 0);
+  EXPECT_EQ(r.num_apps, 0);
+}
+
+TEST(Experiment, DeterministicAcrossRepeats) {
+  WorkloadExperiment exp(small_workload());
+  SelectPolicy policy;
+  policy.num_pfus = 2;
+  const RunOutcome a =
+      exp.run(Selector::kSelective, pfu_machine(2, 10), policy);
+  const RunOutcome b =
+      exp.run(Selector::kSelective, pfu_machine(2, 10), policy);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.num_configs, b.num_configs);
+}
+
+}  // namespace
+}  // namespace t1000

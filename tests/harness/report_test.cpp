@@ -1,0 +1,54 @@
+#include "harness/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t1000 {
+namespace {
+
+TEST(Report, TableAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string out = t.to_string();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Numeric cells right-align under the wider number.
+  EXPECT_NE(out.find("  alpha"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  const std::size_t one = out.find("      1\n");
+  EXPECT_NE(one, std::string::npos) << out;
+}
+
+TEST(Report, ShortRowsPad) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Report, RatioFormatting) {
+  EXPECT_EQ(fmt_ratio(1.0), "1.000x");
+  EXPECT_EQ(fmt_ratio(1.2345), "1.234x");
+  EXPECT_EQ(fmt_ratio(0.5), "0.500x");
+}
+
+TEST(Report, PercentGainFormatting) {
+  EXPECT_EQ(fmt_percent_gain(1.10), "+10.0%");
+  EXPECT_EQ(fmt_percent_gain(0.90), "-10.0%");
+  EXPECT_EQ(fmt_percent_gain(1.0), "+0.0%");
+}
+
+TEST(Report, DoubleFormatting) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 0), "3");
+}
+
+TEST(Report, BarScalesWithValue) {
+  EXPECT_EQ(bar(10, 10, 20), std::string(20, '#'));
+  EXPECT_EQ(bar(5, 10, 20), std::string(10, '#'));
+  EXPECT_EQ(bar(0, 10, 20), "");
+  EXPECT_EQ(bar(20, 10, 20), std::string(20, '#'));  // clamped
+  EXPECT_EQ(bar(5, 0, 20), "");                      // degenerate max
+}
+
+}  // namespace
+}  // namespace t1000

@@ -1,0 +1,118 @@
+#include "hwcost/lut_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t1000 {
+namespace {
+
+ExtInstDef add_chain(int n) {
+  std::vector<MicroOp> uops;
+  for (int i = 0; i < n; ++i) {
+    uops.push_back({.op = Opcode::kAddu,
+                    .dst = static_cast<std::int8_t>(2 + i),
+                    .a = static_cast<std::int8_t>(i == 0 ? 0 : 1 + i),
+                    .b = 1});
+  }
+  return ExtInstDef(2, uops);
+}
+
+TEST(LutModel, SingleAddCostsOneLutPerBit) {
+  const ExtInstDef d(2, {{.op = Opcode::kAddu, .dst = 2, .a = 0, .b = 1}});
+  const LutEstimate e = estimate_luts(d, {16, 16});
+  EXPECT_EQ(e.luts, 17);  // 16-bit operands -> 17-bit sum
+  EXPECT_EQ(e.levels, 1);
+}
+
+TEST(LutModel, NarrowInputsShrinkCost) {
+  const ExtInstDef d(2, {{.op = Opcode::kAddu, .dst = 2, .a = 0, .b = 1}});
+  EXPECT_LT(estimate_luts(d, {4, 4}).luts, estimate_luts(d, {18, 18}).luts);
+  EXPECT_EQ(estimate_luts(d, {4, 4}).luts, 5);
+}
+
+TEST(LutModel, ConstantShiftsAreFree) {
+  const ExtInstDef d(1, {{.op = Opcode::kSll, .dst = 2, .a = 0, .imm = 4}});
+  const LutEstimate e = estimate_luts(d, {10, 1});
+  EXPECT_EQ(e.luts, 0);
+  EXPECT_EQ(e.levels, 0);
+}
+
+TEST(LutModel, LogicOpsPackThreeToOneLevel) {
+  // Three dependent 2-input logic ops fuse into one LUT level.
+  const ExtInstDef d(2, {
+                            {.op = Opcode::kAnd, .dst = 2, .a = 0, .b = 1},
+                            {.op = Opcode::kXor, .dst = 3, .a = 2, .b = 1},
+                            {.op = Opcode::kOr, .dst = 4, .a = 3, .b = 0},
+                        });
+  const LutEstimate e = estimate_luts(d, {12, 12});
+  EXPECT_EQ(e.levels, 1);
+  EXPECT_EQ(e.luts, 12);
+  // A fourth logic op spills into a second level.
+  const ExtInstDef d4(2, {
+                             {.op = Opcode::kAnd, .dst = 2, .a = 0, .b = 1},
+                             {.op = Opcode::kXor, .dst = 3, .a = 2, .b = 1},
+                             {.op = Opcode::kOr, .dst = 4, .a = 3, .b = 0},
+                             {.op = Opcode::kXor, .dst = 5, .a = 4, .b = 1},
+                         });
+  const LutEstimate e4 = estimate_luts(d4, {12, 12});
+  EXPECT_EQ(e4.levels, 2);
+  EXPECT_EQ(e4.luts, 24);
+}
+
+TEST(LutModel, ArithmeticBreaksLogicPacking) {
+  const ExtInstDef d(2, {
+                            {.op = Opcode::kAnd, .dst = 2, .a = 0, .b = 1},
+                            {.op = Opcode::kAddu, .dst = 3, .a = 2, .b = 1},
+                            {.op = Opcode::kXor, .dst = 4, .a = 3, .b = 1},
+                        });
+  const LutEstimate e = estimate_luts(d, {8, 8});
+  EXPECT_EQ(e.levels, 3);  // logic group, add, logic group
+  EXPECT_EQ(e.luts, 8 + 9 + 9);
+}
+
+TEST(LutModel, ComparatorCostsOperandWidth) {
+  const ExtInstDef d(2, {{.op = Opcode::kSlt, .dst = 2, .a = 0, .b = 1}});
+  EXPECT_EQ(estimate_luts(d, {14, 14}).luts, 14);
+}
+
+TEST(LutModel, AndiMaskNarrowsPropagatedWidth) {
+  const ExtInstDef d(1, {
+                            {.op = Opcode::kAndi, .dst = 2, .a = 0, .imm = 0xF},
+                            {.op = Opcode::kAddiu, .dst = 3, .a = 2, .imm = 1},
+                        });
+  const auto widths = propagate_widths(d, {30, 1});
+  EXPECT_LE(widths[0], 6);  // masked to 4 bits (+ sign headroom)
+  EXPECT_LE(widths[1], 7);
+}
+
+TEST(LutModel, WidthPropagationThroughShift) {
+  const ExtInstDef d(1, {
+                            {.op = Opcode::kSll, .dst = 2, .a = 0, .imm = 10},
+                            {.op = Opcode::kAddiu, .dst = 3, .a = 2, .imm = 1},
+                        });
+  const auto widths = propagate_widths(d, {6, 1});
+  EXPECT_EQ(widths[0], 16);
+  EXPECT_EQ(widths[1], 17);
+}
+
+TEST(LutModel, PaperScaleSequencesFitThePfu) {
+  // Typical selected sequences (2-4 narrow ops) must comfortably fit 150
+  // LUTs; the paper's largest observed instruction was 105.
+  for (int n = 2; n <= 4; ++n) {
+    const LutEstimate e = estimate_luts(add_chain(n), {18, 18});
+    EXPECT_TRUE(e.fits()) << n << " adds cost " << e.luts;
+  }
+}
+
+TEST(LutModel, WorstCaseLongWideChainExceedsBudget) {
+  const LutEstimate e = estimate_luts(add_chain(kMaxUops), {28, 28});
+  EXPECT_FALSE(e.fits());
+}
+
+TEST(LutModel, FitsRespectsCustomBudget) {
+  const LutEstimate e = estimate_luts(add_chain(2), {18, 18});
+  EXPECT_TRUE(e.fits(150));
+  EXPECT_FALSE(e.fits(10));
+}
+
+}  // namespace
+}  // namespace t1000

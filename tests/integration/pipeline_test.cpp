@@ -1,0 +1,138 @@
+// End-to-end integration tests over the full toolchain: workload ->
+// profile -> extract -> select -> rewrite -> functional validation ->
+// timing simulation. These assert the paper's headline *relationships* for
+// every benchmark, which is what the reproduction must preserve.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace t1000 {
+namespace {
+
+class EndToEnd : public ::testing::TestWithParam<int> {
+ protected:
+  static WorkloadExperiment& experiment(int index) {
+    // Analysis is expensive; share one experiment per benchmark across
+    // tests in this suite.
+    static std::vector<std::unique_ptr<WorkloadExperiment>> cache(8);
+    auto& slot = cache[static_cast<std::size_t>(index)];
+    if (!slot) {
+      slot = std::make_unique<WorkloadExperiment>(
+          all_workloads()[static_cast<std::size_t>(index)]);
+    }
+    return *slot;
+  }
+};
+
+TEST_P(EndToEnd, GreedyUnlimitedBeatsBaseline) {
+  WorkloadExperiment& exp = experiment(GetParam());
+  const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
+  const RunOutcome best =
+      exp.run(Selector::kGreedy, pfu_machine(PfuConfig::kUnlimited, 0));
+  // Every benchmark gains; the paper's range is ~4.5%..44%.
+  EXPECT_GT(speedup(base.stats, best.stats), 1.03);
+  EXPECT_LT(speedup(base.stats, best.stats), 1.60);
+  EXPECT_GE(best.num_configs, 3);
+}
+
+TEST_P(EndToEnd, GreedyThrashesWithTwoPfus) {
+  WorkloadExperiment& exp = experiment(GetParam());
+  const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
+  const RunOutcome two = exp.run(Selector::kGreedy, pfu_machine(2, 10));
+  // Section 4: "substantially worse than that of the original processor".
+  EXPECT_LT(speedup(base.stats, two.stats), 1.0);
+  EXPECT_GT(two.stats.pfu.reconfigurations, 1000u);
+}
+
+TEST_P(EndToEnd, SelectiveNeverLosesWithTwoPfus) {
+  WorkloadExperiment& exp = experiment(GetParam());
+  const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
+  SelectPolicy policy;
+  policy.num_pfus = 2;
+  const RunOutcome two =
+      exp.run(Selector::kSelective, pfu_machine(2, 10), policy);
+  EXPECT_GE(speedup(base.stats, two.stats), 1.0);
+  // Selection avoids thrashing: reconfiguration count is tiny.
+  EXPECT_LT(two.stats.pfu.reconfigurations, 1000u);
+}
+
+TEST_P(EndToEnd, FourPfusNearlyMatchUnlimited) {
+  WorkloadExperiment& exp = experiment(GetParam());
+  SelectPolicy four_policy;
+  four_policy.num_pfus = 4;
+  const RunOutcome four =
+      exp.run(Selector::kSelective, pfu_machine(4, 10), four_policy);
+  SelectPolicy eight_policy;
+  eight_policy.num_pfus = 8;
+  const RunOutcome eight =
+      exp.run(Selector::kSelective, pfu_machine(8, 10), eight_policy);
+  SelectPolicy unl_policy;
+  unl_policy.num_pfus = kUnlimitedPfus;
+  const RunOutcome unl = exp.run(
+      Selector::kSelective, pfu_machine(PfuConfig::kUnlimited, 10), unl_policy);
+  // Section 5.2: "four PFUs are typically enough". gsm_enc carries more
+  // distinct chain shapes than four and keeps a gap, hence the headroom;
+  // eight PFUs must close it everywhere.
+  EXPECT_LE(static_cast<double>(four.stats.cycles),
+            static_cast<double>(unl.stats.cycles) * 1.08);
+  EXPECT_LE(static_cast<double>(eight.stats.cycles),
+            static_cast<double>(unl.stats.cycles) * 1.02);
+}
+
+TEST_P(EndToEnd, SelectiveIsInsensitiveToReconfigCost) {
+  WorkloadExperiment& exp = experiment(GetParam());
+  SelectPolicy policy;
+  policy.num_pfus = 2;
+  const RunOutcome cheap =
+      exp.run(Selector::kSelective, pfu_machine(2, 10), policy);
+  const RunOutcome costly =
+      exp.run(Selector::kSelective, pfu_machine(2, 500), policy);
+  // Section 5.2: speedups retained up to 500-cycle reconfiguration times.
+  EXPECT_LE(static_cast<double>(costly.stats.cycles),
+            static_cast<double>(cheap.stats.cycles) * 1.03);
+}
+
+TEST_P(EndToEnd, SelectedInstructionsFitThePfu) {
+  WorkloadExperiment& exp = experiment(GetParam());
+  SelectPolicy policy;
+  policy.num_pfus = 4;
+  const RunOutcome r =
+      exp.run(Selector::kSelective, pfu_machine(4, 10), policy);
+  for (const int luts : r.lut_costs) {
+    EXPECT_LE(luts, 150);
+    EXPECT_GT(luts, 0);
+  }
+  for (const int len : r.lengths) {
+    EXPECT_GE(len, 2);
+    EXPECT_LE(len, 8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, EndToEnd, ::testing::Range(0, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return all_workloads()[static_cast<std::size_t>(
+                                                      info.param)]
+                               .name;
+                         });
+
+TEST(EndToEndSuite, SpeedupOrderingMatchesPaper) {
+  // The paper's Figure 2 ordering anchors: gsm_dec gains most, g721_dec
+  // least, and decode > encode for gsm / decode < encode is NOT required
+  // elsewhere. Check the two anchors.
+  auto best_speedup = [](const char* name) {
+    WorkloadExperiment exp(*find_workload(name));
+    const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
+    const RunOutcome best =
+        exp.run(Selector::kGreedy, pfu_machine(PfuConfig::kUnlimited, 0));
+    return speedup(base.stats, best.stats);
+  };
+  const double gsm_dec = best_speedup("gsm_dec");
+  for (const Workload& w : all_workloads()) {
+    if (w.name == "gsm_dec") continue;
+    EXPECT_LE(best_speedup(w.name.c_str()), gsm_dec) << w.name;
+  }
+  EXPECT_LE(best_speedup("g721_dec"), best_speedup("gsm_enc"));
+}
+
+}  // namespace
+}  // namespace t1000

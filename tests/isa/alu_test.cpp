@@ -1,0 +1,68 @@
+#include "isa/alu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t1000 {
+namespace {
+
+TEST(Alu, Arithmetic) {
+  EXPECT_EQ(eval_alu(Opcode::kAddu, 3, 4), 7u);
+  EXPECT_EQ(eval_alu(Opcode::kAddu, 0xFFFFFFFF, 1), 0u);  // wraps
+  EXPECT_EQ(eval_alu(Opcode::kSubu, 3, 4), 0xFFFFFFFFu);
+  EXPECT_EQ(eval_alu(Opcode::kMul, 7, 6), 42u);
+  EXPECT_EQ(eval_alu(Opcode::kMul, 0x10000, 0x10000), 0u);  // low 32 bits
+}
+
+TEST(Alu, Logic) {
+  EXPECT_EQ(eval_alu(Opcode::kAnd, 0b1100, 0b1010), 0b1000u);
+  EXPECT_EQ(eval_alu(Opcode::kOr, 0b1100, 0b1010), 0b1110u);
+  EXPECT_EQ(eval_alu(Opcode::kXor, 0b1100, 0b1010), 0b0110u);
+  EXPECT_EQ(eval_alu(Opcode::kNor, 0, 0), 0xFFFFFFFFu);
+}
+
+TEST(Alu, Comparisons) {
+  EXPECT_EQ(eval_alu(Opcode::kSlt, static_cast<std::uint32_t>(-1), 0), 1u);
+  EXPECT_EQ(eval_alu(Opcode::kSlt, 0, static_cast<std::uint32_t>(-1)), 0u);
+  EXPECT_EQ(eval_alu(Opcode::kSltu, static_cast<std::uint32_t>(-1), 0), 0u);
+  EXPECT_EQ(eval_alu(Opcode::kSltu, 0, 1), 1u);
+  EXPECT_EQ(eval_alu(Opcode::kSlt, 5, 5), 0u);
+}
+
+TEST(Alu, Shifts) {
+  EXPECT_EQ(eval_alu(Opcode::kSll, 1, 31), 0x80000000u);
+  EXPECT_EQ(eval_alu(Opcode::kSrl, 0x80000000u, 31), 1u);
+  EXPECT_EQ(eval_alu(Opcode::kSra, 0x80000000u, 31), 0xFFFFFFFFu);
+  EXPECT_EQ(eval_alu(Opcode::kSrav, 0x40000000u, 30), 1u);
+  // Variable shifts use only the low 5 bits of the amount.
+  EXPECT_EQ(eval_alu(Opcode::kSllv, 1, 33), 2u);
+}
+
+TEST(Alu, Lui) {
+  EXPECT_EQ(eval_alu(Opcode::kLui, 0, 0x1234), 0x12340000u);
+}
+
+TEST(Alu, ImmediateExtension) {
+  EXPECT_EQ(imm_extension(Opcode::kAddiu), ImmExtension::kSign);
+  EXPECT_EQ(imm_extension(Opcode::kSlti), ImmExtension::kSign);
+  EXPECT_EQ(imm_extension(Opcode::kAndi), ImmExtension::kZero);
+  EXPECT_EQ(imm_extension(Opcode::kOri), ImmExtension::kZero);
+  EXPECT_EQ(imm_extension(Opcode::kXori), ImmExtension::kZero);
+  EXPECT_EQ(extend_imm(Opcode::kAddiu, -1), 0xFFFFFFFFu);
+  EXPECT_EQ(extend_imm(Opcode::kAndi, -1), 0xFFFFu);
+}
+
+TEST(Alu, SignedWidth) {
+  EXPECT_EQ(signed_width(0), 1);
+  EXPECT_EQ(signed_width(1), 2);
+  EXPECT_EQ(signed_width(3), 3);
+  EXPECT_EQ(signed_width(static_cast<std::uint32_t>(-1)), 1);
+  EXPECT_EQ(signed_width(static_cast<std::uint32_t>(-3)), 3);
+  EXPECT_EQ(signed_width(0x1FFFF), 18);
+  EXPECT_EQ(signed_width(0xFFFF), 17);
+  EXPECT_EQ(signed_width(static_cast<std::uint32_t>(-0x10000)), 17);
+  EXPECT_EQ(signed_width(0x7FFFFFFF), 32);
+  EXPECT_EQ(signed_width(0x80000000), 32);
+}
+
+}  // namespace
+}  // namespace t1000

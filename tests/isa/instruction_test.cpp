@@ -1,0 +1,94 @@
+#include "isa/instruction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t1000 {
+namespace {
+
+TEST(Instruction, SrcRegsAlu3) {
+  const Instruction i = make_r(Opcode::kAddu, 2, 3, 4);
+  const SrcRegs s = src_regs(i);
+  ASSERT_EQ(s.count, 2);
+  EXPECT_EQ(s.reg[0], 3);
+  EXPECT_EQ(s.reg[1], 4);
+  EXPECT_EQ(dst_reg(i), 2);
+}
+
+TEST(Instruction, SrcRegsShiftAndImm) {
+  EXPECT_EQ(src_regs(make_shift(Opcode::kSll, 2, 3, 4)).count, 1);
+  EXPECT_EQ(src_regs(make_imm(Opcode::kAddiu, 2, 3, -1)).count, 1);
+  EXPECT_EQ(src_regs(make_lui(2, 7)).count, 0);
+}
+
+TEST(Instruction, StoreReadsBothBaseAndData) {
+  const Instruction i = make_mem(Opcode::kSw, /*data=*/5, /*base=*/6, 12);
+  const SrcRegs s = src_regs(i);
+  ASSERT_EQ(s.count, 2);
+  EXPECT_EQ(s.reg[0], 6);  // base
+  EXPECT_EQ(s.reg[1], 5);  // data
+  EXPECT_FALSE(dst_reg(i).has_value());
+}
+
+TEST(Instruction, LoadWritesData) {
+  const Instruction i = make_mem(Opcode::kLw, 5, 6, 12);
+  EXPECT_EQ(dst_reg(i), 5);
+  ASSERT_EQ(src_regs(i).count, 1);
+  EXPECT_EQ(src_regs(i).reg[0], 6);
+}
+
+TEST(Instruction, WritesToZeroAreDiscarded) {
+  EXPECT_FALSE(dst_reg(make_r(Opcode::kAddu, 0, 1, 2)).has_value());
+  EXPECT_FALSE(dst_reg(make_imm(Opcode::kOri, 0, 1, 5)).has_value());
+}
+
+TEST(Instruction, JalWritesRa) {
+  EXPECT_EQ(dst_reg(make_jump(Opcode::kJal, 7)), kRegRa);
+  EXPECT_FALSE(dst_reg(make_jump(Opcode::kJ, 7)).has_value());
+}
+
+TEST(Instruction, JalrWritesLinkReadsTarget) {
+  const Instruction i = make_jalr(31, 9);
+  EXPECT_EQ(dst_reg(i), 31);
+  ASSERT_EQ(src_regs(i).count, 1);
+  EXPECT_EQ(src_regs(i).reg[0], 9);
+}
+
+TEST(Instruction, BranchesHaveNoDst) {
+  EXPECT_FALSE(dst_reg(make_branch2(Opcode::kBeq, 1, 2, 0)).has_value());
+  EXPECT_FALSE(dst_reg(make_branch1(Opcode::kBltz, 1, 0)).has_value());
+}
+
+TEST(Instruction, ExtReadsTwoWritesOne) {
+  const Instruction i = make_ext(10, 11, 12, 3);
+  EXPECT_EQ(dst_reg(i), 10);
+  const SrcRegs s = src_regs(i);
+  ASSERT_EQ(s.count, 2);
+  EXPECT_EQ(s.reg[0], 11);
+  EXPECT_EQ(s.reg[1], 12);
+  EXPECT_EQ(i.conf, 3);
+}
+
+TEST(Instruction, ReadsWritesPredicates) {
+  const Instruction i = make_r(Opcode::kXor, 2, 3, 4);
+  EXPECT_TRUE(reads_reg(i, 3));
+  EXPECT_TRUE(reads_reg(i, 4));
+  EXPECT_FALSE(reads_reg(i, 2));
+  EXPECT_TRUE(writes_reg(i, 2));
+  EXPECT_FALSE(writes_reg(i, 3));
+}
+
+TEST(Instruction, ToStringFormats) {
+  EXPECT_EQ(to_string(make_r(Opcode::kAddu, 2, 3, 4)), "addu $v0, $v1, $a0");
+  EXPECT_EQ(to_string(make_shift(Opcode::kSll, 8, 9, 4)), "sll $t0, $t1, 4");
+  EXPECT_EQ(to_string(make_mem(Opcode::kLw, 8, 29, -4)), "lw $t0, -4($sp)");
+  EXPECT_EQ(to_string(make_mem(Opcode::kSw, 8, 29, 8)), "sw $t0, 8($sp)");
+  EXPECT_EQ(to_string(make_branch2(Opcode::kBne, 8, 0, 12)),
+            "bne $t0, $zero, @12");
+  EXPECT_EQ(to_string(make_jump(Opcode::kJ, 3)), "j @3");
+  EXPECT_EQ(to_string(make_ext(8, 9, 10, 5)), "ext $t0, $t1, $t2, conf=5");
+  EXPECT_EQ(to_string(make_nop()), "nop");
+  EXPECT_EQ(to_string(make_halt()), "halt");
+}
+
+}  // namespace
+}  // namespace t1000

@@ -1,0 +1,79 @@
+#include "isa/opcode.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t1000 {
+namespace {
+
+TEST(OpcodeInfo, MnemonicsAreUniqueAndNonEmpty) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    const Opcode a = static_cast<Opcode>(i);
+    EXPECT_FALSE(mnemonic(a).empty());
+    for (int j = i + 1; j < kNumOpcodes; ++j) {
+      EXPECT_NE(mnemonic(a), mnemonic(static_cast<Opcode>(j)));
+    }
+  }
+}
+
+TEST(OpcodeInfo, ParseMnemonicRoundTrips) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    EXPECT_EQ(parse_mnemonic(mnemonic(op)), op);
+  }
+}
+
+TEST(OpcodeInfo, ParseMnemonicRejectsUnknown) {
+  EXPECT_EQ(parse_mnemonic("bogus"), Opcode::kNumOpcodes);
+  EXPECT_EQ(parse_mnemonic(""), Opcode::kNumOpcodes);
+  EXPECT_EQ(parse_mnemonic("ADDU"), Opcode::kNumOpcodes);  // case-sensitive
+}
+
+TEST(OpcodeInfo, CandidatesAreSingleCycleAluOps) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    if (!is_ext_candidate(op)) continue;
+    EXPECT_EQ(fu_class(op), FuClass::kIntAlu) << mnemonic(op);
+    EXPECT_EQ(base_latency(op), 1) << mnemonic(op);
+    EXPECT_FALSE(is_mem(op)) << mnemonic(op);
+    EXPECT_FALSE(is_control(op)) << mnemonic(op);
+  }
+}
+
+TEST(OpcodeInfo, ClassPredicates) {
+  EXPECT_TRUE(is_load(Opcode::kLw));
+  EXPECT_TRUE(is_load(Opcode::kLbu));
+  EXPECT_FALSE(is_load(Opcode::kSw));
+  EXPECT_TRUE(is_store(Opcode::kSh));
+  EXPECT_TRUE(is_mem(Opcode::kLb));
+  EXPECT_TRUE(is_mem(Opcode::kSb));
+  EXPECT_FALSE(is_mem(Opcode::kAddu));
+  EXPECT_TRUE(is_branch(Opcode::kBeq));
+  EXPECT_TRUE(is_branch(Opcode::kBgez));
+  EXPECT_FALSE(is_branch(Opcode::kJ));
+  EXPECT_TRUE(is_jump(Opcode::kJ));
+  EXPECT_TRUE(is_jump(Opcode::kJalr));
+  EXPECT_TRUE(is_control(Opcode::kHalt));
+  EXPECT_FALSE(is_control(Opcode::kExt));
+}
+
+TEST(OpcodeInfo, MulIsMultiCycle) {
+  EXPECT_EQ(base_latency(Opcode::kMul), 3);
+  EXPECT_EQ(fu_class(Opcode::kMul), FuClass::kIntMul);
+  EXPECT_FALSE(is_ext_candidate(Opcode::kMul));
+}
+
+TEST(OpcodeInfo, VariableShiftsAreNotCandidates) {
+  EXPECT_FALSE(is_ext_candidate(Opcode::kSllv));
+  EXPECT_FALSE(is_ext_candidate(Opcode::kSrlv));
+  EXPECT_FALSE(is_ext_candidate(Opcode::kSrav));
+  EXPECT_TRUE(is_ext_candidate(Opcode::kSll));
+  EXPECT_TRUE(is_ext_candidate(Opcode::kSra));
+}
+
+TEST(OpcodeInfo, ExtUsesPfu) {
+  EXPECT_EQ(fu_class(Opcode::kExt), FuClass::kPfu);
+  EXPECT_EQ(base_latency(Opcode::kExt), 1);
+}
+
+}  // namespace
+}  // namespace t1000

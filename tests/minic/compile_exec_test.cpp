@@ -1,0 +1,312 @@
+// MiniC end-to-end correctness: compile a program and execute it on the
+// functional simulator, checking main's return value ($v0).
+#include <gtest/gtest.h>
+
+#include "minic/minic.hpp"
+#include "sim/executor.hpp"
+
+namespace t1000::minic {
+namespace {
+
+std::uint32_t run(const std::string& src, std::uint64_t max_steps = 1u << 22) {
+  const Program p = compile(src);
+  Executor e(p);
+  e.run(max_steps);
+  EXPECT_TRUE(e.halted()) << "program did not halt:\n" << src;
+  return e.reg(2);  // $v0
+}
+
+TEST(MiniC, ReturnConstant) {
+  EXPECT_EQ(run("int main() { return 42; }"), 42u);
+}
+
+TEST(MiniC, MissingReturnYieldsZero) {
+  EXPECT_EQ(run("int main() { 5; }"), 0u);
+}
+
+TEST(MiniC, Arithmetic) {
+  EXPECT_EQ(run("int main() { return 2 + 3 * 4; }"), 14u);
+  EXPECT_EQ(run("int main() { return (2 + 3) * 4; }"), 20u);
+  EXPECT_EQ(run("int main() { return 10 - 3 - 2; }"), 5u);  // left assoc
+  EXPECT_EQ(run("int main() { return -7 + 10; }"), 3u);
+  EXPECT_EQ(run("int main() { return 0 - 5; }"), 0xFFFFFFFBu);
+}
+
+TEST(MiniC, BitwiseAndShifts) {
+  EXPECT_EQ(run("int main() { return (0xF0 | 0x0F) & 0x3C; }"), 0x3Cu);
+  EXPECT_EQ(run("int main() { return 0xFF ^ 0x0F; }"), 0xF0u);
+  EXPECT_EQ(run("int main() { return ~0; }"), 0xFFFFFFFFu);
+  EXPECT_EQ(run("int main() { return 1 << 10; }"), 1024u);
+  EXPECT_EQ(run("int main() { return 0 - 16 >> 2; }"), 0xFFFFFFFCu);  // sra
+  EXPECT_EQ(run("int main() { int n = 3; return 1 << n; }"), 8u);  // sllv
+}
+
+TEST(MiniC, Comparisons) {
+  EXPECT_EQ(run("int main() { return 3 < 4; }"), 1u);
+  EXPECT_EQ(run("int main() { return 4 < 3; }"), 0u);
+  EXPECT_EQ(run("int main() { return 3 <= 3; }"), 1u);
+  EXPECT_EQ(run("int main() { return 4 > 3; }"), 1u);
+  EXPECT_EQ(run("int main() { return 3 >= 4; }"), 0u);
+  EXPECT_EQ(run("int main() { return 5 == 5; }"), 1u);
+  EXPECT_EQ(run("int main() { return 5 != 5; }"), 0u);
+  EXPECT_EQ(run("int main() { return 0 - 1 < 1; }"), 1u);  // signed compare
+}
+
+TEST(MiniC, LogicalOperators) {
+  EXPECT_EQ(run("int main() { return 2 && 3; }"), 1u);
+  EXPECT_EQ(run("int main() { return 0 && 3; }"), 0u);
+  EXPECT_EQ(run("int main() { return 0 || 7; }"), 1u);
+  EXPECT_EQ(run("int main() { return 0 || 0; }"), 0u);
+  EXPECT_EQ(run("int main() { return !5; }"), 0u);
+  EXPECT_EQ(run("int main() { return !0; }"), 1u);
+}
+
+TEST(MiniC, ShortCircuitSkipsSideEffects) {
+  EXPECT_EQ(run(R"(
+    int hits = 0;
+    int bump() { hits = hits + 1; return 1; }
+    int main() {
+      0 && bump();
+      1 || bump();
+      return hits;
+    }
+  )"),
+            0u);
+}
+
+TEST(MiniC, DivisionAndRemainder) {
+  EXPECT_EQ(run("int main() { return 100 / 7; }"), 14u);
+  EXPECT_EQ(run("int main() { return 100 % 7; }"), 2u);
+  EXPECT_EQ(run("int main() { return (0 - 100) / 7; }"), 0xFFFFFFF2u);  // -14
+  EXPECT_EQ(run("int main() { return (0 - 100) % 7; }"), 0xFFFFFFFEu);  // -2
+  EXPECT_EQ(run("int main() { return 100 / (0 - 7); }"), 0xFFFFFFF2u);
+  EXPECT_EQ(run("int main() { return 1000000 / 1000; }"), 1000u);
+  EXPECT_EQ(run("int main() { return 7 / 10; }"), 0u);
+}
+
+TEST(MiniC, LocalsAndAssignment) {
+  EXPECT_EQ(run(R"(
+    int main() {
+      int a = 5;
+      int b;
+      b = a * 3;
+      a = a + b;
+      return a;
+    }
+  )"),
+            20u);
+}
+
+TEST(MiniC, AssignmentIsAnExpression) {
+  EXPECT_EQ(run("int main() { int a; int b; a = b = 7; return a + b; }"), 14u);
+}
+
+TEST(MiniC, IfElse) {
+  const char* src = R"(
+    int classify(int x) {
+      if (x < 0) { return 0 - 1; }
+      else if (x == 0) { return 0; }
+      else { return 1; }
+    }
+    int main() { return classify(0-5)*100 + classify(0)*10 + classify(9); }
+  )";
+  EXPECT_EQ(run(src), static_cast<std::uint32_t>(-100 + 0 + 1));
+}
+
+TEST(MiniC, WhileLoop) {
+  EXPECT_EQ(run(R"(
+    int main() {
+      int sum = 0;
+      int i = 1;
+      while (i <= 10) { sum = sum + i; i = i + 1; }
+      return sum;
+    }
+  )"),
+            55u);
+}
+
+TEST(MiniC, ForLoopWithBreakContinue) {
+  EXPECT_EQ(run(R"(
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 100; i = i + 1) {
+        if (i % 2 == 1) { continue; }
+        if (i >= 20) { break; }
+        sum = sum + i;
+      }
+      return sum;  // 0+2+...+18 = 90
+    }
+  )"),
+            90u);
+}
+
+TEST(MiniC, NestedLoops) {
+  EXPECT_EQ(run(R"(
+    int main() {
+      int total = 0;
+      for (int i = 0; i < 5; i = i + 1) {
+        for (int j = 0; j < 5; j = j + 1) {
+          total = total + i * j;
+        }
+      }
+      return total;  // (0+1+2+3+4)^2 = 100
+    }
+  )"),
+            100u);
+}
+
+TEST(MiniC, GlobalsAndArrays) {
+  EXPECT_EQ(run(R"(
+    int counter = 3;
+    int table[8] = {1, 2, 4, 8};
+    int big[100];
+    int main() {
+      big[99] = 7;
+      counter = counter + big[99];
+      return table[2] + table[3] + counter;  // 4 + 8 + 10
+    }
+  )"),
+            22u);
+}
+
+TEST(MiniC, ArrayIndexExpressions) {
+  EXPECT_EQ(run(R"(
+    int a[16];
+    int main() {
+      for (int i = 0; i < 16; i = i + 1) { a[i] = i * i; }
+      int k = 3;
+      return a[k + 1] + a[2 * k];  // 16 + 36
+    }
+  )"),
+            52u);
+}
+
+TEST(MiniC, FunctionCallsAndRecursion) {
+  EXPECT_EQ(run(R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(12); }
+  )"),
+            144u);
+}
+
+TEST(MiniC, FourArguments) {
+  EXPECT_EQ(run(R"(
+    int mix(int a, int b, int c, int d) { return a*1000 + b*100 + c*10 + d; }
+    int main() { return mix(1, 2, 3, 4); }
+  )"),
+            1234u);
+}
+
+TEST(MiniC, CallsPreserveCallerTemporaries) {
+  // The multiply's left operand must survive the call on the right.
+  EXPECT_EQ(run(R"(
+    int id(int x) { return x; }
+    int main() { return (3 + 4) * id(5) + id(2) * (1 + id(1)); }
+  )"),
+            39u);
+}
+
+TEST(MiniC, ScopingAndShadowing) {
+  EXPECT_EQ(run(R"(
+    int main() {
+      int x = 1;
+      {
+        int x = 2;
+        { int x = 3; }
+        x = x + 10;
+      }
+      return x;
+    }
+  )"),
+            1u);
+}
+
+TEST(MiniC, ManyLocalsOverflowToStack) {
+  EXPECT_EQ(run(R"(
+    int main() {
+      int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+      int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+      int k = 11; int l = 12;
+      return a+b+c+d+e+f+g+h+i+j+k+l;
+    }
+  )"),
+            78u);
+}
+
+TEST(MiniC, DeepExpressionSpills) {
+  // Parenthesized right-leaning tree forces a deep value stack.
+  EXPECT_EQ(run(R"(
+    int main() {
+      return 1+(2+(3+(4+(5+(6+(7+(8+(9+(10+(11+12))))))))));
+    }
+  )"),
+            78u);
+}
+
+TEST(MiniC, MulByPowerOfTwoAndConstants) {
+  EXPECT_EQ(run("int main() { int x = 5; return x * 8 + x * 3; }"), 55u);
+}
+
+TEST(MiniC, DspKernelChecksum) {
+  // A realistic kernel: the compiled inner loop should both run correctly
+  // and (see the integration tests) feed the extended-instruction selector.
+  // Reference computed in C++ with identical semantics.
+  std::int32_t buf[64];
+  for (int i = 0; i < 64; ++i) buf[i] = (i * 37 + 11) & 0xFF;
+  std::int32_t state = 0;
+  std::uint32_t acc = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::int32_t x = buf[i];
+    const std::int32_t y = (((x << 2) + state) >> 1) + 33;
+    state = (y >> 2) & 0xFFF;
+    acc += static_cast<std::uint32_t>(y ^ (x << 1));
+  }
+  EXPECT_EQ(run(R"(
+    int buf[64];
+    int main() {
+      int state = 0;
+      int acc = 0;
+      for (int i = 0; i < 64; i = i + 1) { buf[i] = (i * 37 + 11) & 0xFF; }
+      for (int i = 0; i < 64; i = i + 1) {
+        int x = buf[i];
+        int y = ((x << 2) + state >> 1) + 33;
+        state = (y >> 2) & 0xFFF;
+        acc = acc + (y ^ (x << 1));
+      }
+      return acc & 0xFFFFFF;
+    }
+  )"),
+            acc & 0xFFFFFF);
+}
+
+// --- error cases ---
+
+TEST(MiniCErrors, SemanticErrors) {
+  EXPECT_THROW(compile("int main() { return x; }"), CompileError);
+  EXPECT_THROW(compile("int main() { return f(1); }"), CompileError);
+  EXPECT_THROW(compile("int f(int a) { return a; } int main() { return f(); }"),
+               CompileError);
+  EXPECT_THROW(compile("int a[4]; int main() { return a; }"), CompileError);
+  EXPECT_THROW(compile("int x; int main() { return x[0]; }"), CompileError);
+  EXPECT_THROW(compile("int a[4]; int main() { a = 3; return 0; }"),
+               CompileError);
+  EXPECT_THROW(compile("int main() { break; }"), CompileError);
+  EXPECT_THROW(compile("int main() { int x; int x; return 0; }"), CompileError);
+  EXPECT_THROW(compile("int f() { return 0; }"), CompileError);  // no main
+  EXPECT_THROW(compile("int main() { 3 = 4; return 0; }"), CompileError);
+}
+
+TEST(MiniCErrors, SyntaxErrors) {
+  EXPECT_THROW(compile("int main() { return 1 + ; }"), CompileError);
+  EXPECT_THROW(compile("int main() { if 1 { } }"), CompileError);
+  EXPECT_THROW(compile("int main() {"), CompileError);
+  EXPECT_THROW(compile("main() { return 0; }"), CompileError);
+  EXPECT_THROW(compile("int main(int a, int b, int c, int d, int e) {}"),
+               CompileError);
+}
+
+}  // namespace
+}  // namespace t1000::minic

@@ -1,0 +1,207 @@
+// Reference AST interpreter for MiniC differential testing: evaluates a
+// TranslationUnit with the same semantics the generated code must have
+// (32-bit wrapping, arithmetic right shift, C-style truncating division).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+#include "minic/token.hpp"
+
+namespace t1000::minic {
+
+class Interp {
+ public:
+  explicit Interp(const TranslationUnit& unit) : unit_(unit) {
+    for (const Global& g : unit.globals) {
+      std::vector<std::int32_t> cells(static_cast<std::size_t>(g.count), 0);
+      for (std::size_t i = 0; i < g.init.size(); ++i) cells[i] = g.init[i];
+      globals_[g.name] = std::move(cells);
+    }
+    for (const Function& fn : unit.functions) functions_[fn.name] = &fn;
+  }
+
+  std::int32_t run_main() { return call("main", {}); }
+
+ private:
+  enum class Flow { kNormal, kReturn, kBreak, kContinue };
+
+  struct Frame {
+    std::vector<std::map<std::string, std::int32_t>> scopes;
+    std::int32_t ret = 0;
+  };
+
+  std::int32_t call(const std::string& name,
+                    const std::vector<std::int32_t>& args) {
+    if (++depth_ > 200) throw CompileError(0, "interp: recursion too deep");
+    const Function* fn = functions_.at(name);
+    Frame frame;
+    frame.scopes.emplace_back();
+    for (std::size_t i = 0; i < fn->params.size(); ++i) {
+      frame.scopes.back()[fn->params[i]] = args[i];
+    }
+    exec(*fn->body, frame);
+    --depth_;
+    return frame.ret;
+  }
+
+  std::int32_t* find_var(Frame& frame, const std::string& name) {
+    for (auto it = frame.scopes.rbegin(); it != frame.scopes.rend(); ++it) {
+      const auto v = it->find(name);
+      if (v != it->end()) return &v->second;
+    }
+    const auto g = globals_.find(name);
+    if (g != globals_.end() && g->second.size() == 1) return &g->second[0];
+    return nullptr;
+  }
+
+  std::int32_t eval(const Expr& e, Frame& frame) {
+    switch (e.kind) {
+      case Expr::Kind::kNumber:
+        return e.number;
+      case Expr::Kind::kVar:
+        return *find_var(frame, e.name);
+      case Expr::Kind::kIndex: {
+        auto& cells = globals_.at(e.name);
+        const std::uint32_t idx =
+            static_cast<std::uint32_t>(eval(*e.lhs, frame));
+        return cells.at(idx);
+      }
+      case Expr::Kind::kUnary: {
+        const std::int32_t v = eval(*e.lhs, frame);
+        switch (e.un_op) {
+          case UnOp::kNeg: return static_cast<std::int32_t>(0u - static_cast<std::uint32_t>(v));
+          case UnOp::kNot: return ~v;
+          case UnOp::kLogicalNot: return v == 0 ? 1 : 0;
+        }
+        return 0;
+      }
+      case Expr::Kind::kBinary: {
+        if (e.bin_op == BinOp::kLogicalAnd) {
+          return eval(*e.lhs, frame) != 0 && eval(*e.rhs, frame) != 0 ? 1 : 0;
+        }
+        if (e.bin_op == BinOp::kLogicalOr) {
+          return eval(*e.lhs, frame) != 0 || eval(*e.rhs, frame) != 0 ? 1 : 0;
+        }
+        const std::int32_t a = eval(*e.lhs, frame);
+        const std::int32_t b = eval(*e.rhs, frame);
+        const std::uint32_t ua = static_cast<std::uint32_t>(a);
+        const std::uint32_t ub = static_cast<std::uint32_t>(b);
+        switch (e.bin_op) {
+          case BinOp::kAdd: return static_cast<std::int32_t>(ua + ub);
+          case BinOp::kSub: return static_cast<std::int32_t>(ua - ub);
+          case BinOp::kMul: return static_cast<std::int32_t>(ua * ub);
+          case BinOp::kDiv: return b == 0 ? 0 : div_trunc(a, b);
+          case BinOp::kRem: return b == 0 ? 0 : rem_trunc(a, b);
+          case BinOp::kAnd: return a & b;
+          case BinOp::kOr: return a | b;
+          case BinOp::kXor: return a ^ b;
+          case BinOp::kShl: return static_cast<std::int32_t>(ua << (ub & 31));
+          case BinOp::kShr: return a >> (ub & 31);
+          case BinOp::kLt: return a < b;
+          case BinOp::kLe: return a <= b;
+          case BinOp::kGt: return a > b;
+          case BinOp::kGe: return a >= b;
+          case BinOp::kEq: return a == b;
+          case BinOp::kNe: return a != b;
+          default: return 0;
+        }
+      }
+      case Expr::Kind::kAssign: {
+        const std::int32_t v = eval(*e.rhs, frame);
+        const Expr& target = *e.lhs;
+        if (target.kind == Expr::Kind::kVar) {
+          *find_var(frame, target.name) = v;
+        } else {
+          auto& cells = globals_.at(target.name);
+          cells.at(static_cast<std::uint32_t>(eval(*target.lhs, frame))) = v;
+        }
+        return v;
+      }
+      case Expr::Kind::kCall: {
+        std::vector<std::int32_t> args;
+        for (const ExprPtr& a : e.args) args.push_back(eval(*a, frame));
+        return call(e.name, args);
+      }
+    }
+    return 0;
+  }
+
+  static std::int32_t div_trunc(std::int32_t a, std::int32_t b) {
+    // Avoid INT_MIN/-1 UB in the reference (the generated code wraps).
+    if (a == INT32_MIN && b == -1) return a;
+    return a / b;
+  }
+  static std::int32_t rem_trunc(std::int32_t a, std::int32_t b) {
+    if (a == INT32_MIN && b == -1) return 0;
+    return a % b;
+  }
+
+  Flow exec(const Stmt& s, Frame& frame) {
+    switch (s.kind) {
+      case Stmt::Kind::kExpr:
+        eval(*s.expr, frame);
+        return Flow::kNormal;
+      case Stmt::Kind::kDecl:
+        frame.scopes.back()[s.name] =
+            s.expr != nullptr ? eval(*s.expr, frame) : 0;
+        return Flow::kNormal;
+      case Stmt::Kind::kIf:
+        if (eval(*s.expr, frame) != 0) return exec(*s.body, frame);
+        if (s.else_body != nullptr) return exec(*s.else_body, frame);
+        return Flow::kNormal;
+      case Stmt::Kind::kWhile:
+        while (eval(*s.expr, frame) != 0) {
+          const Flow f = exec(*s.body, frame);
+          if (f == Flow::kReturn) return f;
+          if (f == Flow::kBreak) break;
+        }
+        return Flow::kNormal;
+      case Stmt::Kind::kFor: {
+        frame.scopes.emplace_back();
+        if (s.init != nullptr) exec(*s.init, frame);
+        while (s.expr == nullptr || eval(*s.expr, frame) != 0) {
+          const Flow f = exec(*s.body, frame);
+          if (f == Flow::kReturn) {
+            frame.scopes.pop_back();
+            return f;
+          }
+          if (f == Flow::kBreak) break;
+          if (s.step != nullptr) eval(*s.step, frame);
+        }
+        frame.scopes.pop_back();
+        return Flow::kNormal;
+      }
+      case Stmt::Kind::kReturn:
+        frame.ret = s.expr != nullptr ? eval(*s.expr, frame) : 0;
+        return Flow::kReturn;
+      case Stmt::Kind::kBreak:
+        return Flow::kBreak;
+      case Stmt::Kind::kContinue:
+        return Flow::kContinue;
+      case Stmt::Kind::kBlock: {
+        frame.scopes.emplace_back();
+        for (const StmtPtr& child : s.stmts) {
+          const Flow f = exec(*child, frame);
+          if (f != Flow::kNormal) {
+            frame.scopes.pop_back();
+            return f;
+          }
+        }
+        frame.scopes.pop_back();
+        return Flow::kNormal;
+      }
+    }
+    return Flow::kNormal;
+  }
+
+  const TranslationUnit& unit_;
+  std::map<std::string, std::vector<std::int32_t>> globals_;
+  std::map<std::string, const Function*> functions_;
+  int depth_ = 0;
+};
+
+}  // namespace t1000::minic

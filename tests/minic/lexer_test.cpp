@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "minic/token.hpp"
+
+namespace t1000::minic {
+namespace {
+
+std::vector<Tok> kinds(const std::string& src) {
+  std::vector<Tok> out;
+  for (const Token& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptySourceYieldsEof) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::kEof);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  const auto toks = lex("int if else while for return break continue foo _x");
+  const std::vector<Tok> expected = {
+      Tok::kInt, Tok::kIf, Tok::kElse, Tok::kWhile, Tok::kFor, Tok::kReturn,
+      Tok::kBreak, Tok::kContinue, Tok::kIdent, Tok::kIdent, Tok::kEof};
+  EXPECT_EQ(kinds("int if else while for return break continue foo _x"),
+            expected);
+  EXPECT_EQ(toks[8].text, "foo");
+  EXPECT_EQ(toks[9].text, "_x");
+}
+
+TEST(Lexer, NumbersDecimalAndHex) {
+  const auto toks = lex("0 42 0x1F 0xABCDEF");
+  EXPECT_EQ(toks[0].number, 0);
+  EXPECT_EQ(toks[1].number, 42);
+  EXPECT_EQ(toks[2].number, 0x1F);
+  EXPECT_EQ(toks[3].number, 0xABCDEF);
+}
+
+TEST(Lexer, OperatorsIncludingDigraphs) {
+  const std::vector<Tok> expected = {
+      Tok::kShl, Tok::kShr, Tok::kLe, Tok::kGe, Tok::kEq, Tok::kNe,
+      Tok::kAndAnd, Tok::kOrOr, Tok::kLt, Tok::kGt, Tok::kAssign,
+      Tok::kAmp, Tok::kPipe, Tok::kEof};
+  EXPECT_EQ(kinds("<< >> <= >= == != && || < > = & |"), expected);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  EXPECT_EQ(kinds("1 // line comment 2\n3"),
+            (std::vector<Tok>{Tok::kNumber, Tok::kNumber, Tok::kEof}));
+  EXPECT_EQ(kinds("1 /* block\ncomment */ 2"),
+            (std::vector<Tok>{Tok::kNumber, Tok::kNumber, Tok::kEof}));
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto toks = lex("a\nb\n\nc");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(lex("@"), CompileError);
+  EXPECT_THROW(lex("/* unterminated"), CompileError);
+  EXPECT_THROW(lex("0x"), CompileError);
+  EXPECT_THROW(lex("99999999999"), CompileError);
+}
+
+}  // namespace
+}  // namespace t1000::minic

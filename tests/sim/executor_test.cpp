@@ -1,0 +1,304 @@
+#include "sim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+
+namespace t1000 {
+namespace {
+
+// Runs `source` to halt and returns the executor for state inspection.
+Executor run_asm(const std::string& source, const ExtInstTable* ext = nullptr,
+                 std::uint64_t max_steps = 100000) {
+  static std::vector<std::unique_ptr<Program>> keep_alive;
+  keep_alive.push_back(std::make_unique<Program>(assemble(source)));
+  Executor e(*keep_alive.back(), ext);
+  e.run(max_steps);
+  EXPECT_TRUE(e.halted()) << "program did not halt";
+  return e;
+}
+
+TEST(Executor, AluBasics) {
+  const Executor e = run_asm(R"(
+      li $t0, 21
+      li $t1, 2
+      addu $v0, $t0, $t1
+      subu $v1, $t0, $t1
+      mul  $a0, $t0, $t1
+      halt
+  )");
+  EXPECT_EQ(e.reg(2), 23u);
+  EXPECT_EQ(e.reg(3), 19u);
+  EXPECT_EQ(e.reg(4), 42u);
+}
+
+TEST(Executor, ZeroRegisterIsImmutable) {
+  const Executor e = run_asm(R"(
+      li $zero, 55
+      addiu $zero, $zero, 7
+      addu $v0, $zero, $zero
+      halt
+  )");
+  EXPECT_EQ(e.reg(0), 0u);
+  EXPECT_EQ(e.reg(2), 0u);
+}
+
+TEST(Executor, ShiftsAndLogic) {
+  const Executor e = run_asm(R"(
+      li $t0, 0xF0
+      sll $t1, $t0, 4
+      srl $t2, $t0, 4
+      li $t3, -16
+      sra $t4, $t3, 2
+      and $t5, $t0, $t1
+      or  $t6, $t0, $t2
+      nor $t7, $zero, $zero
+      halt
+  )");
+  EXPECT_EQ(e.reg(9), 0xF00u);
+  EXPECT_EQ(e.reg(10), 0xFu);
+  EXPECT_EQ(e.reg(12), static_cast<std::uint32_t>(-4));
+  EXPECT_EQ(e.reg(13), 0u);
+  EXPECT_EQ(e.reg(14), 0xFFu);
+  EXPECT_EQ(e.reg(15), 0xFFFFFFFFu);
+}
+
+TEST(Executor, VariableShifts) {
+  const Executor e = run_asm(R"(
+      li $t0, 1
+      li $t1, 12
+      sllv $t2, $t0, $t1
+      srlv $t3, $t2, $t1
+      halt
+  )");
+  EXPECT_EQ(e.reg(10), 1u << 12);
+  EXPECT_EQ(e.reg(11), 1u);
+}
+
+TEST(Executor, ImmediateExtensionSemantics) {
+  const Executor e = run_asm(R"(
+      li   $t0, 0
+      addiu $t1, $t0, -1     # sign-extended
+      ori  $t2, $t0, 0xFFFF  # zero-extended
+      slti $t3, $t1, 0       # -1 < 0 signed
+      sltiu $t4, $t1, 1      # 0xFFFFFFFF < 1 unsigned? no
+      halt
+  )");
+  EXPECT_EQ(e.reg(9), 0xFFFFFFFFu);
+  EXPECT_EQ(e.reg(10), 0xFFFFu);
+  EXPECT_EQ(e.reg(11), 1u);
+  EXPECT_EQ(e.reg(12), 0u);
+}
+
+TEST(Executor, LoadsAndStores) {
+  const Executor e = run_asm(R"(
+        .data
+  buf:  .word 0x11223344
+  bytes:.byte 0x80, 0x7F
+  half: .half 0x8001
+        .text
+        la  $t0, buf
+        lw  $v0, 0($t0)
+        la  $t1, bytes
+        lb  $t2, 0($t1)    # sign-extends 0x80
+        lbu $t3, 0($t1)
+        lb  $t4, 1($t1)
+        la  $t5, half
+        lh  $t6, 0($t5)    # sign-extends 0x8001
+        lhu $t7, 0($t5)
+        sw  $v0, 16($t0)
+        lw  $v1, 16($t0)
+        sb  $t3, 20($t0)
+        lbu $a0, 20($t0)
+        sh  $t7, 24($t0)
+        lhu $a1, 24($t0)
+        halt
+  )");
+  EXPECT_EQ(e.reg(2), 0x11223344u);
+  EXPECT_EQ(e.reg(10), 0xFFFFFF80u);
+  EXPECT_EQ(e.reg(11), 0x80u);
+  EXPECT_EQ(e.reg(12), 0x7Fu);
+  EXPECT_EQ(e.reg(14), 0xFFFF8001u);
+  EXPECT_EQ(e.reg(15), 0x8001u);
+  EXPECT_EQ(e.reg(3), 0x11223344u);
+  EXPECT_EQ(e.reg(4), 0x80u);
+  EXPECT_EQ(e.reg(5), 0x8001u);
+}
+
+TEST(Executor, BranchLoop) {
+  const Executor e = run_asm(R"(
+        li $t0, 0
+        li $t1, 10
+  loop: addiu $t0, $t0, 1
+        bne $t0, $t1, loop
+        move $v0, $t0
+        halt
+  )");
+  EXPECT_EQ(e.reg(2), 10u);
+}
+
+TEST(Executor, SignedBranchVariants) {
+  const Executor e = run_asm(R"(
+        li $t0, -5
+        li $v0, 0
+        bltz $t0, a
+        li $v0, 99
+  a:    bgez $t0, bad
+        bgtz $t0, bad
+        blez $t0, b
+        li $v0, 98
+  b:    li $t1, 1
+        bgtz $t1, c
+        li $v0, 97
+  c:    halt
+  bad:  li $v0, 96
+        halt
+  )");
+  EXPECT_EQ(e.reg(2), 0u);
+}
+
+TEST(Executor, JalAndJrImplementCalls) {
+  const Executor e = run_asm(R"(
+  main: li $a0, 5
+        jal double
+        move $v1, $v0
+        jal double
+        halt
+  double: addu $v0, $a0, $a0
+        jr $ra
+  )");
+  // Both calls double $a0=5 -> 10.
+  EXPECT_EQ(e.reg(2), 10u);
+  EXPECT_EQ(e.reg(3), 10u);
+}
+
+TEST(Executor, JalrThroughFunctionPointer) {
+  const Executor e = run_asm(R"(
+        .data
+  fptr: .word target
+        .text
+  main: la $t0, fptr
+        lw $t1, 0($t0)
+        jalr $ra, $t1
+        halt
+  target: li $v0, 77
+        jr $ra
+  )");
+  EXPECT_EQ(e.reg(2), 77u);
+}
+
+TEST(Executor, MainSymbolIsEntryPoint) {
+  const Executor e = run_asm(R"(
+  helper: li $v0, 1
+        jr $ra
+  main: li $v0, 2
+        halt
+  )");
+  EXPECT_EQ(e.reg(2), 2u);
+}
+
+TEST(Executor, ReturnFromEntryHalts) {
+  Program p = assemble("main: li $v0, 3\n jr $ra\n");
+  Executor e(p);
+  e.run(100);
+  EXPECT_TRUE(e.halted());
+  EXPECT_EQ(e.reg(2), 3u);
+}
+
+TEST(Executor, ExtInstructionEvaluatesMicroProgram) {
+  ExtInstTable table;
+  // (in0 << 4) + in1
+  const ConfId id = table.intern(ExtInstDef(
+      2, {{.op = Opcode::kSll, .dst = 2, .a = 0, .imm = 4},
+          {.op = Opcode::kAddu, .dst = 3, .a = 2, .b = 1}}));
+  const Executor e = run_asm(R"(
+      li $t0, 3
+      li $t1, 100
+      ext $v0, $t0, $t1, 0
+      halt
+  )",
+                             &table);
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(e.reg(2), (3u << 4) + 100);
+}
+
+TEST(Executor, ExtWithoutTableThrows) {
+  Program p = assemble("ext $v0, $t0, $t1, 0\nhalt");
+  Executor e(p);
+  EXPECT_THROW(e.step(), SimError);
+}
+
+TEST(Executor, ExtWithUnknownConfThrows) {
+  ExtInstTable table;
+  table.intern(ExtInstDef(1, {{.op = Opcode::kSll, .dst = 2, .a = 0, .imm = 1}}));
+  Program p = assemble("ext $v0, $t0, $t1, 7\nhalt");
+  Executor e(p, &table);
+  EXPECT_THROW(e.step(), SimError);
+}
+
+TEST(Executor, StepAfterHaltThrows) {
+  Program p = assemble("halt");
+  Executor e(p);
+  e.run(10);
+  EXPECT_TRUE(e.halted());
+  EXPECT_THROW(e.step(), SimError);
+}
+
+TEST(Executor, WildJumpThrows) {
+  Program p = assemble("li $t0, 0x123\njr $t0\nhalt");
+  Executor e(p);
+  EXPECT_THROW(e.run(10), SimError);
+}
+
+TEST(Executor, RunHonorsStepBound) {
+  Program p = assemble("loop: j loop");
+  Executor e(p);
+  EXPECT_EQ(e.run(100), 100u);
+  EXPECT_FALSE(e.halted());
+}
+
+TEST(Executor, StepInfoReportsMemoryAccess) {
+  Program p = assemble(R"(
+      .data
+  w:  .word 42
+      .text
+      la $t0, w
+      lw $v0, 0($t0)
+      sw $v0, 4($t0)
+      halt
+  )");
+  Executor e(p);
+  e.step();  // lui
+  e.step();  // ori
+  const StepInfo load = e.step();
+  EXPECT_TRUE(load.is_mem);
+  EXPECT_EQ(load.mem_addr, kDataBase);
+  EXPECT_EQ(load.mem_size, 4);
+  EXPECT_TRUE(load.has_result);
+  EXPECT_EQ(load.result, 42u);
+  const StepInfo store = e.step();
+  EXPECT_TRUE(store.is_mem);
+  EXPECT_EQ(store.mem_addr, kDataBase + 4);
+  EXPECT_FALSE(store.has_result);
+}
+
+TEST(Executor, StepInfoReportsBranchOutcome) {
+  Program p = assemble(R"(
+      li $t0, 1
+      bne $t0, $zero, skip
+      nop
+  skip: beq $t0, $zero, skip
+      halt
+  )");
+  Executor e(p);
+  e.step();
+  const StepInfo taken = e.step();
+  EXPECT_TRUE(taken.branch_taken);
+  EXPECT_EQ(taken.next_index, 3);
+  const StepInfo not_taken = e.step();
+  EXPECT_FALSE(not_taken.branch_taken);
+  EXPECT_EQ(not_taken.next_index, 4);
+}
+
+}  // namespace
+}  // namespace t1000

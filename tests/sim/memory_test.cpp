@@ -1,0 +1,76 @@
+#include "sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t1000 {
+namespace {
+
+TEST(Memory, ZeroInitialized) {
+  const Memory m;
+  EXPECT_EQ(m.load_u8(0x10000000), 0);
+  EXPECT_EQ(m.load_u16(0x10000000), 0);
+  EXPECT_EQ(m.load_u32(0x10000000), 0u);
+}
+
+TEST(Memory, ByteRoundTrip) {
+  Memory m;
+  m.store_u8(0x10000003, 0xAB);
+  EXPECT_EQ(m.load_u8(0x10000003), 0xAB);
+  EXPECT_EQ(m.load_u8(0x10000002), 0);
+}
+
+TEST(Memory, LittleEndianLayout) {
+  Memory m;
+  m.store_u32(0x10000000, 0x01020304);
+  EXPECT_EQ(m.load_u8(0x10000000), 0x04);
+  EXPECT_EQ(m.load_u8(0x10000001), 0x03);
+  EXPECT_EQ(m.load_u8(0x10000002), 0x02);
+  EXPECT_EQ(m.load_u8(0x10000003), 0x01);
+  EXPECT_EQ(m.load_u16(0x10000000), 0x0304);
+  EXPECT_EQ(m.load_u16(0x10000002), 0x0102);
+}
+
+TEST(Memory, HalfwordRoundTrip) {
+  Memory m;
+  m.store_u16(0x20000002, 0xBEEF);
+  EXPECT_EQ(m.load_u16(0x20000002), 0xBEEF);
+  EXPECT_EQ(m.load_u32(0x20000000), 0xBEEF0000u);
+}
+
+TEST(Memory, MisalignedAccessThrows) {
+  Memory m;
+  EXPECT_THROW(m.load_u16(0x10000001), MemError);
+  EXPECT_THROW(m.load_u32(0x10000002), MemError);
+  EXPECT_THROW(m.store_u16(0x10000003, 1), MemError);
+  EXPECT_THROW(m.store_u32(0x10000001, 1), MemError);
+}
+
+TEST(Memory, SparsePagesAllocatedOnWrite) {
+  Memory m;
+  EXPECT_EQ(m.pages_allocated(), 0u);
+  (void)m.load_u32(0x10000000);  // reads do not allocate
+  EXPECT_EQ(m.pages_allocated(), 0u);
+  m.store_u8(0x10000000, 1);
+  m.store_u8(0x10000FFF, 2);  // same 4 KiB page
+  EXPECT_EQ(m.pages_allocated(), 1u);
+  m.store_u8(0x7FFF0000, 3);  // far-away page
+  EXPECT_EQ(m.pages_allocated(), 2u);
+}
+
+TEST(Memory, WriteBlockCopiesImage) {
+  Memory m;
+  m.write_block(0x10000000, {1, 2, 3, 4, 5});
+  EXPECT_EQ(m.load_u32(0x10000000), 0x04030201u);
+  EXPECT_EQ(m.load_u8(0x10000004), 5);
+}
+
+TEST(Memory, CrossPageBytesIndependent) {
+  Memory m;
+  m.store_u8(0x10000FFF, 0x11);
+  m.store_u8(0x10001000, 0x22);
+  EXPECT_EQ(m.load_u8(0x10000FFF), 0x11);
+  EXPECT_EQ(m.load_u8(0x10001000), 0x22);
+}
+
+}  // namespace
+}  // namespace t1000

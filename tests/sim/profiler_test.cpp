@@ -1,0 +1,92 @@
+#include "sim/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+
+namespace t1000 {
+namespace {
+
+TEST(Profiler, CountsPerStaticInstruction) {
+  const Program p = assemble(R"(
+        li $t0, 0
+        li $t1, 5
+  loop: addiu $t0, $t0, 1
+        bne $t0, $t1, loop
+        halt
+  )");
+  const Profile prof = profile_program(p, 1000);
+  EXPECT_EQ(prof.insts[0].count, 1u);
+  EXPECT_EQ(prof.insts[1].count, 1u);
+  EXPECT_EQ(prof.insts[2].count, 5u);
+  EXPECT_EQ(prof.insts[3].count, 5u);
+  EXPECT_EQ(prof.insts[4].count, 1u);
+  EXPECT_EQ(prof.total_dynamic, 13u);
+}
+
+TEST(Profiler, TracksOperandWidths) {
+  const Program p = assemble(R"(
+        li $t0, 7          # 4-bit value
+        sll $t1, $t0, 10   # result 7<<10 needs 14 bits
+        li $t2, 0x7FFFF    # 20-bit value
+        addu $t3, $t2, $t2
+        halt
+  )");
+  const Profile prof = profile_program(p, 1000);
+  // sll: source width = width(7) = 4, result width = width(7168) = 14.
+  EXPECT_EQ(prof.insts[1].max_src_width, 4);
+  EXPECT_EQ(prof.insts[1].max_result_width, 14);
+  // addu over 20-bit sources (0x7FFFF = 19 value bits + sign).
+  EXPECT_EQ(prof.insts[4].max_src_width, 20);
+  EXPECT_EQ(prof.insts[4].max_result_width, 21);  // 0xFFFFE
+}
+
+TEST(Profiler, WidthIsMaxOverExecutions) {
+  const Program p = assemble(R"(
+        li $t0, 0
+        li $t1, 3
+        li $t2, 0
+  loop: sll $t3, $t2, 8        # width grows as $t2 grows
+        addiu $t2, $t2, 100
+        addiu $t0, $t0, 1
+        bne $t0, $t1, loop
+        halt
+  )");
+  const Profile prof = profile_program(p, 1000);
+  // Final iteration shifts 200 << 8 = 51200 (width 17).
+  EXPECT_EQ(prof.insts[3].max_result_width, 17);
+}
+
+TEST(Profiler, BaseCyclesWeighsMultiCycleOps) {
+  const Program p = assemble(R"(
+      li $t0, 3
+      mul $t1, $t0, $t0
+      halt
+  )");
+  const Profile prof = profile_program(p, 100);
+  // li(1) + mul(3) + halt(1)
+  EXPECT_EQ(prof.total_base_cycles, 5u);
+  EXPECT_EQ(prof.cycles_of(1, p), 3u);
+}
+
+TEST(Profiler, ThrowsWhenBoundExceeded) {
+  const Program p = assemble("loop: j loop");
+  EXPECT_THROW(profile_program(p, 50), SimError);
+}
+
+TEST(Profiler, ExtInstructionsProfiled) {
+  ExtInstTable table;
+  table.intern(ExtInstDef(2, {{.op = Opcode::kAddu, .dst = 2, .a = 0, .b = 1}}));
+  const Program p = assemble(R"(
+      li $t0, 4
+      li $t1, 5
+      ext $v0, $t0, $t1, 0
+      halt
+  )");
+  const Profile prof = profile_program(p, 100, &table);
+  EXPECT_EQ(prof.insts[2].count, 1u);
+  EXPECT_EQ(prof.insts[2].max_result_width, 5);  // 9 needs 5 signed bits
+}
+
+}  // namespace
+}  // namespace t1000

@@ -1,0 +1,100 @@
+#include "uarch/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t1000 {
+namespace {
+
+CacheConfig small_cache() {
+  // 4 sets x 2 ways x 16B lines = 128 B.
+  return {.size_bytes = 128, .line_bytes = 16, .assoc = 2, .hit_latency = 1};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x100C));  // same 16B line
+  EXPECT_FALSE(c.access(0x1010));  // next line
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, SetConflictEvictsLru) {
+  Cache c(small_cache());
+  // Three lines mapping to set 0 (stride = sets*line = 64B).
+  EXPECT_FALSE(c.access(0x0000));
+  EXPECT_FALSE(c.access(0x0040));
+  EXPECT_TRUE(c.access(0x0000));   // touch: 0x0040 becomes LRU
+  EXPECT_FALSE(c.access(0x0080));  // evicts 0x0040
+  EXPECT_TRUE(c.access(0x0000));
+  EXPECT_FALSE(c.access(0x0040));  // was evicted
+}
+
+TEST(Cache, DifferentSetsDoNotConflict) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.access(0x0000));  // set 0
+  EXPECT_FALSE(c.access(0x0010));  // set 1
+  EXPECT_FALSE(c.access(0x0020));  // set 2
+  EXPECT_FALSE(c.access(0x0030));  // set 3
+  EXPECT_TRUE(c.access(0x0000));
+  EXPECT_TRUE(c.access(0x0010));
+}
+
+TEST(Cache, DirectMappedThrashes) {
+  CacheConfig cfg = small_cache();
+  cfg.assoc = 1;
+  cfg.size_bytes = 64;  // 4 sets x 1 way
+  Cache c(cfg);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(c.access(0x0000));
+    EXPECT_FALSE(c.access(0x0040));  // same set, evicts
+  }
+  EXPECT_EQ(c.stats().misses, 8u);
+}
+
+TEST(Tlb, HitAfterFill) {
+  Tlb t({.entries = 2, .page_bytes = 4096, .miss_latency = 30});
+  EXPECT_EQ(t.access(0x1000), 30);
+  EXPECT_EQ(t.access(0x1FFF), 0);  // same page
+  EXPECT_EQ(t.access(0x2000), 30);
+  EXPECT_EQ(t.access(0x1000), 0);
+}
+
+TEST(Tlb, LruReplacement) {
+  Tlb t({.entries = 2, .page_bytes = 4096, .miss_latency = 30});
+  t.access(0x1000);            // page 1
+  t.access(0x2000);            // page 2
+  EXPECT_EQ(t.access(0x1000), 0);   // touch page 1
+  EXPECT_EQ(t.access(0x3000), 30);  // evicts page 2
+  EXPECT_EQ(t.access(0x1000), 0);
+  EXPECT_EQ(t.access(0x2000), 30);
+}
+
+TEST(MemHierarchy, LatenciesCompose) {
+  Cache l2({.size_bytes = 1024, .line_bytes = 64, .assoc = 2, .hit_latency = 6});
+  MemHierarchy m({.size_bytes = 128, .line_bytes = 16, .assoc = 2, .hit_latency = 1},
+                 &l2, 18, {.entries = 64, .page_bytes = 4096, .miss_latency = 30});
+  // Cold: TLB miss 30 + L1 hit-time 1 + L2 hit-time 6 + memory 18.
+  EXPECT_EQ(m.access(0x1000), 30 + 1 + 6 + 18);
+  // Warm: 1 cycle.
+  EXPECT_EQ(m.access(0x1000), 1);
+  // L1 evict but L2 retains: walk enough lines to evict 0x1000 from L1.
+  for (std::uint32_t a = 0x2000; a < 0x2000 + 4 * 128; a += 16) m.access(a);
+  EXPECT_EQ(m.access(0x1000), 1 + 6);  // L1 miss, L2 hit (same 64B line)
+}
+
+TEST(MemHierarchy, SharedL2SeesBothSides) {
+  Cache l2({.size_bytes = 1024, .line_bytes = 64, .assoc = 2, .hit_latency = 6});
+  MemHierarchy i({.size_bytes = 128, .line_bytes = 16, .assoc = 1, .hit_latency = 1},
+                 &l2, 18, {});
+  MemHierarchy d({.size_bytes = 128, .line_bytes = 16, .assoc = 1, .hit_latency = 1},
+                 &l2, 18, {});
+  i.access(0x5000);
+  // The D side misses its own L1 but hits the line the I side brought into
+  // the shared L2.
+  EXPECT_EQ(d.access(0x5004), 30 + 1 + 6);  // D-TLB miss + L1 + L2 hit
+}
+
+}  // namespace
+}  // namespace t1000

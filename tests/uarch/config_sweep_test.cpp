@@ -1,0 +1,209 @@
+// Property-style sweeps over machine parameters: widening any resource must
+// never slow the machine down, and shrinking key resources must visibly
+// bite on workloads engineered to stress them.
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+#include "uarch/timing.hpp"
+
+namespace t1000 {
+namespace {
+
+// An ILP-rich kernel with mixed ALU and memory work.
+Program ilp_kernel() {
+  return assemble(R"(
+        la $t8, buf
+        li $s0, 300
+  loop: lw $t0, 0($t8)
+        lw $t1, 4($t8)
+        addiu $t2, $t0, 1
+        addiu $t3, $t1, 2
+        xor  $t4, $t2, $t3
+        sll  $t5, $t0, 2
+        subu $t6, $t5, $t1
+        sw $t4, 8($t8)
+        sw $t6, 12($t8)
+        addu $v0, $v0, $t4
+        addiu $t8, $t8, 4
+        addiu $s0, $s0, -1
+        bgtz $s0, loop
+        halt
+        .data
+  buf:  .space 4096
+  )");
+}
+
+class WidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidthSweep, WiderMachinesAreMonotonicallyFaster) {
+  const Program p = ilp_kernel();
+  const int width = GetParam();
+  MachineConfig narrow;
+  narrow.fetch_width = narrow.decode_width = narrow.issue_width =
+      narrow.commit_width = width;
+  MachineConfig wide = narrow;
+  wide.fetch_width = wide.decode_width = wide.issue_width =
+      wide.commit_width = width + 1;
+  const SimStats a = simulate(p, nullptr, narrow);
+  const SimStats b = simulate(p, nullptr, wide);
+  EXPECT_GE(a.cycles, b.cycles) << "width " << width;
+  EXPECT_EQ(a.committed, b.committed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweep, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(ConfigSweep, SingleIssueIsRoughlyScalar) {
+  MachineConfig scalar;
+  scalar.fetch_width = scalar.decode_width = scalar.issue_width =
+      scalar.commit_width = 1;
+  const SimStats st = simulate(ilp_kernel(), nullptr, scalar);
+  EXPECT_LE(st.ipc(), 1.0);
+  EXPECT_GT(st.ipc(), 0.5);
+}
+
+class RuuSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuuSweep, BiggerWindowsNeverHurt) {
+  const Program p = ilp_kernel();
+  MachineConfig small;
+  small.ruu_size = GetParam();
+  MachineConfig big;
+  big.ruu_size = GetParam() * 2;
+  const SimStats a = simulate(p, nullptr, small);
+  const SimStats b = simulate(p, nullptr, big);
+  EXPECT_GE(a.cycles, b.cycles) << "ruu " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RuuSizes, RuuSweep, ::testing::Values(4, 8, 16, 32));
+
+TEST(ConfigSweep, TinyRuuThrottlesMemoryParallelism) {
+  // A miss-heavy stride loop needs window capacity to overlap misses.
+  const Program p = assemble(R"(
+        la $t0, buf
+        li $t1, 1024
+  loop: lw $t2, 0($t0)
+        addu $v0, $v0, $t2
+        addiu $t0, $t0, 64
+        addiu $t1, $t1, -1
+        bgtz $t1, loop
+        halt
+        .data
+  buf:  .space 65536
+  )");
+  MachineConfig tiny;
+  tiny.ruu_size = 4;
+  MachineConfig big;
+  big.ruu_size = 128;
+  const SimStats a = simulate(p, nullptr, tiny);
+  const SimStats b = simulate(p, nullptr, big);
+  EXPECT_GT(static_cast<double>(a.cycles),
+            static_cast<double>(b.cycles) * 1.5);
+}
+
+TEST(ConfigSweep, MemPortsLimitThroughput) {
+  // Loads/stores dominate; one port halves memory issue bandwidth.
+  const Program p = assemble(R"(
+        la $t8, buf
+        li $s0, 500
+  loop: lw $t0, 0($t8)
+        lw $t1, 4($t8)
+        sw $t0, 8($t8)
+        sw $t1, 12($t8)
+        addiu $t8, $t8, 4
+        addiu $s0, $s0, -1
+        bgtz $s0, loop
+        halt
+        .data
+  buf:  .space 4096
+  )");
+  MachineConfig one;
+  one.mem_ports = 1;
+  MachineConfig two;
+  two.mem_ports = 2;
+  const SimStats a = simulate(p, nullptr, one);
+  const SimStats b = simulate(p, nullptr, two);
+  EXPECT_GT(a.cycles, b.cycles);
+}
+
+TEST(ConfigSweep, AluCountLimitsIndependentWork) {
+  std::string src = "  li $s0, 400\nloop:\n";
+  for (int i = 0; i < 12; ++i) {
+    src += "  addiu $t" + std::to_string(i % 6) + ", $zero, " +
+           std::to_string(i) + "\n";
+  }
+  src += "  addiu $s0, $s0, -1\n  bgtz $s0, loop\n  halt\n";
+  const Program p = assemble(src);
+  MachineConfig one_alu;
+  one_alu.int_alus = 1;
+  MachineConfig four_alu;
+  four_alu.int_alus = 4;
+  const SimStats a = simulate(p, nullptr, one_alu);
+  const SimStats b = simulate(p, nullptr, four_alu);
+  EXPECT_GT(static_cast<double>(a.cycles),
+            static_cast<double>(b.cycles) * 1.5);
+}
+
+class CacheSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheSweep, LargerCachesMissLess) {
+  const Program p = assemble(R"(
+        li $s1, 8
+  pass: la $t0, buf
+        li $t1, 512
+  loop: lw $t2, 0($t0)
+        addu $v0, $v0, $t2
+        addiu $t0, $t0, 32
+        addiu $t1, $t1, -1
+        bgtz $t1, loop
+        addiu $s1, $s1, -1
+        bgtz $s1, pass
+        halt
+        .data
+  buf:  .space 16384
+  )");
+  const std::uint32_t kb = static_cast<std::uint32_t>(GetParam());
+  MachineConfig small;
+  small.dl1.size_bytes = kb * 1024;
+  MachineConfig big;
+  big.dl1.size_bytes = kb * 2048;
+  const SimStats a = simulate(p, nullptr, small);
+  const SimStats b = simulate(p, nullptr, big);
+  EXPECT_GE(a.dl1.misses, b.dl1.misses) << kb << " KiB";
+  EXPECT_GE(a.cycles, b.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheSizes, CacheSweep, ::testing::Values(2, 4, 8));
+
+TEST(ConfigSweep, FetchQueueSizeNeverHurts) {
+  const Program p = ilp_kernel();
+  MachineConfig small;
+  small.fetch_queue_size = 4;
+  MachineConfig big;
+  big.fetch_queue_size = 32;
+  EXPECT_GE(simulate(p, nullptr, small).cycles,
+            simulate(p, nullptr, big).cycles);
+}
+
+TEST(ConfigSweep, SlowerMemoryHurtsMissHeavyCode) {
+  const Program p = assemble(R"(
+        la $t0, buf
+        li $t1, 1024
+  loop: lw $t2, 0($t0)
+        addu $v0, $v0, $t2
+        addiu $t0, $t0, 64
+        addiu $t1, $t1, -1
+        bgtz $t1, loop
+        halt
+        .data
+  buf:  .space 65536
+  )");
+  MachineConfig fast;
+  fast.memory_latency = 18;
+  MachineConfig slow;
+  slow.memory_latency = 100;
+  EXPECT_GT(simulate(p, nullptr, slow).cycles,
+            simulate(p, nullptr, fast).cycles);
+}
+
+}  // namespace
+}  // namespace t1000

@@ -1,0 +1,113 @@
+// Tests for the write-back/writeback-counting cache behaviour and the
+// MSHR (outstanding-miss) limit.
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/timing.hpp"
+
+namespace t1000 {
+namespace {
+
+CacheConfig tiny_cache() {
+  return {.size_bytes = 64, .line_bytes = 16, .assoc = 1, .hit_latency = 1};
+}
+
+TEST(Writeback, DirtyEvictionCounts) {
+  Cache c(tiny_cache());
+  c.access(0x0000, /*is_write=*/true);   // fill set 0, dirty
+  EXPECT_EQ(c.stats().writebacks, 0u);
+  c.access(0x0040, /*is_write=*/false);  // evicts dirty line
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  c.access(0x0000, /*is_write=*/false);  // evicts clean line
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Writeback, ReadHitDoesNotDirty) {
+  Cache c(tiny_cache());
+  c.access(0x0000, false);
+  c.access(0x0004, false);  // read hit, same line
+  c.access(0x0040, false);  // evict
+  EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Writeback, WriteHitDirtiesExistingLine) {
+  Cache c(tiny_cache());
+  c.access(0x0000, false);  // clean fill
+  c.access(0x0004, true);   // write hit dirties it
+  c.access(0x0040, false);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Writeback, StoreStreamProducesWritebacks) {
+  // Stream stores over 64 KiB: every DL1 line comes back out dirty.
+  const Program p = assemble(R"(
+        la $t0, buf
+        li $t1, 2048
+  loop: sw $t1, 0($t0)
+        addiu $t0, $t0, 32
+        addiu $t1, $t1, -1
+        bgtz $t1, loop
+        halt
+        .data
+  buf:  .space 65536
+  )");
+  const SimStats st = simulate(p, nullptr, MachineConfig{});
+  EXPECT_GT(st.dl1.writebacks, 1000u);
+}
+
+TEST(Mshr, LimitThrottlesMemoryLevelParallelism) {
+  // Independent streaming misses: unlimited MSHRs overlap them; a single
+  // MSHR serializes, costing far more cycles.
+  const Program p = assemble(R"(
+        la $t0, buf
+        li $t1, 1024
+  loop: lw $t2, 0($t0)
+        addu $v0, $v0, $t2
+        addiu $t0, $t0, 64
+        addiu $t1, $t1, -1
+        bgtz $t1, loop
+        halt
+        .data
+  buf:  .space 65536
+  )");
+  MachineConfig unlimited;
+  MachineConfig one;
+  one.max_outstanding_misses = 1;
+  MachineConfig four;
+  four.max_outstanding_misses = 4;
+  const SimStats u = simulate(p, nullptr, unlimited);
+  const SimStats f = simulate(p, nullptr, four);
+  const SimStats o = simulate(p, nullptr, one);
+  EXPECT_GT(static_cast<double>(o.cycles), static_cast<double>(u.cycles) * 1.3);
+  EXPECT_GE(o.cycles, f.cycles);
+  EXPECT_GE(f.cycles, u.cycles);
+  EXPECT_EQ(u.committed, o.committed);
+}
+
+TEST(Mshr, CacheHitsUnaffectedByLimit) {
+  // A hot small buffer: everything hits after warmup, so MSHR=1 costs
+  // almost nothing.
+  const Program p = assemble(R"(
+        la $t0, buf
+        li $t1, 2000
+  loop: lw $t2, 0($t0)
+        lw $t3, 4($t0)
+        addu $v0, $t2, $t3
+        addiu $t1, $t1, -1
+        bgtz $t1, loop
+        halt
+        .data
+  buf:  .space 64
+  )");
+  MachineConfig unlimited;
+  MachineConfig one;
+  one.max_outstanding_misses = 1;
+  const SimStats u = simulate(p, nullptr, unlimited);
+  const SimStats o = simulate(p, nullptr, one);
+  EXPECT_LE(static_cast<double>(o.cycles),
+            static_cast<double>(u.cycles) * 1.02);
+}
+
+}  // namespace
+}  // namespace t1000

@@ -1,0 +1,151 @@
+#include "workloads/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/executor.hpp"
+#include "cfg/cfg.hpp"
+#include "cfg/liveness.hpp"
+#include "extinst/extract.hpp"
+#include "sim/profiler.hpp"
+
+namespace t1000 {
+namespace {
+
+TEST(Workloads, SuiteHasAllEightBenchmarks) {
+  const auto& suite = all_workloads();
+  ASSERT_EQ(suite.size(), 8u);
+  const std::set<std::string> expected = {
+      "unepic",   "epic",     "gsm_dec",   "gsm_enc",
+      "g721_dec", "g721_enc", "mpeg2_dec", "mpeg2_enc"};
+  std::set<std::string> actual;
+  for (const Workload& w : suite) actual.insert(w.name);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Workloads, FindByName) {
+  EXPECT_NE(find_workload("gsm_dec"), nullptr);
+  EXPECT_EQ(find_workload("gsm_dec")->name, "gsm_dec");
+  EXPECT_EQ(find_workload("nope"), nullptr);
+}
+
+TEST(Workloads, DescriptionsExplainTheAnalogy) {
+  for (const Workload& w : all_workloads()) {
+    EXPECT_GT(w.description.size(), 30u) << w.name;
+  }
+}
+
+class WorkloadSuite : public ::testing::TestWithParam<int> {
+ protected:
+  const Workload& workload() const {
+    return all_workloads()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(WorkloadSuite, AssemblesAndHalts) {
+  const Workload& w = workload();
+  const Program p = workload_program(w);
+  EXPECT_GT(p.size(), 30) << w.name;
+  Executor e(p);
+  e.run(w.max_steps);
+  EXPECT_TRUE(e.halted()) << w.name << " did not halt";
+  EXPECT_GT(e.steps_executed(), 50000u) << w.name << " too small to measure";
+  EXPECT_LT(e.steps_executed(), 4000000u) << w.name << " too large for benches";
+}
+
+TEST_P(WorkloadSuite, ChecksumIsNonTrivialAndDeterministic) {
+  const Workload& w = workload();
+  const Program p = workload_program(w);
+  Executor a(p);
+  a.run(w.max_steps);
+  EXPECT_NE(a.reg(kRegV0), 0u) << w.name;
+  Executor b(p);
+  b.run(w.max_steps);
+  EXPECT_EQ(a.reg(kRegV0), b.reg(kRegV0)) << w.name;
+}
+
+TEST_P(WorkloadSuite, HasHotLoopsAndNarrowValues) {
+  const Workload& w = workload();
+  const Program p = workload_program(w);
+  const Cfg cfg = Cfg::build(p);
+  EXPECT_GE(cfg.loops().size(), 3u) << w.name;
+
+  // The defining property of MediaBench for this paper: a large share of
+  // dynamic ALU work on narrow (<= 18-bit) operands.
+  const Profile prof = profile_program(p, w.max_steps);
+  std::uint64_t narrow_alu = 0;
+  for (int i = 0; i < p.size(); ++i) {
+    const InstProfile& ip = prof.at(i);
+    if (ip.count == 0) continue;
+    if (is_ext_candidate(p.text[static_cast<std::size_t>(i)].op) &&
+        ip.max_src_width <= 18 && ip.max_result_width <= 18) {
+      narrow_alu += ip.count;
+    }
+  }
+  EXPECT_GT(static_cast<double>(narrow_alu) /
+                static_cast<double>(prof.total_dynamic),
+            0.15)
+      << w.name << " lacks narrow ALU work";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadSuite, ::testing::Range(0, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return all_workloads()[static_cast<std::size_t>(
+                                                      info.param)]
+                               .name;
+                         });
+
+}  // namespace
+}  // namespace t1000
+
+namespace t1000 {
+namespace {
+
+class ExtendedSuite : public ::testing::TestWithParam<int> {
+ protected:
+  const Workload& workload() const {
+    return extended_workloads()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(ExtendedSuite, AssemblesHaltsAndIsDeterministic) {
+  const Workload& w = workload();
+  const Program p = workload_program(w);
+  Executor a(p);
+  a.run(w.max_steps);
+  ASSERT_TRUE(a.halted()) << w.name;
+  EXPECT_NE(a.reg(kRegV0), 0u);
+  Executor b(p);
+  b.run(w.max_steps);
+  EXPECT_EQ(a.reg(kRegV0), b.reg(kRegV0));
+  EXPECT_GT(a.steps_executed(), 50000u);
+}
+
+TEST_P(ExtendedSuite, FindableByName) {
+  EXPECT_EQ(find_workload(workload().name), &workload());
+}
+
+INSTANTIATE_TEST_SUITE_P(Extra, ExtendedSuite, ::testing::Range(0, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return extended_workloads()[static_cast<std::size_t>(
+                                                           info.param)]
+                               .name;
+                         });
+
+TEST(ExtendedSuiteGlobal, PegwitIsPfuHostile) {
+  // The negative control: wide 32-bit values defeat the candidate filter.
+  const Workload& w = *find_workload("pegwit");
+  const Program p = workload_program(w);
+  const Cfg cfg = Cfg::build(p);
+  const Liveness lv = compute_liveness(p, cfg);
+  const Profile prof = profile_program(p, w.max_steps);
+  const auto sites = extract_sites(p, cfg, lv, prof, {});
+  // At most trivial cold-code sites survive; nothing hot.
+  std::uint64_t hot_execs = 0;
+  for (const auto& s : sites) hot_execs += s.exec_count;
+  EXPECT_LT(hot_execs, prof.total_dynamic / 100);
+}
+
+}  // namespace
+}  // namespace t1000

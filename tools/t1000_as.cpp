@@ -1,0 +1,35 @@
+// t1000-as: assemble a source file into a T1K1 object.
+//
+//   t1000-as input.s [-o output.obj] [--disassemble]
+#include <cstdio>
+
+#include "tool_common.hpp"
+
+using namespace t1000;
+
+int main(int argc, char** argv) {
+  tools::Args args(argc, argv);
+  const bool disasm = args.flag("--disassemble");
+  const std::string out = args.option("-o", "a.obj");
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: t1000-as input.s [-o output.obj] [--disassemble]\n");
+    return 2;
+  }
+  try {
+    const LoadedObject obj = tools::load_input(args.positional()[0]);
+    if (disasm) {
+      std::printf("%s", disassemble(obj.program).c_str());
+      return 0;
+    }
+    save_object_file(out, obj.program,
+                     obj.ext_table.size() > 0 ? &obj.ext_table : nullptr);
+    std::printf("%s: %d instructions, %zu data bytes -> %s\n",
+                args.positional()[0].c_str(), obj.program.size(),
+                obj.program.data.size(), out.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// t1000-cc: compile MiniC to T1000 assembly or a T1K1 object.
+//
+//   t1000-cc input.c [-o out.obj] [-S]      (-S prints assembly to stdout)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "minic/minic.hpp"
+#include "tool_common.hpp"
+
+using namespace t1000;
+
+int main(int argc, char** argv) {
+  tools::Args args(argc, argv);
+  const bool emit_asm = args.flag("-S");
+  const std::string out = args.option("-o", "a.obj");
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: t1000-cc input.c [-o out.obj] [-S]\n");
+    return 2;
+  }
+  try {
+    std::ifstream is(args.positional()[0]);
+    if (!is) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   args.positional()[0].c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string asm_text = minic::compile_to_assembly(buf.str());
+    if (emit_asm) {
+      std::printf("%s", asm_text.c_str());
+      return 0;
+    }
+    const Program program = assemble(asm_text);
+    save_object_file(out, program);
+    std::printf("%s: %d instructions -> %s\n", args.positional()[0].c_str(),
+                program.size(), out.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// t1000-opt: the extended-instruction "compiler" pass. Profiles a program,
+// selects extended instructions (greedy or selective), rewrites the binary,
+// and writes a T1K1 object carrying the PFU configurations.
+//
+//   t1000-opt input.{s,obj} [-o out.obj] [--greedy] [--pfus N]
+//             [--threshold F] [--no-matrix] [--report]
+#include <cstdio>
+
+#include "extinst/rewrite.hpp"
+#include "extinst/select.hpp"
+#include "hwcost/lut_model.hpp"
+#include "sim/executor.hpp"
+#include "tool_common.hpp"
+
+using namespace t1000;
+
+int main(int argc, char** argv) {
+  tools::Args args(argc, argv);
+  const bool greedy = args.flag("--greedy");
+  const bool report = args.flag("--report");
+  const bool no_matrix = args.flag("--no-matrix");
+  const long pfus = args.option_int("--pfus", kUnlimitedPfus);
+  const double threshold =
+      std::strtod(args.option("--threshold", "0.005").c_str(), nullptr);
+  const std::string out = args.option("-o", "opt.obj");
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: t1000-opt input.{s,obj} [-o out.obj] [--greedy] "
+                 "[--pfus N] [--threshold F] [--no-matrix] [--report]\n");
+    return 2;
+  }
+  try {
+    const LoadedObject obj = tools::load_input(args.positional()[0]);
+    if (obj.ext_table.size() > 0) {
+      std::fprintf(stderr, "error: input already contains EXT instructions\n");
+      return 1;
+    }
+    const AnalyzedProgram ap = analyze_program(obj.program, 1u << 26);
+
+    SelectPolicy policy;
+    policy.num_pfus = static_cast<int>(pfus);
+    policy.time_threshold = threshold;
+    policy.use_subsequence_matrix = !no_matrix;
+    Selection sel =
+        greedy ? select_greedy(ap) : select_selective(ap, policy);
+    const RewriteResult rr = rewrite_program(obj.program, sel.apps);
+
+    // Validate semantics before emitting anything.
+    Executor ref(obj.program);
+    ref.run(1u << 26);
+    Executor opt(rr.program, &sel.table);
+    opt.run(1u << 26);
+    if (!ref.halted() || !opt.halted() || ref.reg(2) != opt.reg(2) ||
+        ref.reg(3) != opt.reg(3)) {
+      std::fprintf(stderr, "internal error: rewrite changed semantics\n");
+      return 1;
+    }
+
+    save_object_file(out, rr.program, &sel.table);
+    std::printf("%s: %d -> %d instructions, %d configuration(s), "
+                "%zu site(s) -> %s\n",
+                args.positional()[0].c_str(), obj.program.size(),
+                rr.program.size(), sel.num_configs(), sel.apps.size(),
+                out.c_str());
+    if (report) {
+      for (int c = 0; c < sel.num_configs(); ++c) {
+        const ExtInstDef& def = sel.table.at(static_cast<ConfId>(c));
+        std::printf("  Conf %d: %d ops, ~%d LUTs, saves %d cycle(s)/use:", c,
+                    def.length(), sel.lut_costs[static_cast<std::size_t>(c)],
+                    def.base_cycles() - 1);
+        for (const MicroOp& u : def.uops()) {
+          std::printf(" %s", std::string(mnemonic(u.op)).c_str());
+        }
+        std::printf("\n");
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// t1000-run: functional (architectural) execution of a program.
+//
+//   t1000-run input.{s,obj} [--max-steps N] [--trace N] [--regs]
+//
+// Prints the executed instruction count and the $v0/$v1 result registers;
+// --trace N echoes the first N executed instructions, --regs dumps the
+// final register file.
+#include <cstdio>
+
+#include "sim/executor.hpp"
+#include "tool_common.hpp"
+
+using namespace t1000;
+
+int main(int argc, char** argv) {
+  tools::Args args(argc, argv);
+  const long max_steps = args.option_int("--max-steps", 1 << 26);
+  const long trace = args.option_int("--trace", 0);
+  const bool dump_regs = args.flag("--regs");
+  if (args.positional().size() != 1) {
+    std::fprintf(
+        stderr,
+        "usage: t1000-run input.{s,obj} [--max-steps N] [--trace N] "
+        "[--regs]\n");
+    return 2;
+  }
+  try {
+    const LoadedObject obj = tools::load_input(args.positional()[0]);
+    Executor exec(obj.program,
+                  obj.ext_table.size() > 0 ? &obj.ext_table : nullptr);
+    long traced = 0;
+    while (!exec.halted() &&
+           exec.steps_executed() < static_cast<std::uint64_t>(max_steps)) {
+      const StepInfo info = exec.step();
+      if (traced < trace) {
+        std::printf("%6lld  @%-5d %s\n",
+                    static_cast<long long>(exec.steps_executed()), info.index,
+                    to_string(info.ins).c_str());
+        ++traced;
+      }
+    }
+    if (!exec.halted()) {
+      std::fprintf(stderr, "stopped after %lld steps without halting\n",
+                   static_cast<long long>(exec.steps_executed()));
+      return 1;
+    }
+    std::printf("halted after %lld instructions\n",
+                static_cast<long long>(exec.steps_executed()));
+    std::printf("$v0 = 0x%08X  $v1 = 0x%08X\n", exec.reg(2), exec.reg(3));
+    if (dump_regs) {
+      for (int r = 0; r < kNumRegs; ++r) {
+        std::printf("%-6s 0x%08X%s", std::string(reg_name(static_cast<Reg>(r))).c_str(),
+                    exec.reg(static_cast<Reg>(r)), r % 4 == 3 ? "\n" : "  ");
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// t1000-sim: cycle-accurate simulation of a program on a configurable
+// T1000 machine.
+//
+//   t1000-sim input.{s,obj} [--pfus N|unlimited] [--reconfig N]
+//             [--bimodal] [--multi-cycle-ext] [--ruu N] [--width N]
+#include <cstdio>
+
+#include "tool_common.hpp"
+#include "uarch/timing.hpp"
+
+using namespace t1000;
+
+int main(int argc, char** argv) {
+  tools::Args args(argc, argv);
+  MachineConfig cfg;
+  const std::string pfus = args.option("--pfus", "0");
+  cfg.pfu.count = pfus == "unlimited" ? PfuConfig::kUnlimited
+                                      : static_cast<int>(std::strtol(
+                                            pfus.c_str(), nullptr, 0));
+  cfg.pfu.reconfig_latency =
+      static_cast<int>(args.option_int("--reconfig", 10));
+  cfg.pfu.multi_cycle_ext = args.flag("--multi-cycle-ext");
+  if (args.flag("--bimodal")) {
+    cfg.branch.kind = BranchPredictorKind::kBimodal;
+  }
+  cfg.ruu_size = static_cast<int>(args.option_int("--ruu", cfg.ruu_size));
+  const int width = static_cast<int>(args.option_int("--width", 4));
+  cfg.fetch_width = cfg.decode_width = cfg.issue_width = cfg.commit_width =
+      width;
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: t1000-sim input.{s,obj} [--pfus N|unlimited] "
+                 "[--reconfig N] [--bimodal] [--multi-cycle-ext] [--ruu N] "
+                 "[--width N]\n");
+    return 2;
+  }
+  try {
+    const LoadedObject obj = tools::load_input(args.positional()[0]);
+    const ExtInstTable* table =
+        obj.ext_table.size() > 0 ? &obj.ext_table : nullptr;
+    const SimStats st = simulate(obj.program, table, cfg);
+    std::printf("cycles:            %llu\n",
+                static_cast<unsigned long long>(st.cycles));
+    std::printf("instructions:      %llu  (IPC %.3f)\n",
+                static_cast<unsigned long long>(st.committed), st.ipc());
+    std::printf("IL1 miss rate:     %.4f  (%llu/%llu)\n", st.il1.miss_rate(),
+                static_cast<unsigned long long>(st.il1.misses),
+                static_cast<unsigned long long>(st.il1.accesses));
+    std::printf("DL1 miss rate:     %.4f  (%llu/%llu)\n", st.dl1.miss_rate(),
+                static_cast<unsigned long long>(st.dl1.misses),
+                static_cast<unsigned long long>(st.dl1.accesses));
+    std::printf("L2  miss rate:     %.4f\n", st.l2.miss_rate());
+    if (st.branch.conditional > 0) {
+      std::printf("branch accuracy:   %.4f\n", st.branch.cond_accuracy());
+    }
+    if (st.pfu.lookups > 0) {
+      std::printf("PFU lookups:       %llu  (hits %llu, reconfigs %llu)\n",
+                  static_cast<unsigned long long>(st.pfu.lookups),
+                  static_cast<unsigned long long>(st.pfu.hits),
+                  static_cast<unsigned long long>(st.pfu.reconfigurations));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

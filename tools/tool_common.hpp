@@ -1,0 +1,80 @@
+// Shared helpers for the command-line tools: load a program from either an
+// assembly source (.s/.asm) or a T1K1 object file, plus minimal flag
+// parsing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asmkit/assembler.hpp"
+#include "asmkit/objfile.hpp"
+
+namespace t1000::tools {
+
+inline bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Loads `path`: assembly when it ends in .s/.asm, otherwise a T1K1 object.
+inline LoadedObject load_input(const std::string& path) {
+  if (has_suffix(path, ".s") || has_suffix(path, ".asm")) {
+    std::ifstream is(path);
+    if (!is) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    LoadedObject obj;
+    obj.program = assemble(buf.str());
+    return obj;
+  }
+  return load_object_file(path);
+}
+
+// Tiny flag scanner: collects positional args, exposes --flag [value].
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool flag(const std::string& name) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == name) {
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string option(const std::string& name, const std::string& fallback) {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) {
+        const std::string value = args_[i + 1];
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
+                    args_.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        return value;
+      }
+    }
+    return fallback;
+  }
+
+  long option_int(const std::string& name, long fallback) {
+    const std::string v = option(name, "");
+    return v.empty() ? fallback : std::strtol(v.c_str(), nullptr, 0);
+  }
+
+  const std::vector<std::string>& positional() const { return args_; }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+}  // namespace t1000::tools
