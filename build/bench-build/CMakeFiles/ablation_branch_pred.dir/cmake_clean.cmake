@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_branch_pred"
+  "../bench/ablation_branch_pred.pdb"
+  "CMakeFiles/ablation_branch_pred.dir/ablation_branch_pred.cpp.o"
+  "CMakeFiles/ablation_branch_pred.dir/ablation_branch_pred.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_branch_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

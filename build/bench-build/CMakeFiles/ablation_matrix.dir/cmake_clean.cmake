@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_matrix"
+  "../bench/ablation_matrix.pdb"
+  "CMakeFiles/ablation_matrix.dir/ablation_matrix.cpp.o"
+  "CMakeFiles/ablation_matrix.dir/ablation_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/compiled_kernels.cpp" "bench-build/CMakeFiles/compiled_kernels.dir/compiled_kernels.cpp.o" "gcc" "bench-build/CMakeFiles/compiled_kernels.dir/compiled_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/t1000_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/t1000_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/extinst/CMakeFiles/t1000_extinst.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/t1000_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/t1000_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/t1000_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/t1000_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/t1000_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/t1000_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/t1000_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

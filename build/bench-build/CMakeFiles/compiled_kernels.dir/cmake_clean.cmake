@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/compiled_kernels"
+  "../bench/compiled_kernels.pdb"
+  "CMakeFiles/compiled_kernels.dir/compiled_kernels.cpp.o"
+  "CMakeFiles/compiled_kernels.dir/compiled_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

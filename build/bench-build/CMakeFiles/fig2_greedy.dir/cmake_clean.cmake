@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_greedy"
+  "../bench/fig2_greedy.pdb"
+  "CMakeFiles/fig2_greedy.dir/fig2_greedy.cpp.o"
+  "CMakeFiles/fig2_greedy.dir/fig2_greedy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

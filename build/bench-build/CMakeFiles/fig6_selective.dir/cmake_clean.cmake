@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_selective"
+  "../bench/fig6_selective.pdb"
+  "CMakeFiles/fig6_selective.dir/fig6_selective.cpp.o"
+  "CMakeFiles/fig6_selective.dir/fig6_selective.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_selective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_area"
+  "../bench/fig7_area.pdb"
+  "CMakeFiles/fig7_area.dir/fig7_area.cpp.o"
+  "CMakeFiles/fig7_area.dir/fig7_area.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sensitivity_reconfig"
+  "../bench/sensitivity_reconfig.pdb"
+  "CMakeFiles/sensitivity_reconfig.dir/sensitivity_reconfig.cpp.o"
+  "CMakeFiles/sensitivity_reconfig.dir/sensitivity_reconfig.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

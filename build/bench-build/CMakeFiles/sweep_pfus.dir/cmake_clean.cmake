@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_pfus"
+  "../bench/sweep_pfus.pdb"
+  "CMakeFiles/sweep_pfus.dir/sweep_pfus.cpp.o"
+  "CMakeFiles/sweep_pfus.dir/sweep_pfus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_pfus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_seqstats"
+  "../bench/table_seqstats.pdb"
+  "CMakeFiles/table_seqstats.dir/table_seqstats.cpp.o"
+  "CMakeFiles/table_seqstats.dir/table_seqstats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_seqstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

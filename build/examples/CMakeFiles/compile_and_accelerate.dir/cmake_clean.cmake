@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_and_accelerate.dir/compile_and_accelerate.cpp.o"
+  "CMakeFiles/compile_and_accelerate.dir/compile_and_accelerate.cpp.o.d"
+  "compile_and_accelerate"
+  "compile_and_accelerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_accelerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

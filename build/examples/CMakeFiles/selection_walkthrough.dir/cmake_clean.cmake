@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_walkthrough.dir/selection_walkthrough.cpp.o"
+  "CMakeFiles/selection_walkthrough.dir/selection_walkthrough.cpp.o.d"
+  "selection_walkthrough"
+  "selection_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

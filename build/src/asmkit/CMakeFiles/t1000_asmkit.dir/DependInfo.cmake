@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asmkit/assembler.cpp" "src/asmkit/CMakeFiles/t1000_asmkit.dir/assembler.cpp.o" "gcc" "src/asmkit/CMakeFiles/t1000_asmkit.dir/assembler.cpp.o.d"
+  "/root/repo/src/asmkit/objfile.cpp" "src/asmkit/CMakeFiles/t1000_asmkit.dir/objfile.cpp.o" "gcc" "src/asmkit/CMakeFiles/t1000_asmkit.dir/objfile.cpp.o.d"
+  "/root/repo/src/asmkit/program.cpp" "src/asmkit/CMakeFiles/t1000_asmkit.dir/program.cpp.o" "gcc" "src/asmkit/CMakeFiles/t1000_asmkit.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/t1000_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

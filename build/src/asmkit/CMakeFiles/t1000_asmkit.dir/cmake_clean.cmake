@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000_asmkit.dir/assembler.cpp.o"
+  "CMakeFiles/t1000_asmkit.dir/assembler.cpp.o.d"
+  "CMakeFiles/t1000_asmkit.dir/objfile.cpp.o"
+  "CMakeFiles/t1000_asmkit.dir/objfile.cpp.o.d"
+  "CMakeFiles/t1000_asmkit.dir/program.cpp.o"
+  "CMakeFiles/t1000_asmkit.dir/program.cpp.o.d"
+  "libt1000_asmkit.a"
+  "libt1000_asmkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000_asmkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

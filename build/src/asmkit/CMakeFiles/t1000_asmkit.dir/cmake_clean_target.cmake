@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libt1000_asmkit.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/t1000_cfg.dir/cfg.cpp.o.d"
+  "CMakeFiles/t1000_cfg.dir/dot.cpp.o"
+  "CMakeFiles/t1000_cfg.dir/dot.cpp.o.d"
+  "CMakeFiles/t1000_cfg.dir/liveness.cpp.o"
+  "CMakeFiles/t1000_cfg.dir/liveness.cpp.o.d"
+  "libt1000_cfg.a"
+  "libt1000_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000_extinst.dir/chain.cpp.o"
+  "CMakeFiles/t1000_extinst.dir/chain.cpp.o.d"
+  "CMakeFiles/t1000_extinst.dir/extract.cpp.o"
+  "CMakeFiles/t1000_extinst.dir/extract.cpp.o.d"
+  "CMakeFiles/t1000_extinst.dir/matrix.cpp.o"
+  "CMakeFiles/t1000_extinst.dir/matrix.cpp.o.d"
+  "CMakeFiles/t1000_extinst.dir/rewrite.cpp.o"
+  "CMakeFiles/t1000_extinst.dir/rewrite.cpp.o.d"
+  "CMakeFiles/t1000_extinst.dir/select.cpp.o"
+  "CMakeFiles/t1000_extinst.dir/select.cpp.o.d"
+  "libt1000_extinst.a"
+  "libt1000_extinst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000_extinst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

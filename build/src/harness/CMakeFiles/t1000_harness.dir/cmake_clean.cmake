@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000_harness.dir/experiment.cpp.o"
+  "CMakeFiles/t1000_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/t1000_harness.dir/report.cpp.o"
+  "CMakeFiles/t1000_harness.dir/report.cpp.o.d"
+  "libt1000_harness.a"
+  "libt1000_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000_hwcost.dir/lut_model.cpp.o"
+  "CMakeFiles/t1000_hwcost.dir/lut_model.cpp.o.d"
+  "libt1000_hwcost.a"
+  "libt1000_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

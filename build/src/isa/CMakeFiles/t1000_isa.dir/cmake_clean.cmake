@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000_isa.dir/alu.cpp.o"
+  "CMakeFiles/t1000_isa.dir/alu.cpp.o.d"
+  "CMakeFiles/t1000_isa.dir/encoding.cpp.o"
+  "CMakeFiles/t1000_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/t1000_isa.dir/extdef.cpp.o"
+  "CMakeFiles/t1000_isa.dir/extdef.cpp.o.d"
+  "CMakeFiles/t1000_isa.dir/instruction.cpp.o"
+  "CMakeFiles/t1000_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/t1000_isa.dir/opcode.cpp.o"
+  "CMakeFiles/t1000_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/t1000_isa.dir/reg.cpp.o"
+  "CMakeFiles/t1000_isa.dir/reg.cpp.o.d"
+  "libt1000_isa.a"
+  "libt1000_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minic/codegen.cpp" "src/minic/CMakeFiles/t1000_minic.dir/codegen.cpp.o" "gcc" "src/minic/CMakeFiles/t1000_minic.dir/codegen.cpp.o.d"
+  "/root/repo/src/minic/lexer.cpp" "src/minic/CMakeFiles/t1000_minic.dir/lexer.cpp.o" "gcc" "src/minic/CMakeFiles/t1000_minic.dir/lexer.cpp.o.d"
+  "/root/repo/src/minic/minic.cpp" "src/minic/CMakeFiles/t1000_minic.dir/minic.cpp.o" "gcc" "src/minic/CMakeFiles/t1000_minic.dir/minic.cpp.o.d"
+  "/root/repo/src/minic/parser.cpp" "src/minic/CMakeFiles/t1000_minic.dir/parser.cpp.o" "gcc" "src/minic/CMakeFiles/t1000_minic.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/t1000_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/t1000_asmkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

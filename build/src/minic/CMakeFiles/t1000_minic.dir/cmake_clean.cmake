@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000_minic.dir/codegen.cpp.o"
+  "CMakeFiles/t1000_minic.dir/codegen.cpp.o.d"
+  "CMakeFiles/t1000_minic.dir/lexer.cpp.o"
+  "CMakeFiles/t1000_minic.dir/lexer.cpp.o.d"
+  "CMakeFiles/t1000_minic.dir/minic.cpp.o"
+  "CMakeFiles/t1000_minic.dir/minic.cpp.o.d"
+  "CMakeFiles/t1000_minic.dir/parser.cpp.o"
+  "CMakeFiles/t1000_minic.dir/parser.cpp.o.d"
+  "libt1000_minic.a"
+  "libt1000_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

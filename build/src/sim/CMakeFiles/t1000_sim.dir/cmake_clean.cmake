@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000_sim.dir/executor.cpp.o"
+  "CMakeFiles/t1000_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/t1000_sim.dir/memory.cpp.o"
+  "CMakeFiles/t1000_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/t1000_sim.dir/profiler.cpp.o"
+  "CMakeFiles/t1000_sim.dir/profiler.cpp.o.d"
+  "libt1000_sim.a"
+  "libt1000_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch.cpp" "src/uarch/CMakeFiles/t1000_uarch.dir/branch.cpp.o" "gcc" "src/uarch/CMakeFiles/t1000_uarch.dir/branch.cpp.o.d"
+  "/root/repo/src/uarch/cache.cpp" "src/uarch/CMakeFiles/t1000_uarch.dir/cache.cpp.o" "gcc" "src/uarch/CMakeFiles/t1000_uarch.dir/cache.cpp.o.d"
+  "/root/repo/src/uarch/pfu.cpp" "src/uarch/CMakeFiles/t1000_uarch.dir/pfu.cpp.o" "gcc" "src/uarch/CMakeFiles/t1000_uarch.dir/pfu.cpp.o.d"
+  "/root/repo/src/uarch/timing.cpp" "src/uarch/CMakeFiles/t1000_uarch.dir/timing.cpp.o" "gcc" "src/uarch/CMakeFiles/t1000_uarch.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/t1000_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/t1000_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/t1000_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/t1000_hwcost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

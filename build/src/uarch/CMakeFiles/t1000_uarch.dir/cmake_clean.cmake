@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000_uarch.dir/branch.cpp.o"
+  "CMakeFiles/t1000_uarch.dir/branch.cpp.o.d"
+  "CMakeFiles/t1000_uarch.dir/cache.cpp.o"
+  "CMakeFiles/t1000_uarch.dir/cache.cpp.o.d"
+  "CMakeFiles/t1000_uarch.dir/pfu.cpp.o"
+  "CMakeFiles/t1000_uarch.dir/pfu.cpp.o.d"
+  "CMakeFiles/t1000_uarch.dir/timing.cpp.o"
+  "CMakeFiles/t1000_uarch.dir/timing.cpp.o.d"
+  "libt1000_uarch.a"
+  "libt1000_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

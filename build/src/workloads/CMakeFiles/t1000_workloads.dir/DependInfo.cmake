@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/epic.cpp" "src/workloads/CMakeFiles/t1000_workloads.dir/epic.cpp.o" "gcc" "src/workloads/CMakeFiles/t1000_workloads.dir/epic.cpp.o.d"
+  "/root/repo/src/workloads/extended.cpp" "src/workloads/CMakeFiles/t1000_workloads.dir/extended.cpp.o" "gcc" "src/workloads/CMakeFiles/t1000_workloads.dir/extended.cpp.o.d"
+  "/root/repo/src/workloads/g721.cpp" "src/workloads/CMakeFiles/t1000_workloads.dir/g721.cpp.o" "gcc" "src/workloads/CMakeFiles/t1000_workloads.dir/g721.cpp.o.d"
+  "/root/repo/src/workloads/gsm.cpp" "src/workloads/CMakeFiles/t1000_workloads.dir/gsm.cpp.o" "gcc" "src/workloads/CMakeFiles/t1000_workloads.dir/gsm.cpp.o.d"
+  "/root/repo/src/workloads/mpeg2.cpp" "src/workloads/CMakeFiles/t1000_workloads.dir/mpeg2.cpp.o" "gcc" "src/workloads/CMakeFiles/t1000_workloads.dir/mpeg2.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/t1000_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/t1000_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmkit/CMakeFiles/t1000_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/t1000_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

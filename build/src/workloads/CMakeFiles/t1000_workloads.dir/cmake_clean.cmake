@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000_workloads.dir/epic.cpp.o"
+  "CMakeFiles/t1000_workloads.dir/epic.cpp.o.d"
+  "CMakeFiles/t1000_workloads.dir/extended.cpp.o"
+  "CMakeFiles/t1000_workloads.dir/extended.cpp.o.d"
+  "CMakeFiles/t1000_workloads.dir/g721.cpp.o"
+  "CMakeFiles/t1000_workloads.dir/g721.cpp.o.d"
+  "CMakeFiles/t1000_workloads.dir/gsm.cpp.o"
+  "CMakeFiles/t1000_workloads.dir/gsm.cpp.o.d"
+  "CMakeFiles/t1000_workloads.dir/mpeg2.cpp.o"
+  "CMakeFiles/t1000_workloads.dir/mpeg2.cpp.o.d"
+  "CMakeFiles/t1000_workloads.dir/workload.cpp.o"
+  "CMakeFiles/t1000_workloads.dir/workload.cpp.o.d"
+  "libt1000_workloads.a"
+  "libt1000_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("isa")
+subdirs("asmkit")
+subdirs("sim")
+subdirs("cfg")
+subdirs("extinst")
+subdirs("hwcost")
+subdirs("uarch")
+subdirs("workloads")
+subdirs("integration")
+subdirs("harness")
+subdirs("minic")

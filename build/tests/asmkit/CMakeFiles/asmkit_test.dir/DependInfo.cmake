@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/asmkit/assembler_test.cpp" "tests/asmkit/CMakeFiles/asmkit_test.dir/assembler_test.cpp.o" "gcc" "tests/asmkit/CMakeFiles/asmkit_test.dir/assembler_test.cpp.o.d"
+  "/root/repo/tests/asmkit/objfile_test.cpp" "tests/asmkit/CMakeFiles/asmkit_test.dir/objfile_test.cpp.o" "gcc" "tests/asmkit/CMakeFiles/asmkit_test.dir/objfile_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmkit/CMakeFiles/t1000_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/t1000_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

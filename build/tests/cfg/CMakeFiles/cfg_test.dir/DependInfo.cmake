@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cfg/cfg_test.cpp" "tests/cfg/CMakeFiles/cfg_test.dir/cfg_test.cpp.o" "gcc" "tests/cfg/CMakeFiles/cfg_test.dir/cfg_test.cpp.o.d"
+  "/root/repo/tests/cfg/dot_test.cpp" "tests/cfg/CMakeFiles/cfg_test.dir/dot_test.cpp.o" "gcc" "tests/cfg/CMakeFiles/cfg_test.dir/dot_test.cpp.o.d"
+  "/root/repo/tests/cfg/liveness_test.cpp" "tests/cfg/CMakeFiles/cfg_test.dir/liveness_test.cpp.o" "gcc" "tests/cfg/CMakeFiles/cfg_test.dir/liveness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/t1000_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/t1000_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/t1000_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extinst_test.dir/extract_test.cpp.o"
+  "CMakeFiles/extinst_test.dir/extract_test.cpp.o.d"
+  "CMakeFiles/extinst_test.dir/matrix_test.cpp.o"
+  "CMakeFiles/extinst_test.dir/matrix_test.cpp.o.d"
+  "CMakeFiles/extinst_test.dir/property_test.cpp.o"
+  "CMakeFiles/extinst_test.dir/property_test.cpp.o.d"
+  "CMakeFiles/extinst_test.dir/rewrite_test.cpp.o"
+  "CMakeFiles/extinst_test.dir/rewrite_test.cpp.o.d"
+  "CMakeFiles/extinst_test.dir/select_test.cpp.o"
+  "CMakeFiles/extinst_test.dir/select_test.cpp.o.d"
+  "extinst_test"
+  "extinst_test.pdb"
+  "extinst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extinst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hwcost/lut_model_test.cpp" "tests/hwcost/CMakeFiles/hwcost_test.dir/lut_model_test.cpp.o" "gcc" "tests/hwcost/CMakeFiles/hwcost_test.dir/lut_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwcost/CMakeFiles/t1000_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/t1000_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/isa/alu_test.cpp" "tests/isa/CMakeFiles/isa_test.dir/alu_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_test.dir/alu_test.cpp.o.d"
+  "/root/repo/tests/isa/encoding_fuzz_test.cpp" "tests/isa/CMakeFiles/isa_test.dir/encoding_fuzz_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_test.dir/encoding_fuzz_test.cpp.o.d"
+  "/root/repo/tests/isa/encoding_test.cpp" "tests/isa/CMakeFiles/isa_test.dir/encoding_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_test.dir/encoding_test.cpp.o.d"
+  "/root/repo/tests/isa/extdef_test.cpp" "tests/isa/CMakeFiles/isa_test.dir/extdef_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_test.dir/extdef_test.cpp.o.d"
+  "/root/repo/tests/isa/instruction_test.cpp" "tests/isa/CMakeFiles/isa_test.dir/instruction_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_test.dir/instruction_test.cpp.o.d"
+  "/root/repo/tests/isa/opcode_test.cpp" "tests/isa/CMakeFiles/isa_test.dir/opcode_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_test.dir/opcode_test.cpp.o.d"
+  "/root/repo/tests/isa/reg_test.cpp" "tests/isa/CMakeFiles/isa_test.dir/reg_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_test.dir/reg_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/t1000_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

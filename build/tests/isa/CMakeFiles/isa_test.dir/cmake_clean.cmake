@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_test.dir/alu_test.cpp.o"
+  "CMakeFiles/isa_test.dir/alu_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/encoding_fuzz_test.cpp.o"
+  "CMakeFiles/isa_test.dir/encoding_fuzz_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/encoding_test.cpp.o"
+  "CMakeFiles/isa_test.dir/encoding_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/extdef_test.cpp.o"
+  "CMakeFiles/isa_test.dir/extdef_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/instruction_test.cpp.o"
+  "CMakeFiles/isa_test.dir/instruction_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/opcode_test.cpp.o"
+  "CMakeFiles/isa_test.dir/opcode_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/reg_test.cpp.o"
+  "CMakeFiles/isa_test.dir/reg_test.cpp.o.d"
+  "isa_test"
+  "isa_test.pdb"
+  "isa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minic/compile_exec_test.cpp" "tests/minic/CMakeFiles/minic_test.dir/compile_exec_test.cpp.o" "gcc" "tests/minic/CMakeFiles/minic_test.dir/compile_exec_test.cpp.o.d"
+  "/root/repo/tests/minic/differential_test.cpp" "tests/minic/CMakeFiles/minic_test.dir/differential_test.cpp.o" "gcc" "tests/minic/CMakeFiles/minic_test.dir/differential_test.cpp.o.d"
+  "/root/repo/tests/minic/lexer_test.cpp" "tests/minic/CMakeFiles/minic_test.dir/lexer_test.cpp.o" "gcc" "tests/minic/CMakeFiles/minic_test.dir/lexer_test.cpp.o.d"
+  "/root/repo/tests/minic/pipeline_integration_test.cpp" "tests/minic/CMakeFiles/minic_test.dir/pipeline_integration_test.cpp.o" "gcc" "tests/minic/CMakeFiles/minic_test.dir/pipeline_integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minic/CMakeFiles/t1000_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/t1000_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/extinst/CMakeFiles/t1000_extinst.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/t1000_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/t1000_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/t1000_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/t1000_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/t1000_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

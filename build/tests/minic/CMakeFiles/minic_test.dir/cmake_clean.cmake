@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_test.dir/compile_exec_test.cpp.o"
+  "CMakeFiles/minic_test.dir/compile_exec_test.cpp.o.d"
+  "CMakeFiles/minic_test.dir/differential_test.cpp.o"
+  "CMakeFiles/minic_test.dir/differential_test.cpp.o.d"
+  "CMakeFiles/minic_test.dir/lexer_test.cpp.o"
+  "CMakeFiles/minic_test.dir/lexer_test.cpp.o.d"
+  "CMakeFiles/minic_test.dir/pipeline_integration_test.cpp.o"
+  "CMakeFiles/minic_test.dir/pipeline_integration_test.cpp.o.d"
+  "minic_test"
+  "minic_test.pdb"
+  "minic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

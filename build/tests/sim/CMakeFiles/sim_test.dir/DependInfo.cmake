@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/executor_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/executor_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/executor_test.cpp.o.d"
+  "/root/repo/tests/sim/memory_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/memory_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/memory_test.cpp.o.d"
+  "/root/repo/tests/sim/profiler_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/profiler_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/profiler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/t1000_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/t1000_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/t1000_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

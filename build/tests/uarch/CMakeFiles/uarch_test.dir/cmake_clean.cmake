@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_test.dir/branch_test.cpp.o"
+  "CMakeFiles/uarch_test.dir/branch_test.cpp.o.d"
+  "CMakeFiles/uarch_test.dir/cache_property_test.cpp.o"
+  "CMakeFiles/uarch_test.dir/cache_property_test.cpp.o.d"
+  "CMakeFiles/uarch_test.dir/cache_test.cpp.o"
+  "CMakeFiles/uarch_test.dir/cache_test.cpp.o.d"
+  "CMakeFiles/uarch_test.dir/config_sweep_test.cpp.o"
+  "CMakeFiles/uarch_test.dir/config_sweep_test.cpp.o.d"
+  "CMakeFiles/uarch_test.dir/mem_model_test.cpp.o"
+  "CMakeFiles/uarch_test.dir/mem_model_test.cpp.o.d"
+  "CMakeFiles/uarch_test.dir/pfu_test.cpp.o"
+  "CMakeFiles/uarch_test.dir/pfu_test.cpp.o.d"
+  "CMakeFiles/uarch_test.dir/timing_test.cpp.o"
+  "CMakeFiles/uarch_test.dir/timing_test.cpp.o.d"
+  "uarch_test"
+  "uarch_test.pdb"
+  "uarch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000-as.dir/t1000_as.cpp.o"
+  "CMakeFiles/t1000-as.dir/t1000_as.cpp.o.d"
+  "t1000-as"
+  "t1000-as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000-as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

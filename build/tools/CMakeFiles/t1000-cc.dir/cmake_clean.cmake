@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000-cc.dir/t1000_cc.cpp.o"
+  "CMakeFiles/t1000-cc.dir/t1000_cc.cpp.o.d"
+  "t1000-cc"
+  "t1000-cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000-cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000-opt.dir/t1000_opt.cpp.o"
+  "CMakeFiles/t1000-opt.dir/t1000_opt.cpp.o.d"
+  "t1000-opt"
+  "t1000-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

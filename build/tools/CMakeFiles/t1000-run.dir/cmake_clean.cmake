@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000-run.dir/t1000_run.cpp.o"
+  "CMakeFiles/t1000-run.dir/t1000_run.cpp.o.d"
+  "t1000-run"
+  "t1000-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

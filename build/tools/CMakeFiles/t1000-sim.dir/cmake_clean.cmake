@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1000-sim.dir/t1000_sim.cpp.o"
+  "CMakeFiles/t1000-sim.dir/t1000_sim.cpp.o.d"
+  "t1000-sim"
+  "t1000-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1000-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for t1000-sim.
+# This may be replaced when dependencies are built.
