@@ -5,12 +5,36 @@
 // survive, even though absolute IPC drops.
 #include <cstdio>
 
-#include "harness/experiment.hpp"
+#include "harness/grid.hpp"
 #include "harness/report.hpp"
 
 using namespace t1000;
 
-int main() {
+namespace {
+
+RunSpec with_bimodal(RunSpec spec, std::string label) {
+  spec.label = std::move(label);
+  spec.machine.branch.kind = BranchPredictorKind::kBimodal;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(
+      argc, argv, "ablation_branch_pred",
+      "Ablation: selective speedup under perfect vs. bimodal prediction");
+
+  ExperimentGrid grid;
+  grid.add_workloads(all_workloads());
+  for (const Workload& w : all_workloads()) {
+    grid.add(baseline_spec(w.name, "base-perfect"));
+    grid.add(selective_spec(w.name, "sel-perfect", 2, 10));
+    grid.add(with_bimodal(baseline_spec(w.name), "base-bimodal"));
+    grid.add(with_bimodal(selective_spec(w.name, "", 2, 10), "sel-bimodal"));
+  }
+  const GridResult res = grid.run(opts.grid);
+
   std::printf(
       "Ablation: selective speedup (2 PFUs) under perfect vs. bimodal\n"
       "branch prediction\n\n");
@@ -18,30 +42,17 @@ int main() {
   Table table({"benchmark", "perfect bpred", "bimodal bpred",
                "bimodal accuracy"});
   for (const Workload& w : all_workloads()) {
-    WorkloadExperiment exp(w);
-    SelectPolicy policy;
-    policy.num_pfus = 2;
-
-    const RunOutcome base_p = exp.run(Selector::kNone, baseline_machine());
-    const RunOutcome sel_p =
-        exp.run(Selector::kSelective, pfu_machine(2, 10), policy);
-
-    MachineConfig base_cfg = baseline_machine();
-    base_cfg.branch.kind = BranchPredictorKind::kBimodal;
-    MachineConfig pfu_cfg = pfu_machine(2, 10);
-    pfu_cfg.branch.kind = BranchPredictorKind::kBimodal;
-    const RunOutcome base_b = exp.run(Selector::kNone, base_cfg);
-    const RunOutcome sel_b =
-        exp.run(Selector::kSelective, pfu_cfg, policy);
-
-    table.add_row({w.name, fmt_ratio(speedup(base_p.stats, sel_p.stats)),
-                   fmt_ratio(speedup(base_b.stats, sel_b.stats)),
-                   fmt_double(sel_b.stats.branch.cond_accuracy() * 100.0, 1) +
-                       "%"});
+    const SimStats& sel_b = res.stats(w.name, "sel-bimodal");
+    table.add_row(
+        {w.name,
+         fmt_ratio(speedup(res.stats(w.name, "base-perfect"),
+                           res.stats(w.name, "sel-perfect"))),
+         fmt_ratio(speedup(res.stats(w.name, "base-bimodal"), sel_b)),
+         fmt_double(sel_b.branch.cond_accuracy() * 100.0, 1) + "%"});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
       "Expectation: speedups shift only modestly, confirming the paper's\n"
       "perfect-prediction simplification does not drive its conclusions.\n");
-  return 0;
+  return finish_bench(res, opts);
 }

@@ -6,12 +6,33 @@
 // selected chains are shallow.
 #include <cstdio>
 
-#include "harness/experiment.hpp"
+#include "harness/grid.hpp"
 #include "harness/report.hpp"
 
 using namespace t1000;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(
+      argc, argv, "ablation_ext_latency",
+      "Ablation: single-cycle vs. depth-derived EXT latency");
+
+  ExperimentGrid grid;
+  grid.add_workloads(all_workloads());
+  for (const Workload& w : all_workloads()) {
+    grid.add(baseline_spec(w.name));
+    grid.add(selective_spec(w.name, "single", 4, 10));
+
+    RunSpec depth = selective_spec(w.name, "depth", 4, 10);
+    depth.machine.pfu.multi_cycle_ext = true;
+    grid.add(std::move(depth));
+
+    RunSpec strict = selective_spec(w.name, "strict", 4, 10);
+    strict.machine.pfu.multi_cycle_ext = true;
+    strict.machine.pfu.levels_per_cycle = 1;  // every LUT level costs a cycle
+    grid.add(std::move(strict));
+  }
+  const GridResult res = grid.run(opts.grid);
+
   std::printf(
       "Ablation: selective speedup (4 PFUs) with single-cycle vs.\n"
       "logic-depth-derived extended-instruction latency\n\n");
@@ -19,22 +40,11 @@ int main() {
   Table table({"benchmark", "single-cycle EXT", "depth-derived EXT",
                "1 level/cycle EXT"});
   for (const Workload& w : all_workloads()) {
-    WorkloadExperiment exp(w);
-    SelectPolicy policy;
-    policy.num_pfus = 4;
-    const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
-    const RunOutcome single =
-        exp.run(Selector::kSelective, pfu_machine(4, 10), policy);
-    MachineConfig multi = pfu_machine(4, 10);
-    multi.pfu.multi_cycle_ext = true;
-    const RunOutcome depth = exp.run(Selector::kSelective, multi, policy);
-    MachineConfig fast_clock = pfu_machine(4, 10);
-    fast_clock.pfu.multi_cycle_ext = true;
-    fast_clock.pfu.levels_per_cycle = 1;  // every LUT level costs a cycle
-    const RunOutcome strict = exp.run(Selector::kSelective, fast_clock, policy);
-    table.add_row({w.name, fmt_ratio(speedup(base.stats, single.stats)),
-                   fmt_ratio(speedup(base.stats, depth.stats)),
-                   fmt_ratio(speedup(base.stats, strict.stats))});
+    const SimStats& base = res.stats(w.name, "baseline");
+    table.add_row({w.name,
+                   fmt_ratio(speedup(base, res.stats(w.name, "single"))),
+                   fmt_ratio(speedup(base, res.stats(w.name, "depth"))),
+                   fmt_ratio(speedup(base, res.stats(w.name, "strict")))});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
@@ -42,5 +52,5 @@ int main() {
       "levels, i.e. one PFU cycle, validating the paper's assumption for its\n"
       "selection policy); even charging one cycle per LUT level (col 4) only\n"
       "trims the gains, since the out-of-order core hides PFU latency.\n");
-  return 0;
+  return finish_bench(res, opts);
 }

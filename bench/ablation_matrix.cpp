@@ -6,13 +6,43 @@
 // several distinct maximal sequences; disabling it forces whole-sequence
 // choices and loses coverage in loops with more shapes than PFUs.
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "harness/experiment.hpp"
+#include "harness/grid.hpp"
 #include "harness/report.hpp"
 
 using namespace t1000;
 
-int main() {
+namespace {
+
+std::string variant_label(int pfus, bool use_matrix) {
+  return std::string(use_matrix ? "matrix" : "maximal") + "@" +
+         std::to_string(pfus);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(
+      argc, argv, "ablation_matrix",
+      "Ablation: selective with vs. without the subsequence matrix");
+
+  ExperimentGrid grid;
+  grid.add_workloads(all_workloads());
+  for (const Workload& w : all_workloads()) {
+    grid.add(baseline_spec(w.name));
+    for (const int pfus : {1, 2}) {
+      for (const bool use_matrix : {true, false}) {
+        RunSpec spec = selective_spec(w.name, variant_label(pfus, use_matrix),
+                                      pfus, 10);
+        spec.policy.use_subsequence_matrix = use_matrix;
+        grid.add(std::move(spec));
+      }
+    }
+  }
+  const GridResult res = grid.run(opts.grid);
+
   std::printf(
       "Ablation: selective with vs. without the subsequence matrix\n"
       "(1 and 2 PFUs, 10-cycle reconfiguration)\n\n");
@@ -20,17 +50,12 @@ int main() {
   Table table({"benchmark", "matrix @1", "maximal-only @1", "matrix @2",
                "maximal-only @2"});
   for (const Workload& w : all_workloads()) {
-    WorkloadExperiment exp(w);
-    const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
+    const SimStats& base = res.stats(w.name, "baseline");
     std::vector<std::string> row{w.name};
     for (const int pfus : {1, 2}) {
       for (const bool use_matrix : {true, false}) {
-        SelectPolicy policy;
-        policy.num_pfus = pfus;
-        policy.use_subsequence_matrix = use_matrix;
-        const RunOutcome r =
-            exp.run(Selector::kSelective, pfu_machine(pfus, 10), policy);
-        row.push_back(fmt_ratio(speedup(base.stats, r.stats)));
+        row.push_back(fmt_ratio(speedup(
+            base, res.stats(w.name, variant_label(pfus, use_matrix)))));
       }
     }
     table.add_row(std::move(row));
@@ -40,5 +65,5 @@ int main() {
       "Expectation: the matrix variant is never worse, and wins where hot\n"
       "loops hold more distinct chain shapes than PFUs with shared "
       "subsequences.\n");
-  return 0;
+  return finish_bench(res, opts);
 }

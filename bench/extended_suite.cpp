@@ -5,12 +5,26 @@
 // and, crucially, must not make the program slower.
 #include <cstdio>
 
-#include "harness/experiment.hpp"
+#include "harness/grid.hpp"
 #include "harness/report.hpp"
 
 using namespace t1000;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(
+      argc, argv, "extended_suite",
+      "Extended suite: selective algorithm on four additional benchmarks");
+
+  ExperimentGrid grid;
+  grid.add_workloads(extended_workloads());
+  for (const Workload& w : extended_workloads()) {
+    grid.add(baseline_spec(w.name));
+    grid.add(selective_spec(w.name, "2pfu", 2, 10));
+    grid.add(selective_spec(w.name, "4pfu", 4, 10));
+    grid.add(greedy_spec(w.name, "greedy-unlimited", PfuConfig::kUnlimited, 0));
+  }
+  const GridResult res = grid.run(opts.grid);
+
   std::printf(
       "Extended suite: selective algorithm on four additional benchmarks\n"
       "(2 and 4 PFUs, 10-cycle reconfiguration)\n\n");
@@ -18,27 +32,18 @@ int main() {
   Table table({"benchmark", "selective 2 PFUs", "selective 4 PFUs",
                "configs@4", "greedy unlimited"});
   for (const Workload& w : extended_workloads()) {
-    WorkloadExperiment exp(w);
-    const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
-    SelectPolicy two_policy;
-    two_policy.num_pfus = 2;
-    const RunOutcome two =
-        exp.run(Selector::kSelective, pfu_machine(2, 10), two_policy);
-    SelectPolicy four_policy;
-    four_policy.num_pfus = 4;
-    const RunOutcome four =
-        exp.run(Selector::kSelective, pfu_machine(4, 10), four_policy);
-    const RunOutcome best =
-        exp.run(Selector::kGreedy, pfu_machine(PfuConfig::kUnlimited, 0));
-    table.add_row({w.name, fmt_ratio(speedup(base.stats, two.stats)),
-                   fmt_ratio(speedup(base.stats, four.stats)),
-                   std::to_string(four.num_configs),
-                   fmt_ratio(speedup(base.stats, best.stats))});
+    const SimStats& base = res.stats(w.name, "baseline");
+    const RunOutcome& four = res.outcome(w.name, "4pfu");
+    table.add_row(
+        {w.name, fmt_ratio(speedup(base, res.stats(w.name, "2pfu"))),
+         fmt_ratio(speedup(base, four.stats)),
+         std::to_string(four.num_configs),
+         fmt_ratio(speedup(base, res.stats(w.name, "greedy-unlimited")))});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
       "Reading guide: the ADPCM pair and jpeg_enc behave like their paper\n"
       "siblings; pegwit's wide arithmetic defeats the narrow-width filter,\n"
       "so it gains ~nothing - and, correctly, loses nothing either.\n");
-  return 0;
+  return finish_bench(res, opts);
 }

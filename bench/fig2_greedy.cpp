@@ -7,12 +7,25 @@
 // lands *below* the baseline.
 #include <cstdio>
 
-#include "harness/experiment.hpp"
+#include "harness/grid.hpp"
 #include "harness/report.hpp"
 
 using namespace t1000;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(
+      argc, argv, "fig2_greedy",
+      "Figure 2: greedy selection speedups over the no-PFU superscalar");
+
+  ExperimentGrid grid;
+  grid.add_workloads(all_workloads());
+  for (const Workload& w : all_workloads()) {
+    grid.add(baseline_spec(w.name));
+    grid.add(greedy_spec(w.name, "unlimited", PfuConfig::kUnlimited, 0));
+    grid.add(greedy_spec(w.name, "2pfu", 2, 10));
+  }
+  const GridResult res = grid.run(opts.grid);
+
   std::printf(
       "Figure 2: greedy selection speedups over the no-PFU superscalar\n"
       "  col 2: unlimited PFUs, zero reconfiguration cost (best case)\n"
@@ -21,14 +34,12 @@ int main() {
   Table table({"benchmark", "base cycles", "T1000 unlimited", "T1000 2 PFUs",
                "configs", "reconfigs@2"});
   for (const Workload& w : all_workloads()) {
-    WorkloadExperiment exp(w);
-    const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
-    const RunOutcome best = exp.run(
-        Selector::kGreedy, pfu_machine(PfuConfig::kUnlimited, 0));
-    const RunOutcome two = exp.run(Selector::kGreedy, pfu_machine(2, 10));
-    table.add_row({w.name, std::to_string(base.stats.cycles),
-                   fmt_ratio(speedup(base.stats, best.stats)),
-                   fmt_ratio(speedup(base.stats, two.stats)),
+    const SimStats& base = res.stats(w.name, "baseline");
+    const RunOutcome& best = res.outcome(w.name, "unlimited");
+    const RunOutcome& two = res.outcome(w.name, "2pfu");
+    table.add_row({w.name, std::to_string(base.cycles),
+                   fmt_ratio(speedup(base, best.stats)),
+                   fmt_ratio(speedup(base, two.stats)),
                    std::to_string(best.num_configs),
                    std::to_string(two.stats.pfu.reconfigurations)});
   }
@@ -37,5 +48,5 @@ int main() {
       "Paper shape: unlimited-PFU speedups span ~1.045 (g721_dec) to ~1.44\n"
       "(gsm_dec); with only 2 PFUs the greedy mapping reconfigures "
       "constantly\nand drops below 1.0 for most benchmarks.\n");
-  return 0;
+  return finish_bench(res, opts);
 }

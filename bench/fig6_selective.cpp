@@ -7,22 +7,26 @@
 // sequences to the available units.
 #include <cstdio>
 
-#include "harness/experiment.hpp"
+#include "harness/grid.hpp"
 #include "harness/report.hpp"
 
 using namespace t1000;
 
-namespace {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(
+      argc, argv, "fig6_selective",
+      "Figure 6: selective-algorithm speedups over the no-PFU superscalar");
 
-RunOutcome run_selective(WorkloadExperiment& exp, int pfus, int latency) {
-  SelectPolicy policy;
-  policy.num_pfus = pfus == PfuConfig::kUnlimited ? kUnlimitedPfus : pfus;
-  return exp.run(Selector::kSelective, pfu_machine(pfus, latency), policy);
-}
+  ExperimentGrid grid;
+  grid.add_workloads(all_workloads());
+  for (const Workload& w : all_workloads()) {
+    grid.add(baseline_spec(w.name));
+    grid.add(selective_spec(w.name, "2pfu", 2, 10));
+    grid.add(selective_spec(w.name, "4pfu", 4, 10));
+    grid.add(selective_spec(w.name, "unlimited", PfuConfig::kUnlimited, 10));
+  }
+  const GridResult res = grid.run(opts.grid);
 
-}  // namespace
-
-int main() {
   std::printf(
       "Figure 6: selective-algorithm speedups over the no-PFU superscalar\n"
       "  all configurations pay a 10-cycle reconfiguration penalty\n\n");
@@ -30,14 +34,13 @@ int main() {
   Table table({"benchmark", "T1000 2 PFUs", "T1000 4 PFUs", "T1000 unlimited",
                "reconfigs@2", "reconfigs@4"});
   for (const Workload& w : all_workloads()) {
-    WorkloadExperiment exp(w);
-    const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
-    const RunOutcome two = run_selective(exp, 2, 10);
-    const RunOutcome four = run_selective(exp, 4, 10);
-    const RunOutcome unl = run_selective(exp, PfuConfig::kUnlimited, 10);
-    table.add_row({w.name, fmt_ratio(speedup(base.stats, two.stats)),
-                   fmt_ratio(speedup(base.stats, four.stats)),
-                   fmt_ratio(speedup(base.stats, unl.stats)),
+    const SimStats& base = res.stats(w.name, "baseline");
+    const RunOutcome& two = res.outcome(w.name, "2pfu");
+    const RunOutcome& four = res.outcome(w.name, "4pfu");
+    const RunOutcome& unl = res.outcome(w.name, "unlimited");
+    table.add_row({w.name, fmt_ratio(speedup(base, two.stats)),
+                   fmt_ratio(speedup(base, four.stats)),
+                   fmt_ratio(speedup(base, unl.stats)),
                    std::to_string(two.stats.pfu.reconfigurations),
                    std::to_string(four.stats.pfu.reconfigurations)});
   }
@@ -45,5 +48,5 @@ int main() {
   std::printf(
       "Paper shape: 2-PFU speedups of roughly 2%%..27%%, all above 1.0 (no\n"
       "thrashing); 4 PFUs recover nearly the unlimited-PFU speedups.\n");
-  return 0;
+  return finish_bench(res, opts);
 }

@@ -9,12 +9,23 @@
 #include <cstdio>
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include "harness/grid.hpp"
 #include "harness/report.hpp"
 
 using namespace t1000;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(
+      argc, argv, "fig7_area",
+      "Figure 7: LUT-cost distribution of selected extended instructions");
+
+  ExperimentGrid grid;
+  grid.add_workloads(all_workloads());
+  for (const Workload& w : all_workloads()) {
+    grid.add(selective_spec(w.name, "4pfu", 4, 10));
+  }
+  const GridResult res = grid.run(opts.grid);
+
   std::printf(
       "Figure 7: LUT-cost distribution of the extended instructions chosen\n"
       "by the selective algorithm (4 PFUs, 10-cycle reconfiguration)\n\n");
@@ -22,11 +33,7 @@ int main() {
   std::vector<int> costs;
   Table per_bench({"benchmark", "configs", "min LUTs", "max LUTs"});
   for (const Workload& w : all_workloads()) {
-    WorkloadExperiment exp(w);
-    SelectPolicy policy;
-    policy.num_pfus = 4;
-    const RunOutcome r =
-        exp.run(Selector::kSelective, pfu_machine(4, 10), policy);
+    const RunOutcome& r = res.outcome(w.name, "4pfu");
     int lo = 0;
     int hi = 0;
     if (!r.lut_costs.empty()) {
@@ -61,5 +68,6 @@ int main() {
       max_cost,
       max_cost <= 150 ? "All selected instructions fit the PFU."
                       : "ERROR: an instruction exceeds the PFU budget!");
-  return max_cost <= 150 ? 0 : 1;
+  if (max_cost > 150) return 1;
+  return finish_bench(res, opts);
 }

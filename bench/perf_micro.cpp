@@ -1,10 +1,12 @@
 // Infrastructure microbenchmarks (google-benchmark): throughput of the
-// functional simulator, the timing model, the extractor, and the selection
-// algorithms. These gate the practicality of the toolchain itself rather
-// than reproducing a paper figure.
+// functional simulator, the timing model, the extractor, the selection
+// algorithms, and the experiment engine. These gate the practicality of
+// the toolchain itself rather than reproducing a paper figure.
 #include <benchmark/benchmark.h>
 
-#include "harness/experiment.hpp"
+#include <filesystem>
+
+#include "harness/grid.hpp"
 #include "sim/executor.hpp"
 
 namespace t1000 {
@@ -72,6 +74,47 @@ void BM_RewriteProgram(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RewriteProgram)->Unit(benchmark::kMicrosecond);
+
+ExperimentGrid engine_grid() {
+  ExperimentGrid grid;
+  grid.add_workload(bench_workload());
+  const std::string name = bench_workload().name;
+  grid.add(baseline_spec(name));
+  for (const int pfus : {1, 2, 4}) {
+    grid.add(selective_spec(name, std::to_string(pfus) + "pfu", pfus, 10));
+  }
+  return grid;
+}
+
+// Cold grid: every point simulated (shared analysis, no disk cache).
+void BM_GridEngineCold(benchmark::State& state) {
+  const ExperimentGrid grid = engine_grid();
+  GridOptions options;
+  options.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.run(options));
+  }
+}
+BENCHMARK(BM_GridEngineCold)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Warm grid: 100% on-disk cache hits; measures the memoization path
+// (program hash + key + JSON load) that re-running a bench pays per point.
+void BM_GridEngineMemoized(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "t1000-perf-micro-cache";
+  fs::remove_all(dir);
+  const ExperimentGrid grid = engine_grid();
+  GridOptions options;
+  options.jobs = 1;
+  options.cache_dir = dir.string();
+  grid.run(options);  // populate
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.run(options));
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_GridEngineMemoized)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace t1000

@@ -5,38 +5,52 @@
 //
 // For contrast, the same sweep under the *greedy* mapping (2 PFUs)
 // collapses as the penalty grows.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
-#include "harness/experiment.hpp"
+#include "harness/grid.hpp"
 #include "harness/report.hpp"
 
 using namespace t1000;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(
+      argc, argv, "sensitivity_reconfig",
+      "Section 5.2: speedup sensitivity to the reconfiguration penalty");
+
   const int penalties[] = {0, 10, 50, 100, 250, 500};
+
+  ExperimentGrid grid;
+  grid.add_workloads(all_workloads());
+  for (const Workload& w : all_workloads()) {
+    grid.add(baseline_spec(w.name));
+    for (const int penalty : penalties) {
+      const std::string suffix = "@" + std::to_string(penalty);
+      grid.add(selective_spec(w.name, "selective" + suffix, 2, penalty));
+      grid.add(greedy_spec(w.name, "greedy" + suffix, 2, penalty));
+    }
+  }
+  const GridResult res = grid.run(opts.grid);
 
   std::printf(
       "Section 5.2 sensitivity: selective speedup (2 PFUs) vs.\n"
       "reconfiguration penalty, with the greedy mapping for contrast\n\n");
 
   for (const Workload& w : all_workloads()) {
-    WorkloadExperiment exp(w);
-    const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
+    const SimStats& base = res.stats(w.name, "baseline");
     Table table({"reconfig cycles", "selective 2 PFUs", "greedy 2 PFUs"});
     double sel_min = 1e9;
     double sel_max = 0;
     for (const int penalty : penalties) {
-      SelectPolicy policy;
-      policy.num_pfus = 2;
-      const RunOutcome sel =
-          exp.run(Selector::kSelective, pfu_machine(2, penalty), policy);
-      const RunOutcome greedy =
-          exp.run(Selector::kGreedy, pfu_machine(2, penalty));
-      const double s = speedup(base.stats, sel.stats);
+      const std::string suffix = "@" + std::to_string(penalty);
+      const double s =
+          speedup(base, res.stats(w.name, "selective" + suffix));
       sel_min = std::min(sel_min, s);
       sel_max = std::max(sel_max, s);
       table.add_row({std::to_string(penalty), fmt_ratio(s),
-                     fmt_ratio(speedup(base.stats, greedy.stats))});
+                     fmt_ratio(speedup(base, res.stats(w.name,
+                                                       "greedy" + suffix)))});
     }
     std::printf("%s\n%s", w.name.c_str(), table.to_string().c_str());
     std::printf("  selective spread across penalties: %.1f%%\n\n",
@@ -45,5 +59,5 @@ int main() {
   std::printf(
       "Paper shape: the selective column is nearly flat through 500 cycles;\n"
       "the greedy column degrades steeply with the penalty.\n");
-  return 0;
+  return finish_bench(res, opts);
 }

@@ -2,13 +2,40 @@
 // itself well to the number of PFUs available": speedup vs. PFU count,
 // showing four PFUs typically match the unlimited configuration.
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "harness/experiment.hpp"
+#include "harness/grid.hpp"
 #include "harness/report.hpp"
 
 using namespace t1000;
 
-int main() {
+namespace {
+
+std::string pfu_label(int pfus) {
+  return pfus == PfuConfig::kUnlimited ? "unlimited"
+                                       : std::to_string(pfus) + "pfu";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(
+      argc, argv, "sweep_pfus",
+      "Section 5.2: selective speedup vs. PFU count");
+
+  const int pfu_counts[] = {1, 2, 4, 8, PfuConfig::kUnlimited};
+
+  ExperimentGrid grid;
+  grid.add_workloads(all_workloads());
+  for (const Workload& w : all_workloads()) {
+    grid.add(baseline_spec(w.name));
+    for (const int pfus : pfu_counts) {
+      grid.add(selective_spec(w.name, pfu_label(pfus), pfus, 10));
+    }
+  }
+  const GridResult res = grid.run(opts.grid);
+
   std::printf(
       "Section 5.2: selective speedup vs. PFU count "
       "(10-cycle reconfiguration)\n\n");
@@ -16,15 +43,10 @@ int main() {
   Table table({"benchmark", "1 PFU", "2 PFUs", "4 PFUs", "8 PFUs",
                "unlimited"});
   for (const Workload& w : all_workloads()) {
-    WorkloadExperiment exp(w);
-    const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
+    const SimStats& base = res.stats(w.name, "baseline");
     std::vector<std::string> row{w.name};
-    for (const int pfus : {1, 2, 4, 8, PfuConfig::kUnlimited}) {
-      SelectPolicy policy;
-      policy.num_pfus = pfus == PfuConfig::kUnlimited ? kUnlimitedPfus : pfus;
-      const RunOutcome r =
-          exp.run(Selector::kSelective, pfu_machine(pfus, 10), policy);
-      row.push_back(fmt_ratio(speedup(base.stats, r.stats)));
+    for (const int pfus : pfu_counts) {
+      row.push_back(fmt_ratio(speedup(base, res.stats(w.name, pfu_label(pfus)))));
     }
     table.add_row(std::move(row));
   }
@@ -32,5 +54,5 @@ int main() {
   std::printf(
       "Paper shape: monotone in PFU count; four PFUs are typically enough\n"
       "to match the unlimited configuration.\n");
-  return 0;
+  return finish_bench(res, opts);
 }

@@ -1,51 +1,78 @@
 // Design-space exploration: how many PFUs, and how fast must
 // reconfiguration be? Sweeps both knobs for one workload and prints the
 // resulting speedup matrix - the question a RISC-V-style ISA-extension
-// architect would ask of this toolchain.
+// architect would ask of this toolchain. The sweep is declared as an
+// ExperimentGrid, so the points run on all cores and repeat runs come out
+// of the result cache.
 //
-//   ./build/examples/design_space [workload]      (default: gsm_enc)
+//   ./build/examples/design_space [workload] [--jobs N] [--json FILE]
 #include <cstdio>
 #include <string>
 
-#include "harness/experiment.hpp"
+#include "harness/grid.hpp"
 #include "harness/report.hpp"
 
 using namespace t1000;
 
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? argv[1] : "gsm_enc";
+  std::string name = "gsm_enc";
+  BenchOptions opts;
+  {
+    long jobs = 0;
+    bool no_cache = false;
+    OptionParser parser("design_space",
+                        "PFU-count x reconfiguration-latency speedup matrix");
+    parser.add_int("--jobs", "N", "worker threads", &jobs);
+    parser.add_string("--json", "FILE", "write results as JSON",
+                      &opts.json_path);
+    parser.add_flag("--no-cache", "disable the on-disk result cache",
+                    &no_cache);
+    parser.set_positional("workload", 0, 1);
+    const auto positional = parser.parse(argc, argv);
+    if (!positional.empty()) name = positional[0];
+    opts.grid.jobs = static_cast<int>(jobs);
+    if (!no_cache) opts.grid.cache_dir = ".t1000-cache";
+  }
+
   const Workload* w = find_workload(name);
   if (w == nullptr) {
     std::printf("unknown workload '%s'\n", name.c_str());
     return 1;
   }
 
-  WorkloadExperiment exp(*w);
-  const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
-  std::printf("%s: baseline %llu cycles, IPC %.2f\n\n", w->name.c_str(),
-              static_cast<unsigned long long>(base.stats.cycles),
-              base.stats.ipc());
-
   const int pfu_counts[] = {1, 2, 3, 4, 6, 8};
   const int latencies[] = {0, 10, 50, 200, 500};
+
+  ExperimentGrid grid;
+  grid.add_workload(*w);
+  grid.add(baseline_spec(w->name));
+  for (const int pfus : pfu_counts) {
+    for (const int lat : latencies) {
+      grid.add(selective_spec(
+          w->name, std::to_string(pfus) + "pfu@" + std::to_string(lat), pfus,
+          lat));
+    }
+  }
+  const GridResult res = grid.run(opts.grid);
+
+  const SimStats& base = res.stats(w->name, "baseline");
+  std::printf("%s: baseline %llu cycles, IPC %.2f\n\n", w->name.c_str(),
+              static_cast<unsigned long long>(base.cycles), base.ipc());
 
   Table table({"PFUs \\ reconfig", "0", "10", "50", "200", "500"});
   for (const int pfus : pfu_counts) {
     std::vector<std::string> row{std::to_string(pfus)};
     for (const int lat : latencies) {
-      SelectPolicy policy;
-      policy.num_pfus = pfus;
-      const RunOutcome r =
-          exp.run(Selector::kSelective, pfu_machine(pfus, lat), policy);
-      row.push_back(fmt_ratio(speedup(base.stats, r.stats)));
+      row.push_back(fmt_ratio(speedup(
+          base, res.stats(w->name, std::to_string(pfus) + "pfu@" +
+                                       std::to_string(lat)))));
     }
     table.add_row(std::move(row));
   }
-  std::printf("selective-algorithm speedup:\n%s\n",
-              table.to_string().c_str());
+  std::printf("selective-algorithm speedup:\n%s\n", table.to_string().c_str());
   std::printf(
       "Reading guide: rows saturate once the PFU count covers the hot\n"
       "loop's distinct sequences; columns barely move because the selective\n"
       "algorithm leaves almost no reconfigurations on the hot path.\n");
-  return 0;
+  return finish_bench(res, opts);
 }

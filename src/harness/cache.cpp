@@ -1,0 +1,162 @@
+#include "harness/cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "harness/serialize.hpp"
+
+namespace t1000 {
+namespace {
+
+constexpr int kEntryVersion = 1;
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {};
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+std::uint64_t program_hash(const Program& program) {
+  const std::vector<std::uint32_t> words = program.encode_text();
+  std::uint64_t h = fnv1a64(words.data(), words.size() * sizeof(words[0]));
+  if (!program.data.empty()) {
+    h = fnv1a64(program.data.data(), program.data.size(), h);
+  }
+  // Hash the sizes too so (empty text, data X) and (text X, empty data)
+  // cannot alias.
+  const std::uint64_t sizes[2] = {words.size(), program.data.size()};
+  return fnv1a64(sizes, sizeof sizes, h);
+}
+
+CacheKey make_cache_key(const RunSpec& spec, std::uint64_t program_hash) {
+  Json identity = Json::object();
+  identity["version"] = Json(kEntryVersion);
+  identity["workload"] = Json(spec.workload);
+  identity["program"] = Json(to_hex(program_hash));
+  identity["selector"] = Json(selector_name(spec.selector));
+  identity["machine"] = to_json(spec.machine);
+  identity["policy"] = to_json(spec.policy);
+  identity["max_cycles"] = Json(spec.max_cycles);
+  // Note: spec.label is presentation, not identity — two labels for the
+  // same configuration share one cache entry.
+  CacheKey key;
+  key.text = identity.dump();
+  key.hash = to_hex(fnv1a64(key.text));
+  return key;
+}
+
+ResultCache::ResultCache(std::string disk_dir)
+    : disk_dir_(std::move(disk_dir)) {}
+
+bool ResultCache::lookup(const CacheKey& key, RunOutcome* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = memory_.find(key.text);
+    if (it != memory_.end()) {
+      *out = it->second;
+      ++counters_.memory_hits;
+      return true;
+    }
+  }
+  if (!disk_dir_.empty() && load_from_disk(key, out)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    memory_.emplace(key.text, *out);
+    ++counters_.disk_hits;
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.misses;
+  return false;
+}
+
+void ResultCache::store(const CacheKey& key, const RunOutcome& outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    memory_.insert_or_assign(key.text, outcome);
+    ++counters_.stores;
+  }
+  if (!disk_dir_.empty()) store_to_disk(key, outcome);
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::string ResultCache::entry_path(const CacheKey& key) const {
+  return disk_dir_ + "/" + key.hash + ".json";
+}
+
+bool ResultCache::load_from_disk(const CacheKey& key, RunOutcome* out) {
+  const std::string text = read_file(entry_path(key));
+  if (text.empty()) return false;
+  try {
+    const Json entry = Json::parse(text);
+    if (entry.at("version").as_int() != kEntryVersion) return false;
+    // Guard against hash collisions and schema drift: the stored identity
+    // must match the full key, not just the file name.
+    if (entry.at("key").as_string() != key.text) return false;
+    *out = run_outcome_from_json(entry.at("outcome"));
+    return true;
+  } catch (const JsonError&) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.disk_errors;
+    return false;
+  }
+}
+
+void ResultCache::store_to_disk(const CacheKey& key, const RunOutcome& outcome) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(disk_dir_, ec);
+  if (ec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.disk_errors;
+    return;
+  }
+
+  Json entry = Json::object();
+  entry["version"] = Json(kEntryVersion);
+  entry["key"] = Json(key.text);
+  entry["outcome"] = to_json(outcome);
+  const std::string text = entry.dump(2) + "\n";
+
+  // Unique temp name per writer, renamed into place so concurrent writers
+  // and readers only ever see complete entries.
+  static std::atomic<std::uint64_t> temp_seq{0};
+  const std::string temp = entry_path(key) + ".tmp." +
+                           std::to_string(::getpid()) + "." +
+                           std::to_string(temp_seq.fetch_add(1));
+  {
+    std::ofstream os(temp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.disk_errors;
+      return;
+    }
+    os << text;
+    if (!os.flush()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.disk_errors;
+      return;
+    }
+  }
+  fs::rename(temp, entry_path(key), ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.disk_errors;
+  }
+}
+
+}  // namespace t1000

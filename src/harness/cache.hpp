@@ -1,0 +1,74 @@
+// Content-keyed memoization of RunOutcomes.
+//
+// A run is identified by everything that determines its result: the
+// workload name, a hash of the assembled program (text encoding + data
+// image, so edited kernels never alias stale results), the selector, and
+// every machine/policy field — captured as the canonical compact JSON of
+// the RunSpec plus the program hash. The cache has two levels:
+//
+//  * in-memory: a mutex-guarded map shared by the grid's worker threads,
+//    so sweeping one axis inside a process never re-simulates a point, and
+//  * on-disk (optional): one JSON file per key under a cache directory, so
+//    re-running a bench binary only simulates what changed since the last
+//    invocation. Files are written to a temp name and renamed into place;
+//    a torn or stale file is treated as a miss, never an error.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "harness/experiment.hpp"
+
+namespace t1000 {
+
+// Stable content hash of a program: FNV-1a over the encoded text segment
+// and the data image.
+std::uint64_t program_hash(const Program& program);
+
+struct CacheKey {
+  std::string text;  // canonical compact JSON of the identity fields
+  std::string hash;  // hex fnv1a64(text); names the on-disk entry
+};
+
+CacheKey make_cache_key(const RunSpec& spec, std::uint64_t program_hash);
+
+class ResultCache {
+ public:
+  struct Counters {
+    std::uint64_t memory_hits = 0;
+    std::uint64_t disk_hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t disk_errors = 0;  // unreadable/corrupt entries skipped
+
+    std::uint64_t hits() const { return memory_hits + disk_hits; }
+    std::uint64_t lookups() const { return hits() + misses; }
+  };
+
+  // `disk_dir` empty = in-memory only. The directory is created on first
+  // store. Thread-safe throughout.
+  explicit ResultCache(std::string disk_dir = "");
+
+  // On a hit fills `out` and returns true; a disk hit is also promoted
+  // into the in-memory map.
+  bool lookup(const CacheKey& key, RunOutcome* out);
+
+  void store(const CacheKey& key, const RunOutcome& outcome);
+
+  Counters counters() const;
+  const std::string& disk_dir() const { return disk_dir_; }
+
+ private:
+  bool load_from_disk(const CacheKey& key, RunOutcome* out);
+  void store_to_disk(const CacheKey& key, const RunOutcome& outcome);
+  std::string entry_path(const CacheKey& key) const;
+
+  std::string disk_dir_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, RunOutcome> memory_;
+  Counters counters_;
+};
+
+}  // namespace t1000

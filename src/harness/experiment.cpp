@@ -1,6 +1,7 @@
 #include "harness/experiment.hpp"
 
 #include <string>
+#include <utility>
 
 #include "sim/executor.hpp"
 
@@ -17,25 +18,43 @@ std::uint32_t run_functional(const Program& p, const ExtInstTable* table,
 
 }  // namespace
 
+std::string_view selector_name(Selector selector) {
+  switch (selector) {
+    case Selector::kNone: return "none";
+    case Selector::kGreedy: return "greedy";
+    case Selector::kSelective: return "selective";
+  }
+  return "unknown";
+}
+
+bool selector_from_name(std::string_view name, Selector* out) {
+  for (const Selector s :
+       {Selector::kNone, Selector::kGreedy, Selector::kSelective}) {
+    if (selector_name(s) == name) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
 WorkloadExperiment::WorkloadExperiment(const Workload& workload)
     : workload_(workload), program_(workload_program(workload)) {
   analysis_ = analyze_program(program_, workload_.max_steps);
   base_checksum_ = run_functional(program_, nullptr, workload_.max_steps);
 }
 
-RunOutcome WorkloadExperiment::run(Selector selector,
-                                   const MachineConfig& machine,
-                                   const SelectPolicy& policy) {
+RunOutcome WorkloadExperiment::run(const RunSpec& spec) const {
   RunOutcome out;
-  if (selector == Selector::kNone) {
+  if (spec.selector == Selector::kNone) {
     out.checksum = base_checksum_;
-    out.stats = simulate(program_, nullptr, machine);
+    out.stats = simulate(program_, nullptr, spec.machine, spec.max_cycles);
     return out;
   }
 
-  Selection sel = selector == Selector::kGreedy
-                      ? select_greedy(analysis_, policy.lut_budget)
-                      : select_selective(analysis_, policy);
+  Selection sel = spec.selector == Selector::kGreedy
+                      ? select_greedy(analysis_, spec.policy.lut_budget)
+                      : select_selective(analysis_, spec.policy);
   const RewriteResult rr = rewrite_program(program_, sel.apps);
 
   out.checksum = run_functional(rr.program, &sel.table, workload_.max_steps);
@@ -46,7 +65,7 @@ RunOutcome WorkloadExperiment::run(Selector selector,
   out.num_apps = static_cast<int>(sel.apps.size());
   out.lengths = sel.lengths;
   out.lut_costs = sel.lut_costs;
-  out.stats = simulate(rr.program, &sel.table, machine);
+  out.stats = simulate(rr.program, &sel.table, spec.machine, spec.max_cycles);
   return out;
 }
 
@@ -62,6 +81,37 @@ MachineConfig pfu_machine(int pfus, int reconfig_latency) {
   cfg.pfu.count = pfus;
   cfg.pfu.reconfig_latency = reconfig_latency;
   return cfg;
+}
+
+RunSpec baseline_spec(std::string workload, std::string label) {
+  RunSpec spec;
+  spec.workload = std::move(workload);
+  spec.label = std::move(label);
+  spec.selector = Selector::kNone;
+  spec.machine = baseline_machine();
+  return spec;
+}
+
+RunSpec greedy_spec(std::string workload, std::string label, int pfus,
+                    int reconfig_latency) {
+  RunSpec spec;
+  spec.workload = std::move(workload);
+  spec.label = std::move(label);
+  spec.selector = Selector::kGreedy;
+  spec.machine = pfu_machine(pfus, reconfig_latency);
+  return spec;
+}
+
+RunSpec selective_spec(std::string workload, std::string label, int pfus,
+                       int reconfig_latency) {
+  RunSpec spec;
+  spec.workload = std::move(workload);
+  spec.label = std::move(label);
+  spec.selector = Selector::kSelective;
+  spec.machine = pfu_machine(pfus, reconfig_latency);
+  spec.policy.num_pfus =
+      pfus == PfuConfig::kUnlimited ? kUnlimitedPfus : pfus;
+  return spec;
 }
 
 }  // namespace t1000

@@ -1,7 +1,13 @@
 // Experiment harness: runs one workload through profile -> select ->
 // rewrite -> timing simulation under a machine configuration, validating
-// that every rewrite preserves the workload's checksum. The bench binaries
-// (one per paper table/figure) are thin drivers over this.
+// that every rewrite preserves the workload's checksum.
+//
+// The unit of work is a declarative `RunSpec` ({workload, selector,
+// machine, policy, max_cycles}). Direct callers hand a RunSpec to
+// `WorkloadExperiment::run`; the bench binaries instead declare whole grids
+// of RunSpecs and hand them to the parallel `ExperimentGrid` engine
+// (harness/grid.hpp), which shares the expensive per-workload analysis and
+// memoizes completed outcomes.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +27,25 @@ enum class Selector {
   kSelective,  // Section 5
 };
 
+// Stable lowercase names ("none"/"greedy"/"selective"), used by JSON
+// serialization and cache keys.
+std::string_view selector_name(Selector selector);
+// Returns false (and leaves `out` untouched) for unknown names.
+bool selector_from_name(std::string_view name, Selector* out);
+
+// One declarative experiment: everything needed to reproduce a single
+// (workload, selector, machine) simulation. Value-semantic and hashable by
+// content, which is what makes grid scheduling and result memoization
+// possible.
+struct RunSpec {
+  std::string workload;  // registered workload name (grid engine lookup)
+  std::string label;     // series/column label, e.g. "2 PFUs" (grid lookup)
+  Selector selector = Selector::kNone;
+  MachineConfig machine;
+  SelectPolicy policy;
+  std::uint64_t max_cycles = 1ull << 32;  // timing-simulation bound
+};
+
 struct RunOutcome {
   SimStats stats;
   int num_configs = 0;     // distinct extended instructions
@@ -36,15 +61,23 @@ class WorkloadExperiment {
  public:
   explicit WorkloadExperiment(const Workload& workload);
 
+  // The analysis pointers reference owned members; moving would dangle them.
+  WorkloadExperiment(const WorkloadExperiment&) = delete;
+  WorkloadExperiment& operator=(const WorkloadExperiment&) = delete;
+
   const Workload& workload() const { return workload_; }
   const AnalyzedProgram& analysis() const { return analysis_; }
 
-  // Runs the workload under `machine`. For kSelective, `policy.num_pfus`
-  // should match machine.pfu.count (the selection must know the budget it
-  // is compiling for). Throws SimError if a rewritten program's checksum
-  // diverges from the baseline.
-  RunOutcome run(Selector selector, const MachineConfig& machine,
-                 const SelectPolicy& policy = {});
+  // Runs the workload under `spec` (spec.workload/label are carried for the
+  // caller's bookkeeping and ignored here). For kSelective,
+  // `spec.policy.num_pfus` should match spec.machine.pfu.count (the
+  // selection must know the budget it is compiling for); the
+  // selective_spec() factory keeps the two in sync. Throws SimError if a
+  // rewritten program's checksum diverges from the baseline.
+  //
+  // const and touches no mutable state: concurrent run() calls on one
+  // experiment are safe, which the grid engine relies on.
+  RunOutcome run(const RunSpec& spec) const;
 
  private:
   Workload workload_;
@@ -60,5 +93,14 @@ double speedup(const SimStats& baseline, const SimStats& variant);
 // The machine configurations used throughout the paper's evaluation.
 MachineConfig baseline_machine();
 MachineConfig pfu_machine(int pfus, int reconfig_latency);
+
+// RunSpec factories for the paper's three standard configurations. `pfus`
+// accepts PfuConfig::kUnlimited; selective_spec() keeps policy.num_pfus
+// consistent with the machine's PFU count.
+RunSpec baseline_spec(std::string workload, std::string label = "baseline");
+RunSpec greedy_spec(std::string workload, std::string label, int pfus,
+                    int reconfig_latency);
+RunSpec selective_spec(std::string workload, std::string label, int pfus,
+                       int reconfig_latency);
 
 }  // namespace t1000

@@ -1,0 +1,267 @@
+#include "harness/grid.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "harness/serialize.hpp"
+
+namespace t1000 {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Per-workload lazily built shared state. The program hash is cheap (one
+// assembly pass) and unlocks cache hits without profiling; the full
+// WorkloadExperiment (profile + extraction + baseline run) is only built
+// when some spec actually misses the cache.
+struct WorkloadSlot {
+  const Workload* workload = nullptr;
+
+  std::once_flag hash_once;
+  std::uint64_t hash = 0;
+  std::exception_ptr hash_error;
+
+  std::once_flag experiment_once;
+  std::unique_ptr<WorkloadExperiment> experiment;
+  std::exception_ptr experiment_error;
+
+  std::uint64_t program_hash_for() {
+    std::call_once(hash_once, [this] {
+      try {
+        hash = program_hash(workload_program(*workload));
+      } catch (...) {
+        hash_error = std::current_exception();
+      }
+    });
+    if (hash_error) std::rethrow_exception(hash_error);
+    return hash;
+  }
+
+  const WorkloadExperiment& experiment_for() {
+    std::call_once(experiment_once, [this] {
+      try {
+        experiment = std::make_unique<WorkloadExperiment>(*workload);
+      } catch (...) {
+        experiment_error = std::current_exception();
+      }
+    });
+    if (experiment_error) std::rethrow_exception(experiment_error);
+    return *experiment;
+  }
+};
+
+}  // namespace
+
+GridResult::GridResult(std::vector<RunResult> runs, EngineStats engine)
+    : runs_(std::move(runs)), engine_(engine) {}
+
+const RunResult& GridResult::at(std::string_view workload,
+                                std::string_view label) const {
+  for (const RunResult& r : runs_) {
+    if (r.spec.workload == workload && r.spec.label == label) return r;
+  }
+  throw std::out_of_range("no grid result for (" + std::string(workload) +
+                          ", " + std::string(label) + ")");
+}
+
+Json GridResult::results_json() const {
+  Json results = Json::array();
+  for (const RunResult& r : runs_) {
+    Json entry = Json::object();
+    entry["spec"] = t1000::to_json(r.spec);
+    entry["outcome"] = t1000::to_json(r.outcome);
+    results.push_back(std::move(entry));
+  }
+  return results;
+}
+
+Json GridResult::to_json() const {
+  Json engine = Json::object();
+  engine["jobs"] = Json(engine_.jobs);
+  engine["runs"] = Json(engine_.runs);
+  engine["simulated"] = Json(engine_.simulated);
+  engine["cache_memory_hits"] = Json(engine_.cache.memory_hits);
+  engine["cache_disk_hits"] = Json(engine_.cache.disk_hits);
+  engine["cache_misses"] = Json(engine_.cache.misses);
+  engine["cache_disk_errors"] = Json(engine_.cache.disk_errors);
+  engine["wall_ms"] = Json(engine_.wall_ms);
+  Json run_wall = Json::array();
+  Json run_cached = Json::array();
+  for (const RunResult& r : runs_) {
+    run_wall.push_back(Json(r.wall_ms));
+    run_cached.push_back(Json(r.cache_hit));
+  }
+  engine["run_wall_ms"] = std::move(run_wall);
+  engine["run_cache_hit"] = std::move(run_cached);
+
+  Json doc = Json::object();
+  doc["results"] = results_json();
+  doc["engine"] = std::move(engine);
+  return doc;
+}
+
+std::string GridResult::engine_summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "[engine] %llu runs in %.0f ms, %d job(s); cache: %llu hit(s)"
+                " (%llu memory, %llu disk), %llu simulated",
+                static_cast<unsigned long long>(engine_.runs), engine_.wall_ms,
+                engine_.jobs,
+                static_cast<unsigned long long>(engine_.cache.hits()),
+                static_cast<unsigned long long>(engine_.cache.memory_hits),
+                static_cast<unsigned long long>(engine_.cache.disk_hits),
+                static_cast<unsigned long long>(engine_.simulated));
+  return buf;
+}
+
+void ExperimentGrid::add_workload(const Workload& workload) {
+  const auto it = index_.find(workload.name);
+  if (it != index_.end()) {
+    workloads_[it->second] = workload;
+    return;
+  }
+  index_.emplace(workload.name, workloads_.size());
+  workloads_.push_back(workload);
+}
+
+void ExperimentGrid::add_workloads(const std::vector<Workload>& workloads) {
+  for (const Workload& w : workloads) add_workload(w);
+}
+
+void ExperimentGrid::add(RunSpec spec) {
+  if (index_.find(spec.workload) == index_.end()) {
+    throw std::invalid_argument("ExperimentGrid: unregistered workload '" +
+                                spec.workload + "'");
+  }
+  // (workload, label) is the lookup key of GridResult::at(); duplicates
+  // would shadow each other silently.
+  for (const RunSpec& existing : specs_) {
+    if (existing.workload == spec.workload && existing.label == spec.label) {
+      throw std::invalid_argument("ExperimentGrid: duplicate spec (" +
+                                  spec.workload + ", " + spec.label + ")");
+    }
+  }
+  specs_.push_back(std::move(spec));
+}
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+GridResult ExperimentGrid::run(const GridOptions& options) const {
+  const auto grid_start = std::chrono::steady_clock::now();
+  const int jobs = std::max(
+      1, std::min<int>(resolve_jobs(options.jobs),
+                       static_cast<int>(std::max<std::size_t>(specs_.size(), 1))));
+
+  ResultCache cache(options.cache_dir);
+  std::vector<WorkloadSlot> slots(workloads_.size());
+  for (std::size_t i = 0; i < workloads_.size(); ++i) {
+    slots[i].workload = &workloads_[i];
+  }
+
+  std::vector<RunResult> results(specs_.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs_.size() || abort.load(std::memory_order_relaxed)) return;
+      const auto run_start = std::chrono::steady_clock::now();
+      RunResult& out = results[i];
+      out.spec = specs_[i];
+      try {
+        WorkloadSlot& slot = slots[index_.find(out.spec.workload)->second];
+        const CacheKey key =
+            make_cache_key(out.spec, slot.program_hash_for());
+        if (cache.lookup(key, &out.outcome)) {
+          out.cache_hit = true;
+        } else {
+          out.outcome = slot.experiment_for().run(out.spec);
+          cache.store(key, out.outcome);
+        }
+        out.wall_ms = ms_since(run_start);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  EngineStats engine;
+  engine.jobs = jobs;
+  engine.runs = specs_.size();
+  engine.cache = cache.counters();
+  engine.simulated = engine.cache.misses;
+  engine.wall_ms = ms_since(grid_start);
+  return GridResult(std::move(results), engine);
+}
+
+BenchOptions parse_bench_options(int argc, char** argv,
+                                 const std::string& name,
+                                 const std::string& summary) {
+  BenchOptions out;
+  const char* env_dir = std::getenv("T1000_CACHE_DIR");
+  out.grid.cache_dir = env_dir != nullptr ? env_dir : ".t1000-cache";
+
+  long jobs = 0;
+  bool no_cache = false;
+  OptionParser parser(name, summary);
+  parser.add_int("--jobs", "N", "worker threads (default: all hardware threads)",
+                 &jobs);
+  parser.add_string("--json", "FILE", "also write results + engine stats as JSON",
+                    &out.json_path);
+  parser.add_string("--cache-dir", "DIR",
+                    "on-disk result cache (default: $T1000_CACHE_DIR or "
+                    ".t1000-cache)",
+                    &out.grid.cache_dir);
+  parser.add_flag("--no-cache", "disable the on-disk result cache", &no_cache);
+  parser.set_positional("", 0, 0);
+  parser.parse(argc, argv);
+
+  out.grid.jobs = static_cast<int>(jobs);
+  if (no_cache) out.grid.cache_dir.clear();
+  return out;
+}
+
+int finish_bench(const GridResult& result, const BenchOptions& options) {
+  if (!options.json_path.empty() &&
+      !write_json_file(options.json_path, result.to_json())) {
+    return 1;
+  }
+  std::printf("%s\n", result.engine_summary().c_str());
+  return 0;
+}
+
+}  // namespace t1000

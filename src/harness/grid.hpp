@@ -1,0 +1,134 @@
+// The parallel experiment engine.
+//
+// Every paper artifact is a grid of (workload x selector x machine config)
+// runs. ExperimentGrid takes that grid declaratively — register workloads,
+// add RunSpecs — and schedules it across a std::thread worker pool
+// (--jobs N, default hardware concurrency). Two properties make the grid
+// strictly better than the hand-rolled nested loops it replaces:
+//
+//  * the expensive per-workload profile/extraction (AnalyzedProgram) is
+//    built once per workload, on whichever worker first needs it, and
+//    shared by every spec that touches the workload; and
+//  * completed RunOutcomes are memoized in a content-keyed cache
+//    (harness/cache.hpp), in-memory and optionally on-disk, so re-running
+//    a bench or sweeping one axis only simulates what changed.
+//
+// Results come back in spec insertion order regardless of the schedule, so
+// a parallel run is byte-identical to a serial one (the determinism test
+// in tests/harness/grid_test.cpp holds the engine to that). Wall-clock and
+// cache hit/miss counters are recorded per run and exported in the JSON
+// "engine" section, keeping the perf trajectory observable across PRs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/cache.hpp"
+#include "harness/experiment.hpp"
+#include "harness/json.hpp"
+#include "harness/options.hpp"
+
+namespace t1000 {
+
+struct GridOptions {
+  int jobs = 0;           // worker threads; 0 = hardware concurrency
+  std::string cache_dir;  // on-disk result cache; empty = disabled
+};
+
+struct RunResult {
+  RunSpec spec;
+  RunOutcome outcome;
+  bool cache_hit = false;  // served from memo cache (memory or disk)
+  double wall_ms = 0.0;    // this run's wall-clock on its worker
+};
+
+struct EngineStats {
+  int jobs = 1;
+  std::uint64_t runs = 0;
+  std::uint64_t simulated = 0;  // cache misses, i.e. actual work
+  ResultCache::Counters cache;
+  double wall_ms = 0.0;  // whole-grid wall-clock
+};
+
+class GridResult {
+ public:
+  GridResult(std::vector<RunResult> runs, EngineStats engine);
+
+  const std::vector<RunResult>& runs() const { return runs_; }
+  const EngineStats& engine() const { return engine_; }
+
+  // Lookup by the (workload, label) pair the bench declared; throws
+  // std::out_of_range when absent.
+  const RunResult& at(std::string_view workload, std::string_view label) const;
+  const RunOutcome& outcome(std::string_view workload,
+                            std::string_view label) const {
+    return at(workload, label).outcome;
+  }
+  const SimStats& stats(std::string_view workload,
+                        std::string_view label) const {
+    return at(workload, label).outcome.stats;
+  }
+
+  // Deterministic results section: specs + outcomes in insertion order,
+  // independent of scheduling, caching, and timing.
+  Json results_json() const;
+  // Full document: {"results": [...], "engine": {...}}. The engine section
+  // carries the nondeterministic observability data (wall-clock, cache
+  // counters) and is excluded from determinism comparisons.
+  Json to_json() const;
+
+  // One-line scheduling/caching summary for a bench's stdout footer.
+  std::string engine_summary() const;
+
+ private:
+  std::vector<RunResult> runs_;
+  EngineStats engine_;
+};
+
+class ExperimentGrid {
+ public:
+  // Registers a workload the grid may reference by name. Re-registering
+  // the same name replaces the previous definition.
+  void add_workload(const Workload& workload);
+  void add_workloads(const std::vector<Workload>& workloads);
+
+  // Queues one run. The spec's workload must already be registered.
+  void add(RunSpec spec);
+
+  std::size_t size() const { return specs_.size(); }
+
+  // Executes every queued spec and returns results in insertion order.
+  // Worker exceptions propagate to the caller after the pool drains.
+  GridResult run(const GridOptions& options = {}) const;
+
+ private:
+  std::vector<Workload> workloads_;
+  std::map<std::string, std::size_t, std::less<>> index_;  // name -> slot
+  std::vector<RunSpec> specs_;
+};
+
+// Number of workers `options.jobs` resolves to on this host.
+int resolve_jobs(int requested);
+
+// Shared command-line surface for the bench binaries: --jobs, --json,
+// --cache-dir, --no-cache, --help.
+struct BenchOptions {
+  GridOptions grid;
+  std::string json_path;  // --json <path>; empty = no JSON export
+};
+
+// Parses bench argv (exits on --help/errors, like OptionParser). The
+// default cache dir is $T1000_CACHE_DIR when set, else ".t1000-cache";
+// --no-cache disables the on-disk cache entirely.
+BenchOptions parse_bench_options(int argc, char** argv,
+                                 const std::string& name,
+                                 const std::string& summary);
+
+// Renders the standard bench tail: optional --json export plus the engine
+// summary line. Returns 0 on success (the bench's exit code).
+int finish_bench(const GridResult& result, const BenchOptions& options);
+
+}  // namespace t1000

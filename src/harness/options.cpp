@@ -1,0 +1,133 @@
+#include "harness/options.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace t1000 {
+
+OptionParser::OptionParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void OptionParser::add_flag(std::string name, std::string help, bool* out) {
+  options_.push_back(Option{std::move(name), "", std::move(help),
+                            [out](const std::string&) {
+                              *out = true;
+                              return true;
+                            }});
+}
+
+void OptionParser::add_string(std::string name, std::string value_name,
+                              std::string help, std::string* out) {
+  options_.push_back(Option{std::move(name), std::move(value_name),
+                            std::move(help), [out](const std::string& v) {
+                              *out = v;
+                              return true;
+                            }});
+}
+
+void OptionParser::add_int(std::string name, std::string value_name,
+                           std::string help, long* out) {
+  options_.push_back(Option{std::move(name), std::move(value_name),
+                            std::move(help), [out](const std::string& v) {
+                              char* end = nullptr;
+                              const long parsed =
+                                  std::strtol(v.c_str(), &end, 0);
+                              if (end == v.c_str() || *end != '\0') return false;
+                              *out = parsed;
+                              return true;
+                            }});
+}
+
+void OptionParser::add_double(std::string name, std::string value_name,
+                              std::string help, double* out) {
+  options_.push_back(Option{std::move(name), std::move(value_name),
+                            std::move(help), [out](const std::string& v) {
+                              char* end = nullptr;
+                              const double parsed =
+                                  std::strtod(v.c_str(), &end);
+                              if (end == v.c_str() || *end != '\0') return false;
+                              *out = parsed;
+                              return true;
+                            }});
+}
+
+void OptionParser::set_positional(std::string name, int min, int max) {
+  positional_name_ = std::move(name);
+  positional_min_ = min;
+  positional_max_ = max;
+}
+
+std::string OptionParser::usage() const {
+  std::string out = "usage: " + program_;
+  if (!options_.empty()) out += " [options]";
+  if (positional_max_ != 0) {
+    out += " " + (positional_min_ == 0 ? "[" + positional_name_ + "]"
+                                       : positional_name_);
+    if (positional_max_ < 0 || positional_max_ > 1) out += "...";
+  }
+  out += "\n";
+  if (!summary_.empty()) out += summary_ + "\n";
+  if (!options_.empty()) out += "\noptions:\n";
+  for (const Option& o : options_) {
+    std::string lhs = "  " + o.name;
+    if (!o.value_name.empty()) lhs += " <" + o.value_name + ">";
+    if (lhs.size() < 26) lhs.append(26 - lhs.size(), ' ');
+    out += lhs + "  " + o.help + "\n";
+  }
+  out += "  --help                    show this message\n";
+  return out;
+}
+
+void OptionParser::fail(const std::string& message) const {
+  std::fprintf(stderr, "%s: %s\n%s", program_.c_str(), message.c_str(),
+               usage().c_str());
+  std::exit(2);
+}
+
+std::vector<std::string> OptionParser::parse(int argc, char** argv) const {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", usage().c_str());
+      std::exit(0);
+    }
+    if (arg.size() < 2 || arg[0] != '-' || arg == "-" ||
+        (arg[0] == '-' && (std::isdigit(static_cast<unsigned char>(arg[1])) != 0))) {
+      positional.push_back(arg);
+      continue;
+    }
+    const Option* match = nullptr;
+    for (const Option& o : options_) {
+      if (o.name == arg) {
+        match = &o;
+        break;
+      }
+    }
+    if (match == nullptr) fail("unknown option '" + arg + "'");
+    std::string value;
+    if (!match->value_name.empty()) {
+      if (i + 1 >= argc) fail("option '" + arg + "' expects a value");
+      value = argv[++i];
+    }
+    if (!match->apply(value)) {
+      fail("bad value '" + value + "' for option '" + arg + "'");
+    }
+  }
+  const int n = static_cast<int>(positional.size());
+  if (n < positional_min_ ||
+      (positional_max_ >= 0 && n > positional_max_)) {
+    fail("expected " +
+         (positional_min_ == positional_max_
+              ? std::to_string(positional_min_)
+              : "between " + std::to_string(positional_min_) + " and " +
+                    (positional_max_ < 0 ? std::string("N")
+                                         : std::to_string(positional_max_))) +
+         " positional argument(s), got " + std::to_string(n));
+  }
+  return positional;
+}
+
+}  // namespace t1000

@@ -1,0 +1,56 @@
+// Declarative command-line option parser shared by the bench binaries and
+// the t1000-* tools (via tools/tool_common.hpp). Each binary declares its
+// flags once; `--help` output, value parsing, and unknown-flag errors are
+// generated uniformly instead of being hand-rolled per binary.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace t1000 {
+
+class OptionParser {
+ public:
+  OptionParser(std::string program, std::string summary);
+
+  // `name` includes the dashes ("--jobs"). Flags take no value; options
+  // consume the following argument. Targets must outlive parse().
+  void add_flag(std::string name, std::string help, bool* out);
+  void add_string(std::string name, std::string value_name, std::string help,
+                  std::string* out);
+  void add_int(std::string name, std::string value_name, std::string help,
+               long* out);
+  void add_double(std::string name, std::string value_name, std::string help,
+                  double* out);
+
+  // Positional-argument contract, used for usage text and arity checking.
+  // max < 0 means unbounded.
+  void set_positional(std::string name, int min, int max);
+
+  // Parses argv. On --help prints usage and exits 0; on any error prints a
+  // diagnostic plus usage to stderr and exits 2. Returns the positional
+  // arguments.
+  std::vector<std::string> parse(int argc, char** argv) const;
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string value_name;  // empty for flags
+    std::string help;
+    std::function<bool(const std::string&)> apply;  // false = bad value
+  };
+
+  [[noreturn]] void fail(const std::string& message) const;
+
+  std::string program_;
+  std::string summary_;
+  std::string positional_name_ = "";
+  int positional_min_ = 0;
+  int positional_max_ = 0;
+  std::vector<Option> options_;
+};
+
+}  // namespace t1000

@@ -1,0 +1,215 @@
+#include "harness/serialize.hpp"
+
+namespace t1000 {
+namespace {
+
+std::vector<int> int_vector_from_json(const Json& j) {
+  std::vector<int> out;
+  out.reserve(j.size());
+  for (const Json& v : j.items()) {
+    out.push_back(static_cast<int>(v.as_int()));
+  }
+  return out;
+}
+
+}  // namespace
+
+Json to_json(const CacheStats& stats) {
+  Json j = Json::object();
+  j["accesses"] = Json(stats.accesses);
+  j["misses"] = Json(stats.misses);
+  j["writebacks"] = Json(stats.writebacks);
+  return j;
+}
+
+Json to_json(const PfuStats& stats) {
+  Json j = Json::object();
+  j["lookups"] = Json(stats.lookups);
+  j["hits"] = Json(stats.hits);
+  j["reconfigurations"] = Json(stats.reconfigurations);
+  return j;
+}
+
+Json to_json(const BranchStats& stats) {
+  Json j = Json::object();
+  j["conditional"] = Json(stats.conditional);
+  j["cond_mispredicts"] = Json(stats.cond_mispredicts);
+  j["indirect"] = Json(stats.indirect);
+  j["indirect_mispredicts"] = Json(stats.indirect_mispredicts);
+  return j;
+}
+
+Json to_json(const SimStats& stats) {
+  Json j = Json::object();
+  j["cycles"] = Json(stats.cycles);
+  j["committed"] = Json(stats.committed);
+  j["il1"] = to_json(stats.il1);
+  j["dl1"] = to_json(stats.dl1);
+  j["l2"] = to_json(stats.l2);
+  j["itlb"] = to_json(stats.itlb);
+  j["dtlb"] = to_json(stats.dtlb);
+  j["pfu"] = to_json(stats.pfu);
+  j["branch"] = to_json(stats.branch);
+  return j;
+}
+
+Json to_json(const RunOutcome& outcome) {
+  Json j = Json::object();
+  j["stats"] = to_json(outcome.stats);
+  j["num_configs"] = Json(outcome.num_configs);
+  j["num_apps"] = Json(outcome.num_apps);
+  j["lengths"] = Json::array_of(outcome.lengths);
+  j["lut_costs"] = Json::array_of(outcome.lut_costs);
+  j["checksum"] = Json(outcome.checksum);
+  return j;
+}
+
+Json to_json(const CacheConfig& config) {
+  Json j = Json::object();
+  j["size_bytes"] = Json(config.size_bytes);
+  j["line_bytes"] = Json(config.line_bytes);
+  j["assoc"] = Json(config.assoc);
+  j["hit_latency"] = Json(config.hit_latency);
+  return j;
+}
+
+Json to_json(const TlbConfig& config) {
+  Json j = Json::object();
+  j["entries"] = Json(config.entries);
+  j["page_bytes"] = Json(config.page_bytes);
+  j["miss_latency"] = Json(config.miss_latency);
+  return j;
+}
+
+Json to_json(const PfuConfig& config) {
+  Json j = Json::object();
+  j["count"] = Json(config.count);
+  j["reconfig_latency"] = Json(config.reconfig_latency);
+  j["multi_cycle_ext"] = Json(config.multi_cycle_ext);
+  j["levels_per_cycle"] = Json(config.levels_per_cycle);
+  return j;
+}
+
+std::string_view branch_predictor_name(BranchPredictorKind kind) {
+  switch (kind) {
+    case BranchPredictorKind::kPerfect: return "perfect";
+    case BranchPredictorKind::kBimodal: return "bimodal";
+    case BranchPredictorKind::kGshare: return "gshare";
+    case BranchPredictorKind::kStaticNotTaken: return "static_not_taken";
+  }
+  return "unknown";
+}
+
+Json to_json(const BranchPredictorConfig& config) {
+  Json j = Json::object();
+  j["kind"] = Json(branch_predictor_name(config.kind));
+  j["bimodal_entries"] = Json(config.bimodal_entries);
+  j["target_entries"] = Json(config.target_entries);
+  j["mispredict_penalty"] = Json(config.mispredict_penalty);
+  return j;
+}
+
+Json to_json(const MachineConfig& config) {
+  Json j = Json::object();
+  j["fetch_width"] = Json(config.fetch_width);
+  j["decode_width"] = Json(config.decode_width);
+  j["issue_width"] = Json(config.issue_width);
+  j["commit_width"] = Json(config.commit_width);
+  j["ruu_size"] = Json(config.ruu_size);
+  j["fetch_queue_size"] = Json(config.fetch_queue_size);
+  j["int_alus"] = Json(config.int_alus);
+  j["int_mults"] = Json(config.int_mults);
+  j["mem_ports"] = Json(config.mem_ports);
+  j["max_outstanding_misses"] = Json(config.max_outstanding_misses);
+  j["il1"] = to_json(config.il1);
+  j["dl1"] = to_json(config.dl1);
+  j["l2"] = to_json(config.l2);
+  j["memory_latency"] = Json(config.memory_latency);
+  j["itlb"] = to_json(config.itlb);
+  j["dtlb"] = to_json(config.dtlb);
+  j["pfu"] = to_json(config.pfu);
+  j["branch"] = to_json(config.branch);
+  return j;
+}
+
+Json to_json(const ExtractPolicy& policy) {
+  Json j = Json::object();
+  j["max_width"] = Json(policy.max_width);
+  j["min_length"] = Json(policy.min_length);
+  j["max_length"] = Json(policy.max_length);
+  j["require_executed"] = Json(policy.require_executed);
+  return j;
+}
+
+Json to_json(const SelectPolicy& policy) {
+  Json j = Json::object();
+  j["num_pfus"] = Json(policy.num_pfus);
+  j["time_threshold"] = Json(policy.time_threshold);
+  j["lut_budget"] = Json(policy.lut_budget);
+  j["use_subsequence_matrix"] = Json(policy.use_subsequence_matrix);
+  j["extract"] = to_json(policy.extract);
+  return j;
+}
+
+Json to_json(const RunSpec& spec) {
+  Json j = Json::object();
+  j["workload"] = Json(spec.workload);
+  j["label"] = Json(spec.label);
+  j["selector"] = Json(selector_name(spec.selector));
+  j["machine"] = to_json(spec.machine);
+  j["policy"] = to_json(spec.policy);
+  j["max_cycles"] = Json(spec.max_cycles);
+  return j;
+}
+
+CacheStats cache_stats_from_json(const Json& j) {
+  CacheStats s;
+  s.accesses = j.at("accesses").as_uint();
+  s.misses = j.at("misses").as_uint();
+  s.writebacks = j.at("writebacks").as_uint();
+  return s;
+}
+
+PfuStats pfu_stats_from_json(const Json& j) {
+  PfuStats s;
+  s.lookups = j.at("lookups").as_uint();
+  s.hits = j.at("hits").as_uint();
+  s.reconfigurations = j.at("reconfigurations").as_uint();
+  return s;
+}
+
+BranchStats branch_stats_from_json(const Json& j) {
+  BranchStats s;
+  s.conditional = j.at("conditional").as_uint();
+  s.cond_mispredicts = j.at("cond_mispredicts").as_uint();
+  s.indirect = j.at("indirect").as_uint();
+  s.indirect_mispredicts = j.at("indirect_mispredicts").as_uint();
+  return s;
+}
+
+SimStats sim_stats_from_json(const Json& j) {
+  SimStats s;
+  s.cycles = j.at("cycles").as_uint();
+  s.committed = j.at("committed").as_uint();
+  s.il1 = cache_stats_from_json(j.at("il1"));
+  s.dl1 = cache_stats_from_json(j.at("dl1"));
+  s.l2 = cache_stats_from_json(j.at("l2"));
+  s.itlb = cache_stats_from_json(j.at("itlb"));
+  s.dtlb = cache_stats_from_json(j.at("dtlb"));
+  s.pfu = pfu_stats_from_json(j.at("pfu"));
+  s.branch = branch_stats_from_json(j.at("branch"));
+  return s;
+}
+
+RunOutcome run_outcome_from_json(const Json& j) {
+  RunOutcome out;
+  out.stats = sim_stats_from_json(j.at("stats"));
+  out.num_configs = static_cast<int>(j.at("num_configs").as_int());
+  out.num_apps = static_cast<int>(j.at("num_apps").as_int());
+  out.lengths = int_vector_from_json(j.at("lengths"));
+  out.lut_costs = int_vector_from_json(j.at("lut_costs"));
+  out.checksum = static_cast<std::uint32_t>(j.at("checksum").as_uint());
+  return out;
+}
+
+}  // namespace t1000

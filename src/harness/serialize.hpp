@@ -1,0 +1,46 @@
+// JSON (de)serialization for the structured results layer: machine
+// configurations, simulation statistics, and run outcomes.
+//
+// Two consumers with different needs share these converters:
+//  * the `--json` export in every bench/tool, which wants a faithful,
+//    human-diffable rendering of what was simulated, and
+//  * the experiment engine's content-keyed result cache, which needs the
+//    serialization to be deterministic (member order and number formatting
+//    fixed) so equal configurations serialize to equal bytes. json.hpp
+//    guarantees both properties.
+//
+// from_json exists only for what the cache must round-trip: SimStats and
+// RunOutcome. Configurations are identified by their serialized form (it is
+// part of the cache key), never re-hydrated.
+#pragma once
+
+#include "harness/experiment.hpp"
+#include "harness/json.hpp"
+
+namespace t1000 {
+
+Json to_json(const CacheStats& stats);
+Json to_json(const PfuStats& stats);
+Json to_json(const BranchStats& stats);
+Json to_json(const SimStats& stats);
+Json to_json(const RunOutcome& outcome);
+
+Json to_json(const CacheConfig& config);
+Json to_json(const TlbConfig& config);
+Json to_json(const PfuConfig& config);
+Json to_json(const BranchPredictorConfig& config);
+Json to_json(const MachineConfig& config);
+Json to_json(const ExtractPolicy& policy);
+Json to_json(const SelectPolicy& policy);
+Json to_json(const RunSpec& spec);
+
+CacheStats cache_stats_from_json(const Json& j);
+PfuStats pfu_stats_from_json(const Json& j);
+BranchStats branch_stats_from_json(const Json& j);
+SimStats sim_stats_from_json(const Json& j);
+RunOutcome run_outcome_from_json(const Json& j);
+
+// Stable name for a branch predictor kind ("perfect", "bimodal", ...).
+std::string_view branch_predictor_name(BranchPredictorKind kind);
+
+}  // namespace t1000

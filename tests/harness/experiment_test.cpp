@@ -7,9 +7,13 @@ namespace {
 
 const Workload& small_workload() { return *find_workload("gsm_dec"); }
 
+RunSpec selective_two() {
+  return selective_spec(small_workload().name, "2pfu", 2, 10);
+}
+
 TEST(Experiment, BaselineRunHasNoConfigs) {
   WorkloadExperiment exp(small_workload());
-  const RunOutcome r = exp.run(Selector::kNone, baseline_machine());
+  const RunOutcome r = exp.run(baseline_spec(small_workload().name));
   EXPECT_EQ(r.num_configs, 0);
   EXPECT_EQ(r.num_apps, 0);
   EXPECT_GT(r.stats.cycles, 0u);
@@ -18,13 +22,10 @@ TEST(Experiment, BaselineRunHasNoConfigs) {
 
 TEST(Experiment, GreedyAndSelectiveValidateChecksums) {
   WorkloadExperiment exp(small_workload());
-  const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
-  const RunOutcome greedy =
-      exp.run(Selector::kGreedy, pfu_machine(PfuConfig::kUnlimited, 0));
-  SelectPolicy policy;
-  policy.num_pfus = 2;
-  const RunOutcome sel =
-      exp.run(Selector::kSelective, pfu_machine(2, 10), policy);
+  const RunOutcome base = exp.run(baseline_spec(small_workload().name));
+  const RunOutcome greedy = exp.run(
+      greedy_spec(small_workload().name, "best", PfuConfig::kUnlimited, 0));
+  const RunOutcome sel = exp.run(selective_two());
   EXPECT_EQ(greedy.checksum, base.checksum);
   EXPECT_EQ(sel.checksum, base.checksum);
   EXPECT_GT(greedy.num_configs, 0);
@@ -34,8 +35,8 @@ TEST(Experiment, GreedyAndSelectiveValidateChecksums) {
 
 TEST(Experiment, OutcomeVectorsAreParallel) {
   WorkloadExperiment exp(small_workload());
-  const RunOutcome r =
-      exp.run(Selector::kGreedy, pfu_machine(PfuConfig::kUnlimited, 0));
+  const RunOutcome r = exp.run(
+      greedy_spec(small_workload().name, "best", PfuConfig::kUnlimited, 0));
   EXPECT_EQ(static_cast<int>(r.lengths.size()), r.num_configs);
   EXPECT_EQ(static_cast<int>(r.lut_costs.size()), r.num_configs);
   EXPECT_GE(r.num_apps, r.num_configs);
@@ -59,25 +60,54 @@ TEST(Experiment, MachineFactories) {
   EXPECT_EQ(two.issue_width, base.issue_width);  // only PFUs differ
 }
 
+TEST(Experiment, SpecFactoriesFillEveryIdentityField) {
+  const RunSpec base = baseline_spec("gsm_dec");
+  EXPECT_EQ(base.workload, "gsm_dec");
+  EXPECT_EQ(base.label, "baseline");
+  EXPECT_EQ(base.selector, Selector::kNone);
+  EXPECT_EQ(base.machine.pfu.count, 0);
+
+  const RunSpec greedy = greedy_spec("gsm_dec", "best", 2, 10);
+  EXPECT_EQ(greedy.selector, Selector::kGreedy);
+  EXPECT_EQ(greedy.machine.pfu.count, 2);
+  EXPECT_EQ(greedy.machine.pfu.reconfig_latency, 10);
+
+  // selective_spec keeps the policy's PFU budget in sync with the machine,
+  // including the unlimited sentinel translation.
+  const RunSpec sel = selective_spec("gsm_dec", "2pfu", 2, 10);
+  EXPECT_EQ(sel.selector, Selector::kSelective);
+  EXPECT_EQ(sel.policy.num_pfus, 2);
+  const RunSpec unl =
+      selective_spec("gsm_dec", "unl", PfuConfig::kUnlimited, 10);
+  EXPECT_EQ(unl.machine.pfu.count, PfuConfig::kUnlimited);
+  EXPECT_EQ(unl.policy.num_pfus, kUnlimitedPfus);
+}
+
+TEST(Experiment, SelectorNamesRoundTrip) {
+  for (const Selector s :
+       {Selector::kNone, Selector::kGreedy, Selector::kSelective}) {
+    Selector parsed = Selector::kNone;
+    EXPECT_TRUE(selector_from_name(selector_name(s), &parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  Selector parsed = Selector::kGreedy;
+  EXPECT_FALSE(selector_from_name("bogus", &parsed));
+  EXPECT_EQ(parsed, Selector::kGreedy);
+}
+
 TEST(Experiment, SelectiveHonorsThresholdPolicy) {
   WorkloadExperiment exp(small_workload());
-  SelectPolicy impossible;
-  impossible.num_pfus = 2;
-  impossible.time_threshold = 0.9;  // nothing is 90% of runtime
-  const RunOutcome r =
-      exp.run(Selector::kSelective, pfu_machine(2, 10), impossible);
+  RunSpec impossible = selective_two();
+  impossible.policy.time_threshold = 0.9;  // nothing is 90% of runtime
+  const RunOutcome r = exp.run(impossible);
   EXPECT_EQ(r.num_configs, 0);
   EXPECT_EQ(r.num_apps, 0);
 }
 
 TEST(Experiment, DeterministicAcrossRepeats) {
   WorkloadExperiment exp(small_workload());
-  SelectPolicy policy;
-  policy.num_pfus = 2;
-  const RunOutcome a =
-      exp.run(Selector::kSelective, pfu_machine(2, 10), policy);
-  const RunOutcome b =
-      exp.run(Selector::kSelective, pfu_machine(2, 10), policy);
+  const RunOutcome a = exp.run(selective_two());
+  const RunOutcome b = exp.run(selective_two());
   EXPECT_EQ(a.stats.cycles, b.stats.cycles);
   EXPECT_EQ(a.checksum, b.checksum);
   EXPECT_EQ(a.num_configs, b.num_configs);

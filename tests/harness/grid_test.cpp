@@ -1,0 +1,199 @@
+#include "harness/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "harness/cache.hpp"
+
+namespace t1000 {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh, empty scratch directory that cleans up after itself.
+class TempDir {
+ public:
+  explicit TempDir(const char* tag)
+      : path_(fs::temp_directory_path() /
+              (std::string("t1000-grid-test-") + tag)) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+// Small but non-trivial grid: two workloads, baseline + both selectors.
+ExperimentGrid small_grid() {
+  ExperimentGrid grid;
+  grid.add_workload(*find_workload("gsm_dec"));
+  grid.add_workload(*find_workload("g721_dec"));
+  for (const char* name : {"gsm_dec", "g721_dec"}) {
+    grid.add(baseline_spec(name));
+    grid.add(greedy_spec(name, "greedy", PfuConfig::kUnlimited, 0));
+    grid.add(selective_spec(name, "2pfu", 2, 10));
+  }
+  return grid;
+}
+
+TEST(Grid, ParallelRunMatchesSerialByteForByte) {
+  const ExperimentGrid grid = small_grid();
+  GridOptions serial;
+  serial.jobs = 1;
+  GridOptions parallel;
+  parallel.jobs = 4;
+
+  const GridResult a = grid.run(serial);
+  const GridResult b = grid.run(parallel);
+
+  EXPECT_EQ(a.engine().jobs, 1);
+  EXPECT_EQ(b.engine().jobs, 4);
+  // The deterministic results section must be byte-identical regardless of
+  // worker count or scheduling order.
+  EXPECT_EQ(a.results_json().dump(), b.results_json().dump());
+  EXPECT_EQ(a.results_json().dump(2), b.results_json().dump(2));
+}
+
+TEST(Grid, ResultsAreInSpecOrder) {
+  const ExperimentGrid grid = small_grid();
+  GridOptions options;
+  options.jobs = 4;
+  const GridResult res = grid.run(options);
+  ASSERT_EQ(res.runs().size(), 6u);
+  EXPECT_EQ(res.runs()[0].spec.workload, "gsm_dec");
+  EXPECT_EQ(res.runs()[0].spec.label, "baseline");
+  EXPECT_EQ(res.runs()[5].spec.workload, "g721_dec");
+  EXPECT_EQ(res.runs()[5].spec.label, "2pfu");
+  // Lookup helpers agree with positional access.
+  EXPECT_EQ(res.stats("g721_dec", "2pfu").cycles,
+            res.runs()[5].outcome.stats.cycles);
+  EXPECT_THROW(res.at("g721_dec", "nope"), std::out_of_range);
+  EXPECT_THROW(res.at("nope", "baseline"), std::out_of_range);
+}
+
+TEST(Grid, SecondRunIsAllCacheHitsWithIdenticalOutcomes) {
+  const TempDir dir("cache");
+  const ExperimentGrid grid = small_grid();
+  GridOptions options;
+  options.jobs = 1;
+  options.cache_dir = dir.str();
+
+  const GridResult first = grid.run(options);
+  EXPECT_EQ(first.engine().cache.misses, grid.size());
+  EXPECT_EQ(first.engine().cache.hits(), 0u);
+  EXPECT_EQ(first.engine().cache.stores, grid.size());
+  EXPECT_EQ(first.engine().simulated, grid.size());
+
+  // A brand-new run against the same directory: zero simulations, 100%
+  // hits, byte-identical results.
+  const GridResult second = grid.run(options);
+  EXPECT_EQ(second.engine().cache.hits(), second.engine().runs);
+  EXPECT_EQ(second.engine().cache.misses, 0u);
+  EXPECT_EQ(second.engine().simulated, 0u);
+  for (const RunResult& r : second.runs()) EXPECT_TRUE(r.cache_hit);
+  EXPECT_EQ(first.results_json().dump(), second.results_json().dump());
+}
+
+TEST(Grid, MemoryCacheDeduplicatesRepeatedSpecsInOneRun) {
+  ExperimentGrid grid;
+  grid.add_workload(*find_workload("gsm_dec"));
+  grid.add(baseline_spec("gsm_dec", "a"));
+  grid.add(baseline_spec("gsm_dec", "b"));  // same key: label is excluded
+  GridOptions options;
+  options.jobs = 1;  // serial, so the second lookup sees the first store
+  const GridResult res = grid.run(options);
+  EXPECT_EQ(res.engine().simulated, 1u);
+  EXPECT_EQ(res.engine().cache.memory_hits, 1u);
+  EXPECT_EQ(res.stats("gsm_dec", "a").cycles,
+            res.stats("gsm_dec", "b").cycles);
+}
+
+TEST(Grid, CorruptDiskEntriesAreTreatedAsMisses) {
+  const TempDir dir("corrupt");
+  const ExperimentGrid grid = small_grid();
+  GridOptions options;
+  options.jobs = 1;
+  options.cache_dir = dir.str();
+  const GridResult first = grid.run(options);
+
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    std::ofstream(entry.path(), std::ios::trunc) << "{not json";
+  }
+
+  const GridResult second = grid.run(options);
+  EXPECT_EQ(second.engine().cache.hits(), 0u);
+  EXPECT_EQ(second.engine().cache.disk_errors, grid.size());
+  EXPECT_EQ(second.engine().simulated, grid.size());
+  EXPECT_EQ(first.results_json().dump(), second.results_json().dump());
+}
+
+TEST(Grid, AddRejectsUnknownWorkloadsAndSelectors) {
+  ExperimentGrid grid;
+  grid.add_workload(*find_workload("gsm_dec"));
+  EXPECT_THROW(grid.add(baseline_spec("unregistered")),
+               std::invalid_argument);
+  // Duplicate (workload, label) pairs would make at() ambiguous.
+  grid.add(baseline_spec("gsm_dec"));
+  EXPECT_THROW(grid.add(baseline_spec("gsm_dec")), std::invalid_argument);
+}
+
+TEST(Grid, CacheKeyCoversIdentityButNotPresentation) {
+  const std::uint64_t hash = 0x1234u;
+  const CacheKey base = make_cache_key(baseline_spec("gsm_dec"), hash);
+
+  // Label is presentation-only: same key.
+  const CacheKey relabeled =
+      make_cache_key(baseline_spec("gsm_dec", "other-label"), hash);
+  EXPECT_EQ(base.text, relabeled.text);
+  EXPECT_EQ(base.hash, relabeled.hash);
+
+  // Every identity field must change the key.
+  EXPECT_NE(base.text, make_cache_key(baseline_spec("gsm_dec"), 0x9999u).text);
+  EXPECT_NE(base.text,
+            make_cache_key(greedy_spec("gsm_dec", "", 2, 10), hash).text);
+  EXPECT_NE(make_cache_key(selective_spec("gsm_dec", "", 2, 10), hash).text,
+            make_cache_key(selective_spec("gsm_dec", "", 4, 10), hash).text);
+  EXPECT_NE(make_cache_key(selective_spec("gsm_dec", "", 2, 10), hash).text,
+            make_cache_key(selective_spec("gsm_dec", "", 2, 500), hash).text);
+  RunSpec longer = baseline_spec("gsm_dec");
+  longer.max_cycles = 1234;
+  EXPECT_NE(base.text, make_cache_key(longer, hash).text);
+}
+
+TEST(Grid, ResolveJobsClampsToHardware) {
+  EXPECT_GE(resolve_jobs(0), 1);
+  EXPECT_EQ(resolve_jobs(3), 3);
+  EXPECT_EQ(resolve_jobs(-5), resolve_jobs(0));
+}
+
+TEST(Grid, ToJsonContainsResultsAndEngineSections) {
+  ExperimentGrid grid;
+  grid.add_workload(*find_workload("gsm_dec"));
+  grid.add(baseline_spec("gsm_dec"));
+  GridOptions options;
+  options.jobs = 2;
+  const GridResult res = grid.run(options);
+  const Json j = res.to_json();
+  ASSERT_NE(j.find("results"), nullptr);
+  ASSERT_NE(j.find("engine"), nullptr);
+  // One spec: the pool is clamped so no worker sits idle.
+  EXPECT_EQ(j.at("engine").at("jobs").as_int(), 1);
+  EXPECT_EQ(j.at("engine").at("runs").as_uint(), 1u);
+  EXPECT_EQ(j.at("results").at(0).at("spec").at("workload").as_string(),
+            "gsm_dec");
+  EXPECT_GT(j.at("results").at(0).at("outcome").at("stats").at("cycles")
+                .as_uint(),
+            0u);
+  // The engine summary line is human-oriented but must mention cache use.
+  EXPECT_NE(res.engine_summary().find("cache"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace t1000

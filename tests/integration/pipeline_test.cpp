@@ -9,6 +9,16 @@
 namespace t1000 {
 namespace {
 
+RunSpec baseline() { return baseline_spec(""); }
+
+RunSpec greedy(int pfus, int reconfig) {
+  return greedy_spec("", "", pfus, reconfig);
+}
+
+RunSpec selective(int pfus, int reconfig) {
+  return selective_spec("", "", pfus, reconfig);
+}
+
 class EndToEnd : public ::testing::TestWithParam<int> {
  protected:
   static WorkloadExperiment& experiment(int index) {
@@ -26,9 +36,8 @@ class EndToEnd : public ::testing::TestWithParam<int> {
 
 TEST_P(EndToEnd, GreedyUnlimitedBeatsBaseline) {
   WorkloadExperiment& exp = experiment(GetParam());
-  const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
-  const RunOutcome best =
-      exp.run(Selector::kGreedy, pfu_machine(PfuConfig::kUnlimited, 0));
+  const RunOutcome base = exp.run(baseline());
+  const RunOutcome best = exp.run(greedy(PfuConfig::kUnlimited, 0));
   // Every benchmark gains; the paper's range is ~4.5%..44%.
   EXPECT_GT(speedup(base.stats, best.stats), 1.03);
   EXPECT_LT(speedup(base.stats, best.stats), 1.60);
@@ -37,8 +46,8 @@ TEST_P(EndToEnd, GreedyUnlimitedBeatsBaseline) {
 
 TEST_P(EndToEnd, GreedyThrashesWithTwoPfus) {
   WorkloadExperiment& exp = experiment(GetParam());
-  const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
-  const RunOutcome two = exp.run(Selector::kGreedy, pfu_machine(2, 10));
+  const RunOutcome base = exp.run(baseline());
+  const RunOutcome two = exp.run(greedy(2, 10));
   // Section 4: "substantially worse than that of the original processor".
   EXPECT_LT(speedup(base.stats, two.stats), 1.0);
   EXPECT_GT(two.stats.pfu.reconfigurations, 1000u);
@@ -46,11 +55,8 @@ TEST_P(EndToEnd, GreedyThrashesWithTwoPfus) {
 
 TEST_P(EndToEnd, SelectiveNeverLosesWithTwoPfus) {
   WorkloadExperiment& exp = experiment(GetParam());
-  const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
-  SelectPolicy policy;
-  policy.num_pfus = 2;
-  const RunOutcome two =
-      exp.run(Selector::kSelective, pfu_machine(2, 10), policy);
+  const RunOutcome base = exp.run(baseline());
+  const RunOutcome two = exp.run(selective(2, 10));
   EXPECT_GE(speedup(base.stats, two.stats), 1.0);
   // Selection avoids thrashing: reconfiguration count is tiny.
   EXPECT_LT(two.stats.pfu.reconfigurations, 1000u);
@@ -58,18 +64,9 @@ TEST_P(EndToEnd, SelectiveNeverLosesWithTwoPfus) {
 
 TEST_P(EndToEnd, FourPfusNearlyMatchUnlimited) {
   WorkloadExperiment& exp = experiment(GetParam());
-  SelectPolicy four_policy;
-  four_policy.num_pfus = 4;
-  const RunOutcome four =
-      exp.run(Selector::kSelective, pfu_machine(4, 10), four_policy);
-  SelectPolicy eight_policy;
-  eight_policy.num_pfus = 8;
-  const RunOutcome eight =
-      exp.run(Selector::kSelective, pfu_machine(8, 10), eight_policy);
-  SelectPolicy unl_policy;
-  unl_policy.num_pfus = kUnlimitedPfus;
-  const RunOutcome unl = exp.run(
-      Selector::kSelective, pfu_machine(PfuConfig::kUnlimited, 10), unl_policy);
+  const RunOutcome four = exp.run(selective(4, 10));
+  const RunOutcome eight = exp.run(selective(8, 10));
+  const RunOutcome unl = exp.run(selective(PfuConfig::kUnlimited, 10));
   // Section 5.2: "four PFUs are typically enough". gsm_enc carries more
   // distinct chain shapes than four and keeps a gap, hence the headroom;
   // eight PFUs must close it everywhere.
@@ -81,12 +78,8 @@ TEST_P(EndToEnd, FourPfusNearlyMatchUnlimited) {
 
 TEST_P(EndToEnd, SelectiveIsInsensitiveToReconfigCost) {
   WorkloadExperiment& exp = experiment(GetParam());
-  SelectPolicy policy;
-  policy.num_pfus = 2;
-  const RunOutcome cheap =
-      exp.run(Selector::kSelective, pfu_machine(2, 10), policy);
-  const RunOutcome costly =
-      exp.run(Selector::kSelective, pfu_machine(2, 500), policy);
+  const RunOutcome cheap = exp.run(selective(2, 10));
+  const RunOutcome costly = exp.run(selective(2, 500));
   // Section 5.2: speedups retained up to 500-cycle reconfiguration times.
   EXPECT_LE(static_cast<double>(costly.stats.cycles),
             static_cast<double>(cheap.stats.cycles) * 1.03);
@@ -94,10 +87,7 @@ TEST_P(EndToEnd, SelectiveIsInsensitiveToReconfigCost) {
 
 TEST_P(EndToEnd, SelectedInstructionsFitThePfu) {
   WorkloadExperiment& exp = experiment(GetParam());
-  SelectPolicy policy;
-  policy.num_pfus = 4;
-  const RunOutcome r =
-      exp.run(Selector::kSelective, pfu_machine(4, 10), policy);
+  const RunOutcome r = exp.run(selective(4, 10));
   for (const int luts : r.lut_costs) {
     EXPECT_LE(luts, 150);
     EXPECT_GT(luts, 0);
@@ -121,9 +111,8 @@ TEST(EndToEndSuite, SpeedupOrderingMatchesPaper) {
   // elsewhere. Check the two anchors.
   auto best_speedup = [](const char* name) {
     WorkloadExperiment exp(*find_workload(name));
-    const RunOutcome base = exp.run(Selector::kNone, baseline_machine());
-    const RunOutcome best =
-        exp.run(Selector::kGreedy, pfu_machine(PfuConfig::kUnlimited, 0));
+    const RunOutcome base = exp.run(baseline());
+    const RunOutcome best = exp.run(greedy(PfuConfig::kUnlimited, 0));
     return speedup(base.stats, best.stats);
   };
   const double gsm_dec = best_speedup("gsm_dec");

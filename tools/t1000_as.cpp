@@ -1,6 +1,6 @@
 // t1000-as: assemble a source file into a T1K1 object.
 //
-//   t1000-as input.s [-o output.obj] [--disassemble]
+//   t1000-as input.s [-o output.obj] [--disassemble] [--json FILE]
 #include <cstdio>
 
 #include "tool_common.hpp"
@@ -8,28 +8,34 @@
 using namespace t1000;
 
 int main(int argc, char** argv) {
-  tools::Args args(argc, argv);
-  const bool disasm = args.flag("--disassemble");
-  const std::string out = args.option("-o", "a.obj");
-  if (args.positional().size() != 1) {
-    std::fprintf(stderr,
-                 "usage: t1000-as input.s [-o output.obj] [--disassemble]\n");
-    return 2;
-  }
+  tools::ToolOptions common;
+  bool disasm = false;
+  std::string out = "a.obj";
+  OptionParser parser =
+      common.make_parser("t1000-as", "assemble a source file into a T1K1 object");
+  parser.add_flag("--disassemble", "print the disassembly instead of writing",
+                  &disasm);
+  parser.add_string("-o", "FILE", "output object file (default: a.obj)", &out);
+  const std::string input = parser.parse(argc, argv)[0];
   try {
-    const LoadedObject obj = tools::load_input(args.positional()[0]);
+    const LoadedObject obj = tools::load_input(input);
     if (disasm) {
       std::printf("%s", disassemble(obj.program).c_str());
-      return 0;
+    } else {
+      save_object_file(out, obj.program,
+                       obj.ext_table.size() > 0 ? &obj.ext_table : nullptr);
+      std::printf("%s: %d instructions, %zu data bytes -> %s\n", input.c_str(),
+                  obj.program.size(), obj.program.data.size(), out.c_str());
     }
-    save_object_file(out, obj.program,
-                     obj.ext_table.size() > 0 ? &obj.ext_table : nullptr);
-    std::printf("%s: %d instructions, %zu data bytes -> %s\n",
-                args.positional()[0].c_str(), obj.program.size(),
-                obj.program.data.size(), out.c_str());
+    Json doc = Json::object();
+    doc["tool"] = Json("t1000-as");
+    doc["input"] = Json(input);
+    doc["instructions"] = Json(obj.program.size());
+    doc["data_bytes"] = Json(obj.program.data.size());
+    if (!disasm) doc["output"] = Json(out);
+    return common.finish(doc);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
 }

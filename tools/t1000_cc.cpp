@@ -1,6 +1,9 @@
 // t1000-cc: compile MiniC to T1000 assembly or a T1K1 object.
 //
-//   t1000-cc input.c [-o out.obj] [-S]      (-S prints assembly to stdout)
+//   t1000-cc input.c [-o out.obj] [-S] [--json FILE]
+//
+// -S prints assembly to stdout instead of writing an object.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -11,34 +14,43 @@
 using namespace t1000;
 
 int main(int argc, char** argv) {
-  tools::Args args(argc, argv);
-  const bool emit_asm = args.flag("-S");
-  const std::string out = args.option("-o", "a.obj");
-  if (args.positional().size() != 1) {
-    std::fprintf(stderr, "usage: t1000-cc input.c [-o out.obj] [-S]\n");
-    return 2;
-  }
+  tools::ToolOptions common;
+  bool emit_asm = false;
+  std::string out = "a.obj";
+  OptionParser parser = common.make_parser(
+      "t1000-cc", "compile MiniC to T1000 assembly or a T1K1 object",
+      "input.c");
+  parser.add_flag("-S", "print assembly to stdout instead of an object",
+                  &emit_asm);
+  parser.add_string("-o", "FILE", "output object file (default: a.obj)", &out);
+  const std::string input = parser.parse(argc, argv)[0];
   try {
-    std::ifstream is(args.positional()[0]);
+    std::ifstream is(input);
     if (!is) {
-      std::fprintf(stderr, "error: cannot open %s\n",
-                   args.positional()[0].c_str());
+      std::fprintf(stderr, "error: cannot open %s\n", input.c_str());
       return 1;
     }
     std::ostringstream buf;
     buf << is.rdbuf();
     const std::string asm_text = minic::compile_to_assembly(buf.str());
+    Json doc = Json::object();
+    doc["tool"] = Json("t1000-cc");
+    doc["input"] = Json(input);
     if (emit_asm) {
       std::printf("%s", asm_text.c_str());
-      return 0;
+      doc["assembly_lines"] =
+          Json(std::count(asm_text.begin(), asm_text.end(), '\n'));
+      return common.finish(doc);
     }
     const Program program = assemble(asm_text);
     save_object_file(out, program);
-    std::printf("%s: %d instructions -> %s\n", args.positional()[0].c_str(),
-                program.size(), out.c_str());
+    std::printf("%s: %d instructions -> %s\n", input.c_str(), program.size(),
+                out.c_str());
+    doc["instructions"] = Json(program.size());
+    doc["output"] = Json(out);
+    return common.finish(doc);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
 }

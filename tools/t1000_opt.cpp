@@ -3,7 +3,7 @@
 // and writes a T1K1 object carrying the PFU configurations.
 //
 //   t1000-opt input.{s,obj} [-o out.obj] [--greedy] [--pfus N]
-//             [--threshold F] [--no-matrix] [--report]
+//             [--threshold F] [--no-matrix] [--report] [--json FILE]
 #include <cstdio>
 
 #include "extinst/rewrite.hpp"
@@ -15,22 +15,26 @@
 using namespace t1000;
 
 int main(int argc, char** argv) {
-  tools::Args args(argc, argv);
-  const bool greedy = args.flag("--greedy");
-  const bool report = args.flag("--report");
-  const bool no_matrix = args.flag("--no-matrix");
-  const long pfus = args.option_int("--pfus", kUnlimitedPfus);
-  const double threshold =
-      std::strtod(args.option("--threshold", "0.005").c_str(), nullptr);
-  const std::string out = args.option("-o", "opt.obj");
-  if (args.positional().size() != 1) {
-    std::fprintf(stderr,
-                 "usage: t1000-opt input.{s,obj} [-o out.obj] [--greedy] "
-                 "[--pfus N] [--threshold F] [--no-matrix] [--report]\n");
-    return 2;
-  }
+  tools::ToolOptions common;
+  bool greedy = false;
+  bool report = false;
+  bool no_matrix = false;
+  long pfus = kUnlimitedPfus;
+  double threshold = 0.005;
+  std::string out = "opt.obj";
+  OptionParser parser = common.make_parser(
+      "t1000-opt", "select extended instructions and rewrite the binary");
+  parser.add_flag("--greedy", "greedy selection (default: selective)", &greedy);
+  parser.add_int("--pfus", "N", "PFU budget for selective selection", &pfus);
+  parser.add_double("--threshold", "F",
+                    "selective time threshold (default: 0.005)", &threshold);
+  parser.add_flag("--no-matrix", "disable the subsequence matrix", &no_matrix);
+  parser.add_flag("--report", "print each selected configuration", &report);
+  parser.add_string("-o", "FILE", "output object file (default: opt.obj)",
+                    &out);
+  const std::string input = parser.parse(argc, argv)[0];
   try {
-    const LoadedObject obj = tools::load_input(args.positional()[0]);
+    const LoadedObject obj = tools::load_input(input);
     if (obj.ext_table.size() > 0) {
       std::fprintf(stderr, "error: input already contains EXT instructions\n");
       return 1;
@@ -41,8 +45,7 @@ int main(int argc, char** argv) {
     policy.num_pfus = static_cast<int>(pfus);
     policy.time_threshold = threshold;
     policy.use_subsequence_matrix = !no_matrix;
-    Selection sel =
-        greedy ? select_greedy(ap) : select_selective(ap, policy);
+    Selection sel = greedy ? select_greedy(ap) : select_selective(ap, policy);
     const RewriteResult rr = rewrite_program(obj.program, sel.apps);
 
     // Validate semantics before emitting anything.
@@ -59,9 +62,8 @@ int main(int argc, char** argv) {
     save_object_file(out, rr.program, &sel.table);
     std::printf("%s: %d -> %d instructions, %d configuration(s), "
                 "%zu site(s) -> %s\n",
-                args.positional()[0].c_str(), obj.program.size(),
-                rr.program.size(), sel.num_configs(), sel.apps.size(),
-                out.c_str());
+                input.c_str(), obj.program.size(), rr.program.size(),
+                sel.num_configs(), sel.apps.size(), out.c_str());
     if (report) {
       for (int c = 0; c < sel.num_configs(); ++c) {
         const ExtInstDef& def = sel.table.at(static_cast<ConfId>(c));
@@ -74,9 +76,19 @@ int main(int argc, char** argv) {
         std::printf("\n");
       }
     }
+    Json doc = Json::object();
+    doc["tool"] = Json("t1000-opt");
+    doc["input"] = Json(input);
+    doc["output"] = Json(out);
+    doc["selector"] = Json(greedy ? "greedy" : "selective");
+    doc["original_instructions"] = Json(obj.program.size());
+    doc["rewritten_instructions"] = Json(rr.program.size());
+    doc["num_configs"] = Json(sel.num_configs());
+    doc["num_sites"] = Json(sel.apps.size());
+    doc["lut_costs"] = Json::array_of(sel.lut_costs);
+    return common.finish(doc);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
 }

@@ -1,6 +1,7 @@
 // t1000-run: functional (architectural) execution of a program.
 //
 //   t1000-run input.{s,obj} [--max-steps N] [--trace N] [--regs]
+//             [--json FILE]
 //
 // Prints the executed instruction count and the $v0/$v1 result registers;
 // --trace N echoes the first N executed instructions, --regs dumps the
@@ -13,19 +14,19 @@
 using namespace t1000;
 
 int main(int argc, char** argv) {
-  tools::Args args(argc, argv);
-  const long max_steps = args.option_int("--max-steps", 1 << 26);
-  const long trace = args.option_int("--trace", 0);
-  const bool dump_regs = args.flag("--regs");
-  if (args.positional().size() != 1) {
-    std::fprintf(
-        stderr,
-        "usage: t1000-run input.{s,obj} [--max-steps N] [--trace N] "
-        "[--regs]\n");
-    return 2;
-  }
+  tools::ToolOptions common;
+  long max_steps = 1 << 26;
+  long trace = 0;
+  bool dump_regs = false;
+  OptionParser parser = common.make_parser(
+      "t1000-run", "functional (architectural) execution of a program");
+  parser.add_int("--max-steps", "N", "stop after N instructions", &max_steps);
+  parser.add_int("--trace", "N", "echo the first N executed instructions",
+                 &trace);
+  parser.add_flag("--regs", "dump the final register file", &dump_regs);
+  const std::string input = parser.parse(argc, argv)[0];
   try {
-    const LoadedObject obj = tools::load_input(args.positional()[0]);
+    const LoadedObject obj = tools::load_input(input);
     Executor exec(obj.program,
                   obj.ext_table.size() > 0 ? &obj.ext_table : nullptr);
     long traced = 0;
@@ -49,13 +50,20 @@ int main(int argc, char** argv) {
     std::printf("$v0 = 0x%08X  $v1 = 0x%08X\n", exec.reg(2), exec.reg(3));
     if (dump_regs) {
       for (int r = 0; r < kNumRegs; ++r) {
-        std::printf("%-6s 0x%08X%s", std::string(reg_name(static_cast<Reg>(r))).c_str(),
+        std::printf("%-6s 0x%08X%s",
+                    std::string(reg_name(static_cast<Reg>(r))).c_str(),
                     exec.reg(static_cast<Reg>(r)), r % 4 == 3 ? "\n" : "  ");
       }
     }
+    Json doc = Json::object();
+    doc["tool"] = Json("t1000-run");
+    doc["input"] = Json(input);
+    doc["instructions"] = Json(exec.steps_executed());
+    doc["v0"] = Json(exec.reg(2));
+    doc["v1"] = Json(exec.reg(3));
+    return common.finish(doc);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
 }

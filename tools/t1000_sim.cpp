@@ -3,39 +3,59 @@
 //
 //   t1000-sim input.{s,obj} [--pfus N|unlimited] [--reconfig N]
 //             [--bimodal] [--multi-cycle-ext] [--ruu N] [--width N]
+//             [--json FILE]
 #include <cstdio>
+#include <cstdlib>
 
+#include "harness/serialize.hpp"
 #include "tool_common.hpp"
 #include "uarch/timing.hpp"
 
 using namespace t1000;
 
 int main(int argc, char** argv) {
-  tools::Args args(argc, argv);
+  tools::ToolOptions common;
+  std::string pfus = "0";
+  long reconfig = 10;
+  bool multi_cycle_ext = false;
+  bool bimodal = false;
+  long ruu = MachineConfig{}.ruu_size;
+  long width = 4;
+  OptionParser parser = common.make_parser(
+      "t1000-sim", "cycle-accurate simulation on a configurable T1000 machine");
+  parser.add_string("--pfus", "N|unlimited", "programmable functional units",
+                    &pfus);
+  parser.add_int("--reconfig", "N", "PFU reconfiguration latency in cycles",
+                 &reconfig);
+  parser.add_flag("--bimodal", "bimodal branch predictor (default: perfect)",
+                  &bimodal);
+  parser.add_flag("--multi-cycle-ext", "EXT ops take their full base latency",
+                  &multi_cycle_ext);
+  parser.add_int("--ruu", "N", "register update unit entries", &ruu);
+  parser.add_int("--width", "N", "fetch/decode/issue/commit width", &width);
+  const std::string input = parser.parse(argc, argv)[0];
+
   MachineConfig cfg;
-  const std::string pfus = args.option("--pfus", "0");
-  cfg.pfu.count = pfus == "unlimited" ? PfuConfig::kUnlimited
-                                      : static_cast<int>(std::strtol(
-                                            pfus.c_str(), nullptr, 0));
-  cfg.pfu.reconfig_latency =
-      static_cast<int>(args.option_int("--reconfig", 10));
-  cfg.pfu.multi_cycle_ext = args.flag("--multi-cycle-ext");
-  if (args.flag("--bimodal")) {
-    cfg.branch.kind = BranchPredictorKind::kBimodal;
+  if (pfus == "unlimited") {
+    cfg.pfu.count = PfuConfig::kUnlimited;
+  } else {
+    char* end = nullptr;
+    cfg.pfu.count = static_cast<int>(std::strtol(pfus.c_str(), &end, 0));
+    if (end == pfus.c_str() || *end != '\0' || cfg.pfu.count < 0) {
+      std::fprintf(stderr, "t1000-sim: bad value '%s' for option '--pfus'\n",
+                   pfus.c_str());
+      return 2;
+    }
   }
-  cfg.ruu_size = static_cast<int>(args.option_int("--ruu", cfg.ruu_size));
-  const int width = static_cast<int>(args.option_int("--width", 4));
+  cfg.pfu.reconfig_latency = static_cast<int>(reconfig);
+  cfg.pfu.multi_cycle_ext = multi_cycle_ext;
+  if (bimodal) cfg.branch.kind = BranchPredictorKind::kBimodal;
+  cfg.ruu_size = static_cast<int>(ruu);
   cfg.fetch_width = cfg.decode_width = cfg.issue_width = cfg.commit_width =
-      width;
-  if (args.positional().size() != 1) {
-    std::fprintf(stderr,
-                 "usage: t1000-sim input.{s,obj} [--pfus N|unlimited] "
-                 "[--reconfig N] [--bimodal] [--multi-cycle-ext] [--ruu N] "
-                 "[--width N]\n");
-    return 2;
-  }
+      static_cast<int>(width);
+
   try {
-    const LoadedObject obj = tools::load_input(args.positional()[0]);
+    const LoadedObject obj = tools::load_input(input);
     const ExtInstTable* table =
         obj.ext_table.size() > 0 ? &obj.ext_table : nullptr;
     const SimStats st = simulate(obj.program, table, cfg);
@@ -59,9 +79,14 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(st.pfu.hits),
                   static_cast<unsigned long long>(st.pfu.reconfigurations));
     }
+    Json doc = Json::object();
+    doc["tool"] = Json("t1000-sim");
+    doc["input"] = Json(input);
+    doc["machine"] = to_json(cfg);
+    doc["stats"] = to_json(st);
+    return common.finish(doc);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
 }

@@ -1,6 +1,9 @@
-// Shared helpers for the command-line tools: load a program from either an
-// assembly source (.s/.asm) or a T1K1 object file, plus minimal flag
-// parsing.
+// Shared surface for the t1000-* command-line tools: load a program from
+// either an assembly source (.s/.asm) or a T1K1 object file, plus the
+// uniform option handling every tool shares. Flag parsing itself is the
+// harness OptionParser (src/harness/options.hpp) — each tool declares its
+// specific flags on top of the common ones added here, and gets --help,
+// value parsing, and unknown-flag diagnostics for free.
 #pragma once
 
 #include <cstdio>
@@ -8,10 +11,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
-#include <vector>
 
 #include "asmkit/assembler.hpp"
 #include "asmkit/objfile.hpp"
+#include "harness/json.hpp"
+#include "harness/options.hpp"
 
 namespace t1000::tools {
 
@@ -37,44 +41,26 @@ inline LoadedObject load_input(const std::string& path) {
   return load_object_file(path);
 }
 
-// Tiny flag scanner: collects positional args, exposes --flag [value].
-class Args {
- public:
-  Args(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+// The option surface every tool shares. Call make_parser(), declare the
+// tool-specific flags, parse, and end main() with finish(doc) to honor
+// --json uniformly.
+struct ToolOptions {
+  std::string json_path;  // --json FILE; empty = no JSON export
+
+  OptionParser make_parser(const std::string& name, const std::string& summary,
+                           const std::string& input_name = "input.{s,obj}") {
+    OptionParser parser(name, summary);
+    parser.add_string("--json", "FILE",
+                      "write a machine-readable summary as JSON", &json_path);
+    parser.set_positional(input_name, 1, 1);
+    return parser;
   }
 
-  bool flag(const std::string& name) {
-    for (std::size_t i = 0; i < args_.size(); ++i) {
-      if (args_[i] == name) {
-        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
-        return true;
-      }
-    }
-    return false;
+  // Writes `doc` when --json was given. Returns the tool's exit code.
+  int finish(const Json& doc) const {
+    if (!json_path.empty() && !write_json_file(json_path, doc)) return 1;
+    return 0;
   }
-
-  std::string option(const std::string& name, const std::string& fallback) {
-    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
-      if (args_[i] == name) {
-        const std::string value = args_[i + 1];
-        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
-                    args_.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-        return value;
-      }
-    }
-    return fallback;
-  }
-
-  long option_int(const std::string& name, long fallback) {
-    const std::string v = option(name, "");
-    return v.empty() ? fallback : std::strtol(v.c_str(), nullptr, 0);
-  }
-
-  const std::vector<std::string>& positional() const { return args_; }
-
- private:
-  std::vector<std::string> args_;
 };
 
 }  // namespace t1000::tools
