@@ -8,6 +8,7 @@
 
 #include "harness/grid.hpp"
 #include "sim/executor.hpp"
+#include "sim/trace.hpp"
 
 namespace t1000 {
 namespace {
@@ -35,6 +36,35 @@ void BM_TimingSim(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
 }
 BENCHMARK(BM_TimingSim)->Unit(benchmark::kMillisecond);
+
+// Cost of capturing the committed trace: functional execution plus the
+// 14-byte-per-step SoA append (sim/trace.hpp). Compare with
+// BM_FunctionalSim for the pure recording overhead.
+void BM_RecordTrace(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const CommittedTrace trace = record_trace(p, nullptr, 1u << 24);
+    steps += trace.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_RecordTrace)->Unit(benchmark::kMillisecond);
+
+// Replay-backed timing run over a pre-recorded trace — the per-config
+// marginal cost of a grid sweep. Compare with BM_TimingSim, which pays
+// functional execution inside the pipeline on every run.
+void BM_ReplayTimingSim(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  const CommittedTrace trace = record_trace(p, nullptr, 1u << 24);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const SimStats st = simulate_replay(p, nullptr, trace, baseline_machine());
+    instructions += st.committed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_ReplayTimingSim)->Unit(benchmark::kMillisecond);
 
 void BM_ProfileAndExtract(benchmark::State& state) {
   const Program p = workload_program(bench_workload());

@@ -10,11 +10,14 @@
 #include <utility>
 
 #include "harness/serialize.hpp"
+#include "sim/trace.hpp"
 
 namespace t1000 {
 namespace {
 
-constexpr int kEntryVersion = 1;
+// v2: replay-backed runs — keys grew the trace identity (max_steps +
+// trace format version), outcomes grew trace_steps/trace_hash.
+constexpr int kEntryVersion = 2;
 
 std::string read_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
@@ -38,7 +41,8 @@ std::uint64_t program_hash(const Program& program) {
   return fnv1a64(sizes, sizeof sizes, h);
 }
 
-CacheKey make_cache_key(const RunSpec& spec, std::uint64_t program_hash) {
+CacheKey make_cache_key(const RunSpec& spec, std::uint64_t program_hash,
+                        std::uint64_t max_steps) {
   Json identity = Json::object();
   identity["version"] = Json(kEntryVersion);
   identity["workload"] = Json(spec.workload);
@@ -47,6 +51,12 @@ CacheKey make_cache_key(const RunSpec& spec, std::uint64_t program_hash) {
   identity["machine"] = to_json(spec.machine);
   identity["policy"] = to_json(spec.policy);
   identity["max_cycles"] = Json(spec.max_cycles);
+  // Trace identity: what the replayed committed trace depends on beyond
+  // the fields above (see sim/trace.hpp).
+  Json trace = Json::object();
+  trace["max_steps"] = Json(max_steps);
+  trace["format"] = Json(kTraceFormatVersion);
+  identity["trace"] = std::move(trace);
   // Note: spec.label is presentation, not identity — two labels for the
   // same configuration share one cache entry.
   CacheKey key;

@@ -32,7 +32,12 @@ struct CacheKey {
   std::string hash;  // hex fnv1a64(text); names the on-disk entry
 };
 
-CacheKey make_cache_key(const RunSpec& spec, std::uint64_t program_hash);
+// `max_steps` is the workload's functional-step bound: the committed trace
+// a run replays is a function of (program, selector, policy, max_steps)
+// plus the trace format version, so both are part of the identity — a
+// changed bound or format can never alias a stale memoized result.
+CacheKey make_cache_key(const RunSpec& spec, std::uint64_t program_hash,
+                        std::uint64_t max_steps);
 
 class ResultCache {
  public:

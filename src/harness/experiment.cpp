@@ -3,17 +3,20 @@
 #include <string>
 #include <utility>
 
-#include "sim/executor.hpp"
+#include "harness/serialize.hpp"
+#include "sim/trace.hpp"
 
 namespace t1000 {
 namespace {
 
-std::uint32_t run_functional(const Program& p, const ExtInstTable* table,
-                             std::uint64_t max_steps) {
-  Executor e(p, table);
-  e.run(max_steps);
-  if (!e.halted()) throw SimError("workload did not halt");
-  return e.reg(kRegV0);
+// Memoization key for a prepared run: the committed trace (and, for
+// rewritten programs, the selection itself) depends on the selector and on
+// every policy field, and on nothing else — in particular not on the
+// machine configuration, which is the whole point of sharing.
+std::string prep_key(const RunSpec& spec) {
+  if (spec.selector == Selector::kNone) return "none";
+  return std::string(selector_name(spec.selector)) + "|" +
+         to_json(spec.policy).dump();
 }
 
 }  // namespace
@@ -41,31 +44,88 @@ bool selector_from_name(std::string_view name, Selector* out) {
 WorkloadExperiment::WorkloadExperiment(const Workload& workload)
     : workload_(workload), program_(workload_program(workload)) {
   analysis_ = analyze_program(program_, workload_.max_steps);
-  base_checksum_ = run_functional(program_, nullptr, workload_.max_steps);
+
+  // Record the baseline trace eagerly: it doubles as the functional
+  // checksum run every rewritten variant is validated against.
+  auto base = std::make_shared<PreparedRun>();
+  base->trace = record_trace(program_, nullptr, workload_.max_steps);
+  base_checksum_ = base->trace.checksum();
+  base->partial.checksum = base_checksum_;
+  base->partial.trace_steps = base->trace.size();
+  base->partial.trace_hash = base->trace.content_hash();
+
+  auto slot = std::make_shared<PreparedSlot>();
+  // Consume the once_flag so later lookups see the slot as built.
+  std::call_once(slot->once, [&] { slot->run = std::move(base); });
+  prepared_.emplace("none", std::move(slot));
+  traces_recorded_.store(1);
+}
+
+std::shared_ptr<const WorkloadExperiment::PreparedRun>
+WorkloadExperiment::build_prepared(const RunSpec& spec) const {
+  auto run = std::make_shared<PreparedRun>();
+  run->selection = spec.selector == Selector::kGreedy
+                       ? select_greedy(analysis_, spec.policy.lut_budget)
+                       : select_selective(analysis_, spec.policy);
+  RewriteResult rr = rewrite_program(program_, run->selection.apps);
+  run->rewritten = true;
+  run->rewritten_program = std::move(rr.program);
+  run->trace = record_trace(run->rewritten_program, &run->selection.table,
+                            workload_.max_steps);
+  if (run->trace.checksum() != base_checksum_) {
+    throw SimError("rewrite changed " + workload_.name + " checksum");
+  }
+  run->partial.checksum = run->trace.checksum();
+  run->partial.num_configs = run->selection.num_configs();
+  run->partial.num_apps = static_cast<int>(run->selection.apps.size());
+  run->partial.lengths = run->selection.lengths;
+  run->partial.lut_costs = run->selection.lut_costs;
+  run->partial.trace_steps = run->trace.size();
+  run->partial.trace_hash = run->trace.content_hash();
+  return run;
+}
+
+const WorkloadExperiment::PreparedRun& WorkloadExperiment::prepared_run(
+    const RunSpec& spec) const {
+  std::shared_ptr<PreparedSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(prep_mu_);
+    std::shared_ptr<PreparedSlot>& entry = prepared_[prep_key(spec)];
+    if (!entry) entry = std::make_shared<PreparedSlot>();
+    slot = entry;
+  }
+  bool built = false;
+  std::call_once(slot->once, [&] {
+    built = true;
+    try {
+      slot->run = build_prepared(spec);
+      traces_recorded_.fetch_add(1);
+    } catch (...) {
+      slot->error = std::current_exception();
+    }
+  });
+  if (slot->error) std::rethrow_exception(slot->error);
+  if (!built) trace_reuses_.fetch_add(1);
+  return *slot->run;
+}
+
+WorkloadExperiment::PreparedView WorkloadExperiment::prepared(
+    const RunSpec& spec) const {
+  const PreparedRun& prep = prepared_run(spec);
+  PreparedView view;
+  view.program = prep.rewritten ? &prep.rewritten_program : &program_;
+  view.table = prep.rewritten ? &prep.selection.table : nullptr;
+  view.trace = &prep.trace;
+  return view;
 }
 
 RunOutcome WorkloadExperiment::run(const RunSpec& spec) const {
-  RunOutcome out;
-  if (spec.selector == Selector::kNone) {
-    out.checksum = base_checksum_;
-    out.stats = simulate(program_, nullptr, spec.machine, spec.max_cycles);
-    return out;
-  }
-
-  Selection sel = spec.selector == Selector::kGreedy
-                      ? select_greedy(analysis_, spec.policy.lut_budget)
-                      : select_selective(analysis_, spec.policy);
-  const RewriteResult rr = rewrite_program(program_, sel.apps);
-
-  out.checksum = run_functional(rr.program, &sel.table, workload_.max_steps);
-  if (out.checksum != base_checksum_) {
-    throw SimError("rewrite changed " + workload_.name + " checksum");
-  }
-  out.num_configs = sel.num_configs();
-  out.num_apps = static_cast<int>(sel.apps.size());
-  out.lengths = sel.lengths;
-  out.lut_costs = sel.lut_costs;
-  out.stats = simulate(rr.program, &sel.table, spec.machine, spec.max_cycles);
+  const PreparedRun& prep = prepared_run(spec);
+  const Program& program = prep.rewritten ? prep.rewritten_program : program_;
+  const ExtInstTable* table = prep.rewritten ? &prep.selection.table : nullptr;
+  RunOutcome out = prep.partial;
+  out.stats = simulate_replay(program, table, prep.trace, spec.machine,
+                              spec.max_cycles);
   return out;
 }
 

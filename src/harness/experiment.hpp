@@ -10,12 +10,17 @@
 // memoizes completed outcomes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "extinst/rewrite.hpp"
 #include "extinst/select.hpp"
+#include "sim/trace.hpp"
 #include "uarch/timing.hpp"
 #include "workloads/workload.hpp"
 
@@ -53,6 +58,10 @@ struct RunOutcome {
   std::vector<int> lengths;    // per config, micro-ops
   std::vector<int> lut_costs;  // per config, estimated LUTs
   std::uint32_t checksum = 0;  // functional $v0 (validated)
+  // Identity of the committed trace the timing run replayed: its length in
+  // functional steps and its content fingerprint (sim/trace.hpp).
+  std::uint64_t trace_steps = 0;
+  std::uint64_t trace_hash = 0;
 };
 
 // Per-workload experiment context; the (expensive) profile + extraction is
@@ -75,15 +84,65 @@ class WorkloadExperiment {
   // selective_spec() factory keeps the two in sync. Throws SimError if a
   // rewritten program's checksum diverges from the baseline.
   //
-  // const and touches no mutable state: concurrent run() calls on one
-  // experiment are safe, which the grid engine relies on.
+  // Timing runs replay the committed trace shared by every spec with the
+  // same (selector, policy): functional execution — and for rewritten
+  // programs the selection and rewrite — is paid once, then any number of
+  // machine configurations are swept by replay (simulate_replay).
+  //
+  // const; internal memoization is mutex/once-guarded: concurrent run()
+  // calls on one experiment are safe, which the grid engine relies on.
   RunOutcome run(const RunSpec& spec) const;
 
+  // The shared immutable inputs `spec`'s timing run replays: the (possibly
+  // rewritten) program, its EXT table (null when the program has none),
+  // and the committed trace. Exposed for differential testing and tools;
+  // the pointers stay valid for the experiment's lifetime.
+  struct PreparedView {
+    const Program* program = nullptr;
+    const ExtInstTable* table = nullptr;
+    const CommittedTrace* trace = nullptr;
+  };
+  PreparedView prepared(const RunSpec& spec) const;
+
+  // Trace-sharing observability: how many distinct (selector, policy)
+  // traces were recorded, and how many run()/prepared() calls were served
+  // from an already-recorded trace.
+  struct TraceCounters {
+    std::uint64_t recorded = 0;
+    std::uint64_t reused = 0;
+  };
+  TraceCounters trace_counters() const {
+    return {traces_recorded_.load(), trace_reuses_.load()};
+  }
+
  private:
+  // Everything derived from one (selector, policy): built once, immutable
+  // afterwards, shared by every machine configuration swept over it.
+  struct PreparedRun {
+    Selection selection;        // empty table for the baseline
+    bool rewritten = false;     // false = time the pristine program
+    Program rewritten_program;  // owned; meaningful when rewritten
+    CommittedTrace trace;
+    RunOutcome partial;  // all fields except stats (filled per machine)
+  };
+  struct PreparedSlot {
+    std::once_flag once;
+    std::shared_ptr<const PreparedRun> run;
+    std::exception_ptr error;
+  };
+
+  const PreparedRun& prepared_run(const RunSpec& spec) const;
+  std::shared_ptr<const PreparedRun> build_prepared(const RunSpec& spec) const;
+
   Workload workload_;
   Program program_;
   AnalyzedProgram analysis_;
   std::uint32_t base_checksum_ = 0;
+
+  mutable std::mutex prep_mu_;  // guards the prepared_ map shape
+  mutable std::map<std::string, std::shared_ptr<PreparedSlot>> prepared_;
+  mutable std::atomic<std::uint64_t> traces_recorded_{0};
+  mutable std::atomic<std::uint64_t> trace_reuses_{0};
 };
 
 // cycles(baseline) / cycles(variant): >1 means the variant is faster. This

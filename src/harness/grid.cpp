@@ -98,6 +98,8 @@ Json GridResult::to_json() const {
   engine["cache_disk_hits"] = Json(engine_.cache.disk_hits);
   engine["cache_misses"] = Json(engine_.cache.misses);
   engine["cache_disk_errors"] = Json(engine_.cache.disk_errors);
+  engine["traces_recorded"] = Json(engine_.traces_recorded);
+  engine["trace_replays"] = Json(engine_.trace_replays);
   engine["wall_ms"] = Json(engine_.wall_ms);
   Json run_wall = Json::array();
   Json run_cached = Json::array();
@@ -115,16 +117,19 @@ Json GridResult::to_json() const {
 }
 
 std::string GridResult::engine_summary() const {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof buf,
                 "[engine] %llu runs in %.0f ms, %d job(s); cache: %llu hit(s)"
-                " (%llu memory, %llu disk), %llu simulated",
+                " (%llu memory, %llu disk), %llu simulated; traces: %llu"
+                " recorded, %llu replayed",
                 static_cast<unsigned long long>(engine_.runs), engine_.wall_ms,
                 engine_.jobs,
                 static_cast<unsigned long long>(engine_.cache.hits()),
                 static_cast<unsigned long long>(engine_.cache.memory_hits),
                 static_cast<unsigned long long>(engine_.cache.disk_hits),
-                static_cast<unsigned long long>(engine_.simulated));
+                static_cast<unsigned long long>(engine_.simulated),
+                static_cast<unsigned long long>(engine_.traces_recorded),
+                static_cast<unsigned long long>(engine_.trace_replays));
   return buf;
 }
 
@@ -191,8 +196,8 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
       out.spec = specs_[i];
       try {
         WorkloadSlot& slot = slots[index_.find(out.spec.workload)->second];
-        const CacheKey key =
-            make_cache_key(out.spec, slot.program_hash_for());
+        const CacheKey key = make_cache_key(out.spec, slot.program_hash_for(),
+                                            slot.workload->max_steps);
         if (cache.lookup(key, &out.outcome)) {
           out.cache_hit = true;
         } else {
@@ -224,6 +229,13 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
   engine.runs = specs_.size();
   engine.cache = cache.counters();
   engine.simulated = engine.cache.misses;
+  for (const WorkloadSlot& slot : slots) {
+    if (!slot.experiment) continue;
+    const WorkloadExperiment::TraceCounters tc =
+        slot.experiment->trace_counters();
+    engine.traces_recorded += tc.recorded;
+    engine.trace_replays += tc.reused;
+  }
   engine.wall_ms = ms_since(grid_start);
   return GridResult(std::move(results), engine);
 }

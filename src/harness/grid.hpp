@@ -51,6 +51,11 @@ struct EngineStats {
   std::uint64_t simulated = 0;  // cache misses, i.e. actual work
   ResultCache::Counters cache;
   double wall_ms = 0.0;  // whole-grid wall-clock
+  // Trace sharing across the simulated runs: distinct committed traces
+  // recorded (one per (workload, selector, policy)) vs. timing runs served
+  // by replaying an already-recorded trace.
+  std::uint64_t traces_recorded = 0;
+  std::uint64_t trace_replays = 0;
 };
 
 class GridResult {

@@ -61,6 +61,10 @@ Json to_json(const RunOutcome& outcome) {
   j["lengths"] = Json::array_of(outcome.lengths);
   j["lut_costs"] = Json::array_of(outcome.lut_costs);
   j["checksum"] = Json(outcome.checksum);
+  j["trace_steps"] = Json(outcome.trace_steps);
+  // Hex: the fingerprint is a full 64-bit value and Json integers are
+  // signed.
+  j["trace_hash"] = Json(to_hex(outcome.trace_hash));
   return j;
 }
 
@@ -209,6 +213,8 @@ RunOutcome run_outcome_from_json(const Json& j) {
   out.lengths = int_vector_from_json(j.at("lengths"));
   out.lut_costs = int_vector_from_json(j.at("lut_costs"));
   out.checksum = static_cast<std::uint32_t>(j.at("checksum").as_uint());
+  out.trace_steps = j.at("trace_steps").as_uint();
+  out.trace_hash = std::stoull(j.at("trace_hash").as_string(), nullptr, 16);
   return out;
 }
 

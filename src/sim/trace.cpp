@@ -1,0 +1,93 @@
+#include "sim/trace.hpp"
+
+namespace t1000 {
+namespace {
+
+// Local FNV-1a 64: the canonical implementation lives in harness/json.hpp,
+// but the sim layer sits below the harness in the link graph and the
+// primitive is six lines.
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+std::uint64_t fnv(const void* data, std::size_t bytes, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t fnv_vec(const std::vector<T>& v, std::uint64_t h) {
+  return v.empty() ? h : fnv(v.data(), v.size() * sizeof(T), h);
+}
+
+}  // namespace
+
+StepInfo CommittedTrace::step_at(std::size_t i, const Program& program) const {
+  const std::uint8_t flags = flags_[i];
+  StepInfo info;
+  info.index = index_[i];
+  info.next_index = next_index_[i];
+  info.ins = (flags & kFlagSentinel)
+                 ? make_halt()
+                 : program.text[static_cast<std::size_t>(index_[i])];
+  info.is_mem = (flags & kFlagIsMem) != 0;
+  info.mem_addr = mem_addr_[i];
+  info.mem_size = mem_size_[i];
+  info.branch_taken = (flags & kFlagBranchTaken) != 0;
+  return info;
+}
+
+std::uint64_t CommittedTrace::memory_bytes() const {
+  return index_.capacity() * sizeof(std::int32_t) +
+         next_index_.capacity() * sizeof(std::int32_t) +
+         mem_addr_.capacity() * sizeof(std::uint32_t) +
+         mem_size_.capacity() * sizeof(std::uint8_t) +
+         flags_.capacity() * sizeof(std::uint8_t);
+}
+
+void CommittedTrace::append(const StepInfo& info, bool sentinel) {
+  std::uint8_t flags = 0;
+  if (info.branch_taken) flags |= kFlagBranchTaken;
+  if (info.is_mem) flags |= kFlagIsMem;
+  if (sentinel) flags |= kFlagSentinel;
+  index_.push_back(info.index);
+  next_index_.push_back(info.next_index);
+  mem_addr_.push_back(info.mem_addr);
+  mem_size_.push_back(info.mem_size);
+  flags_.push_back(flags);
+}
+
+void CommittedTrace::finalize(std::uint32_t checksum) {
+  checksum_ = checksum;
+  std::uint64_t h = kFnvOffset;
+  const std::uint64_t n = index_.size();
+  h = fnv(&n, sizeof n, h);
+  h = fnv_vec(index_, h);
+  h = fnv_vec(next_index_, h);
+  h = fnv_vec(mem_addr_, h);
+  h = fnv_vec(mem_size_, h);
+  h = fnv_vec(flags_, h);
+  h = fnv(&checksum_, sizeof checksum_, h);
+  content_hash_ = h;
+}
+
+CommittedTrace record_trace(const Program& program,
+                            const ExtInstTable* ext_table,
+                            std::uint64_t max_steps) {
+  Executor exec(program, ext_table);
+  CommittedTrace trace;
+  while (!exec.halted()) {
+    if (exec.steps_executed() >= max_steps) {
+      throw SimError("record_trace: program did not halt within step bound");
+    }
+    const StepInfo info = exec.step();
+    trace.append(info, /*sentinel=*/info.index >= program.size());
+  }
+  trace.finalize(exec.reg(kRegV0));
+  return trace;
+}
+
+}  // namespace t1000

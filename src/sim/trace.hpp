@@ -1,0 +1,110 @@
+// Committed-trace capture and replay.
+//
+// The timing model assumes perfect dependence information and (by default)
+// perfect branch prediction: the fetched path and the committed path
+// coincide, so the committed instruction stream is a pure function of the
+// (program, EXT table, step bound) triple and is *independent of the
+// machine configuration*. That makes it profitable to run the functional
+// `Executor` once, capture everything the timing pipeline observes per
+// step, and replay the recording into any number of timing simulations —
+// a grid sweep over N machine configurations pays functional execution
+// once instead of N times.
+//
+// The recording keeps only the timing-visible projection of `StepInfo`
+// (instruction index, successor index, memory address/size, branch
+// outcome) in structure-of-arrays form, 14 bytes per committed step. The
+// architectural values (operand and result registers) are deliberately
+// not captured: the pipeline never reads them, and dropping them keeps
+// long traces compact. Instructions are rebuilt from the program text on
+// replay, so a trace is only meaningful next to the exact program it was
+// recorded from — `content_hash()` fingerprints the stream so callers can
+// key caches on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asmkit/program.hpp"
+#include "isa/extdef.hpp"
+#include "sim/executor.hpp"
+
+namespace t1000 {
+
+// Bump when the recorded projection of StepInfo changes; part of the
+// result-cache identity (see harness/cache.hpp) so stale memoized results
+// can never be replayed against a new format.
+inline constexpr int kTraceFormatVersion = 1;
+
+class CommittedTrace {
+ public:
+  // Per-step flag bits packed into flags_.
+  static constexpr std::uint8_t kFlagBranchTaken = 1u << 0;
+  static constexpr std::uint8_t kFlagIsMem = 1u << 1;
+  // The off-the-end halt sentinel: a step whose index is one past the text
+  // segment (a `jr $ra` out of the entry function). It carries a synthetic
+  // halt instruction that is not present in the program text.
+  static constexpr std::uint8_t kFlagSentinel = 1u << 2;
+
+  std::size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  // Instruction index of step `i` (the executor's pc before the step).
+  std::int32_t index_at(std::size_t i) const { return index_[i]; }
+
+  // Rebuilds the timing-visible StepInfo for step `i`. `program` must be
+  // the program the trace was recorded from; the architectural value
+  // fields (src_vals/result) are left zero, see the file comment.
+  StepInfo step_at(std::size_t i, const Program& program) const;
+
+  // Final $v0 of the functional run — the workload checksum.
+  std::uint32_t checksum() const { return checksum_; }
+
+  // FNV-1a fingerprint of the whole stream (arrays, length, checksum).
+  std::uint64_t content_hash() const { return content_hash_; }
+
+  // Heap footprint of the SoA arrays, for observability.
+  std::uint64_t memory_bytes() const;
+
+ private:
+  friend CommittedTrace record_trace(const Program& program,
+                                     const ExtInstTable* ext_table,
+                                     std::uint64_t max_steps);
+
+  void append(const StepInfo& info, bool sentinel);
+  void finalize(std::uint32_t checksum);
+
+  std::vector<std::int32_t> index_;
+  std::vector<std::int32_t> next_index_;
+  std::vector<std::uint32_t> mem_addr_;
+  std::vector<std::uint8_t> mem_size_;
+  std::vector<std::uint8_t> flags_;
+  std::uint32_t checksum_ = 0;
+  std::uint64_t content_hash_ = 0;
+};
+
+// Runs `program` to completion on a fresh Executor and records the
+// committed stream. Throws SimError when the program does not halt within
+// `max_steps` (mirroring the harness's functional-run bound).
+CommittedTrace record_trace(const Program& program,
+                            const ExtInstTable* ext_table,
+                            std::uint64_t max_steps);
+
+// Presents a recorded trace through the step-source interface the timing
+// pipeline consumes (see uarch/timing.cpp): halted / next_index / step.
+// Both referents must outlive the cursor.
+class TraceCursor {
+ public:
+  TraceCursor(const CommittedTrace& trace, const Program& program)
+      : trace_(&trace), program_(&program) {}
+
+  bool halted() const { return pos_ >= trace_->size(); }
+  std::int32_t next_index() const { return trace_->index_at(pos_); }
+  StepInfo step() { return trace_->step_at(pos_++, *program_); }
+
+ private:
+  const CommittedTrace* trace_;
+  const Program* program_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace t1000

@@ -1,15 +1,34 @@
 #include "uarch/timing.hpp"
 
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "hwcost/lut_model.hpp"
 #include "sim/executor.hpp"
+#include "sim/trace.hpp"
 
 namespace t1000 {
 namespace {
 
 constexpr std::uint64_t kNoDep = ~0ull;
+
+// Step source backed by a live functional executor (the direct path).
+// Mirrors TraceCursor (sim/trace.hpp), the replay-backed source; the
+// pipeline below is templated over the two so both paths run the exact
+// same cycle-level code.
+class ExecutorSource {
+ public:
+  ExecutorSource(const Program& program, const ExtInstTable* ext_table)
+      : exec_(program, ext_table) {}
+
+  bool halted() const { return exec_.halted(); }
+  std::int32_t next_index() const { return exec_.pc(); }
+  StepInfo step() { return exec_.step(); }
+
+ private:
+  Executor exec_;
+};
 
 struct RuuEntry {
   StepInfo info;
@@ -31,12 +50,14 @@ struct FetchSlot {
   bool mispredicted = false;
 };
 
+template <class Source>
 class Pipeline {
  public:
-  Pipeline(const Program& program, const ExtInstTable* ext_table,
-           const MachineConfig& config)
+  Pipeline(Source source, const Program& program,
+           const ExtInstTable* ext_table, const MachineConfig& config)
       : config_(config),
-        exec_(program, ext_table),
+        source_(std::move(source)),
+        program_(program),
         l2_(config.l2),
         imem_(config.il1, &l2_, config.memory_latency, config.itlb),
         dmem_(config.dl1, &l2_, config.memory_latency, config.dtlb),
@@ -75,7 +96,7 @@ class Pipeline {
 
  private:
   bool drained() const {
-    return exec_.halted() && fetch_queue_.empty() && head_ == tail_;
+    return source_.halted() && fetch_queue_.empty() && head_ == tail_;
   }
 
   RuuEntry& entry(std::uint64_t seq) {
@@ -249,12 +270,11 @@ class Pipeline {
     if (blocked_on_branch_) return;  // awaiting a branch redirect
     if (now < fetch_stall_until_) return;
     for (int n = 0; n < config_.fetch_width; ++n) {
-      if (exec_.halted()) return;
+      if (source_.halted()) return;
       if (static_cast<int>(fetch_queue_.size()) >= config_.fetch_queue_size) {
         return;
       }
-      const std::uint32_t pc =
-          exec_.program().pc_of(exec_.pc());
+      const std::uint32_t pc = program_.pc_of(source_.next_index());
       const std::uint32_t line = pc / config_.il1.line_bytes;
       std::uint64_t ready = now + 1;
       if (line != current_fetch_line_) {
@@ -268,8 +288,8 @@ class Pipeline {
       }
       ready = std::max(ready, current_line_ready_);
 
-      const StepInfo info = exec_.step();
-      if (info.index >= exec_.program().size()) return;  // off-the-end halt
+      const StepInfo info = source_.step();
+      if (info.index >= program_.size()) return;  // off-the-end halt
       bool correct = true;
       if (is_control(info.ins.op) && info.ins.op != Opcode::kHalt) {
         correct = bpred_.predict_and_update(info.ins, info.index,
@@ -298,7 +318,8 @@ class Pipeline {
   }
 
   MachineConfig config_;
-  Executor exec_;
+  Source source_;
+  const Program& program_;
   Cache l2_;
   MemHierarchy imem_;
   MemHierarchy dmem_;
@@ -324,7 +345,18 @@ class Pipeline {
 
 SimStats simulate(const Program& program, const ExtInstTable* ext_table,
                   const MachineConfig& config, std::uint64_t max_cycles) {
-  return Pipeline(program, ext_table, config).run(max_cycles);
+  return Pipeline<ExecutorSource>(ExecutorSource(program, ext_table), program,
+                                  ext_table, config)
+      .run(max_cycles);
+}
+
+SimStats simulate_replay(const Program& program, const ExtInstTable* ext_table,
+                         const CommittedTrace& trace,
+                         const MachineConfig& config,
+                         std::uint64_t max_cycles) {
+  return Pipeline<TraceCursor>(TraceCursor(trace, program), program, ext_table,
+                               config)
+      .run(max_cycles);
 }
 
 }  // namespace t1000

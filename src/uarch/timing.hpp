@@ -25,6 +25,7 @@
 
 #include "asmkit/program.hpp"
 #include "isa/extdef.hpp"
+#include "sim/trace.hpp"
 #include "uarch/branch.hpp"
 #include "uarch/cache.hpp"
 #include "uarch/config.hpp"
@@ -57,5 +58,19 @@ struct SimStats {
 SimStats simulate(const Program& program, const ExtInstTable* ext_table,
                   const MachineConfig& config,
                   std::uint64_t max_cycles = 1ull << 32);
+
+// Replay-backed timing: drives the identical pipeline from a committed
+// trace previously recorded from (`program`, `ext_table`) instead of
+// stepping an embedded executor. Cycle-exact with simulate() on the same
+// inputs — the differential harness in
+// tests/integration/replay_differential_test.cpp holds the two paths to
+// byte-identical statistics — but the functional work is paid once at
+// record time, so one trace can be shared across a whole grid of machine
+// configurations (`ext_table` is still consulted for multi-cycle EXT
+// latencies).
+SimStats simulate_replay(const Program& program, const ExtInstTable* ext_table,
+                         const CommittedTrace& trace,
+                         const MachineConfig& config,
+                         std::uint64_t max_cycles = 1ull << 32);
 
 }  // namespace t1000

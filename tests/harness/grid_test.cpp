@@ -146,25 +146,32 @@ TEST(Grid, AddRejectsUnknownWorkloadsAndSelectors) {
 
 TEST(Grid, CacheKeyCoversIdentityButNotPresentation) {
   const std::uint64_t hash = 0x1234u;
-  const CacheKey base = make_cache_key(baseline_spec("gsm_dec"), hash);
+  const std::uint64_t steps = 1000u;
+  const CacheKey base = make_cache_key(baseline_spec("gsm_dec"), hash, steps);
 
   // Label is presentation-only: same key.
   const CacheKey relabeled =
-      make_cache_key(baseline_spec("gsm_dec", "other-label"), hash);
+      make_cache_key(baseline_spec("gsm_dec", "other-label"), hash, steps);
   EXPECT_EQ(base.text, relabeled.text);
   EXPECT_EQ(base.hash, relabeled.hash);
 
-  // Every identity field must change the key.
-  EXPECT_NE(base.text, make_cache_key(baseline_spec("gsm_dec"), 0x9999u).text);
+  // Every identity field must change the key (the exhaustive per-field
+  // sweep lives in cache_key_test.cpp).
   EXPECT_NE(base.text,
-            make_cache_key(greedy_spec("gsm_dec", "", 2, 10), hash).text);
-  EXPECT_NE(make_cache_key(selective_spec("gsm_dec", "", 2, 10), hash).text,
-            make_cache_key(selective_spec("gsm_dec", "", 4, 10), hash).text);
-  EXPECT_NE(make_cache_key(selective_spec("gsm_dec", "", 2, 10), hash).text,
-            make_cache_key(selective_spec("gsm_dec", "", 2, 500), hash).text);
+            make_cache_key(baseline_spec("gsm_dec"), 0x9999u, steps).text);
+  EXPECT_NE(base.text,
+            make_cache_key(baseline_spec("gsm_dec"), hash, 999u).text);
+  EXPECT_NE(base.text,
+            make_cache_key(greedy_spec("gsm_dec", "", 2, 10), hash, steps).text);
+  EXPECT_NE(
+      make_cache_key(selective_spec("gsm_dec", "", 2, 10), hash, steps).text,
+      make_cache_key(selective_spec("gsm_dec", "", 4, 10), hash, steps).text);
+  EXPECT_NE(
+      make_cache_key(selective_spec("gsm_dec", "", 2, 10), hash, steps).text,
+      make_cache_key(selective_spec("gsm_dec", "", 2, 500), hash, steps).text);
   RunSpec longer = baseline_spec("gsm_dec");
   longer.max_cycles = 1234;
-  EXPECT_NE(base.text, make_cache_key(longer, hash).text);
+  EXPECT_NE(base.text, make_cache_key(longer, hash, steps).text);
 }
 
 TEST(Grid, ResolveJobsClampsToHardware) {

@@ -1,0 +1,177 @@
+// The replay-equivalence proof behind the trace-sharing engine.
+//
+// WorkloadExperiment::run() times every spec by replaying a recorded
+// committed trace (sim/trace.hpp) instead of dragging the functional
+// Executor through the pipeline. That is only sound if replay is
+// *cycle-exact*: for every workload, selector, and machine configuration,
+// the replayed run must produce byte-identical SimStats to a direct
+// execution-driven simulation of the same rewritten program. This suite is
+// that proof, over every registered workload (paper suite + extended
+// suite), all three selectors, and a deliberately hostile set of machine
+// configurations: PFU counts from 2 to unlimited, reconfiguration
+// latencies from free to punitive, shrunken cache/TLB geometries, a real
+// (mispredicting) branch predictor, multi-cycle extended instructions, and
+// a narrow machine with tight RUU/MSHR limits.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/serialize.hpp"
+#include "uarch/timing.hpp"
+
+namespace t1000 {
+namespace {
+
+struct NamedMachine {
+  std::string name;
+  MachineConfig machine;
+};
+
+// The sweep axes. Every configuration carries PFUs so the rewritten
+// (EXT-bearing) programs are legal everywhere.
+const std::vector<NamedMachine>& machines() {
+  static const std::vector<NamedMachine> configs = [] {
+    std::vector<NamedMachine> out;
+    out.push_back({"2pfu_lat10", pfu_machine(2, 10)});
+    out.push_back({"4pfu_lat10", pfu_machine(4, 10)});
+    out.push_back({"unlimited_lat0", pfu_machine(PfuConfig::kUnlimited, 0)});
+    out.push_back({"2pfu_lat0", pfu_machine(2, 0)});
+    out.push_back({"2pfu_lat100", pfu_machine(2, 100)});
+
+    MachineConfig small = pfu_machine(2, 10);
+    small.il1 = {.size_bytes = 4 * 1024, .line_bytes = 16, .assoc = 1,
+                 .hit_latency = 1};
+    small.dl1 = {.size_bytes = 4 * 1024, .line_bytes = 16, .assoc = 2,
+                 .hit_latency = 1};
+    small.l2 = {.size_bytes = 64 * 1024, .line_bytes = 32, .assoc = 2,
+                .hit_latency = 8};
+    small.memory_latency = 40;
+    small.itlb.entries = 8;
+    small.dtlb.entries = 8;
+    out.push_back({"small_caches", small});
+
+    MachineConfig bimodal = pfu_machine(2, 10);
+    bimodal.branch.kind = BranchPredictorKind::kBimodal;
+    out.push_back({"bimodal", bimodal});
+
+    MachineConfig deep = pfu_machine(4, 10);
+    deep.pfu.multi_cycle_ext = true;
+    deep.pfu.levels_per_cycle = 1;
+    out.push_back({"multi_cycle_ext", deep});
+
+    MachineConfig narrow = pfu_machine(2, 10);
+    narrow.fetch_width = 2;
+    narrow.decode_width = 2;
+    narrow.issue_width = 2;
+    narrow.commit_width = 2;
+    narrow.ruu_size = 16;
+    narrow.fetch_queue_size = 4;
+    narrow.int_alus = 2;
+    narrow.mem_ports = 1;
+    narrow.max_outstanding_misses = 2;
+    out.push_back({"narrow_ruu16_mshr2", narrow});
+    return out;
+  }();
+  return configs;
+}
+
+const std::vector<Workload>& every_workload() {
+  static const std::vector<Workload> all = [] {
+    std::vector<Workload> out = all_workloads();
+    const std::vector<Workload>& extra = extended_workloads();
+    out.insert(out.end(), extra.begin(), extra.end());
+    return out;
+  }();
+  return all;
+}
+
+RunSpec spec_for(const Workload& w, Selector selector,
+                 const NamedMachine& nm) {
+  RunSpec spec;
+  spec.workload = w.name;
+  spec.label = nm.name;
+  spec.selector = selector;
+  spec.machine = nm.machine;
+  if (selector == Selector::kSelective) {
+    // The selection must know the PFU budget it compiles for (the same
+    // invariant selective_spec() maintains).
+    spec.policy.num_pfus = nm.machine.pfu.count == PfuConfig::kUnlimited
+                               ? kUnlimitedPfus
+                               : nm.machine.pfu.count;
+  }
+  return spec;
+}
+
+class ReplayDifferential : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static WorkloadExperiment& experiment(std::size_t index) {
+    static std::vector<std::unique_ptr<WorkloadExperiment>> cache(
+        every_workload().size());
+    auto& slot = cache[index];
+    if (!slot) {
+      slot = std::make_unique<WorkloadExperiment>(every_workload()[index]);
+    }
+    return *slot;
+  }
+};
+
+TEST_P(ReplayDifferential, ReplayMatchesDirectSimulationByteForByte) {
+  const Workload& w = every_workload()[GetParam()];
+  WorkloadExperiment& exp = experiment(GetParam());
+
+  for (const Selector selector :
+       {Selector::kNone, Selector::kGreedy, Selector::kSelective}) {
+    for (const NamedMachine& nm : machines()) {
+      const RunSpec spec = spec_for(w, selector, nm);
+      const WorkloadExperiment::PreparedView view = exp.prepared(spec);
+      ASSERT_NE(view.program, nullptr);
+      ASSERT_NE(view.trace, nullptr);
+
+      // The replay-backed engine path...
+      const RunOutcome replayed = exp.run(spec);
+      // ...versus a from-scratch execution-driven simulation of the same
+      // (rewritten) program under the same machine.
+      const SimStats direct =
+          simulate(*view.program, view.table, spec.machine, spec.max_cycles);
+
+      EXPECT_EQ(to_json(direct).dump(), to_json(replayed.stats).dump())
+          << w.name << " / " << selector_name(selector) << " / " << nm.name;
+      EXPECT_EQ(replayed.trace_steps, view.trace->size());
+      EXPECT_EQ(replayed.trace_hash, view.trace->content_hash());
+      EXPECT_EQ(replayed.checksum, view.trace->checksum());
+    }
+  }
+}
+
+TEST_P(ReplayDifferential, SharedSelectorsReuseOneTraceAcrossMachines) {
+  // Baseline and greedy preparations do not depend on the machine, so
+  // every machine configuration must replay the very same trace object.
+  const Workload& w = every_workload()[GetParam()];
+  WorkloadExperiment& exp = experiment(GetParam());
+  for (const Selector selector : {Selector::kNone, Selector::kGreedy}) {
+    const CommittedTrace* first = nullptr;
+    for (const NamedMachine& nm : machines()) {
+      const WorkloadExperiment::PreparedView view =
+          exp.prepared(spec_for(w, selector, nm));
+      if (first == nullptr) {
+        first = view.trace;
+      } else {
+        EXPECT_EQ(view.trace, first)
+            << w.name << " / " << selector_name(selector) << " / " << nm.name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ReplayDifferential,
+    ::testing::Range<std::size_t>(0, every_workload().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return every_workload()[info.param].name;
+    });
+
+}  // namespace
+}  // namespace t1000

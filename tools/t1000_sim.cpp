@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "harness/serialize.hpp"
+#include "sim/trace.hpp"
 #include "tool_common.hpp"
 #include "uarch/timing.hpp"
 
@@ -33,6 +34,11 @@ int main(int argc, char** argv) {
                   &multi_cycle_ext);
   parser.add_int("--ruu", "N", "register update unit entries", &ruu);
   parser.add_int("--width", "N", "fetch/decode/issue/commit width", &width);
+  bool replay = false;
+  parser.add_flag("--replay",
+                  "time via committed-trace record + replay instead of "
+                  "execution-driven simulation (must be cycle-exact)",
+                  &replay);
   const std::string input = parser.parse(argc, argv)[0];
 
   MachineConfig cfg;
@@ -58,7 +64,18 @@ int main(int argc, char** argv) {
     const LoadedObject obj = tools::load_input(input);
     const ExtInstTable* table =
         obj.ext_table.size() > 0 ? &obj.ext_table : nullptr;
-    const SimStats st = simulate(obj.program, table, cfg);
+    SimStats st;
+    CommittedTrace trace;
+    if (replay) {
+      trace = record_trace(obj.program, table, 1ull << 32);
+      st = simulate_replay(obj.program, table, trace, cfg);
+      std::printf("trace:             %llu steps, %llu KiB, hash %s\n",
+                  static_cast<unsigned long long>(trace.size()),
+                  static_cast<unsigned long long>(trace.memory_bytes() / 1024),
+                  to_hex(trace.content_hash()).c_str());
+    } else {
+      st = simulate(obj.program, table, cfg);
+    }
     std::printf("cycles:            %llu\n",
                 static_cast<unsigned long long>(st.cycles));
     std::printf("instructions:      %llu  (IPC %.3f)\n",
@@ -84,6 +101,13 @@ int main(int argc, char** argv) {
     doc["input"] = Json(input);
     doc["machine"] = to_json(cfg);
     doc["stats"] = to_json(st);
+    if (replay) {
+      Json tj = Json::object();
+      tj["steps"] = Json(static_cast<std::uint64_t>(trace.size()));
+      tj["memory_bytes"] = Json(trace.memory_bytes());
+      tj["content_hash"] = Json(to_hex(trace.content_hash()));
+      doc["trace"] = std::move(tj);
+    }
     return common.finish(doc);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
