@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
   Table table({"benchmark", "perfect bpred", "bimodal bpred",
                "bimodal accuracy"});
   for (const Workload& w : all_workloads()) {
+    // A failed/timed-out run zeroes its outcome; skip the row rather
+    // than print garbage (finish_bench reports the split + exit code).
+    if (!res.workload_ok(w.name)) continue;
     const SimStats& sel_b = res.stats(w.name, "sel-bimodal");
     table.add_row(
         {w.name,

@@ -40,6 +40,9 @@ int main(int argc, char** argv) {
   Table table({"benchmark", "single-cycle EXT", "depth-derived EXT",
                "1 level/cycle EXT"});
   for (const Workload& w : all_workloads()) {
+    // A failed/timed-out run zeroes its outcome; skip the row rather
+    // than print garbage (finish_bench reports the split + exit code).
+    if (!res.workload_ok(w.name)) continue;
     const SimStats& base = res.stats(w.name, "baseline");
     table.add_row({w.name,
                    fmt_ratio(speedup(base, res.stats(w.name, "single"))),

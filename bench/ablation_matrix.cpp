@@ -50,6 +50,9 @@ int main(int argc, char** argv) {
   Table table({"benchmark", "matrix @1", "maximal-only @1", "matrix @2",
                "maximal-only @2"});
   for (const Workload& w : all_workloads()) {
+    // A failed/timed-out run zeroes its outcome; skip the row rather
+    // than print garbage (finish_bench reports the split + exit code).
+    if (!res.workload_ok(w.name)) continue;
     const SimStats& base = res.stats(w.name, "baseline");
     std::vector<std::string> row{w.name};
     for (const int pfus : {1, 2}) {

@@ -121,6 +121,9 @@ int main(int argc, char** argv) {
                "checksum ok"});
   bool all_ok = true;
   for (const CompiledKernel& k : kKernels) {
+    // A failed/timed-out run zeroes its outcome; skip the row rather
+    // than print garbage (finish_bench reports the split + exit code).
+    if (!res.workload_ok(k.name)) continue;
     const RunOutcome& base = res.outcome(k.name, "baseline");
     const RunOutcome& fast = res.outcome(k.name, "2pfu");
     // The engine already validated the rewrite against the baseline run

@@ -32,6 +32,9 @@ int main(int argc, char** argv) {
   Table table({"benchmark", "selective 2 PFUs", "selective 4 PFUs",
                "configs@4", "greedy unlimited"});
   for (const Workload& w : extended_workloads()) {
+    // A failed/timed-out run zeroes its outcome; skip the row rather
+    // than print garbage (finish_bench reports the split + exit code).
+    if (!res.workload_ok(w.name)) continue;
     const SimStats& base = res.stats(w.name, "baseline");
     const RunOutcome& four = res.outcome(w.name, "4pfu");
     table.add_row(

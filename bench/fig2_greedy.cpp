@@ -34,6 +34,9 @@ int main(int argc, char** argv) {
   Table table({"benchmark", "base cycles", "T1000 unlimited", "T1000 2 PFUs",
                "configs", "reconfigs@2"});
   for (const Workload& w : all_workloads()) {
+    // A failed/timed-out run zeroes its outcome; skip the row rather
+    // than print garbage (finish_bench reports the split + exit code).
+    if (!res.workload_ok(w.name)) continue;
     const SimStats& base = res.stats(w.name, "baseline");
     const RunOutcome& best = res.outcome(w.name, "unlimited");
     const RunOutcome& two = res.outcome(w.name, "2pfu");

@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
   std::vector<int> costs;
   Table per_bench({"benchmark", "configs", "min LUTs", "max LUTs"});
   for (const Workload& w : all_workloads()) {
+    // A failed/timed-out run zeroes its outcome; skip the row rather
+    // than print garbage (finish_bench reports the split + exit code).
+    if (!res.workload_ok(w.name)) continue;
     const RunOutcome& r = res.outcome(w.name, "4pfu");
     int lo = 0;
     int hi = 0;

@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
       "reconfiguration penalty, with the greedy mapping for contrast\n\n");
 
   for (const Workload& w : all_workloads()) {
+    // A failed/timed-out run zeroes its outcome; skip the row rather
+    // than print garbage (finish_bench reports the split + exit code).
+    if (!res.workload_ok(w.name)) continue;
     const SimStats& base = res.stats(w.name, "baseline");
     Table table({"reconfig cycles", "selective 2 PFUs", "greedy 2 PFUs"});
     double sel_min = 1e9;

@@ -43,6 +43,9 @@ int main(int argc, char** argv) {
   Table table({"benchmark", "1 PFU", "2 PFUs", "4 PFUs", "8 PFUs",
                "unlimited"});
   for (const Workload& w : all_workloads()) {
+    // A failed/timed-out run zeroes its outcome; skip the row rather
+    // than print garbage (finish_bench reports the split + exit code).
+    if (!res.workload_ok(w.name)) continue;
     const SimStats& base = res.stats(w.name, "baseline");
     std::vector<std::string> row{w.name};
     for (const int pfus : pfu_counts) {

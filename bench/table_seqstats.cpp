@@ -39,6 +39,9 @@ int main(int argc, char** argv) {
   int global_min = 99;
   int global_max = 0;
   for (const Workload& w : all_workloads()) {
+    // A failed/timed-out run zeroes its outcome; skip the row rather
+    // than print garbage (finish_bench reports the split + exit code).
+    if (!res.workload_ok(w.name)) continue;
     const RunOutcome& r = res.outcome(w.name, "unlimited");
     int lo = 0;
     int hi = 0;

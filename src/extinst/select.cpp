@@ -81,6 +81,17 @@ Selection select_greedy(const AnalyzedProgram& ap, int lut_budget) {
   return sel;
 }
 
+bool exceeds_time_threshold(std::uint64_t seq_cycles,
+                            std::uint64_t total_cycles, double threshold) {
+  if (total_cycles == 0) return false;
+  // Strictly greater-than: the paper keeps sequences "responsible for more
+  // than 0.5% of the total application time" (§5), so a sequence landing
+  // exactly on the threshold is rejected.
+  return static_cast<double>(seq_cycles) /
+             static_cast<double>(total_cycles) >
+         threshold;
+}
+
 Selection select_selective(const AnalyzedProgram& ap,
                            const SelectPolicy& policy) {
   Selection sel;
@@ -98,11 +109,10 @@ Selection select_selective(const AnalyzedProgram& ap,
         static_cast<std::uint64_t>(full_views.back().def.base_cycles()) *
         site.exec_count;
   }
-  const double total = static_cast<double>(ap.profile.total_base_cycles);
   std::set<std::string> hot;
   for (const auto& [sig, cycles] : cycles_by_sig) {
-    if (total <= 0) break;
-    if (static_cast<double>(cycles) / total >= policy.time_threshold) {
+    if (exceeds_time_threshold(cycles, ap.profile.total_base_cycles,
+                               policy.time_threshold)) {
       hot.insert(sig);
     }
   }

@@ -4,7 +4,7 @@
 //    becomes an extended instruction. Best case with unlimited PFUs and
 //    free reconfiguration; thrashes badly with few real PFUs.
 //  * select_selective (paper Section 5): keeps only sequences responsible
-//    for at least `time_threshold` of total application time, then caps the
+//    for more than `time_threshold` of total application time, then caps the
 //    number of distinct configurations per loop at the PFU count, using the
 //    subsequence matrix to prefer a short common subsequence over several
 //    distinct maximal sequences when that wins.
@@ -29,8 +29,9 @@ inline constexpr int kUnlimitedPfus = -1;
 struct SelectPolicy {
   // PFUs available; kUnlimitedPfus disables the per-loop cap.
   int num_pfus = kUnlimitedPfus;
-  // Keep sequences responsible for at least this fraction of application
-  // time (the paper's 0.5%). Only select_selective uses it.
+  // Keep sequences responsible for *more than* this fraction of
+  // application time (the paper's 0.5%, §5). Strictly greater: a sequence
+  // at exactly the threshold is rejected. Only select_selective uses it.
   double time_threshold = 0.005;
   // PFU capacity: windows whose LUT estimate exceeds this are never chosen.
   int lut_budget = 150;
@@ -68,6 +69,13 @@ AnalyzedProgram analyze_program(const Program& program,
                                 const ExtractPolicy& policy = {});
 
 Selection select_greedy(const AnalyzedProgram& ap, int lut_budget = 150);
+
+// The selective pass's hot-sequence predicate (paper §5): true when the
+// sequence's cycles are responsible for more than `threshold` of the total
+// application time. Strictly greater-than — a sequence sitting exactly at
+// the threshold does not qualify (pinned by select_test.cpp).
+bool exceeds_time_threshold(std::uint64_t seq_cycles,
+                            std::uint64_t total_cycles, double threshold);
 
 Selection select_selective(const AnalyzedProgram& ap,
                            const SelectPolicy& policy);

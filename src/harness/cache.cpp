@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -19,12 +20,36 @@ namespace {
 // trace format version), outcomes grew trace_steps/trace_hash.
 constexpr int kEntryVersion = 2;
 
-std::string read_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return {};
-  std::ostringstream buf;
-  buf << is.rdbuf();
-  return buf.str();
+enum class ReadStatus {
+  kOk,       // file read; *out holds its bytes (possibly empty)
+  kMissing,  // ENOENT: a plain cache miss, not an error
+  kError,    // open or read failed for a present path (EACCES, EISDIR, ...)
+};
+
+// Distinguishes "no entry" from "entry we cannot read": only the latter is
+// a disk error, and an empty-but-present file is a corrupt entry rather
+// than a miss. stdio keeps errno observable — iostreams fold ENOENT,
+// EACCES, and EISDIR into one failbit.
+ReadStatus read_file(const std::string& path, std::string* out) {
+  errno = 0;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return errno == ENOENT ? ReadStatus::kMissing : ReadStatus::kError;
+  }
+  std::string text;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+    text.append(buf, n);
+    if (n < sizeof buf) {
+      const bool failed = std::ferror(f) != 0;
+      std::fclose(f);
+      if (failed) return ReadStatus::kError;
+      break;
+    }
+  }
+  *out = std::move(text);
+  return ReadStatus::kOk;
 }
 
 }  // namespace
@@ -108,20 +133,62 @@ std::string ResultCache::entry_path(const CacheKey& key) const {
 }
 
 bool ResultCache::load_from_disk(const CacheKey& key, RunOutcome* out) {
-  const std::string text = read_file(entry_path(key));
-  if (text.empty()) return false;
+  const std::string path = entry_path(key);
+  std::string text;
+  switch (read_file(path, &text)) {
+    case ReadStatus::kMissing:
+      return false;  // plain miss: nothing was ever stored here
+    case ReadStatus::kError: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.disk_errors;
+      return false;
+    }
+    case ReadStatus::kOk:
+      break;
+  }
+  if (text.empty()) {
+    // Present but empty: a truncated entry, not a miss. Quarantine it so
+    // it is never re-parsed (and re-counted) on later cold runs.
+    quarantine_entry(path);
+    return false;
+  }
   try {
     const Json entry = Json::parse(text);
-    if (entry.at("version").as_int() != kEntryVersion) return false;
-    // Guard against hash collisions and schema drift: the stored identity
-    // must match the full key, not just the file name.
+    if (entry.at("version").as_int() != kEntryVersion) {
+      // An older (or newer) schema cannot be trusted to round-trip through
+      // this build's deserializer; quarantine it like any corrupt entry.
+      quarantine_entry(path);
+      return false;
+    }
+    // Guard against hash collisions: the stored identity must match the
+    // full key, not just the file name. A mismatch is a healthy entry for
+    // a *different* key — a plain miss, left in place (storing this key
+    // later evicts it).
     if (entry.at("key").as_string() != key.text) return false;
     *out = run_outcome_from_json(entry.at("outcome"));
     return true;
-  } catch (const JsonError&) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++counters_.disk_errors;
+  } catch (const std::exception&) {
+    // Unparseable bytes or a JSON shape run_outcome_from_json rejects:
+    // corrupt either way. Keep the bytes under quarantine for debugging.
+    quarantine_entry(path);
     return false;
+  }
+}
+
+void ResultCache::quarantine_entry(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::rename(path, path + ".corrupt", ec);
+  if (ec) {
+    // Rename failed (cross-device, permissions, ...): fall back to removing
+    // the entry so it cannot poison future runs.
+    fs::remove(path, ec);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ec) {
+    ++counters_.disk_errors;
+  } else {
+    ++counters_.quarantined;
   }
 }
 
@@ -161,11 +228,18 @@ void ResultCache::store_to_disk(const CacheKey& key, const RunOutcome& outcome) 
       return;
     }
   }
+  // A pre-existing file at the entry path can only belong to a different
+  // key that collided on the hash (this store follows a miss, and corrupt
+  // entries were quarantined away by the lookup): renaming over it evicts
+  // the previous occupant.
+  const bool evicts = fs::exists(entry_path(key), ec);
   fs::rename(temp, entry_path(key), ec);
+  std::lock_guard<std::mutex> lock(mu_);
   if (ec) {
     fs::remove(temp, ec);
-    std::lock_guard<std::mutex> lock(mu_);
     ++counters_.disk_errors;
+  } else if (evicts) {
+    ++counters_.evicted;
   }
 }
 

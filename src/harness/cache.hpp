@@ -12,16 +12,33 @@
 //    re-running a bench binary only simulates what changed since the last
 //    invocation. Files are written to a temp name and renamed into place;
 //    a torn or stale file is treated as a miss, never an error.
+//
+// The on-disk level is self-healing: a corrupt or version-mismatched entry
+// (torn write, garbage, truncated-to-empty, valid JSON from an older
+// schema) is quarantined exactly once — renamed to `<entry>.corrupt` so
+// the bytes survive for debugging but never get re-parsed — and the next
+// store rewrites a fresh entry, so one bad file costs one extra
+// simulation, not a permanent per-cold-run error.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 
 #include "harness/experiment.hpp"
 
 namespace t1000 {
+
+// Cache-layer I/O failure. The cache itself never throws (unreadable disks
+// degrade to misses and counters); the type exists so layers above it —
+// the grid's error taxonomy, test fault hooks — can classify cache I/O
+// failures distinctly from simulation or JSON errors.
+class CacheIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 // Stable content hash of a program: FNV-1a over the encoded text segment
 // and the data image.
@@ -46,7 +63,14 @@ class ResultCache {
     std::uint64_t disk_hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t stores = 0;
-    std::uint64_t disk_errors = 0;  // unreadable/corrupt entries skipped
+    std::uint64_t disk_errors = 0;  // real I/O failures (read/write/rename)
+    // Corrupt or version-mismatched entries moved to <entry>.corrupt; each
+    // bad file is quarantined exactly once, then repaired by the next store.
+    std::uint64_t quarantined = 0;
+    // Healthy entries of a *different* key replaced by a store that
+    // collided on the entry hash (best-effort; racing same-key writers can
+    // over-count by one).
+    std::uint64_t evicted = 0;
 
     std::uint64_t hits() const { return memory_hits + disk_hits; }
     std::uint64_t lookups() const { return hits() + misses; }
@@ -65,10 +89,14 @@ class ResultCache {
   Counters counters() const;
   const std::string& disk_dir() const { return disk_dir_; }
 
+  // Where a key's on-disk entry lives; `<entry_path>.corrupt` is its
+  // quarantine name. Exposed for the self-healing tests.
+  std::string entry_path(const CacheKey& key) const;
+
  private:
   bool load_from_disk(const CacheKey& key, RunOutcome* out);
   void store_to_disk(const CacheKey& key, const RunOutcome& outcome);
-  std::string entry_path(const CacheKey& key) const;
+  void quarantine_entry(const std::string& path);
 
   std::string disk_dir_;
   mutable std::mutex mu_;

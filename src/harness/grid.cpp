@@ -13,7 +13,9 @@
 #include <thread>
 #include <utility>
 
+#include "harness/report.hpp"
 #include "harness/serialize.hpp"
+#include "sim/executor.hpp"
 
 namespace t1000 {
 namespace {
@@ -66,6 +68,27 @@ struct WorkloadSlot {
 
 }  // namespace
 
+RunErrorKind classify_current_exception(std::string* message) {
+  try {
+    throw;
+  } catch (const SimError& e) {
+    *message = e.what();
+    return RunErrorKind::kSim;
+  } catch (const JsonError& e) {
+    *message = e.what();
+    return RunErrorKind::kJson;
+  } catch (const CacheIoError& e) {
+    *message = e.what();
+    return RunErrorKind::kCacheIo;
+  } catch (const std::exception& e) {
+    *message = e.what();
+    return RunErrorKind::kStdException;
+  } catch (...) {
+    *message = "non-std::exception thrown";
+    return RunErrorKind::kUnknown;
+  }
+}
+
 GridResult::GridResult(std::vector<RunResult> runs, EngineStats engine)
     : runs_(std::move(runs)), engine_(engine) {}
 
@@ -74,17 +97,46 @@ const RunResult& GridResult::at(std::string_view workload,
   for (const RunResult& r : runs_) {
     if (r.spec.workload == workload && r.spec.label == label) return r;
   }
-  throw std::out_of_range("no grid result for (" + std::string(workload) +
-                          ", " + std::string(label) + ")");
+  std::string what = "no grid result for (" + std::string(workload) + ", " +
+                     std::string(label) + ")";
+  if (engine_.incomplete() > 0) {
+    what += strprintf(" [%llu of %llu runs did not complete]",
+                      static_cast<unsigned long long>(engine_.incomplete()),
+                      static_cast<unsigned long long>(engine_.runs));
+  }
+  throw std::out_of_range(what);
+}
+
+bool GridResult::workload_ok(std::string_view workload) const {
+  bool any = false;
+  for (const RunResult& r : runs_) {
+    if (r.spec.workload != workload) continue;
+    if (!r.ok()) return false;
+    any = true;
+  }
+  return any;
+}
+
+const RunOutcome& GridResult::outcome(std::string_view workload,
+                                      std::string_view label) const {
+  const RunResult& r = at(workload, label);
+  if (!r.ok()) {
+    throw std::runtime_error(
+        "grid run (" + std::string(workload) + ", " + std::string(label) +
+        ") did not complete: " + std::string(run_status_name(r.status)) +
+        (r.error_kind == RunErrorKind::kNone
+             ? ""
+             : std::string(" [") + std::string(run_error_kind_name(r.error_kind)) +
+                   "]") +
+        (r.error.empty() ? "" : ": " + r.error));
+  }
+  return r.outcome;
 }
 
 Json GridResult::results_json() const {
   Json results = Json::array();
   for (const RunResult& r : runs_) {
-    Json entry = Json::object();
-    entry["spec"] = t1000::to_json(r.spec);
-    entry["outcome"] = t1000::to_json(r.outcome);
-    results.push_back(std::move(entry));
+    results.push_back(t1000::to_json(r));
   }
   return results;
 }
@@ -94,10 +146,16 @@ Json GridResult::to_json() const {
   engine["jobs"] = Json(engine_.jobs);
   engine["runs"] = Json(engine_.runs);
   engine["simulated"] = Json(engine_.simulated);
+  engine["ok"] = Json(engine_.ok);
+  engine["failed"] = Json(engine_.failed);
+  engine["timeouts"] = Json(engine_.timeouts);
+  engine["skipped"] = Json(engine_.skipped);
   engine["cache_memory_hits"] = Json(engine_.cache.memory_hits);
   engine["cache_disk_hits"] = Json(engine_.cache.disk_hits);
   engine["cache_misses"] = Json(engine_.cache.misses);
   engine["cache_disk_errors"] = Json(engine_.cache.disk_errors);
+  engine["cache_quarantined"] = Json(engine_.cache.quarantined);
+  engine["cache_evicted"] = Json(engine_.cache.evicted);
   engine["traces_recorded"] = Json(engine_.traces_recorded);
   engine["trace_replays"] = Json(engine_.trace_replays);
   engine["wall_ms"] = Json(engine_.wall_ms);
@@ -117,20 +175,31 @@ Json GridResult::to_json() const {
 }
 
 std::string GridResult::engine_summary() const {
-  char buf[224];
-  std::snprintf(buf, sizeof buf,
-                "[engine] %llu runs in %.0f ms, %d job(s); cache: %llu hit(s)"
-                " (%llu memory, %llu disk), %llu simulated; traces: %llu"
-                " recorded, %llu replayed",
-                static_cast<unsigned long long>(engine_.runs), engine_.wall_ms,
-                engine_.jobs,
-                static_cast<unsigned long long>(engine_.cache.hits()),
-                static_cast<unsigned long long>(engine_.cache.memory_hits),
-                static_cast<unsigned long long>(engine_.cache.disk_hits),
-                static_cast<unsigned long long>(engine_.simulated),
-                static_cast<unsigned long long>(engine_.traces_recorded),
-                static_cast<unsigned long long>(engine_.trace_replays));
-  return buf;
+  using ull = unsigned long long;
+  // Built with a growing formatter: this line accretes counters across PRs
+  // and must never silently truncate (pinned by a test).
+  std::string out = strprintf(
+      "[engine] %llu runs in %.0f ms, %d job(s); status: %llu ok, %llu"
+      " failed, %llu timeout, %llu skipped; cache: %llu hit(s) (%llu memory,"
+      " %llu disk), %llu simulated",
+      static_cast<ull>(engine_.runs), engine_.wall_ms, engine_.jobs,
+      static_cast<ull>(engine_.ok), static_cast<ull>(engine_.failed),
+      static_cast<ull>(engine_.timeouts), static_cast<ull>(engine_.skipped),
+      static_cast<ull>(engine_.cache.hits()),
+      static_cast<ull>(engine_.cache.memory_hits),
+      static_cast<ull>(engine_.cache.disk_hits),
+      static_cast<ull>(engine_.simulated));
+  if (engine_.cache.quarantined > 0 || engine_.cache.evicted > 0 ||
+      engine_.cache.disk_errors > 0) {
+    out += strprintf(" (%llu quarantined, %llu evicted, %llu disk error(s))",
+                     static_cast<ull>(engine_.cache.quarantined),
+                     static_cast<ull>(engine_.cache.evicted),
+                     static_cast<ull>(engine_.cache.disk_errors));
+  }
+  out += strprintf("; traces: %llu recorded, %llu replayed",
+                   static_cast<ull>(engine_.traces_recorded),
+                   static_cast<ull>(engine_.trace_replays));
+  return out;
 }
 
 void ExperimentGrid::add_workload(const Workload& workload) {
@@ -184,17 +253,49 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
   std::vector<RunResult> results(specs_.size());
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
+  std::atomic<std::uint64_t> failures{0};
   std::mutex error_mu;
   std::exception_ptr first_error;
+
+  // Called on the worker after a run fails or times out: records the
+  // verdict, trips the strict/fail-limit abort, and keeps the first
+  // exception for strict mode's post-drain rethrow. Never lets a worker
+  // exit early — the queue must drain so every spec gets a status.
+  const auto record_failure = [&](RunResult& out, RunStatus status,
+                                  RunErrorKind kind, std::string message,
+                                  std::exception_ptr error) {
+    out.status = status;
+    out.error_kind = kind;
+    out.error = std::move(message);
+    out.outcome = RunOutcome{};  // drop any partially filled outcome
+    const std::uint64_t count =
+        failures.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options.strict ||
+        (options.fail_limit > 0 && count >= options.fail_limit)) {
+      abort.store(true, std::memory_order_relaxed);
+    }
+    if (options.strict && error) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::move(error);
+    }
+  };
 
   const auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= specs_.size() || abort.load(std::memory_order_relaxed)) return;
-      const auto run_start = std::chrono::steady_clock::now();
+      if (i >= specs_.size()) return;
       RunResult& out = results[i];
       out.spec = specs_[i];
+      if (abort.load(std::memory_order_relaxed)) {
+        out.status = RunStatus::kSkipped;
+        out.error = options.strict
+                        ? "skipped: an earlier run failed in strict mode"
+                        : "skipped: the grid's fail limit was reached";
+        continue;
+      }
+      const auto run_start = std::chrono::steady_clock::now();
       try {
+        if (options.fault_hook) options.fault_hook(out.spec);
         WorkloadSlot& slot = slots[index_.find(out.spec.workload)->second];
         const CacheKey key = make_cache_key(out.spec, slot.program_hash_for(),
                                             slot.workload->max_steps);
@@ -205,11 +306,25 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
           cache.store(key, out.outcome);
         }
         out.wall_ms = ms_since(run_start);
+        if (options.run_budget_ms > 0 && out.wall_ms > options.run_budget_ms) {
+          const std::string msg =
+              strprintf("run exceeded wall-clock budget: %.1f ms > %.1f ms",
+                        out.wall_ms, options.run_budget_ms);
+          record_failure(out, RunStatus::kTimeout, RunErrorKind::kNone, msg,
+                         std::make_exception_ptr(GridTimeoutError(msg)));
+        } else {
+          out.status = RunStatus::kOk;
+        }
+      } catch (const GridTimeoutError& e) {
+        out.wall_ms = ms_since(run_start);
+        record_failure(out, RunStatus::kTimeout, RunErrorKind::kNone, e.what(),
+                       std::current_exception());
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-        abort.store(true, std::memory_order_relaxed);
-        return;
+        out.wall_ms = ms_since(run_start);
+        std::string message;
+        const RunErrorKind kind = classify_current_exception(&message);
+        record_failure(out, RunStatus::kError, kind, std::move(message),
+                       std::current_exception());
       }
     }
   };
@@ -222,11 +337,19 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
     for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (options.strict && first_error) std::rethrow_exception(first_error);
 
   EngineStats engine;
   engine.jobs = jobs;
   engine.runs = specs_.size();
+  for (const RunResult& r : results) {
+    switch (r.status) {
+      case RunStatus::kOk: ++engine.ok; break;
+      case RunStatus::kError: ++engine.failed; break;
+      case RunStatus::kTimeout: ++engine.timeouts; break;
+      case RunStatus::kSkipped: ++engine.skipped; break;
+    }
+  }
   engine.cache = cache.counters();
   engine.simulated = engine.cache.misses;
   for (const WorkloadSlot& slot : slots) {
@@ -247,11 +370,15 @@ BenchOptions parse_bench_options(int argc, char** argv,
   const char* env_dir = std::getenv("T1000_CACHE_DIR");
   out.grid.cache_dir = env_dir != nullptr ? env_dir : ".t1000-cache";
 
+  // Far beyond any sane thread count, but small enough that the int cast
+  // and per-worker allocations cannot overflow or OOM from a typo'd value.
+  constexpr long kMaxJobs = 1 << 15;
   long jobs = 0;
+  double run_budget_ms = 0.0;
   bool no_cache = false;
   OptionParser parser(name, summary);
   parser.add_int("--jobs", "N", "worker threads (default: all hardware threads)",
-                 &jobs);
+                 &jobs, 0, kMaxJobs);
   parser.add_string("--json", "FILE", "also write results + engine stats as JSON",
                     &out.json_path);
   parser.add_string("--cache-dir", "DIR",
@@ -259,10 +386,23 @@ BenchOptions parse_bench_options(int argc, char** argv,
                     ".t1000-cache)",
                     &out.grid.cache_dir);
   parser.add_flag("--no-cache", "disable the on-disk result cache", &no_cache);
+  parser.add_flag("--strict",
+                  "abort the grid on the first failing run (default: record "
+                  "the failure and keep going)",
+                  &out.grid.strict);
+  parser.add_flag("--keep-going",
+                  "exit 0 even when some runs failed (failures still show in "
+                  "the summary and JSON)",
+                  &out.keep_going);
+  parser.add_double("--run-budget-ms", "MS",
+                    "per-run wall-clock budget; slower runs are recorded as "
+                    "timeouts (default: unlimited)",
+                    &run_budget_ms);
   parser.set_positional("", 0, 0);
   parser.parse(argc, argv);
 
   out.grid.jobs = static_cast<int>(jobs);
+  out.grid.run_budget_ms = run_budget_ms;
   if (no_cache) out.grid.cache_dir.clear();
   return out;
 }
@@ -273,7 +413,18 @@ int finish_bench(const GridResult& result, const BenchOptions& options) {
     return 1;
   }
   std::printf("%s\n", result.engine_summary().c_str());
-  return 0;
+  const EngineStats& engine = result.engine();
+  if (engine.incomplete() == 0) return 0;
+  using ull = unsigned long long;
+  std::fprintf(stderr,
+               "[engine] %llu of %llu run(s) did not complete (%llu failed, "
+               "%llu timeout, %llu skipped)%s\n",
+               static_cast<ull>(engine.incomplete()),
+               static_cast<ull>(engine.runs), static_cast<ull>(engine.failed),
+               static_cast<ull>(engine.timeouts),
+               static_cast<ull>(engine.skipped),
+               options.keep_going ? "; --keep-going, exiting 0" : "");
+  return options.keep_going ? 0 : 1;
 }
 
 }  // namespace t1000

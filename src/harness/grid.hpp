@@ -18,10 +18,18 @@
 // in tests/harness/grid_test.cpp holds the engine to that). Wall-clock and
 // cache hit/miss counters are recorded per run and exported in the JSON
 // "engine" section, keeping the perf trajectory observable across PRs.
+//
+// Execution is fault-isolated: one failing RunSpec is recorded (status +
+// error taxonomy + message, see RunStatus/RunErrorKind) while every other
+// run completes untouched, so a large sweep degrades to N-1 results
+// instead of zero. tests/harness/fault_injection_test.cpp pins that
+// contract differentially against a fault-free grid.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,22 +41,82 @@
 
 namespace t1000 {
 
+// How one queued RunSpec ended. A failing run no longer aborts the grid:
+// the failure is recorded here and the workers keep draining the queue
+// (GridOptions::strict restores the old fail-fast rethrow).
+enum class RunStatus {
+  kOk,       // outcome is valid
+  kError,    // run threw; see RunResult::error_kind / error
+  kTimeout,  // exceeded GridOptions::run_budget_ms (or a hook-raised budget)
+  kSkipped,  // never executed: an earlier failure tripped strict/fail_limit
+};
+
+// Coarse taxonomy of what threw, so sweeps over thousands of runs can be
+// triaged from the results JSON without re-running anything.
+enum class RunErrorKind {
+  kNone,          // status is kOk, kTimeout (budget), or kSkipped
+  kSim,           // SimError: simulation/validation failure
+  kJson,          // JsonError: serialization or cache-entry decode failure
+  kCacheIo,       // CacheIoError: result-cache I/O failure
+  kStdException,  // any other std::exception
+  kUnknown,       // non-std::exception throw
+};
+
+// Thrown (by cooperative budget checks and test fault hooks) to mark a run
+// as timed out rather than failed.
+class GridTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Classifies the in-flight exception of a catch block into the taxonomy
+// and captures its message. Shared by the grid workers and the tools'
+// uniform error exit (tools/tool_common.hpp).
+RunErrorKind classify_current_exception(std::string* message);
+
 struct GridOptions {
   int jobs = 0;           // worker threads; 0 = hardware concurrency
   std::string cache_dir;  // on-disk result cache; empty = disabled
+  // Fail-fast mode: the first failing run aborts the grid and rethrows its
+  // exception after the pool drains (the pre-fault-isolation contract,
+  // kept for tests that want a hard stop).
+  bool strict = false;
+  // Per-run wall-clock budget in milliseconds; 0 = unlimited. A run that
+  // exceeds it is recorded as RunStatus::kTimeout instead of kOk, turning
+  // runaway simulations into a diagnosable outcome rather than a hung
+  // sweep. (Step budgets are per-spec: RunSpec::max_cycles.)
+  double run_budget_ms = 0.0;
+  // Degraded-grid circuit breaker: once this many runs have failed or
+  // timed out, remaining unstarted specs are marked kSkipped instead of
+  // executed; 0 = no limit.
+  std::uint64_t fail_limit = 0;
+  // Test-only fault injection: invoked on the worker thread before each
+  // run executes (cache lookup included); may throw or delay to simulate
+  // failures. Exceptions it raises are classified like any other.
+  std::function<void(const RunSpec&)> fault_hook;
 };
 
 struct RunResult {
   RunSpec spec;
-  RunOutcome outcome;
+  RunOutcome outcome;      // valid only when status == RunStatus::kOk
+  RunStatus status = RunStatus::kOk;
+  RunErrorKind error_kind = RunErrorKind::kNone;
+  std::string error;       // captured what() / diagnostic; empty when ok
   bool cache_hit = false;  // served from memo cache (memory or disk)
   double wall_ms = 0.0;    // this run's wall-clock on its worker
+
+  bool ok() const { return status == RunStatus::kOk; }
 };
 
 struct EngineStats {
   int jobs = 1;
   std::uint64_t runs = 0;
   std::uint64_t simulated = 0;  // cache misses, i.e. actual work
+  // Outcome-status tally: ok + failed + timeouts + skipped == runs.
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t skipped = 0;
   ResultCache::Counters cache;
   double wall_ms = 0.0;  // whole-grid wall-clock
   // Trace sharing across the simulated runs: distinct committed traces
@@ -56,6 +124,8 @@ struct EngineStats {
   // by replaying an already-recorded trace.
   std::uint64_t traces_recorded = 0;
   std::uint64_t trace_replays = 0;
+
+  std::uint64_t incomplete() const { return failed + timeouts + skipped; }
 };
 
 class GridResult {
@@ -66,15 +136,22 @@ class GridResult {
   const EngineStats& engine() const { return engine_; }
 
   // Lookup by the (workload, label) pair the bench declared; throws
-  // std::out_of_range when absent.
+  // std::out_of_range when absent. The returned RunResult carries its
+  // status — callers that can degrade gracefully check r.ok().
   const RunResult& at(std::string_view workload, std::string_view label) const;
+  // True when every run of `workload` completed ok — the benches' guard
+  // for skipping a table row instead of crashing on a failed cell (the
+  // split still reaches stderr and the exit code via finish_bench).
+  bool workload_ok(std::string_view workload) const;
+  // Outcome accessors refuse to hand out a failed run's (zeroed) outcome:
+  // they throw std::runtime_error carrying the run's status, error kind,
+  // and message, so a bench reading a poisoned cell fails loudly instead
+  // of plotting garbage.
   const RunOutcome& outcome(std::string_view workload,
-                            std::string_view label) const {
-    return at(workload, label).outcome;
-  }
+                            std::string_view label) const;
   const SimStats& stats(std::string_view workload,
                         std::string_view label) const {
-    return at(workload, label).outcome.stats;
+    return outcome(workload, label).stats;
   }
 
   // Deterministic results section: specs + outcomes in insertion order,
@@ -106,7 +183,11 @@ class ExperimentGrid {
   std::size_t size() const { return specs_.size(); }
 
   // Executes every queued spec and returns results in insertion order.
-  // Worker exceptions propagate to the caller after the pool drains.
+  // A failing spec is recorded in its RunResult (status + taxonomy +
+  // message) while the rest of the grid keeps running; the grid only
+  // throws for infrastructure errors outside any one run, or when
+  // options.strict rethrows the first per-run failure after the pool
+  // drains.
   GridResult run(const GridOptions& options = {}) const;
 
  private:
@@ -119,10 +200,15 @@ class ExperimentGrid {
 int resolve_jobs(int requested);
 
 // Shared command-line surface for the bench binaries: --jobs, --json,
-// --cache-dir, --no-cache, --help.
+// --cache-dir, --no-cache, --strict, --keep-going, --run-budget-ms,
+// --help.
 struct BenchOptions {
   GridOptions grid;
   std::string json_path;  // --json <path>; empty = no JSON export
+  // --keep-going: exit 0 even when some runs failed (the failures still
+  // show in the results JSON and engine summary). Default is to exit
+  // nonzero so CI catches degraded sweeps.
+  bool keep_going = false;
 };
 
 // Parses bench argv (exits on --help/errors, like OptionParser). The
@@ -133,7 +219,9 @@ BenchOptions parse_bench_options(int argc, char** argv,
                                  const std::string& summary);
 
 // Renders the standard bench tail: optional --json export plus the engine
-// summary line. Returns 0 on success (the bench's exit code).
+// summary line. Returns the bench's exit code: 0 when every run completed
+// ok (or --keep-going was given), 1 when the JSON export failed or any
+// run failed/timed out/was skipped.
 int finish_bench(const GridResult& result, const BenchOptions& options);
 
 }  // namespace t1000

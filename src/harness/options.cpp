@@ -1,11 +1,26 @@
 #include "harness/options.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 namespace t1000 {
+namespace {
+
+// strtol with full error detection: trailing junk, empty input, and — the
+// part plain strtol silently clamps — ERANGE overflow all return false.
+bool parse_long(const std::string& v, long* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v.c_str(), &end, 0);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
 
 OptionParser::OptionParser(std::string program, std::string summary)
     : program_(std::move(program)), summary_(std::move(summary)) {}
@@ -15,42 +30,59 @@ void OptionParser::add_flag(std::string name, std::string help, bool* out) {
                             [out](const std::string&) {
                               *out = true;
                               return true;
-                            }});
+                            },
+                            ""});
 }
 
 void OptionParser::add_string(std::string name, std::string value_name,
                               std::string help, std::string* out) {
   options_.push_back(Option{std::move(name), std::move(value_name),
-                            std::move(help), [out](const std::string& v) {
+                            std::move(help),
+                            [out](const std::string& v) {
                               *out = v;
                               return true;
-                            }});
+                            },
+                            ""});
 }
 
 void OptionParser::add_int(std::string name, std::string value_name,
                            std::string help, long* out) {
   options_.push_back(Option{std::move(name), std::move(value_name),
-                            std::move(help), [out](const std::string& v) {
-                              char* end = nullptr;
-                              const long parsed =
-                                  std::strtol(v.c_str(), &end, 0);
-                              if (end == v.c_str() || *end != '\0') return false;
+                            std::move(help),
+                            [out](const std::string& v) {
+                              return parse_long(v, out);
+                            },
+                            "an integer"});
+}
+
+void OptionParser::add_int(std::string name, std::string value_name,
+                           std::string help, long* out, long min, long max) {
+  options_.push_back(Option{std::move(name), std::move(value_name),
+                            std::move(help),
+                            [out, min, max](const std::string& v) {
+                              long parsed = 0;
+                              if (!parse_long(v, &parsed)) return false;
+                              if (parsed < min || parsed > max) return false;
                               *out = parsed;
                               return true;
-                            }});
+                            },
+                            "an integer in [" + std::to_string(min) + ", " +
+                                std::to_string(max) + "]"});
 }
 
 void OptionParser::add_double(std::string name, std::string value_name,
                               std::string help, double* out) {
   options_.push_back(Option{std::move(name), std::move(value_name),
-                            std::move(help), [out](const std::string& v) {
+                            std::move(help),
+                            [out](const std::string& v) {
                               char* end = nullptr;
                               const double parsed =
                                   std::strtod(v.c_str(), &end);
                               if (end == v.c_str() || *end != '\0') return false;
                               *out = parsed;
                               return true;
-                            }});
+                            },
+                            "a number"});
 }
 
 void OptionParser::set_positional(std::string name, int min, int max) {
@@ -113,7 +145,9 @@ std::vector<std::string> OptionParser::parse(int argc, char** argv) const {
       value = argv[++i];
     }
     if (!match->apply(value)) {
-      fail("bad value '" + value + "' for option '" + arg + "'");
+      fail("bad value '" + value + "' for option '" + arg + "'" +
+           (match->constraint.empty() ? ""
+                                      : " (expected " + match->constraint + ")"));
     }
   }
   const int n = static_cast<int>(positional.size());

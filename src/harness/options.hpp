@@ -21,6 +21,11 @@ class OptionParser {
                   std::string* out);
   void add_int(std::string name, std::string value_name, std::string help,
                long* out);
+  // As add_int, but rejects values outside [min, max] (inclusive) with a
+  // diagnostic that names the accepted range. Overflowing `long` itself
+  // (ERANGE) is always rejected, in both variants.
+  void add_int(std::string name, std::string value_name, std::string help,
+               long* out, long min, long max);
   void add_double(std::string name, std::string value_name, std::string help,
                   double* out);
 
@@ -41,6 +46,7 @@ class OptionParser {
     std::string value_name;  // empty for flags
     std::string help;
     std::function<bool(const std::string&)> apply;  // false = bad value
+    std::string constraint;  // appended to bad-value diagnostics when set
   };
 
   [[noreturn]] void fail(const std::string& message) const;

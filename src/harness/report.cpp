@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdarg>
 #include <cstdio>
 #include <sstream>
 
@@ -68,6 +69,24 @@ std::string fmt_double(double x, int decimals) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.*f", decimals, x);
   return buf;
+}
+
+std::string strprintf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  // +1: vsnprintf writes the terminator; std::string owns size()+1 chars.
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
 }
 
 std::string bar(double value, double max_value, int width) {

@@ -25,6 +25,15 @@ std::string fmt_ratio(double x);
 std::string fmt_percent_gain(double speedup_ratio);
 std::string fmt_double(double x, int decimals);
 
+// printf into a std::string sized to fit — the growable alternative to a
+// fixed char buffer, for lines (like the engine summary) that accrete
+// fields over time and must never silently truncate.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string
+strprintf(const char* fmt, ...);
+
 // A crude horizontal bar for figure-style output (length ~ value).
 std::string bar(double value, double max_value, int width = 40);
 

@@ -68,6 +68,42 @@ Json to_json(const RunOutcome& outcome) {
   return j;
 }
 
+Json to_json(const RunResult& result) {
+  Json j = Json::object();
+  j["spec"] = to_json(result.spec);
+  j["outcome"] = to_json(result.outcome);
+  j["status"] = Json(run_status_name(result.status));
+  if (result.status != RunStatus::kOk) {
+    Json error = Json::object();
+    error["kind"] = Json(run_error_kind_name(result.error_kind));
+    error["message"] = Json(result.error);
+    j["error"] = std::move(error);
+  }
+  return j;
+}
+
+std::string_view run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kError: return "error";
+    case RunStatus::kTimeout: return "timeout";
+    case RunStatus::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
+
+std::string_view run_error_kind_name(RunErrorKind kind) {
+  switch (kind) {
+    case RunErrorKind::kNone: return "none";
+    case RunErrorKind::kSim: return "sim";
+    case RunErrorKind::kJson: return "json";
+    case RunErrorKind::kCacheIo: return "cache_io";
+    case RunErrorKind::kStdException: return "std_exception";
+    case RunErrorKind::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
 Json to_json(const CacheConfig& config) {
   Json j = Json::object();
   j["size_bytes"] = Json(config.size_bytes);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "harness/experiment.hpp"
+#include "harness/grid.hpp"
 #include "harness/json.hpp"
 
 namespace t1000 {
@@ -24,6 +25,11 @@ Json to_json(const PfuStats& stats);
 Json to_json(const BranchStats& stats);
 Json to_json(const SimStats& stats);
 Json to_json(const RunOutcome& outcome);
+// One results-array entry: {"spec", "outcome", "status"} plus, for runs
+// that did not complete, an "error" object {"kind", "message"}. Failed
+// runs keep a (default-initialized) outcome member so the array stays
+// uniformly shaped for downstream tooling.
+Json to_json(const RunResult& result);
 
 Json to_json(const CacheConfig& config);
 Json to_json(const TlbConfig& config);
@@ -42,5 +48,10 @@ RunOutcome run_outcome_from_json(const Json& j);
 
 // Stable name for a branch predictor kind ("perfect", "bimodal", ...).
 std::string_view branch_predictor_name(BranchPredictorKind kind);
+
+// Stable lowercase names for the run-status taxonomy, used by the results
+// JSON, the engine summary, and the tools' structured error exit.
+std::string_view run_status_name(RunStatus status);
+std::string_view run_error_kind_name(RunErrorKind kind);
 
 }  // namespace t1000

@@ -133,6 +133,25 @@ TEST(Select, UnlimitedPolicySelectsAllHot) {
   EXPECT_EQ(sel.num_configs(), 2);
 }
 
+TEST(Select, TimeThresholdIsStrictlyGreaterThan) {
+  // Paper §5 keeps sequences responsible for *more than* 0.5% of total
+  // time. The boundary must reject: a sequence sitting exactly at the
+  // threshold does not qualify.
+  EXPECT_FALSE(exceeds_time_threshold(5, 1000, 0.005));   // exactly 0.5%
+  EXPECT_TRUE(exceeds_time_threshold(6, 1000, 0.005));    // just above
+  EXPECT_FALSE(exceeds_time_threshold(4, 1000, 0.005));   // below
+  EXPECT_FALSE(exceeds_time_threshold(0, 1000, 0.005));   // no time at all
+  // threshold 0 still demands a strictly positive share.
+  EXPECT_FALSE(exceeds_time_threshold(0, 1000, 0.0));
+  EXPECT_TRUE(exceeds_time_threshold(1, 1000, 0.0));
+  // An empty profile has no "total application time" to take a share of.
+  EXPECT_FALSE(exceeds_time_threshold(0, 0, 0.005));
+  EXPECT_FALSE(exceeds_time_threshold(10, 0, 0.005));
+  // The whole program is trivially more than any threshold below 1.
+  EXPECT_TRUE(exceeds_time_threshold(1000, 1000, 0.999));
+  EXPECT_FALSE(exceeds_time_threshold(1000, 1000, 1.0));
+}
+
 TEST(Select, LengthsMatchTableDefs) {
   const Program p = hot_cold_kernel();
   const AnalyzedProgram ap = analyze_program(p, 1u << 20);

@@ -115,7 +115,7 @@ TEST(Grid, MemoryCacheDeduplicatesRepeatedSpecsInOneRun) {
             res.stats("gsm_dec", "b").cycles);
 }
 
-TEST(Grid, CorruptDiskEntriesAreTreatedAsMisses) {
+TEST(Grid, CorruptDiskEntriesAreQuarantinedOnceAndRepaired) {
   const TempDir dir("corrupt");
   const ExperimentGrid grid = small_grid();
   GridOptions options;
@@ -127,11 +127,180 @@ TEST(Grid, CorruptDiskEntriesAreTreatedAsMisses) {
     std::ofstream(entry.path(), std::ios::trunc) << "{not json";
   }
 
+  // Corruption is not an I/O error: each bad entry is quarantined to
+  // <entry>.corrupt, the run degrades to misses, and the stores repair
+  // the entries in place.
   const GridResult second = grid.run(options);
   EXPECT_EQ(second.engine().cache.hits(), 0u);
-  EXPECT_EQ(second.engine().cache.disk_errors, grid.size());
+  EXPECT_EQ(second.engine().cache.disk_errors, 0u);
+  EXPECT_EQ(second.engine().cache.quarantined, grid.size());
   EXPECT_EQ(second.engine().simulated, grid.size());
   EXPECT_EQ(first.results_json().dump(), second.results_json().dump());
+
+  std::size_t corrupt_files = 0;
+  std::size_t entry_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    if (entry.path().extension() == ".corrupt") {
+      ++corrupt_files;
+    } else {
+      ++entry_files;
+    }
+  }
+  EXPECT_EQ(corrupt_files, grid.size());
+  EXPECT_EQ(entry_files, grid.size());
+
+  // Third cold run: the repaired entries hit; nothing is re-quarantined.
+  const GridResult third = grid.run(options);
+  EXPECT_EQ(third.engine().cache.disk_hits, grid.size());
+  EXPECT_EQ(third.engine().cache.quarantined, 0u);
+  EXPECT_EQ(third.engine().simulated, 0u);
+  EXPECT_EQ(first.results_json().dump(), third.results_json().dump());
+}
+
+TEST(Cache, MissingEntryIsAPlainMissNotADiskError) {
+  const TempDir dir("cache-missing");
+  ResultCache cache(dir.str());
+  const CacheKey key = make_cache_key(baseline_spec("gsm_dec"), 0x1234u, 100u);
+  RunOutcome out;
+  EXPECT_FALSE(cache.lookup(key, &out));
+  const ResultCache::Counters c = cache.counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.disk_errors, 0u);
+  EXPECT_EQ(c.quarantined, 0u);
+}
+
+TEST(Cache, UnreadableEntryCountsAsDiskErrorNotMiss) {
+  const TempDir dir("cache-unreadable");
+  ResultCache cache(dir.str());
+  const CacheKey key = make_cache_key(baseline_spec("gsm_dec"), 0x1234u, 100u);
+  // A directory where the entry file should be: fopen succeeds on many
+  // platforms but the read fails (EISDIR) — a present-but-unreadable path.
+  // (chmod tricks don't work here; tests may run as root.)
+  fs::create_directories(cache.entry_path(key));
+  RunOutcome out;
+  EXPECT_FALSE(cache.lookup(key, &out));
+  const ResultCache::Counters c = cache.counters();
+  EXPECT_EQ(c.disk_errors, 1u);
+  EXPECT_EQ(c.quarantined, 0u);
+}
+
+TEST(Cache, EmptyEntryFileIsQuarantinedNotMissed) {
+  const TempDir dir("cache-empty");
+  const CacheKey key = make_cache_key(baseline_spec("gsm_dec"), 0x1234u, 100u);
+  {
+    ResultCache seed(dir.str());
+    std::ofstream(seed.entry_path(key), std::ios::trunc);  // zero bytes
+  }
+  ResultCache cache(dir.str());
+  RunOutcome out;
+  EXPECT_FALSE(cache.lookup(key, &out));
+  const ResultCache::Counters c = cache.counters();
+  EXPECT_EQ(c.quarantined, 1u);
+  EXPECT_EQ(c.disk_errors, 0u);
+  EXPECT_TRUE(fs::exists(cache.entry_path(key) + ".corrupt"));
+  EXPECT_FALSE(fs::exists(cache.entry_path(key)));
+}
+
+TEST(Cache, VersionMismatchedEntryIsQuarantinedAndRepairedByNextStore) {
+  const TempDir dir("cache-version");
+  const CacheKey key = make_cache_key(baseline_spec("gsm_dec"), 0x1234u, 100u);
+  const RunOutcome outcome;  // a default outcome round-trips fine
+  std::string entry_file;
+  {
+    // Store a healthy entry, then rewrite it claiming an older version.
+    ResultCache seed(dir.str());
+    seed.store(key, outcome);
+    entry_file = seed.entry_path(key);
+    std::ifstream is(entry_file);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    Json entry = Json::parse(buf.str());
+    entry["version"] = Json(1);
+    std::ofstream(entry_file, std::ios::trunc) << entry.dump(2) << "\n";
+  }
+  ResultCache cache(dir.str());
+  RunOutcome out;
+  EXPECT_FALSE(cache.lookup(key, &out));
+  EXPECT_EQ(cache.counters().quarantined, 1u);
+  EXPECT_TRUE(fs::exists(entry_file + ".corrupt"));
+
+  // The next store repairs the entry; a later cold cache hits on disk.
+  cache.store(key, outcome);
+  ResultCache fresh(dir.str());
+  EXPECT_TRUE(fresh.lookup(key, &out));
+  const ResultCache::Counters c = fresh.counters();
+  EXPECT_EQ(c.disk_hits, 1u);
+  EXPECT_EQ(c.quarantined, 0u);
+  // The quarantine file is from the first pass only — never re-created.
+  std::size_t corrupt_files = 0;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    corrupt_files += e.path().extension() == ".corrupt" ? 1 : 0;
+  }
+  EXPECT_EQ(corrupt_files, 1u);
+}
+
+TEST(Cache, StoreOverAForeignKeyEntryCountsAsEviction) {
+  const TempDir dir("cache-evict");
+  const CacheKey key = make_cache_key(baseline_spec("gsm_dec"), 0x1234u, 100u);
+  const RunOutcome outcome;
+  std::string entry_file;
+  {
+    // A healthy entry whose recorded identity is some *other* key —
+    // what a hash collision would leave at this path.
+    ResultCache seed(dir.str());
+    seed.store(key, outcome);
+    entry_file = seed.entry_path(key);
+    std::ifstream is(entry_file);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    Json entry = Json::parse(buf.str());
+    entry["key"] = Json("some other identity");
+    std::ofstream(entry_file, std::ios::trunc) << entry.dump(2) << "\n";
+  }
+  ResultCache cache(dir.str());
+  RunOutcome out;
+  // A foreign occupant is a plain miss (healthy, just not ours) and is
+  // left in place...
+  EXPECT_FALSE(cache.lookup(key, &out));
+  EXPECT_EQ(cache.counters().quarantined, 0u);
+  EXPECT_EQ(cache.counters().disk_errors, 0u);
+  EXPECT_TRUE(fs::exists(entry_file));
+  // ...until this key stores, which replaces (evicts) it.
+  cache.store(key, outcome);
+  EXPECT_EQ(cache.counters().evicted, 1u);
+  ResultCache fresh(dir.str());
+  EXPECT_TRUE(fresh.lookup(key, &out));
+}
+
+TEST(Grid, EngineSummaryNeverTruncates) {
+  // Worst-case field widths: every counter near its maximum. The old
+  // fixed 224-byte buffer truncated this; the growable formatter must
+  // render every field through the trailing "replayed".
+  EngineStats stats;
+  stats.runs = 18446744073709551615ull;
+  stats.ok = 18446744073709551615ull;
+  stats.failed = 18446744073709551615ull;
+  stats.timeouts = 18446744073709551615ull;
+  stats.skipped = 18446744073709551615ull;
+  stats.simulated = 18446744073709551615ull;
+  stats.traces_recorded = 18446744073709551615ull;
+  stats.trace_replays = 18446744073709551615ull;
+  stats.cache.memory_hits = 18446744073709551615ull;
+  stats.cache.disk_hits = 18446744073709551615ull;
+  stats.cache.misses = 18446744073709551615ull;
+  stats.cache.disk_errors = 18446744073709551615ull;
+  stats.cache.quarantined = 18446744073709551615ull;
+  stats.cache.evicted = 18446744073709551615ull;
+  stats.jobs = 32768;
+  stats.wall_ms = 1e15;
+  const GridResult result({}, stats);
+  const std::string summary = result.engine_summary();
+  EXPECT_GT(summary.size(), 224u);  // would not fit the old buffer
+  const std::string max = "18446744073709551615";
+  EXPECT_NE(summary.find(max + " runs"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("quarantined"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("disk error"), std::string::npos) << summary;
+  EXPECT_EQ(summary.rfind("replayed"), summary.size() - 8) << summary;
 }
 
 TEST(Grid, AddRejectsUnknownWorkloadsAndSelectors) {

@@ -1,0 +1,125 @@
+// OptionParser and parse_bench_options input validation. The rejection
+// paths exit(2), so they run as gtest death tests.
+#include "harness/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/grid.hpp"
+
+namespace t1000 {
+namespace {
+
+// argv builder: OptionParser::parse wants mutable char**.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (std::string& a : storage_) ptrs_.push_back(a.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(Options, ParsesIntsStringsAndFlags) {
+  long n = 0;
+  std::string s;
+  bool flag = false;
+  OptionParser parser("prog", "");
+  parser.add_int("--n", "N", "", &n);
+  parser.add_string("--s", "S", "", &s);
+  parser.add_flag("--flag", "", &flag);
+  Argv args({"prog", "--n", "42", "--s", "hello", "--flag"});
+  parser.parse(args.argc(), args.argv());
+  EXPECT_EQ(n, 42);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(flag);
+}
+
+TEST(Options, NegativeAndHexIntsParse) {
+  long n = 0;
+  OptionParser parser("prog", "");
+  parser.add_int("--n", "N", "", &n);
+  Argv neg({"prog", "--n", "-7"});
+  parser.parse(neg.argc(), neg.argv());
+  EXPECT_EQ(n, -7);
+  Argv hex({"prog", "--n", "0x10"});
+  parser.parse(hex.argc(), hex.argv());
+  EXPECT_EQ(n, 16);
+}
+
+using OptionsDeathTest = ::testing::Test;
+
+TEST(OptionsDeathTest, OverflowingIntIsRejectedNotClamped) {
+  long n = 0;
+  OptionParser parser("prog", "");
+  parser.add_int("--n", "N", "", &n);
+  // Plain strtol clamps this to LONG_MAX and reports success unless errno
+  // (ERANGE) is checked — the parser must reject it.
+  Argv args({"prog", "--n", "999999999999999999999999999999"});
+  EXPECT_EXIT(parser.parse(args.argc(), args.argv()),
+              ::testing::ExitedWithCode(2), "expected an integer");
+}
+
+TEST(OptionsDeathTest, TrailingJunkIsRejected) {
+  long n = 0;
+  OptionParser parser("prog", "");
+  parser.add_int("--n", "N", "", &n);
+  Argv args({"prog", "--n", "12abc"});
+  EXPECT_EXIT(parser.parse(args.argc(), args.argv()),
+              ::testing::ExitedWithCode(2), "bad value '12abc'");
+}
+
+TEST(OptionsDeathTest, RangeCheckedIntReportsItsBounds) {
+  long n = 0;
+  OptionParser parser("prog", "");
+  parser.add_int("--n", "N", "", &n, 1, 64);
+  Argv args({"prog", "--n", "65"});
+  EXPECT_EXIT(parser.parse(args.argc(), args.argv()),
+              ::testing::ExitedWithCode(2),
+              "expected an integer in \\[1, 64\\]");
+}
+
+TEST(Options, RangeCheckedIntAcceptsItsBounds) {
+  long n = 0;
+  OptionParser parser("prog", "");
+  parser.add_int("--n", "N", "", &n, 1, 64);
+  Argv lo({"prog", "--n", "1"});
+  parser.parse(lo.argc(), lo.argv());
+  EXPECT_EQ(n, 1);
+  Argv hi({"prog", "--n", "64"});
+  parser.parse(hi.argc(), hi.argv());
+  EXPECT_EQ(n, 64);
+}
+
+TEST(OptionsDeathTest, BenchRejectsNegativeJobs) {
+  Argv args({"bench", "--jobs", "-3"});
+  EXPECT_EXIT(parse_bench_options(args.argc(), args.argv(), "bench", ""),
+              ::testing::ExitedWithCode(2), "--jobs");
+}
+
+TEST(OptionsDeathTest, BenchRejectsAbsurdJobs) {
+  Argv args({"bench", "--jobs", "99999999999"});
+  EXPECT_EXIT(parse_bench_options(args.argc(), args.argv(), "bench", ""),
+              ::testing::ExitedWithCode(2), "--jobs");
+}
+
+TEST(Options, BenchParsesFailureSemanticsFlags) {
+  Argv args({"bench", "--jobs", "2", "--strict", "--keep-going",
+             "--run-budget-ms", "125.5", "--no-cache"});
+  const BenchOptions opts =
+      parse_bench_options(args.argc(), args.argv(), "bench", "");
+  EXPECT_EQ(opts.grid.jobs, 2);
+  EXPECT_TRUE(opts.grid.strict);
+  EXPECT_TRUE(opts.keep_going);
+  EXPECT_DOUBLE_EQ(opts.grid.run_budget_ms, 125.5);
+  EXPECT_TRUE(opts.grid.cache_dir.empty());
+}
+
+}  // namespace
+}  // namespace t1000

@@ -34,8 +34,7 @@ int main(int argc, char** argv) {
     doc["data_bytes"] = Json(obj.program.data.size());
     if (!disasm) doc["output"] = Json(out);
     return common.finish(doc);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  } catch (...) {
+    return tools::finish_current_exception(common, "t1000-as");
   }
 }

@@ -49,8 +49,7 @@ int main(int argc, char** argv) {
     doc["instructions"] = Json(program.size());
     doc["output"] = Json(out);
     return common.finish(doc);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  } catch (...) {
+    return tools::finish_current_exception(common, "t1000-cc");
   }
 }

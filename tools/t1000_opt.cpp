@@ -87,8 +87,7 @@ int main(int argc, char** argv) {
     doc["num_sites"] = Json(sel.apps.size());
     doc["lut_costs"] = Json::array_of(sel.lut_costs);
     return common.finish(doc);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  } catch (...) {
+    return tools::finish_current_exception(common, "t1000-opt");
   }
 }

@@ -62,8 +62,7 @@ int main(int argc, char** argv) {
     doc["v0"] = Json(exec.reg(2));
     doc["v1"] = Json(exec.reg(3));
     return common.finish(doc);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  } catch (...) {
+    return tools::finish_current_exception(common, "t1000-run");
   }
 }

@@ -27,13 +27,15 @@ int main(int argc, char** argv) {
   parser.add_string("--pfus", "N|unlimited", "programmable functional units",
                     &pfus);
   parser.add_int("--reconfig", "N", "PFU reconfiguration latency in cycles",
-                 &reconfig);
+                 &reconfig, 0, 1 << 20);
   parser.add_flag("--bimodal", "bimodal branch predictor (default: perfect)",
                   &bimodal);
   parser.add_flag("--multi-cycle-ext", "EXT ops take their full base latency",
                   &multi_cycle_ext);
-  parser.add_int("--ruu", "N", "register update unit entries", &ruu);
-  parser.add_int("--width", "N", "fetch/decode/issue/commit width", &width);
+  parser.add_int("--ruu", "N", "register update unit entries", &ruu, 1,
+                 1 << 20);
+  parser.add_int("--width", "N", "fetch/decode/issue/commit width", &width, 1,
+                 64);
   bool replay = false;
   parser.add_flag("--replay",
                   "time via committed-trace record + replay instead of "
@@ -109,8 +111,7 @@ int main(int argc, char** argv) {
       doc["trace"] = std::move(tj);
     }
     return common.finish(doc);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  } catch (...) {
+    return tools::finish_current_exception(common, "t1000-sim");
   }
 }

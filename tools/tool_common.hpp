@@ -16,6 +16,7 @@
 #include "asmkit/objfile.hpp"
 #include "harness/json.hpp"
 #include "harness/options.hpp"
+#include "harness/serialize.hpp"
 
 namespace t1000::tools {
 
@@ -62,5 +63,31 @@ struct ToolOptions {
     return 0;
   }
 };
+
+// Uniform structured error exit, callable only from a catch block: prints
+// "name: error[kind]: message" using the harness error taxonomy
+// (harness/grid.hpp) and, when --json was requested, writes
+// {"tool", "status": "error", "error": {"kind", "message"}} so automation
+// driving a failed tool run still gets machine-readable diagnostics.
+// Returns the tool's exit code (1).
+inline int finish_current_exception(const ToolOptions& opts,
+                                    const std::string& name) {
+  std::string message;
+  const RunErrorKind kind = classify_current_exception(&message);
+  std::fprintf(stderr, "%s: error[%.*s]: %s\n", name.c_str(),
+               static_cast<int>(run_error_kind_name(kind).size()),
+               run_error_kind_name(kind).data(), message.c_str());
+  if (!opts.json_path.empty()) {
+    Json doc = Json::object();
+    doc["tool"] = Json(name);
+    doc["status"] = Json("error");
+    Json error = Json::object();
+    error["kind"] = Json(run_error_kind_name(kind));
+    error["message"] = Json(message);
+    doc["error"] = std::move(error);
+    write_json_file(opts.json_path, doc);
+  }
+  return 1;
+}
 
 }  // namespace t1000::tools
