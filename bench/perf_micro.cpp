@@ -6,6 +6,7 @@
 
 #include <filesystem>
 
+#include "analysis/verifier.hpp"
 #include "harness/grid.hpp"
 #include "sim/executor.hpp"
 #include "sim/trace.hpp"
@@ -104,6 +105,20 @@ void BM_RewriteProgram(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RewriteProgram)->Unit(benchmark::kMicrosecond);
+
+// Full static verification of a selected+rewritten workload — the price a
+// grid point pays under --verify before it simulates (wf.* module checks,
+// per-application legality, and the semantic-equivalence proof).
+void BM_VerifyWorkload(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  const AnalyzedProgram ap = analyze_program(p, 1u << 24);
+  const Selection sel = select_greedy(ap);
+  const RewriteResult rr = rewrite_program(p, sel.apps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_selection(ap, sel, rr));
+  }
+}
+BENCHMARK(BM_VerifyWorkload)->Unit(benchmark::kMicrosecond);
 
 ExperimentGrid engine_grid() {
   ExperimentGrid grid;

@@ -1,0 +1,848 @@
+#include "analysis/verifier.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.hpp"
+#include "cfg/liveness.hpp"
+#include "extinst/chain.hpp"
+#include "hwcost/lut_model.hpp"
+#include "isa/alu.hpp"
+
+namespace t1000 {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string pos_loc(std::int32_t pos) { return "pos " + std::to_string(pos); }
+
+std::string app_loc(ConfId conf, std::size_t app) {
+  return "conf " + std::to_string(conf) + " app " + std::to_string(app);
+}
+
+void emit(VerifyReport& report, Severity severity, std::string rule_id,
+          std::string location, std::string message) {
+  report.diagnostics.push_back(Diagnostic{severity, std::move(rule_id),
+                                          std::move(location),
+                                          std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Module / CFG well-formedness (`wf.*`).
+
+bool is_call(Opcode op) { return op == Opcode::kJal || op == Opcode::kJalr; }
+
+void check_instruction_fields(const Program& program,
+                              const ExtInstTable* table,
+                              VerifyReport& report) {
+  const std::int32_t size = program.size();
+  for (std::int32_t p = 0; p < size; ++p) {
+    const Instruction& ins = program.text[static_cast<std::size_t>(p)];
+    for (const Reg r : {ins.rd, ins.rs, ins.rt}) {
+      if (r >= kNumRegs) {
+        emit(report, Severity::kError, "wf.reg-range", pos_loc(p),
+             "register field " + std::to_string(r) + " out of range in '" +
+                 to_string(ins) + "'");
+        break;
+      }
+    }
+    if (is_branch(ins.op) || op_kind(ins.op) == OpKind::kJump) {
+      // Target == size is legal: the executor halts cleanly when pc runs off
+      // the end, and the rewriter's index_map deliberately maps deleted tail
+      // positions there.
+      if (ins.imm < 0 || ins.imm > size) {
+        emit(report, Severity::kError, "wf.branch-target", pos_loc(p),
+             "control target " + std::to_string(ins.imm) +
+                 " outside [0, " + std::to_string(size) + "] in '" +
+                 to_string(ins) + "'");
+      }
+    }
+    if (ins.op == Opcode::kExt) {
+      if (table == nullptr) {
+        emit(report, Severity::kError, "wf.conf-ref", pos_loc(p),
+             "EXT instruction but no configuration table is present");
+      } else if (ins.conf >= static_cast<ConfId>(table->size())) {
+        emit(report, Severity::kError, "wf.conf-ref", pos_loc(p),
+             "Conf " + std::to_string(ins.conf) +
+                 " not in table (size " + std::to_string(table->size()) +
+                 ")");
+      }
+    } else if (ins.conf != kInvalidConf) {
+      emit(report, Severity::kError, "wf.conf-ref", pos_loc(p),
+           "non-EXT instruction carries Conf " + std::to_string(ins.conf));
+    }
+  }
+  for (const auto& [name, index] : program.text_symbols) {
+    if (index < 0 || index > size) {
+      emit(report, Severity::kError, "wf.text-symbol", "symbol '" + name + "'",
+           "text symbol index " + std::to_string(index) + " outside [0, " +
+               std::to_string(size) + "]");
+    }
+  }
+}
+
+// Definite-assignment dataflow: warn when some path from the entry reaches a
+// register use with no prior definition. At entry the executor gives defined
+// values to $zero, $sp (stack top), and $ra (the halt return address); every
+// other register is only incidentally zero-filled, so relying on it is worth
+// flagging. Calls conservatively define everything (the callee's writes are
+// not tracked interprocedurally). Warning severity: the simulator's zero-fill
+// makes the read deterministic, just suspicious.
+void check_defs_before_uses(const Program& program, const Cfg& cfg,
+                            VerifyReport& report) {
+  const int nb = cfg.num_blocks();
+  RegSet entry_defined;
+  entry_defined.set(kRegZero);
+  entry_defined.set(kRegSp);
+  entry_defined.set(kRegRa);
+
+  // Forward must-analysis over blocks reachable from the entry, optimistic
+  // initialization (all defined), meet = intersection over predecessors.
+  std::vector<char> reachable(static_cast<std::size_t>(nb), 0);
+  {
+    std::vector<int> stack{cfg.entry()};
+    reachable[static_cast<std::size_t>(cfg.entry())] = 1;
+    while (!stack.empty()) {
+      const int b = stack.back();
+      stack.pop_back();
+      for (const int s : cfg.block(b).succs) {
+        if (!reachable[static_cast<std::size_t>(s)]) {
+          reachable[static_cast<std::size_t>(s)] = 1;
+          stack.push_back(s);
+        }
+      }
+    }
+  }
+
+  const RegSet all = RegSet().set();
+  std::vector<RegSet> out(static_cast<std::size_t>(nb), all);
+  // Meet = intersection over paths. The program-start path reaches the entry
+  // block carrying only the entry-defined set, so it joins the meet there.
+  auto block_in = [&](int b) {
+    RegSet in = all;
+    for (const int p : cfg.block(b).preds) {
+      if (reachable[static_cast<std::size_t>(p)]) {
+        in &= out[static_cast<std::size_t>(p)];
+      }
+    }
+    if (b == cfg.entry()) in &= entry_defined;
+    return in;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = 0; b < nb; ++b) {
+      if (!reachable[static_cast<std::size_t>(b)]) continue;
+      RegSet defined = block_in(b);
+      const BasicBlock& bb = cfg.block(b);
+      for (std::int32_t p = bb.first; p <= bb.last; ++p) {
+        const Instruction& ins = program.text[static_cast<std::size_t>(p)];
+        if (const auto d = dst_reg(ins)) defined.set(*d);
+        if (is_call(ins.op)) defined = all;
+      }
+      if (defined != out[static_cast<std::size_t>(b)]) {
+        out[static_cast<std::size_t>(b)] = defined;
+        changed = true;
+      }
+    }
+  }
+
+  for (int b = 0; b < nb; ++b) {
+    if (!reachable[static_cast<std::size_t>(b)]) continue;
+    RegSet defined = block_in(b);
+    const BasicBlock& bb = cfg.block(b);
+    for (std::int32_t p = bb.first; p <= bb.last; ++p) {
+      const Instruction& ins = program.text[static_cast<std::size_t>(p)];
+      const SrcRegs srcs = src_regs(ins);
+      for (int s = 0; s < srcs.count; ++s) {
+        const Reg r = srcs.reg[s];
+        if (r == kRegZero || r >= kNumRegs || defined.test(r)) continue;
+        emit(report, Severity::kWarning, "wf.use-before-def", pos_loc(p),
+             std::string(reg_name(r)) + " may be read before any definition" +
+                 " in '" + to_string(ins) + "'");
+        defined.set(r);  // report each register once per block
+      }
+      if (const auto d = dst_reg(ins)) defined.set(*d);
+      if (is_call(ins.op)) defined = all;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-application legality: recompute the micro-program, inputs, and output
+// of an application from the *original* program text, independently of the
+// extractor's SeqSite bookkeeping.
+
+struct ExternalInput {
+  Reg reg = 0;
+  std::int32_t def_pos = -1;  // last in-block writer before first use, or -1
+};
+
+struct Recomputed {
+  bool usable = false;  // micro-program and I/O recomputed without errors
+  ExtInstDef def;
+  std::vector<ExternalInput> externals;  // slot order (<= 2)
+  Reg output = 0;
+  std::array<int, 2> widths{1, 1};  // profiled input widths (both ports)
+  std::int32_t landing = -1;
+  int block = -1;
+};
+
+// Last position in [block_first, before) writing `r`, or -1.
+std::int32_t last_writer_before(const Program& program,
+                                std::int32_t block_first, std::int32_t before,
+                                Reg r) {
+  for (std::int32_t q = before - 1; q >= block_first; --q) {
+    if (writes_reg(program.text[static_cast<std::size_t>(q)], r)) return q;
+  }
+  return -1;
+}
+
+Recomputed recompute_app(const AnalyzedProgram& ap, const Application& app,
+                         std::size_t app_index, const VerifyOptions& options,
+                         VerifyReport& report) {
+  Recomputed rc;
+  const Program& program = *ap.program;
+  const std::string loc = app_loc(app.conf, app_index);
+  const int n_members = static_cast<int>(app.positions.size());
+
+  if (n_members == 0) {
+    emit(report, Severity::kError, "rw.positions", loc,
+         "application covers no positions");
+    return rc;
+  }
+  for (int m = 0; m < n_members; ++m) {
+    const std::int32_t p = app.positions[static_cast<std::size_t>(m)];
+    if (p < 0 || p >= program.size()) {
+      emit(report, Severity::kError, "rw.positions", loc,
+           "position " + std::to_string(p) + " outside the program");
+      return rc;
+    }
+    if (m > 0 && p <= app.positions[static_cast<std::size_t>(m - 1)]) {
+      emit(report, Severity::kError, "rw.positions", loc,
+           "positions not strictly ascending at member " + std::to_string(m));
+      return rc;
+    }
+  }
+  rc.block = ap.cfg.block_of(app.positions[0]);
+  rc.landing = app.positions.back();
+  for (const std::int32_t p : app.positions) {
+    if (ap.cfg.block_of(p) != rc.block) {
+      emit(report, Severity::kError, "rw.positions", loc,
+           "positions span basic blocks (" + std::to_string(rc.block) +
+               " and " + std::to_string(ap.cfg.block_of(p)) + ")");
+      return rc;
+    }
+  }
+  if (n_members < options.min_length || n_members > options.max_length) {
+    emit(report, Severity::kError, "ext.length", loc,
+         "sequence length " + std::to_string(n_members) + " outside [" +
+             std::to_string(options.min_length) + ", " +
+             std::to_string(options.max_length) + "]");
+  }
+
+  const std::int32_t block_first = ap.cfg.block(rc.block).first;
+  std::vector<std::int8_t> slot_of_pos;  // parallel to app.positions
+  auto member_index_of = [&](std::int32_t q) {
+    const auto it = std::lower_bound(app.positions.begin(),
+                                     app.positions.end(), q);
+    if (it != app.positions.end() && *it == q) {
+      return static_cast<int>(it - app.positions.begin());
+    }
+    return -1;
+  };
+
+  bool member_errors = false;
+  int width = 1;
+  std::vector<MicroOp> uops;
+  for (int m = 0; m < n_members; ++m) {
+    const std::int32_t p = app.positions[static_cast<std::size_t>(m)];
+    const Instruction& ins = program.text[static_cast<std::size_t>(p)];
+    if (!is_ext_candidate(ins.op)) {
+      emit(report, Severity::kError, "ext.opcode-class", loc,
+           "member at " + pos_loc(p) + " is '" + to_string(ins) +
+               "': opcode is not PFU-eligible");
+      member_errors = true;
+      slot_of_pos.push_back(-1);
+      continue;
+    }
+    const auto dst = dst_reg(ins);
+    if (!dst) {
+      emit(report, Severity::kError, "ext.output", loc,
+           "member at " + pos_loc(p) + " produces no register result");
+      member_errors = true;
+      slot_of_pos.push_back(-1);
+      continue;
+    }
+    const InstProfile& ip = ap.profile.at(p);
+    if (ip.max_src_width > options.max_width ||
+        ip.max_result_width > options.max_width) {
+      emit(report, Severity::kError, "ext.width", loc,
+           "member at " + pos_loc(p) + " profiled at " +
+               std::to_string(std::max(ip.max_src_width,
+                                       ip.max_result_width)) +
+               " bits, over the " + std::to_string(options.max_width) +
+               "-bit ceiling");
+      member_errors = true;
+    }
+    width = std::max(width, ip.max_src_width);
+
+    MicroOp u;
+    u.op = ins.op;
+    u.imm = ins.imm;
+    u.dst = static_cast<std::int8_t>(2 + m);
+    const SrcRegs srcs = src_regs(ins);
+    std::int8_t slots[2] = {-1, -1};
+    for (int s = 0; s < srcs.count && !member_errors; ++s) {
+      const Reg r = srcs.reg[s];
+      const std::int32_t def = last_writer_before(program, block_first, p, r);
+      const int dm = def >= 0 ? member_index_of(def) : -1;
+      if (dm >= 0) {
+        slots[s] = slot_of_pos[static_cast<std::size_t>(dm)];
+        if (slots[s] < 0) member_errors = true;  // producer already invalid
+        continue;
+      }
+      // External value. Intern by register in first-use order (mirrors
+      // window_view's slot assignment); the same register reached through
+      // two different in-block definitions is not one external value.
+      int slot = -1;
+      for (std::size_t e = 0; e < rc.externals.size(); ++e) {
+        if (rc.externals[e].reg != r) continue;
+        if (rc.externals[e].def_pos != def) {
+          emit(report, Severity::kError, "ext.inputs", loc,
+               std::string(reg_name(r)) +
+                   " reaches members from two different definitions (" +
+                   std::to_string(rc.externals[e].def_pos) + " and " +
+                   std::to_string(def) + ")");
+          member_errors = true;
+        }
+        slot = static_cast<int>(e);
+        break;
+      }
+      if (slot < 0 && !member_errors) {
+        if (rc.externals.size() == 2) {
+          emit(report, Severity::kError, "ext.inputs", loc,
+               "more than two external register inputs (" +
+                   std::string(reg_name(rc.externals[0].reg)) + ", " +
+                   std::string(reg_name(rc.externals[1].reg)) + ", " +
+                   std::string(reg_name(r)) + ")");
+          member_errors = true;
+        } else {
+          slot = static_cast<int>(rc.externals.size());
+          rc.externals.push_back(ExternalInput{r, def});
+        }
+      }
+      slots[s] = static_cast<std::int8_t>(slot);
+    }
+    u.a = slots[0];
+    u.b = slots[1];
+    slot_of_pos.push_back(u.dst);
+    uops.push_back(u);
+  }
+  rc.widths = {width, width};
+  rc.output = app.output;
+  if (member_errors) return rc;
+
+  rc.output = *dst_reg(program.text[static_cast<std::size_t>(rc.landing)]);
+  try {
+    rc.def = ExtInstDef(static_cast<int>(rc.externals.size()),
+                        std::move(uops));
+  } catch (const std::exception& e) {
+    emit(report, Severity::kError, "ext.opcode-class", loc,
+         std::string("recomputed micro-program is not a valid PFU "
+                     "configuration: ") +
+             e.what());
+    return rc;
+  }
+  rc.usable = true;
+
+  // The application's own claim must match what the program text says —
+  // the rewriter encodes app.inputs/app.output into the EXT instruction.
+  if (static_cast<int>(rc.externals.size()) != app.num_inputs) {
+    emit(report, Severity::kError, "ext.inputs", loc,
+         "application claims " + std::to_string(app.num_inputs) +
+             " input(s), recomputation finds " +
+             std::to_string(rc.externals.size()));
+    rc.usable = false;
+  } else {
+    for (std::size_t e = 0; e < rc.externals.size(); ++e) {
+      if (rc.externals[e].reg != app.inputs[e]) {
+        emit(report, Severity::kError, "ext.inputs", loc,
+             "input slot " + std::to_string(e) + " is " +
+                 std::string(reg_name(rc.externals[e].reg)) +
+                 " in the program but " +
+                 std::string(reg_name(app.inputs[e])) +
+                 " in the application");
+        rc.usable = false;
+      }
+    }
+  }
+  if (rc.output != app.output) {
+    emit(report, Severity::kError, "ext.output", loc,
+         "output is " + std::string(reg_name(rc.output)) +
+             " in the program but " + std::string(reg_name(app.output)) +
+             " in the application");
+    rc.usable = false;
+  }
+
+  // Single-output constraint: every intermediate value must die inside the
+  // window. A non-member reading it mid-window, or the value staying live
+  // past the landing point, means collapsing the sequence drops a visible
+  // write.
+  for (int m = 0; m + 1 < n_members; ++m) {
+    const std::int32_t p = app.positions[static_cast<std::size_t>(m)];
+    const Reg d = *dst_reg(program.text[static_cast<std::size_t>(p)]);
+    bool redefined = false;
+    for (std::int32_t q = p + 1; q <= rc.landing && !redefined; ++q) {
+      const Instruction& ins = program.text[static_cast<std::size_t>(q)];
+      const bool member = member_index_of(q) >= 0;
+      if (!member && reads_reg(ins, d)) {
+        emit(report, Severity::kError, "ext.output", loc,
+             "intermediate " + std::string(reg_name(d)) + " (def at " +
+                 pos_loc(p) + ") is read by non-member at " + pos_loc(q));
+      }
+      if (writes_reg(ins, d)) redefined = true;
+    }
+    if (!redefined &&
+        ap.liveness.live_after(program, ap.cfg, rc.landing).test(d)) {
+      emit(report, Severity::kError, "ext.output", loc,
+           "intermediate " + std::string(reg_name(d)) + " (def at " +
+               pos_loc(p) + ") is live after the landing point");
+    }
+  }
+
+  // Rewrite safety: after the rewrite, every input is read at the landing
+  // position. A non-member writing an input register between its definition
+  // and the landing point would feed the EXT a different value than the
+  // original sequence saw.
+  for (const ExternalInput& ext : rc.externals) {
+    const std::int32_t start =
+        ext.def_pos >= 0 ? ext.def_pos + 1 : block_first;
+    for (std::int32_t q = start; q < rc.landing; ++q) {
+      if (member_index_of(q) >= 0) continue;
+      if (writes_reg(program.text[static_cast<std::size_t>(q)], ext.reg)) {
+        emit(report, Severity::kError, "rw.clobber", loc,
+             "input " + std::string(reg_name(ext.reg)) +
+                 " is overwritten by non-member at " + pos_loc(q) +
+                 " before the landing point " + pos_loc(rc.landing));
+      }
+    }
+  }
+  return rc;
+}
+
+// ---------------------------------------------------------------------------
+// Semantic equivalence: the interned configuration the PFU will execute vs.
+// an independent interpretation of the original member instructions,
+// mirroring the executor's operand selection exactly.
+
+std::uint32_t interpret_members(const Program& program,
+                                const Application& app,
+                                const Recomputed& rc, std::uint32_t in0,
+                                std::uint32_t in1) {
+  std::array<std::uint32_t, kNumRegs> regs;
+  for (int r = 0; r < kNumRegs; ++r) {
+    // Poison pattern: a read the recomputation did not account for yields a
+    // value no legitimate narrow operand produces.
+    regs[static_cast<std::size_t>(r)] =
+        0x9E3779B9u * static_cast<std::uint32_t>(r + 1);
+  }
+  regs[kRegZero] = 0;
+  const std::uint32_t in[2] = {in0, in1};
+  for (std::size_t e = 0; e < rc.externals.size(); ++e) {
+    if (rc.externals[e].reg != kRegZero) regs[rc.externals[e].reg] = in[e];
+  }
+  for (const std::int32_t p : app.positions) {
+    const Instruction& ins = program.text[static_cast<std::size_t>(p)];
+    std::uint32_t v = 0;
+    switch (op_kind(ins.op)) {
+      case OpKind::kAlu3:
+        v = eval_alu(ins.op, regs[ins.rs], regs[ins.rt]);
+        break;
+      case OpKind::kShiftImm:
+        v = eval_alu(ins.op, regs[ins.rs],
+                     static_cast<std::uint32_t>(ins.imm));
+        break;
+      case OpKind::kAluImm:
+        v = eval_alu(ins.op, regs[ins.rs], extend_imm(ins.op, ins.imm));
+        break;
+      case OpKind::kLui:
+        v = static_cast<std::uint32_t>(ins.imm & 0xFFFF) << 16;
+        break;
+      default:
+        return 0;  // unreachable: candidacy checked during recomputation
+    }
+    if (ins.rd != kRegZero) regs[ins.rd] = v;
+  }
+  return regs[rc.output];
+}
+
+std::uint32_t sign_extend(std::uint64_t k, int width) {
+  if (width >= 32) return static_cast<std::uint32_t>(k);
+  const std::uint32_t v = static_cast<std::uint32_t>(k);
+  const std::uint32_t sign = 1u << (width - 1);
+  return (v ^ sign) - sign;
+}
+
+// Domain size (distinct values) of input slot `e`: 2^width, except the
+// hardwired-zero register which only ever supplies 0.
+std::uint64_t domain_size(const Recomputed& rc, std::size_t e) {
+  if (rc.externals[e].reg == kRegZero) return 1;
+  const int w = rc.widths[e];
+  return w >= 32 ? (1ull << 32) : (1ull << w);
+}
+
+std::uint32_t domain_value(const Recomputed& rc, std::size_t e,
+                           std::uint64_t k) {
+  if (rc.externals[e].reg == kRegZero) return 0;
+  return sign_extend(k, rc.widths[e]);
+}
+
+struct EquivOutcome {
+  enum class Method { kExhaustive, kSampled } method = Method::kExhaustive;
+  std::uint64_t evals = 0;
+  bool mismatch = false;
+  std::uint32_t in0 = 0, in1 = 0, expected = 0, got = 0;
+};
+
+EquivOutcome check_equivalence(const AnalyzedProgram& ap,
+                               const Application& app, const Recomputed& rc,
+                               const ExtInstDef& interned,
+                               const VerifyOptions& options) {
+  EquivOutcome out;
+  const Program& program = *ap.program;
+  auto probe = [&](std::uint32_t in0, std::uint32_t in1) {
+    const std::uint32_t expected = interpret_members(program, app, rc, in0,
+                                                     in1);
+    const std::uint32_t got = interned.eval(in0, in1);
+    ++out.evals;
+    if (expected != got && !out.mismatch) {
+      out.mismatch = true;
+      out.in0 = in0;
+      out.in1 = in1;
+      out.expected = expected;
+      out.got = got;
+    }
+    return expected == got;
+  };
+
+  const std::size_t n_in = rc.externals.size();
+  const std::uint64_t d0 = n_in > 0 ? domain_size(rc, 0) : 1;
+  const std::uint64_t d1 = n_in > 1 ? domain_size(rc, 1) : 1;
+  const bool huge = d0 > options.exhaustive_budget ||
+                    d1 > options.exhaustive_budget ||
+                    d0 > options.exhaustive_budget / d1;
+  if (!huge) {
+    out.method = EquivOutcome::Method::kExhaustive;
+    for (std::uint64_t k0 = 0; k0 < d0; ++k0) {
+      const std::uint32_t in0 =
+          n_in > 0 ? domain_value(rc, 0, k0) : 0;
+      for (std::uint64_t k1 = 0; k1 < d1; ++k1) {
+        const std::uint32_t in1 =
+            n_in > 1 ? domain_value(rc, 1, k1) : 0;
+        if (!probe(in0, in1)) return out;
+      }
+    }
+    return out;
+  }
+
+  // Deterministic probes: domain corners plus a fixed-seed LCG stream.
+  out.method = EquivOutcome::Method::kSampled;
+  std::uint64_t state = 0x853C49E6748FEA9Bull ^
+                        (static_cast<std::uint64_t>(app.conf) << 32) ^
+                        static_cast<std::uint64_t>(app.positions[0]);
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 31;
+  };
+  const std::uint64_t corners0[] = {0, 1, d0 / 2, d0 - 1};
+  const std::uint64_t corners1[] = {0, 1, d1 / 2, d1 - 1};
+  for (const std::uint64_t k0 : corners0) {
+    for (const std::uint64_t k1 : corners1) {
+      if (!probe(domain_value(rc, 0, k0),
+                 n_in > 1 ? domain_value(rc, 1, k1) : 0)) {
+        return out;
+      }
+    }
+  }
+  for (int s = 0; s < options.samples; ++s) {
+    const std::uint32_t in0 = domain_value(rc, 0, next() % d0);
+    const std::uint32_t in1 =
+        n_in > 1 ? domain_value(rc, 1, next() % d1) : 0;
+    if (!probe(in0, in1)) return out;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Bitwidth soundness: conservative static bound on the signed width of the
+// value an instruction writes (depth-1 value-range argument; 32 = no bound).
+
+int static_result_width(const Instruction& ins) {
+  switch (ins.op) {
+    case Opcode::kAndi:  // result in [0, zext(imm)]
+      return signed_width(static_cast<std::uint32_t>(ins.imm) & 0xFFFF);
+    case Opcode::kSrl:
+      return ins.imm > 0 && ins.imm < 32 ? 33 - ins.imm : 32;
+    case Opcode::kSlt:
+    case Opcode::kSltu:
+    case Opcode::kSlti:
+    case Opcode::kSltiu:
+      return 2;  // {0, 1} as a signed quantity
+    case Opcode::kLb:
+      return 8;
+    case Opcode::kLbu:
+      return 9;
+    case Opcode::kLh:
+      return 16;
+    case Opcode::kLhu:
+      return 17;
+    case Opcode::kLui:
+      return signed_width(static_cast<std::uint32_t>(ins.imm & 0xFFFF) << 16);
+    default:
+      return 32;
+  }
+}
+
+void audit_widths(const AnalyzedProgram& ap, const Application& app,
+                  std::size_t app_index, const Recomputed& rc,
+                  const VerifyOptions& options, VerifyReport& report,
+                  std::set<std::string>& seen_audit) {
+  const Program& program = *ap.program;
+  for (std::size_t e = 0; e < rc.externals.size(); ++e) {
+    const ExternalInput& ext = rc.externals[e];
+    if (ext.reg == kRegZero) {
+      ++report.stats.width_static_proven;  // $zero is statically 1 bit wide
+      continue;
+    }
+    const int bound =
+        ext.def_pos >= 0
+            ? static_result_width(
+                  program.text[static_cast<std::size_t>(ext.def_pos)])
+            : 32;
+    if (bound <= options.max_width) {
+      ++report.stats.width_static_proven;
+      continue;
+    }
+    ++report.stats.width_profile_only;
+    std::string entry =
+        std::string(reg_name(ext.reg)) + " into " +
+        app_loc(app.conf, app_index) + ": profiled " +
+        std::to_string(rc.widths[e]) + "-bit, " +
+        (ext.def_pos >= 0
+             ? "def at " + pos_loc(ext.def_pos) + " ('" +
+                   std::string(mnemonic(program
+                                            .text[static_cast<std::size_t>(
+                                                ext.def_pos)]
+                                            .op)) +
+                   "') has no static bound <= " +
+                   std::to_string(options.max_width)
+             : "defined outside the block, no static bound");
+    if (seen_audit.insert(entry).second) {
+      report.width_audit.push_back(entry);
+    }
+    if (options.pedantic) {
+      emit(report, Severity::kWarning, "width.profile-only",
+           app_loc(app.conf, app_index),
+           "selection relies on profile-only width claim for " +
+               std::string(reg_name(ext.reg)));
+    }
+  }
+}
+
+}  // namespace
+
+VerifyOptions verify_options_for(const SelectPolicy& policy) {
+  VerifyOptions options;
+  options.max_width = policy.extract.max_width;
+  options.min_length = policy.extract.min_length;
+  options.max_length = policy.extract.max_length;
+  options.lut_budget = policy.lut_budget;
+  return options;
+}
+
+VerifyReport verify_module(const Program& program, const ExtInstTable* table,
+                           const VerifyOptions& options) {
+  (void)options;
+  VerifyReport report;
+  const auto start = Clock::now();
+  check_instruction_fields(program, table, report);
+  // Field errors gate the deeper analyses: Cfg::build indexes by branch
+  // target and the dataflow indexes by register number, so neither is safe
+  // on a structurally broken module.
+  if (report.errors() == 0) {
+    const Cfg cfg = Cfg::build(program);
+    check_defs_before_uses(program, cfg, report);
+  }
+  report.timing.wellformed_ms = ms_since(start);
+  report.timing.total_ms = report.timing.wellformed_ms;
+  return report;
+}
+
+VerifyReport verify_selection(const AnalyzedProgram& ap,
+                              const Selection& selection,
+                              const RewriteResult& rewrite,
+                              const VerifyOptions& options) {
+  const auto start_total = Clock::now();
+
+  // Phase 1: the rewritten binary must be a well-formed module.
+  VerifyReport report =
+      verify_module(rewrite.program, &selection.table, options);
+
+  // Config-level bookkeeping sanity.
+  report.stats.configs = selection.table.size();
+  report.stats.apps = static_cast<int>(selection.apps.size());
+  for (int c = 0; c < selection.table.size(); ++c) {
+    const std::size_t cs = static_cast<std::size_t>(c);
+    if (cs < selection.lengths.size() &&
+        selection.lengths[cs] != selection.table.at(
+                                     static_cast<ConfId>(c)).length()) {
+      emit(report, Severity::kError, "ext.length",
+           "conf " + std::to_string(c),
+           "recorded length " + std::to_string(selection.lengths[cs]) +
+               " != configuration length " +
+               std::to_string(selection.table.at(static_cast<ConfId>(c))
+                                  .length()));
+    }
+  }
+
+  // Phase 2: per-application legality against the original program.
+  const auto start_legality = Clock::now();
+  std::vector<Recomputed> recomputed;
+  recomputed.reserve(selection.apps.size());
+  std::set<std::int32_t> covered;
+  std::vector<int> max_luts(static_cast<std::size_t>(selection.table.size()),
+                            0);
+  std::vector<char> conf_has_app(
+      static_cast<std::size_t>(selection.table.size()), 0);
+  for (std::size_t i = 0; i < selection.apps.size(); ++i) {
+    const Application& app = selection.apps[i];
+    for (const std::int32_t p : app.positions) {
+      if (!covered.insert(p).second) {
+        emit(report, Severity::kError, "rw.positions", app_loc(app.conf, i),
+             pos_loc(p) + " is covered by more than one application");
+      }
+    }
+    recomputed.push_back(recompute_app(ap, app, i, options, report));
+    const Recomputed& rc = recomputed.back();
+
+    if (app.conf >= static_cast<ConfId>(selection.table.size())) {
+      emit(report, Severity::kError, "rw.landing", app_loc(app.conf, i),
+           "Conf " + std::to_string(app.conf) + " not in the table");
+      continue;
+    }
+    conf_has_app[app.conf] = 1;
+
+    // The landing instruction in the rewritten binary must be the EXT this
+    // application describes.
+    if (rc.landing >= 0 &&
+        rc.landing < static_cast<std::int32_t>(rewrite.index_map.size())) {
+      const std::int32_t ni =
+          rewrite.index_map[static_cast<std::size_t>(rc.landing)];
+      const Instruction* ext =
+          ni >= 0 && ni < rewrite.program.size()
+              ? &rewrite.program.text[static_cast<std::size_t>(ni)]
+              : nullptr;
+      if (ext == nullptr || ext->op != Opcode::kExt ||
+          ext->conf != app.conf || ext->rd != app.output ||
+          ext->rs != (app.num_inputs > 0 ? app.inputs[0] : kRegZero) ||
+          ext->rt != (app.num_inputs > 1 ? app.inputs[1] : kRegZero)) {
+        emit(report, Severity::kError, "rw.landing", app_loc(app.conf, i),
+             "rewritten instruction at new index " + std::to_string(ni) +
+                 " does not encode this application's EXT");
+      }
+    }
+
+    if (rc.usable) {
+      const LutEstimate est =
+          estimate_luts(selection.table.at(app.conf), rc.widths);
+      if (!est.fits(options.lut_budget)) {
+        emit(report, Severity::kError, "ext.lut-budget", app_loc(app.conf, i),
+             "recomputed estimate " + std::to_string(est.luts) +
+                 " LUTs exceeds the " + std::to_string(options.lut_budget) +
+                 "-LUT budget");
+      }
+      max_luts[app.conf] = std::max(max_luts[app.conf], est.luts);
+    }
+  }
+  for (int c = 0; c < selection.table.size(); ++c) {
+    const std::size_t cs = static_cast<std::size_t>(c);
+    if (!conf_has_app[cs] || cs >= selection.lut_costs.size()) continue;
+    if (selection.lut_costs[cs] > options.lut_budget) {
+      emit(report, Severity::kError, "ext.lut-budget",
+           "conf " + std::to_string(c),
+           "recorded cost " + std::to_string(selection.lut_costs[cs]) +
+               " LUTs exceeds the " + std::to_string(options.lut_budget) +
+               "-LUT budget");
+    }
+    if (selection.lut_costs[cs] != max_luts[cs]) {
+      emit(report, Severity::kError, "ext.lut-cost",
+           "conf " + std::to_string(c),
+           "recorded cost " + std::to_string(selection.lut_costs[cs]) +
+               " LUTs != recomputed maximum " + std::to_string(max_luts[cs]));
+    }
+  }
+  report.timing.legality_ms = ms_since(start_legality);
+
+  // Phase 3: semantic equivalence per application.
+  const auto start_equiv = Clock::now();
+  for (std::size_t i = 0; i < selection.apps.size(); ++i) {
+    const Application& app = selection.apps[i];
+    const Recomputed& rc = recomputed[i];
+    if (!rc.usable ||
+        app.conf >= static_cast<ConfId>(selection.table.size())) {
+      continue;
+    }
+    const ExtInstDef& interned = selection.table.at(app.conf);
+    // Structural proof: the micro-program recomputed from the original text
+    // is identical (same signature) to the configuration the PFU executes,
+    // so both compute the same function over the whole input space.
+    const bool structural = rc.def.signature() == interned.signature();
+    const EquivOutcome eq =
+        check_equivalence(ap, app, rc, interned, options);
+    report.stats.equiv_evals += eq.evals;
+    if (eq.mismatch) {
+      emit(report, Severity::kError, "sem.equiv", app_loc(app.conf, i),
+           "EXT computes a different function: inputs (" +
+               std::to_string(eq.in0) + ", " + std::to_string(eq.in1) +
+               ") give " + std::to_string(eq.got) + ", sequence gives " +
+               std::to_string(eq.expected));
+      continue;
+    }
+    if (structural) {
+      ++report.stats.equiv_structural;
+    } else if (eq.method == EquivOutcome::Method::kExhaustive) {
+      ++report.stats.equiv_exhaustive;
+    } else {
+      ++report.stats.equiv_sampled;
+      emit(report, Severity::kWarning, "sem.unproven", app_loc(app.conf, i),
+           "no structural proof and the operand domain is too large to "
+           "enumerate; only " +
+               std::to_string(eq.evals) + " sampled evaluations agree");
+    }
+  }
+  report.timing.equiv_ms = ms_since(start_equiv);
+
+  // Phase 4: bitwidth-soundness audit.
+  const auto start_width = Clock::now();
+  std::set<std::string> seen_audit;
+  for (std::size_t i = 0; i < selection.apps.size(); ++i) {
+    if (!recomputed[i].usable) continue;
+    audit_widths(ap, selection.apps[i], i, recomputed[i], options, report,
+                 seen_audit);
+  }
+  report.timing.width_ms = ms_since(start_width);
+  report.timing.total_ms = ms_since(start_total);
+  return report;
+}
+
+}  // namespace t1000

@@ -1,0 +1,80 @@
+// Static verifier for the T1000 IR and the extended-instruction pipeline
+// (DESIGN.md §11). The paper's contribution rests on compile-time
+// guarantees — a candidate sequence may be collapsed into an extended
+// instruction only if it is arithmetic/logic, has at most two register
+// inputs and one register output, operates on operands of at most 18
+// significant bits, and fits the ~150-LUT PFU budget (§3–§5) — and this
+// pass re-derives every one of those properties from first principles
+// instead of trusting extract/select/rewrite to have preserved them.
+//
+// Four check families, each with stable rule ids:
+//
+//  * module/CFG well-formedness (`wf.*`): branch/jump targets and text
+//    symbols in range post-rewrite, register fields in range, EXT `conf`
+//    references resolved by the table, defs-before-uses along all paths;
+//  * extended-instruction legality (`ext.*`, `rw.*`): per application the
+//    micro-program, inputs, and output are *recomputed* from the original
+//    program text and checked against the selection — ≤ 2 inputs, 1
+//    output (intermediates dead past the EXT), candidate-class opcodes
+//    only, profiled widths within the ceiling, recomputed LUT cost within
+//    budget, and the rewritten binary's EXT landing/clobber safety;
+//  * semantic equivalence (`sem.*`): each collapsed chain provably
+//    computes the same function as its constituent instruction sequence.
+//    A structural proof (recomputed micro-program identical to the
+//    interned configuration) establishes equality over the entire input
+//    space, subsuming exhaustive enumeration of the ≤ 18-bit operand
+//    domain; structurally different pairs are settled by exhaustive
+//    enumeration of the profiled-width domain when it fits the budget,
+//    and otherwise by deterministic sampling — which is flagged as a
+//    `sem.unproven` *warning*, never silently treated as proof;
+//  * bitwidth soundness (`width.*`): the profiler-observed widths the
+//    extractor trusted are cross-checked against a conservative static
+//    value-range bound; inputs whose narrowness only the profile vouches
+//    for are reported in the width audit.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/diagnostic.hpp"
+#include "extinst/rewrite.hpp"
+#include "extinst/select.hpp"
+
+namespace t1000 {
+
+struct VerifyOptions {
+  int max_width = 18;       // operand/result significant-bit ceiling (§4)
+  int min_length = 2;       // shortest legal fused sequence
+  int max_length = kMaxUops;
+  int lut_budget = 150;     // PFU capacity (§6, Figure 7)
+  // Largest operand-domain size (evaluation pairs) the equivalence check
+  // will enumerate exhaustively; larger domains rely on the structural
+  // proof or degrade to flagged sampling. 1<<22 keeps the worst single
+  // application around 4M paired evaluations.
+  std::uint64_t exhaustive_budget = 1ull << 22;
+  // Deterministic pseudo-random probes used when neither proof applies.
+  int samples = 1024;
+  // Promote width-audit entries (profile-only narrowness claims) to
+  // `width.profile-only` warnings.
+  bool pedantic = false;
+};
+
+// Derives VerifyOptions from the selection policy a run was compiled
+// under, so the verifier holds the pipeline to the thresholds it actually
+// used rather than the paper defaults.
+VerifyOptions verify_options_for(const SelectPolicy& policy);
+
+// Module-level well-formedness only (`wf.*` rules): any program, with or
+// without EXT instructions. `table` may be null for table-free programs.
+VerifyReport verify_module(const Program& program, const ExtInstTable* table,
+                           const VerifyOptions& options = {});
+
+// Full pipeline verification: module checks on the rewritten program plus
+// legality, semantic-equivalence, and width checks for every application
+// in `selection` against the *original* analyzed program. `rewrite` must
+// be the result of applying `selection.apps` to `ap`'s program.
+VerifyReport verify_selection(const AnalyzedProgram& ap,
+                              const Selection& selection,
+                              const RewriteResult& rewrite,
+                              const VerifyOptions& options = {});
+
+}  // namespace t1000

@@ -151,6 +151,17 @@ bool is_directive(const std::string& head) {
   return !head.empty() && head.front() == '.';
 }
 
+// How many instructions `li rd, v` expands to for the 32-bit pattern `v`.
+// Shared by the sizing pass and emit_li: if the two ever disagree, every
+// label downstream of the li shifts and branches silently retarget
+// (t1000-verify's wf.use-before-def rule caught exactly that for
+// `li $s0, 0xFFFFFFFF`, sized as lui+ori but emitted as one addiu).
+int li_length(std::int32_t v) {
+  if (v >= -0x8000 && v <= 0x7FFF) return 1;  // addiu $rd, $zero, v
+  if ((v & 0xFFFF) == 0) return 1;            // lui $rd, hi(v)
+  return 2;                                   // lui + ori
+}
+
 // How many instructions pseudo/real statement `st` expands to.
 int instr_count(const Stmt& st) {
   const std::string& m = st.head;
@@ -162,9 +173,9 @@ int instr_count(const Stmt& st) {
   if (m == "li") {
     if (st.operands.size() == 2) {
       if (const auto v = parse_int(st.operands[1])) {
-        if (*v >= -0x8000 && *v <= 0x7FFF) return 1;
-        if ((*v & 0xFFFF) == 0 && *v >= 0 && *v <= 0xFFFF0000LL) return 1;
-        return 2;
+        // imm_operand truncates immediates to their 32-bit pattern; size
+        // the same value emit_li will see.
+        return li_length(static_cast<std::int32_t>(*v));
       }
     }
     return 2;
@@ -403,14 +414,18 @@ class Assembler {
   void emit_li(const Stmt& st) {
     expect_operands(st, 2);
     const Reg rd = reg_operand(st, 0);
-    const std::int64_t v = imm_operand(st, 1);
-    if (v >= -0x8000 && v <= 0x7FFF) {
-      push(make_imm(Opcode::kAddiu, rd, kRegZero, static_cast<std::int32_t>(v)));
-    } else if ((v & 0xFFFF) == 0) {
-      push(make_lui(rd, static_cast<std::int32_t>((v >> 16) & 0xFFFF)));
+    const std::int32_t v = imm_operand(st, 1);
+    const std::int32_t hi = static_cast<std::int32_t>(
+        (static_cast<std::uint32_t>(v) >> 16) & 0xFFFF);
+    if (li_length(v) == 1) {
+      if (v >= -0x8000 && v <= 0x7FFF) {
+        push(make_imm(Opcode::kAddiu, rd, kRegZero, v));
+      } else {
+        push(make_lui(rd, hi));  // low half is zero
+      }
     } else {
-      push(make_lui(rd, static_cast<std::int32_t>((v >> 16) & 0xFFFF)));
-      push(make_imm(Opcode::kOri, rd, rd, static_cast<std::int32_t>(v & 0xFFFF)));
+      push(make_lui(rd, hi));
+      push(make_imm(Opcode::kOri, rd, rd, v & 0xFFFF));
     }
   }
 

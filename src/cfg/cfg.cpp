@@ -12,10 +12,15 @@ namespace t1000 {
 namespace {
 
 // Successor instruction targets a control op can reach (excluding
-// fall-through, which the caller adds).
-void add_explicit_target(const Instruction& ins, std::set<std::int32_t>* out) {
-  if (is_branch(ins.op) || ins.op == Opcode::kJ) out->insert(ins.imm);
-  if (ins.op == Opcode::kJal) out->insert(ins.imm);  // function entry leader
+// fall-through, which the caller adds). A target of `size` is the clean-halt
+// pc (the rewriter maps deleted tail positions there): it exits the program,
+// so it is neither a leader nor an edge.
+void add_explicit_target(const Instruction& ins, std::int32_t size,
+                         std::set<std::int32_t>* out) {
+  if (!is_branch(ins.op) && ins.op != Opcode::kJ && ins.op != Opcode::kJal) {
+    return;
+  }
+  if (ins.imm >= 0 && ins.imm < size) out->insert(ins.imm);
 }
 
 }  // namespace
@@ -32,7 +37,7 @@ Cfg Cfg::build(const Program& program) {
     const Instruction& ins = program.text[static_cast<std::size_t>(i)];
     if (is_control(ins.op)) {
       if (i + 1 < n) leaders.insert(i + 1);
-      add_explicit_target(ins, &leaders);
+      add_explicit_target(ins, n, &leaders);
     }
   }
   for (const auto& [name, index] : program.text_symbols) {
@@ -63,7 +68,8 @@ Cfg Cfg::build(const Program& program) {
         (!is_control(tail.op) || is_branch(tail.op) ||
          tail.op == Opcode::kJal || tail.op == Opcode::kJalr);
     if (has_fallthrough) succs.insert(cfg.block_of_[static_cast<std::size_t>(block.last + 1)]);
-    if (is_branch(tail.op) || tail.op == Opcode::kJ) {
+    if ((is_branch(tail.op) || tail.op == Opcode::kJ) && tail.imm >= 0 &&
+        tail.imm < n) {
       succs.insert(cfg.block_of_[static_cast<std::size_t>(tail.imm)]);
     }
     // jal: the call-return edge is the fall-through; the callee body is a
@@ -95,7 +101,8 @@ void Cfg::compute_dominators(const Program& program) {
   std::set<int> roots;
   roots.insert(entry_);
   for (const Instruction& ins : program.text) {
-    if (ins.op == Opcode::kJal) {
+    if (ins.op == Opcode::kJal && ins.imm >= 0 &&
+        ins.imm < static_cast<std::int32_t>(block_of_.size())) {
       roots.insert(block_of_[static_cast<std::size_t>(ins.imm)]);
     }
   }

@@ -1,6 +1,7 @@
 #include "extinst/rewrite.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace t1000 {
@@ -15,6 +16,11 @@ RewriteResult rewrite_program(const Program& program,
     if (app.positions.empty()) {
       throw std::invalid_argument("rewrite: empty application");
     }
+    // Debug-build contract with the verifier (analysis/verifier.cpp rules
+    // rw.positions / ext.inputs): applications arrive sorted and sane.
+    assert(std::is_sorted(app.positions.begin(), app.positions.end()));
+    assert(app.conf != kInvalidConf);
+    assert(app.num_inputs >= 0 && app.num_inputs <= 2);
     for (const std::int32_t p : app.positions) {
       if (p < 0 || p >= n || action[static_cast<std::size_t>(p)] != 0) {
         throw std::invalid_argument("rewrite: overlapping or bad position");
@@ -60,11 +66,16 @@ RewriteResult rewrite_program(const Program& program,
   for (Instruction& ins : q.text) {
     if (is_branch(ins.op) || op_kind(ins.op) == OpKind::kJump) {
       ins.imm = out.index_map[static_cast<std::size_t>(ins.imm)];
+      // Remapped targets stay inside [0, size]; size is the clean-halt pc
+      // (verifier rule wf.branch-target).
+      assert(ins.imm >= 0 &&
+             ins.imm <= static_cast<std::int32_t>(q.text.size()));
     }
   }
   for (const auto& [name, index] : program.text_symbols) {
     q.text_symbols[name] = out.index_map[static_cast<std::size_t>(index)];
   }
+  assert(std::is_sorted(out.index_map.begin(), out.index_map.end()));
   return out;
 }
 

@@ -18,7 +18,9 @@ namespace {
 
 // v2: replay-backed runs — keys grew the trace identity (max_steps +
 // trace format version), outcomes grew trace_steps/trace_hash.
-constexpr int kEntryVersion = 2;
+// v3: keys grew the verify flag — a verified run is a distinct entry from
+// an unverified one of the same configuration.
+constexpr int kEntryVersion = 3;
 
 enum class ReadStatus {
   kOk,       // file read; *out holds its bytes (possibly empty)
@@ -76,6 +78,7 @@ CacheKey make_cache_key(const RunSpec& spec, std::uint64_t program_hash,
   identity["machine"] = to_json(spec.machine);
   identity["policy"] = to_json(spec.policy);
   identity["max_cycles"] = Json(spec.max_cycles);
+  identity["verify"] = Json(spec.verify);
   // Trace identity: what the replayed committed trace depends on beyond
   // the fields above (see sim/trace.hpp).
   Json trace = Json::object();

@@ -67,10 +67,9 @@ WorkloadExperiment::build_prepared(const RunSpec& spec) const {
   run->selection = spec.selector == Selector::kGreedy
                        ? select_greedy(analysis_, spec.policy.lut_budget)
                        : select_selective(analysis_, spec.policy);
-  RewriteResult rr = rewrite_program(program_, run->selection.apps);
+  run->rewrite = rewrite_program(program_, run->selection.apps);
   run->rewritten = true;
-  run->rewritten_program = std::move(rr.program);
-  run->trace = record_trace(run->rewritten_program, &run->selection.table,
+  run->trace = record_trace(run->rewrite.program, &run->selection.table,
                             workload_.max_steps);
   if (run->trace.checksum() != base_checksum_) {
     throw SimError("rewrite changed " + workload_.name + " checksum");
@@ -113,15 +112,48 @@ WorkloadExperiment::PreparedView WorkloadExperiment::prepared(
     const RunSpec& spec) const {
   const PreparedRun& prep = prepared_run(spec);
   PreparedView view;
-  view.program = prep.rewritten ? &prep.rewritten_program : &program_;
+  view.program = prep.rewritten ? &prep.rewrite.program : &program_;
   view.table = prep.rewritten ? &prep.selection.table : nullptr;
   view.trace = &prep.trace;
   return view;
 }
 
+const VerifyReport& WorkloadExperiment::verify(const RunSpec& spec) const {
+  const PreparedRun& prep = prepared_run(spec);
+  std::shared_ptr<VerifySlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(prep_mu_);
+    std::shared_ptr<VerifySlot>& entry = verified_[prep_key(spec)];
+    if (!entry) entry = std::make_shared<VerifySlot>();
+    slot = entry;
+  }
+  std::call_once(slot->once, [&] {
+    try {
+      const VerifyOptions options = verify_options_for(spec.policy);
+      slot->report = std::make_shared<VerifyReport>(
+          prep.rewritten
+              ? verify_selection(analysis_, prep.selection, prep.rewrite,
+                                 options)
+              : verify_module(program_, nullptr, options));
+    } catch (...) {
+      slot->error = std::current_exception();
+    }
+  });
+  if (slot->error) std::rethrow_exception(slot->error);
+  return *slot->report;
+}
+
 RunOutcome WorkloadExperiment::run(const RunSpec& spec) const {
   const PreparedRun& prep = prepared_run(spec);
-  const Program& program = prep.rewritten ? prep.rewritten_program : program_;
+  if (spec.verify) {
+    const VerifyReport& report = verify(spec);
+    if (!report.ok()) {
+      throw VerifyError(workload_.name + " (" +
+                        std::string(selector_name(spec.selector)) +
+                        ") failed verification: " + report.summary());
+    }
+  }
+  const Program& program = prep.rewritten ? prep.rewrite.program : program_;
   const ExtInstTable* table = prep.rewritten ? &prep.selection.table : nullptr;
   RunOutcome out = prep.partial;
   out.stats = simulate_replay(program, table, prep.trace, spec.machine,

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verifier.hpp"
 #include "extinst/rewrite.hpp"
 #include "extinst/select.hpp"
 #include "sim/trace.hpp"
@@ -49,6 +50,14 @@ struct RunSpec {
   MachineConfig machine;
   SelectPolicy policy;
   std::uint64_t max_cycles = 1ull << 32;  // timing-simulation bound
+  // Opt-in pre-flight static verification (analysis/verifier.hpp): the
+  // selection and rewrite are verified before any timing simulation, and a
+  // failed verification aborts the run with VerifyError (surfaced by the
+  // grid as RunErrorKind::kVerify). Part of the run's identity: verified
+  // and unverified runs occupy distinct result-cache entries, so a cache
+  // hit under verify=true is an identical, previously-verified
+  // configuration.
+  bool verify = false;
 };
 
 struct RunOutcome {
@@ -104,6 +113,15 @@ class WorkloadExperiment {
   };
   PreparedView prepared(const RunSpec& spec) const;
 
+  // Static verification of `spec`'s prepared run (analysis/verifier.hpp):
+  // module checks for the baseline, the full selection/rewrite legality and
+  // equivalence battery for rewritten programs. Memoized per (selector,
+  // policy) alongside the prepared run itself — the report's deterministic
+  // part is identical for every spec sharing a preparation. Does not throw
+  // on diagnostics; callers decide (run() throws VerifyError on a failed
+  // report when spec.verify is set).
+  const VerifyReport& verify(const RunSpec& spec) const;
+
   // Trace-sharing observability: how many distinct (selector, policy)
   // traces were recorded, and how many run()/prepared() calls were served
   // from an already-recorded trace.
@@ -119,15 +137,20 @@ class WorkloadExperiment {
   // Everything derived from one (selector, policy): built once, immutable
   // afterwards, shared by every machine configuration swept over it.
   struct PreparedRun {
-    Selection selection;        // empty table for the baseline
-    bool rewritten = false;     // false = time the pristine program
-    Program rewritten_program;  // owned; meaningful when rewritten
+    Selection selection;     // empty table for the baseline
+    bool rewritten = false;  // false = time the pristine program
+    RewriteResult rewrite;   // owned; meaningful when rewritten
     CommittedTrace trace;
     RunOutcome partial;  // all fields except stats (filled per machine)
   };
   struct PreparedSlot {
     std::once_flag once;
     std::shared_ptr<const PreparedRun> run;
+    std::exception_ptr error;
+  };
+  struct VerifySlot {
+    std::once_flag once;
+    std::shared_ptr<const VerifyReport> report;
     std::exception_ptr error;
   };
 
@@ -139,8 +162,9 @@ class WorkloadExperiment {
   AnalyzedProgram analysis_;
   std::uint32_t base_checksum_ = 0;
 
-  mutable std::mutex prep_mu_;  // guards the prepared_ map shape
+  mutable std::mutex prep_mu_;  // guards the prepared_/verified_ map shapes
   mutable std::map<std::string, std::shared_ptr<PreparedSlot>> prepared_;
+  mutable std::map<std::string, std::shared_ptr<VerifySlot>> verified_;
   mutable std::atomic<std::uint64_t> traces_recorded_{0};
   mutable std::atomic<std::uint64_t> trace_reuses_{0};
 };

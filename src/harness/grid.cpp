@@ -13,6 +13,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/diagnostic.hpp"
 #include "harness/report.hpp"
 #include "harness/serialize.hpp"
 #include "sim/executor.hpp"
@@ -71,6 +72,9 @@ struct WorkloadSlot {
 RunErrorKind classify_current_exception(std::string* message) {
   try {
     throw;
+  } catch (const VerifyError& e) {
+    *message = e.what();
+    return RunErrorKind::kVerify;
   } catch (const SimError& e) {
     *message = e.what();
     return RunErrorKind::kSim;
@@ -286,6 +290,9 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
       if (i >= specs_.size()) return;
       RunResult& out = results[i];
       out.spec = specs_[i];
+      // Stamp before the cache key is built: verified runs must not share
+      // entries with unverified ones.
+      if (options.verify) out.spec.verify = true;
       if (abort.load(std::memory_order_relaxed)) {
         out.status = RunStatus::kSkipped;
         out.error = options.strict
@@ -386,6 +393,10 @@ BenchOptions parse_bench_options(int argc, char** argv,
                     ".t1000-cache)",
                     &out.grid.cache_dir);
   parser.add_flag("--no-cache", "disable the on-disk result cache", &no_cache);
+  parser.add_flag("--verify",
+                  "statically verify every selection/rewrite before "
+                  "simulating it (failures are recorded as verify errors)",
+                  &out.grid.verify);
   parser.add_flag("--strict",
                   "abort the grid on the first failing run (default: record "
                   "the failure and keep going)",

@@ -56,6 +56,7 @@ enum class RunStatus {
 enum class RunErrorKind {
   kNone,          // status is kOk, kTimeout (budget), or kSkipped
   kSim,           // SimError: simulation/validation failure
+  kVerify,        // VerifyError: static verification failed (RunSpec::verify)
   kJson,          // JsonError: serialization or cache-entry decode failure
   kCacheIo,       // CacheIoError: result-cache I/O failure
   kStdException,  // any other std::exception
@@ -90,6 +91,13 @@ struct GridOptions {
   // timed out, remaining unstarted specs are marked kSkipped instead of
   // executed; 0 = no limit.
   std::uint64_t fail_limit = 0;
+  // Pre-flight static verification (--verify): forces RunSpec::verify on
+  // every queued spec before scheduling, so each distinct (workload,
+  // selector, policy) preparation is verified once and a violation surfaces
+  // as RunStatus::kError with RunErrorKind::kVerify. Because the flag is
+  // part of the cache identity, a cache hit under --verify is a previously
+  // verified configuration, not a skipped check.
+  bool verify = false;
   // Test-only fault injection: invoked on the worker thread before each
   // run executes (cache lookup included); may throw or delay to simulate
   // failures. Exceptions it raises are classified like any other.

@@ -96,6 +96,7 @@ std::string_view run_error_kind_name(RunErrorKind kind) {
   switch (kind) {
     case RunErrorKind::kNone: return "none";
     case RunErrorKind::kSim: return "sim";
+    case RunErrorKind::kVerify: return "verify";
     case RunErrorKind::kJson: return "json";
     case RunErrorKind::kCacheIo: return "cache_io";
     case RunErrorKind::kStdException: return "std_exception";
@@ -199,6 +200,7 @@ Json to_json(const RunSpec& spec) {
   j["machine"] = to_json(spec.machine);
   j["policy"] = to_json(spec.policy);
   j["max_cycles"] = Json(spec.max_cycles);
+  j["verify"] = Json(spec.verify);
   return j;
 }
 

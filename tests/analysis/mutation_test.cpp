@@ -1,0 +1,245 @@
+// Mutation tests for the selection-level verifier rules: start from a clean
+// program whose greedy selection verifies with zero diagnostics, apply one
+// targeted corruption, and prove the matching rule fires. Each rule class
+// carries a distinct rule_id so a regression in one check cannot hide behind
+// another.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/verifier.hpp"
+#include "asmkit/assembler.hpp"
+#include "extinst/rewrite.hpp"
+#include "extinst/select.hpp"
+#include "hwcost/lut_model.hpp"
+#include "sim/profiler.hpp"
+
+namespace t1000 {
+namespace {
+
+bool has_rule(const VerifyReport& report, std::string_view rule) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule_id == rule; });
+}
+
+// $t1 = 9, $t3 = 11, $t4 = 12, $t5 = 13, $t6 = 14, $t7 = 15.
+constexpr Reg kT1 = 9, kT3 = 11, kT4 = 12, kT6 = 14;
+
+class MutationTest : public ::testing::Test {
+ protected:
+  // One hot three-op chain (sll -> addu -> xor) with two external inputs
+  // ($t3, $t1), one output ($t7), and dead intermediates ($t5, $t6).
+  void SetUp() override {
+    program_ = assemble(R"(
+        li $t1, 100
+        li $t3, 3
+        li $t0, 0
+  loop: sll $t5, $t3, 4
+        addu $t6, $t5, $t1
+        xor $t7, $t6, $t1
+        sw  $t7, 0($sp)
+        addiu $t0, $t0, 1
+        slti $at, $t0, 8
+        bne $at, $zero, loop
+        halt
+    )");
+    analyze();
+    sel_ = select_greedy(ap_);
+    rr_ = rewrite_program(program_, sel_.apps);
+    ASSERT_GE(sel_.apps.size(), 1u);
+  }
+
+  void analyze() {
+    ap_.program = &program_;
+    ap_.cfg = Cfg::build(program_);
+    ap_.liveness = compute_liveness(program_, ap_.cfg);
+    ap_.profile = profile_program(program_, 1u << 22);
+    ap_.sites =
+        extract_sites(program_, ap_.cfg, ap_.liveness, ap_.profile, {});
+  }
+
+  VerifyReport verify(const VerifyOptions& options = {}) {
+    return verify_selection(ap_, sel_, rr_, options);
+  }
+
+  // First selected member position whose original instruction matches `op`.
+  std::int32_t member_with_op(Opcode op) {
+    for (const Application& app : sel_.apps) {
+      for (const std::int32_t p : app.positions) {
+        if (program_.text[static_cast<std::size_t>(p)].op == op) return p;
+      }
+    }
+    return -1;
+  }
+
+  Program program_;
+  AnalyzedProgram ap_;
+  Selection sel_;
+  RewriteResult rr_;
+};
+
+TEST_F(MutationTest, CleanSelectionVerifiesWithZeroDiagnostics) {
+  const VerifyReport report = verify();
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.diagnostics.empty()) << report.summary();
+  EXPECT_GE(report.stats.apps, 1);
+  // Every application recomputes to the interned configuration bit-for-bit:
+  // a proof over the whole input space, no sampling.
+  EXPECT_EQ(report.stats.equiv_structural, report.stats.apps);
+  EXPECT_EQ(report.stats.equiv_sampled, 0);
+}
+
+TEST_F(MutationTest, FlippedOpcodeBreaksEquivalence) {
+  const std::int32_t p = member_with_op(Opcode::kAddu);
+  ASSERT_GE(p, 0);
+  program_.text[static_cast<std::size_t>(p)].op = Opcode::kSubu;
+  const VerifyReport report = verify();
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "sem.equiv")) << report.summary();
+}
+
+TEST_F(MutationTest, NonEligibleOpcodeIsFlagged) {
+  // mul shares the Alu3 shape but is not PFU-eligible (multi-cycle IntMul).
+  const std::int32_t p = member_with_op(Opcode::kAddu);
+  ASSERT_GE(p, 0);
+  program_.text[static_cast<std::size_t>(p)].op = Opcode::kMul;
+  EXPECT_TRUE(has_rule(verify(), "ext.opcode-class"));
+}
+
+TEST_F(MutationTest, OperandWidenedPastCeilingIsFlagged) {
+  const std::int32_t p = sel_.apps[0].positions[0];
+  ap_.profile.insts[static_cast<std::size_t>(p)].max_src_width = 25;
+  EXPECT_TRUE(has_rule(verify(), "ext.width"));
+}
+
+TEST_F(MutationTest, ThirdInputClaimIsFlagged) {
+  sel_.apps[0].num_inputs = 3;
+  EXPECT_TRUE(has_rule(verify(), "ext.inputs"));
+}
+
+TEST_F(MutationTest, GenuineThirdLiveInIsFlagged) {
+  // Redirect the xor member's second read from $t1 (already an input) to
+  // $t4: the window now needs three external registers.
+  const std::int32_t p = member_with_op(Opcode::kXor);
+  ASSERT_GE(p, 0);
+  ASSERT_EQ(program_.text[static_cast<std::size_t>(p)].rt, kT1);
+  program_.text[static_cast<std::size_t>(p)].rt = kT4;
+  EXPECT_TRUE(has_rule(verify(), "ext.inputs"));
+}
+
+TEST_F(MutationTest, CorruptBranchTargetInRewrittenIsFlagged) {
+  Program& q = rr_.program;
+  bool corrupted = false;
+  for (Instruction& ins : q.text) {
+    if (is_branch(ins.op)) {
+      ins.imm = q.size() + 3;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_TRUE(has_rule(verify(), "wf.branch-target"));
+}
+
+TEST_F(MutationTest, InflatedRecordedLutCostIsFlagged) {
+  sel_.lut_costs[static_cast<std::size_t>(sel_.apps[0].conf)] += 40;
+  EXPECT_TRUE(has_rule(verify(), "ext.lut-cost"));
+}
+
+TEST_F(MutationTest, ShrunkenBudgetIsFlagged) {
+  VerifyOptions options;
+  options.lut_budget = 1;
+  EXPECT_TRUE(has_rule(verify(options), "ext.lut-budget"));
+}
+
+TEST_F(MutationTest, NonAscendingPositionsAreFlagged) {
+  std::vector<std::int32_t>& pos = sel_.apps[0].positions;
+  ASSERT_GE(pos.size(), 2u);
+  std::swap(pos[0], pos[1]);
+  EXPECT_TRUE(has_rule(verify(), "rw.positions"));
+}
+
+TEST_F(MutationTest, OverlappingApplicationsAreFlagged) {
+  sel_.apps.push_back(sel_.apps[0]);
+  EXPECT_TRUE(has_rule(verify(), "rw.positions"));
+}
+
+TEST_F(MutationTest, WrongOutputClaimIsFlagged) {
+  sel_.apps[0].output = kT3;
+  EXPECT_TRUE(has_rule(verify(), "ext.output"));
+}
+
+TEST_F(MutationTest, TamperedExtEncodingIsFlagged) {
+  const Application& app = sel_.apps[0];
+  const std::int32_t ni =
+      rr_.index_map[static_cast<std::size_t>(app.positions.back())];
+  ASSERT_EQ(rr_.program.text[static_cast<std::size_t>(ni)].op, Opcode::kExt);
+  rr_.program.text[static_cast<std::size_t>(ni)].rd =
+      static_cast<Reg>(app.output ^ 1);
+  EXPECT_TRUE(has_rule(verify(), "rw.landing"));
+}
+
+TEST_F(MutationTest, EscapedIntermediateIsFlagged) {
+  // Make the store read the intermediate $t6 instead of the output $t7:
+  // collapsing the chain would then drop a visible write.
+  bool rewired = false;
+  for (Instruction& ins : program_.text) {
+    if (ins.op == Opcode::kSw && ins.rt == 15) {
+      ins.rt = kT6;
+      rewired = true;
+    }
+  }
+  ASSERT_TRUE(rewired);
+  ap_.liveness = compute_liveness(program_, ap_.cfg);
+  EXPECT_TRUE(has_rule(verify(), "ext.output"));
+}
+
+// rw.clobber needs a non-member between chain members, which the extractor
+// never selects — handcraft the application.
+TEST(VerifyClobber, NonMemberWritingInputIsFlagged) {
+  Program p = assemble(R"(
+        li $t1, 5
+        li $t3, 3
+  loop: sll $t5, $t3, 4
+        addiu $t3, $t3, 1
+        addu $t6, $t5, $t1
+        sw  $t6, 0($sp)
+        addiu $t1, $t1, 1
+        slti $at, $t1, 30
+        bne $at, $zero, loop
+        halt
+  )");
+  AnalyzedProgram ap;
+  ap.program = &p;
+  ap.cfg = Cfg::build(p);
+  ap.liveness = compute_liveness(p, ap.cfg);
+  ap.profile = profile_program(p, 1u << 22);
+
+  // The window {sll@2, addu@4} skips the addiu@3 that bumps input $t3.
+  Application app;
+  app.positions = {2, 4};
+  app.conf = 0;
+  app.output = kT6;
+  app.inputs = {kT3, kT1};
+  app.num_inputs = 2;
+
+  Selection sel;
+  sel.table.intern(ExtInstDef(
+      2, {MicroOp{Opcode::kSll, /*dst=*/2, /*a=*/0, /*b=*/-1, /*imm=*/4},
+          MicroOp{Opcode::kAddu, /*dst=*/3, /*a=*/2, /*b=*/1, /*imm=*/0}}));
+  sel.apps = {app};
+  sel.lengths = {2};
+  // Mirror the selector's bookkeeping so only the clobber rule can fire.
+  const int width = std::max(ap.profile.at(2).max_src_width,
+                             ap.profile.at(4).max_src_width);
+  sel.lut_costs = {
+      estimate_luts(sel.table.at(0), {width, width}).luts};
+
+  const RewriteResult rr = rewrite_program(p, sel.apps);
+  const VerifyReport report = verify_selection(ap, sel, rr, {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "rw.clobber")) << report.summary();
+}
+
+}  // namespace
+}  // namespace t1000

@@ -1,0 +1,178 @@
+// Module-level (`wf.*`) verifier rules: each check fires on a targeted
+// corruption and stays silent on well-formed input.
+#include "analysis/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "asmkit/assembler.hpp"
+#include "isa/extdef.hpp"
+
+namespace t1000 {
+namespace {
+
+bool has_rule(const VerifyReport& report, std::string_view rule) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule_id == rule; });
+}
+
+Program clean_program() {
+  return assemble(R"(
+        li $t1, 100
+        li $t0, 0
+  loop: addiu $t0, $t0, 1
+        slti $at, $t0, 8
+        bne $at, $zero, loop
+        halt
+  )");
+}
+
+TEST(VerifyModule, CleanProgramHasNoDiagnostics) {
+  const VerifyReport report = verify_module(clean_program(), nullptr);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.diagnostics.empty()) << report.summary();
+  EXPECT_EQ(report.summary(), "ok");
+}
+
+TEST(VerifyModule, BranchTargetPastEndIsError) {
+  Program p = clean_program();
+  p.text[4].imm = p.size() + 1;
+  const VerifyReport report = verify_module(p, nullptr);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "wf.branch-target")) << report.summary();
+}
+
+TEST(VerifyModule, BranchTargetAtSizeIsCleanHalt) {
+  // index_map maps deleted tail positions to size; the executor halts there.
+  Program p = clean_program();
+  p.text[4].imm = p.size();
+  EXPECT_TRUE(verify_module(p, nullptr).ok());
+}
+
+TEST(VerifyModule, NegativeBranchTargetIsError) {
+  Program p = clean_program();
+  p.text[4].imm = -1;
+  EXPECT_TRUE(has_rule(verify_module(p, nullptr), "wf.branch-target"));
+}
+
+TEST(VerifyModule, RegisterFieldOutOfRangeIsError) {
+  Program p = clean_program();
+  p.text[2].rs = kNumRegs;
+  EXPECT_TRUE(has_rule(verify_module(p, nullptr), "wf.reg-range"));
+}
+
+TEST(VerifyModule, NonExtCarryingConfIsError) {
+  Program p = clean_program();
+  p.text[2].conf = 3;
+  EXPECT_TRUE(has_rule(verify_module(p, nullptr), "wf.conf-ref"));
+}
+
+TEST(VerifyModule, ExtWithoutTableIsError) {
+  Program p = clean_program();
+  p.text[2] = make_ext(8, 9, 10, 0);
+  EXPECT_TRUE(has_rule(verify_module(p, nullptr), "wf.conf-ref"));
+}
+
+TEST(VerifyModule, ExtConfOutsideTableIsError) {
+  Program p = clean_program();
+  p.text[2] = make_ext(8, 9, 10, 5);
+  ExtInstTable table;
+  table.intern(ExtInstDef(
+      1, {MicroOp{Opcode::kSll, /*dst=*/2, /*a=*/0, /*b=*/-1, /*imm=*/1}}));
+  EXPECT_TRUE(has_rule(verify_module(p, &table), "wf.conf-ref"));
+  p.text[2].conf = 0;
+  EXPECT_TRUE(verify_module(p, &table).ok());
+}
+
+TEST(VerifyModule, TextSymbolOutOfRangeIsError) {
+  Program p = clean_program();
+  p.text_symbols["ghost"] = p.size() + 2;
+  EXPECT_TRUE(has_rule(verify_module(p, nullptr), "wf.text-symbol"));
+}
+
+TEST(VerifyModule, ReadOfNeverDefinedRegisterWarns) {
+  const Program p = assemble(R"(
+        xor $t1, $t2, $t2
+        halt
+  )");
+  const VerifyReport report = verify_module(p, nullptr);
+  EXPECT_TRUE(report.ok());  // warning severity, not an error
+  EXPECT_EQ(report.warnings(), 1);
+  EXPECT_TRUE(has_rule(report, "wf.use-before-def"));
+}
+
+TEST(VerifyModule, EntryDefinedRegistersDoNotWarn) {
+  // $zero, $sp and $ra carry defined values at entry.
+  const Program p = assemble(R"(
+        addiu $t0, $sp, -8
+        addu $t1, $ra, $zero
+        halt
+  )");
+  EXPECT_TRUE(verify_module(p, nullptr).diagnostics.empty());
+}
+
+TEST(VerifyModule, DefinedOnOnlyOnePathWarns) {
+  // $t1 is defined on the fall-through path but not on the taken path.
+  const Program p = assemble(R"(
+        li $t0, 1
+        beq $t0, $zero, join
+        li $t1, 7
+  join: addu $v0, $t1, $t0
+        halt
+  )");
+  const VerifyReport report = verify_module(p, nullptr);
+  EXPECT_EQ(report.warnings(), 1);
+  EXPECT_TRUE(has_rule(report, "wf.use-before-def"));
+}
+
+TEST(VerifyModule, DefinedOnAllPathsDoesNotWarn) {
+  const Program p = assemble(R"(
+        li $t0, 1
+        beq $t0, $zero, other
+        li $t1, 7
+        j join
+  other: li $t1, 9
+  join: addu $v0, $t1, $t0
+        halt
+  )");
+  EXPECT_TRUE(verify_module(p, nullptr).diagnostics.empty());
+}
+
+TEST(VerifyModule, UnreachableCodeIsNotAnalyzedForDefs) {
+  // The read at `dead` is never executed; no warning.
+  const Program p = assemble(R"(
+        halt
+  dead: addu $v0, $t1, $t2
+        halt
+  )");
+  EXPECT_TRUE(verify_module(p, nullptr).diagnostics.empty());
+}
+
+TEST(VerifyModule, CallDefinesEverything) {
+  // Interprocedural writes are not tracked: jal conservatively defines all.
+  const Program p = assemble(R"(
+        jal sub
+        addu $v0, $t5, $t6
+        halt
+  sub:  jr $ra
+  )");
+  EXPECT_TRUE(verify_module(p, nullptr).diagnostics.empty());
+}
+
+TEST(VerifyReportJson, SerializesDeterministicFieldsOnly) {
+  Program p = clean_program();
+  p.text[4].imm = -1;
+  const VerifyReport report = verify_module(p, nullptr);
+  const Json j = to_json(report);
+  EXPECT_FALSE(j.at("ok").as_bool());
+  EXPECT_EQ(j.at("errors").as_int(), 1);
+  EXPECT_EQ(j.at("diagnostics").size(), 1u);
+  EXPECT_EQ(j.at("diagnostics").items()[0].at("rule_id").as_string(),
+            "wf.branch-target");
+  // Timing is serialized separately so reports diff byte-identically.
+  EXPECT_EQ(j.find("timing"), nullptr);
+}
+
+}  // namespace
+}  // namespace t1000

@@ -1,0 +1,79 @@
+// Zero-diagnostic sweep: every bundled workload, under no selection and
+// under both selection algorithms, verifies clean. This is the repo-level
+// guarantee behind the CI t1000-verify gate.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "analysis/verifier.hpp"
+#include "extinst/rewrite.hpp"
+#include "extinst/select.hpp"
+#include "sim/profiler.hpp"
+#include "workloads/workload.hpp"
+
+namespace t1000 {
+namespace {
+
+std::vector<Workload> every_workload() {
+  std::vector<Workload> all = all_workloads();
+  for (const Workload& w : extended_workloads()) all.push_back(w);
+  return all;
+}
+
+enum class Mode { kNone, kGreedy, kSelective };
+
+class VerifyWorkloads
+    : public ::testing::TestWithParam<std::tuple<int, Mode>> {};
+
+TEST_P(VerifyWorkloads, ZeroDiagnostics) {
+  const Workload w =
+      every_workload()[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  const Mode mode = std::get<1>(GetParam());
+  const Program p = workload_program(w);
+  const SelectPolicy policy;
+  const VerifyOptions options = verify_options_for(policy);
+
+  VerifyReport report;
+  if (mode == Mode::kNone) {
+    report = verify_module(p, nullptr, options);
+  } else {
+    AnalyzedProgram ap;
+    ap.program = &p;
+    ap.cfg = Cfg::build(p);
+    ap.liveness = compute_liveness(p, ap.cfg);
+    ap.profile = profile_program(p, w.max_steps);
+    ap.sites = extract_sites(p, ap.cfg, ap.liveness, ap.profile,
+                             policy.extract);
+    const Selection sel = mode == Mode::kGreedy
+                              ? select_greedy(ap, policy.lut_budget)
+                              : select_selective(ap, policy);
+    const RewriteResult rr = rewrite_program(p, sel.apps);
+    report = verify_selection(ap, sel, rr, options);
+    // Equivalence must be proven, not sampled, for every application.
+    EXPECT_EQ(report.stats.equiv_sampled, 0);
+    EXPECT_EQ(report.stats.equiv_structural + report.stats.equiv_exhaustive,
+              report.stats.apps);
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.diagnostics.empty()) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, VerifyWorkloads,
+    ::testing::Combine(::testing::Range(0, 12),
+                       ::testing::Values(Mode::kNone, Mode::kGreedy,
+                                         Mode::kSelective)),
+    [](const ::testing::TestParamInfo<std::tuple<int, Mode>>& info) {
+      const Mode mode = std::get<1>(info.param);
+      const std::string suffix = mode == Mode::kNone     ? "none"
+                                 : mode == Mode::kGreedy ? "greedy"
+                                                         : "selective";
+      return every_workload()[static_cast<std::size_t>(
+                 std::get<0>(info.param))]
+                 .name +
+             "_" + suffix;
+    });
+
+}  // namespace
+}  // namespace t1000

@@ -111,6 +111,39 @@ TEST(Assembler, LiAlignedExpandsToLuiOnly) {
   EXPECT_EQ(p.text[0], make_lui(8, 0x4));
 }
 
+TEST(Assembler, LiAllOnesExpandsToAddiu) {
+  // 0xFFFFFFFF is the 32-bit pattern of -1: one addiu, not lui+ori.
+  const Program p = assemble("li $t0, 0xFFFFFFFF");
+  ASSERT_EQ(p.size(), 1);
+  EXPECT_EQ(p.text[0], make_imm(Opcode::kAddiu, 8, 0, -1));
+}
+
+TEST(Assembler, LiNegativeAlignedExpandsToLuiOnly) {
+  const Program p = assemble("li $t0, -0x10000");  // pattern 0xFFFF0000
+  ASSERT_EQ(p.size(), 1);
+  EXPECT_EQ(p.text[0], make_lui(8, 0xFFFF));
+}
+
+// Regression: the sizing pass classified `li` on the raw 64-bit parse while
+// emission classified the truncated 32-bit pattern, so a wide-hex li (e.g.
+// 0xFFFFFFFF) was sized as two instructions but emitted as one — shifting
+// every label bound after it and silently retargeting branches
+// (t1000-verify's wf.use-before-def caught this in the pegwit workload).
+TEST(Assembler, LabelsAfterWideHexLiStayAligned) {
+  const Program p = assemble(R"(
+        li $s0, 0xFFFFFFFF
+  top:  addiu $t0, $t0, 1
+        bne $t0, $s0, top
+        j   top
+        halt
+  )");
+  ASSERT_EQ(p.size(), 5);
+  EXPECT_EQ(p.text[0], make_imm(Opcode::kAddiu, 16, 0, -1));
+  // `top` must resolve to the addiu at index 1, not a stale index 2.
+  EXPECT_EQ(p.text[2].imm, 1);
+  EXPECT_EQ(p.text[3].imm, 1);
+}
+
 TEST(Assembler, LaResolvesDataAddress) {
   const Program p = assemble(R"(
         .data

@@ -185,6 +185,23 @@ TEST(Cfg, SelfLoopBlock) {
   EXPECT_EQ(cfg.loops()[0].blocks.size(), 1u);
 }
 
+TEST(Cfg, BranchToCleanHaltPcHasNoSuccessorEdge) {
+  // Target == size is the clean-halt pc (the rewriter maps deleted tail
+  // positions there). It must not become a leader or an edge.
+  Program p = assemble(R"(
+        addiu $t0, $t0, 1
+        beq $t0, $zero, out
+  out:  halt
+  )");
+  p.text[1].imm = p.size();
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.num_blocks(), 2);
+  // The branch block keeps only its fall-through successor.
+  const BasicBlock& b0 = cfg.block(cfg.block_of(0));
+  ASSERT_EQ(b0.succs.size(), 1u);
+  EXPECT_EQ(b0.succs[0], cfg.block_of(2));
+}
+
 TEST(Cfg, EmptyProgram) {
   const Program p = assemble("");
   const Cfg cfg = Cfg::build(p);

@@ -40,6 +40,9 @@ std::vector<Flip> identity_flips() {
   add("workload", [](RunSpec& s) { s.workload = "g721_dec"; });
   add("selector", [](RunSpec& s) { s.selector = Selector::kGreedy; });
   add("max_cycles", [](RunSpec& s) { s.max_cycles = 12345; });
+  // A verified run is a distinct entry: a cache hit under --verify must
+  // mean "this configuration was verified when it was produced".
+  add("verify", [](RunSpec& s) { s.verify = true; });
 
   // MachineConfig core widths and structures.
   add("fetch_width", [](RunSpec& s) { s.machine.fetch_width = 8; });

@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "analysis/diagnostic.hpp"
 #include "harness/serialize.hpp"
 #include "sim/executor.hpp"
 
@@ -149,6 +150,8 @@ TEST(FaultInjection, ErrorTaxonomyClassifiesEachKind) {
   };
   const Case cases[] = {
       {[] { throw SimError("sim boom"); }, RunErrorKind::kSim, "sim boom"},
+      {[] { throw VerifyError("verify boom"); }, RunErrorKind::kVerify,
+       "verify boom"},
       {[] { throw JsonError("json boom"); }, RunErrorKind::kJson, "json boom"},
       {[] { throw CacheIoError("cache boom"); }, RunErrorKind::kCacheIo,
        "cache boom"},

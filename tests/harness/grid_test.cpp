@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "harness/cache.hpp"
+#include "harness/serialize.hpp"
 
 namespace t1000 {
 namespace {
@@ -99,6 +100,52 @@ TEST(Grid, SecondRunIsAllCacheHitsWithIdenticalOutcomes) {
   EXPECT_EQ(second.engine().simulated, 0u);
   for (const RunResult& r : second.runs()) EXPECT_TRUE(r.cache_hit);
   EXPECT_EQ(first.results_json().dump(), second.results_json().dump());
+}
+
+TEST(Grid, VerifyModeRunsCleanWithoutPerturbingResults) {
+  const ExperimentGrid grid = small_grid();
+  GridOptions plain;
+  plain.jobs = 1;
+  GridOptions verified = plain;
+  verified.verify = true;
+
+  const GridResult a = grid.run(plain);
+  const GridResult b = grid.run(verified);
+  ASSERT_EQ(b.runs().size(), a.runs().size());
+  for (std::size_t i = 0; i < a.runs().size(); ++i) {
+    // Every bundled workload/selector pair verifies clean...
+    EXPECT_EQ(b.runs()[i].status, RunStatus::kOk);
+    // ...the flag is stamped onto the spec (and thus the results JSON)...
+    EXPECT_TRUE(b.runs()[i].spec.verify);
+    EXPECT_FALSE(a.runs()[i].spec.verify);
+    // ...and pre-flight verification never changes what gets simulated.
+    EXPECT_EQ(to_json(b.runs()[i].outcome.stats).dump(),
+              to_json(a.runs()[i].outcome.stats).dump());
+  }
+  const Json rj = b.results_json();
+  EXPECT_TRUE(rj.at(0).at("spec").at("verify").as_bool());
+}
+
+TEST(Grid, VerifiedRunsUseDistinctCacheEntries) {
+  const TempDir dir("verify-cache");
+  const ExperimentGrid grid = small_grid();
+  GridOptions options;
+  options.jobs = 1;
+  options.cache_dir = dir.str();
+  const GridResult plain = grid.run(options);
+  EXPECT_EQ(plain.engine().cache.stores, grid.size());
+
+  // The verify flag is part of the cache identity: a hit under --verify
+  // must mean the entry was produced by a verified run, so the plain
+  // entries above cannot satisfy it.
+  options.verify = true;
+  const GridResult first = grid.run(options);
+  EXPECT_EQ(first.engine().cache.hits(), 0u);
+  EXPECT_EQ(first.engine().cache.misses, grid.size());
+
+  const GridResult second = grid.run(options);
+  EXPECT_EQ(second.engine().cache.hits(), second.engine().runs);
+  EXPECT_EQ(second.engine().simulated, 0u);
 }
 
 TEST(Grid, MemoryCacheDeduplicatesRepeatedSpecsInOneRun) {
