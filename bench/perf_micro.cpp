@@ -67,6 +67,40 @@ void BM_ReplayTimingSim(benchmark::State& state) {
 }
 BENCHMARK(BM_ReplayTimingSim)->Unit(benchmark::kMillisecond);
 
+// Observed timing run (stall attribution + PFU timeline, no event trace):
+// the marginal cost of RunSpec::observe over BM_TimingSim. The unobserved
+// pipeline compiles the observation layer out entirely, so BM_TimingSim
+// itself is the "free when disabled" reference.
+void BM_StallAttribution(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    SimObservation obs;
+    const SimStats st =
+        simulate(p, nullptr, baseline_machine(), 1ull << 32, &obs);
+    benchmark::DoNotOptimize(obs.stalls);
+    instructions += st.committed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_StallAttribution)->Unit(benchmark::kMillisecond);
+
+// Full event-trace recording (per-instruction lifecycle slices) plus the
+// Chrome trace-event JSON serialization — the cost of --trace-out.
+void BM_EmitTrace(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    SimObservation obs;
+    obs.want_trace = true;
+    simulate(p, nullptr, baseline_machine(), 1ull << 32, &obs);
+    benchmark::DoNotOptimize(obs.trace.to_json());
+    events += obs.trace.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EmitTrace)->Unit(benchmark::kMillisecond);
+
 void BM_ProfileAndExtract(benchmark::State& state) {
   const Program p = workload_program(bench_workload());
   for (auto _ : state) {

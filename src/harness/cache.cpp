@@ -79,6 +79,9 @@ CacheKey make_cache_key(const RunSpec& spec, std::uint64_t program_hash,
   identity["policy"] = to_json(spec.policy);
   identity["max_cycles"] = Json(spec.max_cycles);
   identity["verify"] = Json(spec.verify);
+  // An observed entry carries extra payload (the stall breakdown); it must
+  // neither satisfy nor be satisfied by an unobserved lookup.
+  identity["observe"] = Json(spec.observe);
   // Trace identity: what the replayed committed trace depends on beyond
   // the fields above (see sim/trace.hpp).
   Json trace = Json::object();

@@ -156,8 +156,16 @@ RunOutcome WorkloadExperiment::run(const RunSpec& spec) const {
   const Program& program = prep.rewritten ? prep.rewrite.program : program_;
   const ExtInstTable* table = prep.rewritten ? &prep.selection.table : nullptr;
   RunOutcome out = prep.partial;
-  out.stats = simulate_replay(program, table, prep.trace, spec.machine,
-                              spec.max_cycles);
+  if (spec.observe) {
+    SimObservation obs;
+    out.stats = simulate_replay(program, table, prep.trace, spec.machine,
+                                spec.max_cycles, &obs);
+    out.observed = true;
+    out.stalls = obs.stalls;
+  } else {
+    out.stats = simulate_replay(program, table, prep.trace, spec.machine,
+                                spec.max_cycles);
+  }
   return out;
 }
 

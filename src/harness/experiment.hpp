@@ -58,6 +58,13 @@ struct RunSpec {
   // hit under verify=true is an identical, previously-verified
   // configuration.
   bool verify = false;
+  // Opt-in stall-cause attribution (uarch/timing.hpp): the timing run is
+  // observed, and the outcome carries a StallBreakdown charging every
+  // non-committing cycle to one cause. Observation never changes SimStats
+  // (pinned by tests), but — like verify — the flag is part of the run's
+  // identity so observed and unobserved runs occupy distinct result-cache
+  // entries and a cached observed run can round-trip its breakdown.
+  bool observe = false;
 };
 
 struct RunOutcome {
@@ -71,6 +78,11 @@ struct RunOutcome {
   // functional steps and its content fingerprint (sim/trace.hpp).
   std::uint64_t trace_steps = 0;
   std::uint64_t trace_hash = 0;
+  // Stall-cause attribution, filled when the run was observed
+  // (RunSpec::observe); serialized with the outcome so cached observed
+  // runs keep their breakdown.
+  bool observed = false;
+  StallBreakdown stalls;
 };
 
 // Per-workload experiment context; the (expensive) profile + extraction is

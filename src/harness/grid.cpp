@@ -162,6 +162,8 @@ Json GridResult::to_json() const {
   engine["cache_evicted"] = Json(engine_.cache.evicted);
   engine["traces_recorded"] = Json(engine_.traces_recorded);
   engine["trace_replays"] = Json(engine_.trace_replays);
+  engine["observed"] = Json(engine_.observed);
+  if (engine_.observed > 0) engine["stalls"] = t1000::to_json(engine_.stalls);
   engine["wall_ms"] = Json(engine_.wall_ms);
   Json run_wall = Json::array();
   Json run_cached = Json::array();
@@ -203,6 +205,24 @@ std::string GridResult::engine_summary() const {
   out += strprintf("; traces: %llu recorded, %llu replayed",
                    static_cast<ull>(engine_.traces_recorded),
                    static_cast<ull>(engine_.trace_replays));
+  if (engine_.observed > 0) {
+    const std::uint64_t stall = engine_.stalls.stall_cycles();
+    out += strprintf("; stalls: %llu observed run(s), %llu/%llu stall cycle(s)",
+                     static_cast<ull>(engine_.observed),
+                     static_cast<ull>(stall),
+                     static_cast<ull>(engine_.stalls.cycles));
+    if (stall > 0) {
+      int top = 0;
+      for (int c = 1; c < kNumStallCauses; ++c) {
+        if (engine_.stalls.causes[c] > engine_.stalls.causes[top]) top = c;
+      }
+      out += strprintf(
+          " (top: %s %.1f%%)",
+          std::string(stall_cause_name(static_cast<StallCause>(top))).c_str(),
+          100.0 * static_cast<double>(engine_.stalls.causes[top]) /
+              static_cast<double>(stall));
+    }
+  }
   return out;
 }
 
@@ -248,6 +268,27 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
       1, std::min<int>(resolve_jobs(options.jobs),
                        static_cast<int>(std::max<std::size_t>(specs_.size(), 1))));
 
+  // Metrics instruments are resolved once, up front; the per-run updates in
+  // the workers are then lock-free saturating atomics.
+  struct GridInstruments {
+    obs::Counter* runs = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* simulated = nullptr;
+    obs::Counter* incomplete = nullptr;
+    obs::Span* run_wall = nullptr;
+    obs::Histogram* run_wall_ms = nullptr;
+  } metrics;
+  if (options.metrics != nullptr) {
+    metrics.runs = options.metrics->counter("grid.runs");
+    metrics.cache_hits = options.metrics->counter("grid.cache_hits");
+    metrics.simulated = options.metrics->counter("grid.simulated");
+    metrics.incomplete = options.metrics->counter("grid.runs_incomplete");
+    metrics.run_wall = options.metrics->span("grid.run_wall");
+    metrics.run_wall_ms = options.metrics->histogram(
+        "grid.run_wall_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
+                             5000, 10000});
+  }
+
   ResultCache cache(options.cache_dir);
   std::vector<WorkloadSlot> slots(workloads_.size());
   for (std::size_t i = 0; i < workloads_.size(); ++i) {
@@ -272,6 +313,7 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
     out.error_kind = kind;
     out.error = std::move(message);
     out.outcome = RunOutcome{};  // drop any partially filled outcome
+    if (metrics.incomplete != nullptr) metrics.incomplete->add(1);
     const std::uint64_t count =
         failures.fetch_add(1, std::memory_order_relaxed) + 1;
     if (options.strict ||
@@ -290,9 +332,10 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
       if (i >= specs_.size()) return;
       RunResult& out = results[i];
       out.spec = specs_[i];
-      // Stamp before the cache key is built: verified runs must not share
-      // entries with unverified ones.
+      // Stamp before the cache key is built: verified (or observed) runs
+      // must not share entries with unverified (or unobserved) ones.
       if (options.verify) out.spec.verify = true;
+      if (options.observe) out.spec.observe = true;
       if (abort.load(std::memory_order_relaxed)) {
         out.status = RunStatus::kSkipped;
         out.error = options.strict
@@ -303,16 +346,31 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
       const auto run_start = std::chrono::steady_clock::now();
       try {
         if (options.fault_hook) options.fault_hook(out.spec);
-        WorkloadSlot& slot = slots[index_.find(out.spec.workload)->second];
-        const CacheKey key = make_cache_key(out.spec, slot.program_hash_for(),
-                                            slot.workload->max_steps);
-        if (cache.lookup(key, &out.outcome)) {
-          out.cache_hit = true;
-        } else {
-          out.outcome = slot.experiment_for().run(out.spec);
-          cache.store(key, out.outcome);
+        {
+          const auto scope = metrics.run_wall != nullptr
+                                 ? std::make_unique<obs::Span::Scope>(
+                                       metrics.run_wall)
+                                 : nullptr;
+          WorkloadSlot& slot = slots[index_.find(out.spec.workload)->second];
+          const CacheKey key = make_cache_key(
+              out.spec, slot.program_hash_for(), slot.workload->max_steps);
+          if (cache.lookup(key, &out.outcome)) {
+            out.cache_hit = true;
+          } else {
+            out.outcome = slot.experiment_for().run(out.spec);
+            cache.store(key, out.outcome);
+          }
+        }
+        if (metrics.runs != nullptr) {
+          metrics.runs->add(1);
+          if (out.cache_hit) metrics.cache_hits->add(1);
+          else metrics.simulated->add(1);
         }
         out.wall_ms = ms_since(run_start);
+        if (metrics.run_wall_ms != nullptr) {
+          metrics.run_wall_ms->observe(
+              static_cast<std::uint64_t>(out.wall_ms));
+        }
         if (options.run_budget_ms > 0 && out.wall_ms > options.run_budget_ms) {
           const std::string msg =
               strprintf("run exceeded wall-clock budget: %.1f ms > %.1f ms",
@@ -356,6 +414,10 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
       case RunStatus::kTimeout: ++engine.timeouts; break;
       case RunStatus::kSkipped: ++engine.skipped; break;
     }
+    if (r.ok() && r.outcome.observed) {
+      ++engine.observed;
+      engine.stalls.accumulate(r.outcome.stalls);
+    }
   }
   engine.cache = cache.counters();
   engine.simulated = engine.cache.misses;
@@ -397,6 +459,14 @@ BenchOptions parse_bench_options(int argc, char** argv,
                   "statically verify every selection/rewrite before "
                   "simulating it (failures are recorded as verify errors)",
                   &out.grid.verify);
+  parser.add_flag("--observe",
+                  "attribute stall cycles on every run (adds a 'stalls' "
+                  "breakdown to each outcome and a grid-level aggregate)",
+                  &out.grid.observe);
+  parser.add_string("--metrics-out", "FILE",
+                    "write the engine's metrics registry (grid.* counters, "
+                    "histograms, wall-clock spans) as JSON",
+                    &out.metrics_path);
   parser.add_flag("--strict",
                   "abort the grid on the first failing run (default: record "
                   "the failure and keep going)",
@@ -415,12 +485,20 @@ BenchOptions parse_bench_options(int argc, char** argv,
   out.grid.jobs = static_cast<int>(jobs);
   out.grid.run_budget_ms = run_budget_ms;
   if (no_cache) out.grid.cache_dir.clear();
+  if (!out.metrics_path.empty()) {
+    out.metrics = std::make_shared<obs::MetricsRegistry>();
+    out.grid.metrics = out.metrics.get();
+  }
   return out;
 }
 
 int finish_bench(const GridResult& result, const BenchOptions& options) {
   if (!options.json_path.empty() &&
       !write_json_file(options.json_path, result.to_json())) {
+    return 1;
+  }
+  if (!options.metrics_path.empty() && options.metrics != nullptr &&
+      !write_json_file(options.metrics_path, options.metrics->to_json())) {
     return 1;
   }
   std::printf("%s\n", result.engine_summary().c_str());

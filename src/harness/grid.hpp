@@ -34,10 +34,13 @@
 #include <string_view>
 #include <vector>
 
+#include <memory>
+
 #include "harness/cache.hpp"
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
 #include "harness/options.hpp"
+#include "obs/metrics.hpp"
 
 namespace t1000 {
 
@@ -98,6 +101,17 @@ struct GridOptions {
   // part of the cache identity, a cache hit under --verify is a previously
   // verified configuration, not a skipped check.
   bool verify = false;
+  // Stall observation (--observe): forces RunSpec::observe on every queued
+  // spec before scheduling, so each timing run attributes its stall cycles
+  // (RunOutcome::stalls) and the engine aggregates a grid-level breakdown
+  // (EngineStats::stalls). Part of the cache identity, like verify.
+  bool observe = false;
+  // Optional harness metrics sink (obs/metrics.hpp): when set, the engine
+  // records its scheduling/caching counters and per-run wall-clock into it
+  // ("grid.*" instruments). Borrowed, never owned; must outlive run().
+  // Instruments are shared get-or-create, so one registry can observe many
+  // grids — the worker-pool updates are lock-free and TSan-clean.
+  obs::MetricsRegistry* metrics = nullptr;
   // Test-only fault injection: invoked on the worker thread before each
   // run executes (cache lookup included); may throw or delay to simulate
   // failures. Exceptions it raises are classified like any other.
@@ -132,6 +146,10 @@ struct EngineStats {
   // by replaying an already-recorded trace.
   std::uint64_t traces_recorded = 0;
   std::uint64_t trace_replays = 0;
+  // Grid-level stall attribution: how many ok runs carried a breakdown
+  // (RunSpec::observe), and their element-wise sum.
+  std::uint64_t observed = 0;
+  StallBreakdown stalls;
 
   std::uint64_t incomplete() const { return failed + timeouts + skipped; }
 };
@@ -213,6 +231,11 @@ int resolve_jobs(int requested);
 struct BenchOptions {
   GridOptions grid;
   std::string json_path;  // --json <path>; empty = no JSON export
+  // --metrics-out <path>: dump the engine's metrics registry as JSON after
+  // the grid drains. The registry is created by parse_bench_options and
+  // wired into grid.metrics; empty path = no registry, no export.
+  std::string metrics_path;
+  std::shared_ptr<obs::MetricsRegistry> metrics;
   // --keep-going: exit 0 even when some runs failed (the failures still
   // show in the results JSON and engine summary). Default is to exit
   // nonzero so CI catches degraded sweeps.

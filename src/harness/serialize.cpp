@@ -53,6 +53,19 @@ Json to_json(const SimStats& stats) {
   return j;
 }
 
+Json to_json(const StallBreakdown& stalls) {
+  Json j = Json::object();
+  j["cycles"] = Json(stalls.cycles);
+  j["commit_cycles"] = Json(stalls.commit_cycles);
+  Json causes = Json::object();
+  for (int c = 0; c < kNumStallCauses; ++c) {
+    causes[stall_cause_name(static_cast<StallCause>(c))] =
+        Json(stalls.causes[c]);
+  }
+  j["causes"] = std::move(causes);
+  return j;
+}
+
 Json to_json(const RunOutcome& outcome) {
   Json j = Json::object();
   j["stats"] = to_json(outcome.stats);
@@ -65,6 +78,8 @@ Json to_json(const RunOutcome& outcome) {
   // Hex: the fingerprint is a full 64-bit value and Json integers are
   // signed.
   j["trace_hash"] = Json(to_hex(outcome.trace_hash));
+  // Absent for unobserved runs: presence round-trips RunOutcome::observed.
+  if (outcome.observed) j["stalls"] = to_json(outcome.stalls);
   return j;
 }
 
@@ -201,6 +216,7 @@ Json to_json(const RunSpec& spec) {
   j["policy"] = to_json(spec.policy);
   j["max_cycles"] = Json(spec.max_cycles);
   j["verify"] = Json(spec.verify);
+  j["observe"] = Json(spec.observe);
   return j;
 }
 
@@ -243,6 +259,20 @@ SimStats sim_stats_from_json(const Json& j) {
   return s;
 }
 
+StallBreakdown stall_breakdown_from_json(const Json& j) {
+  StallBreakdown s;
+  s.cycles = j.at("cycles").as_uint();
+  s.commit_cycles = j.at("commit_cycles").as_uint();
+  const Json& causes = j.at("causes");
+  for (int c = 0; c < kNumStallCauses; ++c) {
+    if (const Json* v =
+            causes.find(stall_cause_name(static_cast<StallCause>(c)))) {
+      s.causes[c] = v->as_uint();
+    }
+  }
+  return s;
+}
+
 RunOutcome run_outcome_from_json(const Json& j) {
   RunOutcome out;
   out.stats = sim_stats_from_json(j.at("stats"));
@@ -253,6 +283,10 @@ RunOutcome run_outcome_from_json(const Json& j) {
   out.checksum = static_cast<std::uint32_t>(j.at("checksum").as_uint());
   out.trace_steps = j.at("trace_steps").as_uint();
   out.trace_hash = std::stoull(j.at("trace_hash").as_string(), nullptr, 16);
+  if (const Json* stalls = j.find("stalls")) {
+    out.observed = true;
+    out.stalls = stall_breakdown_from_json(*stalls);
+  }
   return out;
 }
 

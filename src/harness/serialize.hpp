@@ -24,6 +24,9 @@ Json to_json(const CacheStats& stats);
 Json to_json(const PfuStats& stats);
 Json to_json(const BranchStats& stats);
 Json to_json(const SimStats& stats);
+// {"cycles", "commit_cycles", "causes": {<stall_cause_name>: cycles, ...}}
+// with every cause present (zeros included), in enumerator order.
+Json to_json(const StallBreakdown& stalls);
 Json to_json(const RunOutcome& outcome);
 // One results-array entry: {"spec", "outcome", "status"} plus, for runs
 // that did not complete, an "error" object {"kind", "message"}. Failed
@@ -44,6 +47,7 @@ CacheStats cache_stats_from_json(const Json& j);
 PfuStats pfu_stats_from_json(const Json& j);
 BranchStats branch_stats_from_json(const Json& j);
 SimStats sim_stats_from_json(const Json& j);
+StallBreakdown stall_breakdown_from_json(const Json& j);
 RunOutcome run_outcome_from_json(const Json& j);
 
 // Stable name for a branch predictor kind ("perfect", "bimodal", ...).

@@ -11,6 +11,7 @@
 
 #include "asmkit/program.hpp"
 #include "isa/extdef.hpp"
+#include "obs/trace_event.hpp"
 #include "sim/executor.hpp"
 
 namespace t1000 {
@@ -44,5 +45,15 @@ struct Profile {
 // profile. Throws SimError if the program does not halt within the bound.
 Profile profile_program(const Program& program, std::uint64_t max_steps,
                         const ExtInstTable* ext_table = nullptr);
+
+// Marks the profile's hot regions in a pipeline event trace: maximal
+// contiguous runs of static instructions whose individual share of
+// total_base_cycles is at least `threshold` (default: the paper's 0.5%
+// candidate-marking threshold) become instant events on a dedicated
+// "hot regions" track, with `ts` = the region's first static index and
+// args {first, last, cycles, share}.
+void annotate_hot_regions(const Profile& profile, const Program& program,
+                          obs::TraceEventLog* trace,
+                          double threshold = 0.005);
 
 }  // namespace t1000

@@ -23,7 +23,11 @@ std::uint64_t PfuBank::request(ConfId conf, std::uint64_t now) {
     Unit& unit = units_[it->second];
     unit.last_use = tick_;
     ++stats_.hits;  // tag match; may still wait on an in-flight load
-    return unit.ready_at <= now ? now : unit.ready_at;
+    const std::uint64_t ready = unit.ready_at <= now ? now : unit.ready_at;
+    if (listener_ != nullptr) {
+      listener_->on_pfu_hit(static_cast<int>(it->second), conf, now, ready);
+    }
+    return ready;
   }
 
   if (unlimited()) {
@@ -36,6 +40,10 @@ std::uint64_t PfuBank::request(ConfId conf, std::uint64_t now) {
     unit.last_use = tick_;
     where_.emplace(conf, units_.size());
     units_.push_back(unit);
+    if (listener_ != nullptr) {
+      listener_->on_pfu_reconfig(static_cast<int>(units_.size()) - 1, conf,
+                                 kInvalidConf, now, unit.ready_at);
+    }
     return unit.ready_at;
   }
 
@@ -51,14 +59,19 @@ std::uint64_t PfuBank::request(ConfId conf, std::uint64_t now) {
     if (units_[i].last_use < units_[victim].last_use) victim = i;
   }
   Unit& unit = units_[victim];
+  const ConfId evicted = unit.conf;
   if (unit.conf != kInvalidConf) where_.erase(unit.conf);
   ++stats_.reconfigurations;
   unit.conf = conf;
   // Back-to-back reconfigurations of the same unit serialize.
-  unit.ready_at = std::max(now, unit.ready_at) +
-                  static_cast<std::uint64_t>(config_.reconfig_latency);
+  const std::uint64_t start = std::max(now, unit.ready_at);
+  unit.ready_at = start + static_cast<std::uint64_t>(config_.reconfig_latency);
   unit.last_use = tick_;
   where_.emplace(conf, victim);
+  if (listener_ != nullptr) {
+    listener_->on_pfu_reconfig(static_cast<int>(victim), conf, evicted, start,
+                               unit.ready_at);
+  }
   return unit.ready_at;
 }
 

@@ -22,6 +22,23 @@ struct PfuStats {
   std::uint64_t reconfigurations = 0;
 };
 
+// Per-unit observation hooks for the bank's decode-stage traffic. The
+// default listener is null and costs one predictable branch per EXT decode;
+// listeners must not influence timing — PfuStats (and thus SimStats) are
+// identical with and without one attached.
+class PfuListener {
+ public:
+  virtual ~PfuListener() = default;
+  // Tag match on `unit`; the instruction may issue at `ready` (== `now`
+  // unless the unit's configuration load is still in flight).
+  virtual void on_pfu_hit(int unit, ConfId conf, std::uint64_t now,
+                          std::uint64_t ready) = 0;
+  // Reconfiguration of `unit` to `conf` spanning [start, ready); `evicted`
+  // is the configuration overwritten (kInvalidConf for a cold unit).
+  virtual void on_pfu_reconfig(int unit, ConfId conf, ConfId evicted,
+                               std::uint64_t start, std::uint64_t ready) = 0;
+};
+
 class PfuBank {
  public:
   explicit PfuBank(const PfuConfig& config);
@@ -30,6 +47,8 @@ class PfuBank {
   // extended instruction may issue: `now` on a hit, or the completion time
   // of the reconfiguration started for it.
   std::uint64_t request(ConfId conf, std::uint64_t now);
+
+  void set_listener(PfuListener* listener) { listener_ = listener; }
 
   const PfuStats& stats() const { return stats_; }
   bool unlimited() const { return config_.count == PfuConfig::kUnlimited; }
@@ -43,6 +62,7 @@ class PfuBank {
   };
 
   PfuConfig config_;
+  PfuListener* listener_ = nullptr;
   std::vector<Unit> units_;
   std::unordered_map<ConfId, std::size_t> where_;  // conf -> unit index
   std::uint64_t tick_ = 0;

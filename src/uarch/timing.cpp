@@ -1,14 +1,40 @@
 #include "uarch/timing.hpp"
 
 #include <deque>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "harness/json.hpp"
 #include "hwcost/lut_model.hpp"
+#include "isa/opcode.hpp"
 #include "sim/executor.hpp"
 #include "sim/trace.hpp"
 
 namespace t1000 {
+
+std::string_view stall_cause_name(StallCause cause) {
+  switch (cause) {
+    case StallCause::kFetchBranch: return "fetch_branch";
+    case StallCause::kFetchMem: return "fetch_mem";
+    case StallCause::kFrontend: return "frontend";
+    case StallCause::kRuuFull: return "ruu_full";
+    case StallCause::kMshrFull: return "mshr_full";
+    case StallCause::kOperandWait: return "operand_wait";
+    case StallCause::kExtReconfig: return "ext_reconfig";
+    case StallCause::kExecMem: return "exec_mem";
+    case StallCause::kExec: return "exec";
+    case StallCause::kDrain: return "drain";
+  }
+  return "unknown";
+}
+
+void StallBreakdown::accumulate(const StallBreakdown& other) {
+  cycles += other.cycles;
+  commit_cycles += other.commit_cycles;
+  for (int i = 0; i < kNumStallCauses; ++i) causes[i] += other.causes[i];
+}
+
 namespace {
 
 constexpr std::uint64_t kNoDep = ~0ull;
@@ -50,11 +76,132 @@ struct FetchSlot {
   bool mispredicted = false;
 };
 
-template <class Source>
+// --- pipeline observers ---
+//
+// The pipeline is templated over an observer; every observation point is
+// guarded by `if constexpr (Obs::kEnabled)`, so with the null observer the
+// whole layer is compiled out and the unobserved pipeline is exactly the
+// pre-observability machine (BM_TimingSim pins the cost; the differential
+// tests pin byte-identical SimStats).
+
+struct NullObserver {
+  static constexpr bool kEnabled = false;
+  explicit NullObserver(SimObservation*) {}
+};
+
+// Trace-group ids (the Chrome format's "pid"): one row group for the RUU
+// slots, one for the PFU bank.
+constexpr int kPipePid = 1;
+constexpr int kPfuPid = 2;
+
+class RecordingObserver final : public PfuListener {
+ public:
+  static constexpr bool kEnabled = true;
+
+  explicit RecordingObserver(SimObservation* out) : out_(out) {}
+
+  void attach(PfuBank* bank, int ruu_size) {
+    bank->set_listener(this);
+    slots_ = static_cast<std::size_t>(ruu_size);
+    issue_cycle_.assign(slots_, 0);
+  }
+
+  // End-of-cycle accounting.
+  void on_cycle(int commits) {
+    ++out_->stalls.cycles;
+    if (commits > 0) ++out_->stalls.commit_cycles;
+  }
+  void charge(StallCause cause) {
+    ++out_->stalls.causes[static_cast<int>(cause)];
+  }
+
+  // The two writers of fetch_stall_until_, distinguished so an empty-window
+  // fetch stall can be charged to the right cause.
+  void on_fetch_redirect() { fetch_stall_is_branch_ = true; }
+  void on_fetch_miss() { fetch_stall_is_branch_ = false; }
+  bool fetch_stall_is_branch() const { return fetch_stall_is_branch_; }
+
+  void on_issue(std::uint64_t seq, std::uint64_t now) {
+    issue_cycle_[seq % slots_] = now;
+  }
+
+  // Lifecycle slices are emitted at commit: the slot row is exclusively
+  // occupied from dispatch to commit, and commit precedes dispatch within
+  // a cycle, so per-row events are appended in monotone, balanced order.
+  void on_commit(const RuuEntry& e, std::uint64_t now) {
+    if (!out_->want_trace) return;
+    const std::size_t slot = e.seq % slots_;
+    const int tid = static_cast<int>(slot);
+    if (slot >= used_slots_) used_slots_ = slot + 1;
+    Json args = Json::object();
+    args["seq"] = Json(static_cast<long long>(e.seq));
+    args["pc"] = Json(e.info.index);
+    out_->trace.begin(std::string(mnemonic(e.info.ins.op)), e.dispatch_cycle,
+                      kPipePid, tid, std::move(args));
+    out_->trace.begin("exec", issue_cycle_[slot], kPipePid, tid);
+    out_->trace.end(e.complete_cycle, kPipePid, tid);
+    out_->trace.end(now, kPipePid, tid);
+  }
+
+  // PfuListener: decode-stage bank traffic.
+  void on_pfu_hit(int unit, ConfId, std::uint64_t, std::uint64_t) override {
+    ++unit_counters(unit).hits;
+  }
+  void on_pfu_reconfig(int unit, ConfId conf, ConfId evicted,
+                       std::uint64_t start, std::uint64_t ready) override {
+    out_->pfu_spans.push_back({unit, conf, evicted, start, ready});
+    PfuUnitCounters& c = unit_counters(unit);
+    ++c.reconfigurations;
+    if (evicted != kInvalidConf) ++c.evictions;
+    c.busy_cycles += ready - start;
+    if (out_->want_trace) {
+      Json args = Json::object();
+      args["conf"] = Json(static_cast<int>(conf));
+      if (evicted != kInvalidConf) {
+        args["evicted"] = Json(static_cast<int>(evicted));
+      }
+      out_->trace.begin("reconfigure", start, kPfuPid, unit, std::move(args));
+      out_->trace.end(ready, kPfuPid, unit);
+    }
+  }
+
+  void finish() {
+    if (!out_->want_trace) return;
+    out_->trace.name_process(kPipePid, "pipeline");
+    for (std::size_t i = 0; i < used_slots_; ++i) {
+      out_->trace.name_thread(kPipePid, static_cast<int>(i),
+                              "ruu[" + std::to_string(i) + "]");
+    }
+    if (!out_->pfu_units.empty()) {
+      out_->trace.name_process(kPfuPid, "pfu bank");
+      for (std::size_t i = 0; i < out_->pfu_units.size(); ++i) {
+        out_->trace.name_thread(kPfuPid, static_cast<int>(i),
+                                "pfu[" + std::to_string(i) + "]");
+      }
+    }
+  }
+
+ private:
+  PfuUnitCounters& unit_counters(int unit) {
+    if (static_cast<std::size_t>(unit) >= out_->pfu_units.size()) {
+      out_->pfu_units.resize(static_cast<std::size_t>(unit) + 1);
+    }
+    return out_->pfu_units[static_cast<std::size_t>(unit)];
+  }
+
+  SimObservation* out_;
+  std::size_t slots_ = 0;
+  std::size_t used_slots_ = 0;
+  std::vector<std::uint64_t> issue_cycle_;  // per slot, of the occupant
+  bool fetch_stall_is_branch_ = false;
+};
+
+template <class Source, class Obs>
 class Pipeline {
  public:
   Pipeline(Source source, const Program& program,
-           const ExtInstTable* ext_table, const MachineConfig& config)
+           const ExtInstTable* ext_table, const MachineConfig& config,
+           SimObservation* observation)
       : config_(config),
         source_(std::move(source)),
         program_(program),
@@ -63,8 +210,10 @@ class Pipeline {
         dmem_(config.dl1, &l2_, config.memory_latency, config.dtlb),
         pfus_(config.pfu),
         bpred_(config.branch),
-        ruu_(static_cast<std::size_t>(config.ruu_size)) {
+        ruu_(static_cast<std::size_t>(config.ruu_size)),
+        obs_(observation) {
     for (int r = 0; r < kNumRegs; ++r) last_writer_[r] = kNoDep;
+    if constexpr (Obs::kEnabled) obs_.attach(&pfus_, config_.ruu_size);
     if (config_.pfu.multi_cycle_ext && ext_table != nullptr) {
       // Derive per-configuration latency from mapped logic depth, assuming
       // worst-case (policy-width) operands.
@@ -82,15 +231,23 @@ class Pipeline {
     std::uint64_t now = 0;
     while (!drained()) {
       if (now > max_cycles) throw SimError("timing: cycle bound exceeded");
-      commit(now);
+      const int commits = commit(now);
       issue(now);
       resolve_mispredict(now);
       dispatch(now);
       fetch(now);
+      if constexpr (Obs::kEnabled) {
+        // Attribution runs at end of cycle: every non-committing cycle is
+        // charged to exactly one cause (the invariant commit_cycles +
+        // sum(causes) == cycles is pinned by tests).
+        obs_.on_cycle(commits);
+        if (commits == 0) obs_.charge(classify_stall(now));
+      }
       ++now;
     }
     stats_.cycles = now;
     collect();
+    if constexpr (Obs::kEnabled) obs_.finish();
     return stats_;
   }
 
@@ -108,13 +265,17 @@ class Pipeline {
   }
 
   // --- commit ---
-  void commit(std::uint64_t now) {
-    for (int n = 0; n < config_.commit_width && head_ != tail_; ++n) {
+  int commit(std::uint64_t now) {
+    int n = 0;
+    while (n < config_.commit_width && head_ != tail_) {
       RuuEntry& e = entry(head_);
       if (!e.completed || e.complete_cycle > now) break;
+      if constexpr (Obs::kEnabled) obs_.on_commit(e, now);
       ++stats_.committed;
       ++head_;
+      ++n;
     }
+    return n;
   }
 
   // --- issue ---
@@ -215,6 +376,7 @@ class Pipeline {
       e.issued = true;
       e.completed = true;
       e.complete_cycle = now + static_cast<std::uint64_t>(latency);
+      if constexpr (Obs::kEnabled) obs_.on_issue(e.seq, now);
       ++issued;
     }
   }
@@ -263,6 +425,7 @@ class Pipeline {
                      static_cast<std::uint64_t>(config_.branch.mispredict_penalty));
     blocked_on_branch_ = false;
     pending_branch_seq_ = kNoDep;
+    if constexpr (Obs::kEnabled) obs_.on_fetch_redirect();
   }
 
   // --- fetch ---
@@ -284,6 +447,7 @@ class Pipeline {
         if (lat > config_.il1.hit_latency) {
           // Miss: the front end stalls until the line arrives.
           fetch_stall_until_ = current_line_ready_;
+          if constexpr (Obs::kEnabled) obs_.on_fetch_miss();
         }
       }
       ready = std::max(ready, current_line_ready_);
@@ -305,6 +469,60 @@ class Pipeline {
       if (info.branch_taken) return;  // no fetching past a taken branch
       if (fetch_stall_until_ > now) return;
     }
+  }
+
+  // --- stall-cause classification (observed runs only) ---
+  //
+  // Called at end of a cycle that committed nothing; charges the cycle to
+  // exactly one cause. Commit is in-order, so when the window is non-empty
+  // the head entry is what blocks the machine; head-specific causes are
+  // tested before the window-shape ones so e.g. a reconfiguration wait is
+  // never masked as "window full". With an empty window the front end is
+  // responsible.
+  StallCause classify_stall(std::uint64_t now) {
+    if (head_ != tail_) {
+      RuuEntry& e = entry(head_);
+      if (!e.issued) {
+        // Entries dispatched at `now` can issue at `now + 1` earliest: a
+        // pure pipeline fill bubble.
+        if (e.dispatch_cycle >= now) return StallCause::kFrontend;
+        if (!deps_ready(e, now)) return StallCause::kOperandWait;
+        if (e.fu == FuClass::kPfu && e.pfu_ready > now) {
+          return StallCause::kExtReconfig;
+        }
+        if (e.fu == FuClass::kMemRead && !older_stores_done(e, now)) {
+          return StallCause::kOperandWait;
+        }
+        if ((e.fu == FuClass::kMemRead || e.fu == FuClass::kMemWrite) &&
+            config_.max_outstanding_misses != 0 &&
+            misses_in_flight(now) >= config_.max_outstanding_misses) {
+          return StallCause::kMshrFull;
+        }
+        // The head is oldest and therefore first in line for every FU, so
+        // a ready-but-unissued head can only be a same-cycle artifact.
+        return StallCause::kFrontend;
+      }
+      // Issued but not committed: complete_cycle > now (a head completed
+      // by `now` would have committed this cycle).
+      if (ruu_full()) return StallCause::kRuuFull;
+      if (e.long_miss) return StallCause::kExecMem;
+      return StallCause::kExec;
+    }
+    // Window empty: the front end owns the cycle.
+    if (source_.halted()) return StallCause::kDrain;
+    if (!fetch_queue_.empty()) {
+      // Slots waiting on their I-cache line; a slot ready next cycle is
+      // just the fetch->dispatch pipeline latency.
+      return fetch_queue_.front().ready_cycle <= now + 1
+                 ? StallCause::kFrontend
+                 : StallCause::kFetchMem;
+    }
+    if (blocked_on_branch_) return StallCause::kFetchBranch;
+    if (now < fetch_stall_until_) {
+      return obs_.fetch_stall_is_branch() ? StallCause::kFetchBranch
+                                          : StallCause::kFetchMem;
+    }
+    return StallCause::kFrontend;
   }
 
   void collect() {
@@ -338,24 +556,41 @@ class Pipeline {
   std::uint64_t pending_branch_seq_ = kNoDep;
   std::vector<int> ext_latency_;  // per Conf id; empty = single-cycle
 
+  Obs obs_;
   SimStats stats_;
 };
 
 }  // namespace
 
 SimStats simulate(const Program& program, const ExtInstTable* ext_table,
-                  const MachineConfig& config, std::uint64_t max_cycles) {
-  return Pipeline<ExecutorSource>(ExecutorSource(program, ext_table), program,
-                                  ext_table, config)
+                  const MachineConfig& config, std::uint64_t max_cycles,
+                  SimObservation* observation) {
+  if (observation != nullptr) {
+    return Pipeline<ExecutorSource, RecordingObserver>(
+               ExecutorSource(program, ext_table), program, ext_table, config,
+               observation)
+        .run(max_cycles);
+  }
+  return Pipeline<ExecutorSource, NullObserver>(
+             ExecutorSource(program, ext_table), program, ext_table, config,
+             nullptr)
       .run(max_cycles);
 }
 
 SimStats simulate_replay(const Program& program, const ExtInstTable* ext_table,
                          const CommittedTrace& trace,
                          const MachineConfig& config,
-                         std::uint64_t max_cycles) {
-  return Pipeline<TraceCursor>(TraceCursor(trace, program), program, ext_table,
-                               config)
+                         std::uint64_t max_cycles,
+                         SimObservation* observation) {
+  if (observation != nullptr) {
+    return Pipeline<TraceCursor, RecordingObserver>(
+               TraceCursor(trace, program), program, ext_table, config,
+               observation)
+        .run(max_cycles);
+  }
+  return Pipeline<TraceCursor, NullObserver>(TraceCursor(trace, program),
+                                             program, ext_table, config,
+                                             nullptr)
       .run(max_cycles);
 }
 

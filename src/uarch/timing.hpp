@@ -22,9 +22,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
+#include <vector>
 
 #include "asmkit/program.hpp"
 #include "isa/extdef.hpp"
+#include "obs/trace_event.hpp"
 #include "sim/trace.hpp"
 #include "uarch/branch.hpp"
 #include "uarch/cache.hpp"
@@ -51,13 +54,98 @@ struct SimStats {
   }
 };
 
+// --- Stall-cause attribution (observed runs) ---
+//
+// Every simulated cycle in which no instruction commits is charged to
+// exactly one cause, classified at end of cycle from the state of the
+// oldest uncommitted instruction (the RUU head — commit is in-order, so
+// whatever blocks the head blocks the machine) or, when the window is
+// empty, from the front end. The enumerator order is the serialization
+// order; names via stall_cause_name().
+enum class StallCause : int {
+  kFetchBranch = 0,  // front end stopped at a taken branch / redirect
+  kFetchMem,         // front end stalled on an I-cache / I-TLB miss
+  kFrontend,         // fill bubble: head dispatched this cycle, or the
+                     // window is empty while instructions are in fetch
+  kRuuFull,          // window full behind a long-running head
+  kMshrFull,         // head memory op blocked: no free miss slot
+  kOperandWait,      // head waiting on producers / older overlapping stores
+  kExtReconfig,      // head EXT waiting on its PFU reconfiguration
+  kExecMem,          // head memory op in flight past the L1 hit time
+  kExec,             // head executing a multi-cycle operation
+  kDrain,            // window empty, program exhausted: trailing fetch
+                     // latency draining the front end
+};
+inline constexpr int kNumStallCauses = 10;
+
+// Stable snake_case name ("fetch_branch", ...), used by the breakdown
+// JSON, the stall tables, and the results serialization.
+std::string_view stall_cause_name(StallCause cause);
+
+struct StallBreakdown {
+  std::uint64_t cycles = 0;         // every simulated cycle
+  std::uint64_t commit_cycles = 0;  // cycles that committed >= 1 instruction
+  std::uint64_t causes[kNumStallCauses] = {};
+
+  std::uint64_t stall_cycles() const { return cycles - commit_cycles; }
+  // Invariant (pinned by tests): cause_cycles() == stall_cycles().
+  std::uint64_t cause_cycles() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : causes) total += c;
+    return total;
+  }
+  std::uint64_t of(StallCause cause) const {
+    return causes[static_cast<int>(cause)];
+  }
+  // Element-wise accumulation (grid-level aggregation).
+  void accumulate(const StallBreakdown& other);
+};
+
+// One PFU reconfiguration: `unit` loads `conf` over [start, ready),
+// overwriting `evicted` (kInvalidConf for a cold unit).
+struct PfuReconfigSpan {
+  int unit = 0;
+  ConfId conf = kInvalidConf;
+  ConfId evicted = kInvalidConf;
+  std::uint64_t start = 0;
+  std::uint64_t ready = 0;
+};
+
+// Per-PFU occupancy summary derived from the decode-stage traffic.
+struct PfuUnitCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t evictions = 0;     // reconfigurations over a live conf
+  std::uint64_t busy_cycles = 0;   // cycles spent loading configurations
+};
+
+// Observation sink for one timing run. Set `want_trace` before the run to
+// additionally record per-instruction lifecycle slices into `trace`
+// (stall attribution and the PFU timeline are always filled). Observation
+// never changes SimStats — the observed and unobserved paths are held to
+// byte-identical statistics by tests.
+struct SimObservation {
+  bool want_trace = false;              // in: record event slices too
+  StallBreakdown stalls;                // out
+  std::vector<PfuReconfigSpan> pfu_spans;  // out: reconfiguration timeline
+  std::vector<PfuUnitCounters> pfu_units;  // out: per-unit occupancy
+  obs::TraceEventLog trace;             // out: filled when want_trace
+};
+
 // Runs `program` to completion on the configured machine and returns the
 // statistics. `ext_table` supplies EXT semantics (may be null when the
 // program contains none). Throws SimError if the program exceeds
 // `max_cycles` or misbehaves.
+//
+// `observation` opts into the observability layer (stall-cause
+// attribution, PFU timeline, optional event trace). When it is null — the
+// default — the pipeline is instantiated with the no-op observer and the
+// observation code is compiled out entirely: the disabled path costs
+// nothing and is byte-identical to pre-observability behaviour.
 SimStats simulate(const Program& program, const ExtInstTable* ext_table,
                   const MachineConfig& config,
-                  std::uint64_t max_cycles = 1ull << 32);
+                  std::uint64_t max_cycles = 1ull << 32,
+                  SimObservation* observation = nullptr);
 
 // Replay-backed timing: drives the identical pipeline from a committed
 // trace previously recorded from (`program`, `ext_table`) instead of
@@ -71,6 +159,7 @@ SimStats simulate(const Program& program, const ExtInstTable* ext_table,
 SimStats simulate_replay(const Program& program, const ExtInstTable* ext_table,
                          const CommittedTrace& trace,
                          const MachineConfig& config,
-                         std::uint64_t max_cycles = 1ull << 32);
+                         std::uint64_t max_cycles = 1ull << 32,
+                         SimObservation* observation = nullptr);
 
 }  // namespace t1000

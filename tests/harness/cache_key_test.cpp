@@ -43,6 +43,9 @@ std::vector<Flip> identity_flips() {
   // A verified run is a distinct entry: a cache hit under --verify must
   // mean "this configuration was verified when it was produced".
   add("verify", [](RunSpec& s) { s.verify = true; });
+  // An observed run carries extra result payload (the stall breakdown), so
+  // it must never satisfy — or be satisfied by — an unobserved entry.
+  add("observe", [](RunSpec& s) { s.observe = true; });
 
   // MachineConfig core widths and structures.
   add("fetch_width", [](RunSpec& s) { s.machine.fetch_width = 8; });

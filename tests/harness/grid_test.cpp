@@ -148,6 +148,116 @@ TEST(Grid, VerifiedRunsUseDistinctCacheEntries) {
   EXPECT_EQ(second.engine().simulated, 0u);
 }
 
+TEST(Grid, ObserveStampsStallBreakdownOntoEveryOutcome) {
+  const ExperimentGrid grid = small_grid();
+  GridOptions plain;
+  plain.jobs = 2;
+  GridOptions observed = plain;
+  observed.observe = true;
+
+  const GridResult a = grid.run(plain);
+  const GridResult b = grid.run(observed);
+  ASSERT_EQ(b.runs().size(), a.runs().size());
+  StallBreakdown total;
+  for (std::size_t i = 0; i < b.runs().size(); ++i) {
+    const RunResult& r = b.runs()[i];
+    EXPECT_EQ(r.status, RunStatus::kOk);
+    // The flag is stamped onto the spec (and thus the results JSON)...
+    EXPECT_TRUE(r.spec.observe);
+    EXPECT_FALSE(a.runs()[i].spec.observe);
+    // ...every outcome carries a breakdown satisfying the invariant...
+    EXPECT_TRUE(r.outcome.observed);
+    EXPECT_FALSE(a.runs()[i].outcome.observed);
+    EXPECT_EQ(r.outcome.stalls.cycles, r.outcome.stats.cycles);
+    EXPECT_EQ(r.outcome.stalls.cause_cycles(), r.outcome.stalls.stall_cycles());
+    // ...and observation never changes what gets simulated.
+    EXPECT_EQ(to_json(r.outcome.stats).dump(),
+              to_json(a.runs()[i].outcome.stats).dump());
+    total.accumulate(r.outcome.stalls);
+  }
+  // Engine-level aggregation is the element-wise sum over observed runs.
+  EXPECT_EQ(b.engine().observed, grid.size());
+  EXPECT_EQ(a.engine().observed, 0u);
+  EXPECT_EQ(to_json(b.engine().stalls).dump(), to_json(total).dump());
+
+  // The breakdown reaches the results and engine JSON sections.
+  const Json rj = b.results_json();
+  ASSERT_NE(rj.at(0).at("outcome").find("stalls"), nullptr);
+  EXPECT_EQ(rj.at(0).at("outcome").at("stalls").at("cycles").as_uint(),
+            b.runs()[0].outcome.stats.cycles);
+  EXPECT_EQ(a.results_json().at(0).at("outcome").find("stalls"), nullptr);
+  const Json ej = b.to_json().at("engine");
+  EXPECT_EQ(ej.at("observed").as_uint(), grid.size());
+  ASSERT_NE(ej.find("stalls"), nullptr);
+  EXPECT_NE(b.engine_summary().find("stalls:"), std::string::npos);
+}
+
+TEST(Grid, ObservedRunsUseDistinctCacheEntriesAndRoundTripStalls) {
+  const TempDir dir("observe-cache");
+  const ExperimentGrid grid = small_grid();
+  GridOptions options;
+  options.jobs = 1;
+  options.cache_dir = dir.str();
+  options.observe = true;
+
+  const GridResult first = grid.run(options);
+  EXPECT_EQ(first.engine().cache.misses, grid.size());
+
+  // A cache hit must reproduce the breakdown, not just the stats: the
+  // stalls member round-trips through the disk entry.
+  const GridResult second = grid.run(options);
+  EXPECT_EQ(second.engine().cache.hits(), second.engine().runs);
+  EXPECT_EQ(second.engine().simulated, 0u);
+  EXPECT_EQ(second.engine().observed, grid.size());
+  for (std::size_t i = 0; i < second.runs().size(); ++i) {
+    EXPECT_TRUE(second.runs()[i].cache_hit);
+    EXPECT_TRUE(second.runs()[i].outcome.observed);
+    EXPECT_EQ(to_json(second.runs()[i].outcome.stalls).dump(),
+              to_json(first.runs()[i].outcome.stalls).dump());
+  }
+  EXPECT_EQ(first.results_json().dump(), second.results_json().dump());
+
+  // Observe is part of the cache identity: an unobserved run cannot be
+  // satisfied by the observed entries above (it would otherwise silently
+  // return payload the spec never asked for, or vice versa).
+  options.observe = false;
+  const GridResult unobserved = grid.run(options);
+  EXPECT_EQ(unobserved.engine().cache.hits(), 0u);
+  EXPECT_EQ(unobserved.engine().cache.misses, grid.size());
+}
+
+TEST(Grid, MetricsRegistryObservesGridExecution) {
+  const TempDir dir("metrics");
+  obs::MetricsRegistry metrics;
+  const ExperimentGrid grid = small_grid();
+  GridOptions options;
+  options.jobs = 2;
+  options.cache_dir = dir.str();
+  options.metrics = &metrics;
+
+  grid.run(options);
+  EXPECT_EQ(metrics.counter("grid.runs")->value(), grid.size());
+  EXPECT_EQ(metrics.counter("grid.simulated")->value(), grid.size());
+  EXPECT_EQ(metrics.counter("grid.cache_hits")->value(), 0u);
+  EXPECT_EQ(metrics.counter("grid.runs_incomplete")->value(), 0u);
+  EXPECT_EQ(metrics.span("grid.run_wall")->count(), grid.size());
+  EXPECT_EQ(metrics.histogram("grid.run_wall_ms",
+                              {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
+                               2000, 5000, 10000})
+                ->count(),
+            grid.size());
+
+  // A long-lived registry accumulates across runs: the warm pass adds
+  // all-hit traffic onto the same instruments.
+  grid.run(options);
+  EXPECT_EQ(metrics.counter("grid.runs")->value(), 2 * grid.size());
+  EXPECT_EQ(metrics.counter("grid.simulated")->value(), grid.size());
+  EXPECT_EQ(metrics.counter("grid.cache_hits")->value(), grid.size());
+  const Json j = metrics.to_json();
+  EXPECT_EQ(j.at("grid.runs").at("type").as_string(), "counter");
+  EXPECT_EQ(j.at("grid.run_wall").at("type").as_string(), "span");
+}
+
 TEST(Grid, MemoryCacheDeduplicatesRepeatedSpecsInOneRun) {
   ExperimentGrid grid;
   grid.add_workload(*find_workload("gsm_dec"));

@@ -146,6 +146,59 @@ TEST_P(ReplayDifferential, ReplayMatchesDirectSimulationByteForByte) {
   }
 }
 
+TEST_P(ReplayDifferential, ObservedReplayMatchesDirectStallBreakdown) {
+  // The observability layer must be replay-exact too: the engine times
+  // every spec via replay, so RunSpec::observe is only trustworthy if the
+  // replayed stall attribution is identical to a direct simulation's. A
+  // representative machine subset keeps the sweep affordable while still
+  // covering a real predictor and tight RUU/MSHR limits.
+  const Workload& w = every_workload()[GetParam()];
+  WorkloadExperiment& exp = experiment(GetParam());
+
+  const auto covered = [](const std::string& name) {
+    return name == "2pfu_lat10" || name == "bimodal" ||
+           name == "narrow_ruu16_mshr2";
+  };
+  for (const Selector selector :
+       {Selector::kNone, Selector::kGreedy, Selector::kSelective}) {
+    for (const NamedMachine& nm : machines()) {
+      if (!covered(nm.name)) continue;
+      const RunSpec spec = spec_for(w, selector, nm);
+      const WorkloadExperiment::PreparedView view = exp.prepared(spec);
+      ASSERT_NE(view.program, nullptr);
+      ASSERT_NE(view.trace, nullptr);
+
+      SimObservation direct_obs;
+      const SimStats direct = simulate(*view.program, view.table, spec.machine,
+                                       spec.max_cycles, &direct_obs);
+      // The accounting invariant: every non-committing cycle is charged to
+      // exactly one cause, on every workload and selector.
+      EXPECT_EQ(direct_obs.stalls.cycles, direct.cycles)
+          << w.name << " / " << selector_name(selector) << " / " << nm.name;
+      EXPECT_EQ(direct_obs.stalls.cause_cycles(),
+                direct_obs.stalls.stall_cycles())
+          << w.name << " / " << selector_name(selector) << " / " << nm.name;
+
+      // Observation must be invisible to the statistics...
+      const SimStats plain =
+          simulate(*view.program, view.table, spec.machine, spec.max_cycles);
+      EXPECT_EQ(to_json(plain).dump(), to_json(direct).dump())
+          << w.name << " / " << selector_name(selector) << " / " << nm.name;
+
+      // ...and the replay path must attribute byte-identically.
+      SimObservation replay_obs;
+      const SimStats replayed =
+          simulate_replay(*view.program, view.table, *view.trace, spec.machine,
+                          spec.max_cycles, &replay_obs);
+      EXPECT_EQ(to_json(direct).dump(), to_json(replayed).dump())
+          << w.name << " / " << selector_name(selector) << " / " << nm.name;
+      EXPECT_EQ(to_json(direct_obs.stalls).dump(),
+                to_json(replay_obs.stalls).dump())
+          << w.name << " / " << selector_name(selector) << " / " << nm.name;
+    }
+  }
+}
+
 TEST_P(ReplayDifferential, SharedSelectorsReuseOneTraceAcrossMachines) {
   // Baseline and greedy preparations do not depend on the machine, so
   // every machine configuration must replay the very same trace object.

@@ -1,0 +1,231 @@
+// TraceEventLog: Chrome trace-event emission.
+//
+// Three layers of proof. Unit tests pin the log's rendering rules
+// (metadata first, stable ts sort, instant scope marker). A schema checker
+// validates a real pipeline trace end to end: parseable JSON, monotone
+// timestamps per track, and balanced B/E nesting on every (pid, tid) row —
+// the structural guarantees a Perfetto/chrome://tracing viewer relies on.
+// Finally, a golden fixture pins the complete trace of one small workload
+// byte for byte; regenerate deliberately with
+//
+//   T1000_REGEN_GOLDEN=1 ./obs_test --gtest_filter='TraceGolden.*'
+//
+// and review the diff.
+#include "obs/trace_event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "asmkit/assembler.hpp"
+#include "sim/profiler.hpp"
+#include "uarch/timing.hpp"
+
+namespace t1000::obs {
+namespace {
+
+TEST(TraceEvent, RendersMetadataFirstThenEventsStablySortedByTs) {
+  TraceEventLog log;
+  // Emitted out of ts order across tracks, and with back-to-back slices
+  // sharing a timestamp on one track: slice "a" ends at 10 and slice "b"
+  // begins at 10, in that emission order.
+  log.begin("b", 10, 1, 0);  // recorded first, belongs later
+  ASSERT_EQ(log.size(), 1u);
+  TraceEventLog ordered;
+  ordered.begin("a", 5, 1, 0);
+  ordered.end(10, 1, 0);
+  ordered.begin("b", 10, 1, 0);
+  ordered.end(12, 1, 0);
+  ordered.name_process(1, "pipeline");  // registered last, rendered first
+  ordered.name_thread(1, 0, "slot 0");
+
+  const Json doc = ordered.to_json();
+  const Json& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events.at(0).at("ph").as_string(), "M");
+  EXPECT_EQ(events.at(0).at("name").as_string(), "process_name");
+  EXPECT_EQ(events.at(1).at("ph").as_string(), "M");
+  // Non-metadata events come out ordered by ts...
+  EXPECT_EQ(events.at(2).at("name").as_string(), "a");
+  EXPECT_EQ(events.at(2).at("ts").as_uint(), 5u);
+  // ...and the stable sort keeps emission order for the shared timestamp:
+  // "a"'s E at ts=10 stays before "b"'s B at ts=10, preserving nesting.
+  EXPECT_EQ(events.at(3).at("ph").as_string(), "E");
+  EXPECT_EQ(events.at(3).at("ts").as_uint(), 10u);
+  EXPECT_EQ(events.at(4).at("ph").as_string(), "B");
+  EXPECT_EQ(events.at(4).at("name").as_string(), "b");
+  EXPECT_EQ(events.at(5).at("ts").as_uint(), 12u);
+}
+
+TEST(TraceEvent, InstantEventsCarryGlobalScope) {
+  TraceEventLog log;
+  Json args = Json::object();
+  args["cycles"] = Json(42);
+  log.instant("hot[3..7]", 3, 3, 0, std::move(args));
+  const Json doc = log.to_json();
+  const Json& ev = doc.at("traceEvents").at(0);
+  EXPECT_EQ(ev.at("ph").as_string(), "i");
+  EXPECT_EQ(ev.at("s").as_string(), "g");
+  EXPECT_EQ(ev.at("args").at("cycles").as_int(), 42);
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation of a real pipeline trace.
+
+// Asserts the structural trace-event contract on a serialized log:
+// metadata strictly before slice events, and per (pid, tid) track
+// non-decreasing timestamps with balanced, never-negative B/E nesting.
+void check_trace_schema(const Json& doc) {
+  const Json& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GT(events.size(), 0u);
+
+  bool seen_slice = false;
+  std::map<std::pair<int, int>, std::uint64_t> last_ts;
+  std::map<std::pair<int, int>, long> depth;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& ev = events.at(i);
+    const std::string ph = ev.at("ph").as_string();
+    if (ph == "M") {
+      EXPECT_FALSE(seen_slice) << "metadata after slice events (index " << i
+                               << ")";
+      continue;
+    }
+    seen_slice = true;
+    const std::pair<int, int> track{static_cast<int>(ev.at("pid").as_int()),
+                                    static_cast<int>(ev.at("tid").as_int())};
+    const std::uint64_t ts = ev.at("ts").as_uint();
+    const auto it = last_ts.find(track);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "ts went backwards on track (pid "
+                                << track.first << ", tid " << track.second
+                                << ") at index " << i;
+    }
+    last_ts[track] = ts;
+    if (ph == "B") {
+      EXPECT_FALSE(ev.at("name").as_string().empty());
+      ++depth[track];
+    } else if (ph == "E") {
+      --depth[track];
+      EXPECT_GE(depth[track], 0) << "unbalanced E on track (pid "
+                                 << track.first << ", tid " << track.second
+                                 << ") at index " << i;
+    } else if (ph == "i") {
+      EXPECT_EQ(ev.at("s").as_string(), "g");
+    } else {
+      ADD_FAILURE() << "unexpected phase '" << ph << "' at index " << i;
+    }
+  }
+  for (const auto& [track, d] : depth) {
+    EXPECT_EQ(d, 0) << "unclosed slices on track (pid " << track.first
+                    << ", tid " << track.second << ")";
+  }
+}
+
+// The golden/schema workload: a short EXT loop that exercises every event
+// source — instruction lifecycles, PFU reconfigurations (two
+// configurations thrashing one unit), and a profiler hot region.
+struct TracedProgram {
+  Program program;
+  ExtInstTable table;
+  MachineConfig machine;
+};
+
+TracedProgram traced_program(int iterations) {
+  TracedProgram t;
+  t.table.intern(ExtInstDef(2, {{.op = Opcode::kSll, .dst = 2, .a = 0, .imm = 1},
+                                {.op = Opcode::kAddu, .dst = 3, .a = 2, .b = 1}}));
+  t.table.intern(ExtInstDef(2, {{.op = Opcode::kSll, .dst = 2, .a = 0, .imm = 2},
+                                {.op = Opcode::kAddu, .dst = 3, .a = 2, .b = 1}}));
+  t.program = assemble(
+      "      li $t0, 3\n"
+      "      li $t1, 5\n"
+      "      li $s0, " + std::to_string(iterations) + "\n"
+      "loop: ext $t2, $t0, $t1, 0\n"
+      "      ext $t3, $t0, $t1, 1\n"
+      "      addu $v0, $t2, $t3\n"
+      "      addiu $s0, $s0, -1\n"
+      "      bgtz $s0, loop\n"
+      "      halt\n");
+  t.machine.pfu = {.count = 1, .reconfig_latency = 10};
+  return t;
+}
+
+Json record_full_trace(const TracedProgram& t) {
+  SimObservation obs;
+  obs.want_trace = true;
+  simulate(t.program, &t.table, t.machine, 1ull << 32, &obs);
+  // Hot-region annotations ride on the same log, exactly as --trace-out
+  // assembles them in tools/t1000_sim.cpp.
+  const Profile prof = profile_program(t.program, 1ull << 32, &t.table);
+  annotate_hot_regions(prof, t.program, &obs.trace);
+  return obs.trace.to_json();
+}
+
+TEST(TraceSchema, PipelineTraceIsWellFormed) {
+  const Json doc = record_full_trace(traced_program(50));
+  // The serialized form must survive a parse round trip...
+  const Json reparsed = Json::parse(doc.dump());
+  EXPECT_EQ(reparsed.dump(), doc.dump());
+  // ...and satisfy the viewer-facing structural contract.
+  check_trace_schema(reparsed);
+}
+
+TEST(TraceSchema, TraceCoversAllThreeTrackGroups) {
+  const Json doc = record_full_trace(traced_program(50));
+  bool pipeline = false;
+  bool pfu = false;
+  bool hot = false;
+  const Json& events = doc.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& ev = events.at(i);
+    if (ev.at("ph").as_string() == "M") continue;
+    switch (ev.at("pid").as_int()) {
+      case 1: pipeline = true; break;
+      case 2: pfu = true; break;
+      case 3: hot = true; break;
+      default: break;
+    }
+  }
+  EXPECT_TRUE(pipeline) << "no instruction lifecycle slices";
+  EXPECT_TRUE(pfu) << "no PFU reconfiguration spans";
+  EXPECT_TRUE(hot) << "no profiler hot-region annotations";
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixture: the complete trace of a two-iteration run, byte for byte.
+
+TEST(TraceGolden, SmallWorkloadTraceMatchesFixture) {
+  const Json doc = record_full_trace(traced_program(2));
+  const std::string text = doc.dump(2) + "\n";
+  const std::string path = std::string(T1000_GOLDEN_DIR) + "/small_trace.json";
+
+  if (std::getenv("T1000_REGEN_GOLDEN") != nullptr) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(os.is_open()) << "cannot write " << path;
+    os << text;
+    return;
+  }
+
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.is_open())
+      << "missing fixture " << path
+      << " — regenerate with T1000_REGEN_GOLDEN=1 (see file comment)";
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  EXPECT_EQ(buf.str(), text)
+      << "trace drifted from the golden fixture; if the change is "
+      << "intended, regenerate with T1000_REGEN_GOLDEN=1 and review";
+  // The fixture itself must satisfy the schema contract too.
+  check_trace_schema(Json::parse(buf.str()));
+}
+
+}  // namespace
+}  // namespace t1000::obs

@@ -3,11 +3,13 @@
 //
 //   t1000-sim input.{s,obj} [--pfus N|unlimited] [--reconfig N]
 //             [--bimodal] [--multi-cycle-ext] [--ruu N] [--width N]
-//             [--json FILE]
+//             [--stall-breakdown] [--trace-out FILE] [--json FILE]
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "harness/serialize.hpp"
+#include "sim/profiler.hpp"
 #include "sim/trace.hpp"
 #include "tool_common.hpp"
 #include "uarch/timing.hpp"
@@ -41,6 +43,17 @@ int main(int argc, char** argv) {
                   "time via committed-trace record + replay instead of "
                   "execution-driven simulation (must be cycle-exact)",
                   &replay);
+  bool stall_breakdown = false;
+  parser.add_flag("--stall-breakdown",
+                  "attribute every non-committing cycle to one stall cause "
+                  "and print the breakdown",
+                  &stall_breakdown);
+  std::string trace_out;
+  parser.add_string("--trace-out", "FILE",
+                    "write a Chrome/Perfetto trace-event JSON of the "
+                    "pipeline (instruction lifecycles, PFU reconfiguration "
+                    "spans, profiler hot-region annotations)",
+                    &trace_out);
   const std::string input = parser.parse(argc, argv)[0];
 
   MachineConfig cfg;
@@ -68,15 +81,20 @@ int main(int argc, char** argv) {
         obj.ext_table.size() > 0 ? &obj.ext_table : nullptr;
     SimStats st;
     CommittedTrace trace;
+    SimObservation obs;
+    obs.want_trace = !trace_out.empty();
+    const bool observe = stall_breakdown || obs.want_trace;
+    SimObservation* obs_ptr = observe ? &obs : nullptr;
     if (replay) {
       trace = record_trace(obj.program, table, 1ull << 32);
-      st = simulate_replay(obj.program, table, trace, cfg);
+      st = simulate_replay(obj.program, table, trace, cfg, 1ull << 32,
+                           obs_ptr);
       std::printf("trace:             %llu steps, %llu KiB, hash %s\n",
                   static_cast<unsigned long long>(trace.size()),
                   static_cast<unsigned long long>(trace.memory_bytes() / 1024),
                   to_hex(trace.content_hash()).c_str());
     } else {
-      st = simulate(obj.program, table, cfg);
+      st = simulate(obj.program, table, cfg, 1ull << 32, obs_ptr);
     }
     std::printf("cycles:            %llu\n",
                 static_cast<unsigned long long>(st.cycles));
@@ -98,11 +116,49 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(st.pfu.hits),
                   static_cast<unsigned long long>(st.pfu.reconfigurations));
     }
+    if (stall_breakdown) {
+      const StallBreakdown& sb = obs.stalls;
+      std::printf("stall breakdown:   %llu of %llu cycles stalled (%.1f%%)\n",
+                  static_cast<unsigned long long>(sb.stall_cycles()),
+                  static_cast<unsigned long long>(sb.cycles),
+                  sb.cycles == 0 ? 0.0
+                                 : 100.0 *
+                                       static_cast<double>(sb.stall_cycles()) /
+                                       static_cast<double>(sb.cycles));
+      for (int c = 0; c < kNumStallCauses; ++c) {
+        if (sb.causes[c] == 0) continue;
+        std::printf("  %-14s   %llu  (%.1f%% of stalls)\n",
+                    std::string(stall_cause_name(static_cast<StallCause>(c)))
+                        .c_str(),
+                    static_cast<unsigned long long>(sb.causes[c]),
+                    100.0 * static_cast<double>(sb.causes[c]) /
+                        static_cast<double>(sb.stall_cycles()));
+      }
+    }
+    if (!trace_out.empty()) {
+      // Hot-region annotations come from the functional profiler, exactly
+      // as the selection algorithms see them.
+      const Profile prof = profile_program(obj.program, 1ull << 32, table);
+      annotate_hot_regions(prof, obj.program, &obs.trace);
+      // Compact form: event traces are large and consumed by viewers, not
+      // humans.
+      std::ofstream f(trace_out, std::ios::binary);
+      f << obs.trace.to_json().dump() << '\n';
+      if (!f) {
+        std::fprintf(stderr, "t1000-sim: cannot write '%s'\n",
+                     trace_out.c_str());
+        return 1;
+      }
+      std::printf("trace events:      %llu -> %s\n",
+                  static_cast<unsigned long long>(obs.trace.size()),
+                  trace_out.c_str());
+    }
     Json doc = Json::object();
     doc["tool"] = Json("t1000-sim");
     doc["input"] = Json(input);
     doc["machine"] = to_json(cfg);
     doc["stats"] = to_json(st);
+    if (observe) doc["stalls"] = to_json(obs.stalls);
     if (replay) {
       Json tj = Json::object();
       tj["steps"] = Json(static_cast<std::uint64_t>(trace.size()));
