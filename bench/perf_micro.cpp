@@ -31,7 +31,7 @@ void BM_TimingSim(benchmark::State& state) {
   const Program p = workload_program(bench_workload());
   std::uint64_t instructions = 0;
   for (auto _ : state) {
-    const SimStats st = simulate(p, nullptr, baseline_machine());
+    const SimStats st = simulate({.program = &p, .machine = baseline_machine()});
     instructions += st.committed;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
@@ -60,12 +60,41 @@ void BM_ReplayTimingSim(benchmark::State& state) {
   const CommittedTrace trace = record_trace(p, nullptr, 1u << 24);
   std::uint64_t instructions = 0;
   for (auto _ : state) {
-    const SimStats st = simulate_replay(p, nullptr, trace, baseline_machine());
+    const SimStats st = simulate({.program = &p, .trace = &trace, .machine = baseline_machine()});
     instructions += st.committed;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
 }
 BENCHMARK(BM_ReplayTimingSim)->Unit(benchmark::kMillisecond);
+
+// Config-parallel batched replay: N machine configurations timed as lanes
+// of one simulate_replay_batch sweep over a shared pre-recorded trace.
+// items/s counts committed instructions across all lanes, so comparing
+// against BM_ReplayTimingSim at Arg(1) shows the batch dispatch overhead
+// and the higher Args show the amortization of the shared trace decode.
+void BM_ReplayBatch(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  const CommittedTrace trace = record_trace(p, nullptr, 1u << 24);
+  const int lanes = static_cast<int>(state.range(0));
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    BatchSimRequest request;
+    request.program = &p;
+    request.trace = &trace;
+    request.lanes.resize(static_cast<std::size_t>(lanes));
+    for (int i = 0; i < lanes; ++i) {
+      MachineConfig cfg = baseline_machine();
+      cfg.branch.mispredict_penalty += i;  // distinct but comparable lanes
+      request.lanes[static_cast<std::size_t>(i)].machine = cfg;
+    }
+    for (const BatchLaneResult& lane : simulate_replay_batch(request)) {
+      instructions += lane.stats.committed;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_ReplayBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // Observed timing run (stall attribution + PFU timeline, no event trace):
 // the marginal cost of RunSpec::observe over BM_TimingSim. The unobserved
@@ -77,7 +106,7 @@ void BM_StallAttribution(benchmark::State& state) {
   for (auto _ : state) {
     SimObservation obs;
     const SimStats st =
-        simulate(p, nullptr, baseline_machine(), 1ull << 32, &obs);
+        simulate({.program = &p, .machine = baseline_machine(), .observation = &obs});
     benchmark::DoNotOptimize(obs.stalls);
     instructions += st.committed;
   }
@@ -93,7 +122,7 @@ void BM_EmitTrace(benchmark::State& state) {
   for (auto _ : state) {
     SimObservation obs;
     obs.want_trace = true;
-    simulate(p, nullptr, baseline_machine(), 1ull << 32, &obs);
+    simulate({.program = &p, .machine = baseline_machine(), .observation = &obs});
     benchmark::DoNotOptimize(obs.trace.to_json());
     events += obs.trace.size();
   }

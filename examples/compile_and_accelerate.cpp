@@ -78,8 +78,8 @@ int main() {
   MachineConfig base_cfg;
   MachineConfig pfu_cfg;
   pfu_cfg.pfu = {.count = 2, .reconfig_latency = 10};
-  const SimStats base = simulate(program, nullptr, base_cfg);
-  const SimStats fast = simulate(rr.program, &sel.table, pfu_cfg);
+  const SimStats base = simulate({.program = &program, .machine = base_cfg});
+  const SimStats fast = simulate({.program = &rr.program, .ext_table = &sel.table, .machine = pfu_cfg});
   std::printf(
       "baseline superscalar: %llu cycles (IPC %.2f)\n"
       "T1000 with 2 PFUs:    %llu cycles (IPC %.2f)\n"

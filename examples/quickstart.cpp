@@ -83,8 +83,8 @@ int main() {
   MachineConfig plain;
   MachineConfig t1000_cfg;
   t1000_cfg.pfu = {.count = 2, .reconfig_latency = 10};
-  const SimStats base = simulate(program, nullptr, plain);
-  const SimStats pfu = simulate(rr.program, &sel.table, t1000_cfg);
+  const SimStats base = simulate({.program = &program, .machine = plain});
+  const SimStats pfu = simulate({.program = &rr.program, .ext_table = &sel.table, .machine = t1000_cfg});
   std::printf(
       "baseline: %llu cycles (IPC %.2f)\nT1000:    %llu cycles (IPC %.2f)\n"
       "speedup:  %.3fx\n",

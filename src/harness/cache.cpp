@@ -10,6 +10,7 @@
 #include <sstream>
 #include <utility>
 
+#include "harness/identity.hpp"
 #include "harness/serialize.hpp"
 #include "sim/trace.hpp"
 
@@ -74,14 +75,10 @@ CacheKey make_cache_key(const RunSpec& spec, std::uint64_t program_hash,
   identity["version"] = Json(kEntryVersion);
   identity["workload"] = Json(spec.workload);
   identity["program"] = Json(to_hex(program_hash));
-  identity["selector"] = Json(selector_name(spec.selector));
-  identity["machine"] = to_json(spec.machine);
-  identity["policy"] = to_json(spec.policy);
-  identity["max_cycles"] = Json(spec.max_cycles);
-  identity["verify"] = Json(spec.verify);
-  // An observed entry carries extra payload (the stall breakdown); it must
-  // neither satisfy nor be satisfied by an unobserved lookup.
-  identity["observe"] = Json(spec.observe);
+  // The spec's result-determining fields, assembled by the one shared
+  // helper (harness/identity.hpp) so the cache key, the results JSON, and
+  // the grid's batch grouping can never disagree on the field list.
+  RunIdentity::append_result_fields(spec, &identity);
   // Trace identity: what the replayed committed trace depends on beyond
   // the fields above (see sim/trace.hpp).
   Json trace = Json::object();

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -113,6 +114,22 @@ class WorkloadExperiment {
   // const; internal memoization is mutex/once-guarded: concurrent run()
   // calls on one experiment are safe, which the grid engine relies on.
   RunOutcome run(const RunSpec& spec) const;
+
+  // Config-parallel batched execution: times every spec as one lane of a
+  // single simulate_replay_batch sweep over the shared prepared trace.
+  // Every spec must share one batch identity (RunIdentity::batch_key —
+  // same selector/policy/verify; machine, max_cycles, and observe vary
+  // per lane); throws std::invalid_argument otherwise. Lane outcomes are
+  // byte-identical to N sequential run() calls. Failures are per-lane:
+  // a lane that throws (cycle bound, failed verification) carries its
+  // exception in `error` while the other lanes complete — the grid's
+  // fault isolation passes through unchanged.
+  struct BatchRunOutcome {
+    RunOutcome outcome;        // valid when !error
+    std::exception_ptr error;  // null on success
+  };
+  std::vector<BatchRunOutcome> run_batch(
+      const std::vector<RunSpec>& specs) const;
 
   // The shared immutable inputs `spec`'s timing run replays: the (possibly
   // rewritten) program, its EXT table (null when the program has none),

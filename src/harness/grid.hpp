@@ -106,6 +106,16 @@ struct GridOptions {
   // (RunOutcome::stalls) and the engine aggregates a grid-level breakdown
   // (EngineStats::stalls). Part of the cache identity, like verify.
   bool observe = false;
+  // Config-parallel batched replay (--no-batch disables): cache-missing
+  // specs that share a batch identity (RunIdentity::batch_key — same
+  // workload, selector, policy, and verify flag; the lane-grouping rule)
+  // are timed as lanes of one simulate_replay_batch sweep instead of N
+  // sequential replays. Per-run status, cache entries, fault isolation,
+  // and observe/verify semantics are unchanged, and the results are
+  // byte-identical to the sequential path (pinned by tests). Forced off
+  // when run_budget_ms > 0: a per-run wall-clock budget needs per-run
+  // execution.
+  bool batch = true;
   // Optional harness metrics sink (obs/metrics.hpp): when set, the engine
   // records its scheduling/caching counters and per-run wall-clock into it
   // ("grid.*" instruments). Borrowed, never owned; must outlive run().
@@ -146,6 +156,11 @@ struct EngineStats {
   // by replaying an already-recorded trace.
   std::uint64_t traces_recorded = 0;
   std::uint64_t trace_replays = 0;
+  // Config-parallel batching: sweeps dispatched (>= 2 cache misses sharing
+  // a prepared trace, timed in one batched replay) and the runs that were
+  // timed as lanes of one.
+  std::uint64_t batches = 0;
+  std::uint64_t batched_runs = 0;
   // Grid-level stall attribution: how many ok runs carried a breakdown
   // (RunSpec::observe), and their element-wise sum.
   std::uint64_t observed = 0;

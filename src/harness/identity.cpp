@@ -1,0 +1,42 @@
+#include "harness/identity.hpp"
+
+#include "harness/serialize.hpp"
+
+namespace t1000 {
+
+void RunIdentity::append_result_fields(const RunSpec& spec, Json* out) {
+  (*out)["selector"] = Json(selector_name(spec.selector));
+  (*out)["machine"] = to_json(spec.machine);
+  (*out)["policy"] = to_json(spec.policy);
+  (*out)["max_cycles"] = Json(spec.max_cycles);
+  // A verified run is a distinct identity: a cache hit under verify=true
+  // must mean "this configuration was verified when it was produced".
+  (*out)["verify"] = Json(spec.verify);
+  // An observed run carries extra result payload (the stall breakdown), so
+  // it must never satisfy — or be satisfied by — an unobserved identity.
+  (*out)["observe"] = Json(spec.observe);
+}
+
+std::string RunIdentity::preparation_key(const RunSpec& spec) {
+  // The committed trace (and, for rewritten programs, the selection
+  // itself) depends on the selector and on every policy field, and on
+  // nothing else — in particular not on the machine configuration, which
+  // is the whole point of sharing.
+  if (spec.selector == Selector::kNone) return "none";
+  return std::string(selector_name(spec.selector)) + "|" +
+         to_json(spec.policy).dump();
+}
+
+std::string RunIdentity::batch_key(const RunSpec& spec) {
+  // Workload scopes the preparation to one program; verify stays uniform
+  // across a batch so a failed verification fails every lane identically,
+  // exactly as N sequential runs would.
+  std::string key = spec.workload;
+  key += '\x1f';
+  key += preparation_key(spec);
+  key += '\x1f';
+  key += spec.verify ? "verified" : "unverified";
+  return key;
+}
+
+}  // namespace t1000

@@ -1,5 +1,7 @@
 #include "harness/serialize.hpp"
 
+#include "harness/identity.hpp"
+
 namespace t1000 {
 namespace {
 
@@ -211,12 +213,9 @@ Json to_json(const RunSpec& spec) {
   Json j = Json::object();
   j["workload"] = Json(spec.workload);
   j["label"] = Json(spec.label);
-  j["selector"] = Json(selector_name(spec.selector));
-  j["machine"] = to_json(spec.machine);
-  j["policy"] = to_json(spec.policy);
-  j["max_cycles"] = Json(spec.max_cycles);
-  j["verify"] = Json(spec.verify);
-  j["observe"] = Json(spec.observe);
+  // Everything below the label comes from the shared identity assembly
+  // (harness/identity.hpp), the same field list the cache key embeds.
+  RunIdentity::append_result_fields(spec, &j);
   return j;
 }
 

@@ -74,6 +74,30 @@ void CommittedTrace::finalize(std::uint32_t checksum) {
   content_hash_ = h;
 }
 
+DecodedStep decode_step(const StepInfo& info, const Program& program) {
+  DecodedStep d;
+  d.info = info;
+  d.pc = program.pc_of(info.index);
+  d.fu = fu_class(info.ins.op);
+  d.srcs = src_regs(info.ins);
+  const std::optional<Reg> dst = dst_reg(info.ins);
+  d.dst = dst.has_value() ? static_cast<std::int8_t>(*dst) : std::int8_t{-1};
+  // The halt opcode never consults the predictor (matching the fetch
+  // stage's historical is_control && !kHalt test).
+  d.is_ctrl = is_control(info.ins.op) && info.ins.op != Opcode::kHalt;
+  d.is_store = is_store(info.ins.op);
+  d.is_ext = info.ins.op == Opcode::kExt;
+  return d;
+}
+
+DecodedTrace::DecodedTrace(const CommittedTrace& trace,
+                           const Program& program) {
+  steps_.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    steps_.push_back(decode_step(trace.step_at(i, program), program));
+  }
+}
+
 CommittedTrace record_trace(const Program& program,
                             const ExtInstTable* ext_table,
                             std::uint64_t max_steps) {

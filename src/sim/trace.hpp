@@ -26,6 +26,8 @@
 
 #include "asmkit/program.hpp"
 #include "isa/extdef.hpp"
+#include "isa/instruction.hpp"
+#include "isa/opcode.hpp"
 #include "sim/executor.hpp"
 
 namespace t1000 {
@@ -89,8 +91,31 @@ CommittedTrace record_trace(const Program& program,
                             const ExtInstTable* ext_table,
                             std::uint64_t max_steps);
 
+// --- decoded steps ---
+//
+// Everything the timing pipeline's decode stage derives from a StepInfo,
+// computed once by decode_step(). The pipeline's fetch/dispatch stages
+// consume this form exclusively, so a step decoded ahead of time (the
+// batched replay path below) and a step decoded on the fly (the direct
+// and single-replay paths) take exactly the same cycle-level code.
+struct DecodedStep {
+  StepInfo info;
+  std::uint32_t pc = 0;         // byte address of info.index (I-cache key)
+  FuClass fu = FuClass::kNone;  // issue port class of the opcode
+  SrcRegs srcs;                 // register operands read (renaming)
+  std::int8_t dst = -1;         // register written; -1 = none
+  bool is_ctrl = false;         // consults the branch predictor
+  bool is_store = false;        // participates in store->load ordering
+  bool is_ext = false;          // requests a PFU configuration at decode
+};
+
+// The one decode function both forms share. `program` must be the program
+// `info` was produced from (pc_of; the instruction itself is already
+// embedded in `info`).
+DecodedStep decode_step(const StepInfo& info, const Program& program);
+
 // Presents a recorded trace through the step-source interface the timing
-// pipeline consumes (see uarch/timing.cpp): halted / next_index / step.
+// pipeline consumes (see uarch/timing.cpp): halted / next_pc / step.
 // Both referents must outlive the cursor.
 class TraceCursor {
  public:
@@ -98,12 +123,53 @@ class TraceCursor {
       : trace_(&trace), program_(&program) {}
 
   bool halted() const { return pos_ >= trace_->size(); }
-  std::int32_t next_index() const { return trace_->index_at(pos_); }
-  StepInfo step() { return trace_->step_at(pos_++, *program_); }
+  std::uint32_t next_pc() const {
+    return program_->pc_of(trace_->index_at(pos_));
+  }
+  DecodedStep step() {
+    return decode_step(trace_->step_at(pos_++, *program_), *program_);
+  }
 
  private:
   const CommittedTrace* trace_;
   const Program* program_;
+  std::size_t pos_ = 0;
+};
+
+// A committed trace fully decoded up front: one pass pays StepInfo
+// reconstruction and instruction decode for the whole stream, after which
+// any number of timing lanes replay it as plain array reads. This is what
+// makes config-parallel batched replay (uarch/timing.hpp,
+// simulate_replay_batch) profitable — N machine configurations share one
+// decode instead of re-deriving it N times.
+class DecodedTrace {
+ public:
+  DecodedTrace(const CommittedTrace& trace, const Program& program);
+
+  std::size_t size() const { return steps_.size(); }
+  const DecodedStep& at(std::size_t i) const { return steps_[i]; }
+
+  // Heap footprint of the decoded array, for observability.
+  std::uint64_t memory_bytes() const {
+    return steps_.capacity() * sizeof(DecodedStep);
+  }
+
+ private:
+  std::vector<DecodedStep> steps_;
+};
+
+// Step source over a DecodedTrace; the batched replay pipeline's cursor.
+// One cursor per lane, all borrowing the same decoded array.
+class DecodedCursor {
+ public:
+  explicit DecodedCursor(const DecodedTrace& trace) : trace_(&trace) {}
+
+  bool halted() const { return pos_ >= trace_->size(); }
+  std::uint32_t next_pc() const { return trace_->at(pos_).pc; }
+  const DecodedStep& step() { return trace_->at(pos_++); }
+
+ private:
+  const DecodedTrace* trace_;
   std::size_t pos_ = 0;
 };
 

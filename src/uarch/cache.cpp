@@ -4,17 +4,42 @@
 
 namespace t1000 {
 
+namespace {
+
+// log2 of v when v is a power of two, -1 otherwise.
+int pow2_shift(std::uint32_t v) {
+  if (v == 0 || (v & (v - 1)) != 0) return -1;
+  int s = 0;
+  while ((v >> s) != 1) ++s;
+  return s;
+}
+
+}  // namespace
+
 Cache::Cache(const CacheConfig& config) : config_(config) {
   assert(config_.num_sets() > 0 && "cache geometry must divide evenly");
-  ways_.resize(static_cast<std::size_t>(config_.num_sets()) * config_.assoc);
+  sets_ = config_.num_sets();
+  ways_.resize(static_cast<std::size_t>(sets_) * config_.assoc);
+  line_shift_ = pow2_shift(config_.line_bytes);
+  set_shift_ = pow2_shift(sets_);
+  if (set_shift_ < 0) line_shift_ = -1;  // both must be pow2 for the fast path
+  set_mask_ = sets_ - 1;
 }
 
 bool Cache::access(std::uint32_t addr, bool is_write) {
   ++stats_.accesses;
   ++tick_;
-  const std::uint32_t line = addr / config_.line_bytes;
-  const std::uint32_t set = line % config_.num_sets();
-  const std::uint32_t tag = line / config_.num_sets();
+  std::uint32_t set;
+  std::uint32_t tag;
+  if (line_shift_ >= 0) {
+    const std::uint32_t line = addr >> line_shift_;
+    set = line & set_mask_;
+    tag = line >> set_shift_;
+  } else {
+    const std::uint32_t line = addr / config_.line_bytes;
+    set = line % sets_;
+    tag = line / sets_;
+  }
   Way* base = &ways_[static_cast<std::size_t>(set) * config_.assoc];
   for (std::uint32_t w = 0; w < config_.assoc; ++w) {
     Way& way = base[w];
@@ -43,16 +68,27 @@ bool Cache::access(std::uint32_t addr, bool is_write) {
 
 Tlb::Tlb(const TlbConfig& config) : config_(config) {
   entries_.resize(config_.entries);
+  page_shift_ = pow2_shift(config_.page_bytes);
 }
 
 int Tlb::access(std::uint32_t addr) {
   ++stats_.accesses;
   ++tick_;
-  const std::uint32_t page = addr / config_.page_bytes;
+  const std::uint32_t page = page_shift_ >= 0 ? addr >> page_shift_
+                                              : addr / config_.page_bytes;
+  // Repeated accesses overwhelmingly hit the same page; a hit only touches
+  // the matching entry's last_use, so serving it from the remembered entry
+  // is state-identical to the full scan below finding it.
+  Entry& last = entries_[last_hit_];
+  if (last.valid && last.page == page) {
+    last.last_use = tick_;
+    return 0;
+  }
   Entry* victim = &entries_[0];
   for (Entry& e : entries_) {
     if (e.valid && e.page == page) {
       e.last_use = tick_;
+      last_hit_ = static_cast<std::uint32_t>(&e - entries_.data());
       return 0;
     }
     if (!e.valid || (victim->valid && e.last_use < victim->last_use)) {
@@ -63,6 +99,7 @@ int Tlb::access(std::uint32_t addr) {
   victim->valid = true;
   victim->page = page;
   victim->last_use = tick_;
+  last_hit_ = static_cast<std::uint32_t>(victim - entries_.data());
   return config_.miss_latency;
 }
 

@@ -43,6 +43,13 @@ class Cache {
 
   CacheConfig config_;
   std::vector<Way> ways_;  // sets * assoc, row-major by set
+  std::uint32_t sets_ = 1;
+  // Power-of-two geometry (the common case) resolves line/set/tag with
+  // shifts and masks instead of three integer divisions per access;
+  // line_shift_ < 0 falls back to the division path.
+  int line_shift_ = -1;
+  int set_shift_ = 0;
+  std::uint32_t set_mask_ = 0;
   std::uint64_t tick_ = 0;
   CacheStats stats_;
 };
@@ -66,6 +73,8 @@ class Tlb {
 
   TlbConfig config_;
   std::vector<Entry> entries_;
+  int page_shift_ = -1;        // power-of-two page size fast path
+  std::uint32_t last_hit_ = 0;  // entry that satisfied the last access
   std::uint64_t tick_ = 0;
   CacheStats stats_;
 };

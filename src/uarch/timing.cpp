@@ -1,6 +1,7 @@
 #include "uarch/timing.hpp"
 
-#include <deque>
+#include <algorithm>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,39 +40,63 @@ namespace {
 
 constexpr std::uint64_t kNoDep = ~0ull;
 
+// How many instructions one batched lane commits before the round-robin
+// moves on. Large enough that a lane's simulated cache/RUU state stays hot
+// in the host caches across the burst; small enough that lanes sweep the
+// shared decoded trace in step. Striding by commits rather than cycles
+// keeps the lanes aligned on the same decoded-trace window even when
+// their configurations differ wildly in IPC, so the window stays resident
+// while every lane reads it.
+constexpr std::uint64_t kBatchStride = 16384;
+
+// Smallest power of two >= v (v >= 1): ring-buffer capacities, so indexing
+// is a mask instead of an integer division on the hot path.
+std::size_t pow2_ceil(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
 // Step source backed by a live functional executor (the direct path).
-// Mirrors TraceCursor (sim/trace.hpp), the replay-backed source; the
-// pipeline below is templated over the two so both paths run the exact
-// same cycle-level code.
+// Mirrors TraceCursor / DecodedCursor (sim/trace.hpp), the replay-backed
+// sources; the pipeline below is templated over the three so every path
+// runs the exact same cycle-level code, with decode_step() as the single
+// decoder.
 class ExecutorSource {
  public:
   ExecutorSource(const Program& program, const ExtInstTable* ext_table)
-      : exec_(program, ext_table) {}
+      : exec_(program, ext_table), program_(program) {}
 
   bool halted() const { return exec_.halted(); }
-  std::int32_t next_index() const { return exec_.pc(); }
-  StepInfo step() { return exec_.step(); }
+  std::uint32_t next_pc() const { return program_.pc_of(exec_.pc()); }
+  DecodedStep step() { return decode_step(exec_.step(), program_); }
 
  private:
   Executor exec_;
+  const Program& program_;
 };
 
 struct RuuEntry {
-  StepInfo info;
+  DecodedStep step;
   std::uint64_t seq = 0;
   std::uint64_t deps[2] = {kNoDep, kNoDep};
   int num_deps = 0;
-  FuClass fu = FuClass::kNone;
   bool issued = false;
   bool completed = false;
   bool long_miss = false;  // occupies an MSHR while in flight
   std::uint64_t dispatch_cycle = 0;
   std::uint64_t complete_cycle = 0;
   std::uint64_t pfu_ready = 0;  // EXT: earliest issue (reconfiguration)
+  // Earliest cycle a failed issue attempt could possibly succeed (producer
+  // completion latency, PFU reconfiguration, pipeline fill). 0 = unknown,
+  // re-examine every cycle. Purely a scan-skipping memo: an entry with
+  // wake > now would have failed try_issue without consuming any FU, so
+  // skipping it leaves the issue order and FU allocation untouched.
+  std::uint64_t wake = 0;
 };
 
 struct FetchSlot {
-  StepInfo info;
+  DecodedStep step;
   std::uint64_t ready_cycle = 0;
   bool mispredicted = false;
 };
@@ -135,9 +160,9 @@ class RecordingObserver final : public PfuListener {
     if (slot >= used_slots_) used_slots_ = slot + 1;
     Json args = Json::object();
     args["seq"] = Json(static_cast<long long>(e.seq));
-    args["pc"] = Json(e.info.index);
-    out_->trace.begin(std::string(mnemonic(e.info.ins.op)), e.dispatch_cycle,
-                      kPipePid, tid, std::move(args));
+    args["pc"] = Json(e.step.info.index);
+    out_->trace.begin(std::string(mnemonic(e.step.info.ins.op)),
+                      e.dispatch_cycle, kPipePid, tid, std::move(args));
     out_->trace.begin("exec", issue_cycle_[slot], kPipePid, tid);
     out_->trace.end(e.complete_cycle, kPipePid, tid);
     out_->trace.end(now, kPipePid, tid);
@@ -201,18 +226,32 @@ class Pipeline {
  public:
   Pipeline(Source source, const Program& program,
            const ExtInstTable* ext_table, const MachineConfig& config,
-           SimObservation* observation)
+           std::uint64_t max_cycles, SimObservation* observation)
       : config_(config),
         source_(std::move(source)),
         program_(program),
+        max_cycles_(max_cycles),
         l2_(config.l2),
         imem_(config.il1, &l2_, config.memory_latency, config.itlb),
         dmem_(config.dl1, &l2_, config.memory_latency, config.dtlb),
         pfus_(config.pfu),
         bpred_(config.branch),
-        ruu_(static_cast<std::size_t>(config.ruu_size)),
+        // The RUU and fetch queue are rings indexed by monotonically
+        // increasing counters; rounding the storage up to a power of two
+        // turns every slot lookup into a mask. Logical capacity is still
+        // config.ruu_size / config.fetch_queue_size (ruu_full, fetch),
+        // and live entries never collide because the window is bounded by
+        // the logical capacity.
+        ruu_(pow2_ceil(static_cast<std::size_t>(config.ruu_size))),
+        ruu_mask_(ruu_.size() - 1),
+        fetch_ring_(pow2_ceil(static_cast<std::size_t>(
+            std::max(1, config.fetch_queue_size)))),
+        fetch_mask_(fetch_ring_.size() - 1),
+        store_ring_(ruu_.size()),
+        store_mask_(store_ring_.size() - 1),
         obs_(observation) {
     for (int r = 0; r < kNumRegs; ++r) last_writer_[r] = kNoDep;
+    pending_.reserve(static_cast<std::size_t>(config.ruu_size));
     if constexpr (Obs::kEnabled) obs_.attach(&pfus_, config_.ruu_size);
     if (config_.pfu.multi_cycle_ext && ext_table != nullptr) {
       // Derive per-configuration latency from mapped logic depth, assuming
@@ -227,37 +266,50 @@ class Pipeline {
     }
   }
 
-  SimStats run(std::uint64_t max_cycles) {
-    std::uint64_t now = 0;
-    while (!drained()) {
-      if (now > max_cycles) throw SimError("timing: cycle bound exceeded");
-      const int commits = commit(now);
-      issue(now);
-      resolve_mispredict(now);
-      dispatch(now);
-      fetch(now);
-      if constexpr (Obs::kEnabled) {
-        // Attribution runs at end of cycle: every non-committing cycle is
-        // charged to exactly one cause (the invariant commit_cycles +
-        // sum(causes) == cycles is pinned by tests).
-        obs_.on_cycle(commits);
-        if (commits == 0) obs_.charge(classify_stall(now));
-      }
-      ++now;
+  bool drained() const {
+    return source_.halted() && fq_head_ == fq_tail_ && head_ == tail_;
+  }
+
+  // One machine cycle. The batched driver interleaves step_cycle() calls
+  // across lanes; run() below is the single-lane loop. Throws SimError
+  // when the cycle bound is exceeded.
+  void step_cycle() {
+    if (now_ > max_cycles_) throw SimError("timing: cycle bound exceeded");
+    const int commits = commit();
+    issue();
+    resolve_mispredict();
+    dispatch();
+    fetch();
+    if constexpr (Obs::kEnabled) {
+      // Attribution runs at end of cycle: every non-committing cycle is
+      // charged to exactly one cause (the invariant commit_cycles +
+      // sum(causes) == cycles is pinned by tests).
+      obs_.on_cycle(commits);
+      if (commits == 0) obs_.charge(classify_stall());
     }
-    stats_.cycles = now;
+    ++now_;
+  }
+
+  // Instructions committed so far (the batch driver's stride measure).
+  std::uint64_t committed() const { return stats_.committed; }
+
+  // Finalizes and returns the statistics; call exactly once, after
+  // drained() turns true.
+  SimStats finish() {
+    stats_.cycles = now_;
     collect();
     if constexpr (Obs::kEnabled) obs_.finish();
     return stats_;
   }
 
- private:
-  bool drained() const {
-    return source_.halted() && fetch_queue_.empty() && head_ == tail_;
+  SimStats run() {
+    while (!drained()) step_cycle();
+    return finish();
   }
 
+ private:
   RuuEntry& entry(std::uint64_t seq) {
-    return ruu_[static_cast<std::size_t>(seq % ruu_.size())];
+    return ruu_[static_cast<std::size_t>(seq) & ruu_mask_];
   }
 
   bool ruu_full() const {
@@ -265,42 +317,86 @@ class Pipeline {
   }
 
   // --- commit ---
-  int commit(std::uint64_t now) {
+  int commit() {
     int n = 0;
     while (n < config_.commit_width && head_ != tail_) {
       RuuEntry& e = entry(head_);
-      if (!e.completed || e.complete_cycle > now) break;
-      if constexpr (Obs::kEnabled) obs_.on_commit(e, now);
+      if (!e.completed || e.complete_cycle > now_) break;
+      if constexpr (Obs::kEnabled) obs_.on_commit(e, now_);
       ++stats_.committed;
       ++head_;
       ++n;
+    }
+    // Drop committed stores from the ordering ring; everything scanning it
+    // afterwards only cares about stores still in the window (>= head_).
+    while (st_head_ != st_tail_ &&
+           store_ring_[static_cast<std::size_t>(st_head_) & store_mask_] <
+               head_) {
+      ++st_head_;
     }
     return n;
   }
 
   // --- issue ---
-  bool deps_ready(const RuuEntry& e, std::uint64_t now) {
+  // When the answer is "not ready" and `earliest` is given, *earliest is a
+  // lower bound on the first cycle the dependencies could be satisfied.
+  // For an in-flight producer that is its fixed completion cycle. For a
+  // producer that has not even issued: the issue scan is oldest-first, so
+  // by the time the consumer is examined the producer has already failed
+  // (or been skipped) this cycle — it issues at now+1 at the earliest and
+  // completes at now+2 at the earliest; the producer's own wake bound
+  // tightens that transitively (it cannot issue before p.wake, so it
+  // cannot complete before p.wake + 1). `earliest` is only meaningful
+  // from that scan context; other callers must pass nullptr.
+  bool deps_ready(const RuuEntry& e, std::uint64_t now,
+                  std::uint64_t* earliest = nullptr) const {
+    bool ready = true;
+    std::uint64_t bound = 0;
     for (int i = 0; i < e.num_deps; ++i) {
       const std::uint64_t dep = e.deps[i];
       if (dep < head_) continue;  // producer already committed
-      const RuuEntry& p = entry(dep);
-      if (!p.completed || p.complete_cycle > now) return false;
+      const RuuEntry& p = ruu_[static_cast<std::size_t>(dep) & ruu_mask_];
+      if (!p.completed) {
+        if (earliest == nullptr) return false;
+        ready = false;
+        bound = std::max({bound, now + 2, p.wake + 1});
+      } else if (p.complete_cycle > now) {
+        if (earliest == nullptr) return false;
+        ready = false;
+        bound = std::max(bound, p.complete_cycle);
+      }
     }
-    return true;
+    if (!ready && earliest != nullptr) *earliest = bound;
+    return ready;
   }
 
   // True when every older store that overlaps `e` has completed; loads may
-  // bypass non-overlapping stores (oracle disambiguation).
-  bool older_stores_done(const RuuEntry& e, std::uint64_t now) {
-    for (std::uint64_t s = head_; s < e.seq; ++s) {
+  // bypass non-overlapping stores (oracle disambiguation). Only the
+  // in-window stores are consulted — the store ring holds the ascending
+  // dispatched, uncommitted store seqs, so the scan is proportional to the
+  // stores actually in flight instead of the whole window. `earliest`
+  // follows the deps_ready contract: a lower bound on the first cycle the
+  // blocking store could be out of the way, valid only from the issue scan.
+  bool older_stores_done(const RuuEntry& e, std::uint64_t now,
+                         std::uint64_t* earliest = nullptr) {
+    for (std::uint64_t i = st_head_; i != st_tail_; ++i) {
+      const std::uint64_t s =
+          store_ring_[static_cast<std::size_t>(i) & store_mask_];
+      if (s >= e.seq) break;
       const RuuEntry& p = entry(s);
-      if (!is_store(p.info.ins.op)) continue;
-      const std::uint32_t lo = std::max(p.info.mem_addr, e.info.mem_addr);
+      const std::uint32_t lo =
+          std::max(p.step.info.mem_addr, e.step.info.mem_addr);
       const std::uint32_t hi =
-          std::min(p.info.mem_addr + p.info.mem_size,
-                   e.info.mem_addr + e.info.mem_size);
+          std::min(p.step.info.mem_addr + p.step.info.mem_size,
+                   e.step.info.mem_addr + e.step.info.mem_size);
       if (lo >= hi) continue;  // disjoint
-      if (!p.completed || p.complete_cycle > now) return false;
+      if (!p.completed || p.complete_cycle > now) {
+        if (earliest != nullptr) {
+          *earliest = p.completed ? p.complete_cycle
+                                  : std::max(now + 2, p.wake + 1);
+        }
+        return false;
+      }
     }
     return true;
   }
@@ -315,7 +411,71 @@ class Pipeline {
     return n;
   }
 
-  void issue(std::uint64_t now) {
+  // Attempts to issue `e` this cycle; the historical oldest-first scan
+  // body, verbatim. Returns true when issued (FU counters consumed).
+  bool try_issue(RuuEntry& e, int& alus, int& mults, int& ports,
+                 int& mshrs_free) {
+    if (e.dispatch_cycle >= now_) {
+      e.wake = e.dispatch_cycle + 1;
+      return false;
+    }
+    if (!deps_ready(e, now_, &e.wake)) return false;
+
+    int latency = 1;
+    switch (e.step.fu) {
+      case FuClass::kIntAlu:
+      case FuClass::kBranch:
+        if (alus == config_.int_alus) return false;
+        ++alus;
+        break;
+      case FuClass::kIntMul:
+        if (mults == config_.int_mults) return false;
+        ++mults;
+        latency = base_latency(Opcode::kMul);
+        break;
+      case FuClass::kMemRead: {
+        if (ports == config_.mem_ports) return false;
+        if (mshrs_free <= 0) return false;  // conservative: no free slot
+        if (!older_stores_done(e, now_, &e.wake)) return false;
+        ++ports;
+        latency = dmem_.access(e.step.info.mem_addr, /*is_write=*/false);
+        if (latency > config_.dl1.hit_latency) {
+          e.long_miss = true;
+          --mshrs_free;
+        }
+        break;
+      }
+      case FuClass::kMemWrite:
+        if (ports == config_.mem_ports) return false;
+        if (mshrs_free <= 0) return false;
+        ++ports;
+        latency = dmem_.access(e.step.info.mem_addr, /*is_write=*/true);
+        if (latency > config_.dl1.hit_latency) {
+          e.long_miss = true;
+          --mshrs_free;
+        }
+        break;
+      case FuClass::kPfu:
+        if (e.pfu_ready > now_) {
+          e.wake = e.pfu_ready;
+          return false;
+        }
+        if (!ext_latency_.empty()) {
+          latency = ext_latency_[e.step.info.ins.conf];
+        }
+        break;
+      case FuClass::kNone:
+        break;
+    }
+    e.issued = true;
+    e.completed = true;
+    e.complete_cycle = now_ + static_cast<std::uint64_t>(latency);
+    if constexpr (Obs::kEnabled) obs_.on_issue(e.seq, now_);
+    return true;
+  }
+
+  void issue() {
+    if (pending_.empty()) return;
     int issued = 0;
     int alus = 0;
     int mults = 0;
@@ -323,102 +483,70 @@ class Pipeline {
     int mshrs_free = config_.max_outstanding_misses == 0
                          ? 1 << 30
                          : config_.max_outstanding_misses -
-                               misses_in_flight(now);
-    for (std::uint64_t s = head_; s != tail_ && issued < config_.issue_width;
-         ++s) {
+                               misses_in_flight(now_);
+    // One oldest-first pass over the not-yet-issued entries. pending_ is
+    // kept ascending by stable compaction, so the visit order — and
+    // therefore FU allocation — is identical to the historical full-window
+    // scan that skipped issued entries. Entries dormant until a known
+    // future cycle (wake) are skipped without re-deriving the failure;
+    // they would have issued nothing and consumed no FU either way.
+    std::size_t keep = 0;
+    std::size_t i = 0;
+    for (; i < pending_.size() && issued < config_.issue_width; ++i) {
+      const std::uint64_t s = pending_[i];
       RuuEntry& e = entry(s);
-      if (e.issued || e.dispatch_cycle >= now) continue;
-      if (!deps_ready(e, now)) continue;
-
-      int latency = 1;
-      switch (e.fu) {
-        case FuClass::kIntAlu:
-        case FuClass::kBranch:
-          if (alus == config_.int_alus) continue;
-          ++alus;
-          break;
-        case FuClass::kIntMul:
-          if (mults == config_.int_mults) continue;
-          ++mults;
-          latency = base_latency(Opcode::kMul);
-          break;
-        case FuClass::kMemRead: {
-          if (ports == config_.mem_ports) continue;
-          if (mshrs_free <= 0) continue;  // conservative: no free miss slot
-          if (!older_stores_done(e, now)) continue;
-          ++ports;
-          latency = dmem_.access(e.info.mem_addr, /*is_write=*/false);
-          if (latency > config_.dl1.hit_latency) {
-            e.long_miss = true;
-            --mshrs_free;
-          }
-          break;
-        }
-        case FuClass::kMemWrite:
-          if (ports == config_.mem_ports) continue;
-          if (mshrs_free <= 0) continue;
-          ++ports;
-          latency = dmem_.access(e.info.mem_addr, /*is_write=*/true);
-          if (latency > config_.dl1.hit_latency) {
-            e.long_miss = true;
-            --mshrs_free;
-          }
-          break;
-        case FuClass::kPfu:
-          if (e.pfu_ready > now) continue;
-          if (!ext_latency_.empty()) {
-            latency = ext_latency_[e.info.ins.conf];
-          }
-          break;
-        case FuClass::kNone:
-          break;
+      if (e.wake <= now_ && try_issue(e, alus, mults, ports, mshrs_free)) {
+        ++issued;
+      } else {
+        pending_[keep++] = s;
       }
-      e.issued = true;
-      e.completed = true;
-      e.complete_cycle = now + static_cast<std::uint64_t>(latency);
-      if constexpr (Obs::kEnabled) obs_.on_issue(e.seq, now);
-      ++issued;
     }
+    for (; i < pending_.size(); ++i) pending_[keep++] = pending_[i];
+    pending_.resize(keep);
   }
 
   // --- dispatch (decode/rename) ---
-  void dispatch(std::uint64_t now) {
+  void dispatch() {
     for (int n = 0; n < config_.decode_width; ++n) {
-      if (fetch_queue_.empty() || ruu_full()) return;
-      const FetchSlot& slot = fetch_queue_.front();
-      if (slot.ready_cycle > now) return;
+      if (fq_head_ == fq_tail_ || ruu_full()) return;
+      const FetchSlot& slot =
+          fetch_ring_[static_cast<std::size_t>(fq_head_) & fetch_mask_];
+      if (slot.ready_cycle > now_) return;
 
       RuuEntry& e = entry(tail_);
       e = RuuEntry{};
-      e.info = slot.info;
+      e.step = slot.step;
       e.seq = tail_;
-      e.fu = fu_class(e.info.ins.op);
-      e.dispatch_cycle = now;
+      e.dispatch_cycle = now_;
 
-      const SrcRegs srcs = src_regs(e.info.ins);
-      for (int i = 0; i < srcs.count; ++i) {
-        const std::uint64_t w = last_writer_[srcs.reg[i]];
+      for (int i = 0; i < e.step.srcs.count; ++i) {
+        const std::uint64_t w = last_writer_[e.step.srcs.reg[i]];
         if (w != kNoDep && w >= head_) e.deps[e.num_deps++] = w;
       }
-      if (const auto d = dst_reg(e.info.ins)) {
-        last_writer_[*d] = tail_;
+      if (e.step.dst >= 0) {
+        last_writer_[e.step.dst] = tail_;
       }
-      if (e.info.ins.op == Opcode::kExt) {
-        e.pfu_ready = pfus_.request(e.info.ins.conf, now);
+      if (e.step.is_ext) {
+        e.pfu_ready = pfus_.request(e.step.info.ins.conf, now_);
+      }
+      if (e.step.is_store) {
+        store_ring_[static_cast<std::size_t>(st_tail_++) & store_mask_] =
+            tail_;
       }
       if (slot.mispredicted) pending_branch_seq_ = tail_;
+      pending_.push_back(tail_);
       ++tail_;
-      fetch_queue_.pop_front();
+      ++fq_head_;
     }
   }
 
   // When a mispredicted branch resolves, schedule the front-end redirect.
-  void resolve_mispredict(std::uint64_t now) {
+  void resolve_mispredict() {
     if (!blocked_on_branch_ || pending_branch_seq_ == kNoDep) return;
     // Fetch is frozen, so the RUU tail cannot advance and the entry is
     // never recycled before this check sees it complete.
     const RuuEntry& e = entry(pending_branch_seq_);
-    if (!e.completed || e.complete_cycle > now) return;
+    if (!e.completed || e.complete_cycle > now_) return;
     fetch_stall_until_ =
         std::max(fetch_stall_until_,
                  e.complete_cycle +
@@ -429,21 +557,21 @@ class Pipeline {
   }
 
   // --- fetch ---
-  void fetch(std::uint64_t now) {
+  void fetch() {
     if (blocked_on_branch_) return;  // awaiting a branch redirect
-    if (now < fetch_stall_until_) return;
+    if (now_ < fetch_stall_until_) return;
     for (int n = 0; n < config_.fetch_width; ++n) {
       if (source_.halted()) return;
-      if (static_cast<int>(fetch_queue_.size()) >= config_.fetch_queue_size) {
+      if (static_cast<int>(fq_tail_ - fq_head_) >= config_.fetch_queue_size) {
         return;
       }
-      const std::uint32_t pc = program_.pc_of(source_.next_index());
+      const std::uint32_t pc = source_.next_pc();
       const std::uint32_t line = pc / config_.il1.line_bytes;
-      std::uint64_t ready = now + 1;
+      std::uint64_t ready = now_ + 1;
       if (line != current_fetch_line_) {
         const int lat = imem_.access(pc);
         current_fetch_line_ = line;
-        current_line_ready_ = now + static_cast<std::uint64_t>(lat);
+        current_line_ready_ = now_ + static_cast<std::uint64_t>(lat);
         if (lat > config_.il1.hit_latency) {
           // Miss: the front end stalls until the line arrives.
           fetch_stall_until_ = current_line_ready_;
@@ -452,22 +580,26 @@ class Pipeline {
       }
       ready = std::max(ready, current_line_ready_);
 
-      const StepInfo info = source_.step();
-      if (info.index >= program_.size()) return;  // off-the-end halt
+      const DecodedStep step = source_.step();
+      if (step.info.index >= program_.size()) return;  // off-the-end halt
       bool correct = true;
-      if (is_control(info.ins.op) && info.ins.op != Opcode::kHalt) {
-        correct = bpred_.predict_and_update(info.ins, info.index,
-                                            info.branch_taken,
-                                            info.next_index);
+      if (step.is_ctrl) {
+        correct = bpred_.predict_and_update(step.info.ins, step.info.index,
+                                            step.info.branch_taken,
+                                            step.info.next_index);
       }
-      fetch_queue_.push_back({info, ready, !correct});
+      FetchSlot& slot =
+          fetch_ring_[static_cast<std::size_t>(fq_tail_++) & fetch_mask_];
+      slot.step = step;
+      slot.ready_cycle = ready;
+      slot.mispredicted = !correct;
       if (!correct) {
         // Fetch halts here until the branch resolves in the back end.
         blocked_on_branch_ = true;
         return;
       }
-      if (info.branch_taken) return;  // no fetching past a taken branch
-      if (fetch_stall_until_ > now) return;
+      if (step.info.branch_taken) return;  // no fetching past a taken branch
+      if (fetch_stall_until_ > now_) return;
     }
   }
 
@@ -479,7 +611,8 @@ class Pipeline {
   // tested before the window-shape ones so e.g. a reconfiguration wait is
   // never masked as "window full". With an empty window the front end is
   // responsible.
-  StallCause classify_stall(std::uint64_t now) {
+  StallCause classify_stall() {
+    const std::uint64_t now = now_;
     if (head_ != tail_) {
       RuuEntry& e = entry(head_);
       if (!e.issued) {
@@ -487,13 +620,14 @@ class Pipeline {
         // pure pipeline fill bubble.
         if (e.dispatch_cycle >= now) return StallCause::kFrontend;
         if (!deps_ready(e, now)) return StallCause::kOperandWait;
-        if (e.fu == FuClass::kPfu && e.pfu_ready > now) {
+        if (e.step.fu == FuClass::kPfu && e.pfu_ready > now) {
           return StallCause::kExtReconfig;
         }
-        if (e.fu == FuClass::kMemRead && !older_stores_done(e, now)) {
+        if (e.step.fu == FuClass::kMemRead && !older_stores_done(e, now)) {
           return StallCause::kOperandWait;
         }
-        if ((e.fu == FuClass::kMemRead || e.fu == FuClass::kMemWrite) &&
+        if ((e.step.fu == FuClass::kMemRead ||
+             e.step.fu == FuClass::kMemWrite) &&
             config_.max_outstanding_misses != 0 &&
             misses_in_flight(now) >= config_.max_outstanding_misses) {
           return StallCause::kMshrFull;
@@ -510,10 +644,11 @@ class Pipeline {
     }
     // Window empty: the front end owns the cycle.
     if (source_.halted()) return StallCause::kDrain;
-    if (!fetch_queue_.empty()) {
+    if (fq_head_ != fq_tail_) {
       // Slots waiting on their I-cache line; a slot ready next cycle is
       // just the fetch->dispatch pipeline latency.
-      return fetch_queue_.front().ready_cycle <= now + 1
+      return fetch_ring_[static_cast<std::size_t>(fq_head_) & fetch_mask_]
+                     .ready_cycle <= now + 1
                  ? StallCause::kFrontend
                  : StallCause::kFetchMem;
     }
@@ -538,16 +673,32 @@ class Pipeline {
   MachineConfig config_;
   Source source_;
   const Program& program_;
+  std::uint64_t max_cycles_;
   Cache l2_;
   MemHierarchy imem_;
   MemHierarchy dmem_;
   PfuBank pfus_;
   BranchPredictor bpred_;
 
-  std::deque<FetchSlot> fetch_queue_;
   std::vector<RuuEntry> ruu_;
+  std::size_t ruu_mask_;
+  // Fetch queue as a power-of-two ring indexed by monotone counters;
+  // logical occupancy (fq_tail_ - fq_head_) is capped at
+  // config.fetch_queue_size by fetch(), so slots never collide.
+  std::vector<FetchSlot> fetch_ring_;
+  std::size_t fetch_mask_;
+  std::uint64_t fq_head_ = 0;
+  std::uint64_t fq_tail_ = 0;
   std::uint64_t head_ = 0;
   std::uint64_t tail_ = 0;
+  // Dispatched-but-unissued seqs, ascending (the issue scan's worklist).
+  std::vector<std::uint64_t> pending_;
+  // Dispatched, uncommitted store seqs, ascending (memory ordering scans),
+  // as a power-of-two ring: at most one store per window slot is live.
+  std::vector<std::uint64_t> store_ring_;
+  std::size_t store_mask_;
+  std::uint64_t st_head_ = 0;
+  std::uint64_t st_tail_ = 0;
   std::uint64_t last_writer_[kNumRegs] = {};
   std::uint32_t current_fetch_line_ = ~0u;
   std::uint64_t current_line_ready_ = 0;
@@ -555,43 +706,115 @@ class Pipeline {
   bool blocked_on_branch_ = false;
   std::uint64_t pending_branch_seq_ = kNoDep;
   std::vector<int> ext_latency_;  // per Conf id; empty = single-cycle
+  std::uint64_t now_ = 0;
 
   Obs obs_;
   SimStats stats_;
 };
 
-}  // namespace
-
-SimStats simulate(const Program& program, const ExtInstTable* ext_table,
-                  const MachineConfig& config, std::uint64_t max_cycles,
-                  SimObservation* observation) {
-  if (observation != nullptr) {
-    return Pipeline<ExecutorSource, RecordingObserver>(
-               ExecutorSource(program, ext_table), program, ext_table, config,
-               observation)
-        .run(max_cycles);
+// Runs the lanes listed in `lane_ids` (indices into request.lanes), all
+// sharing one observer instantiation, writing each lane's outcome into
+// `results`. Lanes advance round-robin in kBatchStride-cycle bursts; they
+// are fully independent machines, so any interleaving produces the same
+// per-lane results as running them to completion one after another.
+template <class Obs>
+void run_lanes(const BatchSimRequest& request, const DecodedTrace& decoded,
+               const std::vector<std::size_t>& lane_ids,
+               std::vector<BatchLaneResult>* results) {
+  using LanePipeline = Pipeline<DecodedCursor, Obs>;
+  std::vector<std::unique_ptr<LanePipeline>> lanes;
+  lanes.reserve(lane_ids.size());
+  for (const std::size_t id : lane_ids) {
+    const BatchSimRequest::Lane& lane = request.lanes[id];
+    lanes.push_back(std::make_unique<LanePipeline>(
+        DecodedCursor(decoded), *request.program, request.ext_table,
+        lane.machine, lane.max_cycles, lane.observation));
   }
-  return Pipeline<ExecutorSource, NullObserver>(
-             ExecutorSource(program, ext_table), program, ext_table, config,
-             nullptr)
-      .run(max_cycles);
+  std::size_t live = lanes.size();
+  while (live > 0) {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      LanePipeline* lane = lanes[i].get();
+      if (lane == nullptr) continue;
+      BatchLaneResult& out = (*results)[lane_ids[i]];
+      try {
+        const std::uint64_t target = lane->committed() + kBatchStride;
+        while (lane->committed() < target && !lane->drained()) {
+          lane->step_cycle();
+        }
+        if (lane->drained()) {
+          out.stats = lane->finish();
+          lanes[i].reset();
+          --live;
+        }
+      } catch (...) {
+        // Per-lane fault isolation: this lane dies (cycle bound, ...);
+        // the others keep sweeping.
+        out.error = std::current_exception();
+        lanes[i].reset();
+        --live;
+      }
+    }
+  }
 }
 
-SimStats simulate_replay(const Program& program, const ExtInstTable* ext_table,
-                         const CommittedTrace& trace,
-                         const MachineConfig& config,
-                         std::uint64_t max_cycles,
-                         SimObservation* observation) {
-  if (observation != nullptr) {
-    return Pipeline<TraceCursor, RecordingObserver>(
-               TraceCursor(trace, program), program, ext_table, config,
-               observation)
-        .run(max_cycles);
+}  // namespace
+
+SimStats simulate(const SimRequest& request) {
+  if (request.program == nullptr) {
+    throw SimError("simulate: request.program is required");
   }
-  return Pipeline<TraceCursor, NullObserver>(TraceCursor(trace, program),
-                                             program, ext_table, config,
-                                             nullptr)
-      .run(max_cycles);
+  const Program& program = *request.program;
+  if (request.trace != nullptr) {
+    if (request.observation != nullptr) {
+      return Pipeline<TraceCursor, RecordingObserver>(
+                 TraceCursor(*request.trace, program), program,
+                 request.ext_table, request.machine, request.max_cycles,
+                 request.observation)
+          .run();
+    }
+    return Pipeline<TraceCursor, NullObserver>(
+               TraceCursor(*request.trace, program), program,
+               request.ext_table, request.machine, request.max_cycles,
+               nullptr)
+        .run();
+  }
+  if (request.observation != nullptr) {
+    return Pipeline<ExecutorSource, RecordingObserver>(
+               ExecutorSource(program, request.ext_table), program,
+               request.ext_table, request.machine, request.max_cycles,
+               request.observation)
+        .run();
+  }
+  return Pipeline<ExecutorSource, NullObserver>(
+             ExecutorSource(program, request.ext_table), program,
+             request.ext_table, request.machine, request.max_cycles, nullptr)
+      .run();
+}
+
+std::vector<BatchLaneResult> simulate_replay_batch(
+    const BatchSimRequest& request) {
+  if (request.program == nullptr || request.trace == nullptr) {
+    throw SimError("simulate_replay_batch: program and trace are required");
+  }
+  std::vector<BatchLaneResult> results(request.lanes.size());
+  if (request.lanes.empty()) return results;
+  // The amortization: one decode of the committed trace serves every lane.
+  const DecodedTrace decoded(*request.trace, *request.program);
+  // Observed and unobserved lanes take differently-instantiated pipelines
+  // (the null observer compiles the observation layer out), so partition
+  // by observer and run each group; results land by lane id either way.
+  std::vector<std::size_t> plain;
+  std::vector<std::size_t> observed;
+  for (std::size_t i = 0; i < request.lanes.size(); ++i) {
+    (request.lanes[i].observation != nullptr ? observed : plain).push_back(i);
+  }
+  if (!plain.empty()) {
+    run_lanes<NullObserver>(request, decoded, plain, &results);
+  }
+  if (!observed.empty()) {
+    run_lanes<RecordingObserver>(request, decoded, observed, &results);
+  }
+  return results;
 }
 
 }  // namespace t1000

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <string_view>
 #include <vector>
 
@@ -132,34 +133,79 @@ struct SimObservation {
   obs::TraceEventLog trace;             // out: filled when want_trace
 };
 
-// Runs `program` to completion on the configured machine and returns the
-// statistics. `ext_table` supplies EXT semantics (may be null when the
-// program contains none). Throws SimError if the program exceeds
-// `max_cycles` or misbehaves.
+// --- the SimRequest API ---
 //
-// `observation` opts into the observability layer (stall-cause
-// attribution, PFU timeline, optional event trace). When it is null — the
-// default — the pipeline is instantiated with the no-op observer and the
-// observation code is compiled out entirely: the disabled path costs
-// nothing and is byte-identical to pre-observability behaviour.
-SimStats simulate(const Program& program, const ExtInstTable* ext_table,
-                  const MachineConfig& config,
-                  std::uint64_t max_cycles = 1ull << 32,
-                  SimObservation* observation = nullptr);
+// One request struct describes any timing run; there is exactly one entry
+// point per batch shape instead of positional overload families. The
+// designated-initializer idiom reads as named arguments:
+//
+//   simulate({.program = &p, .machine = cfg});                 // direct
+//   simulate({.program = &p, .trace = &t, .machine = cfg});    // replay
+//   simulate({.program = &p, .machine = cfg, .observation = &obs});
+struct SimRequest {
+  // The program to time (required). For replay runs it must be the exact
+  // program the trace was recorded from.
+  const Program* program = nullptr;
+  // EXT semantics; may be null when the program contains none. Consulted
+  // for multi-cycle EXT latencies on both paths.
+  const ExtInstTable* ext_table = nullptr;
+  // Replay source: when set, the pipeline is driven by this committed
+  // trace instead of an embedded functional executor. Cycle-exact with
+  // the direct path — tests/integration/replay_differential_test.cpp
+  // holds the two to byte-identical statistics — but the functional work
+  // is paid once at record time, so one trace serves a whole grid of
+  // machine configurations. Null selects execution-driven simulation.
+  const CommittedTrace* trace = nullptr;
+  MachineConfig machine;
+  std::uint64_t max_cycles = 1ull << 32;  // SimError past this bound
+  // Opts into the observability layer (stall-cause attribution, PFU
+  // timeline, optional event trace). When null — the default — the
+  // pipeline is instantiated with the no-op observer and the observation
+  // code is compiled out entirely: the disabled path costs nothing and
+  // observation never changes SimStats (pinned by tests).
+  SimObservation* observation = nullptr;
+};
 
-// Replay-backed timing: drives the identical pipeline from a committed
-// trace previously recorded from (`program`, `ext_table`) instead of
-// stepping an embedded executor. Cycle-exact with simulate() on the same
-// inputs — the differential harness in
-// tests/integration/replay_differential_test.cpp holds the two paths to
-// byte-identical statistics — but the functional work is paid once at
-// record time, so one trace can be shared across a whole grid of machine
-// configurations (`ext_table` is still consulted for multi-cycle EXT
-// latencies).
-SimStats simulate_replay(const Program& program, const ExtInstTable* ext_table,
-                         const CommittedTrace& trace,
-                         const MachineConfig& config,
-                         std::uint64_t max_cycles = 1ull << 32,
-                         SimObservation* observation = nullptr);
+// Runs one timing simulation described by `request` and returns the
+// statistics. Throws SimError if the request is malformed, the program
+// exceeds max_cycles, or the simulation misbehaves.
+SimStats simulate(const SimRequest& request);
+
+// Config-parallel batched replay: N machine configurations timed in one
+// sweep of one committed trace. The trace is decoded once up front
+// (sim/trace.hpp, DecodedTrace) and every lane replays the decoded form,
+// so the per-step decode cost is paid once instead of N times. Each lane
+// is an independent pipeline (its own caches, TLBs, predictor, PFU bank,
+// RUU) — lane results are byte-identical to N sequential simulate()
+// replay calls, in any lane order, which the batch differential tests
+// pin.
+struct BatchSimRequest {
+  const Program* program = nullptr;        // required
+  const ExtInstTable* ext_table = nullptr; // may be null
+  const CommittedTrace* trace = nullptr;   // required; shared by all lanes
+  // One lane per machine configuration to time. max_cycles and
+  // observation are per-lane: observed and unobserved lanes mix freely.
+  struct Lane {
+    MachineConfig machine;
+    std::uint64_t max_cycles = 1ull << 32;
+    SimObservation* observation = nullptr;
+  };
+  std::vector<Lane> lanes;
+};
+
+// One lane's outcome. Lanes fail independently: a lane that exceeds its
+// cycle bound (or otherwise throws) carries the exception here while the
+// other lanes complete normally — the grid's per-run fault isolation
+// passes straight through the batch.
+struct BatchLaneResult {
+  SimStats stats;            // valid when !error
+  std::exception_ptr error;  // null on success
+};
+
+// Runs every lane of `request` and returns their results in lane order.
+// Throws SimError only for a malformed request (missing program/trace);
+// per-lane failures are reported in the corresponding BatchLaneResult.
+std::vector<BatchLaneResult> simulate_replay_batch(
+    const BatchSimRequest& request);
 
 }  // namespace t1000

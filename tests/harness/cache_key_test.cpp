@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "harness/identity.hpp"
 #include "harness/serialize.hpp"
 
 namespace t1000 {
@@ -151,6 +152,60 @@ TEST(CacheKey, LabelIsPresentationOnly) {
   const CacheKey b = make_cache_key(relabeled, kHash, kSteps);
   EXPECT_EQ(a.text, b.text);
   EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST(RunIdentity, BatchKeyPartitionsFlipsIntoSharedAndPerLaneFields) {
+  // The lane-grouping rule: specs share a batched replay exactly when they
+  // share (workload, selector, policy, verify). Reusing the exhaustive flip
+  // list keeps this classification complete by construction — a new
+  // identity field added there must be placed on one side of this fence.
+  const std::string base_batch = RunIdentity::batch_key(base_spec());
+  for (const Flip& flip : identity_flips()) {
+    RunSpec spec = base_spec();
+    flip.second(spec);
+    const bool shared = flip.first == "workload" || flip.first == "selector" ||
+                        flip.first == "verify" ||
+                        flip.first.rfind("policy.", 0) == 0;
+    if (shared) {
+      EXPECT_NE(RunIdentity::batch_key(spec), base_batch)
+          << "flipping " << flip.first << " must split the batch group";
+    } else {
+      // Machine config, max_cycles, and observe vary per lane: flipping
+      // them must keep the spec in the same batch group.
+      EXPECT_EQ(RunIdentity::batch_key(spec), base_batch)
+          << "flipping " << flip.first << " must not split the batch group";
+    }
+  }
+}
+
+TEST(RunIdentity, PreparationKeyTracksOnlySelectorAndPolicy) {
+  // The preparation (selection + rewrite + recorded trace) is a function of
+  // (selector, policy) within one workload experiment; nothing else may
+  // fork — or fail to fork — the memoized preparation.
+  const std::string base_prep = RunIdentity::preparation_key(base_spec());
+  for (const Flip& flip : identity_flips()) {
+    RunSpec spec = base_spec();
+    flip.second(spec);
+    const bool preparation_field =
+        flip.first == "selector" || flip.first.rfind("policy.", 0) == 0;
+    if (preparation_field) {
+      EXPECT_NE(RunIdentity::preparation_key(spec), base_prep)
+          << "flipping " << flip.first << " must change the preparation";
+    } else {
+      EXPECT_EQ(RunIdentity::preparation_key(spec), base_prep)
+          << "flipping " << flip.first << " must not change the preparation";
+    }
+  }
+}
+
+TEST(RunIdentity, BaselinePreparationIsSelectorIndependentOfPolicy) {
+  // kNone never selects, so its preparation ignores the policy entirely —
+  // baseline runs with different policies still share one recorded trace.
+  RunSpec a = baseline_spec("gsm_dec");
+  RunSpec b = baseline_spec("gsm_dec");
+  b.policy.lut_budget = 42;
+  EXPECT_EQ(RunIdentity::preparation_key(a), RunIdentity::preparation_key(b));
+  EXPECT_EQ(RunIdentity::batch_key(a), RunIdentity::batch_key(b));
 }
 
 TEST(CacheKey, TextEmbedsTheFullIdentityJson) {

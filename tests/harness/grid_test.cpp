@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 
 #include "harness/cache.hpp"
 #include "harness/serialize.hpp"
@@ -270,6 +271,116 @@ TEST(Grid, MemoryCacheDeduplicatesRepeatedSpecsInOneRun) {
   EXPECT_EQ(res.engine().cache.memory_hits, 1u);
   EXPECT_EQ(res.stats("gsm_dec", "a").cycles,
             res.stats("gsm_dec", "b").cycles);
+}
+
+// A grid whose specs form real batch groups: per workload and selector,
+// several machine configurations share one preparation (same policy), so
+// the batching engine can time them as lanes of one sweep.
+ExperimentGrid batchable_grid() {
+  ExperimentGrid grid;
+  grid.add_workload(*find_workload("gsm_dec"));
+  grid.add_workload(*find_workload("g721_dec"));
+  for (const char* name : {"gsm_dec", "g721_dec"}) {
+    grid.add(baseline_spec(name));
+    for (const int latency : {0, 10, 100}) {
+      grid.add(greedy_spec(name, "greedy-lat" + std::to_string(latency), 2,
+                           latency));
+      grid.add(selective_spec(name, "2pfu-lat" + std::to_string(latency), 2,
+                              latency));
+    }
+  }
+  return grid;
+}
+
+TEST(Grid, BatchedRunMatchesUnbatchedByteForByte) {
+  const ExperimentGrid grid = batchable_grid();
+  GridOptions batched;
+  batched.jobs = 1;
+  GridOptions unbatched = batched;
+  unbatched.batch = false;
+
+  const GridResult a = grid.run(batched);
+  const GridResult b = grid.run(unbatched);
+
+  // Batching engaged on one side only...
+  EXPECT_GT(a.engine().batches, 0u);
+  EXPECT_GT(a.engine().batched_runs, a.engine().batches);
+  EXPECT_EQ(b.engine().batches, 0u);
+  EXPECT_EQ(b.engine().batched_runs, 0u);
+  // ...with the same amount of real work (simulations, recorded traces,
+  // replays) and byte-identical deterministic results.
+  EXPECT_EQ(a.engine().simulated, b.engine().simulated);
+  EXPECT_EQ(a.engine().traces_recorded, b.engine().traces_recorded);
+  EXPECT_EQ(a.engine().trace_replays, b.engine().trace_replays);
+  EXPECT_EQ(a.results_json().dump(), b.results_json().dump());
+}
+
+TEST(Grid, BatchedRunIsScheduleIndependent) {
+  const ExperimentGrid grid = batchable_grid();
+  GridOptions serial;
+  serial.jobs = 1;
+  GridOptions parallel;
+  parallel.jobs = 4;
+  const GridResult a = grid.run(serial);
+  const GridResult b = grid.run(parallel);
+  EXPECT_EQ(a.results_json().dump(), b.results_json().dump());
+}
+
+TEST(Grid, BatchedAndUnbatchedShareCacheEntries) {
+  // The cache identity is per run, not per batch: a cold batched pass must
+  // populate exactly the entries a warm unbatched pass hits, and the
+  // second pass simulates nothing.
+  const TempDir dir("batch-cache");
+  const ExperimentGrid grid = batchable_grid();
+  GridOptions batched;
+  batched.jobs = 1;
+  batched.cache_dir = dir.str();
+  GridOptions unbatched = batched;
+  unbatched.batch = false;
+
+  const GridResult cold = grid.run(batched);
+  EXPECT_EQ(cold.engine().simulated, grid.size());
+  EXPECT_GT(cold.engine().batches, 0u);
+
+  const GridResult warm = grid.run(unbatched);
+  EXPECT_EQ(warm.engine().simulated, 0u);
+  EXPECT_EQ(warm.engine().cache.hits(), warm.engine().runs);
+  // All-hit grids dispatch no batches: there is nothing left to simulate.
+  EXPECT_EQ(warm.engine().batches, 0u);
+  EXPECT_EQ(cold.results_json().dump(), warm.results_json().dump());
+}
+
+TEST(Grid, ObserveAndVerifyModesSurviveBatching) {
+  const ExperimentGrid grid = batchable_grid();
+  GridOptions batched;
+  batched.jobs = 1;
+  batched.observe = true;
+  batched.verify = true;
+  GridOptions unbatched = batched;
+  unbatched.batch = false;
+
+  const GridResult a = grid.run(batched);
+  const GridResult b = grid.run(unbatched);
+  EXPECT_GT(a.engine().batches, 0u);
+  for (const RunResult& r : a.runs()) {
+    ASSERT_EQ(r.status, RunStatus::kOk) << r.spec.workload << "/"
+                                        << r.spec.label << ": " << r.error;
+    EXPECT_TRUE(r.outcome.observed);
+  }
+  EXPECT_EQ(a.engine().observed, a.engine().runs);
+  EXPECT_EQ(a.results_json().dump(), b.results_json().dump());
+}
+
+TEST(Grid, RunBudgetForcesPerRunExecution) {
+  // A per-run wall-clock budget needs per-run timing, so it disables
+  // batching even when the option is left on.
+  const ExperimentGrid grid = batchable_grid();
+  GridOptions options;
+  options.jobs = 1;
+  options.run_budget_ms = 1e9;  // effectively unlimited, but set
+  const GridResult res = grid.run(options);
+  EXPECT_EQ(res.engine().batches, 0u);
+  for (const RunResult& r : res.runs()) EXPECT_EQ(r.status, RunStatus::kOk);
 }
 
 TEST(Grid, CorruptDiskEntriesAreQuarantinedOnceAndRepaired) {

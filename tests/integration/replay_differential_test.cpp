@@ -135,7 +135,7 @@ TEST_P(ReplayDifferential, ReplayMatchesDirectSimulationByteForByte) {
       // ...versus a from-scratch execution-driven simulation of the same
       // (rewritten) program under the same machine.
       const SimStats direct =
-          simulate(*view.program, view.table, spec.machine, spec.max_cycles);
+          simulate({.program = view.program, .ext_table = view.table, .machine = spec.machine, .max_cycles = spec.max_cycles});
 
       EXPECT_EQ(to_json(direct).dump(), to_json(replayed.stats).dump())
           << w.name << " / " << selector_name(selector) << " / " << nm.name;
@@ -169,8 +169,7 @@ TEST_P(ReplayDifferential, ObservedReplayMatchesDirectStallBreakdown) {
       ASSERT_NE(view.trace, nullptr);
 
       SimObservation direct_obs;
-      const SimStats direct = simulate(*view.program, view.table, spec.machine,
-                                       spec.max_cycles, &direct_obs);
+      const SimStats direct = simulate({.program = view.program, .ext_table = view.table, .machine = spec.machine, .max_cycles = spec.max_cycles, .observation = &direct_obs});
       // The accounting invariant: every non-committing cycle is charged to
       // exactly one cause, on every workload and selector.
       EXPECT_EQ(direct_obs.stalls.cycles, direct.cycles)
@@ -181,20 +180,66 @@ TEST_P(ReplayDifferential, ObservedReplayMatchesDirectStallBreakdown) {
 
       // Observation must be invisible to the statistics...
       const SimStats plain =
-          simulate(*view.program, view.table, spec.machine, spec.max_cycles);
+          simulate({.program = view.program, .ext_table = view.table, .machine = spec.machine, .max_cycles = spec.max_cycles});
       EXPECT_EQ(to_json(plain).dump(), to_json(direct).dump())
           << w.name << " / " << selector_name(selector) << " / " << nm.name;
 
       // ...and the replay path must attribute byte-identically.
       SimObservation replay_obs;
       const SimStats replayed =
-          simulate_replay(*view.program, view.table, *view.trace, spec.machine,
-                          spec.max_cycles, &replay_obs);
+          simulate({.program = view.program, .ext_table = view.table, .trace = view.trace, .machine = spec.machine, .max_cycles = spec.max_cycles, .observation = &replay_obs});
       EXPECT_EQ(to_json(direct).dump(), to_json(replayed).dump())
           << w.name << " / " << selector_name(selector) << " / " << nm.name;
       EXPECT_EQ(to_json(direct_obs.stalls).dump(),
                 to_json(replay_obs.stalls).dump())
           << w.name << " / " << selector_name(selector) << " / " << nm.name;
+    }
+  }
+}
+
+TEST_P(ReplayDifferential, BatchedReplayMatchesSequentialRuns) {
+  // The config-parallel engine path: every machine configuration that
+  // shares a preparation is timed as one lane of a single batched sweep.
+  // Batching is only sound if each lane's outcome — statistics and, for
+  // observed lanes, the stall breakdown — is byte-identical to the run
+  // the sequential path would have produced.
+  const Workload& w = every_workload()[GetParam()];
+  WorkloadExperiment& exp = experiment(GetParam());
+
+  for (const Selector selector :
+       {Selector::kNone, Selector::kGreedy, Selector::kSelective}) {
+    std::vector<RunSpec> specs;
+    for (const NamedMachine& nm : machines()) {
+      // Selective lanes must share the selection policy (the batch-identity
+      // rule): restrict that sweep to the 2-PFU machines.
+      if (selector == Selector::kSelective && nm.machine.pfu.count != 2) {
+        continue;
+      }
+      RunSpec spec = spec_for(w, selector, nm);
+      spec.observe = specs.size() % 2 == 1;  // mix observed and plain lanes
+      specs.push_back(spec);
+    }
+    ASSERT_GT(specs.size(), 1u);
+
+    const std::vector<WorkloadExperiment::BatchRunOutcome> lanes =
+        exp.run_batch(specs);
+    ASSERT_EQ(lanes.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      ASSERT_EQ(lanes[i].error, nullptr)
+          << w.name << " / " << selector_name(selector) << " / "
+          << specs[i].label;
+      const RunOutcome single = exp.run(specs[i]);
+      EXPECT_EQ(to_json(lanes[i].outcome.stats).dump(),
+                to_json(single.stats).dump())
+          << w.name << " / " << selector_name(selector) << " / "
+          << specs[i].label;
+      EXPECT_EQ(lanes[i].outcome.observed, single.observed);
+      if (single.observed) {
+        EXPECT_EQ(to_json(lanes[i].outcome.stalls).dump(),
+                  to_json(single.stalls).dump())
+            << w.name << " / " << selector_name(selector) << " / "
+            << specs[i].label;
+      }
     }
   }
 }

@@ -82,8 +82,8 @@ TEST(MiniCPipeline, PfusSpeedUpCompiledCode) {
   MachineConfig base_cfg;
   MachineConfig pfu_cfg;
   pfu_cfg.pfu = {.count = 2, .reconfig_latency = 10};
-  const SimStats base = simulate(p, nullptr, base_cfg);
-  const SimStats fast = simulate(rr.program, &sel.table, pfu_cfg);
+  const SimStats base = simulate({.program = &p, .machine = base_cfg});
+  const SimStats fast = simulate({.program = &rr.program, .ext_table = &sel.table, .machine = pfu_cfg});
   EXPECT_LT(fast.cycles, base.cycles);
   // Fused instructions shrink the committed stream too.
   EXPECT_LT(fast.committed, base.committed);

@@ -161,7 +161,7 @@ TracedProgram traced_program(int iterations) {
 Json record_full_trace(const TracedProgram& t) {
   SimObservation obs;
   obs.want_trace = true;
-  simulate(t.program, &t.table, t.machine, 1ull << 32, &obs);
+  simulate({.program = &t.program, .ext_table = &t.table, .machine = t.machine, .observation = &obs});
   // Hot-region annotations ride on the same log, exactly as --trace-out
   // assembles them in tools/t1000_sim.cpp.
   const Profile prof = profile_program(t.program, 1ull << 32, &t.table);

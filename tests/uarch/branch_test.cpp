@@ -93,8 +93,8 @@ TEST(BranchTiming, MispredictionsCostCycles) {
   MachineConfig perfect;
   MachineConfig bimodal;
   bimodal.branch.kind = BranchPredictorKind::kBimodal;
-  const SimStats a = simulate(p, nullptr, perfect);
-  const SimStats b = simulate(p, nullptr, bimodal);
+  const SimStats a = simulate({.program = &p, .machine = perfect});
+  const SimStats b = simulate({.program = &p, .machine = bimodal});
   EXPECT_GT(b.cycles, a.cycles);
   EXPECT_GT(b.branch.conditional, 3000u);
   EXPECT_EQ(a.committed, b.committed);  // same work either way
@@ -111,8 +111,8 @@ TEST(BranchTiming, PredictableLoopNearlyMatchesPerfect) {
   MachineConfig perfect;
   MachineConfig bimodal;
   bimodal.branch.kind = BranchPredictorKind::kBimodal;
-  const SimStats a = simulate(p, nullptr, perfect);
-  const SimStats b = simulate(p, nullptr, bimodal);
+  const SimStats a = simulate({.program = &p, .machine = perfect});
+  const SimStats b = simulate({.program = &p, .machine = bimodal});
   EXPECT_GT(b.branch.cond_accuracy(), 0.999);
   EXPECT_LT(static_cast<double>(b.cycles),
             static_cast<double>(a.cycles) * 1.02);
@@ -130,8 +130,8 @@ TEST(BranchTiming, StaticNotTakenIsSlowestOnLoops) {
   bimodal.branch.kind = BranchPredictorKind::kBimodal;
   MachineConfig nt;
   nt.branch.kind = BranchPredictorKind::kStaticNotTaken;
-  const SimStats b = simulate(p, nullptr, bimodal);
-  const SimStats n = simulate(p, nullptr, nt);
+  const SimStats b = simulate({.program = &p, .machine = bimodal});
+  const SimStats n = simulate({.program = &p, .machine = nt});
   EXPECT_GT(n.cycles, b.cycles);  // every loop back edge mispredicts
 }
 
@@ -176,8 +176,8 @@ TEST(BranchTiming, GshareWorksInThePipeline) {
   bimodal.branch.kind = BranchPredictorKind::kBimodal;
   MachineConfig gshare;
   gshare.branch.kind = BranchPredictorKind::kGshare;
-  const SimStats b = simulate(p, nullptr, bimodal);
-  const SimStats g = simulate(p, nullptr, gshare);
+  const SimStats b = simulate({.program = &p, .machine = bimodal});
+  const SimStats g = simulate({.program = &p, .machine = gshare});
   // The alternating inner branch is history-predictable.
   EXPECT_GT(g.branch.cond_accuracy(), b.branch.cond_accuracy());
   EXPECT_LT(g.cycles, b.cycles);

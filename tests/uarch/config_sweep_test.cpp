@@ -44,8 +44,8 @@ TEST_P(WidthSweep, WiderMachinesAreMonotonicallyFaster) {
   MachineConfig wide = narrow;
   wide.fetch_width = wide.decode_width = wide.issue_width =
       wide.commit_width = width + 1;
-  const SimStats a = simulate(p, nullptr, narrow);
-  const SimStats b = simulate(p, nullptr, wide);
+  const SimStats a = simulate({.program = &p, .machine = narrow});
+  const SimStats b = simulate({.program = &p, .machine = wide});
   EXPECT_GE(a.cycles, b.cycles) << "width " << width;
   EXPECT_EQ(a.committed, b.committed);
 }
@@ -56,7 +56,8 @@ TEST(ConfigSweep, SingleIssueIsRoughlyScalar) {
   MachineConfig scalar;
   scalar.fetch_width = scalar.decode_width = scalar.issue_width =
       scalar.commit_width = 1;
-  const SimStats st = simulate(ilp_kernel(), nullptr, scalar);
+  const Program p = ilp_kernel();
+  const SimStats st = simulate({.program = &p, .machine = scalar});
   EXPECT_LE(st.ipc(), 1.0);
   EXPECT_GT(st.ipc(), 0.5);
 }
@@ -69,8 +70,8 @@ TEST_P(RuuSweep, BiggerWindowsNeverHurt) {
   small.ruu_size = GetParam();
   MachineConfig big;
   big.ruu_size = GetParam() * 2;
-  const SimStats a = simulate(p, nullptr, small);
-  const SimStats b = simulate(p, nullptr, big);
+  const SimStats a = simulate({.program = &p, .machine = small});
+  const SimStats b = simulate({.program = &p, .machine = big});
   EXPECT_GE(a.cycles, b.cycles) << "ruu " << GetParam();
 }
 
@@ -94,8 +95,8 @@ TEST(ConfigSweep, TinyRuuThrottlesMemoryParallelism) {
   tiny.ruu_size = 4;
   MachineConfig big;
   big.ruu_size = 128;
-  const SimStats a = simulate(p, nullptr, tiny);
-  const SimStats b = simulate(p, nullptr, big);
+  const SimStats a = simulate({.program = &p, .machine = tiny});
+  const SimStats b = simulate({.program = &p, .machine = big});
   EXPECT_GT(static_cast<double>(a.cycles),
             static_cast<double>(b.cycles) * 1.5);
 }
@@ -120,8 +121,8 @@ TEST(ConfigSweep, MemPortsLimitThroughput) {
   one.mem_ports = 1;
   MachineConfig two;
   two.mem_ports = 2;
-  const SimStats a = simulate(p, nullptr, one);
-  const SimStats b = simulate(p, nullptr, two);
+  const SimStats a = simulate({.program = &p, .machine = one});
+  const SimStats b = simulate({.program = &p, .machine = two});
   EXPECT_GT(a.cycles, b.cycles);
 }
 
@@ -137,8 +138,8 @@ TEST(ConfigSweep, AluCountLimitsIndependentWork) {
   one_alu.int_alus = 1;
   MachineConfig four_alu;
   four_alu.int_alus = 4;
-  const SimStats a = simulate(p, nullptr, one_alu);
-  const SimStats b = simulate(p, nullptr, four_alu);
+  const SimStats a = simulate({.program = &p, .machine = one_alu});
+  const SimStats b = simulate({.program = &p, .machine = four_alu});
   EXPECT_GT(static_cast<double>(a.cycles),
             static_cast<double>(b.cycles) * 1.5);
 }
@@ -166,8 +167,8 @@ TEST_P(CacheSweep, LargerCachesMissLess) {
   small.dl1.size_bytes = kb * 1024;
   MachineConfig big;
   big.dl1.size_bytes = kb * 2048;
-  const SimStats a = simulate(p, nullptr, small);
-  const SimStats b = simulate(p, nullptr, big);
+  const SimStats a = simulate({.program = &p, .machine = small});
+  const SimStats b = simulate({.program = &p, .machine = big});
   EXPECT_GE(a.dl1.misses, b.dl1.misses) << kb << " KiB";
   EXPECT_GE(a.cycles, b.cycles);
 }
@@ -180,8 +181,8 @@ TEST(ConfigSweep, FetchQueueSizeNeverHurts) {
   small.fetch_queue_size = 4;
   MachineConfig big;
   big.fetch_queue_size = 32;
-  EXPECT_GE(simulate(p, nullptr, small).cycles,
-            simulate(p, nullptr, big).cycles);
+  EXPECT_GE(simulate({.program = &p, .machine = small}).cycles,
+            simulate({.program = &p, .machine = big}).cycles);
 }
 
 TEST(ConfigSweep, SlowerMemoryHurtsMissHeavyCode) {
@@ -201,8 +202,8 @@ TEST(ConfigSweep, SlowerMemoryHurtsMissHeavyCode) {
   fast.memory_latency = 18;
   MachineConfig slow;
   slow.memory_latency = 100;
-  EXPECT_GT(simulate(p, nullptr, slow).cycles,
-            simulate(p, nullptr, fast).cycles);
+  EXPECT_GT(simulate({.program = &p, .machine = slow}).cycles,
+            simulate({.program = &p, .machine = fast}).cycles);
 }
 
 }  // namespace

@@ -52,7 +52,7 @@ TEST(Writeback, StoreStreamProducesWritebacks) {
         .data
   buf:  .space 65536
   )");
-  const SimStats st = simulate(p, nullptr, MachineConfig{});
+  const SimStats st = simulate({.program = &p, .machine = MachineConfig{}});
   EXPECT_GT(st.dl1.writebacks, 1000u);
 }
 
@@ -76,9 +76,9 @@ TEST(Mshr, LimitThrottlesMemoryLevelParallelism) {
   one.max_outstanding_misses = 1;
   MachineConfig four;
   four.max_outstanding_misses = 4;
-  const SimStats u = simulate(p, nullptr, unlimited);
-  const SimStats f = simulate(p, nullptr, four);
-  const SimStats o = simulate(p, nullptr, one);
+  const SimStats u = simulate({.program = &p, .machine = unlimited});
+  const SimStats f = simulate({.program = &p, .machine = four});
+  const SimStats o = simulate({.program = &p, .machine = one});
   EXPECT_GT(static_cast<double>(o.cycles), static_cast<double>(u.cycles) * 1.3);
   EXPECT_GE(o.cycles, f.cycles);
   EXPECT_GE(f.cycles, u.cycles);
@@ -103,8 +103,8 @@ TEST(Mshr, CacheHitsUnaffectedByLimit) {
   MachineConfig unlimited;
   MachineConfig one;
   one.max_outstanding_misses = 1;
-  const SimStats u = simulate(p, nullptr, unlimited);
-  const SimStats o = simulate(p, nullptr, one);
+  const SimStats u = simulate({.program = &p, .machine = unlimited});
+  const SimStats o = simulate({.program = &p, .machine = one});
   EXPECT_LE(static_cast<double>(o.cycles),
             static_cast<double>(u.cycles) * 1.02);
 }

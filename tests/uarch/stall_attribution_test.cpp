@@ -124,7 +124,7 @@ TEST(StallAttribution, EveryNonCommittingCycleChargedExactlyOnce) {
   for (const Scenario& s : scenarios()) {
     SimObservation obs;
     const SimStats st =
-        simulate(s.program, s.table_ptr(), s.machine, 1ull << 32, &obs);
+        simulate({.program = &s.program, .ext_table = s.table_ptr(), .machine = s.machine, .observation = &obs});
     EXPECT_EQ(obs.stalls.cycles, st.cycles) << s.name;
     // The invariant: commit cycles plus per-cause charges account for
     // every simulated cycle, with no double counting and no residue.
@@ -135,16 +135,16 @@ TEST(StallAttribution, EveryNonCommittingCycleChargedExactlyOnce) {
 
 TEST(StallAttribution, ObservationNeverPerturbsSimStats) {
   for (const Scenario& s : scenarios()) {
-    const SimStats plain = simulate(s.program, s.table_ptr(), s.machine);
+    const SimStats plain = simulate({.program = &s.program, .ext_table = s.table_ptr(), .machine = s.machine});
     SimObservation obs;
     const SimStats observed =
-        simulate(s.program, s.table_ptr(), s.machine, 1ull << 32, &obs);
+        simulate({.program = &s.program, .ext_table = s.table_ptr(), .machine = s.machine, .observation = &obs});
     EXPECT_EQ(to_json(plain).dump(), to_json(observed).dump()) << s.name;
     // Full event tracing must be equally invisible to the statistics.
     SimObservation traced;
     traced.want_trace = true;
     const SimStats with_trace =
-        simulate(s.program, s.table_ptr(), s.machine, 1ull << 32, &traced);
+        simulate({.program = &s.program, .ext_table = s.table_ptr(), .machine = s.machine, .observation = &traced});
     EXPECT_EQ(to_json(plain).dump(), to_json(with_trace).dump()) << s.name;
     EXPECT_FALSE(traced.trace.empty()) << s.name;
   }
@@ -154,7 +154,7 @@ TEST(StallAttribution, ExtBlockedChargesReconfigurationWait) {
   const Scenario s = ext_blocked();
   SimObservation obs;
   const SimStats st =
-      simulate(s.program, s.table_ptr(), s.machine, 1ull << 32, &obs);
+      simulate({.program = &s.program, .ext_table = s.table_ptr(), .machine = s.machine, .observation = &obs});
   // Every EXT in the steady state waits behind a 10-cycle configuration
   // load of the single PFU: ext_reconfig must dominate the stalls.
   EXPECT_GT(obs.stalls.of(StallCause::kExtReconfig), 0u);
@@ -181,7 +181,7 @@ TEST(StallAttribution, MispredictedBranchesChargeFetch) {
   const Scenario s = mispredicting_branches();
   SimObservation obs;
   const SimStats st =
-      simulate(s.program, s.table_ptr(), s.machine, 1ull << 32, &obs);
+      simulate({.program = &s.program, .ext_table = s.table_ptr(), .machine = s.machine, .observation = &obs});
   ASSERT_GT(st.branch.cond_mispredicts, 0u);
   // Redirect bubbles after each mispredicted branch land on fetch_branch.
   EXPECT_GT(obs.stalls.of(StallCause::kFetchBranch), 0u);
@@ -190,7 +190,7 @@ TEST(StallAttribution, MispredictedBranchesChargeFetch) {
 TEST(StallAttribution, TinyRuuChargesWindowBackpressure) {
   const Scenario s = ruu_full();
   SimObservation obs;
-  simulate(s.program, s.table_ptr(), s.machine, 1ull << 32, &obs);
+  simulate({.program = &s.program, .ext_table = s.table_ptr(), .machine = s.machine, .observation = &obs});
   // A 4-entry RUU behind a cache-missing load: the window is full behind
   // the in-flight head for almost every stalled cycle.
   EXPECT_GT(obs.stalls.of(StallCause::kRuuFull), 0u);
@@ -201,7 +201,7 @@ TEST(StallAttribution, TinyRuuChargesWindowBackpressure) {
 TEST(StallAttribution, StoreToLoadChargesExecutionSideCauses) {
   const Scenario s = store_to_load();
   SimObservation obs;
-  simulate(s.program, s.table_ptr(), s.machine, 1ull << 32, &obs);
+  simulate({.program = &s.program, .ext_table = s.table_ptr(), .machine = s.machine, .observation = &obs});
   // The serialized sw->lw->addu chain keeps the head in flight (memory
   // long-misses on the cold lines, plain execution otherwise), and the
   // short program's trailing halt drains through an empty front end.
@@ -213,12 +213,11 @@ TEST(StallAttribution, StoreToLoadChargesExecutionSideCauses) {
 TEST(StallAttribution, ReplayProducesIdenticalBreakdown) {
   for (const Scenario& s : scenarios()) {
     SimObservation direct;
-    simulate(s.program, s.table_ptr(), s.machine, 1ull << 32, &direct);
+    simulate({.program = &s.program, .ext_table = s.table_ptr(), .machine = s.machine, .observation = &direct});
 
     const CommittedTrace trace = record_trace(s.program, s.table_ptr(), 1u << 22);
     SimObservation replayed;
-    simulate_replay(s.program, s.table_ptr(), trace, s.machine, 1ull << 32,
-                    &replayed);
+    simulate({.program = &s.program, .ext_table = s.table_ptr(), .trace = &trace, .machine = s.machine, .observation = &replayed});
     EXPECT_EQ(to_json(direct.stalls).dump(), to_json(replayed.stalls).dump())
         << s.name;
   }

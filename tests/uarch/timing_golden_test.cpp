@@ -34,7 +34,7 @@ std::string golden_path(const std::string& name) {
 
 void check_golden(const std::string& name, const Program& program,
                   const ExtInstTable* table, const MachineConfig& machine) {
-  const SimStats direct = simulate(program, table, machine);
+  const SimStats direct = simulate({.program = &program, .ext_table = table, .machine = machine});
   const std::string text = to_json(direct).dump(2) + "\n";
   const std::string path = golden_path(name);
 
@@ -57,7 +57,7 @@ void check_golden(const std::string& name, const Program& program,
 
   // The replayed run must reproduce the same golden numbers bit for bit.
   const CommittedTrace trace = record_trace(program, table, 1u << 22);
-  const SimStats replayed = simulate_replay(program, table, trace, machine);
+  const SimStats replayed = simulate({.program = &program, .ext_table = table, .trace = &trace, .machine = machine});
   EXPECT_EQ(to_json(replayed).dump(2) + "\n", text)
       << name << ": trace replay diverged from direct simulation";
 }

@@ -22,7 +22,7 @@ TEST(Timing, CommitsEveryInstructionExactlyOnce) {
         bne $t0, $t1, loop
         halt
   )");
-  const SimStats st = simulate(p, nullptr, base_machine());
+  const SimStats st = simulate({.program = &p, .machine = base_machine()});
   EXPECT_EQ(st.committed, 2u + 100 * 2 + 1);
   EXPECT_GT(st.cycles, 0u);
 }
@@ -38,7 +38,8 @@ TEST(Timing, IndependentOpsReachSuperscalarIpc) {
   // Repeat the block via a loop to amortize cold-start.
   std::string full = "  li $s0, 200\nloop:\n" + src +
                      "  addiu $s0, $s0, -1\n  bgtz $s0, loop\n  halt\n";
-  const SimStats st = simulate(assemble(full), nullptr, base_machine());
+  const Program p = assemble(full);
+  const SimStats st = simulate({.program = &p, .machine = base_machine()});
   EXPECT_GT(st.ipc(), 3.0);
   EXPECT_LE(st.ipc(), 4.0);
 }
@@ -47,7 +48,8 @@ TEST(Timing, DependentChainLimitsIpc) {
   std::string src = "  li $s0, 200\nloop:\n";
   for (int i = 0; i < 64; ++i) src += "  addiu $t0, $t0, 1\n";
   src += "  addiu $s0, $s0, -1\n  bgtz $s0, loop\n  halt\n";
-  const SimStats st = simulate(assemble(src), nullptr, base_machine());
+  const Program p = assemble(src);
+  const SimStats st = simulate({.program = &p, .machine = base_machine()});
   // The dependent chain serializes: ~1 IPC.
   EXPECT_LT(st.ipc(), 1.3);
   EXPECT_GT(st.ipc(), 0.8);
@@ -59,7 +61,8 @@ TEST(Timing, MulLatencyVisible) {
   std::string src = "  li $s0, 100\n  li $t0, 1\nloop:\n";
   for (int i = 0; i < 16; ++i) src += "  mul $t0, $t0, $t0\n";
   src += "  addiu $s0, $s0, -1\n  bgtz $s0, loop\n  halt\n";
-  const SimStats st = simulate(assemble(src), nullptr, base_machine());
+  const Program p = assemble(src);
+  const SimStats st = simulate({.program = &p, .machine = base_machine()});
   EXPECT_LT(st.ipc(), 0.5);
   EXPECT_GT(st.ipc(), 0.25);
 }
@@ -79,7 +82,7 @@ TEST(Timing, CacheMissesCostCycles) {
         .data
   buf:  .space 65536
   )");
-  const SimStats st = simulate(p, nullptr, base_machine());
+  const SimStats st = simulate({.program = &p, .machine = base_machine()});
   EXPECT_GT(st.dl1.misses, 1500u);
   // Misses cost latency; independent loads overlap (no MSHR limit is
   // modelled), so IPC dips but does not collapse.
@@ -93,7 +96,7 @@ TEST(Timing, WarmLoopHasFewIcacheMisses) {
         bgtz $t1, loop
         halt
   )");
-  const SimStats st = simulate(p, nullptr, base_machine());
+  const SimStats st = simulate({.program = &p, .machine = base_machine()});
   EXPECT_LE(st.il1.misses, 4u);
 }
 
@@ -113,7 +116,7 @@ TEST(Timing, StoreToLoadDependencyRespected) {
         .data
   buf:  .space 16
   )");
-  const SimStats st = simulate(p, nullptr, base_machine());
+  const SimStats st = simulate({.program = &p, .machine = base_machine()});
   EXPECT_EQ(st.committed, 3u + 50 * 5 + 1);  // la expands to 2 instructions
 }
 
@@ -133,7 +136,7 @@ TEST(Timing, ExtNeedsReconfigOnlyOnce) {
   )");
   MachineConfig cfg = base_machine();
   cfg.pfu = {.count = 2, .reconfig_latency = 10};
-  const SimStats st = simulate(p, &table, cfg);
+  const SimStats st = simulate({.program = &p, .ext_table = &table, .machine = cfg});
   EXPECT_EQ(st.pfu.reconfigurations, 1u);
   EXPECT_EQ(st.pfu.lookups, 100u);
   EXPECT_EQ(st.pfu.hits, 99u);
@@ -183,8 +186,8 @@ TEST(Timing, PfuThrashingIsSlowerThanBaseline) {
   )");
   MachineConfig cfg = base_machine();
   cfg.pfu = {.count = 2, .reconfig_latency = 10};
-  const SimStats thrash = simulate(ext_version, &table, cfg);
-  const SimStats plain = simulate(plain_version, nullptr, base_machine());
+  const SimStats thrash = simulate({.program = &ext_version, .ext_table = &table, .machine = cfg});
+  const SimStats plain = simulate({.program = &plain_version, .machine = base_machine()});
   EXPECT_GT(thrash.pfu.reconfigurations, 1000u);  // ~3 per iteration
   EXPECT_GT(thrash.cycles, plain.cycles);
 }
@@ -215,8 +218,8 @@ TEST(Timing, MorePfusRemoveThrashing) {
   two.pfu = {.count = 2, .reconfig_latency = 10};
   MachineConfig four = base_machine();
   four.pfu = {.count = 4, .reconfig_latency = 10};
-  const SimStats st2 = simulate(p, &table, two);
-  const SimStats st4 = simulate(p, &table, four);
+  const SimStats st2 = simulate({.program = &p, .ext_table = &table, .machine = two});
+  const SimStats st4 = simulate({.program = &p, .ext_table = &table, .machine = four});
   EXPECT_LT(st4.cycles, st2.cycles);
   EXPECT_EQ(st4.pfu.reconfigurations, 3u);  // one load per configuration
 }
@@ -246,19 +249,19 @@ TEST(Timing, ExtSpeedsUpDependentChains) {
 
   MachineConfig cfg = base_machine();
   cfg.pfu = {.count = 2, .reconfig_latency = 10};
-  const SimStats before = simulate(p, nullptr, base_machine());
-  const SimStats after = simulate(rr.program, &sel.table, cfg);
+  const SimStats before = simulate({.program = &p, .machine = base_machine()});
+  const SimStats after = simulate({.program = &rr.program, .ext_table = &sel.table, .machine = cfg});
   EXPECT_LT(after.cycles, before.cycles);
 }
 
 TEST(Timing, ThrowsOnCycleBound) {
   const Program p = assemble("loop: j loop");
-  EXPECT_THROW(simulate(p, nullptr, base_machine(), 1000), SimError);
+  EXPECT_THROW(simulate({.program = &p, .machine = base_machine(), .max_cycles = 1000}), SimError);
 }
 
 TEST(Timing, EmptyProgramCompletes) {
   const Program p = assemble("halt");
-  const SimStats st = simulate(p, nullptr, base_machine());
+  const SimStats st = simulate({.program = &p, .machine = base_machine()});
   EXPECT_EQ(st.committed, 1u);
 }
 
@@ -295,9 +298,9 @@ TEST(Timing, MultiCycleExtChargesDeepChains) {
   depth.pfu.multi_cycle_ext = true;
   MachineConfig strict = depth;
   strict.pfu.levels_per_cycle = 1;
-  const SimStats a = simulate(p, &table, single);
-  const SimStats b = simulate(p, &table, depth);
-  const SimStats c = simulate(p, &table, strict);
+  const SimStats a = simulate({.program = &p, .ext_table = &table, .machine = single});
+  const SimStats b = simulate({.program = &p, .ext_table = &table, .machine = depth});
+  const SimStats c = simulate({.program = &p, .ext_table = &table, .machine = strict});
   EXPECT_GT(b.cycles, a.cycles);
   EXPECT_GT(c.cycles, b.cycles);
   // ~6 cycles/iteration of extra latency at 1 level/cycle.
@@ -322,8 +325,8 @@ TEST(Timing, MultiCycleExtLeavesShallowChainsAlone) {
   single.pfu = {.count = 1, .reconfig_latency = 10};
   MachineConfig depth = single;
   depth.pfu.multi_cycle_ext = true;
-  const SimStats a = simulate(p, &table, single);
-  const SimStats b = simulate(p, &table, depth);
+  const SimStats a = simulate({.program = &p, .ext_table = &table, .machine = single});
+  const SimStats b = simulate({.program = &p, .ext_table = &table, .machine = depth});
   EXPECT_EQ(a.cycles, b.cycles);  // sll is wiring, addu is 1 level -> 1 cycle
 }
 

@@ -87,14 +87,13 @@ int main(int argc, char** argv) {
     SimObservation* obs_ptr = observe ? &obs : nullptr;
     if (replay) {
       trace = record_trace(obj.program, table, 1ull << 32);
-      st = simulate_replay(obj.program, table, trace, cfg, 1ull << 32,
-                           obs_ptr);
+      st = simulate({.program = &obj.program, .ext_table = table, .trace = &trace, .machine = cfg, .observation = obs_ptr});
       std::printf("trace:             %llu steps, %llu KiB, hash %s\n",
                   static_cast<unsigned long long>(trace.size()),
                   static_cast<unsigned long long>(trace.memory_bytes() / 1024),
                   to_hex(trace.content_hash()).c_str());
     } else {
-      st = simulate(obj.program, table, cfg, 1ull << 32, obs_ptr);
+      st = simulate({.program = &obj.program, .ext_table = table, .machine = cfg, .observation = obs_ptr});
     }
     std::printf("cycles:            %llu\n",
                 static_cast<unsigned long long>(st.cycles));
