@@ -10,6 +10,7 @@
 #include "harness/grid.hpp"
 #include "sim/executor.hpp"
 #include "sim/trace.hpp"
+#include "sim/ucode.hpp"
 
 namespace t1000 {
 namespace {
@@ -51,6 +52,24 @@ void BM_RecordTrace(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(steps));
 }
 BENCHMARK(BM_RecordTrace)->Unit(benchmark::kMillisecond);
+
+// Recording through an already-decoded uop stream — the harness's steady
+// state, where one UopProgram per preparation is decoded once and shared
+// (AnalyzedProgram::ucode / PreparedRun::ucode). The delta against
+// BM_RecordTrace is the decode cost record_trace(program, ...) pays per
+// call; the delta against BM_FunctionalSim is the pure cost of committing
+// the 14-byte SoA steps.
+void BM_ExecuteUops(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  const UopProgram ucode = UopProgram::build(p, /*ext_table=*/nullptr);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const CommittedTrace trace = record_trace(ucode, 1u << 24);
+    steps += trace.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_ExecuteUops)->Unit(benchmark::kMillisecond);
 
 // Replay-backed timing run over a pre-recorded trace — the per-config
 // marginal cost of a grid sweep. Compare with BM_TimingSim, which pays

@@ -68,7 +68,9 @@ AnalyzedProgram analyze_program(const Program& program,
   ap.program = &program;
   ap.cfg = Cfg::build(program);
   ap.liveness = compute_liveness(program, ap.cfg);
-  ap.profile = profile_program(program, max_steps);
+  ap.ucode = std::make_shared<const UopProgram>(
+      UopProgram::build(program, /*ext_table=*/nullptr));
+  ap.profile = profile_program(*ap.ucode, max_steps);
   ap.sites = extract_sites(program, ap.cfg, ap.liveness, ap.profile, policy);
   return ap;
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "asmkit/program.hpp"
@@ -21,6 +22,7 @@
 #include "extinst/rewrite.hpp"
 #include "isa/extdef.hpp"
 #include "sim/profiler.hpp"
+#include "sim/ucode.hpp"
 
 namespace t1000 {
 
@@ -61,6 +63,12 @@ struct AnalyzedProgram {
   Liveness liveness;
   Profile profile;
   std::vector<SeqSite> sites;  // maximal candidate sites
+  // Pre-decoded uop stream for `program` (no EXT table — the baseline
+  // program). Built once here, then shared by every consumer that
+  // functionally executes the unrewritten program (profiling above, the
+  // harness's baseline trace). Borrowing AnalyzedProgram's lifetime rules:
+  // valid only while `program` outlives it.
+  std::shared_ptr<const UopProgram> ucode;
 };
 
 // Profiles (functionally executes) `program` and extracts maximal sites.

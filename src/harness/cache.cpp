@@ -13,6 +13,7 @@
 #include "harness/identity.hpp"
 #include "harness/serialize.hpp"
 #include "sim/trace.hpp"
+#include "sim/ucode.hpp"
 
 namespace t1000 {
 namespace {
@@ -21,7 +22,10 @@ namespace {
 // trace format version), outcomes grew trace_steps/trace_hash.
 // v3: keys grew the verify flag — a verified run is a distinct entry from
 // an unverified one of the same configuration.
-constexpr int kEntryVersion = 3;
+// v4: traces are recorded through the pre-decoded uop interpreter — keys
+// grew the decoded-format version, and the trace fingerprint changed
+// (wider content-hash folding).
+constexpr int kEntryVersion = 4;
 
 enum class ReadStatus {
   kOk,       // file read; *out holds its bytes (possibly empty)
@@ -84,6 +88,9 @@ CacheKey make_cache_key(const RunSpec& spec, std::uint64_t program_hash,
   Json trace = Json::object();
   trace["max_steps"] = Json(max_steps);
   trace["format"] = Json(kTraceFormatVersion);
+  // The decoded stream the trace is recorded through: a lowering change
+  // that alters observable execution must invalidate memoized outcomes.
+  trace["ucode"] = Json(kUcodeFormatVersion);
   identity["trace"] = std::move(trace);
   // Note: spec.label is presentation, not identity — two labels for the
   // same configuration share one cache entry.

@@ -45,9 +45,12 @@ WorkloadExperiment::WorkloadExperiment(const Workload& workload)
   analysis_ = analyze_program(program_, workload_.max_steps);
 
   // Record the baseline trace eagerly: it doubles as the functional
-  // checksum run every rewritten variant is validated against.
+  // checksum run every rewritten variant is validated against. The
+  // analysis already decoded the baseline program (for profiling); the
+  // recording replays that same uop stream.
   auto base = std::make_shared<PreparedRun>();
-  base->trace = record_trace(program_, nullptr, workload_.max_steps);
+  base->ucode = analysis_.ucode;
+  base->trace = record_trace(*base->ucode, workload_.max_steps);
   base_checksum_ = base->trace.checksum();
   base->partial.checksum = base_checksum_;
   base->partial.trace_steps = base->trace.size();
@@ -68,8 +71,12 @@ WorkloadExperiment::build_prepared(const RunSpec& spec) const {
                        : select_selective(analysis_, spec.policy);
   run->rewrite = rewrite_program(program_, run->selection.apps);
   run->rewritten = true;
-  run->trace = record_trace(run->rewrite.program, &run->selection.table,
-                            workload_.max_steps);
+  // PreparedRun is heap-allocated and immutable once built, so the decoded
+  // stream's borrowed pointers (rewrite.program, selection.table) stay
+  // valid for as long as the ucode itself is reachable.
+  run->ucode = std::make_shared<const UopProgram>(
+      UopProgram::build(run->rewrite.program, &run->selection.table));
+  run->trace = record_trace(*run->ucode, workload_.max_steps);
   if (run->trace.checksum() != base_checksum_) {
     throw SimError("rewrite changed " + workload_.name + " checksum");
   }
@@ -114,6 +121,7 @@ WorkloadExperiment::PreparedView WorkloadExperiment::prepared(
   view.program = prep.rewritten ? &prep.rewrite.program : &program_;
   view.table = prep.rewritten ? &prep.selection.table : nullptr;
   view.trace = &prep.trace;
+  view.ucode = prep.ucode.get();
   return view;
 }
 

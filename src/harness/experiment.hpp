@@ -139,6 +139,9 @@ class WorkloadExperiment {
     const Program* program = nullptr;
     const ExtInstTable* table = nullptr;
     const CommittedTrace* trace = nullptr;
+    // The pre-decoded uop stream the trace was recorded through
+    // (sim/ucode.hpp); differential tests re-execute from it directly.
+    const UopProgram* ucode = nullptr;
   };
   PreparedView prepared(const RunSpec& spec) const;
 
@@ -169,6 +172,11 @@ class WorkloadExperiment {
     Selection selection;     // empty table for the baseline
     bool rewritten = false;  // false = time the pristine program
     RewriteResult rewrite;   // owned; meaningful when rewritten
+    // Pre-decoded uop stream for the program this preparation executes
+    // (rewrite.program + selection.table when rewritten, else the
+    // experiment's baseline ucode). Decoded once under the once_flag,
+    // shared read-only by every machine configuration swept over it.
+    std::shared_ptr<const UopProgram> ucode;
     CommittedTrace trace;
     RunOutcome partial;  // all fields except stats (filled per machine)
   };

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "isa/alu.hpp"
+#include "sim/ucode.hpp"
 
 namespace t1000 {
 namespace {
@@ -12,8 +13,19 @@ std::int32_t sext16(std::uint16_t v) { return static_cast<std::int16_t>(v); }
 
 }  // namespace
 
-Executor::Executor(const Program& program, const ExtInstTable* ext_table)
+Executor::Executor(const Program& program, const ExtInstTable* ext_table,
+                   ExecMode mode)
     : program_(program), ext_table_(ext_table) {
+  if (mode == ExecMode::kUcode) {
+    owned_ucode_ =
+        std::make_shared<const UopProgram>(UopProgram::build(program, ext_table));
+    ucode_ = owned_ucode_.get();
+  }
+  reset();
+}
+
+Executor::Executor(const UopProgram& ucode)
+    : program_(*ucode.program), ext_table_(ucode.table), ucode_(&ucode) {
   reset();
 }
 
@@ -39,6 +51,20 @@ std::uint32_t Executor::jump_target_index(std::uint32_t byte_addr) const {
 }
 
 StepInfo Executor::step() {
+  return ucode_ != nullptr ? step_ucode() : step_reference();
+}
+
+std::uint64_t Executor::run(std::uint64_t max_steps) {
+  if (ucode_ != nullptr) return run_ucode(max_steps);
+  std::uint64_t n = 0;
+  while (!halted_ && n < max_steps) {
+    step_reference();
+    ++n;
+  }
+  return n;
+}
+
+StepInfo Executor::step_reference() {
   if (halted_) throw SimError("step() after halt");
   if (pc_ < 0 || pc_ > program_.size()) {
     throw SimError("pc out of range: " + std::to_string(pc_));
@@ -171,15 +197,6 @@ StepInfo Executor::step() {
   info.next_index = next;
   ++steps_;
   return info;
-}
-
-std::uint64_t Executor::run(std::uint64_t max_steps) {
-  std::uint64_t n = 0;
-  while (!halted_ && n < max_steps) {
-    step();
-    ++n;
-  }
-  return n;
 }
 
 }  // namespace t1000

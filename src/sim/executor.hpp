@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 
 #include "asmkit/program.hpp"
@@ -17,9 +18,26 @@
 
 namespace t1000 {
 
+struct UopProgram;    // sim/ucode.hpp
+class CommittedTrace;  // sim/trace.hpp
+
 class SimError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+// Which interpreter backs step()/run().
+//
+//  * kUcode (the default): the pre-decoded threaded-code interpreter
+//    (sim/ucode.hpp) — the program is lowered to a dense uop stream once
+//    at construction and dispatched via computed goto (or the portable
+//    switch behind T1000_NO_COMPUTED_GOTO).
+//  * kReference: the original instruction-by-instruction interpreter,
+//    kept as the executable specification. The differential and fuzz
+//    suites (tests/sim/ucode_*_test.cpp) pin the two byte-identical.
+enum class ExecMode {
+  kUcode,
+  kReference,
 };
 
 // Everything observable about one executed instruction.
@@ -40,9 +58,17 @@ struct StepInfo {
 class Executor {
  public:
   // `ext_table` supplies EXT semantics; may be null for programs without
-  // extended instructions. The table must outlive the executor.
+  // extended instructions. The table must outlive the executor. Under the
+  // default kUcode mode the program is pre-decoded at construction (see
+  // ExecMode above).
   explicit Executor(const Program& program,
-                    const ExtInstTable* ext_table = nullptr);
+                    const ExtInstTable* ext_table = nullptr,
+                    ExecMode mode = ExecMode::kUcode);
+
+  // Executes an already-decoded program (shared, e.g., by a whole grid of
+  // workers); `ucode` — and the program/table it points to — must outlive
+  // the executor.
+  explicit Executor(const UopProgram& ucode);
 
   // Reloads the data segment, clears registers, sets $sp to the stack top
   // and pc to the `main` symbol (or 0). The initial $ra points one past the
@@ -70,10 +96,31 @@ class Executor {
   std::uint64_t run(std::uint64_t max_steps);
 
  private:
+  // The threaded interpreter's loop drives the executor's state directly
+  // (sim/ucode.cpp); record_trace(const UopProgram&, ...) records through
+  // the private no-StepInfo fast path.
+  friend struct UcodeImpl;
+  friend CommittedTrace record_trace(const UopProgram& ucode,
+                                     std::uint64_t max_steps);
+
   std::uint32_t jump_target_index(std::uint32_t byte_addr) const;
+
+  // The original interpreter — the executable specification the uop path
+  // is differentially tested against (and the fallback one kInterp uop
+  // defers to per irregular step).
+  StepInfo step_reference();
+
+  // Threaded-code entry points, defined in ucode.cpp.
+  StepInfo step_ucode();
+  std::uint64_t run_ucode(std::uint64_t max_steps);
+  void record_ucode(CommittedTrace& trace, std::uint64_t max_steps);
 
   const Program& program_;
   const ExtInstTable* ext_table_;
+  // Null in kReference mode. Points at owned_ucode_ when this executor
+  // decoded the program itself, at the caller's decoded program otherwise.
+  const UopProgram* ucode_ = nullptr;
+  std::shared_ptr<const UopProgram> owned_ucode_;
   Memory mem_;
   std::array<std::uint32_t, kNumRegs> regs_{};
   std::int32_t pc_ = 0;

@@ -36,6 +36,20 @@ class Memory {
 
   std::size_t pages_allocated() const { return pages_.size(); }
 
+  // Raw page access for the pre-decoded interpreter's cached-translation
+  // fast path (sim/ucode.cpp). Pages are heap-stable and never freed while
+  // the Memory lives, so the returned pointers stay valid across later
+  // loads/stores. page_data returns null for an untouched page (which
+  // reads as zero and must NOT be cached: a later store would allocate
+  // it); page_data_touch allocates like a store does.
+  const std::uint8_t* page_data(std::uint32_t addr) const {
+    const Page* page = find_page(addr);
+    return page == nullptr ? nullptr : page->data();
+  }
+  std::uint8_t* page_data_touch(std::uint32_t addr) {
+    return touch_page(addr).data();
+  }
+
  private:
   using Page = std::array<std::uint8_t, kPageSize>;
 

@@ -4,12 +4,13 @@
 #include <string>
 
 #include "isa/alu.hpp"
+#include "sim/ucode.hpp"
 
 namespace t1000 {
+namespace {
 
-Profile profile_program(const Program& program, std::uint64_t max_steps,
-                        const ExtInstTable* ext_table) {
-  Executor exec(program, ext_table);
+Profile profile_with(Executor& exec, const Program& program,
+                     std::uint64_t max_steps) {
   Profile prof;
   prof.insts.resize(static_cast<std::size_t>(program.size()));
   while (!exec.halted()) {
@@ -33,6 +34,19 @@ Profile profile_program(const Program& program, std::uint64_t max_steps,
         static_cast<std::uint64_t>(base_latency(info.ins.op));
   }
   return prof;
+}
+
+}  // namespace
+
+Profile profile_program(const Program& program, std::uint64_t max_steps,
+                        const ExtInstTable* ext_table) {
+  Executor exec(program, ext_table);
+  return profile_with(exec, program, max_steps);
+}
+
+Profile profile_program(const UopProgram& ucode, std::uint64_t max_steps) {
+  Executor exec(ucode);
+  return profile_with(exec, *ucode.program, max_steps);
 }
 
 void annotate_hot_regions(const Profile& profile, const Program& program,

@@ -46,6 +46,11 @@ struct Profile {
 Profile profile_program(const Program& program, std::uint64_t max_steps,
                         const ExtInstTable* ext_table = nullptr);
 
+// Profiles from an already-decoded program (sim/ucode.hpp) — what
+// analyze_program uses so the decode it caches for trace recording also
+// backs its own profiling run.
+Profile profile_program(const UopProgram& ucode, std::uint64_t max_steps);
+
 // Marks the profile's hot regions in a pipeline event trace: maximal
 // contiguous runs of static instructions whose individual share of
 // total_base_cycles is at least `threshold` (default: the paper's 0.5%

@@ -1,16 +1,128 @@
 #include "sim/trace.hpp"
 
+#include <bit>
+#include <cstring>
+#include <new>
+
+#include "sim/ucode.hpp"
+
+// Under the sanitizers the block cache would mask use-after-free and
+// uninitialized-read bugs by recycling poisoned storage, so it degrades to
+// a plain pass-through there.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define T1000_COLUMN_CACHE 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define T1000_COLUMN_CACHE 0
+#endif
+#endif
+#ifndef T1000_COLUMN_CACHE
+#define T1000_COLUMN_CACHE 1
+#endif
+
 namespace t1000 {
+namespace detail {
+namespace {
+
+// Blocks below the caching floor go straight to operator new: they are
+// cheap to allocate and would pollute the buckets. Sizes are rounded up
+// to a power of two so a regrown column re-finds the block its previous
+// incarnation released.
+constexpr std::size_t kMinCachedBytes = std::size_t{1} << 16;  // 64 KiB
+constexpr std::size_t kMaxCachedBytes = std::size_t{64} << 20;  // per thread
+constexpr int kBuckets = 12;       // 64 KiB .. 128 MiB
+constexpr int kBlocksPerBucket = 4;
+
+#if T1000_COLUMN_CACHE
+struct ColumnCache {
+  struct Bucket {
+    void* blocks[kBlocksPerBucket];
+    int n = 0;
+  };
+  Bucket buckets[kBuckets];
+  std::size_t cached_bytes = 0;
+
+  ~ColumnCache() {
+    for (Bucket& b : buckets) {
+      for (int i = 0; i < b.n; ++i) ::operator delete(b.blocks[i]);
+    }
+  }
+};
+
+thread_local ColumnCache g_column_cache;
+
+int bucket_of(std::size_t rounded_bytes) {
+  int b = 0;
+  for (std::size_t s = kMinCachedBytes; s < rounded_bytes; s <<= 1) ++b;
+  return b;
+}
+#endif  // T1000_COLUMN_CACHE
+
+}  // namespace
+
+void* column_block_acquire(std::size_t bytes) {
+#if T1000_COLUMN_CACHE
+  if (bytes >= kMinCachedBytes) {
+    const std::size_t rounded = std::bit_ceil(bytes);
+    const int b = bucket_of(rounded);
+    if (b < kBuckets) {
+      ColumnCache::Bucket& bucket = g_column_cache.buckets[b];
+      if (bucket.n > 0) {
+        g_column_cache.cached_bytes -= rounded;
+        return bucket.blocks[--bucket.n];
+      }
+      return ::operator new(rounded);
+    }
+  }
+#endif
+  return ::operator new(bytes);
+}
+
+void column_block_release(void* p, std::size_t bytes) {
+#if T1000_COLUMN_CACHE
+  if (bytes >= kMinCachedBytes) {
+    const std::size_t rounded = std::bit_ceil(bytes);
+    const int b = bucket_of(rounded);
+    if (b < kBuckets) {
+      ColumnCache::Bucket& bucket = g_column_cache.buckets[b];
+      if (bucket.n < kBlocksPerBucket &&
+          g_column_cache.cached_bytes + rounded <= kMaxCachedBytes) {
+        bucket.blocks[bucket.n++] = p;
+        g_column_cache.cached_bytes += rounded;
+        return;
+      }
+    }
+  }
+#endif
+  ::operator delete(p);
+}
+
+}  // namespace detail
+
 namespace {
 
 // Local FNV-1a 64: the canonical implementation lives in harness/json.hpp,
 // but the sim layer sits below the harness in the link graph and the
-// primitive is six lines.
+// primitive is six lines. Bulk data is folded 8 bytes per round (little-
+// endian word injected into the FNV-1a xor/multiply recurrence): byte-wise
+// FNV is a strict 1-multiply-per-byte dependency chain that costs more
+// than recording a multi-megabyte trace itself. The fingerprint is only
+// ever compared against fingerprints computed by the same code, so the
+// stride is an implementation detail, not an interchange format.
 constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
 constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
 
 std::uint64_t fnv(const void* data, std::size_t bytes, std::uint64_t h) {
   const auto* p = static_cast<const unsigned char*>(data);
+  while (bytes >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);  // host is little-endian, as sim/memory.cpp
+    h ^= word;
+    h *= kFnvPrime;
+    p += 8;
+    bytes -= 8;
+  }
   for (std::size_t i = 0; i < bytes; ++i) {
     h ^= p[i];
     h *= kFnvPrime;
@@ -18,15 +130,15 @@ std::uint64_t fnv(const void* data, std::size_t bytes, std::uint64_t h) {
   return h;
 }
 
-template <typename T>
-std::uint64_t fnv_vec(const std::vector<T>& v, std::uint64_t h) {
+template <typename T, typename A>
+std::uint64_t fnv_vec(const std::vector<T, A>& v, std::uint64_t h) {
   return v.empty() ? h : fnv(v.data(), v.size() * sizeof(T), h);
 }
 
 }  // namespace
 
 StepInfo CommittedTrace::step_at(std::size_t i, const Program& program) const {
-  const std::uint8_t flags = flags_[i];
+  const auto flags = static_cast<std::uint8_t>(flags_[i]);
   StepInfo info;
   info.index = index_[i];
   info.next_index = next_index_[i];
@@ -35,7 +147,7 @@ StepInfo CommittedTrace::step_at(std::size_t i, const Program& program) const {
                  : program.text[static_cast<std::size_t>(index_[i])];
   info.is_mem = (flags & kFlagIsMem) != 0;
   info.mem_addr = mem_addr_[i];
-  info.mem_size = mem_size_[i];
+  info.mem_size = static_cast<std::uint8_t>(mem_size_[i]);
   info.branch_taken = (flags & kFlagBranchTaken) != 0;
   return info;
 }
@@ -44,8 +156,8 @@ std::uint64_t CommittedTrace::memory_bytes() const {
   return index_.capacity() * sizeof(std::int32_t) +
          next_index_.capacity() * sizeof(std::int32_t) +
          mem_addr_.capacity() * sizeof(std::uint32_t) +
-         mem_size_.capacity() * sizeof(std::uint8_t) +
-         flags_.capacity() * sizeof(std::uint8_t);
+         mem_size_.capacity() * sizeof(detail::TraceByte) +
+         flags_.capacity() * sizeof(detail::TraceByte);
 }
 
 void CommittedTrace::append(const StepInfo& info, bool sentinel) {
@@ -56,8 +168,8 @@ void CommittedTrace::append(const StepInfo& info, bool sentinel) {
   index_.push_back(info.index);
   next_index_.push_back(info.next_index);
   mem_addr_.push_back(info.mem_addr);
-  mem_size_.push_back(info.mem_size);
-  flags_.push_back(flags);
+  mem_size_.push_back(detail::TraceByte{info.mem_size});
+  flags_.push_back(detail::TraceByte{flags});
 }
 
 void CommittedTrace::finalize(std::uint32_t checksum) {
@@ -100,8 +212,12 @@ DecodedTrace::DecodedTrace(const CommittedTrace& trace,
 
 CommittedTrace record_trace(const Program& program,
                             const ExtInstTable* ext_table,
-                            std::uint64_t max_steps) {
-  Executor exec(program, ext_table);
+                            std::uint64_t max_steps, ExecMode mode) {
+  if (mode == ExecMode::kUcode) {
+    const UopProgram ucode = UopProgram::build(program, ext_table);
+    return record_trace(ucode, max_steps);
+  }
+  Executor exec(program, ext_table, ExecMode::kReference);
   CommittedTrace trace;
   while (!exec.halted()) {
     if (exec.steps_executed() >= max_steps) {

@@ -22,6 +22,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
 #include <vector>
 
 #include "asmkit/program.hpp"
@@ -31,6 +34,66 @@
 #include "sim/executor.hpp"
 
 namespace t1000 {
+
+namespace detail {
+
+// Per-thread recycler for the trace columns' backing blocks. Recording a
+// multi-megabyte trace and destroying it returns the columns to the
+// system allocator, which (past its trim threshold) hands the pages back
+// to the OS — so a workload that records traces in a loop (the harness
+// grid, the benchmarks) pays a soft page fault per 4 KiB of trace on
+// every single recording. Keeping a handful of large blocks per thread
+// turns that into plain pointer reuse. Small blocks pass through
+// untouched; the cache is bounded (kMaxCachedBytes per thread) and
+// released at thread exit.
+void* column_block_acquire(std::size_t bytes);
+void column_block_release(void* p, std::size_t bytes);
+
+// std::allocator variant with two trace-recorder properties: storage
+// comes from the per-thread block cache above, and value-less
+// constructions default-initialize — resizing a column of trivial
+// elements reserves space without writing zeros the recorder is about to
+// overwrite anyway. Only the trace columns below use it; every element
+// the trace exposes has been stored by the recorder before finalize()
+// seals the object.
+template <typename T>
+struct NoInitAllocator {
+  using value_type = T;
+
+  NoInitAllocator() = default;
+  template <typename U>
+  NoInitAllocator(const NoInitAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(column_block_acquire(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    column_block_release(p, n * sizeof(T));
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+  friend bool operator==(const NoInitAllocator&, const NoInitAllocator&) {
+    return true;
+  }
+};
+
+template <typename T>
+using Column = std::vector<T, NoInitAllocator<T>>;
+
+// Byte-sized column element that is deliberately NOT a character type:
+// stores through a `TraceByte*` cannot alias unrelated objects the way
+// `std::uint8_t*` (unsigned char) stores can, so the recorder's per-step
+// byte-column writes don't force the optimizer to spill and reload its
+// cursor state around every committed step.
+enum class TraceByte : std::uint8_t {};
+
+}  // namespace detail
 
 // Bump when the recorded projection of StepInfo changes; part of the
 // result-cache identity (see harness/cache.hpp) so stale memoized results
@@ -70,26 +133,39 @@ class CommittedTrace {
  private:
   friend CommittedTrace record_trace(const Program& program,
                                      const ExtInstTable* ext_table,
+                                     std::uint64_t max_steps, ExecMode mode);
+  friend CommittedTrace record_trace(const UopProgram& ucode,
                                      std::uint64_t max_steps);
+  // The threaded interpreter's record policy appends SoA rows directly,
+  // skipping StepInfo materialization (sim/ucode.cpp).
+  friend struct UcodeImpl;
 
   void append(const StepInfo& info, bool sentinel);
   void finalize(std::uint32_t checksum);
 
-  std::vector<std::int32_t> index_;
-  std::vector<std::int32_t> next_index_;
-  std::vector<std::uint32_t> mem_addr_;
-  std::vector<std::uint8_t> mem_size_;
-  std::vector<std::uint8_t> flags_;
+  detail::Column<std::int32_t> index_;
+  detail::Column<std::int32_t> next_index_;
+  detail::Column<std::uint32_t> mem_addr_;
+  detail::Column<detail::TraceByte> mem_size_;
+  detail::Column<detail::TraceByte> flags_;
   std::uint32_t checksum_ = 0;
   std::uint64_t content_hash_ = 0;
 };
 
 // Runs `program` to completion on a fresh Executor and records the
 // committed stream. Throws SimError when the program does not halt within
-// `max_steps` (mirroring the harness's functional-run bound).
+// `max_steps` (mirroring the harness's functional-run bound). The default
+// kUcode mode pre-decodes and records through the threaded interpreter's
+// no-StepInfo fast path; kReference records through the original
+// interpreter (the differential suite pins the two byte-identical).
 CommittedTrace record_trace(const Program& program,
                             const ExtInstTable* ext_table,
-                            std::uint64_t max_steps);
+                            std::uint64_t max_steps,
+                            ExecMode mode = ExecMode::kUcode);
+
+// Records from an already-decoded program — what the harness uses once a
+// preparation has built (and cached) the UopProgram.
+CommittedTrace record_trace(const UopProgram& ucode, std::uint64_t max_steps);
 
 // --- decoded steps ---
 //

@@ -1,0 +1,807 @@
+#include "sim/ucode.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "cfg/cfg.hpp"
+#include "isa/alu.hpp"
+#include "sim/executor.hpp"
+#include "sim/trace.hpp"
+
+// Dispatch scheme selection. Computed goto (a GCC/Clang extension) keeps
+// one indirect branch per handler, which lets the host branch predictor
+// learn per-uop successor patterns; the portable switch is semantically
+// identical and pinned byte-identical by CI (T1000_NO_COMPUTED_GOTO).
+#if !defined(T1000_NO_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
+#define T1000_UCODE_COMPUTED_GOTO 1
+#else
+#define T1000_UCODE_COMPUTED_GOTO 0
+#endif
+
+namespace t1000 {
+namespace {
+
+// UopKind mirrors Opcode entry-for-entry over the regular instructions, so
+// lowering a well-formed instruction is a cast. Anchor the correspondence;
+// a reorder of either enum trips these at compile time.
+static_assert(static_cast<int>(UopKind::kAddu) ==
+              static_cast<int>(Opcode::kAddu));
+static_assert(static_cast<int>(UopKind::kSll) ==
+              static_cast<int>(Opcode::kSll));
+static_assert(static_cast<int>(UopKind::kLui) ==
+              static_cast<int>(Opcode::kLui));
+static_assert(static_cast<int>(UopKind::kSb) == static_cast<int>(Opcode::kSb));
+static_assert(static_cast<int>(UopKind::kJalr) ==
+              static_cast<int>(Opcode::kJalr));
+static_assert(static_cast<int>(UopKind::kExt) ==
+              static_cast<int>(Opcode::kExt));
+
+bool regs_in_range(const Instruction& ins) {
+  return ins.rd < kNumRegs && ins.rs < kNumRegs && ins.rt < kNumRegs;
+}
+
+// Lowers one instruction. `size` bounds static control targets: anything
+// the fast path would have to range-check dynamically anyway (or that the
+// reference interpreter rejects with a specific error) becomes kInterp,
+// which replays that single step through the reference implementation.
+Uop lower(const Instruction& ins, std::int32_t size,
+          const ExtInstTable* table) {
+  Uop u;
+  u.rd = ins.rd;
+  u.rs = ins.rs;
+  u.rt = ins.rt;
+  if (!regs_in_range(ins)) {
+    u.kind = UopKind::kInterp;
+    return u;
+  }
+  u.kind = static_cast<UopKind>(static_cast<std::uint8_t>(ins.op));
+  switch (op_kind(ins.op)) {
+    case OpKind::kAlu3:
+      break;
+    case OpKind::kShiftImm:
+      // eval_alu masks the amount at run time; bake the mask in.
+      u.imm = ins.imm & 31;
+      break;
+    case OpKind::kAluImm:
+      u.imm = static_cast<std::int32_t>(extend_imm(ins.op, ins.imm));
+      break;
+    case OpKind::kLui:
+      u.imm = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(ins.imm & 0xFFFF) << 16);
+      break;
+    case OpKind::kLoad:
+    case OpKind::kStore:
+      u.imm = ins.imm;
+      break;
+    case OpKind::kBranch2:
+    case OpKind::kBranch1:
+    case OpKind::kJump:
+      // A taken transfer to [0, size] is legal ([size] dispatches the
+      // sentinel). Anything else throws in the reference interpreter —
+      // and an *untaken* branch with a bad target does not, so the
+      // distinction must be made per step: defer to it.
+      if (ins.imm < 0 || ins.imm > size) {
+        u.kind = UopKind::kInterp;
+        return u;
+      }
+      u.target = ins.imm;
+      break;
+    case OpKind::kJumpReg:
+    case OpKind::kNop:
+    case OpKind::kHalt:
+      break;
+    case OpKind::kExt:
+      if (table == nullptr || ins.conf >= table->size()) {
+        // "EXT with unknown Conf id": reference-path error semantics.
+        u.kind = UopKind::kInterp;
+        return u;
+      }
+      u.imm = ins.conf;
+      break;
+  }
+  return u;
+}
+
+}  // namespace
+
+std::string_view uop_kind_name(UopKind kind) {
+  switch (kind) {
+    case UopKind::kSentinel:
+      return "sentinel";
+    case UopKind::kInterp:
+      return "interp";
+    case UopKind::kNumUopKinds:
+      return "?";
+    default:
+      // Regular uops share the opcode's mnemonic (the cast is the inverse
+      // of lower()'s, anchored by the static_asserts above).
+      return mnemonic(static_cast<Opcode>(static_cast<std::uint8_t>(kind)));
+  }
+}
+
+UopProgram UopProgram::build(const Program& program,
+                             const ExtInstTable* table) {
+  UopProgram up;
+  up.program = &program;
+  up.table = table;
+  const auto size = static_cast<std::int32_t>(program.size());
+  up.uops.reserve(static_cast<std::size_t>(size) + 1);
+  for (const Instruction& ins : program.text) {
+    up.uops.push_back(lower(ins, size, table));
+  }
+  Uop sentinel;
+  sentinel.kind = UopKind::kSentinel;
+  up.uops.push_back(sentinel);
+  if (size > 0) {
+    const Cfg cfg = Cfg::build(program);
+    up.segments.reserve(static_cast<std::size_t>(cfg.num_blocks()));
+    for (const BasicBlock& bb : cfg.blocks()) {
+      up.segments.push_back(UopSegment{bb.id, bb.first, bb.last});
+    }
+  }
+  return up;
+}
+
+std::string disassemble(const UopProgram& ucode) {
+  std::string out;
+  char line[128];
+  auto emit = [&out, &line](int n) { out.append(line, static_cast<std::size_t>(n)); };
+  std::size_t seg = 0;
+  for (std::size_t i = 0; i < ucode.uops.size(); ++i) {
+    while (seg < ucode.segments.size() &&
+           ucode.segments[seg].first == static_cast<std::int32_t>(i)) {
+      const UopSegment& s = ucode.segments[seg];
+      emit(std::snprintf(line, sizeof line, "segment b%d [%d..%d]\n", s.block,
+                         s.first, s.last));
+      ++seg;
+    }
+    const Uop& u = ucode.uops[i];
+    emit(std::snprintf(line, sizeof line,
+                       "  %4zu: %-8s rd=%-2u rs=%-2u rt=%-2u imm=%-11d "
+                       "target=%d\n",
+                       i, std::string(uop_kind_name(u.kind)).c_str(), u.rd,
+                       u.rs, u.rt, u.imm, u.target));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The dispatch loop.
+//
+// One loop body serves step()/run()/record_trace() through a Policy with
+// two hooks:
+//
+//   bool begin(std::uint64_t steps)  — before each dispatch; false stops
+//     the loop (run bound reached, single step done); record's variant
+//     throws SimError on a blown step bound instead, matching the
+//     reference record loop.
+//   void commit(...)                 — after each committed step, with the
+//     full observable projection; each policy keeps what it needs (record
+//     appends the SoA row, run counts, step materializes a StepInfo) and
+//     inlining dead-code-eliminates the rest.
+//
+// Executor state lives in locals (pc, steps) for the duration; a thrown
+// SimError/MemError writes them back before propagating, which leaves the
+// executor in exactly the state the reference interpreter would (a
+// throwing step never advances pc_ or steps_, but partial register/memory
+// effects — e.g. jalr's link write before a wild-jump fault — stay).
+
+// Each policy hands the loop a by-value Cursor holding its hot state; the
+// loop syncs the cursor back at exit. The indirection is load-bearing for
+// performance: the interpreter's own stores (register file, simulated
+// memory pages — both reachable through char-typed pointers) could alias
+// any state behind the Policy reference, so commit state kept there is
+// reloaded from memory on every committed step. A cursor that is a local
+// of execute() whose address never escapes is provably unaliased, and the
+// optimizer keeps its fields in registers across steps.
+
+struct UcodeImpl {
+  struct RunPolicy {
+    std::uint64_t max_steps;
+    std::uint64_t n = 0;
+
+    struct Cursor {
+      std::uint64_t max_steps;
+      std::uint64_t n;
+      bool begin(std::uint64_t) const { return n < max_steps; }
+      void commit(std::int32_t, std::int32_t, std::uint32_t, std::uint32_t,
+                  int, bool, std::uint32_t, bool, std::uint32_t, std::uint8_t,
+                  bool, bool) {
+        ++n;
+      }
+      void commit_info(const StepInfo&, bool) { ++n; }
+    };
+    Cursor cursor() { return {max_steps, n}; }
+    void sync(const Cursor& c) { n = c.n; }
+  };
+
+  // Appends SoA rows through raw pointers behind a single shared capacity
+  // check: the five arrays always have equal length, so one compare per
+  // committed step replaces five push_back capacity checks. Rows land
+  // directly in the trace's own columns — the NoInitAllocator behind
+  // detail::Column makes the over-resize free (no zero-fill of storage the
+  // recorder overwrites), and finish() trims to the exact count in place.
+  struct RecordPolicy {
+    CommittedTrace& trace;
+    std::uint64_t max_steps;
+    std::size_t count = 0;
+    std::size_t cap = 0;
+    std::int32_t* index = nullptr;
+    std::int32_t* next_index = nullptr;
+    std::uint32_t* mem_addr = nullptr;
+    detail::TraceByte* mem_size = nullptr;
+    detail::TraceByte* flags = nullptr;
+
+    void grow() {
+      cap = cap == 0 ? (std::size_t{1} << 16) : cap * 2;
+      trace.index_.resize(cap);
+      trace.next_index_.resize(cap);
+      trace.mem_addr_.resize(cap);
+      trace.mem_size_.resize(cap);
+      trace.flags_.resize(cap);
+      index = trace.index_.data();
+      next_index = trace.next_index_.data();
+      mem_addr = trace.mem_addr_.data();
+      mem_size = trace.mem_size_.data();
+      flags = trace.flags_.data();
+    }
+
+    struct Cursor {
+      RecordPolicy* owner;
+      std::uint64_t max_steps;
+      std::size_t count;
+      std::size_t cap;
+      std::int32_t* index;
+      std::int32_t* next_index;
+      std::uint32_t* mem_addr;
+      detail::TraceByte* mem_size;
+      detail::TraceByte* flags;
+
+      bool begin(std::uint64_t steps) const {
+        if (steps >= max_steps) {
+          throw SimError(
+              "record_trace: program did not halt within step bound");
+        }
+        return true;
+      }
+      void commit(std::int32_t idx, std::int32_t next, std::uint32_t,
+                  std::uint32_t, int, bool, std::uint32_t, bool is_mem,
+                  std::uint32_t addr, std::uint8_t msize, bool taken,
+                  bool sentinel) {
+        const std::size_t i = count;
+        if (i == cap) [[unlikely]] {
+          owner->grow();
+          cap = owner->cap;
+          index = owner->index;
+          next_index = owner->next_index;
+          mem_addr = owner->mem_addr;
+          mem_size = owner->mem_size;
+          flags = owner->flags;
+        }
+        std::uint8_t f = 0;
+        if (taken) f |= CommittedTrace::kFlagBranchTaken;
+        if (is_mem) f |= CommittedTrace::kFlagIsMem;
+        if (sentinel) f |= CommittedTrace::kFlagSentinel;
+        index[i] = idx;
+        next_index[i] = next;
+        mem_addr[i] = addr;
+        mem_size[i] = detail::TraceByte{msize};
+        flags[i] = detail::TraceByte{f};
+        count = i + 1;
+      }
+      void commit_info(const StepInfo& info, bool sentinel) {
+        commit(info.index, info.next_index, 0, 0, 0, false, 0, info.is_mem,
+               info.mem_addr, info.mem_size, info.branch_taken, sentinel);
+      }
+    };
+    Cursor cursor() {
+      return {this,      max_steps, count,    cap,  index,
+              next_index, mem_addr, mem_size, flags};
+    }
+    void sync(const Cursor& c) { count = c.count; }
+
+    void finish() const {
+      trace.index_.resize(count);
+      trace.next_index_.resize(count);
+      trace.mem_addr_.resize(count);
+      trace.mem_size_.resize(count);
+      trace.flags_.resize(count);
+      // A short trace recorded through the growth schedule would otherwise
+      // pin cap-sized columns for its whole (possibly cached) lifetime;
+      // copying at most cap/2 elements bounds the shrink cost by the
+      // recording cost already paid.
+      if (count < cap / 2) {
+        trace.index_.shrink_to_fit();
+        trace.next_index_.shrink_to_fit();
+        trace.mem_addr_.shrink_to_fit();
+        trace.mem_size_.shrink_to_fit();
+        trace.flags_.shrink_to_fit();
+      }
+    }
+  };
+
+  struct StepPolicy {
+    const Program& program;
+    StepInfo info;
+    bool done = false;
+
+    // One committed step per execute() call: the cursor writes through to
+    // the policy — a single commit has no per-step state worth hoisting.
+    struct Cursor {
+      StepPolicy* owner;
+      bool begin(std::uint64_t) const { return !owner->done; }
+      void commit(std::int32_t idx, std::int32_t next, std::uint32_t a,
+                  std::uint32_t b, int nsrc, bool has_result,
+                  std::uint32_t result, bool is_mem, std::uint32_t addr,
+                  std::uint8_t msize, bool taken, bool sentinel) {
+        StepInfo& info = owner->info;
+        info.index = idx;
+        info.next_index = next;
+        info.ins = sentinel
+                       ? make_halt()
+                       : owner->program.text[static_cast<std::size_t>(idx)];
+        info.is_mem = is_mem;
+        info.mem_addr = addr;
+        info.mem_size = msize;
+        info.has_result = has_result;
+        info.result = result;
+        info.src_vals = {a, b};
+        info.num_src = nsrc;
+        info.branch_taken = taken;
+        owner->done = true;
+      }
+      void commit_info(const StepInfo& i, bool) {
+        owner->info = i;
+        owner->done = true;
+      }
+    };
+    Cursor cursor() { return {this}; }
+    void sync(const Cursor&) {}
+  };
+
+  template <typename Policy>
+  static void execute(Executor& ex, const UopProgram& up, Policy& policy) {
+    const Uop* const uops = up.uops.data();
+    const auto size = static_cast<std::int32_t>(up.program->size());
+    std::uint32_t* const regs = ex.regs_.data();
+    Memory& mem = ex.mem_;
+    const ExtInstTable* const table = up.table;
+
+    std::int32_t pc = ex.pc_;
+    std::uint64_t steps = ex.steps_;
+
+    // Cached page translations: one load page, one store page. Page
+    // storage is never freed or moved while the executor lives, so a
+    // cached pointer stays valid; absent pages are never cached (a later
+    // store would allocate the page and a stale null would keep reading
+    // zeros).
+    constexpr std::uint32_t kNoPage = 0xFFFFFFFFu;
+    std::uint32_t load_tag = kNoPage;
+    const std::uint8_t* load_page = nullptr;
+    std::uint32_t store_tag = kNoPage;
+    std::uint8_t* store_page = nullptr;
+    constexpr std::uint32_t kOffMask = Memory::kPageSize - 1;
+
+    const auto load_base = [&](std::uint32_t addr) -> const std::uint8_t* {
+      const std::uint32_t tag = addr >> Memory::kPageBits;
+      if (tag == load_tag) return load_page;
+      const std::uint8_t* p = mem.page_data(addr);
+      if (p != nullptr) {
+        load_tag = tag;
+        load_page = p;
+      }
+      return p;
+    };
+    const auto store_base = [&](std::uint32_t addr) -> std::uint8_t* {
+      const std::uint32_t tag = addr >> Memory::kPageBits;
+      if (tag != store_tag) {
+        store_page = mem.page_data_touch(addr);
+        store_tag = tag;
+      }
+      return store_page;
+    };
+
+    // The policy's hot per-step state, held as a local whose address never
+    // escapes this frame (see the Cursor comment above the policies). On a
+    // throw the cursor is NOT synced back: every caller discards the
+    // policy's product when execute() throws, and the reference
+    // interpreter likewise reports nothing for a faulting step.
+    auto cur = policy.cursor();
+
+    const Uop* u = nullptr;
+    try {
+#if T1000_UCODE_COMPUTED_GOTO
+      static const void* const kLabels[kNumUopKinds] = {
+          &&op_Addu,  &&op_Subu,  &&op_And,   &&op_Or,     &&op_Xor,
+          &&op_Nor,   &&op_Slt,   &&op_Sltu,  &&op_Sllv,   &&op_Srlv,
+          &&op_Srav,  &&op_Mul,   &&op_Sll,   &&op_Srl,    &&op_Sra,
+          &&op_Addiu, &&op_Andi,  &&op_Ori,   &&op_Xori,   &&op_Slti,
+          &&op_Sltiu, &&op_Lui,   &&op_Lw,    &&op_Lh,     &&op_Lhu,
+          &&op_Lb,    &&op_Lbu,   &&op_Sw,    &&op_Sh,     &&op_Sb,
+          &&op_Beq,   &&op_Bne,   &&op_Blez,  &&op_Bgtz,   &&op_Bltz,
+          &&op_Bgez,  &&op_J,     &&op_Jal,   &&op_Jr,     &&op_Jalr,
+          &&op_Nop,   &&op_Halt,  &&op_Ext,   &&op_Sentinel,
+          &&op_Interp,
+      };
+#define T1000_OP(name) op_##name:
+#define T1000_NEXT()                                          \
+  do {                                                        \
+    if (!cur.begin(steps)) goto loop_done;                    \
+    u = uops + pc;                                            \
+    goto* kLabels[static_cast<std::size_t>(u->kind)];         \
+  } while (0)
+      T1000_NEXT();
+#else
+#define T1000_OP(name) case UopKind::k##name:
+#define T1000_NEXT() continue
+      for (;;) {
+        if (!cur.begin(steps)) goto loop_done;
+        u = uops + pc;
+        switch (u->kind) {
+#endif
+
+// rd <- rs op rt. `has_result` is reported even for an $zero destination
+// (write_dst in the reference sets it before set_reg drops the write);
+// the regs[0] = 0 restore keeps the hardwired zero.
+#define T1000_ALU3(name, expr)                                        \
+  T1000_OP(name) {                                                    \
+    const std::uint32_t a = regs[u->rs];                              \
+    const std::uint32_t b = regs[u->rt];                              \
+    const std::uint32_t v = (expr);                                   \
+    regs[u->rd] = v;                                                  \
+    regs[0] = 0;                                                      \
+    const std::int32_t idx = pc++;                                    \
+    ++steps;                                                          \
+    cur.commit(idx, pc, a, b, 2, true, v, false, 0, 0, false,      \
+                  false);                                             \
+  }                                                                   \
+  T1000_NEXT()
+
+          T1000_ALU3(Addu, a + b);
+          T1000_ALU3(Subu, a - b);
+          T1000_ALU3(And, a & b);
+          T1000_ALU3(Or, a | b);
+          T1000_ALU3(Xor, a ^ b);
+          T1000_ALU3(Nor, ~(a | b));
+          T1000_ALU3(Slt, static_cast<std::int32_t>(a) <
+                                  static_cast<std::int32_t>(b)
+                              ? 1u
+                              : 0u);
+          T1000_ALU3(Sltu, a < b ? 1u : 0u);
+          T1000_ALU3(Sllv, a << (b & 31));
+          T1000_ALU3(Srlv, a >> (b & 31));
+          T1000_ALU3(Srav, static_cast<std::uint32_t>(
+                               static_cast<std::int32_t>(a) >> (b & 31)));
+          T1000_ALU3(Mul, a * b);
+#undef T1000_ALU3
+
+// rd <- rs op imm, one register source. The decoder pre-extended (or
+// pre-masked) imm, so `b` is ready to use — but the reported operand count
+// is still 1 and src_vals[1] stays 0, matching src_regs().
+#define T1000_ALU_IMM(name, expr)                                     \
+  T1000_OP(name) {                                                    \
+    const std::uint32_t a = regs[u->rs];                              \
+    const std::uint32_t b = static_cast<std::uint32_t>(u->imm);       \
+    const std::uint32_t v = (expr);                                   \
+    regs[u->rd] = v;                                                  \
+    regs[0] = 0;                                                      \
+    const std::int32_t idx = pc++;                                    \
+    ++steps;                                                          \
+    cur.commit(idx, pc, a, 0, 1, true, v, false, 0, 0, false,      \
+                  false);                                             \
+  }                                                                   \
+  T1000_NEXT()
+
+          T1000_ALU_IMM(Sll, a << (b & 31));
+          T1000_ALU_IMM(Srl, a >> (b & 31));
+          T1000_ALU_IMM(Sra, static_cast<std::uint32_t>(
+                                 static_cast<std::int32_t>(a) >> (b & 31)));
+          T1000_ALU_IMM(Addiu, a + b);
+          T1000_ALU_IMM(Andi, a & b);
+          T1000_ALU_IMM(Ori, a | b);
+          T1000_ALU_IMM(Xori, a ^ b);
+          T1000_ALU_IMM(Slti, static_cast<std::int32_t>(a) <
+                                      static_cast<std::int32_t>(b)
+                                  ? 1u
+                                  : 0u);
+          T1000_ALU_IMM(Sltiu, a < b ? 1u : 0u);
+#undef T1000_ALU_IMM
+
+          T1000_OP(Lui) {
+            const auto v = static_cast<std::uint32_t>(u->imm);
+            regs[u->rd] = v;
+            regs[0] = 0;
+            const std::int32_t idx = pc++;
+            ++steps;
+            cur.commit(idx, pc, 0, 0, 0, true, v, false, 0, 0, false,
+                          false);
+          }
+          T1000_NEXT();
+
+// Loads: aligned accesses never cross a 4 KiB page; a misaligned address
+// is bounced to the Memory method purely for its canonical MemError. An
+// absent page reads as zero without allocating (and without caching).
+#define T1000_LOAD(name, bytes, misaligned_probe, read_expr)              \
+  T1000_OP(name) {                                                        \
+    const std::uint32_t a = regs[u->rs];                                  \
+    const std::uint32_t addr = a + static_cast<std::uint32_t>(u->imm);    \
+    std::uint32_t v = 0;                                                  \
+    if constexpr ((bytes) > 1) {                                          \
+      if ((addr & ((bytes)-1)) != 0) misaligned_probe; /* throws */       \
+    }                                                                     \
+    const std::uint8_t* const page = load_base(addr);                     \
+    if (page != nullptr) {                                                \
+      const std::uint32_t off = addr & kOffMask;                          \
+      v = (read_expr);                                                    \
+    }                                                                     \
+    regs[u->rd] = v;                                                      \
+    regs[0] = 0;                                                          \
+    const std::int32_t idx = pc++;                                        \
+    ++steps;                                                              \
+    cur.commit(idx, pc, a, 0, 1, true, v, true, addr, (bytes), false,  \
+                  false);                                                 \
+  }                                                                       \
+  T1000_NEXT()
+
+          T1000_LOAD(Lw, 4, mem.load_u32(addr),
+                     static_cast<std::uint32_t>(page[off]) |
+                         static_cast<std::uint32_t>(page[off + 1]) << 8 |
+                         static_cast<std::uint32_t>(page[off + 2]) << 16 |
+                         static_cast<std::uint32_t>(page[off + 3]) << 24);
+          T1000_LOAD(Lh, 2, mem.load_u16(addr),
+                     static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                         static_cast<std::int16_t>(static_cast<std::uint16_t>(
+                             page[off] | page[off + 1] << 8)))));
+          T1000_LOAD(Lhu, 2, mem.load_u16(addr),
+                     static_cast<std::uint32_t>(page[off] |
+                                                page[off + 1] << 8));
+          T1000_LOAD(Lb, 1, (void)0,
+                     static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                         static_cast<std::int8_t>(page[off]))));
+          T1000_LOAD(Lbu, 1, (void)0, static_cast<std::uint32_t>(page[off]));
+#undef T1000_LOAD
+
+// Stores: data travels in rt (the second source), matching src_regs()
+// order {rs, rt}.
+#define T1000_STORE(name, bytes, misaligned_probe, write_stmt)            \
+  T1000_OP(name) {                                                        \
+    const std::uint32_t a = regs[u->rs];                                  \
+    const std::uint32_t b = regs[u->rt];                                  \
+    const std::uint32_t addr = a + static_cast<std::uint32_t>(u->imm);    \
+    if constexpr ((bytes) > 1) {                                          \
+      if ((addr & ((bytes)-1)) != 0) misaligned_probe; /* throws */       \
+    }                                                                     \
+    std::uint8_t* const page = store_base(addr);                          \
+    const std::uint32_t off = addr & kOffMask;                            \
+    write_stmt;                                                           \
+    const std::int32_t idx = pc++;                                        \
+    ++steps;                                                              \
+    cur.commit(idx, pc, a, b, 2, false, 0, true, addr, (bytes), false, \
+                  false);                                                 \
+  }                                                                       \
+  T1000_NEXT()
+
+          T1000_STORE(Sw, 4, mem.store_u32(addr, b), {
+            page[off] = static_cast<std::uint8_t>(b);
+            page[off + 1] = static_cast<std::uint8_t>(b >> 8);
+            page[off + 2] = static_cast<std::uint8_t>(b >> 16);
+            page[off + 3] = static_cast<std::uint8_t>(b >> 24);
+          });
+          T1000_STORE(Sh, 2,
+                      mem.store_u16(addr, static_cast<std::uint16_t>(b)), {
+                        page[off] = static_cast<std::uint8_t>(b);
+                        page[off + 1] = static_cast<std::uint8_t>(b >> 8);
+                      });
+          T1000_STORE(Sb, 1, (void)0,
+                      { page[off] = static_cast<std::uint8_t>(b); });
+#undef T1000_STORE
+
+// Two- and one-source conditional branches. The decoder proved `target`
+// in range, and the untaken successor pc+1 <= size always holds, so no
+// run-time range check remains.
+#define T1000_BRANCH2(name, cond)                                        \
+  T1000_OP(name) {                                                       \
+    const std::uint32_t a = regs[u->rs];                                 \
+    const std::uint32_t b = regs[u->rt];                                 \
+    const bool taken = (cond);                                           \
+    const std::int32_t idx = pc;                                         \
+    pc = taken ? u->target : pc + 1;                                     \
+    ++steps;                                                             \
+    cur.commit(idx, pc, a, b, 2, false, 0, false, 0, 0, taken,        \
+                  false);                                                \
+  }                                                                      \
+  T1000_NEXT()
+
+          T1000_BRANCH2(Beq, a == b);
+          T1000_BRANCH2(Bne, a != b);
+#undef T1000_BRANCH2
+
+#define T1000_BRANCH1(name, cond)                                        \
+  T1000_OP(name) {                                                       \
+    const std::uint32_t a = regs[u->rs];                                 \
+    const auto sa = static_cast<std::int32_t>(a);                        \
+    (void)sa;                                                            \
+    const bool taken = (cond);                                           \
+    const std::int32_t idx = pc;                                         \
+    pc = taken ? u->target : pc + 1;                                     \
+    ++steps;                                                             \
+    cur.commit(idx, pc, a, 0, 1, false, 0, false, 0, 0, taken,        \
+                  false);                                                \
+  }                                                                      \
+  T1000_NEXT()
+
+          T1000_BRANCH1(Blez, sa <= 0);
+          T1000_BRANCH1(Bgtz, sa > 0);
+          T1000_BRANCH1(Bltz, sa < 0);
+          T1000_BRANCH1(Bgez, sa >= 0);
+#undef T1000_BRANCH1
+
+          T1000_OP(J) {
+            const std::int32_t idx = pc;
+            pc = u->target;
+            ++steps;
+            cur.commit(idx, pc, 0, 0, 0, false, 0, false, 0, 0, true,
+                          false);
+          }
+          T1000_NEXT();
+
+          T1000_OP(Jal) {
+            const std::uint32_t link =
+                kTextBase + static_cast<std::uint32_t>(pc + 1) * 4;
+            regs[kRegRa] = link;
+            const std::int32_t idx = pc;
+            pc = u->target;
+            ++steps;
+            cur.commit(idx, pc, 0, 0, 0, true, link, false, 0, 0, true,
+                          false);
+          }
+          T1000_NEXT();
+
+          T1000_OP(Jr) {
+            const std::uint32_t t = regs[u->rs];
+            if (t < kTextBase || (t & 3) != 0) {
+              throw SimError("wild jump to 0x" + std::to_string(t));
+            }
+            const auto next = static_cast<std::int32_t>((t - kTextBase) / 4);
+            if (next > size) {
+              throw SimError("control transfer out of text: " +
+                             std::to_string(next));
+            }
+            const std::int32_t idx = pc;
+            pc = next;
+            ++steps;
+            cur.commit(idx, pc, t, 0, 1, false, 0, false, 0, 0, true,
+                          false);
+          }
+          T1000_NEXT();
+
+          T1000_OP(Jalr) {
+            // Operand read, then link write, then target checks — the
+            // reference order, observable when rd == rs and when the link
+            // write precedes a wild-jump fault.
+            const std::uint32_t t = regs[u->rs];
+            const std::uint32_t link =
+                kTextBase + static_cast<std::uint32_t>(pc + 1) * 4;
+            regs[u->rd] = link;
+            regs[0] = 0;
+            if (t < kTextBase || (t & 3) != 0) {
+              throw SimError("wild jump to 0x" + std::to_string(t));
+            }
+            const auto next = static_cast<std::int32_t>((t - kTextBase) / 4);
+            if (next > size) {
+              throw SimError("control transfer out of text: " +
+                             std::to_string(next));
+            }
+            const std::int32_t idx = pc;
+            pc = next;
+            ++steps;
+            cur.commit(idx, pc, t, 0, 1, true, link, false, 0, 0, true,
+                          false);
+          }
+          T1000_NEXT();
+
+          T1000_OP(Nop) {
+            const std::int32_t idx = pc++;
+            ++steps;
+            cur.commit(idx, pc, 0, 0, 0, false, 0, false, 0, 0, false,
+                          false);
+          }
+          T1000_NEXT();
+
+          T1000_OP(Halt) {
+            ex.halted_ = true;
+            ++steps;
+            cur.commit(pc, pc, 0, 0, 0, false, 0, false, 0, 0, false,
+                          false);
+            goto loop_done;
+          }
+
+          T1000_OP(Ext) {
+            const std::uint32_t a = regs[u->rs];
+            const std::uint32_t b = regs[u->rt];
+            const std::uint32_t v =
+                table->defs()[static_cast<std::size_t>(u->imm)].eval(a, b);
+            regs[u->rd] = v;
+            regs[0] = 0;
+            const std::int32_t idx = pc++;
+            ++steps;
+            cur.commit(idx, pc, a, b, 2, true, v, false, 0, 0, false,
+                          false);
+          }
+          T1000_NEXT();
+
+          T1000_OP(Sentinel) {
+            // Clean off-the-end halt: reported but not counted as an
+            // executed step, exactly like the reference interpreter.
+            ex.halted_ = true;
+            cur.commit(pc, pc, 0, 0, 0, false, 0, false, 0, 0, false,
+                          true);
+            goto loop_done;
+          }
+
+          T1000_OP(Interp) {
+            // Irregular instruction: hand this one step to the reference
+            // interpreter. On a throw it leaves pc_/steps_ untouched, so
+            // the catch-all write-back below is a no-op.
+            ex.pc_ = pc;
+            ex.steps_ = steps;
+            const StepInfo info = ex.step_reference();
+            pc = ex.pc_;
+            steps = ex.steps_;
+            cur.commit_info(info, info.index >= size);
+            if (ex.halted_) goto loop_done;
+          }
+          T1000_NEXT();
+
+#if !T1000_UCODE_COMPUTED_GOTO
+          case UopKind::kNumUopKinds:
+            break;
+        }
+      }
+#endif
+#undef T1000_OP
+#undef T1000_NEXT
+    loop_done:
+      policy.sync(cur);
+      ex.pc_ = pc;
+      ex.steps_ = steps;
+    } catch (...) {
+      ex.pc_ = pc;
+      ex.steps_ = steps;
+      throw;
+    }
+  }
+};
+
+StepInfo Executor::step_ucode() {
+  if (halted_) throw SimError("step() after halt");
+  UcodeImpl::StepPolicy policy{program_, StepInfo{}, false};
+  UcodeImpl::execute(*this, *ucode_, policy);
+  return policy.info;
+}
+
+std::uint64_t Executor::run_ucode(std::uint64_t max_steps) {
+  if (halted_) return 0;
+  UcodeImpl::RunPolicy policy{max_steps};
+  UcodeImpl::execute(*this, *ucode_, policy);
+  return policy.n;
+}
+
+void Executor::record_ucode(CommittedTrace& trace, std::uint64_t max_steps) {
+  UcodeImpl::RecordPolicy policy{trace, max_steps};
+  if (!halted_) UcodeImpl::execute(*this, *ucode_, policy);
+  policy.finish();
+}
+
+CommittedTrace record_trace(const UopProgram& ucode,
+                            std::uint64_t max_steps) {
+  Executor exec(ucode);
+  CommittedTrace trace;
+  exec.record_ucode(trace, max_steps);
+  trace.finalize(exec.reg(kRegV0));
+  return trace;
+}
+
+}  // namespace t1000

@@ -14,7 +14,10 @@
 #include <vector>
 
 #include "harness/identity.hpp"
+#include "harness/json.hpp"
 #include "harness/serialize.hpp"
+#include "sim/trace.hpp"
+#include "sim/ucode.hpp"
 
 namespace t1000 {
 namespace {
@@ -218,6 +221,32 @@ TEST(CacheKey, TextEmbedsTheFullIdentityJson) {
   EXPECT_NE(key.text.find(to_json(spec.policy).dump()), std::string::npos);
   EXPECT_NE(key.text.find("\"trace\""), std::string::npos);
   EXPECT_EQ(key.text.find(spec.label), std::string::npos);
+}
+
+TEST(CacheKey, DecodedFormatVersionIsInTheTraceIdentity) {
+  // Traces are recorded through the pre-decoded uop interpreter, so the
+  // decoded-format version is result identity: a lowering change that
+  // bumps kUcodeFormatVersion must invalidate every memoized outcome the
+  // same way a trace-format bump does. Pin the exact serialized fields so
+  // neither version can silently drop out of the key.
+  const CacheKey key = make_cache_key(base_spec(), kHash, kSteps);
+  EXPECT_NE(key.text.find("\"ucode\":" + std::to_string(kUcodeFormatVersion)),
+            std::string::npos)
+      << key.text;
+  EXPECT_NE(key.text.find("\"format\":" + std::to_string(kTraceFormatVersion)),
+            std::string::npos)
+      << key.text;
+
+  // Flipping the decoded-format field (the key is the identity JSON
+  // itself) must change the key text — i.e. the field really participates
+  // in identity rather than being decorative.
+  std::string flipped = key.text;
+  const std::string needle =
+      "\"ucode\":" + std::to_string(kUcodeFormatVersion);
+  flipped.replace(flipped.find(needle), needle.size(),
+                  "\"ucode\":" + std::to_string(kUcodeFormatVersion + 1));
+  EXPECT_NE(flipped, key.text);
+  EXPECT_NE(to_hex(fnv1a64(flipped)), key.hash);
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+// Randomized differential testing of the uop interpreter.
+//
+// Generates verifier-legal programs from a seeded RNG — random basic
+// blocks of ALU/shift/immediate/memory work stitched together with
+// forward-only control flow (termination by construction), plus a bounded
+// backward loop template — and drives the reference interpreter
+// (ExecMode::kReference) and the pre-decoded uop interpreter side by side,
+// requiring step-for-step StepInfo equality and identical final
+// architectural state. Deliberate edge cases ride along: a branch whose
+// target is exactly program.size() (off the end of the last segment, into
+// the halt sentinel) and fall-through into the sentinel via `jr $ra`.
+//
+// Every failure message carries the generating seed; to reproduce, run the
+// failing test and feed the seed to build_random_program() under a
+// debugger.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/ucode_check.hpp"
+#include "asmkit/program.hpp"
+#include "sim/executor.hpp"
+#include "sim/trace.hpp"
+#include "sim/ucode.hpp"
+
+namespace t1000 {
+namespace {
+
+constexpr std::uint64_t kStepBound = 1u << 16;
+
+// Registers the generator allocates: $t0..$t7 scratch plus $s0 as the
+// loop counter and $a0 as the memory base. $zero is deliberately included
+// as an occasional destination (architectural no-op — the interpreters
+// must agree on it too).
+constexpr Reg kScratch[] = {8, 9, 10, 11, 12, 13, 14, 15, 0};
+
+Reg pick_reg(std::mt19937& rng) {
+  return kScratch[rng() % (sizeof kScratch / sizeof kScratch[0])];
+}
+
+// One random non-control instruction. Memory operations stay inside the
+// 256-byte data segment through $a0 (loaded with kDataBase and never
+// clobbered — the generator excludes $a0 from destinations).
+Instruction random_straightline(std::mt19937& rng) {
+  switch (rng() % 8) {
+    case 0:
+      return make_r(static_cast<Opcode>(rng() % 12), pick_reg(rng),
+                    pick_reg(rng), pick_reg(rng));
+    case 1: {
+      const Opcode shifts[] = {Opcode::kSll, Opcode::kSrl, Opcode::kSra};
+      // Shift amounts beyond 31 exercise the decoder's pre-masking.
+      return make_shift(shifts[rng() % 3], pick_reg(rng), pick_reg(rng),
+                        static_cast<int>(rng() % 64));
+    }
+    case 2: {
+      const Opcode imms[] = {Opcode::kAddiu, Opcode::kAndi, Opcode::kOri,
+                             Opcode::kXori, Opcode::kSlti, Opcode::kSltiu};
+      return make_imm(imms[rng() % 6], pick_reg(rng), pick_reg(rng),
+                      static_cast<std::int32_t>(rng() % 0x10000) - 0x8000);
+    }
+    case 3:
+      return make_lui(pick_reg(rng),
+                      static_cast<std::int32_t>(rng() % 0x10000));
+    case 4: {
+      const Opcode loads[] = {Opcode::kLw, Opcode::kLh, Opcode::kLhu,
+                              Opcode::kLb, Opcode::kLbu};
+      const int pick = static_cast<int>(rng() % 5);
+      const int align = pick == 0 ? 4 : pick <= 2 ? 2 : 1;
+      const std::int32_t disp =
+          static_cast<std::int32_t>(rng() % (256 / align)) * align;
+      return make_mem(loads[pick], pick_reg(rng), /*base=*/4, disp);
+    }
+    case 5: {
+      const Opcode stores[] = {Opcode::kSw, Opcode::kSh, Opcode::kSb};
+      const int pick = static_cast<int>(rng() % 3);
+      const int align = pick == 0 ? 4 : pick == 1 ? 2 : 1;
+      const std::int32_t disp =
+          static_cast<std::int32_t>(rng() % (256 / align)) * align;
+      return make_mem(stores[pick], pick_reg(rng), /*base=*/4, disp);
+    }
+    case 6:
+      return make_nop();
+    default:
+      return make_r(Opcode::kMul, pick_reg(rng), pick_reg(rng),
+                    pick_reg(rng));
+  }
+}
+
+// A random program: straight-line filler broken by forward-only branches
+// (every control target is strictly greater than the branch's own index,
+// so the program terminates no matter what the data does), one bounded
+// countdown loop in the middle, `halt` at the end. 256 bytes of zeroed
+// data backs the memory traffic.
+Program build_random_program(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  Program p;
+  p.data.assign(256, 0);
+
+  const int body = 24 + static_cast<int>(rng() % 40);
+  // Prologue: $a0 <- kDataBase, $s0 <- small loop count. The loop header
+  // index is known up front: two prologue instructions, then `body`
+  // random ones, then the loop.
+  p.text.push_back(make_lui(/*rd=*/4, kDataBase >> 16));
+  p.text.push_back(
+      make_imm(Opcode::kAddiu, /*rd=*/16, 0, 3 + (rng() % 5)));
+
+  for (int i = 0; i < body; ++i) {
+    // ~1 in 6 instructions is a forward branch over a small random gap.
+    if (rng() % 6 == 0) {
+      const auto here = static_cast<std::int32_t>(p.text.size());
+      const std::int32_t target = here + 1 + static_cast<std::int32_t>(rng() % 4);
+      switch (rng() % 4) {
+        case 0:
+          p.text.push_back(make_branch2(Opcode::kBeq, pick_reg(rng),
+                                        pick_reg(rng), target));
+          break;
+        case 1:
+          p.text.push_back(make_branch2(Opcode::kBne, pick_reg(rng),
+                                        pick_reg(rng), target));
+          break;
+        case 2:
+          p.text.push_back(
+              make_branch1(Opcode::kBgtz, pick_reg(rng), target));
+          break;
+        default:
+          p.text.push_back(make_jump(Opcode::kJ, target));
+          break;
+      }
+    } else {
+      p.text.push_back(random_straightline(rng));
+    }
+  }
+  // Pad past any forward target that may point into [size, size+4).
+  for (int i = 0; i < 4; ++i) p.text.push_back(random_straightline(rng));
+
+  // The bounded loop: body of random work, then $s0-- / bgtz back up.
+  const auto loop_head = static_cast<std::int32_t>(p.text.size());
+  const int loop_body = 2 + static_cast<int>(rng() % 6);
+  for (int i = 0; i < loop_body; ++i) {
+    p.text.push_back(random_straightline(rng));
+  }
+  p.text.push_back(make_imm(Opcode::kAddiu, /*rd=*/16, /*rs=*/16, -1));
+  p.text.push_back(make_branch1(Opcode::kBgtz, /*rs=*/16, loop_head));
+  p.text.push_back(make_halt());
+  return p;
+}
+
+// Drives the two interpreters in lockstep and asserts equality of every
+// StepInfo field, then of the full architectural state.
+void expect_lockstep(const Program& p, const std::string& tag) {
+  Executor ref(p, nullptr, ExecMode::kReference);
+  Executor uop(p, nullptr, ExecMode::kUcode);
+  std::uint64_t steps = 0;
+  while (!ref.halted() && steps < kStepBound) {
+    ASSERT_FALSE(uop.halted()) << tag << " step " << steps;
+    const StepInfo want = ref.step();
+    const StepInfo got = uop.step();
+    ASSERT_EQ(got.index, want.index) << tag << " step " << steps;
+    ASSERT_EQ(got.next_index, want.next_index) << tag << " step " << steps;
+    ASSERT_EQ(got.ins, want.ins) << tag << " step " << steps;
+    ASSERT_EQ(got.is_mem, want.is_mem) << tag << " step " << steps;
+    ASSERT_EQ(got.mem_addr, want.mem_addr) << tag << " step " << steps;
+    ASSERT_EQ(got.mem_size, want.mem_size) << tag << " step " << steps;
+    ASSERT_EQ(got.has_result, want.has_result) << tag << " step " << steps;
+    ASSERT_EQ(got.result, want.result) << tag << " step " << steps;
+    ASSERT_EQ(got.num_src, want.num_src) << tag << " step " << steps;
+    ASSERT_EQ(got.src_vals, want.src_vals) << tag << " step " << steps;
+    ASSERT_EQ(got.branch_taken, want.branch_taken)
+        << tag << " step " << steps;
+    ++steps;
+  }
+  ASSERT_TRUE(ref.halted()) << tag << ": generator produced a non-halting "
+                            << "program (forward-only invariant broken)";
+  EXPECT_EQ(uop.halted(), ref.halted()) << tag;
+  EXPECT_EQ(uop.pc(), ref.pc()) << tag;
+  EXPECT_EQ(uop.steps_executed(), ref.steps_executed()) << tag;
+  for (Reg r = 0; r < kNumRegs; ++r) {
+    EXPECT_EQ(uop.reg(r), ref.reg(r)) << tag << " $" << int(r);
+  }
+
+  // The recorded traces must also agree on their fingerprints.
+  const CommittedTrace a =
+      record_trace(p, nullptr, kStepBound, ExecMode::kReference);
+  const CommittedTrace b =
+      record_trace(p, nullptr, kStepBound, ExecMode::kUcode);
+  EXPECT_EQ(a.size(), b.size()) << tag;
+  EXPECT_EQ(a.checksum(), b.checksum()) << tag;
+  EXPECT_EQ(a.content_hash(), b.content_hash()) << tag;
+}
+
+TEST(UcodeFuzz, RandomProgramsExecuteIdentically) {
+  for (std::uint32_t seed = 1; seed <= 64; ++seed) {
+    const Program p = build_random_program(seed);
+    // Every generated program must be decoder-clean before it is worth
+    // comparing execution: a structurally broken stream would fail both
+    // paths identically and hide the bug.
+    const VerifyReport decoded =
+        verify_ucode(UopProgram::build(p, /*ext_table=*/nullptr));
+    ASSERT_EQ(decoded.errors(), 0) << "seed " << seed;
+    expect_lockstep(p, "seed " + std::to_string(seed));
+  }
+}
+
+TEST(UcodeFuzz, BranchToProgramSizeHitsTheSentinel) {
+  // A taken branch whose target is exactly program.size(): off the end of
+  // the last segment, straight onto the halt sentinel. The reference
+  // interpreter halts; the uop path must land on kSentinel and do the
+  // same, committing the identical off-the-end sentinel step.
+  Program p;
+  p.text.push_back(make_imm(Opcode::kAddiu, /*rd=*/8, 0, 1));
+  p.text.push_back(make_branch1(Opcode::kBgtz, /*rs=*/8,
+                                /*target=*/3));  // == size()
+  p.text.push_back(make_halt());  // skipped by the taken branch
+  expect_lockstep(p, "branch-to-size");
+}
+
+TEST(UcodeFuzz, JrRaFallsOffTheEndIdentically) {
+  // reset() seeds $ra one past the end of text; `jr $ra` is the clean
+  // "return from main" halt. Both interpreters must commit the same
+  // synthetic sentinel step.
+  Program p;
+  p.text.push_back(make_imm(Opcode::kAddiu, /*rd=*/2, 0, 7));
+  p.text.push_back(make_jr(/*rs=*/31));
+  expect_lockstep(p, "jr-ra");
+}
+
+TEST(UcodeFuzz, SingleInstructionProgram) {
+  Program p;
+  p.text.push_back(make_halt());
+  expect_lockstep(p, "single-halt");
+}
+
+TEST(UcodeFuzz, StepBoundExhaustsIdentically) {
+  // An infinite loop must exhaust the step bound identically in both
+  // modes: run() returns max_steps with halted() still false.
+  Program p;
+  p.text.push_back(make_jump(Opcode::kJ, 0));
+  Executor ref(p, nullptr, ExecMode::kReference);
+  Executor uop(p, nullptr, ExecMode::kUcode);
+  EXPECT_EQ(ref.run(1000), 1000u);
+  EXPECT_EQ(uop.run(1000), 1000u);
+  EXPECT_FALSE(ref.halted());
+  EXPECT_FALSE(uop.halted());
+  EXPECT_EQ(uop.pc(), ref.pc());
+}
+
+}  // namespace
+}  // namespace t1000
