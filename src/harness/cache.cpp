@@ -1,14 +1,18 @@
 #include "harness/cache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "harness/identity.hpp"
 #include "harness/serialize.hpp"
@@ -17,6 +21,8 @@
 
 namespace t1000 {
 namespace {
+
+namespace fs = std::filesystem;
 
 // v2: replay-backed runs — keys grew the trace identity (max_steps +
 // trace format version), outcomes grew trace_steps/trace_hash.
@@ -57,6 +63,74 @@ ReadStatus read_file(const std::string& path, std::string* out) {
   }
   *out = std::move(text);
   return ReadStatus::kOk;
+}
+
+// Advisory cross-process lock on a cache directory: `<dir>/.lock` held via
+// flock(2) for the scope of the object. Mutating disk operations (store,
+// eviction, janitor) take it so probe-and-rename sequences are atomic with
+// respect to every other lock-holding writer on the same directory; the
+// read path never does (rename publication keeps readers safe for free).
+// Degrades gracefully: if the lock file cannot be opened or locked the
+// operation proceeds unlocked — exactly the pre-lock behaviour — because
+// an advisory lock that fails open must not turn a working cache into a
+// dead one.
+class DirLock {
+ public:
+  explicit DirLock(const std::string& dir) {
+    const std::string path = dir + "/.lock";
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
+    if (fd_ < 0) return;
+    int rc;
+    do {
+      rc = ::flock(fd_, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+  ~DirLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+// Healthy entry files are named `<16 hex>.json`; everything else in the
+// directory (lock file, temp files, quarantine files) is not an entry and
+// is never budget-counted or budget-evicted.
+bool is_entry_name(const std::string& name) {
+  constexpr std::string_view kExt = ".json";
+  if (name.size() != 16 + kExt.size()) return false;
+  if (std::string_view(name).substr(16) != kExt) return false;
+  return std::all_of(name.begin(), name.begin() + 16, [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+bool name_is_temp(const std::string& name) {
+  return name.find(".tmp.") != std::string::npos;
+}
+
+bool name_is_corrupt(const std::string& name) {
+  constexpr std::string_view kExt = ".corrupt";
+  return name.size() >= kExt.size() &&
+         std::string_view(name).substr(name.size() - kExt.size()) == kExt;
+}
+
+double file_age_seconds(const fs::directory_entry& entry,
+                        std::error_code& ec) {
+  const fs::file_time_type mtime = entry.last_write_time(ec);
+  if (ec) return 0.0;
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  return std::chrono::duration<double>(age).count();
 }
 
 }  // namespace
@@ -100,8 +174,23 @@ CacheKey make_cache_key(const RunSpec& spec, std::uint64_t program_hash,
   return key;
 }
 
-ResultCache::ResultCache(std::string disk_dir)
-    : disk_dir_(std::move(disk_dir)) {}
+ResultCache::Counters ResultCache::Counters::since(
+    const Counters& baseline) const {
+  Counters d;
+  d.memory_hits = memory_hits - baseline.memory_hits;
+  d.disk_hits = disk_hits - baseline.disk_hits;
+  d.misses = misses - baseline.misses;
+  d.stores = stores - baseline.stores;
+  d.disk_errors = disk_errors - baseline.disk_errors;
+  d.quarantined = quarantined - baseline.quarantined;
+  d.quarantine_removed = quarantine_removed - baseline.quarantine_removed;
+  d.evicted = evicted - baseline.evicted;
+  d.size_evicted = size_evicted - baseline.size_evicted;
+  return d;
+}
+
+ResultCache::ResultCache(std::string disk_dir, std::uint64_t size_budget_bytes)
+    : disk_dir_(std::move(disk_dir)), size_budget_bytes_(size_budget_bytes) {}
 
 bool ResultCache::lookup(const CacheKey& key, RunOutcome* out) {
   {
@@ -114,6 +203,12 @@ bool ResultCache::lookup(const CacheKey& key, RunOutcome* out) {
     }
   }
   if (!disk_dir_.empty() && load_from_disk(key, out)) {
+    // Touch the entry so size-budget eviction is least-recently-*used*,
+    // not least-recently-written. Best-effort: a concurrent eviction may
+    // have removed the file between the read and the touch.
+    std::error_code ec;
+    fs::last_write_time(entry_path(key), fs::file_time_type::clock::now(),
+                        ec);
     std::lock_guard<std::mutex> lock(mu_);
     memory_.emplace(key.text, *out);
     ++counters_.disk_hits;
@@ -140,6 +235,19 @@ ResultCache::Counters ResultCache::counters() const {
 
 std::string ResultCache::entry_path(const CacheKey& key) const {
   return disk_dir_ + "/" + key.hash + ".json";
+}
+
+std::uint64_t ResultCache::disk_usage_bytes() const {
+  if (disk_dir_.empty()) return 0;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(disk_dir_, ec)) {
+    if (!is_entry_name(entry.path().filename().string())) continue;
+    std::error_code sec;
+    const std::uintmax_t size = entry.file_size(sec);
+    if (!sec) total += size;
+  }
+  return total;
 }
 
 bool ResultCache::load_from_disk(const CacheKey& key, RunOutcome* out) {
@@ -186,24 +294,31 @@ bool ResultCache::load_from_disk(const CacheKey& key, RunOutcome* out) {
 }
 
 void ResultCache::quarantine_entry(const std::string& path) {
-  namespace fs = std::filesystem;
   std::error_code ec;
   fs::rename(path, path + ".corrupt", ec);
-  if (ec) {
-    // Rename failed (cross-device, permissions, ...): fall back to removing
-    // the entry so it cannot poison future runs.
-    fs::remove(path, ec);
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ec) {
-    ++counters_.disk_errors;
-  } else {
+  if (!ec) {
+    std::lock_guard<std::mutex> lock(mu_);
     ++counters_.quarantined;
+    return;
+  }
+  // Rename failed (cross-device, permissions, a directory squatting on the
+  // quarantine name, ...): fall back to removing the entry so it cannot
+  // poison future runs. That outcome is *not* a quarantine — no .corrupt
+  // file exists — so it gets its own counter. A remove that finds nothing
+  // lost a race with another process's quarantine/removal and counts as
+  // neither: the entry is gone either way.
+  std::error_code rec;
+  const bool removed = fs::remove(path, rec);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rec) {
+    ++counters_.disk_errors;
+  } else if (removed) {
+    ++counters_.quarantine_removed;
   }
 }
 
-void ResultCache::store_to_disk(const CacheKey& key, const RunOutcome& outcome) {
-  namespace fs = std::filesystem;
+void ResultCache::store_to_disk(const CacheKey& key,
+                                const RunOutcome& outcome) {
   std::error_code ec;
   fs::create_directories(disk_dir_, ec);
   if (ec) {
@@ -224,33 +339,127 @@ void ResultCache::store_to_disk(const CacheKey& key, const RunOutcome& outcome) 
   const std::string temp = entry_path(key) + ".tmp." +
                            std::to_string(::getpid()) + "." +
                            std::to_string(temp_seq.fetch_add(1));
-  {
-    std::ofstream os(temp, std::ios::binary | std::ios::trunc);
-    if (!os) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++counters_.disk_errors;
-      return;
-    }
-    os << text;
-    if (!os.flush()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++counters_.disk_errors;
-      return;
-    }
+
+  std::lock_guard<std::mutex> io(io_mu_);
+  // Every failure path below must remove the temp: a leaked temp is crash
+  // debris the janitor would otherwise have to sweep (and pre-janitor, it
+  // accumulated forever). Only a successful rename consumes it.
+  const auto fail_with_temp = [&] {
+    std::error_code rmec;
+    fs::remove(temp, rmec);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.disk_errors;
+  };
+
+  // stdio rather than iostreams so write/close failures are observable
+  // per-call (a full disk or an RLIMIT_FSIZE cap surfaces at fwrite, not
+  // as one folded failbit).
+  std::FILE* f = std::fopen(temp.c_str(), "wb");
+  if (f == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.disk_errors;
+    return;
   }
-  // A pre-existing file at the entry path can only belong to a different
-  // key that collided on the hash (this store follows a miss, and corrupt
-  // entries were quarantined away by the lookup): renaming over it evicts
-  // the previous occupant.
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) ==
+                     text.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    fail_with_temp();
+    return;
+  }
+
+  // The probe-and-rename runs under the directory lock, so the eviction
+  // verdict cannot be torn by another process storing the same entry
+  // between the probe and the rename (the pre-lock fs::exists probe was
+  // exactly that TOCTOU, and its counter drifted under contention).
+  DirLock lock(disk_dir_);
   const bool evicts = fs::exists(entry_path(key), ec);
   fs::rename(temp, entry_path(key), ec);
-  std::lock_guard<std::mutex> lock(mu_);
   if (ec) {
-    fs::remove(temp, ec);
-    ++counters_.disk_errors;
-  } else if (evicts) {
-    ++counters_.evicted;
+    fail_with_temp();
+    return;
   }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (evicts) ++counters_.evicted;
+  }
+  if (size_budget_bytes_ > 0) enforce_size_budget_locked(entry_path(key));
+}
+
+// Called with io_mu_ held and the directory lock held (or at least
+// attempted) by the caller's scope: evicts least-recently-used entries
+// until the summed entry size fits the budget. The just-stored entry is
+// exempt — storing must always succeed, even when one entry alone exceeds
+// the budget (the cache then holds exactly that entry).
+void ResultCache::enforce_size_budget_locked(const std::string& just_stored) {
+  struct EntryInfo {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t size = 0;
+  };
+  std::vector<EntryInfo> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(disk_dir_, ec)) {
+    if (!is_entry_name(entry.path().filename().string())) continue;
+    std::error_code sec;
+    EntryInfo info;
+    info.path = entry.path();
+    info.size = entry.file_size(sec);
+    if (sec) continue;
+    info.mtime = entry.last_write_time(sec);
+    if (sec) continue;
+    total += info.size;
+    entries.push_back(std::move(info));
+  }
+  if (total <= size_budget_bytes_) return;
+  // Oldest first; ties broken by name so two same-mtime caches evict
+  // identically.
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryInfo& a, const EntryInfo& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;
+            });
+  std::uint64_t evictions = 0;
+  for (const EntryInfo& info : entries) {
+    if (total <= size_budget_bytes_) break;
+    if (info.path == just_stored) continue;
+    std::error_code rec;
+    if (fs::remove(info.path, rec) && !rec) {
+      total -= info.size;
+      ++evictions;
+    }
+  }
+  if (evictions > 0) {
+    std::lock_guard<std::mutex> guard(mu_);
+    counters_.size_evicted += evictions;
+  }
+}
+
+ResultCache::JanitorReport ResultCache::janitor_sweep(double min_age_seconds) {
+  JanitorReport report;
+  if (disk_dir_.empty()) return report;
+  std::error_code ec;
+  if (!fs::is_directory(disk_dir_, ec)) return report;
+
+  std::lock_guard<std::mutex> io(io_mu_);
+  DirLock lock(disk_dir_);
+  for (const auto& entry : fs::directory_iterator(disk_dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    const bool is_temp = name_is_temp(name);
+    const bool is_corrupt = !is_temp && name_is_corrupt(name);
+    if (!is_temp && !is_corrupt) continue;
+    std::error_code aec;
+    if (file_age_seconds(entry, aec) < min_age_seconds || aec) continue;
+    std::error_code rec;
+    if (!fs::remove(entry.path(), rec) || rec) continue;
+    if (is_temp) {
+      ++report.tmp_removed;
+    } else {
+      ++report.corrupt_removed;
+    }
+  }
+  return report;
 }
 
 }  // namespace t1000

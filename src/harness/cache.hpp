@@ -13,6 +13,23 @@
 //    invocation. Files are written to a temp name and renamed into place;
 //    a torn or stale file is treated as a miss, never an error.
 //
+// The on-disk tier is built for a directory *shared across processes* — a
+// long-running t1000-serve daemon and any number of CLI tools on one
+// $T1000_CACHE_DIR:
+//
+//  * Mutating operations (store, size-budget eviction, janitor sweep)
+//    serialize under an advisory file lock (`<dir>/.lock`, flock(2)), so
+//    the collision-eviction probe and the budget accounting are race-free
+//    against other lock-holding writers. Lookups never take the lock:
+//    rename(2) publication means a reader only ever sees complete entries.
+//  * An optional size budget bounds the directory: after each store, the
+//    least-recently-used entries (by mtime; disk hits touch their entry)
+//    are evicted until the budget holds, so a process that never exits
+//    cannot grow the cache without bound.
+//  * A janitor sweep removes crash debris — orphaned `.tmp.*` files from
+//    writers that died mid-store and aged `.corrupt` quarantine files —
+//    older than a caller-chosen TTL, so debris never accumulates.
+//
 // The on-disk level is self-healing: a corrupt or version-mismatched entry
 // (torn write, garbage, truncated-to-empty, valid JSON from an older
 // schema) is quarantined exactly once — renamed to `<entry>.corrupt` so
@@ -67,27 +84,67 @@ class ResultCache {
     // Corrupt or version-mismatched entries moved to <entry>.corrupt; each
     // bad file is quarantined exactly once, then repaired by the next store.
     std::uint64_t quarantined = 0;
+    // Corrupt entries that could not be renamed to quarantine but were
+    // removed instead: the poison is gone, but no .corrupt file exists, so
+    // it must not count as quarantined (the counter would name a file that
+    // was never created).
+    std::uint64_t quarantine_removed = 0;
     // Healthy entries of a *different* key replaced by a store that
-    // collided on the entry hash (best-effort; racing same-key writers can
-    // over-count by one).
+    // collided on the entry hash. The probe-and-rename runs under the
+    // directory's advisory file lock, so the count is exact across
+    // lock-holding writers sharing the directory.
     std::uint64_t evicted = 0;
+    // Entries removed by size-budget enforcement (LRU by mtime).
+    std::uint64_t size_evicted = 0;
 
     std::uint64_t hits() const { return memory_hits + disk_hits; }
     std::uint64_t lookups() const { return hits() + misses; }
+
+    // Member-wise difference against an earlier snapshot of the same
+    // cache: what happened between the two reads. Lets a long-lived
+    // shared cache (the serve daemon's) attribute per-grid activity.
+    Counters since(const Counters& baseline) const;
+  };
+
+  // What one janitor pass swept. `tmp_removed` counts orphaned `.tmp.*`
+  // writer debris, `corrupt_removed` aged quarantine files.
+  struct JanitorReport {
+    std::uint64_t tmp_removed = 0;
+    std::uint64_t corrupt_removed = 0;
   };
 
   // `disk_dir` empty = in-memory only. The directory is created on first
-  // store. Thread-safe throughout.
-  explicit ResultCache(std::string disk_dir = "");
+  // store. `size_budget_bytes` bounds the summed size of on-disk entries
+  // (0 = unbounded); enforcement runs after each store, evicting the
+  // least-recently-used entries first. Thread-safe throughout.
+  explicit ResultCache(std::string disk_dir = "",
+                       std::uint64_t size_budget_bytes = 0);
 
   // On a hit fills `out` and returns true; a disk hit is also promoted
-  // into the in-memory map.
+  // into the in-memory map and touches the entry's mtime so budget
+  // eviction stays LRU rather than FIFO.
   bool lookup(const CacheKey& key, RunOutcome* out);
 
   void store(const CacheKey& key, const RunOutcome& outcome);
 
+  // Sweeps crash debris older than `min_age_seconds` from the cache
+  // directory under the advisory lock: orphaned `.tmp.*` files (a writer
+  // died between creating its temp and renaming it into place) and
+  // `.corrupt` quarantine files (kept for debugging, not forever). A TTL
+  // of zero sweeps everything — callers sharing the directory with live
+  // writers should keep a TTL comfortably above one store's duration so an
+  // in-flight temp is never swept out from under its writer. No-op for an
+  // in-memory-only cache or when the directory does not exist.
+  JanitorReport janitor_sweep(double min_age_seconds);
+
   Counters counters() const;
   const std::string& disk_dir() const { return disk_dir_; }
+  std::uint64_t size_budget_bytes() const { return size_budget_bytes_; }
+
+  // Summed size of the healthy on-disk entries (what the budget bounds;
+  // debris and the lock file are excluded). Exposed for tests and the
+  // serve layer's metrics.
+  std::uint64_t disk_usage_bytes() const;
 
   // Where a key's on-disk entry lives; `<entry_path>.corrupt` is its
   // quarantine name. Exposed for the self-healing tests.
@@ -97,8 +154,14 @@ class ResultCache {
   bool load_from_disk(const CacheKey& key, RunOutcome* out);
   void store_to_disk(const CacheKey& key, const RunOutcome& outcome);
   void quarantine_entry(const std::string& path);
+  void enforce_size_budget_locked(const std::string& just_stored);
 
   std::string disk_dir_;
+  std::uint64_t size_budget_bytes_ = 0;
+  // Serializes this process's mutating disk operations; the advisory file
+  // lock (taken inside, see cache.cpp) serializes against other processes.
+  // Distinct from mu_ so counter reads never wait on I/O.
+  mutable std::mutex io_mu_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, RunOutcome> memory_;
   Counters counters_;

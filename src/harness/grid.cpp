@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <exception>
 #include <fstream>
 #include <memory>
@@ -160,7 +162,9 @@ Json GridResult::to_json() const {
   engine["cache_misses"] = Json(engine_.cache.misses);
   engine["cache_disk_errors"] = Json(engine_.cache.disk_errors);
   engine["cache_quarantined"] = Json(engine_.cache.quarantined);
+  engine["cache_quarantine_removed"] = Json(engine_.cache.quarantine_removed);
   engine["cache_evicted"] = Json(engine_.cache.evicted);
+  engine["cache_size_evicted"] = Json(engine_.cache.size_evicted);
   engine["traces_recorded"] = Json(engine_.traces_recorded);
   engine["trace_replays"] = Json(engine_.trace_replays);
   engine["batches"] = Json(engine_.batches);
@@ -198,12 +202,20 @@ std::string GridResult::engine_summary() const {
       static_cast<ull>(engine_.cache.memory_hits),
       static_cast<ull>(engine_.cache.disk_hits),
       static_cast<ull>(engine_.simulated));
-  if (engine_.cache.quarantined > 0 || engine_.cache.evicted > 0 ||
+  if (engine_.cache.quarantined > 0 || engine_.cache.quarantine_removed > 0 ||
+      engine_.cache.evicted > 0 || engine_.cache.size_evicted > 0 ||
       engine_.cache.disk_errors > 0) {
-    out += strprintf(" (%llu quarantined, %llu evicted, %llu disk error(s))",
-                     static_cast<ull>(engine_.cache.quarantined),
-                     static_cast<ull>(engine_.cache.evicted),
-                     static_cast<ull>(engine_.cache.disk_errors));
+    // quarantine_removed stays distinct from quarantined: a removed corrupt
+    // entry left no .corrupt file behind, and the summary must not claim
+    // one exists.
+    out += strprintf(
+        " (%llu quarantined, %llu corrupt-removed, %llu evicted, %llu"
+        " size-evicted, %llu disk error(s))",
+        static_cast<ull>(engine_.cache.quarantined),
+        static_cast<ull>(engine_.cache.quarantine_removed),
+        static_cast<ull>(engine_.cache.evicted),
+        static_cast<ull>(engine_.cache.size_evicted),
+        static_cast<ull>(engine_.cache.disk_errors));
   }
   out += strprintf("; traces: %llu recorded, %llu replayed",
                    static_cast<ull>(engine_.traces_recorded),
@@ -297,7 +309,11 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
                              5000, 10000});
   }
 
-  ResultCache cache(options.cache_dir);
+  ResultCache local_cache(options.cache_dir, options.cache_budget_bytes);
+  ResultCache& cache = options.cache != nullptr ? *options.cache : local_cache;
+  // With a borrowed cache the counters are cumulative across grids; the
+  // engine section reports only what this run contributed.
+  const ResultCache::Counters cache_baseline = cache.counters();
   std::vector<WorkloadSlot> slots(workloads_.size());
   for (std::size_t i = 0; i < workloads_.size(); ++i) {
     slots[i].workload = &workloads_[i];
@@ -604,7 +620,7 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
       engine.stalls.accumulate(r.outcome.stalls);
     }
   }
-  engine.cache = cache.counters();
+  engine.cache = cache.counters().since(cache_baseline);
   engine.simulated = engine.cache.misses;
   engine.batches = batches.load(std::memory_order_relaxed);
   engine.batched_runs = batched_runs.load(std::memory_order_relaxed);
@@ -630,6 +646,15 @@ BenchOptions parse_bench_options(int argc, char** argv,
   // and per-worker allocations cannot overflow or OOM from a typo'd value.
   constexpr long kMaxJobs = 1 << 15;
   long jobs = 0;
+  long cache_budget = 0;
+  if (const char* env_budget = std::getenv("T1000_CACHE_BUDGET_BYTES")) {
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env_budget, &end, 10);
+    if (errno == 0 && end != env_budget && *end == '\0' && parsed >= 0) {
+      cache_budget = parsed;
+    }
+  }
   double run_budget_ms = 0.0;
   bool no_cache = false;
   bool no_batch = false;
@@ -643,6 +668,11 @@ BenchOptions parse_bench_options(int argc, char** argv,
                     ".t1000-cache)",
                     &out.grid.cache_dir);
   parser.add_flag("--no-cache", "disable the on-disk result cache", &no_cache);
+  parser.add_int("--cache-budget-bytes", "N",
+                 "size budget for the on-disk cache; least-recently-used "
+                 "entries are evicted to fit (default: "
+                 "$T1000_CACHE_BUDGET_BYTES or unbounded)",
+                 &cache_budget, 0, std::numeric_limits<long>::max());
   parser.add_flag("--no-batch",
                   "time each run as an independent replay instead of batching "
                   "runs that share a prepared trace (results are identical)",
@@ -677,6 +707,7 @@ BenchOptions parse_bench_options(int argc, char** argv,
   out.grid.jobs = static_cast<int>(jobs);
   out.grid.run_budget_ms = run_budget_ms;
   out.grid.batch = !no_batch;
+  out.grid.cache_budget_bytes = static_cast<std::uint64_t>(cache_budget);
   if (no_cache) out.grid.cache_dir.clear();
   if (!out.metrics_path.empty()) {
     out.metrics = std::make_shared<obs::MetricsRegistry>();

@@ -81,6 +81,19 @@ RunErrorKind classify_current_exception(std::string* message);
 struct GridOptions {
   int jobs = 0;           // worker threads; 0 = hardware concurrency
   std::string cache_dir;  // on-disk result cache; empty = disabled
+  // Size budget for the on-disk cache (0 = unbounded): after each store,
+  // least-recently-used entries are evicted until the directory fits
+  // (harness/cache.hpp). Ignored when `cache` is set — a borrowed cache
+  // carries its own budget.
+  std::uint64_t cache_budget_bytes = 0;
+  // Borrowed long-lived result cache: when set, the grid uses it instead
+  // of constructing one per run, so a process that runs many grids (the
+  // t1000-serve daemon) keeps one hot in-memory tier across requests.
+  // cache_dir/cache_budget_bytes are ignored; EngineStats::cache reports
+  // the *delta* this grid contributed. Must outlive run(); thread-safe,
+  // but delta attribution assumes grids on one shared cache run one at a
+  // time (concurrent grids see a merged delta).
+  ResultCache* cache = nullptr;
   // Fail-fast mode: the first failing run aborts the grid and rethrows its
   // exception after the pool drains (the pre-fault-isolation contract,
   // kept for tests that want a hard stop).

@@ -1,5 +1,7 @@
 #include "harness/serialize.hpp"
 
+#include <initializer_list>
+
 #include "harness/identity.hpp"
 
 namespace t1000 {
@@ -12,6 +14,54 @@ std::vector<int> int_vector_from_json(const Json& j) {
     out.push_back(static_cast<int>(v.as_int()));
   }
   return out;
+}
+
+// Spec-side deserialization is lenient about absent members (the field
+// keeps its struct default, so a request names only what it changes) but
+// strict about unknown ones: a typo'd field would otherwise be silently
+// dropped and the daemon would simulate a machine the caller never asked
+// for. `context` names the enclosing object in the error.
+void reject_unknown_members(const Json& j, const char* context,
+                            std::initializer_list<std::string_view> allowed) {
+  for (const auto& member : j.members()) {
+    bool known = false;
+    for (std::string_view name : allowed) {
+      if (member.first == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw JsonError("unknown member \"" + member.first + "\" in " +
+                      context);
+    }
+  }
+}
+
+void read_int(const Json& j, std::string_view key, int* out) {
+  if (const Json* v = j.find(key)) *out = static_cast<int>(v->as_int());
+}
+
+void read_uint32(const Json& j, std::string_view key, std::uint32_t* out) {
+  if (const Json* v = j.find(key)) {
+    *out = static_cast<std::uint32_t>(v->as_uint());
+  }
+}
+
+void read_uint64(const Json& j, std::string_view key, std::uint64_t* out) {
+  if (const Json* v = j.find(key)) *out = v->as_uint();
+}
+
+void read_bool(const Json& j, std::string_view key, bool* out) {
+  if (const Json* v = j.find(key)) *out = v->as_bool();
+}
+
+void read_double(const Json& j, std::string_view key, double* out) {
+  if (const Json* v = j.find(key)) *out = v->as_double();
+}
+
+void read_string(const Json& j, std::string_view key, std::string* out) {
+  if (const Json* v = j.find(key)) *out = v->as_string();
 }
 
 }  // namespace
@@ -158,6 +208,19 @@ std::string_view branch_predictor_name(BranchPredictorKind kind) {
   return "unknown";
 }
 
+bool branch_predictor_from_name(std::string_view name,
+                                BranchPredictorKind* out) {
+  for (BranchPredictorKind kind :
+       {BranchPredictorKind::kPerfect, BranchPredictorKind::kBimodal,
+        BranchPredictorKind::kGshare, BranchPredictorKind::kStaticNotTaken}) {
+    if (name == branch_predictor_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 Json to_json(const BranchPredictorConfig& config) {
   Json j = Json::object();
   j["kind"] = Json(branch_predictor_name(config.kind));
@@ -217,6 +280,138 @@ Json to_json(const RunSpec& spec) {
   // (harness/identity.hpp), the same field list the cache key embeds.
   RunIdentity::append_result_fields(spec, &j);
   return j;
+}
+
+CacheConfig cache_config_from_json(const Json& j) {
+  reject_unknown_members(j, "cache config",
+                         {"size_bytes", "line_bytes", "assoc", "hit_latency"});
+  CacheConfig c;
+  read_uint32(j, "size_bytes", &c.size_bytes);
+  read_uint32(j, "line_bytes", &c.line_bytes);
+  read_uint32(j, "assoc", &c.assoc);
+  read_int(j, "hit_latency", &c.hit_latency);
+  return c;
+}
+
+TlbConfig tlb_config_from_json(const Json& j) {
+  reject_unknown_members(j, "tlb config",
+                         {"entries", "page_bytes", "miss_latency"});
+  TlbConfig c;
+  read_uint32(j, "entries", &c.entries);
+  read_uint32(j, "page_bytes", &c.page_bytes);
+  read_int(j, "miss_latency", &c.miss_latency);
+  return c;
+}
+
+PfuConfig pfu_config_from_json(const Json& j) {
+  reject_unknown_members(j, "pfu config",
+                         {"count", "reconfig_latency", "multi_cycle_ext",
+                          "levels_per_cycle"});
+  PfuConfig c;
+  read_int(j, "count", &c.count);
+  read_int(j, "reconfig_latency", &c.reconfig_latency);
+  read_bool(j, "multi_cycle_ext", &c.multi_cycle_ext);
+  read_int(j, "levels_per_cycle", &c.levels_per_cycle);
+  return c;
+}
+
+BranchPredictorConfig branch_predictor_config_from_json(const Json& j) {
+  reject_unknown_members(j, "branch predictor config",
+                         {"kind", "bimodal_entries", "target_entries",
+                          "mispredict_penalty"});
+  BranchPredictorConfig c;
+  if (const Json* kind = j.find("kind")) {
+    if (!branch_predictor_from_name(kind->as_string(), &c.kind)) {
+      throw JsonError("unknown branch predictor kind \"" +
+                      kind->as_string() + "\"");
+    }
+  }
+  read_uint32(j, "bimodal_entries", &c.bimodal_entries);
+  read_uint32(j, "target_entries", &c.target_entries);
+  read_int(j, "mispredict_penalty", &c.mispredict_penalty);
+  return c;
+}
+
+MachineConfig machine_config_from_json(const Json& j) {
+  reject_unknown_members(
+      j, "machine config",
+      {"fetch_width", "decode_width", "issue_width", "commit_width",
+       "ruu_size", "fetch_queue_size", "int_alus", "int_mults", "mem_ports",
+       "max_outstanding_misses", "il1", "dl1", "l2", "memory_latency",
+       "itlb", "dtlb", "pfu", "branch"});
+  MachineConfig c;
+  read_int(j, "fetch_width", &c.fetch_width);
+  read_int(j, "decode_width", &c.decode_width);
+  read_int(j, "issue_width", &c.issue_width);
+  read_int(j, "commit_width", &c.commit_width);
+  read_int(j, "ruu_size", &c.ruu_size);
+  read_int(j, "fetch_queue_size", &c.fetch_queue_size);
+  read_int(j, "int_alus", &c.int_alus);
+  read_int(j, "int_mults", &c.int_mults);
+  read_int(j, "mem_ports", &c.mem_ports);
+  read_int(j, "max_outstanding_misses", &c.max_outstanding_misses);
+  if (const Json* v = j.find("il1")) c.il1 = cache_config_from_json(*v);
+  if (const Json* v = j.find("dl1")) c.dl1 = cache_config_from_json(*v);
+  if (const Json* v = j.find("l2")) c.l2 = cache_config_from_json(*v);
+  read_int(j, "memory_latency", &c.memory_latency);
+  if (const Json* v = j.find("itlb")) c.itlb = tlb_config_from_json(*v);
+  if (const Json* v = j.find("dtlb")) c.dtlb = tlb_config_from_json(*v);
+  if (const Json* v = j.find("pfu")) c.pfu = pfu_config_from_json(*v);
+  if (const Json* v = j.find("branch")) {
+    c.branch = branch_predictor_config_from_json(*v);
+  }
+  return c;
+}
+
+ExtractPolicy extract_policy_from_json(const Json& j) {
+  reject_unknown_members(j, "extract policy",
+                         {"max_width", "min_length", "max_length",
+                          "require_executed"});
+  ExtractPolicy p;
+  read_int(j, "max_width", &p.max_width);
+  read_int(j, "min_length", &p.min_length);
+  read_int(j, "max_length", &p.max_length);
+  read_bool(j, "require_executed", &p.require_executed);
+  return p;
+}
+
+SelectPolicy select_policy_from_json(const Json& j) {
+  reject_unknown_members(j, "select policy",
+                         {"num_pfus", "time_threshold", "lut_budget",
+                          "use_subsequence_matrix", "extract"});
+  SelectPolicy p;
+  read_int(j, "num_pfus", &p.num_pfus);
+  read_double(j, "time_threshold", &p.time_threshold);
+  read_int(j, "lut_budget", &p.lut_budget);
+  read_bool(j, "use_subsequence_matrix", &p.use_subsequence_matrix);
+  if (const Json* v = j.find("extract")) {
+    p.extract = extract_policy_from_json(*v);
+  }
+  return p;
+}
+
+RunSpec run_spec_from_json(const Json& j) {
+  reject_unknown_members(j, "run spec",
+                         {"workload", "label", "selector", "machine",
+                          "policy", "max_cycles", "verify", "observe"});
+  RunSpec spec;
+  spec.workload = j.at("workload").as_string();
+  read_string(j, "label", &spec.label);
+  if (const Json* selector = j.find("selector")) {
+    if (!selector_from_name(selector->as_string(), &spec.selector)) {
+      throw JsonError("unknown selector \"" + selector->as_string() + "\"");
+    }
+  }
+  if (const Json* v = j.find("machine")) {
+    spec.machine = machine_config_from_json(*v);
+  }
+  if (const Json* v = j.find("policy")) {
+    spec.policy = select_policy_from_json(*v);
+  }
+  read_uint64(j, "max_cycles", &spec.max_cycles);
+  read_bool(j, "verify", &spec.verify);
+  read_bool(j, "observe", &spec.observe);
+  return spec;
 }
 
 CacheStats cache_stats_from_json(const Json& j) {

@@ -9,9 +9,14 @@
 //    fixed) so equal configurations serialize to equal bytes. json.hpp
 //    guarantees both properties.
 //
-// from_json exists only for what the cache must round-trip: SimStats and
-// RunOutcome. Configurations are identified by their serialized form (it is
-// part of the cache key), never re-hydrated.
+// from_json covers two consumers: what the cache must round-trip (SimStats
+// and RunOutcome), and — since the serve layer — full RunSpec re-hydration,
+// so a JSON grid request submitted to t1000-serve deserializes into exactly
+// the spec that serializes back to the same bytes. Spec-side deserializers
+// are lenient about absent members (each defaults as in the struct, so a
+// curl-sized request can name only what it changes) but strict about
+// unknown ones (a typo'd field name must fail loudly, never silently
+// simulate the wrong machine).
 #pragma once
 
 #include "harness/experiment.hpp"
@@ -43,6 +48,18 @@ Json to_json(const ExtractPolicy& policy);
 Json to_json(const SelectPolicy& policy);
 Json to_json(const RunSpec& spec);
 
+CacheConfig cache_config_from_json(const Json& j);
+TlbConfig tlb_config_from_json(const Json& j);
+PfuConfig pfu_config_from_json(const Json& j);
+BranchPredictorConfig branch_predictor_config_from_json(const Json& j);
+MachineConfig machine_config_from_json(const Json& j);
+ExtractPolicy extract_policy_from_json(const Json& j);
+SelectPolicy select_policy_from_json(const Json& j);
+// Rebuilds a RunSpec from the to_json(RunSpec) shape: workload (required),
+// label, selector, machine, policy, max_cycles, verify, observe. Throws
+// JsonError on unknown members, bad types, or unknown selector names.
+RunSpec run_spec_from_json(const Json& j);
+
 CacheStats cache_stats_from_json(const Json& j);
 PfuStats pfu_stats_from_json(const Json& j);
 BranchStats branch_stats_from_json(const Json& j);
@@ -52,6 +69,9 @@ RunOutcome run_outcome_from_json(const Json& j);
 
 // Stable name for a branch predictor kind ("perfect", "bimodal", ...).
 std::string_view branch_predictor_name(BranchPredictorKind kind);
+// Returns false (and leaves `out` untouched) for unknown names.
+bool branch_predictor_from_name(std::string_view name,
+                                BranchPredictorKind* out);
 
 // Stable lowercase names for the run-status taxonomy, used by the results
 // JSON, the engine summary, and the tools' structured error exit.

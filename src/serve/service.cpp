@@ -1,0 +1,452 @@
+#include "serve/service.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "harness/serialize.hpp"
+#include "workloads/workload.hpp"
+
+namespace t1000::serve {
+namespace {
+
+HttpResponse json_response(int status, const Json& body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = body.dump(2);
+  r.body += '\n';
+  return r;
+}
+
+HttpResponse error_json(int status, std::string_view message) {
+  Json body = Json::object();
+  body["error"] = Json(message);
+  return json_response(status, body);
+}
+
+// Parses the decimal job id segment; returns false on anything else
+// (callers answer 404 — a malformed id names no job).
+bool parse_job_id(std::string_view segment, std::uint64_t* out) {
+  if (segment.empty() || segment.size() > 18) return false;
+  std::uint64_t value = 0;
+  for (const char c : segment) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string_view job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+SimService::SimService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_dir, options_.cache_budget_bytes),
+      start_time_(std::chrono::steady_clock::now()) {
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_.name_process(1, "t1000-serve");
+  }
+  runner_ = std::thread([this] { runner_main(); });
+}
+
+SimService::~SimService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (runner_.joinable()) runner_.join();
+}
+
+double SimService::now_ms() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_time_;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+bool SimService::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_requested_;
+}
+
+SimService::ParsedRequest SimService::parse_request(
+    const Json& request) const {
+  for (const auto& member : request.members()) {
+    if (member.first != "runs" && member.first != "options") {
+      throw JsonError("unknown member \"" + member.first +
+                      "\" in grid request");
+    }
+  }
+
+  ParsedRequest parsed;
+  parsed.options.jobs = options_.jobs;
+  parsed.options.run_budget_ms = options_.default_run_budget_ms;
+  parsed.options.fail_limit = options_.fail_limit;
+
+  if (const Json* opts = request.find("options")) {
+    for (const auto& member : opts->members()) {
+      const std::string& name = member.first;
+      const Json& value = member.second;
+      if (name == "verify") {
+        parsed.options.verify = value.as_bool();
+      } else if (name == "observe") {
+        parsed.options.observe = value.as_bool();
+      } else if (name == "batch") {
+        parsed.options.batch = value.as_bool();
+      } else if (name == "run_budget_ms") {
+        const double ms = value.as_double();
+        if (ms < 0) throw JsonError("run_budget_ms must be >= 0");
+        parsed.options.run_budget_ms = ms;
+      } else if (name == "fail_limit") {
+        parsed.options.fail_limit = value.as_uint();
+      } else {
+        throw JsonError("unknown member \"" + name +
+                        "\" in grid request options");
+      }
+    }
+  }
+  // The operator's cap wins over whatever the request asked for; a request
+  // of 0 ("unlimited") under a configured cap becomes the cap.
+  if (options_.max_run_budget_ms > 0 &&
+      (parsed.options.run_budget_ms <= 0 ||
+       parsed.options.run_budget_ms > options_.max_run_budget_ms)) {
+    parsed.options.run_budget_ms = options_.max_run_budget_ms;
+  }
+
+  const Json& runs = request.at("runs");
+  if (!runs.is_array() || runs.size() == 0) {
+    throw JsonError("\"runs\" must be a non-empty array");
+  }
+  parsed.specs.reserve(runs.size());
+  for (const Json& spec_json : runs.items()) {
+    RunSpec spec = run_spec_from_json(spec_json);
+    if (find_workload(spec.workload) == nullptr) {
+      throw JsonError("unknown workload \"" + spec.workload + "\"");
+    }
+    parsed.specs.push_back(std::move(spec));
+  }
+  return parsed;
+}
+
+GridResult SimService::execute(const ParsedRequest& parsed) {
+  ExperimentGrid grid;
+  // Everything find_workload() can name — the paper suite and the extended
+  // one — so parse-time validation and grid registration agree exactly.
+  grid.add_workloads(all_workloads());
+  grid.add_workloads(extended_workloads());
+  for (const RunSpec& spec : parsed.specs) grid.add(spec);
+
+  GridOptions options = parsed.options;
+  // The service's shared long-lived tiers, not per-grid ones.
+  options.cache = &cache_;
+  options.metrics = &metrics_;
+  options.cache_dir.clear();
+  return grid.run(options);
+}
+
+Json SimService::run_local(const Json& request) {
+  const ParsedRequest parsed = parse_request(request);
+  return execute(parsed).to_json();
+}
+
+ResultCache::JanitorReport SimService::sweep_now(double min_age_seconds) {
+  return cache_.janitor_sweep(min_age_seconds);
+}
+
+void SimService::runner_main() {
+  for (;;) {
+    std::uint64_t id = 0;
+    ParsedRequest parsed;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // queued-but-unstarted jobs die with us
+      id = queue_.front();
+      queue_.pop_front();
+      auto it = parsed_.find(id);
+      parsed = std::move(it->second);
+      parsed_.erase(it);
+      jobs_[id].state = JobState::kRunning;
+    }
+    {
+      std::lock_guard<std::mutex> lock(trace_mu_);
+      const auto ts = static_cast<std::uint64_t>(now_ms());
+      trace_.end(ts, 1, static_cast<int>(id));  // "queued"
+      trace_.begin("run", ts, 1, static_cast<int>(id));
+    }
+    if (test_run_hook) test_run_hook();
+
+    Job finished;
+    finished.state = JobState::kFailed;
+    try {
+      const obs::Span::Scope timer(metrics_.span("serve.job_wall"));
+      const GridResult result = execute(parsed);
+      finished.state = JobState::kDone;
+      finished.wall_ms = result.engine().wall_ms;
+      finished.summary = result.engine_summary();
+      finished.results = result.to_json();
+    } catch (const std::exception& e) {
+      finished.error = e.what();
+    } catch (...) {
+      finished.error = "non-standard exception";
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(trace_mu_);
+      trace_.end(static_cast<std::uint64_t>(now_ms()), 1,
+                 static_cast<int>(id));  // "run"
+    }
+    metrics_
+        .counter(finished.state == JobState::kDone ? "serve.jobs_completed"
+                                                   : "serve.jobs_failed")
+        ->add();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Job& job = jobs_[id];
+      job.state = finished.state;
+      job.wall_ms = finished.wall_ms;
+      job.summary = std::move(finished.summary);
+      job.error = std::move(finished.error);
+      job.results = std::move(finished.results);
+    }
+  }
+}
+
+Json SimService::job_status_json(const Job& job) const {
+  Json j = Json::object();
+  j["job"] = Json(job.id);
+  j["state"] = Json(job_state_name(job.state));
+  j["runs"] = Json(job.runs);
+  if (job.state == JobState::kDone) {
+    j["wall_ms"] = Json(job.wall_ms);
+    j["summary"] = Json(job.summary);
+  }
+  if (job.state == JobState::kFailed) j["error"] = Json(job.error);
+  return j;
+}
+
+HttpResponse SimService::handle_submit(const HttpRequest& request) {
+  Json body;
+  ParsedRequest parsed;
+  try {
+    body = Json::parse(request.body);
+    parsed = parse_request(body);
+  } catch (const JsonError& e) {
+    metrics_.counter("serve.jobs_rejected")->add();
+    return error_json(400, e.what());
+  }
+
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= options_.queue_limit) {
+      metrics_.counter("serve.jobs_rejected")->add();
+      Json reject = Json::object();
+      reject["error"] = Json("job queue full");
+      reject["queued"] = Json(queue_.size());
+      reject["queue_limit"] = Json(options_.queue_limit);
+      return json_response(429, reject);
+    }
+    id = next_job_id_++;
+    Job& job = jobs_[id];
+    job.id = id;
+    job.runs = parsed.specs.size();
+    parsed_[id] = std::move(parsed);
+    queue_.push_back(id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    const auto ts = static_cast<std::uint64_t>(now_ms());
+    trace_.name_thread(1, static_cast<int>(id),
+                       "job " + std::to_string(id));
+    trace_.begin("queued", ts, 1, static_cast<int>(id));
+  }
+  metrics_.counter("serve.jobs_submitted")->add();
+  cv_.notify_one();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  return json_response(202, job_status_json(jobs_.at(id)));
+}
+
+HttpResponse SimService::handle_job_list() const {
+  Json jobs = Json::array();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : jobs_) {
+      jobs.push_back(job_status_json(entry.second));
+    }
+  }
+  Json body = Json::object();
+  body["jobs"] = std::move(jobs);
+  return json_response(200, body);
+}
+
+HttpResponse SimService::handle_job_status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return error_json(404, "unknown job");
+  return json_response(200, job_status_json(it->second));
+}
+
+HttpResponse SimService::handle_job_results(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return error_json(404, "unknown job");
+  const Job& job = it->second;
+  switch (job.state) {
+    case JobState::kQueued:
+    case JobState::kRunning:
+      // Not an error: the job exists, the results just aren't ready.
+      return json_response(202, job_status_json(job));
+    case JobState::kFailed:
+      return json_response(500, job_status_json(job));
+    case JobState::kDone:
+      return json_response(200, job.results);
+  }
+  return error_json(500, "unreachable job state");
+}
+
+HttpResponse SimService::handle_summary() const {
+  std::string lines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : jobs_) {
+      const Job& job = entry.second;
+      lines += "job ";
+      lines += std::to_string(job.id);
+      lines += ": ";
+      if (job.state == JobState::kDone) {
+        lines += job.summary;
+      } else if (job.state == JobState::kFailed) {
+        lines += "failed: ";
+        lines += job.error;
+      } else {
+        lines += job_state_name(job.state);
+      }
+      lines += '\n';
+    }
+  }
+  HttpResponse r;
+  r.content_type = "text/plain";
+  r.body = std::move(lines);
+  return r;
+}
+
+HttpResponse SimService::handle_metrics() const {
+  Json body = Json::object();
+  body["metrics"] = metrics_.to_json();
+  Json cache = Json::object();
+  const ResultCache::Counters c = cache_.counters();
+  cache["memory_hits"] = Json(c.memory_hits);
+  cache["disk_hits"] = Json(c.disk_hits);
+  cache["misses"] = Json(c.misses);
+  cache["stores"] = Json(c.stores);
+  cache["disk_errors"] = Json(c.disk_errors);
+  cache["quarantined"] = Json(c.quarantined);
+  cache["quarantine_removed"] = Json(c.quarantine_removed);
+  cache["evicted"] = Json(c.evicted);
+  cache["size_evicted"] = Json(c.size_evicted);
+  cache["disk_usage_bytes"] = Json(cache_.disk_usage_bytes());
+  cache["size_budget_bytes"] = Json(cache_.size_budget_bytes());
+  body["cache"] = std::move(cache);
+  return json_response(200, body);
+}
+
+HttpResponse SimService::handle_trace() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return json_response(200, trace_.to_json());
+}
+
+HttpResponse SimService::handle_janitor() {
+  // TTL 0: an explicit janitor request means "sweep everything now"; the
+  // periodic sweeps the tool schedules use its --janitor-ttl-s.
+  const ResultCache::JanitorReport report = sweep_now(0.0);
+  Json body = Json::object();
+  body["tmp_removed"] = Json(report.tmp_removed);
+  body["corrupt_removed"] = Json(report.corrupt_removed);
+  return json_response(200, body);
+}
+
+HttpResponse SimService::handle_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_requested_ = true;
+  }
+  Json body = Json::object();
+  body["state"] = Json("shutting down");
+  return json_response(200, body);
+}
+
+HttpResponse SimService::handle_http(const HttpRequest& request) {
+  metrics_.counter("serve.requests")->add();
+
+  // Strip any query string; the API is path-routed only.
+  std::string path = request.target;
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);
+  }
+
+  const bool get = request.method == "GET";
+  const bool post = request.method == "POST";
+
+  if (path == "/healthz") {
+    if (!get) return error_json(405, "use GET");
+    Json body = Json::object();
+    body["status"] = Json("ok");
+    body["api"] = Json("v1");
+    return json_response(200, body);
+  }
+  if (path == "/metrics") {
+    if (!get) return error_json(405, "use GET");
+    return handle_metrics();
+  }
+  if (path == "/v1/jobs") {
+    if (post) return handle_submit(request);
+    if (get) return handle_job_list();
+    return error_json(405, "use GET or POST");
+  }
+  if (path.rfind("/v1/jobs/", 0) == 0) {
+    if (!get) return error_json(405, "use GET");
+    std::string_view rest = std::string_view(path).substr(9);
+    const bool results = [&] {
+      const std::string_view suffix = "/results";
+      if (rest.size() > suffix.size() &&
+          rest.substr(rest.size() - suffix.size()) == suffix) {
+        rest = rest.substr(0, rest.size() - suffix.size());
+        return true;
+      }
+      return false;
+    }();
+    std::uint64_t id = 0;
+    if (!parse_job_id(rest, &id)) return error_json(404, "unknown job");
+    return results ? handle_job_results(id) : handle_job_status(id);
+  }
+  if (path == "/v1/summary") {
+    if (!get) return error_json(405, "use GET");
+    return handle_summary();
+  }
+  if (path == "/v1/trace") {
+    if (!get) return error_json(405, "use GET");
+    return handle_trace();
+  }
+  if (path == "/v1/janitor") {
+    if (!post) return error_json(405, "use POST");
+    return handle_janitor();
+  }
+  if (path == "/v1/shutdown") {
+    if (!post) return error_json(405, "use POST");
+    return handle_shutdown();
+  }
+  return error_json(404, "no such route");
+}
+
+}  // namespace t1000::serve

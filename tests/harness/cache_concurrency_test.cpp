@@ -1,0 +1,190 @@
+// Multi-process hammer for the on-disk result cache.
+//
+// The cache's cross-process contract (harness/cache.hpp): any number of
+// processes — a long-running daemon, CLI tools, a janitor — may share one
+// cache directory, and every lookup is a hit with the stored bytes, a
+// plain miss, or a clean quarantine of a genuinely bad file. Never a torn
+// read, never a lost store that corrupts a neighbour, never unbounded
+// growth past the size budget.
+//
+// This test forks writer/reader children onto one directory (fork, not
+// threads: the point is separate processes with separate locks and
+// separate ResultCache instances) plus a janitor child sweeping with a
+// TTL, and asserts the invariant from both sides: children _exit nonzero
+// on any torn outcome or I/O error, the parent checks every child's exit
+// status, then verifies the directory holds no debris and respects the
+// budget. Deliberately excluded from the CI TSan target list — TSan does
+// not follow forks; the ASan job runs it via the full ctest suite.
+#include "harness/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace t1000 {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag)
+      : path_(fs::temp_directory_path() /
+              (std::string("t1000-cache-hammer-") + tag)) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+constexpr int kNumKeys = 8;
+constexpr int kNumWorkers = 4;
+constexpr int kItersPerWorker = 120;
+
+CacheKey key_for(int i) {
+  return make_cache_key(baseline_spec("gsm_dec"),
+                        static_cast<std::uint64_t>(0x9000 + i), 100u);
+}
+
+// The content-keyed invariant made checkable: key i always stores exactly
+// this outcome, so any hit that disagrees is a torn or crossed read.
+RunOutcome outcome_for(int i) {
+  RunOutcome out;
+  out.checksum = static_cast<std::uint32_t>(0xC0DE0000 + i);
+  out.trace_steps = static_cast<std::uint64_t>(100 + i);
+  out.trace_hash = static_cast<std::uint64_t>(0xABCD0000 + i);
+  out.num_configs = i;
+  return out;
+}
+
+// Child exit codes, so a failed run names what broke.
+enum : int {
+  kChildOk = 0,
+  kChildTornRead = 2,
+  kChildDiskError = 3,
+  kChildQuarantine = 4,
+};
+
+// One worker process: interleaved stores and lookups over the shared
+// directory. Every instance of ResultCache is process-private; only the
+// directory (and its advisory lock) is shared.
+[[noreturn]] void worker_main(const std::string& dir,
+                              std::uint64_t budget_bytes, int worker) {
+  ResultCache cache(dir, budget_bytes);
+  for (int iter = 0; iter < kItersPerWorker; ++iter) {
+    const int i = (iter * (worker + 3) + worker) % kNumKeys;
+    const CacheKey key = key_for(i);
+    if ((iter + worker) % 2 == 0) {
+      cache.store(key, outcome_for(i));
+    } else {
+      RunOutcome out;
+      if (cache.lookup(key, &out)) {
+        if (out.checksum != outcome_for(i).checksum ||
+            out.trace_steps != outcome_for(i).trace_steps) {
+          _exit(kChildTornRead);
+        }
+      }
+    }
+  }
+  const ResultCache::Counters c = cache.counters();
+  // Rename publication + locked stores mean no healthy-writer schedule can
+  // produce a torn entry; quarantine or an I/O error here is a real bug.
+  if (c.disk_errors != 0) _exit(kChildDiskError);
+  if (c.quarantined != 0 || c.quarantine_removed != 0) {
+    _exit(kChildQuarantine);
+  }
+  _exit(kChildOk);
+}
+
+// The janitor process sweeps concurrently with the writers. The TTL is
+// far above one store's duration, so a live writer's in-flight temp file
+// must never be swept out from under it (that would surface as a
+// disk_error in the writer when its rename finds no temp).
+[[noreturn]] void janitor_main(const std::string& dir) {
+  ResultCache cache(dir);
+  for (int pass = 0; pass < 10; ++pass) {
+    cache.janitor_sweep(/*min_age_seconds=*/5.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  _exit(kChildOk);
+}
+
+TEST(CacheConcurrency, ForkedWritersReadersAndJanitorShareOneDirectory) {
+  const TempDir dir("shared");
+  // Budget of roughly five entries: tight enough that eviction runs under
+  // contention, loose enough that hits still happen.
+  std::uint64_t entry_size = 0;
+  {
+    ResultCache probe(dir.str());
+    probe.store(key_for(0), outcome_for(0));
+    entry_size = fs::file_size(probe.entry_path(key_for(0)));
+  }
+  ASSERT_GT(entry_size, 0u);
+  const std::uint64_t budget = entry_size * 5 + entry_size / 2;
+
+  std::vector<pid_t> children;
+  for (int w = 0; w < kNumWorkers; ++w) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) worker_main(dir.str(), budget, w);
+    children.push_back(pid);
+  }
+  {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) janitor_main(dir.str());
+    children.push_back(pid);
+  }
+
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "child killed by signal";
+    EXPECT_EQ(WEXITSTATUS(status), kChildOk)
+        << "child reported: 2=torn read, 3=disk error, 4=quarantine";
+  }
+
+  // Post-mortem from the parent's side: a final sweep with TTL zero must
+  // find nothing — no writer died, so no orphaned temp may exist.
+  ResultCache cache(dir.str(), budget);
+  const ResultCache::JanitorReport debris = cache.janitor_sweep(0.0);
+  EXPECT_EQ(debris.tmp_removed, 0u);
+  EXPECT_EQ(debris.corrupt_removed, 0u);
+
+  // The budget held despite every process enforcing it independently.
+  EXPECT_LE(cache.disk_usage_bytes(), budget);
+
+  // Whatever survived eviction parses and carries its key's outcome.
+  int hits = 0;
+  for (int i = 0; i < kNumKeys; ++i) {
+    RunOutcome out;
+    if (cache.lookup(key_for(i), &out)) {
+      EXPECT_EQ(out.checksum, outcome_for(i).checksum);
+      ++hits;
+    }
+  }
+  const ResultCache::Counters c = cache.counters();
+  EXPECT_EQ(c.disk_errors, 0u);
+  EXPECT_EQ(c.quarantined, 0u);
+  EXPECT_EQ(c.quarantine_removed, 0u);
+  EXPECT_GT(hits, 0) << "budget admits ~5 entries; none surviving means "
+                        "stores were lost, not evicted";
+}
+
+}  // namespace
+}  // namespace t1000

@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
+#include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "harness/cache.hpp"
 #include "harness/serialize.hpp"
@@ -392,6 +397,9 @@ TEST(Grid, CorruptDiskEntriesAreQuarantinedOnceAndRepaired) {
   const GridResult first = grid.run(options);
 
   for (const auto& entry : fs::directory_iterator(dir.path())) {
+    // Leave the advisory lock file alone: it is infrastructure, not an
+    // entry, and the cross-process store path keeps it flocked.
+    if (entry.path().filename() == ".lock") continue;
     std::ofstream(entry.path(), std::ios::trunc) << "{not json";
   }
 
@@ -408,6 +416,7 @@ TEST(Grid, CorruptDiskEntriesAreQuarantinedOnceAndRepaired) {
   std::size_t corrupt_files = 0;
   std::size_t entry_files = 0;
   for (const auto& entry : fs::directory_iterator(dir.path())) {
+    if (entry.path().filename() == ".lock") continue;
     if (entry.path().extension() == ".corrupt") {
       ++corrupt_files;
     } else {
@@ -538,6 +547,162 @@ TEST(Cache, StoreOverAForeignKeyEntryCountsAsEviction) {
   EXPECT_EQ(cache.counters().evicted, 1u);
   ResultCache fresh(dir.str());
   EXPECT_TRUE(fresh.lookup(key, &out));
+}
+
+TEST(Cache, FailedStoreLeavesNoTempDebris) {
+  const TempDir dir("cache-failed-store");
+  ResultCache cache(dir.str());
+  const CacheKey key = make_cache_key(baseline_spec("gsm_dec"), 0x1234u, 100u);
+  const RunOutcome outcome;
+
+  // Cap the file-size limit below one entry so the temp-file write fails
+  // mid-store (fwrite hits RLIMIT_FSIZE and returns short). SIGXFSZ must
+  // be ignored or the kernel kills the process instead of failing the
+  // write. This works as root, unlike permission tricks.
+  struct rlimit old_limit;
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  auto old_handler = std::signal(SIGXFSZ, SIG_IGN);
+  struct rlimit tiny = old_limit;
+  tiny.rlim_cur = 16;
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &tiny), 0);
+
+  cache.store(key, outcome);
+
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  std::signal(SIGXFSZ, old_handler);
+
+  EXPECT_EQ(cache.counters().disk_errors, 1u);
+  EXPECT_FALSE(fs::exists(cache.entry_path(key)));
+  // The regression: the failed store's unique .tmp.<pid>.<seq> file must
+  // not survive — only the advisory lock file may remain in the directory.
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    EXPECT_EQ(entry.path().filename(), ".lock")
+        << "leaked file: " << entry.path();
+  }
+
+  // The failure was disk-side only: the in-memory tier still has the
+  // outcome, and a later store with the limit lifted repairs the disk.
+  RunOutcome out;
+  EXPECT_TRUE(cache.lookup(key, &out));
+  cache.store(key, outcome);
+  EXPECT_TRUE(fs::exists(cache.entry_path(key)));
+}
+
+TEST(Cache, QuarantineRenameFallbackCountsRemovedNotQuarantined) {
+  const TempDir dir("cache-qremove");
+  ResultCache cache(dir.str());
+  const CacheKey key = make_cache_key(baseline_spec("gsm_dec"), 0x1234u, 100u);
+  // A corrupt entry whose quarantine rename cannot succeed: a directory
+  // squats on the .corrupt name (rename of a file over a directory fails),
+  // so the cache falls back to removing the poison outright.
+  std::ofstream(cache.entry_path(key)) << "{not json";
+  fs::create_directories(cache.entry_path(key) + ".corrupt");
+
+  RunOutcome out;
+  EXPECT_FALSE(cache.lookup(key, &out));
+  const ResultCache::Counters c = cache.counters();
+  // The regression: the fallback removal used to count as `quarantined`
+  // even though no quarantine file was created. It is its own outcome.
+  EXPECT_EQ(c.quarantined, 0u);
+  EXPECT_EQ(c.quarantine_removed, 1u);
+  EXPECT_EQ(c.disk_errors, 0u);
+  EXPECT_FALSE(fs::exists(cache.entry_path(key)));
+}
+
+TEST(Cache, SizeBudgetEvictsLeastRecentlyUsedEntries) {
+  const TempDir dir("cache-budget");
+  const RunOutcome outcome;
+  const CacheKey k0 = make_cache_key(baseline_spec("gsm_dec"), 1u, 100u);
+  const CacheKey k1 = make_cache_key(baseline_spec("gsm_dec"), 2u, 100u);
+  const CacheKey k2 = make_cache_key(baseline_spec("gsm_dec"), 3u, 100u);
+
+  // Size one entry, then budget for two and a half.
+  std::uint64_t entry_size = 0;
+  {
+    ResultCache probe(dir.str());
+    probe.store(k0, outcome);
+    entry_size = fs::file_size(probe.entry_path(k0));
+    fs::remove(probe.entry_path(k0));
+  }
+  ASSERT_GT(entry_size, 0u);
+  const std::uint64_t budget = entry_size * 5 / 2;
+
+  ResultCache cache(dir.str(), budget);
+  EXPECT_EQ(cache.size_budget_bytes(), budget);
+  cache.store(k0, outcome);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.store(k1, outcome);
+  EXPECT_EQ(cache.counters().size_evicted, 0u);  // two entries fit
+
+  // A disk hit from a fresh cache touches k0's mtime, making k1 the
+  // least-recently-used entry even though it was stored later.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    ResultCache reader(dir.str(), budget);
+    RunOutcome out;
+    EXPECT_TRUE(reader.lookup(k0, &out));
+    EXPECT_EQ(reader.counters().disk_hits, 1u);
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.store(k2, outcome);  // three entries exceed the budget
+
+  EXPECT_EQ(cache.counters().size_evicted, 1u);
+  EXPECT_TRUE(fs::exists(cache.entry_path(k0)));   // recently used: kept
+  EXPECT_FALSE(fs::exists(cache.entry_path(k1)));  // LRU: evicted
+  EXPECT_TRUE(fs::exists(cache.entry_path(k2)));   // just stored: exempt
+  EXPECT_LE(cache.disk_usage_bytes(), budget);
+}
+
+TEST(Cache, JanitorSweepsAgedDebrisButNeverEntriesOrTheLock) {
+  const TempDir dir("cache-janitor");
+  ResultCache cache(dir.str());
+  const CacheKey key = make_cache_key(baseline_spec("gsm_dec"), 0x1234u, 100u);
+  cache.store(key, RunOutcome());
+  // Crash debris: an orphaned writer temp and an aged quarantine file.
+  const std::string temp = cache.entry_path(key) + ".tmp.99999.7";
+  const std::string corrupt =
+      (dir.path() / "0123456789abcdef.json.corrupt").string();
+  std::ofstream(temp) << "torn";
+  std::ofstream(corrupt) << "poison";
+
+  // Nothing is older than an hour: the sweep must not touch live-looking
+  // files (a concurrent writer's in-flight temp survives this way).
+  const ResultCache::JanitorReport young = cache.janitor_sweep(3600.0);
+  EXPECT_EQ(young.tmp_removed, 0u);
+  EXPECT_EQ(young.corrupt_removed, 0u);
+  EXPECT_TRUE(fs::exists(temp));
+  EXPECT_TRUE(fs::exists(corrupt));
+
+  // TTL zero sweeps all debris — and only debris.
+  const ResultCache::JanitorReport swept = cache.janitor_sweep(0.0);
+  EXPECT_EQ(swept.tmp_removed, 1u);
+  EXPECT_EQ(swept.corrupt_removed, 1u);
+  EXPECT_FALSE(fs::exists(temp));
+  EXPECT_FALSE(fs::exists(corrupt));
+  EXPECT_TRUE(fs::exists(cache.entry_path(key)));
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_TRUE(name == ".lock" ||
+                entry.path() == fs::path(cache.entry_path(key)))
+        << "unexpected survivor: " << entry.path();
+  }
+}
+
+TEST(Cache, CountersSinceComputesMemberWiseDeltas) {
+  const TempDir dir("cache-since");
+  ResultCache cache(dir.str());
+  const CacheKey key = make_cache_key(baseline_spec("gsm_dec"), 0x1234u, 100u);
+  RunOutcome out;
+  cache.lookup(key, &out);  // miss
+  const ResultCache::Counters baseline = cache.counters();
+  cache.store(key, out);
+  cache.lookup(key, &out);  // memory hit
+  const ResultCache::Counters delta = cache.counters().since(baseline);
+  EXPECT_EQ(delta.misses, 0u);  // the pre-baseline miss is subtracted out
+  EXPECT_EQ(delta.stores, 1u);
+  EXPECT_EQ(delta.memory_hits, 1u);
+  EXPECT_EQ(cache.counters().misses, 1u);
 }
 
 TEST(Grid, EngineSummaryNeverTruncates) {

@@ -1,0 +1,115 @@
+// Round-trip pins for the spec-side deserializers (serialize.hpp).
+//
+// The serve layer re-hydrates RunSpecs from client JSON; these tests pin
+// the contract that makes daemon results byte-identical to in-process
+// ones: to_json(run_spec_from_json(to_json(spec))) is the identity, absent
+// members keep struct defaults, and unknown members fail loudly instead of
+// silently simulating the wrong machine.
+#include "harness/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/json.hpp"
+
+namespace t1000 {
+namespace {
+
+TEST(SerializeRoundTrip, DefaultRunSpecSurvivesExactly) {
+  RunSpec spec;
+  spec.workload = "gsm_dec";
+  const Json j = to_json(spec);
+  const RunSpec back = run_spec_from_json(j);
+  EXPECT_EQ(to_json(back).dump(), j.dump());
+}
+
+TEST(SerializeRoundTrip, FullyCustomizedRunSpecSurvivesExactly) {
+  RunSpec spec = selective_spec("mpeg2_enc", "4pfu", 4, 10);
+  spec.machine.fetch_width = 8;
+  spec.machine.ruu_size = 128;
+  spec.machine.il1.size_bytes = 64 * 1024;
+  spec.machine.il1.assoc = 2;
+  spec.machine.dtlb.entries = 128;
+  spec.machine.pfu.multi_cycle_ext = true;
+  spec.machine.pfu.levels_per_cycle = 2;
+  spec.machine.branch.kind = BranchPredictorKind::kGshare;
+  spec.machine.branch.mispredict_penalty = 7;
+  spec.policy.time_threshold = 0.01;
+  spec.policy.lut_budget = 300;
+  spec.policy.extract.max_width = 12;
+  spec.max_cycles = 123456789u;
+  spec.verify = true;
+  spec.observe = true;
+  const Json j = to_json(spec);
+  const RunSpec back = run_spec_from_json(j);
+  EXPECT_EQ(to_json(back).dump(), j.dump());
+}
+
+TEST(SerializeRoundTrip, AbsentMembersKeepStructDefaults) {
+  // A minimal request names only what it changes; everything else must
+  // default exactly as the default-constructed structs do.
+  const Json j = Json::parse(
+      "{\"workload\": \"epic\", \"machine\": {\"issue_width\": 8}}");
+  const RunSpec spec = run_spec_from_json(j);
+  const RunSpec defaults;
+  EXPECT_EQ(spec.workload, "epic");
+  EXPECT_EQ(spec.machine.issue_width, 8);
+  EXPECT_EQ(spec.machine.fetch_width, defaults.machine.fetch_width);
+  EXPECT_EQ(spec.machine.il1.size_bytes, defaults.machine.il1.size_bytes);
+  EXPECT_EQ(spec.selector, defaults.selector);
+  EXPECT_EQ(spec.max_cycles, defaults.max_cycles);
+  EXPECT_EQ(spec.verify, defaults.verify);
+}
+
+TEST(SerializeRoundTrip, UnknownMembersAreRejectedWithContext) {
+  const auto expect_throw_containing = [](const std::string& text,
+                                          const std::string& needle) {
+    try {
+      run_spec_from_json(Json::parse(text));
+      FAIL() << "expected JsonError for: " << text;
+    } catch (const JsonError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "diagnostic was: " << e.what();
+    }
+  };
+  expect_throw_containing("{\"workload\": \"epic\", \"bogus\": 1}", "bogus");
+  expect_throw_containing(
+      "{\"workload\": \"epic\", \"machine\": {\"issue_widht\": 8}}",
+      "issue_widht");
+  expect_throw_containing(
+      "{\"workload\": \"epic\", \"policy\": {\"extract\": {\"depth\": 3}}}",
+      "depth");
+  expect_throw_containing(
+      "{\"workload\": \"epic\", \"machine\": {\"branch\": {\"knid\": "
+      "\"gshare\"}}}",
+      "knid");
+}
+
+TEST(SerializeRoundTrip, BadEnumNamesAreRejected) {
+  EXPECT_THROW(run_spec_from_json(Json::parse(
+                   "{\"workload\": \"epic\", \"selector\": \"wat\"}")),
+               JsonError);
+  EXPECT_THROW(
+      run_spec_from_json(Json::parse(
+          "{\"workload\": \"epic\", \"machine\": {\"branch\": {\"kind\": "
+          "\"oracle\"}}}")),
+      JsonError);
+}
+
+TEST(SerializeRoundTrip, BranchPredictorNamesRoundTrip) {
+  for (const BranchPredictorKind kind :
+       {BranchPredictorKind::kPerfect, BranchPredictorKind::kBimodal,
+        BranchPredictorKind::kGshare, BranchPredictorKind::kStaticNotTaken}) {
+    BranchPredictorKind back{};
+    ASSERT_TRUE(branch_predictor_from_name(branch_predictor_name(kind), &back));
+    EXPECT_EQ(back, kind);
+  }
+  BranchPredictorKind out = BranchPredictorKind::kPerfect;
+  EXPECT_FALSE(branch_predictor_from_name("oracle", &out));
+  EXPECT_EQ(out, BranchPredictorKind::kPerfect);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace t1000

@@ -1,0 +1,366 @@
+// Tests for the t1000-serve layer: SimService's API surface driven
+// directly through handle_http (no socket), plus the HttpServer transport
+// exercised over real loopback connections.
+//
+// The load-bearing claims, in order: a grid submitted to the service
+// yields results byte-identical to the same grid run through the
+// in-process engine; admission is a bounded queue that rejects with 429
+// rather than buffering without bound; per-request budgets ride the grid's
+// timeout taxonomy and are clamped by the operator's cap; and the HTTP
+// layer speaks enough HTTP/1.1 for curl and the CI smoke job.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "harness/grid.hpp"
+#include "harness/serialize.hpp"
+#include "serve/http.hpp"
+#include "workloads/workload.hpp"
+
+namespace t1000::serve {
+namespace {
+
+// Small two-workload request shared by most tests.
+Json small_request() {
+  Json runs = Json::array();
+  runs.push_back(to_json(baseline_spec("gsm_dec")));
+  runs.push_back(to_json(greedy_spec("gsm_dec", "greedy", 2, 10)));
+  runs.push_back(to_json(baseline_spec("g721_dec")));
+  Json request = Json::object();
+  request["runs"] = std::move(runs);
+  return request;
+}
+
+HttpRequest post(std::string target, std::string body) {
+  HttpRequest r;
+  r.method = "POST";
+  r.target = std::move(target);
+  r.body = std::move(body);
+  return r;
+}
+
+HttpRequest get(std::string target) {
+  HttpRequest r;
+  r.method = "GET";
+  r.target = std::move(target);
+  return r;
+}
+
+// Polls a job until it leaves queued/running; fails the test on timeout.
+Json wait_for_job(SimService& service, std::uint64_t id) {
+  for (int i = 0; i < 600; ++i) {
+    const HttpResponse r =
+        service.handle_http(get("/v1/jobs/" + std::to_string(id)));
+    EXPECT_EQ(r.status, 200);
+    Json status = Json::parse(r.body);
+    const std::string& state = status.at("state").as_string();
+    if (state != "queued" && state != "running") return status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ADD_FAILURE() << "job " << id << " never reached a terminal state";
+  return Json();
+}
+
+TEST(Service, SubmittedJobMatchesInProcessGridByteForByte) {
+  SimService service(ServiceOptions{});
+  const Json request = small_request();
+
+  const HttpResponse submitted =
+      service.handle_http(post("/v1/jobs", request.dump()));
+  ASSERT_EQ(submitted.status, 202);
+  const Json ack = Json::parse(submitted.body);
+  EXPECT_EQ(ack.at("state").as_string(), "queued");
+  EXPECT_EQ(ack.at("runs").as_uint(), 3u);
+  const std::uint64_t id = ack.at("job").as_uint();
+
+  const Json status = wait_for_job(service, id);
+  ASSERT_EQ(status.at("state").as_string(), "done");
+
+  const HttpResponse fetched =
+      service.handle_http(get("/v1/jobs/" + std::to_string(id) + "/results"));
+  ASSERT_EQ(fetched.status, 200);
+  const Json doc = Json::parse(fetched.body);
+
+  // The reference: the identical grid through the in-process engine.
+  ExperimentGrid grid;
+  grid.add_workload(*find_workload("gsm_dec"));
+  grid.add_workload(*find_workload("g721_dec"));
+  grid.add(baseline_spec("gsm_dec"));
+  grid.add(greedy_spec("gsm_dec", "greedy", 2, 10));
+  grid.add(baseline_spec("g721_dec"));
+  const GridResult reference = grid.run(GridOptions{});
+
+  EXPECT_EQ(doc.at("results").dump(), reference.results_json().dump());
+
+  // run_local shares the parser and engine wiring, so it agrees too.
+  const Json local = service.run_local(request);
+  EXPECT_EQ(local.at("results").dump(), reference.results_json().dump());
+}
+
+TEST(Service, AdmissionRejectsBeyondTheQueueLimitWith429) {
+  ServiceOptions options;
+  options.queue_limit = 1;
+  SimService service(options);
+
+  // Hold the runner mid-job so submissions pile up deterministically:
+  // job 1 dequeues and blocks running, job 2 occupies the whole queue.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  service.test_run_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+
+  const std::string body = small_request().dump();
+  const HttpResponse first = service.handle_http(post("/v1/jobs", body));
+  ASSERT_EQ(first.status, 202);
+  // Wait until the runner has picked job 1 up (queue drains to empty).
+  for (int i = 0; i < 200; ++i) {
+    const Json status = Json::parse(
+        service.handle_http(get("/v1/jobs/1")).body);
+    if (status.at("state").as_string() == "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  const HttpResponse second = service.handle_http(post("/v1/jobs", body));
+  EXPECT_EQ(second.status, 202);
+  const HttpResponse third = service.handle_http(post("/v1/jobs", body));
+  EXPECT_EQ(third.status, 429);
+  const Json rejection = Json::parse(third.body);
+  EXPECT_EQ(rejection.at("error").as_string(), "job queue full");
+  EXPECT_EQ(rejection.at("queue_limit").as_uint(), 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  // Everything admitted completes; the rejected job never existed.
+  EXPECT_EQ(wait_for_job(service, 1).at("state").as_string(), "done");
+  EXPECT_EQ(wait_for_job(service, 2).at("state").as_string(), "done");
+  EXPECT_EQ(service.handle_http(get("/v1/jobs/3")).status, 404);
+}
+
+TEST(Service, PerRequestBudgetYieldsTimeoutTaxonomyInResults) {
+  SimService service(ServiceOptions{});
+  Json request = small_request();
+  Json options = Json::object();
+  // A budget no simulation can meet: every run must come back as a
+  // timeout — a diagnosable status, not an error and not a hang.
+  options["run_budget_ms"] = Json(0.000001);
+  request["options"] = std::move(options);
+
+  const HttpResponse submitted =
+      service.handle_http(post("/v1/jobs", request.dump()));
+  ASSERT_EQ(submitted.status, 202);
+  const Json status = wait_for_job(service, 1);
+  // Timeouts degrade the grid, they do not fail the job.
+  ASSERT_EQ(status.at("state").as_string(), "done");
+
+  const Json doc =
+      Json::parse(service.handle_http(get("/v1/jobs/1/results")).body);
+  for (const Json& run : doc.at("results").items()) {
+    EXPECT_EQ(run.at("status").as_string(), "timeout");
+    EXPECT_EQ(run.at("error").at("kind").as_string(), "none");
+  }
+  EXPECT_EQ(doc.at("engine").at("timeouts").as_uint(), 3u);
+}
+
+TEST(Service, OperatorCapClampsAnUnlimitedBudgetRequest) {
+  ServiceOptions options;
+  options.max_run_budget_ms = 0.000001;  // operator says: nothing runs long
+  SimService service(options);
+  Json request = small_request();
+  Json opts = Json::object();
+  opts["run_budget_ms"] = Json(0.0);  // client asks for unlimited
+  request["options"] = std::move(opts);
+
+  ASSERT_EQ(service.handle_http(post("/v1/jobs", request.dump())).status,
+            202);
+  ASSERT_EQ(wait_for_job(service, 1).at("state").as_string(), "done");
+  const Json doc =
+      Json::parse(service.handle_http(get("/v1/jobs/1/results")).body);
+  for (const Json& run : doc.at("results").items()) {
+    EXPECT_EQ(run.at("status").as_string(), "timeout");
+  }
+}
+
+TEST(Service, MalformedSubmissionsAre400WithDiagnostics) {
+  SimService service(ServiceOptions{});
+  EXPECT_EQ(service.handle_http(post("/v1/jobs", "{not json")).status, 400);
+  EXPECT_EQ(service.handle_http(post("/v1/jobs", "{}")).status, 400);
+  EXPECT_EQ(
+      service.handle_http(post("/v1/jobs", "{\"runs\": []}")).status, 400);
+
+  const HttpResponse unknown_workload = service.handle_http(
+      post("/v1/jobs", "{\"runs\": [{\"workload\": \"doom\"}]}"));
+  EXPECT_EQ(unknown_workload.status, 400);
+  EXPECT_NE(unknown_workload.body.find("doom"), std::string::npos);
+
+  const HttpResponse typo = service.handle_http(post(
+      "/v1/jobs",
+      "{\"runs\": [{\"workload\": \"gsm_dec\", \"selektor\": \"greedy\"}]}"));
+  EXPECT_EQ(typo.status, 400);
+  EXPECT_NE(typo.body.find("selektor"), std::string::npos);
+
+  // Nothing malformed was admitted.
+  const Json list = Json::parse(service.handle_http(get("/v1/jobs")).body);
+  EXPECT_EQ(list.at("jobs").size(), 0u);
+}
+
+TEST(Service, RoutesAndMethodsAreEnforced) {
+  SimService service(ServiceOptions{});
+  EXPECT_EQ(service.handle_http(get("/healthz")).status, 200);
+  EXPECT_EQ(service.handle_http(post("/healthz", "")).status, 405);
+  EXPECT_EQ(service.handle_http(get("/v1/janitor")).status, 405);
+  EXPECT_EQ(service.handle_http(get("/nope")).status, 404);
+  EXPECT_EQ(service.handle_http(get("/v1/jobs/7")).status, 404);
+  EXPECT_EQ(service.handle_http(get("/v1/jobs/xyz")).status, 404);
+  EXPECT_EQ(service.handle_http(get("/v1/jobs/7/results")).status, 404);
+
+  EXPECT_FALSE(service.shutdown_requested());
+  EXPECT_EQ(service.handle_http(post("/v1/shutdown", "")).status, 200);
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(Service, MetricsAndTraceObserveTheJobLifecycle) {
+  SimService service(ServiceOptions{});
+  ASSERT_EQ(
+      service.handle_http(post("/v1/jobs", small_request().dump())).status,
+      202);
+  ASSERT_EQ(wait_for_job(service, 1).at("state").as_string(), "done");
+
+  const Json metrics =
+      Json::parse(service.handle_http(get("/metrics")).body);
+  EXPECT_EQ(
+      metrics.at("metrics").at("serve.jobs_submitted").at("value").as_uint(),
+      1u);
+  EXPECT_EQ(
+      metrics.at("metrics").at("serve.jobs_completed").at("value").as_uint(),
+      1u);
+  EXPECT_GE(metrics.at("metrics").at("grid.runs").at("value").as_uint(), 3u);
+  EXPECT_EQ(metrics.at("cache").at("misses").as_uint(), 3u);
+
+  // The trace carries the queued and run slices for job 1 on pid 1.
+  const Json trace = Json::parse(service.handle_http(get("/v1/trace")).body);
+  int begins = 0;
+  int ends = 0;
+  for (const Json& ev : trace.at("traceEvents").items()) {
+    const std::string& ph = ev.at("ph").as_string();
+    begins += ph == "B" ? 1 : 0;
+    ends += ph == "E" ? 1 : 0;
+  }
+  EXPECT_EQ(begins, 2);  // "queued" and "run"
+  EXPECT_EQ(ends, 2);
+
+  const HttpResponse summary = service.handle_http(get("/v1/summary"));
+  EXPECT_EQ(summary.status, 200);
+  EXPECT_NE(summary.body.find("job 1: [engine] 3 runs"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP transport over real loopback sockets.
+
+// Minimal client: one request, read to EOF (the server closes).
+std::string http_round_trip(int port, const std::string& raw_request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, raw_request.data(), raw_request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(raw_request.size()));
+  std::string response;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string request_text(const std::string& method, const std::string& target,
+                         const std::string& body) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: 127.0.0.1\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+TEST(Http, ServesTheServiceOverRealSockets) {
+  SimService service(ServiceOptions{});
+  HttpServer::Options options;  // ephemeral port
+  HttpServer server(options, [&service](const HttpRequest& request) {
+    return service.handle_http(request);
+  });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  const std::string health =
+      http_round_trip(server.port(), request_text("GET", "/healthz", ""));
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\"status\": \"ok\""), std::string::npos);
+
+  const std::string submitted = http_round_trip(
+      server.port(),
+      request_text("POST", "/v1/jobs", small_request().dump()));
+  EXPECT_NE(submitted.find("HTTP/1.1 202 Accepted"), std::string::npos);
+
+  ASSERT_EQ(wait_for_job(service, 1).at("state").as_string(), "done");
+  const std::string results = http_round_trip(
+      server.port(), request_text("GET", "/v1/jobs/1/results", ""));
+  EXPECT_NE(results.find("HTTP/1.1 200 OK"), std::string::npos);
+  // The socket-fetched body is the same document handle_http returns.
+  const std::string direct =
+      service.handle_http(get("/v1/jobs/1/results")).body;
+  const std::size_t body_at = results.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_EQ(results.substr(body_at + 4), direct);
+
+  const std::string missing =
+      http_round_trip(server.port(), request_text("GET", "/v1/jobs/9", ""));
+  EXPECT_NE(missing.find("HTTP/1.1 404 Not Found"), std::string::npos);
+
+  const std::string malformed =
+      http_round_trip(server.port(), "GET missing-the-version\r\n\r\n");
+  EXPECT_NE(malformed.find("HTTP/1.1 400 Bad Request"), std::string::npos);
+
+  server.stop();
+}
+
+TEST(Http, RendersResponsesWithLengthAndClose) {
+  HttpResponse r;
+  r.status = 429;
+  r.body = "{\"error\": \"x\"}";
+  const std::string text = render_http_response(r);
+  EXPECT_NE(text.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("Content-Length: 14\r\n"), std::string::npos);
+  EXPECT_NE(text.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(text.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace t1000::serve
