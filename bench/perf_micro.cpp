@@ -6,6 +6,8 @@
 
 #include <filesystem>
 
+#include "analysis/dataflow.hpp"
+#include "analysis/equiv.hpp"
 #include "analysis/verifier.hpp"
 #include "harness/grid.hpp"
 #include "sim/executor.hpp"
@@ -201,6 +203,39 @@ void BM_VerifyWorkload(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VerifyWorkload)->Unit(benchmark::kMicrosecond);
+
+// The translation-validation slice alone (equiv.* rules: index-map walk,
+// survivor byte-identity, branch retargeting, symbolic per-application
+// proof, dead-kill leak scan). The delta against BM_VerifyWorkload is the
+// cost of the wf.* module checks plus legality recomputation.
+void BM_ValidateRewrite(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  const AnalyzedProgram ap = analyze_program(p, 1u << 24);
+  const Selection sel = select_greedy(ap);
+  const RewriteResult rr = rewrite_program(p, sel.apps);
+  const VerifyOptions options;
+  for (auto _ : state) {
+    VerifyReport report;
+    check_translation(ap, sel, rr, options, report);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_ValidateRewrite)->Unit(benchmark::kMicrosecond);
+
+// Per-instruction backward liveness over the rewritten program — the
+// fixed-point analysis the dead-kill proof leans on. Priced separately
+// because it is the only super-linear piece of the validator.
+void BM_Liveness(benchmark::State& state) {
+  const Program p = workload_program(bench_workload());
+  const AnalyzedProgram ap = analyze_program(p, 1u << 24);
+  const Selection sel = select_greedy(ap);
+  const RewriteResult rr = rewrite_program(p, sel.apps);
+  const Cfg cfg = Cfg::build(rr.program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InstLiveness(rr.program, cfg));
+  }
+}
+BENCHMARK(BM_Liveness)->Unit(benchmark::kMicrosecond);
 
 ExperimentGrid engine_grid() {
   ExperimentGrid grid;

@@ -1,0 +1,25 @@
+#include "analysis/dataflow.hpp"
+
+#include "cfg/liveness.hpp"
+
+namespace t1000 {
+
+InstLiveness::InstLiveness(const Program& program, const Cfg& cfg)
+    : block_(compute_liveness(program, cfg)) {
+  const auto n = static_cast<std::size_t>(program.size());
+  before_.assign(n, {});
+  after_.assign(n, {});
+  for (const BasicBlock& b : cfg.blocks()) {
+    RegSet live = block_.live_out[static_cast<std::size_t>(b.id)];
+    for (std::int32_t i = b.last; i >= b.first; --i) {
+      after_[static_cast<std::size_t>(i)] = live;
+      RegSet use;
+      RegSet def;
+      inst_use_def(program.text[static_cast<std::size_t>(i)], &use, &def);
+      live = use | (live & ~def);
+      before_[static_cast<std::size_t>(i)] = live;
+    }
+  }
+}
+
+}  // namespace t1000

@@ -1,0 +1,265 @@
+// Generic iterative dataflow over the CFG.
+//
+// The repo grew three hand-rolled fixpoint loops (block liveness in
+// cfg/liveness.cpp, definite assignment in analysis/verifier.cpp, and the
+// translation validator's dead-kill proof wants a third); this header
+// hoists the shared worklist skeleton into one solver template and states
+// each analysis as a small Problem object. The solver is header-only on
+// purpose: `t1000_cfg` sits below `t1000_analysis` in the link graph, so
+// cfg/liveness.cpp can instantiate the template without creating a library
+// cycle. Non-template conveniences (the per-instruction liveness cache)
+// live in dataflow.cpp inside t1000_analysis.
+//
+// Problem concept:
+//   struct P {
+//     using Domain = ...;                    // equality-comparable lattice
+//     static constexpr DataflowDirection kDirection = ...;
+//     bool active(int block_id) const;       // false: hold init(), skip
+//     Domain init() const;                   // optimistic initial value
+//     // Meet-side input of `b` from neighbor results (outs of preds for a
+//     // forward problem, ins of succs for a backward one), including any
+//     // boundary contribution for entry/exit blocks.
+//     Domain confluence(const Cfg& cfg, const BasicBlock& b,
+//                       const std::vector<Domain>& neighbor) const;
+//     // Whole-block transfer in the direction of the analysis.
+//     Domain transfer(const BasicBlock& b, Domain value) const;
+//   };
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asmkit/program.hpp"
+#include "cfg/cfg.hpp"
+#include "cfg/liveness.hpp"
+#include "isa/instruction.hpp"
+#include "isa/reg.hpp"
+
+namespace t1000 {
+
+enum class DataflowDirection { kForward, kBackward };
+
+template <typename Problem>
+struct DataflowResult {
+  // Indexed by block id. `in` is the value before the block's first
+  // instruction, `out` after its last, regardless of direction.
+  std::vector<typename Problem::Domain> in;
+  std::vector<typename Problem::Domain> out;
+};
+
+// Round-robin iteration to a fixpoint, visiting blocks in id order for
+// forward problems and reverse id order for backward ones (the assembler
+// lays blocks out roughly topologically, so this converges in a handful of
+// sweeps on reducible control flow).
+template <typename Problem>
+DataflowResult<Problem> solve_dataflow(const Cfg& cfg,
+                                       const Problem& problem) {
+  const int n = cfg.num_blocks();
+  DataflowResult<Problem> r;
+  r.in.assign(static_cast<std::size_t>(n), problem.init());
+  r.out.assign(static_cast<std::size_t>(n), problem.init());
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int step = 0; step < n; ++step) {
+      const int id =
+          Problem::kDirection == DataflowDirection::kForward ? step
+                                                             : n - 1 - step;
+      if (!problem.active(id)) continue;
+      const BasicBlock& b = cfg.block(id);
+      const auto bid = static_cast<std::size_t>(id);
+      if constexpr (Problem::kDirection == DataflowDirection::kBackward) {
+        typename Problem::Domain out = problem.confluence(cfg, b, r.in);
+        typename Problem::Domain in = problem.transfer(b, out);
+        if (out != r.out[bid] || in != r.in[bid]) {
+          r.out[bid] = std::move(out);
+          r.in[bid] = std::move(in);
+          changed = true;
+        }
+      } else {
+        typename Problem::Domain in = problem.confluence(cfg, b, r.out);
+        typename Problem::Domain out = problem.transfer(b, in);
+        if (out != r.out[bid] || in != r.in[bid]) {
+          r.out[bid] = std::move(out);
+          r.in[bid] = std::move(in);
+          changed = true;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+// --- Shared per-instruction transfer pieces --------------------------------
+
+inline bool is_call_op(Opcode op) {
+  return op == Opcode::kJal || op == Opcode::kJalr;
+}
+
+// use/def of a single instruction under the conservative call model
+// (callees may read anything). MIMO EXT extra operands are covered because
+// src_regs/dst_regs decode the imm-packed bindings.
+inline void inst_use_def(const Instruction& ins, RegSet* use, RegSet* def) {
+  use->reset();
+  def->reset();
+  if (is_call_op(ins.op)) use->set();
+  const SrcRegs s = src_regs(ins);
+  for (int i = 0; i < s.count; ++i) use->set(s.reg[i]);
+  const DstRegs d = dst_regs(ins);
+  for (int i = 0; i < d.count; ++i) def->set(d.reg[i]);
+  use->reset(kRegZero);  // $zero is constant; never meaningfully live
+  def->reset(kRegZero);
+}
+
+// Registers assumed live when control leaves the program text through a
+// block ending in `tail` (see the boundary model in cfg/liveness.hpp).
+inline RegSet abi_exit_live_set(Opcode tail) {
+  RegSet s;
+  s.set(kRegV0);
+  s.set(kRegV0 + 1);  // $v1
+  if (tail != Opcode::kHalt) {
+    for (Reg r = kRegS0; r < kRegS0 + 8; ++r) s.set(r);  // $s0-$s7
+    s.set(kRegGp);
+    s.set(kRegSp);
+    s.set(kRegFp);
+    s.set(kRegRa);
+  }
+  return s;
+}
+
+// --- Backward may-liveness (union meet, ABI exit boundary) -----------------
+
+struct LiveRegsProblem {
+  using Domain = RegSet;
+  static constexpr DataflowDirection kDirection = DataflowDirection::kBackward;
+
+  const Program& program;
+  // Per-block upward-exposed use and def sets, precomputed so each sweep is
+  // two bit operations per block instead of a rescan of its instructions.
+  std::vector<RegSet> buse;
+  std::vector<RegSet> bdef;
+
+  LiveRegsProblem(const Program& p, const Cfg& cfg) : program(p) {
+    buse.resize(static_cast<std::size_t>(cfg.num_blocks()));
+    bdef.resize(static_cast<std::size_t>(cfg.num_blocks()));
+    for (const BasicBlock& b : cfg.blocks()) {
+      RegSet use;
+      RegSet def;
+      for (std::int32_t i = b.first; i <= b.last; ++i) {
+        RegSet u;
+        RegSet d;
+        inst_use_def(program.text[static_cast<std::size_t>(i)], &u, &d);
+        use |= u & ~def;
+        def |= d;
+      }
+      buse[static_cast<std::size_t>(b.id)] = use;
+      bdef[static_cast<std::size_t>(b.id)] = def;
+    }
+  }
+
+  bool active(int) const { return true; }
+  Domain init() const { return {}; }
+
+  Domain confluence(const Cfg&, const BasicBlock& b,
+                    const std::vector<Domain>& succ_in) const {
+    if (b.succs.empty()) {
+      return abi_exit_live_set(
+          program.text[static_cast<std::size_t>(b.last)].op);
+    }
+    Domain out;
+    for (const int s : b.succs) out |= succ_in[static_cast<std::size_t>(s)];
+    return out;
+  }
+
+  Domain transfer(const BasicBlock& b, Domain live) const {
+    const auto id = static_cast<std::size_t>(b.id);
+    return buse[id] | (live & ~bdef[id]);
+  }
+};
+
+// --- Forward must-definedness (intersection meet, entry boundary) ----------
+//
+// Optimistic "everything defined" start; only blocks reachable from the
+// entry participate (an unreachable predecessor contributes nothing to the
+// meet). Used by the verifier's definite-assignment check.
+struct DefinedRegsProblem {
+  using Domain = RegSet;
+  static constexpr DataflowDirection kDirection = DataflowDirection::kForward;
+
+  const Program& program;
+  RegSet entry_defined;
+  std::vector<char> reachable;
+
+  DefinedRegsProblem(const Program& p, const Cfg& cfg, RegSet entry)
+      : program(p), entry_defined(entry) {
+    reachable.assign(static_cast<std::size_t>(cfg.num_blocks()), 0);
+    std::vector<int> stack{cfg.entry()};
+    reachable[static_cast<std::size_t>(cfg.entry())] = 1;
+    while (!stack.empty()) {
+      const int b = stack.back();
+      stack.pop_back();
+      for (const int s : cfg.block(b).succs) {
+        if (!reachable[static_cast<std::size_t>(s)]) {
+          reachable[static_cast<std::size_t>(s)] = 1;
+          stack.push_back(s);
+        }
+      }
+    }
+  }
+
+  bool active(int id) const {
+    return reachable[static_cast<std::size_t>(id)] != 0;
+  }
+  Domain init() const { return RegSet().set(); }
+
+  Domain confluence(const Cfg& cfg, const BasicBlock& b,
+                    const std::vector<Domain>& pred_out) const {
+    Domain in = RegSet().set();
+    for (const int p : b.preds) {
+      if (reachable[static_cast<std::size_t>(p)]) {
+        in &= pred_out[static_cast<std::size_t>(p)];
+      }
+    }
+    // The program-start path reaches the entry block carrying only the
+    // entry-defined set, so it joins the meet there.
+    if (b.id == cfg.entry()) in &= entry_defined;
+    return in;
+  }
+
+  Domain transfer(const BasicBlock& b, Domain defined) const {
+    for (std::int32_t p = b.first; p <= b.last; ++p) {
+      const Instruction& ins = program.text[static_cast<std::size_t>(p)];
+      const DstRegs d = dst_regs(ins);
+      for (int i = 0; i < d.count; ++i) defined.set(d.reg[i]);
+      if (is_call_op(ins.op)) defined = RegSet().set();
+    }
+    return defined;
+  }
+};
+
+// --- Per-instruction liveness cache ----------------------------------------
+
+// Materializes live-before/live-after for every instruction of a program in
+// one backward pass per block. The translation validator queries liveness
+// at every rewrite point; Liveness::live_after alone would rescan the tail
+// of the block per query (O(block) each), this is O(program) once.
+class InstLiveness {
+ public:
+  InstLiveness(const Program& program, const Cfg& cfg);
+
+  const RegSet& live_before(std::int32_t index) const {
+    return before_[static_cast<std::size_t>(index)];
+  }
+  const RegSet& live_after(std::int32_t index) const {
+    return after_[static_cast<std::size_t>(index)];
+  }
+  const Liveness& blocks() const { return block_; }
+
+ private:
+  Liveness block_;
+  std::vector<RegSet> before_;
+  std::vector<RegSet> after_;
+};
+
+}  // namespace t1000

@@ -53,6 +53,7 @@ Json to_json(const VerifyReport& report) {
   stats["equiv_exhaustive"] = Json(report.stats.equiv_exhaustive);
   stats["equiv_sampled"] = Json(report.stats.equiv_sampled);
   stats["equiv_evals"] = Json(report.stats.equiv_evals);
+  stats["translation_proven"] = Json(report.stats.translation_proven);
   stats["width_static_proven"] = Json(report.stats.width_static_proven);
   stats["width_profile_only"] = Json(report.stats.width_profile_only);
 
@@ -72,6 +73,7 @@ Json to_json(const VerifyTiming& timing) {
   j["legality_ms"] = Json(timing.legality_ms);
   j["equiv_ms"] = Json(timing.equiv_ms);
   j["width_ms"] = Json(timing.width_ms);
+  j["translation_ms"] = Json(timing.translation_ms);
   j["total_ms"] = Json(timing.total_ms);
   return j;
 }

@@ -55,6 +55,10 @@ struct VerifyStats {
   int equiv_exhaustive = 0;
   int equiv_sampled = 0;
   std::uint64_t equiv_evals = 0;  // concrete evaluation pairs compared
+  // Translation validation: applications whose semantics were proven by
+  // symbolic execution over the normalized expression DAG (`equiv.symbolic`
+  // succeeded; the proof covers the full 2^32 input space per port).
+  int translation_proven = 0;
   // Bitwidth soundness: inputs whose width bound is also provable from a
   // conservative static value-range argument vs. inputs where selection
   // rests on the profile's observation alone (listed in width_audit).
@@ -71,6 +75,7 @@ struct VerifyTiming {
   double legality_ms = 0.0;
   double equiv_ms = 0.0;
   double width_ms = 0.0;
+  double translation_ms = 0.0;
   double total_ms = 0.0;
 };
 

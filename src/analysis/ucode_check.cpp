@@ -35,6 +35,10 @@ bool must_interp(const Instruction& ins, std::int32_t size,
   }
   if (kind == OpKind::kExt) {
     if (table == nullptr || ins.conf >= table->size()) return true;
+    // MIMO shapes exceed the 12-byte uop's two-source/one-dest payload;
+    // the decoder defers them to the reference interpreter.
+    const ExtInstDef& def = table->at(ins.conf);
+    if (def.num_inputs() > 2 || def.num_outputs() > 1) return true;
   }
   return false;
 }

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow.hpp"
+#include "analysis/equiv.hpp"
 #include "analysis/ucode_check.hpp"
 #include "cfg/cfg.hpp"
 #include "cfg/liveness.hpp"
@@ -99,68 +101,24 @@ void check_instruction_fields(const Program& program,
 // makes the read deterministic, just suspicious.
 void check_defs_before_uses(const Program& program, const Cfg& cfg,
                             VerifyReport& report) {
-  const int nb = cfg.num_blocks();
   RegSet entry_defined;
   entry_defined.set(kRegZero);
   entry_defined.set(kRegSp);
   entry_defined.set(kRegRa);
 
   // Forward must-analysis over blocks reachable from the entry, optimistic
-  // initialization (all defined), meet = intersection over predecessors.
-  std::vector<char> reachable(static_cast<std::size_t>(nb), 0);
-  {
-    std::vector<int> stack{cfg.entry()};
-    reachable[static_cast<std::size_t>(cfg.entry())] = 1;
-    while (!stack.empty()) {
-      const int b = stack.back();
-      stack.pop_back();
-      for (const int s : cfg.block(b).succs) {
-        if (!reachable[static_cast<std::size_t>(s)]) {
-          reachable[static_cast<std::size_t>(s)] = 1;
-          stack.push_back(s);
-        }
-      }
-    }
-  }
+  // initialization (all defined), meet = intersection over predecessors
+  // (the program-start path joins the meet at the entry block). Stated as a
+  // DefinedRegsProblem over the generic solver; the reporting walk below
+  // replays each block's transfer against the solved block-entry values.
+  const DefinedRegsProblem problem(program, cfg, entry_defined);
+  const DataflowResult<DefinedRegsProblem> solved =
+      solve_dataflow(cfg, problem);
 
   const RegSet all = RegSet().set();
-  std::vector<RegSet> out(static_cast<std::size_t>(nb), all);
-  // Meet = intersection over paths. The program-start path reaches the entry
-  // block carrying only the entry-defined set, so it joins the meet there.
-  auto block_in = [&](int b) {
-    RegSet in = all;
-    for (const int p : cfg.block(b).preds) {
-      if (reachable[static_cast<std::size_t>(p)]) {
-        in &= out[static_cast<std::size_t>(p)];
-      }
-    }
-    if (b == cfg.entry()) in &= entry_defined;
-    return in;
-  };
-
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (int b = 0; b < nb; ++b) {
-      if (!reachable[static_cast<std::size_t>(b)]) continue;
-      RegSet defined = block_in(b);
-      const BasicBlock& bb = cfg.block(b);
-      for (std::int32_t p = bb.first; p <= bb.last; ++p) {
-        const Instruction& ins = program.text[static_cast<std::size_t>(p)];
-        if (const auto d = dst_reg(ins)) defined.set(*d);
-        if (is_call(ins.op)) defined = all;
-      }
-      if (defined != out[static_cast<std::size_t>(b)]) {
-        out[static_cast<std::size_t>(b)] = defined;
-        changed = true;
-      }
-    }
-  }
-
-  for (int b = 0; b < nb; ++b) {
-    if (!reachable[static_cast<std::size_t>(b)]) continue;
-    RegSet defined = block_in(b);
-    const BasicBlock& bb = cfg.block(b);
+  for (const BasicBlock& bb : cfg.blocks()) {
+    if (!problem.active(bb.id)) continue;
+    RegSet defined = solved.in[static_cast<std::size_t>(bb.id)];
     for (std::int32_t p = bb.first; p <= bb.last; ++p) {
       const Instruction& ins = program.text[static_cast<std::size_t>(p)];
       const SrcRegs srcs = src_regs(ins);
@@ -172,7 +130,8 @@ void check_defs_before_uses(const Program& program, const Cfg& cfg,
                  " in '" + to_string(ins) + "'");
         defined.set(r);  // report each register once per block
       }
-      if (const auto d = dst_reg(ins)) defined.set(*d);
+      const DstRegs dsts = dst_regs(ins);
+      for (int d = 0; d < dsts.count; ++d) defined.set(dsts.reg[d]);
       if (is_call(ins.op)) defined = all;
     }
   }
@@ -191,11 +150,17 @@ struct ExternalInput {
 struct Recomputed {
   bool usable = false;  // micro-program and I/O recomputed without errors
   ExtInstDef def;
-  std::vector<ExternalInput> externals;  // slot order (<= 2)
+  std::vector<ExternalInput> externals;  // slot order (<= options.max_inputs)
   Reg output = 0;
-  std::array<int, 2> widths{1, 1};  // profiled input widths (both ports)
+  // Required extra outputs: intermediates whose value stays architecturally
+  // visible past the landing point, in member order (parallel to
+  // def.out_slots()[1..] once usable).
+  std::vector<Reg> extra_outputs;
+  int width = 1;  // widest profiled input (applied to every port)
   std::int32_t landing = -1;
   int block = -1;
+
+  std::array<int, 2> lut_widths() const { return {width, width}; }
 };
 
 // Last position in [block_first, before) writing `r`, or -1.
@@ -252,6 +217,8 @@ Recomputed recompute_app(const AnalyzedProgram& ap, const Application& app,
   }
 
   const std::int32_t block_first = ap.cfg.block(rc.block).first;
+  const int max_inputs = std::clamp(options.max_inputs, 1, kMaxExtInputs);
+  const int max_outputs = std::clamp(options.max_outputs, 1, kMaxExtOutputs);
   std::vector<std::int8_t> slot_of_pos;  // parallel to app.positions
   auto member_index_of = [&](std::int32_t q) {
     const auto it = std::lower_bound(app.positions.begin(),
@@ -262,8 +229,11 @@ Recomputed recompute_app(const AnalyzedProgram& ap, const Application& app,
     return -1;
   };
 
+  // Slot assignment is two-phase: input slots precede member slots, but the
+  // member base (max(2, input count)) is only known after the scan. Member
+  // values are recorded as kMemberBias + index and materialized below.
+  constexpr std::int8_t kMemberBias = 64;
   bool member_errors = false;
-  int width = 1;
   std::vector<MicroOp> uops;
   for (int m = 0; m < n_members; ++m) {
     const std::int32_t p = app.positions[static_cast<std::size_t>(m)];
@@ -295,12 +265,12 @@ Recomputed recompute_app(const AnalyzedProgram& ap, const Application& app,
                "-bit ceiling");
       member_errors = true;
     }
-    width = std::max(width, ip.max_src_width);
+    rc.width = std::max(rc.width, ip.max_src_width);
 
     MicroOp u;
     u.op = ins.op;
     u.imm = ins.imm;
-    u.dst = static_cast<std::int8_t>(2 + m);
+    u.dst = static_cast<std::int8_t>(kMemberBias + m);
     const SrcRegs srcs = src_regs(ins);
     std::int8_t slots[2] = {-1, -1};
     for (int s = 0; s < srcs.count && !member_errors; ++s) {
@@ -330,11 +300,14 @@ Recomputed recompute_app(const AnalyzedProgram& ap, const Application& app,
         break;
       }
       if (slot < 0 && !member_errors) {
-        if (rc.externals.size() == 2) {
+        if (static_cast<int>(rc.externals.size()) == max_inputs) {
+          std::string have;
+          for (const ExternalInput& e : rc.externals) {
+            have += std::string(reg_name(e.reg)) + ", ";
+          }
           emit(report, Severity::kError, "ext.inputs", loc,
-               "more than two external register inputs (" +
-                   std::string(reg_name(rc.externals[0].reg)) + ", " +
-                   std::string(reg_name(rc.externals[1].reg)) + ", " +
+               "more than " + std::to_string(max_inputs) +
+                   " external register inputs (" + have +
                    std::string(reg_name(r)) + ")");
           member_errors = true;
         } else {
@@ -349,14 +322,65 @@ Recomputed recompute_app(const AnalyzedProgram& ap, const Application& app,
     slot_of_pos.push_back(u.dst);
     uops.push_back(u);
   }
-  rc.widths = {width, width};
   rc.output = app.output;
   if (member_errors) return rc;
 
+  // Materialize member slots now that the input count is final.
+  const int n_in = static_cast<int>(rc.externals.size());
+  const auto base = static_cast<std::int8_t>(n_in > 2 ? n_in : 2);
+  auto resolve = [base](std::int8_t v) {
+    return v >= kMemberBias ? static_cast<std::int8_t>(base + (v - kMemberBias))
+                            : v;
+  };
+  for (MicroOp& u : uops) {
+    u.dst = resolve(u.dst);
+    u.a = resolve(u.a);
+    u.b = resolve(u.b);
+  }
+
   rc.output = *dst_reg(program.text[static_cast<std::size_t>(rc.landing)]);
+
+  // Output constraint: every intermediate value must either die inside the
+  // window or surface as an extra EXT output within the shape budget. A
+  // non-member reading it mid-window is always fatal (after the rewrite the
+  // value only materializes at the landing point).
+  std::vector<std::int8_t> out_slots{
+      static_cast<std::int8_t>(base + (n_members - 1))};
+  bool output_errors = false;
+  for (int m = 0; m + 1 < n_members; ++m) {
+    const std::int32_t p = app.positions[static_cast<std::size_t>(m)];
+    const Reg d = *dst_reg(program.text[static_cast<std::size_t>(p)]);
+    bool redefined = false;
+    for (std::int32_t q = p + 1; q <= rc.landing && !redefined; ++q) {
+      const Instruction& ins = program.text[static_cast<std::size_t>(q)];
+      const bool member = member_index_of(q) >= 0;
+      if (!member && reads_reg(ins, d)) {
+        emit(report, Severity::kError, "ext.output", loc,
+             "intermediate " + std::string(reg_name(d)) + " (def at " +
+                 pos_loc(p) + ") is read by non-member at " + pos_loc(q));
+        output_errors = true;
+      }
+      if (writes_reg(ins, d)) redefined = true;
+    }
+    if (redefined ||
+        !ap.liveness.live_after(program, ap.cfg, rc.landing).test(d)) {
+      continue;  // the value dies inside the window: no output needed
+    }
+    if (static_cast<int>(out_slots.size()) == max_outputs) {
+      emit(report, Severity::kError, "ext.output", loc,
+           "intermediate " + std::string(reg_name(d)) + " (def at " +
+               pos_loc(p) + ") is live after the landing point and no " +
+               "output port is left (shape allows " +
+               std::to_string(max_outputs) + ")");
+      output_errors = true;
+      continue;
+    }
+    out_slots.push_back(static_cast<std::int8_t>(base + m));
+    rc.extra_outputs.push_back(d);
+  }
+
   try {
-    rc.def = ExtInstDef(static_cast<int>(rc.externals.size()),
-                        std::move(uops));
+    rc.def = ExtInstDef(n_in, std::move(uops), std::move(out_slots));
   } catch (const std::exception& e) {
     emit(report, Severity::kError, "ext.opcode-class", loc,
          std::string("recomputed micro-program is not a valid PFU "
@@ -364,10 +388,11 @@ Recomputed recompute_app(const AnalyzedProgram& ap, const Application& app,
              e.what());
     return rc;
   }
-  rc.usable = true;
+  rc.usable = !output_errors;
 
   // The application's own claim must match what the program text says —
-  // the rewriter encodes app.inputs/app.output into the EXT instruction.
+  // the rewriter encodes app.inputs/app.output/app.extra_outputs into the
+  // EXT instruction.
   if (static_cast<int>(rc.externals.size()) != app.num_inputs) {
     emit(report, Severity::kError, "ext.inputs", loc,
          "application claims " + std::to_string(app.num_inputs) +
@@ -394,31 +419,19 @@ Recomputed recompute_app(const AnalyzedProgram& ap, const Application& app,
              " in the application");
     rc.usable = false;
   }
-
-  // Single-output constraint: every intermediate value must die inside the
-  // window. A non-member reading it mid-window, or the value staying live
-  // past the landing point, means collapsing the sequence drops a visible
-  // write.
-  for (int m = 0; m + 1 < n_members; ++m) {
-    const std::int32_t p = app.positions[static_cast<std::size_t>(m)];
-    const Reg d = *dst_reg(program.text[static_cast<std::size_t>(p)]);
-    bool redefined = false;
-    for (std::int32_t q = p + 1; q <= rc.landing && !redefined; ++q) {
-      const Instruction& ins = program.text[static_cast<std::size_t>(q)];
-      const bool member = member_index_of(q) >= 0;
-      if (!member && reads_reg(ins, d)) {
-        emit(report, Severity::kError, "ext.output", loc,
-             "intermediate " + std::string(reg_name(d)) + " (def at " +
-                 pos_loc(p) + ") is read by non-member at " + pos_loc(q));
+  if (rc.extra_outputs != app.extra_outputs) {
+    auto render = [](const std::vector<Reg>& regs) {
+      std::string s = "{";
+      for (std::size_t e = 0; e < regs.size(); ++e) {
+        s += (e ? ", " : "") + std::string(reg_name(regs[e]));
       }
-      if (writes_reg(ins, d)) redefined = true;
-    }
-    if (!redefined &&
-        ap.liveness.live_after(program, ap.cfg, rc.landing).test(d)) {
-      emit(report, Severity::kError, "ext.output", loc,
-           "intermediate " + std::string(reg_name(d)) + " (def at " +
-               pos_loc(p) + ") is live after the landing point");
-    }
+      return s + "}";
+    };
+    emit(report, Severity::kError, "ext.output", loc,
+         "extra outputs are " + render(rc.extra_outputs) +
+             " in the program but " + render(app.extra_outputs) +
+             " in the application");
+    rc.usable = false;
   }
 
   // Rewrite safety: after the rewrite, every input is read at the landing
@@ -446,10 +459,13 @@ Recomputed recompute_app(const AnalyzedProgram& ap, const Application& app,
 // an independent interpretation of the original member instructions,
 // mirroring the executor's operand selection exactly.
 
-std::uint32_t interpret_members(const Program& program,
-                                const Application& app,
-                                const Recomputed& rc, std::uint32_t in0,
-                                std::uint32_t in1) {
+// Interprets the original member instructions over a register file seeded
+// with the input valuation, and reads back every claimed output (primary
+// first, then the extra outputs in member order).
+void interpret_members(const Program& program, const Application& app,
+                       const Recomputed& rc,
+                       const std::array<std::uint32_t, kMaxExtInputs>& in,
+                       std::array<std::uint32_t, kMaxExtOutputs>& out) {
   std::array<std::uint32_t, kNumRegs> regs;
   for (int r = 0; r < kNumRegs; ++r) {
     // Poison pattern: a read the recomputation did not account for yields a
@@ -458,10 +474,12 @@ std::uint32_t interpret_members(const Program& program,
         0x9E3779B9u * static_cast<std::uint32_t>(r + 1);
   }
   regs[kRegZero] = 0;
-  const std::uint32_t in[2] = {in0, in1};
   for (std::size_t e = 0; e < rc.externals.size(); ++e) {
     if (rc.externals[e].reg != kRegZero) regs[rc.externals[e].reg] = in[e];
   }
+  // Extra outputs are read at the position of their producing member, not
+  // after the whole window: a later member may legally reuse the register.
+  std::vector<std::uint32_t> extra(rc.extra_outputs.size(), 0);
   for (const std::int32_t p : app.positions) {
     const Instruction& ins = program.text[static_cast<std::size_t>(p)];
     std::uint32_t v = 0;
@@ -480,11 +498,15 @@ std::uint32_t interpret_members(const Program& program,
         v = static_cast<std::uint32_t>(ins.imm & 0xFFFF) << 16;
         break;
       default:
-        return 0;  // unreachable: candidacy checked during recomputation
+        return;  // unreachable: candidacy checked during recomputation
     }
     if (ins.rd != kRegZero) regs[ins.rd] = v;
+    for (std::size_t e = 0; e < rc.extra_outputs.size(); ++e) {
+      if (rc.extra_outputs[e] == ins.rd) extra[e] = v;
+    }
   }
-  return regs[rc.output];
+  out[0] = regs[rc.output];
+  for (std::size_t e = 0; e < extra.size(); ++e) out[e + 1] = extra[e];
 }
 
 std::uint32_t sign_extend(std::uint64_t k, int width) {
@@ -498,21 +520,23 @@ std::uint32_t sign_extend(std::uint64_t k, int width) {
 // hardwired-zero register which only ever supplies 0.
 std::uint64_t domain_size(const Recomputed& rc, std::size_t e) {
   if (rc.externals[e].reg == kRegZero) return 1;
-  const int w = rc.widths[e];
+  const int w = rc.width;
   return w >= 32 ? (1ull << 32) : (1ull << w);
 }
 
 std::uint32_t domain_value(const Recomputed& rc, std::size_t e,
                            std::uint64_t k) {
   if (rc.externals[e].reg == kRegZero) return 0;
-  return sign_extend(k, rc.widths[e]);
+  return sign_extend(k, rc.width);
 }
 
 struct EquivOutcome {
   enum class Method { kExhaustive, kSampled } method = Method::kExhaustive;
   std::uint64_t evals = 0;
   bool mismatch = false;
-  std::uint32_t in0 = 0, in1 = 0, expected = 0, got = 0;
+  std::array<std::uint32_t, kMaxExtInputs> in{};
+  int output = 0;  // mismatching output index (0 = primary)
+  std::uint32_t expected = 0, got = 0;
 };
 
 EquivOutcome check_equivalence(const AnalyzedProgram& ap,
@@ -521,37 +545,65 @@ EquivOutcome check_equivalence(const AnalyzedProgram& ap,
                                const VerifyOptions& options) {
   EquivOutcome out;
   const Program& program = *ap.program;
-  auto probe = [&](std::uint32_t in0, std::uint32_t in1) {
-    const std::uint32_t expected = interpret_members(program, app, rc, in0,
-                                                     in1);
-    const std::uint32_t got = interned.eval(in0, in1);
+  const std::size_t n_in = rc.externals.size();
+  const int n_out = 1 + static_cast<int>(rc.extra_outputs.size());
+  // A configuration with the wrong output arity cannot be equivalent; the
+  // structural/claim checks report the details.
+  if (interned.num_outputs() != n_out ||
+      interned.num_inputs() != static_cast<int>(n_in)) {
+    out.mismatch = true;
+    return out;
+  }
+  auto probe = [&](const std::array<std::uint32_t, kMaxExtInputs>& in) {
+    std::array<std::uint32_t, kMaxExtOutputs> expected{};
+    std::array<std::uint32_t, kMaxExtOutputs> got{};
+    interpret_members(program, app, rc, in, expected);
+    interned.eval_multi(in, got);
     ++out.evals;
-    if (expected != got && !out.mismatch) {
-      out.mismatch = true;
-      out.in0 = in0;
-      out.in1 = in1;
-      out.expected = expected;
-      out.got = got;
+    for (int o = 0; o < n_out; ++o) {
+      const auto os = static_cast<std::size_t>(o);
+      if (expected[os] != got[os]) {
+        if (!out.mismatch) {
+          out.mismatch = true;
+          out.in = in;
+          out.output = o;
+          out.expected = expected[os];
+          out.got = got[os];
+        }
+        return false;
+      }
     }
-    return expected == got;
+    return true;
   };
 
-  const std::size_t n_in = rc.externals.size();
-  const std::uint64_t d0 = n_in > 0 ? domain_size(rc, 0) : 1;
-  const std::uint64_t d1 = n_in > 1 ? domain_size(rc, 1) : 1;
-  const bool huge = d0 > options.exhaustive_budget ||
-                    d1 > options.exhaustive_budget ||
-                    d0 > options.exhaustive_budget / d1;
+  std::array<std::uint64_t, kMaxExtInputs> dims;
+  dims.fill(1);
+  std::uint64_t total = 1;
+  bool huge = false;
+  for (std::size_t e = 0; e < n_in; ++e) {
+    dims[e] = domain_size(rc, e);
+    if (dims[e] > options.exhaustive_budget ||
+        total > options.exhaustive_budget / dims[e]) {
+      huge = true;
+    }
+    if (!huge) total *= dims[e];
+  }
   if (!huge) {
+    // Odometer over the full product domain.
     out.method = EquivOutcome::Method::kExhaustive;
-    for (std::uint64_t k0 = 0; k0 < d0; ++k0) {
-      const std::uint32_t in0 =
-          n_in > 0 ? domain_value(rc, 0, k0) : 0;
-      for (std::uint64_t k1 = 0; k1 < d1; ++k1) {
-        const std::uint32_t in1 =
-            n_in > 1 ? domain_value(rc, 1, k1) : 0;
-        if (!probe(in0, in1)) return out;
+    std::array<std::uint64_t, kMaxExtInputs> k{};
+    while (true) {
+      std::array<std::uint32_t, kMaxExtInputs> in{};
+      for (std::size_t e = 0; e < n_in; ++e) {
+        in[e] = domain_value(rc, e, k[e]);
       }
+      if (!probe(in)) return out;
+      std::size_t e = 0;
+      for (; e < n_in; ++e) {
+        if (++k[e] < dims[e]) break;
+        k[e] = 0;
+      }
+      if (e == n_in) break;  // odometer wrapped: domain exhausted
     }
     return out;
   }
@@ -565,21 +617,28 @@ EquivOutcome check_equivalence(const AnalyzedProgram& ap,
     state = state * 6364136223846793005ull + 1442695040888963407ull;
     return state >> 31;
   };
-  const std::uint64_t corners0[] = {0, 1, d0 / 2, d0 - 1};
-  const std::uint64_t corners1[] = {0, 1, d1 / 2, d1 - 1};
-  for (const std::uint64_t k0 : corners0) {
-    for (const std::uint64_t k1 : corners1) {
-      if (!probe(domain_value(rc, 0, k0),
-                 n_in > 1 ? domain_value(rc, 1, k1) : 0)) {
-        return out;
-      }
+  // Corner odometer: {0, 1, mid, max} per input dimension.
+  std::array<std::size_t, kMaxExtInputs> c{};
+  while (true) {
+    std::array<std::uint32_t, kMaxExtInputs> in{};
+    for (std::size_t e = 0; e < n_in; ++e) {
+      const std::uint64_t corners[] = {0, 1, dims[e] / 2, dims[e] - 1};
+      in[e] = domain_value(rc, e, corners[c[e]]);
     }
+    if (!probe(in)) return out;
+    std::size_t e = 0;
+    for (; e < n_in; ++e) {
+      if (++c[e] < 4) break;
+      c[e] = 0;
+    }
+    if (e == n_in) break;
   }
   for (int s = 0; s < options.samples; ++s) {
-    const std::uint32_t in0 = domain_value(rc, 0, next() % d0);
-    const std::uint32_t in1 =
-        n_in > 1 ? domain_value(rc, 1, next() % d1) : 0;
-    if (!probe(in0, in1)) return out;
+    std::array<std::uint32_t, kMaxExtInputs> in{};
+    for (std::size_t e = 0; e < n_in; ++e) {
+      in[e] = domain_value(rc, e, next() % dims[e]);
+    }
+    if (!probe(in)) return out;
   }
   return out;
 }
@@ -638,7 +697,7 @@ void audit_widths(const AnalyzedProgram& ap, const Application& app,
     std::string entry =
         std::string(reg_name(ext.reg)) + " into " +
         app_loc(app.conf, app_index) + ": profiled " +
-        std::to_string(rc.widths[e]) + "-bit, " +
+        std::to_string(rc.width) + "-bit, " +
         (ext.def_pos >= 0
              ? "def at " + pos_loc(ext.def_pos) + " ('" +
                    std::string(mnemonic(program
@@ -668,6 +727,8 @@ VerifyOptions verify_options_for(const SelectPolicy& policy) {
   options.min_length = policy.extract.min_length;
   options.max_length = policy.extract.max_length;
   options.lut_budget = policy.lut_budget;
+  options.max_inputs = policy.extract.max_inputs;
+  options.max_outputs = policy.extract.max_outputs;
   return options;
 }
 
@@ -758,10 +819,24 @@ VerifyReport verify_selection(const AnalyzedProgram& ap,
           ni >= 0 && ni < rewrite.program.size()
               ? &rewrite.program.text[static_cast<std::size_t>(ni)]
               : nullptr;
+      // Operand bindings beyond rs/rt/rd ride in the imm field; the packed
+      // encoding must match the claim exactly (imm == 0 for the classic
+      // 2-in/1-out shape).
+      std::int32_t want_imm = 0;
+      try {
+        const std::vector<Reg> extra_in(
+            app.inputs.begin() + std::min(app.num_inputs, 2),
+            app.inputs.begin() +
+                std::clamp(app.num_inputs, 0, kMaxExtInputs));
+        want_imm = pack_ext_extras(extra_in, app.extra_outputs);
+      } catch (const std::exception&) {
+        want_imm = -1;  // unencodable claim: fails the comparison below
+      }
       if (ext == nullptr || ext->op != Opcode::kExt ||
           ext->conf != app.conf || ext->rd != app.output ||
           ext->rs != (app.num_inputs > 0 ? app.inputs[0] : kRegZero) ||
-          ext->rt != (app.num_inputs > 1 ? app.inputs[1] : kRegZero)) {
+          ext->rt != (app.num_inputs > 1 ? app.inputs[1] : kRegZero) ||
+          ext->imm != want_imm) {
         emit(report, Severity::kError, "rw.landing", app_loc(app.conf, i),
              "rewritten instruction at new index " + std::to_string(ni) +
                  " does not encode this application's EXT");
@@ -770,7 +845,7 @@ VerifyReport verify_selection(const AnalyzedProgram& ap,
 
     if (rc.usable) {
       const LutEstimate est =
-          estimate_luts(selection.table.at(app.conf), rc.widths);
+          estimate_luts(selection.table.at(app.conf), rc.lut_widths());
       if (!est.fits(options.lut_budget)) {
         emit(report, Severity::kError, "ext.lut-budget", app_loc(app.conf, i),
              "recomputed estimate " + std::to_string(est.luts) +
@@ -817,10 +892,14 @@ VerifyReport verify_selection(const AnalyzedProgram& ap,
         check_equivalence(ap, app, rc, interned, options);
     report.stats.equiv_evals += eq.evals;
     if (eq.mismatch) {
+      std::string ins;
+      for (std::size_t e = 0; e < rc.externals.size(); ++e) {
+        ins += (e ? ", " : "") + std::to_string(eq.in[e]);
+      }
       emit(report, Severity::kError, "sem.equiv", app_loc(app.conf, i),
-           "EXT computes a different function: inputs (" +
-               std::to_string(eq.in0) + ", " + std::to_string(eq.in1) +
-               ") give " + std::to_string(eq.got) + ", sequence gives " +
+           "EXT computes a different function: inputs (" + ins +
+               ") give " + std::to_string(eq.got) + " at output " +
+               std::to_string(eq.output) + ", sequence gives " +
                std::to_string(eq.expected));
       continue;
     }
@@ -847,6 +926,14 @@ VerifyReport verify_selection(const AnalyzedProgram& ap,
                  seen_audit);
   }
   report.timing.width_ms = ms_since(start_width);
+
+  // Phase 5: translation validation (`equiv.*`, analysis/equiv.hpp) — the
+  // rewritten binary against the baseline, independent of the per-app
+  // legality recomputation above.
+  const auto start_translation = Clock::now();
+  check_translation(ap, selection, rewrite, options, report);
+  report.timing.translation_ms = ms_since(start_translation);
+
   report.timing.total_ms = ms_since(start_total);
   return report;
 }

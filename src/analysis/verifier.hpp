@@ -13,11 +13,18 @@
 //    symbols in range post-rewrite, register fields in range, EXT `conf`
 //    references resolved by the table, defs-before-uses along all paths;
 //  * extended-instruction legality (`ext.*`, `rw.*`): per application the
-//    micro-program, inputs, and output are *recomputed* from the original
-//    program text and checked against the selection — ≤ 2 inputs, 1
-//    output (intermediates dead past the EXT), candidate-class opcodes
-//    only, profiled widths within the ceiling, recomputed LUT cost within
+//    micro-program, inputs, and outputs are *recomputed* from the original
+//    program text and checked against the selection — inputs/outputs
+//    within the configured shape (default 2-in/1-out; unclaimed
+//    intermediates dead past the EXT), candidate-class opcodes only,
+//    profiled widths within the ceiling, recomputed LUT cost within
 //    budget, and the rewritten binary's EXT landing/clobber safety;
+//  * translation validation (`equiv.*`, analysis/equiv.hpp): the rewritten
+//    binary is proven to be the baseline with exactly the covered windows
+//    replaced, and each EXT's semantics are proven against the covered
+//    baseline instructions by symbolic execution over a normalized
+//    expression DAG, with a liveness proof that every register a window
+//    kills but its EXT no longer writes is dead at the rewrite point;
 //  * semantic equivalence (`sem.*`): each collapsed chain provably
 //    computes the same function as its constituent instruction sequence.
 //    A structural proof (recomputed micro-program identical to the
@@ -46,6 +53,12 @@ struct VerifyOptions {
   int min_length = 2;       // shortest legal fused sequence
   int max_length = kMaxUops;
   int lut_budget = 150;     // PFU capacity (§6, Figure 7)
+  // Candidate shape the selection was extracted under (paper defaults:
+  // 2-in/1-out). Applications may bind at most this many external register
+  // inputs / register outputs; the ISA ceiling (kMaxExtInputs /
+  // kMaxExtOutputs) bounds both.
+  int max_inputs = 2;
+  int max_outputs = 1;
   // Largest operand-domain size (evaluation pairs) the equivalence check
   // will enumerate exhaustively; larger domains rely on the structural
   // proof or degrade to flagged sampling. 1<<22 keeps the worst single

@@ -1,84 +1,19 @@
 #include "cfg/liveness.hpp"
 
+#include "analysis/dataflow.hpp"
+
 namespace t1000 {
-namespace {
 
-bool is_call(Opcode op) { return op == Opcode::kJal || op == Opcode::kJalr; }
-
-// Registers assumed live when control leaves the program text.
-RegSet exit_live_set(Opcode tail) {
-  RegSet s;
-  s.set(kRegV0);
-  s.set(kRegV0 + 1);  // $v1
-  if (tail != Opcode::kHalt) {
-    for (Reg r = kRegS0; r < kRegS0 + 8; ++r) s.set(r);  // $s0-$s7
-    s.set(kRegGp);
-    s.set(kRegSp);
-    s.set(kRegFp);
-    s.set(kRegRa);
-  }
-  return s;
-}
-
-// use/def of a single instruction under the conservative call model.
-void inst_use_def(const Instruction& ins, RegSet* use, RegSet* def) {
-  use->reset();
-  def->reset();
-  if (is_call(ins.op)) use->set();  // callee may read anything
-  const SrcRegs s = src_regs(ins);
-  for (int i = 0; i < s.count; ++i) use->set(s.reg[i]);
-  if (const auto d = dst_reg(ins)) def->set(*d);
-  use->reset(kRegZero);  // $zero is constant; never meaningfully live
-  def->reset(kRegZero);
-}
-
-}  // namespace
-
+// Stated as a LiveRegsProblem over the generic solver (analysis/dataflow.hpp
+// is header-only, so instantiating it here adds no link dependency). The
+// result is bit-identical to the historical hand-rolled fixpoint: same
+// confluence, same transfer, same sweep order.
 Liveness compute_liveness(const Program& program, const Cfg& cfg) {
-  const int n = cfg.num_blocks();
+  const LiveRegsProblem problem(program, cfg);
+  DataflowResult<LiveRegsProblem> solved = solve_dataflow(cfg, problem);
   Liveness lv;
-  lv.live_in.assign(static_cast<std::size_t>(n), {});
-  lv.live_out.assign(static_cast<std::size_t>(n), {});
-
-  // Per-block use (upward-exposed) and def sets.
-  std::vector<RegSet> buse(static_cast<std::size_t>(n));
-  std::vector<RegSet> bdef(static_cast<std::size_t>(n));
-  for (const BasicBlock& b : cfg.blocks()) {
-    RegSet use;
-    RegSet def;
-    for (std::int32_t i = b.first; i <= b.last; ++i) {
-      RegSet u;
-      RegSet d;
-      inst_use_def(program.text[static_cast<std::size_t>(i)], &u, &d);
-      use |= u & ~def;
-      def |= d;
-    }
-    buse[static_cast<std::size_t>(b.id)] = use;
-    bdef[static_cast<std::size_t>(b.id)] = def;
-  }
-
-  // Backward fixpoint. Exit blocks conservatively keep everything live.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (int id = n - 1; id >= 0; --id) {
-      const BasicBlock& b = cfg.block(id);
-      RegSet out;
-      if (b.succs.empty()) {
-        out = exit_live_set(program.text[static_cast<std::size_t>(b.last)].op);
-      } else {
-        for (const int s : b.succs) out |= lv.live_in[static_cast<std::size_t>(s)];
-      }
-      const RegSet in = buse[static_cast<std::size_t>(id)] |
-                        (out & ~bdef[static_cast<std::size_t>(id)]);
-      if (out != lv.live_out[static_cast<std::size_t>(id)] ||
-          in != lv.live_in[static_cast<std::size_t>(id)]) {
-        lv.live_out[static_cast<std::size_t>(id)] = out;
-        lv.live_in[static_cast<std::size_t>(id)] = in;
-        changed = true;
-      }
-    }
-  }
+  lv.live_in = std::move(solved.in);
+  lv.live_out = std::move(solved.out);
   return lv;
 }
 

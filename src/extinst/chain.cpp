@@ -11,43 +11,45 @@ int reg_src_count(const Instruction& ins) { return src_regs(ins).count; }
 }  // namespace
 
 std::optional<WindowView> window_view(const Program& program,
-                                      const SeqSite& site, int a, int b) {
+                                      const SeqSite& site, int a, int b,
+                                      int max_inputs, int max_outputs) {
   assert(0 <= a && a <= b && b < site.length());
+  assert(max_inputs >= 1 && max_inputs <= kMaxExtInputs);
+  assert(max_outputs >= 1 && max_outputs <= kMaxExtOutputs);
   WindowView view;
   view.positions.assign(site.positions.begin() + a,
                         site.positions.begin() + b + 1);
 
-  // Slot assignment: inputs first (in first-use order), then one slot per
-  // member. `member_slot[m]` is the slot of member m's value (window
-  // members only).
-  std::vector<std::int8_t> member_slot(static_cast<std::size_t>(site.length()), -1);
-  auto input_slot = [&view](Reg r) -> std::optional<std::int8_t> {
+  // Slot assignment is two-phase: the input base depends on the final input
+  // count (slots 0..n-1 hold inputs, members start at max(2, n)), which is
+  // only known after the scan. During the scan member-produced operands are
+  // recorded as kMemberBias + local index and materialized afterwards.
+  constexpr std::int8_t kMemberBias = 64;
+  auto input_slot = [&view, max_inputs](Reg r) -> std::optional<std::int8_t> {
     for (int i = 0; i < view.num_inputs; ++i) {
       if (view.inputs[static_cast<std::size_t>(i)] == r) {
         return static_cast<std::int8_t>(i);
       }
     }
-    if (view.num_inputs == 2) return std::nullopt;  // out of input ports
+    if (view.num_inputs == max_inputs) return std::nullopt;  // out of ports
     view.inputs[static_cast<std::size_t>(view.num_inputs)] = r;
     return static_cast<std::int8_t>(view.num_inputs++);
   };
 
   std::vector<MicroOp> uops;
-  std::int8_t next_slot = 2;
   for (int m = a; m <= b; ++m) {
     const Instruction& ins =
         program.text[static_cast<std::size_t>(site.positions[static_cast<std::size_t>(m)])];
     MicroOp u;
     u.op = ins.op;
     u.imm = ins.imm;
-    u.dst = next_slot;
+    u.dst = static_cast<std::int8_t>(kMemberBias + (m - a));
     const int nsrc = reg_src_count(ins);
     std::int8_t slots[2] = {-1, -1};
     for (int s = 0; s < nsrc; ++s) {
       const SrcRef& ref = site.srcs[static_cast<std::size_t>(m)][static_cast<std::size_t>(s)];
       if (ref.kind == SrcRef::Kind::kMember && ref.member >= a) {
-        assert(member_slot[static_cast<std::size_t>(ref.member)] >= 0);
-        slots[s] = member_slot[static_cast<std::size_t>(ref.member)];
+        slots[s] = static_cast<std::int8_t>(kMemberBias + (ref.member - a));
       } else {
         // External value: either a true chain external or the value flowing
         // in from the member just before the window (the "link").
@@ -63,19 +65,43 @@ std::optional<WindowView> window_view(const Program& program,
     }
     u.a = slots[0];
     u.b = slots[1];
-    member_slot[static_cast<std::size_t>(m)] = next_slot;
-    ++next_slot;
     uops.push_back(u);
   }
 
-  view.def = ExtInstDef(view.num_inputs, std::move(uops));
+  // Materialize member slots now that the input count is final.
+  const auto base =
+      static_cast<std::int8_t>(view.num_inputs > 2 ? view.num_inputs : 2);
+  auto resolve = [base](std::int8_t v) {
+    return v >= kMemberBias ? static_cast<std::int8_t>(base + (v - kMemberBias))
+                            : v;
+  };
+  for (MicroOp& u : uops) {
+    u.dst = resolve(u.dst);
+    u.a = resolve(u.a);
+    u.b = resolve(u.b);
+  }
+
+  // Output slots: the last member's value first (the primary output in rd),
+  // then every live interior member (deferred architectural writes).
+  std::vector<std::int8_t> out_slots{
+      static_cast<std::int8_t>(base + (b - a))};
+  for (int m = a; m < b; ++m) {
+    if (site.live.empty() || !site.live[static_cast<std::size_t>(m)]) continue;
+    if (static_cast<int>(out_slots.size()) == max_outputs) return std::nullopt;
+    out_slots.push_back(static_cast<std::int8_t>(base + (m - a)));
+    view.extra_outputs.push_back(*dst_reg(program.text[static_cast<std::size_t>(
+        site.positions[static_cast<std::size_t>(m)])]));
+  }
+
+  view.def = ExtInstDef(view.num_inputs, std::move(uops), std::move(out_slots));
   view.output = *dst_reg(program.text[static_cast<std::size_t>(
       site.positions[static_cast<std::size_t>(b)])]);
   return view;
 }
 
-bool window_valid(const Program& program, const SeqSite& site, int a, int b) {
-  const auto view = window_view(program, site, a, b);
+bool window_valid(const Program& program, const SeqSite& site, int a, int b,
+                  int max_inputs, int max_outputs) {
+  const auto view = window_view(program, site, a, b, max_inputs, max_outputs);
   if (!view) return false;
 
   // Danger zone: positions strictly after the link-producing member (or the
@@ -100,11 +126,34 @@ bool window_valid(const Program& program, const SeqSite& site, int a, int b) {
       }
     }
   }
+  // A live interior member's write is deferred from its own position to the
+  // landing point; nothing outside the window may observe or clobber its
+  // destination in between.
+  for (int m = a; m < b; ++m) {
+    if (site.live.empty() || !site.live[static_cast<std::size_t>(m)]) continue;
+    const Reg r = *dst_reg(program.text[static_cast<std::size_t>(
+        site.positions[static_cast<std::size_t>(m)])]);
+    for (std::int32_t q = site.positions[static_cast<std::size_t>(m)] + 1;
+         q <= hi; ++q) {
+      bool is_window_member = false;
+      for (int mm = a; mm <= b; ++mm) {
+        if (site.positions[static_cast<std::size_t>(mm)] == q) {
+          is_window_member = true;
+          break;
+        }
+      }
+      if (is_window_member) continue;
+      const Instruction& ins = program.text[static_cast<std::size_t>(q)];
+      if (reads_reg(ins, r) || writes_reg(ins, r)) return false;
+    }
+  }
   return true;
 }
 
-WindowView full_view(const Program& program, const SeqSite& site) {
-  auto view = window_view(program, site, 0, site.length() - 1);
+WindowView full_view(const Program& program, const SeqSite& site,
+                     int max_inputs, int max_outputs) {
+  auto view =
+      window_view(program, site, 0, site.length() - 1, max_inputs, max_outputs);
   assert(view.has_value());
   return *view;
 }

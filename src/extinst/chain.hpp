@@ -2,8 +2,12 @@
 //
 // A *site* is one concrete occurrence of a maximal candidate chain: a list
 // of instruction positions inside one basic block forming a dependence
-// chain of narrow ALU operations with at most two external register inputs
-// and one register output (paper Section 4's constraints).
+// chain of narrow ALU operations with a bounded number of external register
+// inputs and register outputs. The paper's Section 4 constraints are the
+// default shape (2-in/1-out); ExtractPolicy::max_inputs/max_outputs widen
+// it up to the ISA ceiling (kMaxExtInputs/kMaxExtOutputs). A member whose
+// value stays architecturally visible past the chain (it escapes the block)
+// is marked `live` and becomes an extra EXT output.
 //
 // A *window* [a..b] is a contiguous run of a site's members. Windows are
 // what the selective algorithm trades off: implementing a short common
@@ -41,6 +45,11 @@ struct SeqSite {
   int loop = -1;  // innermost loop id, -1 when not in a loop
   std::vector<std::int32_t> positions;  // ascending instruction indices
   std::vector<std::array<SrcRef, 2>> srcs;  // per member, parallel to positions
+  // Parallel to positions: true when the member's value escapes the chain
+  // (read after the block or kept live past it) and so must surface as an
+  // extra EXT output when the member is interior to a window. Always false
+  // under the default 1-out shape.
+  std::vector<bool> live;
   std::uint64_t exec_count = 0;  // dynamic executions of this occurrence
 
   int length() const { return static_cast<int>(positions.size()); }
@@ -49,26 +58,37 @@ struct SeqSite {
 // A window's materialized form: what the EXT instruction will compute.
 struct WindowView {
   ExtInstDef def;
-  std::array<Reg, 2> inputs{};  // register inputs, slot order
+  std::array<Reg, kMaxExtInputs> inputs{};  // register inputs, slot order
   int num_inputs = 0;
-  Reg output = 0;
+  Reg output = 0;  // primary output (last member's destination)
+  // Destinations of live interior members, in member order; parallel to
+  // def.out_slots()[1..].
+  std::vector<Reg> extra_outputs;
   std::vector<std::int32_t> positions;  // the member positions covered
 };
 
 // Builds the window [a..b] (member indices, inclusive) of `site`.
-// Returns nullopt when the window needs more than two register inputs.
+// Returns nullopt when the window needs more than `max_inputs` register
+// inputs or more than `max_outputs` register outputs (live interior
+// members each claim one beyond the primary).
 std::optional<WindowView> window_view(const Program& program,
-                                      const SeqSite& site, int a, int b);
+                                      const SeqSite& site, int a, int b,
+                                      int max_inputs = 2, int max_outputs = 1);
 
 // Rewrite-safety check: every input register of the window must still hold
 // the same value at the window's last position (where the EXT lands), i.e.
 // no instruction outside the window, between the window's defining point
-// and its last member, may write any input register.
-bool window_valid(const Program& program, const SeqSite& site, int a, int b);
+// and its last member, may write any input register. Live interior members
+// additionally require that no outside instruction reads or writes their
+// destination between the member's position and the landing point (their
+// write is deferred to the EXT).
+bool window_valid(const Program& program, const SeqSite& site, int a, int b,
+                  int max_inputs = 2, int max_outputs = 1);
 
 // Convenience: full-chain view (a=0, b=length-1). Never nullopt for a
-// well-formed site.
-WindowView full_view(const Program& program, const SeqSite& site);
+// well-formed site extracted under the same shape.
+WindowView full_view(const Program& program, const SeqSite& site,
+                     int max_inputs = 2, int max_outputs = 1);
 
 // Profiled bit widths of the window's register inputs (used by the LUT cost
 // model). Approximated as the widest source operand any window member saw,

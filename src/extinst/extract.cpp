@@ -87,7 +87,8 @@ class ChainGrower {
       site.loop = loop_id;
       site.exec_count = profile_.at(p).count;
       if (site.length() >= policy_.min_length &&
-          window_valid(program_, site, 0, site.length() - 1)) {
+          window_valid(program_, site, 0, site.length() - 1, max_inputs(),
+                       max_outputs())) {
         for (const std::int32_t q : site.positions) used_[rel(q)] = true;
         sites.push_back(std::move(site));
       }
@@ -98,6 +99,14 @@ class ChainGrower {
  private:
   std::size_t rel(std::int32_t p) const {
     return static_cast<std::size_t>(p - block_.first);
+  }
+
+  // Policy shape clamped to the ISA ceiling.
+  int max_inputs() const {
+    return std::clamp(policy_.max_inputs, 1, kMaxExtInputs);
+  }
+  int max_outputs() const {
+    return std::clamp(policy_.max_outputs, 1, kMaxExtOutputs);
   }
 
   bool is_candidate(std::int32_t p) const {
@@ -165,20 +174,27 @@ class ChainGrower {
         refs[static_cast<std::size_t>(s)] = {SrcRef::Kind::kExternal,
                                              srcs.reg[s], -1};
       }
-      if (new_externals.size() > 2) return false;
+      if (static_cast<int>(new_externals.size()) > max_inputs()) return false;
       externals = std::move(new_externals);
       site.positions.push_back(p);
       site.srcs.push_back(refs);
+      site.live.push_back(false);
       return true;
     };
 
     if (!add_member(start)) return site;
 
+    // Extra-output budget: live interior members each claim one output port
+    // beyond the primary.
+    int live_budget = max_outputs() - 1;
     while (site.length() < policy_.max_length) {
       const std::int32_t tail = site.positions.back();
       // The tail's value must have exactly one distinct reader, inside the
-      // block, and must not escape.
-      if (facts_.escapes[rel(tail)]) break;
+      // block. An escaping value normally ends the chain; with output ports
+      // to spare the chain grows through it and the EXT preserves the value
+      // as an extra output.
+      const bool tail_escapes = facts_.escapes[rel(tail)];
+      if (tail_escapes && live_budget == 0) break;
       const std::vector<std::int32_t>& readers = facts_.readers[rel(tail)];
       if (readers.empty()) break;
       const std::int32_t next = readers.front();
@@ -193,6 +209,10 @@ class ChainGrower {
       if (used_[rel(next)] || !is_candidate(next)) break;
 
       if (!add_member(next)) break;
+      if (tail_escapes) {
+        site.live[static_cast<std::size_t>(site.length() - 2)] = true;
+        --live_budget;
+      }
     }
     return site;
   }

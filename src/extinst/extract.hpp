@@ -9,8 +9,11 @@
 // A chain extends i -> j when j is the *only* reader of i's value, the
 // value dies inside the block (single-output constraint), j's remaining
 // operands are defined before the chain started (or outside the block),
-// and the chain keeps to <= 2 distinct external register inputs and the
-// maximum fusable length.
+// and the chain keeps to the policy's external-input cap and the maximum
+// fusable length. With max_outputs > 1 the single-output constraint
+// relaxes: a chain may also extend through a member whose value escapes
+// the block, as long as the escaping value is preserved as an extra EXT
+// output (the member is marked `live` in the site).
 #pragma once
 
 #include <vector>
@@ -28,6 +31,11 @@ struct ExtractPolicy {
   int min_length = 2;   // shortest sequence worth a PFU
   int max_length = kMaxUops;
   bool require_executed = true;  // skip never-executed instructions
+  // Candidate shape (paper Section 4 defaults; widening explores the
+  // fig. 7-style trade against PFU operand ports / result buses). Clamped
+  // to the ISA ceiling kMaxExtInputs/kMaxExtOutputs.
+  int max_inputs = 2;   // distinct external register inputs per chain
+  int max_outputs = 1;  // register outputs (primary + live interior members)
 };
 
 // All maximal candidate sites in `program`, ordered by first position.

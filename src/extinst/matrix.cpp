@@ -11,7 +11,8 @@ RegionMatrix build_region_matrix(const Program& program,
                                  const Profile& profile,
                                  const std::vector<SeqSite>& sites,
                                  std::vector<int> site_indices, int loop,
-                                 int min_length, int lut_budget) {
+                                 int min_length, int lut_budget,
+                                 int max_inputs, int max_outputs) {
   RegionMatrix rm;
   rm.loop = loop;
   rm.site_indices = std::move(site_indices);
@@ -33,8 +34,12 @@ RegionMatrix build_region_matrix(const Program& program,
     const int len = site.length();
     for (int a = 0; a < len; ++a) {
       for (int b = a + min_length - 1; b < len; ++b) {
-        const auto view = window_view(program, site, a, b);
-        if (!view || !window_valid(program, site, a, b)) continue;
+        const auto view = window_view(program, site, a, b, max_inputs,
+                                      max_outputs);
+        if (!view ||
+            !window_valid(program, site, a, b, max_inputs, max_outputs)) {
+          continue;
+        }
         if (!estimate_luts(view->def, window_input_widths(profile, site, a, b))
                  .fits(lut_budget)) {
           continue;

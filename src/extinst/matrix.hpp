@@ -50,12 +50,14 @@ struct RegionMatrix {
 // Builds the matrix for the sites `site_indices` (all in one region) of
 // `sites`. `min_length` bounds the shortest window considered; windows whose
 // LUT estimate exceeds `lut_budget` are not valid candidates (they would not
-// fit a PFU).
+// fit a PFU). `max_inputs`/`max_outputs` give the candidate shape the sites
+// were extracted under.
 RegionMatrix build_region_matrix(const Program& program,
                                  const Profile& profile,
                                  const std::vector<SeqSite>& sites,
                                  std::vector<int> site_indices, int loop,
-                                 int min_length, int lut_budget);
+                                 int min_length, int lut_budget,
+                                 int max_inputs = 2, int max_outputs = 1);
 
 // Optimal disjoint tiling of one site by the allowed candidate set:
 // maximizes saved cycles = sum over chosen windows of

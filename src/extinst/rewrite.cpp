@@ -20,7 +20,8 @@ RewriteResult rewrite_program(const Program& program,
     // rw.positions / ext.inputs): applications arrive sorted and sane.
     assert(std::is_sorted(app.positions.begin(), app.positions.end()));
     assert(app.conf != kInvalidConf);
-    assert(app.num_inputs >= 0 && app.num_inputs <= 2);
+    assert(app.num_inputs >= 0 && app.num_inputs <= kMaxExtInputs);
+    assert(static_cast<int>(app.extra_outputs.size()) < kMaxExtOutputs);
     for (const std::int32_t p : app.positions) {
       if (p < 0 || p >= n || action[static_cast<std::size_t>(p)] != 0) {
         throw std::invalid_argument("rewrite: overlapping or bad position");
@@ -47,9 +48,15 @@ RewriteResult rewrite_program(const Program& program,
       q.text.push_back(program.text[static_cast<std::size_t>(p)]);
     } else {
       const Application& app = apps[static_cast<std::size_t>(act - 1)];
-      q.text.push_back(make_ext(app.output, app.num_inputs > 0 ? app.inputs[0] : kRegZero,
+      // Inputs beyond rs/rt and outputs beyond rd ride in the imm field;
+      // empty extras keep the classic encoding (imm == 0) bit-for-bit.
+      const std::vector<Reg> extra_in(
+          app.inputs.begin() + std::min(app.num_inputs, 2),
+          app.inputs.begin() + app.num_inputs);
+      q.text.push_back(make_ext(app.output,
+                                app.num_inputs > 0 ? app.inputs[0] : kRegZero,
                                 app.num_inputs > 1 ? app.inputs[1] : kRegZero,
-                                app.conf));
+                                app.conf, extra_in, app.extra_outputs));
     }
   }
   // Deleted positions forward to the next kept instruction (a branch into a

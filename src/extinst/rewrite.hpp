@@ -23,9 +23,12 @@ namespace t1000 {
 struct Application {
   std::vector<std::int32_t> positions;
   ConfId conf = kInvalidConf;
-  Reg output = 0;
-  std::array<Reg, 2> inputs{};
+  Reg output = 0;  // primary output, carried in rd
+  std::array<Reg, kMaxExtInputs> inputs{};
   int num_inputs = 0;
+  // Extra output registers beyond `output` (live interior members of the
+  // fused window); packed into the EXT's imm field by the rewriter.
+  std::vector<Reg> extra_outputs;
 };
 
 struct RewriteResult {

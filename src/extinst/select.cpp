@@ -28,20 +28,26 @@ void add_application(Selection* sel, const WindowView& view,
   app.output = view.output;
   app.inputs = view.inputs;
   app.num_inputs = view.num_inputs;
+  app.extra_outputs = view.extra_outputs;
   sel->apps.push_back(std::move(app));
 }
 
 // Covers `site` with consecutive maximal windows that each fit the LUT
 // budget; most sites emit their full chain as a single window.
 void emit_site(Selection* sel, const Program& program, const Profile& profile,
-               const SeqSite& site, int lut_budget, int min_length) {
+               const SeqSite& site, int lut_budget,
+               const ExtractPolicy& shape) {
   const int len = site.length();
   int a = 0;
-  while (a + min_length - 1 < len) {
+  while (a + shape.min_length - 1 < len) {
     int chosen_b = -1;
-    for (int b = len - 1; b >= a + min_length - 1; --b) {
-      const auto view = window_view(program, site, a, b);
-      if (!view || !window_valid(program, site, a, b)) continue;
+    for (int b = len - 1; b >= a + shape.min_length - 1; --b) {
+      const auto view =
+          window_view(program, site, a, b, shape.max_inputs, shape.max_outputs);
+      if (!view || !window_valid(program, site, a, b, shape.max_inputs,
+                                 shape.max_outputs)) {
+        continue;
+      }
       if (!estimate_luts(view->def, window_input_widths(profile, site, a, b))
                .fits(lut_budget)) {
         continue;
@@ -53,7 +59,9 @@ void emit_site(Selection* sel, const Program& program, const Profile& profile,
       ++a;
       continue;
     }
-    add_application(sel, *window_view(program, site, a, chosen_b),
+    add_application(sel,
+                    *window_view(program, site, a, chosen_b, shape.max_inputs,
+                                 shape.max_outputs),
                     window_input_widths(profile, site, a, chosen_b));
     a = chosen_b + 1;
   }
@@ -66,6 +74,7 @@ AnalyzedProgram analyze_program(const Program& program,
                                 const ExtractPolicy& policy) {
   AnalyzedProgram ap;
   ap.program = &program;
+  ap.extract = policy;
   ap.cfg = Cfg::build(program);
   ap.liveness = compute_liveness(program, ap.cfg);
   ap.ucode = std::make_shared<const UopProgram>(
@@ -77,8 +86,13 @@ AnalyzedProgram analyze_program(const Program& program,
 
 Selection select_greedy(const AnalyzedProgram& ap, int lut_budget) {
   Selection sel;
+  // Greedy fuses every window down to length 2 regardless of the extract
+  // policy's min_length (which gates which *sites* exist, not how greedily
+  // a too-wide site is split).
+  ExtractPolicy shape = ap.extract;
+  shape.min_length = 2;
   for (const SeqSite& site : ap.sites) {
-    emit_site(&sel, *ap.program, ap.profile, site, lut_budget, 2);
+    emit_site(&sel, *ap.program, ap.profile, site, lut_budget, shape);
   }
   return sel;
 }
@@ -98,6 +112,11 @@ Selection select_selective(const AnalyzedProgram& ap,
                            const SelectPolicy& policy) {
   Selection sel;
   const Program& program = *ap.program;
+  // Windows are re-derived under the shape the sites were extracted with
+  // (ap.extract is authoritative for these sites); the SelectPolicy keeps
+  // its say over the shortest window worth a configuration.
+  ExtractPolicy shape = ap.extract;
+  shape.min_length = policy.extract.min_length;
 
   // Step 1: rank maximal sequences by their share of application time and
   // keep those above the threshold (paper: "responsible for more than 0.5%
@@ -106,7 +125,8 @@ Selection select_selective(const AnalyzedProgram& ap,
   std::vector<WindowView> full_views;
   full_views.reserve(ap.sites.size());
   for (const SeqSite& site : ap.sites) {
-    full_views.push_back(full_view(program, site));
+    full_views.push_back(
+        full_view(program, site, shape.max_inputs, shape.max_outputs));
     cycles_by_sig[full_views.back().def.signature()] +=
         static_cast<std::uint64_t>(full_views.back().def.base_cycles()) *
         site.exec_count;
@@ -132,7 +152,7 @@ Selection select_selective(const AnalyzedProgram& ap,
   if (unlimited || static_cast<int>(hot.size()) <= policy.num_pfus) {
     for (const int i : hot_sites) {
       emit_site(&sel, program, ap.profile, ap.sites[static_cast<std::size_t>(i)],
-                policy.lut_budget, policy.extract.min_length);
+                policy.lut_budget, shape);
     }
     return sel;
   }
@@ -153,7 +173,7 @@ Selection select_selective(const AnalyzedProgram& ap,
     if (static_cast<int>(distinct.size()) <= policy.num_pfus) {
       for (const int i : site_indices) {
         emit_site(&sel, program, ap.profile, ap.sites[static_cast<std::size_t>(i)],
-                  policy.lut_budget, policy.extract.min_length);
+                  policy.lut_budget, shape);
       }
       continue;
     }
@@ -162,7 +182,8 @@ Selection select_selective(const AnalyzedProgram& ap,
     // by marginal tiled gain.
     RegionMatrix rm =
         build_region_matrix(program, ap.profile, ap.sites, site_indices, loop,
-                            policy.extract.min_length, policy.lut_budget);
+                            shape.min_length, policy.lut_budget,
+                            shape.max_inputs, shape.max_outputs);
     if (!policy.use_subsequence_matrix) {
       // Ablation: only maximal (full-site) windows may be chosen.
       for (std::size_t si = 0; si < rm.site_indices.size(); ++si) {
@@ -213,7 +234,8 @@ Selection select_selective(const AnalyzedProgram& ap,
           site, rm.windows[si], rm.candidates, selected, nullptr);
       for (const int wi : chosen) {
         const SiteWindow& w = rm.windows[si][static_cast<std::size_t>(wi)];
-        const auto view = window_view(program, site, w.a, w.b);
+        const auto view = window_view(program, site, w.a, w.b,
+                                      shape.max_inputs, shape.max_outputs);
         add_application(&sel, *view,
                         window_input_widths(ap.profile, site, w.a, w.b));
       }

@@ -62,6 +62,9 @@ struct AnalyzedProgram {
   Cfg cfg;
   Liveness liveness;
   Profile profile;
+  // The policy the sites were extracted under; selectors re-derive windows
+  // with the same candidate shape (max_inputs/max_outputs).
+  ExtractPolicy extract;
   std::vector<SeqSite> sites;  // maximal candidate sites
   // Pre-decoded uop stream for `program` (no EXT table — the baseline
   // program). Built once here, then shared by every consumer that

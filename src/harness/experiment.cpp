@@ -1,5 +1,6 @@
 #include "harness/experiment.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -16,6 +17,13 @@ namespace {
 // deliberately absent).
 std::string prep_key(const RunSpec& spec) {
   return RunIdentity::preparation_key(spec);
+}
+
+// Memoization key for a shape-sensitive analysis: the extract policy's
+// canonical JSON (harness/serialize.cpp), so any future policy field joins
+// the key automatically — exactly how RunIdentity handles the result cache.
+std::string extract_key(const ExtractPolicy& policy) {
+  return to_json(policy).dump();
 }
 
 }  // namespace
@@ -43,6 +51,7 @@ bool selector_from_name(std::string_view name, Selector* out) {
 WorkloadExperiment::WorkloadExperiment(const Workload& workload)
     : workload_(workload), program_(workload_program(workload)) {
   analysis_ = analyze_program(program_, workload_.max_steps);
+  default_extract_key_ = extract_key(analysis_.extract);
 
   // Record the baseline trace eagerly: it doubles as the functional
   // checksum run every rewritten variant is validated against. The
@@ -63,12 +72,39 @@ WorkloadExperiment::WorkloadExperiment(const Workload& workload)
   traces_recorded_.store(1);
 }
 
+const AnalyzedProgram& WorkloadExperiment::analysis_for(
+    const ExtractPolicy& policy) const {
+  const std::string key = extract_key(policy);
+  if (key == default_extract_key_) return analysis_;
+  std::shared_ptr<AnalysisSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(prep_mu_);
+    std::shared_ptr<AnalysisSlot>& entry = analyses_[key];
+    if (!entry) entry = std::make_shared<AnalysisSlot>();
+    slot = entry;
+  }
+  std::call_once(slot->once, [&] {
+    try {
+      slot->analysis = std::make_shared<const AnalyzedProgram>(
+          analyze_program(program_, workload_.max_steps, policy));
+    } catch (...) {
+      slot->error = std::current_exception();
+    }
+  });
+  if (slot->error) std::rethrow_exception(slot->error);
+  return *slot->analysis;
+}
+
 std::shared_ptr<const WorkloadExperiment::PreparedRun>
 WorkloadExperiment::build_prepared(const RunSpec& spec) const {
+  // Selection reads the candidate shape from the analysis it selects over
+  // (ap.extract is authoritative for the sites), so a spec with a widened
+  // extract policy must select from the matching shape-sensitive analysis.
+  const AnalyzedProgram& ap = analysis_for(spec.policy.extract);
   auto run = std::make_shared<PreparedRun>();
   run->selection = spec.selector == Selector::kGreedy
-                       ? select_greedy(analysis_, spec.policy.lut_budget)
-                       : select_selective(analysis_, spec.policy);
+                       ? select_greedy(ap, spec.policy.lut_budget)
+                       : select_selective(ap, spec.policy);
   run->rewrite = rewrite_program(program_, run->selection.apps);
   run->rewritten = true;
   // PreparedRun is heap-allocated and immutable once built, so the decoded
@@ -135,16 +171,22 @@ const VerifyReport& WorkloadExperiment::verify(const RunSpec& spec) const {
     slot = entry;
   }
   std::call_once(slot->once, [&] {
+    const auto start = std::chrono::steady_clock::now();
     try {
       const VerifyOptions options = verify_options_for(spec.policy);
       slot->report = std::make_shared<VerifyReport>(
           prep.rewritten
-              ? verify_selection(analysis_, prep.selection, prep.rewrite,
-                                 options)
+              ? verify_selection(analysis_for(spec.policy.extract),
+                                 prep.selection, prep.rewrite, options)
               : verify_module(program_, nullptr, options));
     } catch (...) {
       slot->error = std::current_exception();
     }
+    verify_reports_.fetch_add(1);
+    verify_wall_us_.fetch_add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
   });
   if (slot->error) std::rethrow_exception(slot->error);
   return *slot->report;

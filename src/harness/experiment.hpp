@@ -99,6 +99,15 @@ class WorkloadExperiment {
   const Workload& workload() const { return workload_; }
   const AnalyzedProgram& analysis() const { return analysis_; }
 
+  // The analysis a spec with this extract policy selects from. Extraction
+  // is shape-sensitive (ExtractPolicy::max_width/max_inputs/max_outputs
+  // gate which sites exist at all), so each distinct policy gets its own
+  // memoized AnalyzedProgram; the default policy resolves to the eagerly
+  // built `analysis()` without re-profiling. Thread-safe like the rest of
+  // the memoization (once-guarded), and the reference stays valid for the
+  // experiment's lifetime.
+  const AnalyzedProgram& analysis_for(const ExtractPolicy& policy) const;
+
   // Runs the workload under `spec` (spec.workload/label are carried for the
   // caller's bookkeeping and ignored here). For kSelective,
   // `spec.policy.num_pfus` should match spec.machine.pfu.count (the
@@ -165,6 +174,18 @@ class WorkloadExperiment {
     return {traces_recorded_.load(), trace_reuses_.load()};
   }
 
+  // Verification observability: distinct preparations actually verified
+  // (memoized verify() executions) and the wall-clock they cost — the
+  // grid's `--verify` overhead, reported in its engine summary.
+  struct VerifyCounters {
+    std::uint64_t reports = 0;
+    double wall_ms = 0.0;
+  };
+  VerifyCounters verify_counters() const {
+    return {verify_reports_.load(),
+            static_cast<double>(verify_wall_us_.load()) / 1000.0};
+  }
+
  private:
   // Everything derived from one (selector, policy): built once, immutable
   // afterwards, shared by every machine configuration swept over it.
@@ -190,20 +211,29 @@ class WorkloadExperiment {
     std::shared_ptr<const VerifyReport> report;
     std::exception_ptr error;
   };
+  struct AnalysisSlot {
+    std::once_flag once;
+    std::shared_ptr<const AnalyzedProgram> analysis;
+    std::exception_ptr error;
+  };
 
   const PreparedRun& prepared_run(const RunSpec& spec) const;
   std::shared_ptr<const PreparedRun> build_prepared(const RunSpec& spec) const;
 
   Workload workload_;
   Program program_;
-  AnalyzedProgram analysis_;
+  AnalyzedProgram analysis_;       // default extract policy
+  std::string default_extract_key_;
   std::uint32_t base_checksum_ = 0;
 
-  mutable std::mutex prep_mu_;  // guards the prepared_/verified_ map shapes
+  mutable std::mutex prep_mu_;  // guards the memoization map shapes
   mutable std::map<std::string, std::shared_ptr<PreparedSlot>> prepared_;
   mutable std::map<std::string, std::shared_ptr<VerifySlot>> verified_;
+  mutable std::map<std::string, std::shared_ptr<AnalysisSlot>> analyses_;
   mutable std::atomic<std::uint64_t> traces_recorded_{0};
   mutable std::atomic<std::uint64_t> trace_reuses_{0};
+  mutable std::atomic<std::uint64_t> verify_reports_{0};
+  mutable std::atomic<std::uint64_t> verify_wall_us_{0};
 };
 
 // cycles(baseline) / cycles(variant): >1 means the variant is faster. This

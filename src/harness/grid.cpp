@@ -171,6 +171,8 @@ Json GridResult::to_json() const {
   engine["batched_runs"] = Json(engine_.batched_runs);
   engine["observed"] = Json(engine_.observed);
   if (engine_.observed > 0) engine["stalls"] = t1000::to_json(engine_.stalls);
+  engine["verified_preps"] = Json(engine_.verified_preps);
+  engine["verify_ms"] = Json(engine_.verify_ms);
   engine["wall_ms"] = Json(engine_.wall_ms);
   Json run_wall = Json::array();
   Json run_cached = Json::array();
@@ -224,6 +226,11 @@ std::string GridResult::engine_summary() const {
     out += strprintf("; batches: %llu (%llu lane(s))",
                      static_cast<ull>(engine_.batches),
                      static_cast<ull>(engine_.batched_runs));
+  }
+  if (engine_.verified_preps > 0) {
+    out += strprintf("; verify: %llu preparation(s) in %.1f ms",
+                     static_cast<ull>(engine_.verified_preps),
+                     engine_.verify_ms);
   }
   if (engine_.observed > 0) {
     const std::uint64_t stall = engine_.stalls.stall_cycles();
@@ -630,6 +637,10 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
         slot.experiment->trace_counters();
     engine.traces_recorded += tc.recorded;
     engine.trace_replays += tc.reused;
+    const WorkloadExperiment::VerifyCounters vc =
+        slot.experiment->verify_counters();
+    engine.verified_preps += vc.reports;
+    engine.verify_ms += vc.wall_ms;
   }
   engine.wall_ms = ms_since(grid_start);
   return GridResult(std::move(results), engine);

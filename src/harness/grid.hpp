@@ -178,6 +178,11 @@ struct EngineStats {
   // (RunSpec::observe), and their element-wise sum.
   std::uint64_t observed = 0;
   StallBreakdown stalls;
+  // Static-verification overhead under --verify: distinct preparations
+  // verified (memoized once per (workload, selector, policy)) and the
+  // wall-clock the verifier cost across them.
+  std::uint64_t verified_preps = 0;
+  double verify_ms = 0.0;
 
   std::uint64_t incomplete() const { return failed + timeouts + skipped; }
 };

@@ -258,6 +258,8 @@ Json to_json(const ExtractPolicy& policy) {
   j["max_width"] = Json(policy.max_width);
   j["min_length"] = Json(policy.min_length);
   j["max_length"] = Json(policy.max_length);
+  j["max_inputs"] = Json(policy.max_inputs);
+  j["max_outputs"] = Json(policy.max_outputs);
   j["require_executed"] = Json(policy.require_executed);
   return j;
 }
@@ -366,11 +368,13 @@ MachineConfig machine_config_from_json(const Json& j) {
 ExtractPolicy extract_policy_from_json(const Json& j) {
   reject_unknown_members(j, "extract policy",
                          {"max_width", "min_length", "max_length",
-                          "require_executed"});
+                          "max_inputs", "max_outputs", "require_executed"});
   ExtractPolicy p;
   read_int(j, "max_width", &p.max_width);
   read_int(j, "min_length", &p.min_length);
   read_int(j, "max_length", &p.max_length);
+  read_int(j, "max_inputs", &p.max_inputs);
+  read_int(j, "max_outputs", &p.max_outputs);
   read_bool(j, "require_executed", &p.require_executed);
   return p;
 }

@@ -9,7 +9,8 @@
 namespace t1000 {
 namespace {
 
-std::string make_signature(int num_inputs, const std::vector<MicroOp>& uops) {
+std::string make_signature(int num_inputs, const std::vector<MicroOp>& uops,
+                           const std::vector<std::int8_t>& out_slots) {
   std::ostringstream os;
   os << "in" << num_inputs;
   for (const MicroOp& u : uops) {
@@ -17,18 +18,30 @@ std::string make_signature(int num_inputs, const std::vector<MicroOp>& uops) {
        << static_cast<int>(u.a) << ',' << static_cast<int>(u.b) << ','
        << u.imm;
   }
+  // Single-output definitions keep the pre-MIMO signature (and thus the
+  // historical Conf-id interning) byte-for-byte.
+  if (out_slots.size() > 1) {
+    os << ";out";
+    for (std::size_t i = 0; i < out_slots.size(); ++i) {
+      os << (i == 0 ? ' ' : ',') << static_cast<int>(out_slots[i]);
+    }
+  }
   return os.str();
 }
 
-void validate(int num_inputs, const std::vector<MicroOp>& uops) {
-  if (num_inputs < 0 || num_inputs > 2) {
-    throw std::invalid_argument("ExtInstDef: 0..2 inputs required");
+void validate(int num_inputs, const std::vector<MicroOp>& uops,
+              const std::vector<std::int8_t>& out_slots) {
+  if (num_inputs < 0 || num_inputs > kMaxExtInputs) {
+    throw std::invalid_argument("ExtInstDef: 0.." +
+                                std::to_string(kMaxExtInputs) +
+                                " inputs required");
   }
   if (uops.empty() || static_cast<int>(uops.size()) > kMaxUops) {
     throw std::invalid_argument("ExtInstDef: 1.." + std::to_string(kMaxUops) +
                                 " micro-ops required");
   }
-  int next_slot = 2;  // slots 0,1 reserved for inputs
+  const int base = num_inputs > 2 ? num_inputs : 2;
+  int next_slot = base;  // slots below `base` are reserved for inputs
   for (const MicroOp& u : uops) {
     const OpKind k = op_kind(u.op);
     const bool alu_kind = k == OpKind::kAlu3 || k == OpKind::kShiftImm ||
@@ -40,7 +53,7 @@ void validate(int num_inputs, const std::vector<MicroOp>& uops) {
       if (s < 0 || s >= next_slot) {
         throw std::invalid_argument("ExtInstDef: bad source slot");
       }
-      if (s >= 2 || s < num_inputs) return;
+      if (s >= base || s < num_inputs) return;
       throw std::invalid_argument("ExtInstDef: reads undefined input slot");
     };
     if (k == OpKind::kAlu3) {
@@ -54,14 +67,43 @@ void validate(int num_inputs, const std::vector<MicroOp>& uops) {
     }
     ++next_slot;
   }
+  if (out_slots.empty() ||
+      static_cast<int>(out_slots.size()) > kMaxExtOutputs) {
+    throw std::invalid_argument("ExtInstDef: 1.." +
+                                std::to_string(kMaxExtOutputs) +
+                                " outputs required");
+  }
+  if (out_slots.front() != next_slot - 1) {
+    throw std::invalid_argument(
+        "ExtInstDef: primary output must be the final micro-op's slot");
+  }
+  for (std::size_t i = 0; i < out_slots.size(); ++i) {
+    if (out_slots[i] < base || out_slots[i] >= next_slot) {
+      throw std::invalid_argument("ExtInstDef: output slot out of range");
+    }
+    for (std::size_t j = i + 1; j < out_slots.size(); ++j) {
+      if (out_slots[i] == out_slots[j]) {
+        throw std::invalid_argument("ExtInstDef: duplicate output slot");
+      }
+    }
+  }
 }
 
 }  // namespace
 
 ExtInstDef::ExtInstDef(int num_inputs, std::vector<MicroOp> uops)
-    : num_inputs_(num_inputs), uops_(std::move(uops)) {
-  validate(num_inputs_, uops_);
-  signature_ = make_signature(num_inputs_, uops_);
+    : ExtInstDef(num_inputs, std::move(uops), std::vector<std::int8_t>{}) {}
+
+ExtInstDef::ExtInstDef(int num_inputs, std::vector<MicroOp> uops,
+                       std::vector<std::int8_t> out_slots)
+    : num_inputs_(num_inputs),
+      uops_(std::move(uops)),
+      out_slots_(std::move(out_slots)) {
+  if (out_slots_.empty() && !uops_.empty()) {
+    out_slots_.push_back(uops_.back().dst);
+  }
+  validate(num_inputs_, uops_, out_slots_);
+  signature_ = make_signature(num_inputs_, uops_, out_slots_);
 }
 
 int ExtInstDef::base_cycles() const {
@@ -71,7 +113,8 @@ int ExtInstDef::base_cycles() const {
 }
 
 std::uint32_t ExtInstDef::eval(std::uint32_t in0, std::uint32_t in1) const {
-  std::uint32_t slots[2 + kMaxUops] = {in0, in1};
+  assert(num_inputs_ <= 2);
+  std::uint32_t slots[kMaxExtInputs + kMaxUops] = {in0, in1};
   std::uint32_t result = 0;
   for (const MicroOp& u : uops_) {
     const OpKind k = op_kind(u.op);
@@ -100,6 +143,41 @@ std::uint32_t ExtInstDef::eval(std::uint32_t in0, std::uint32_t in1) const {
     slots[u.dst] = result;
   }
   return result;
+}
+
+void ExtInstDef::eval_multi(
+    const std::array<std::uint32_t, kMaxExtInputs>& in,
+    std::array<std::uint32_t, kMaxExtOutputs>& out) const {
+  std::uint32_t slots[kMaxExtInputs + kMaxUops] = {};
+  for (int i = 0; i < num_inputs_; ++i) slots[i] = in[i];
+  for (const MicroOp& u : uops_) {
+    const OpKind k = op_kind(u.op);
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    switch (k) {
+      case OpKind::kAlu3:
+        a = slots[u.a];
+        b = slots[u.b];
+        break;
+      case OpKind::kShiftImm:
+        a = slots[u.a];
+        b = static_cast<std::uint32_t>(u.imm);
+        break;
+      case OpKind::kAluImm:
+        a = slots[u.a];
+        b = extend_imm(u.op, u.imm);
+        break;
+      case OpKind::kLui:
+        b = static_cast<std::uint32_t>(u.imm) & 0xFFFF;
+        break;
+      default:
+        assert(false);
+    }
+    slots[u.dst] = eval_alu(u.op, a, b);
+  }
+  for (std::size_t i = 0; i < out_slots_.size(); ++i) {
+    out[i] = slots[out_slots_[i]];
+  }
 }
 
 ConfId ExtInstTable::intern(ExtInstDef def) {

@@ -4,11 +4,16 @@
 // An extended instruction stands for a short dependent sequence of candidate
 // ALU operations (Section 2.1 of the paper). Its semantics are kept here as
 // a slot-based micro-program so the functional simulator can evaluate it and
-// the hardware-cost model can map it to LUTs. Slots 0 and 1 hold the (up to
-// two) register inputs; each micro-op writes a fresh slot; the final
-// micro-op's slot is the single register output.
+// the hardware-cost model can map it to LUTs. Slots 0..num_inputs-1 hold the
+// register inputs (the paper's shape uses exactly slots 0 and 1); each
+// micro-op writes a fresh slot starting at max(2, num_inputs), so classic
+// 2-in definitions keep their historical slot numbering, signatures, and
+// Conf ids. The final micro-op's slot is always the primary register output;
+// a MIMO definition (ByoRISC direction) may name additional earlier slots as
+// extra outputs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -44,18 +49,36 @@ class ExtInstDef {
  public:
   ExtInstDef() = default;
   ExtInstDef(int num_inputs, std::vector<MicroOp> uops);
+  // MIMO form: `out_slots` lists the output slots; the last micro-op's dst
+  // slot must come first (the primary output carried in rd). Passing just
+  // that slot is identical to the two-argument constructor.
+  ExtInstDef(int num_inputs, std::vector<MicroOp> uops,
+             std::vector<std::int8_t> out_slots);
 
   int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return static_cast<int>(out_slots_.size()); }
+  const std::vector<std::int8_t>& out_slots() const { return out_slots_; }
   const std::vector<MicroOp>& uops() const { return uops_; }
   int length() const { return static_cast<int>(uops_.size()); }
+
+  // First micro-op dst slot: max(2, num_inputs), so classic defs keep
+  // slot numbering (and therefore signatures) stable.
+  int input_base() const { return num_inputs_ > 2 ? num_inputs_ : 2; }
 
   // Cycles the sequence would take on the base machine (sum of base
   // latencies of the fused ops); the PFU evaluates it in one cycle, so the
   // per-execution saving is `base_cycles() - 1`.
   int base_cycles() const;
 
-  // Evaluates the micro-program over the two register inputs.
+  // Evaluates the micro-program over the two register inputs and returns
+  // the primary output. Only valid for num_inputs <= 2.
   std::uint32_t eval(std::uint32_t in0, std::uint32_t in1) const;
+
+  // General MIMO evaluation: `in[0..num_inputs)` are the register inputs,
+  // `out[0..num_outputs)` receives the outputs in out_slots() order
+  // (out[0] is the primary output).
+  void eval_multi(const std::array<std::uint32_t, kMaxExtInputs>& in,
+                  std::array<std::uint32_t, kMaxExtOutputs>& out) const;
 
   // Canonical textual identity; equal signatures <=> identical PFU
   // configuration (the paper: "the latter two sequences perform the same
@@ -69,6 +92,7 @@ class ExtInstDef {
  private:
   int num_inputs_ = 0;
   std::vector<MicroOp> uops_;
+  std::vector<std::int8_t> out_slots_;
   std::string signature_;
 };
 

@@ -1,8 +1,60 @@
 #include "isa/instruction.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace t1000 {
+namespace {
+
+// One 6-bit extra-operand field: bit 5 = bound, bits 4:0 = register.
+constexpr std::int32_t kExtFieldBound = 0x20;
+constexpr std::int32_t kExtFieldMask = 0x3F;
+
+std::int32_t ext_field(const Instruction& ins, int index) {
+  return (ins.imm >> (6 * index)) & kExtFieldMask;
+}
+
+}  // namespace
+
+std::int32_t pack_ext_extras(const std::vector<Reg>& extra_in,
+                             const std::vector<Reg>& extra_out) {
+  if (extra_in.size() > kMaxExtInputs - 2 ||
+      extra_out.size() > kMaxExtOutputs - 1) {
+    throw std::invalid_argument("pack_ext_extras: too many extra operands");
+  }
+  std::int32_t imm = 0;
+  for (std::size_t i = 0; i < extra_in.size(); ++i) {
+    imm |= (kExtFieldBound | static_cast<std::int32_t>(extra_in[i]))
+           << (6 * static_cast<int>(i));
+  }
+  for (std::size_t i = 0; i < extra_out.size(); ++i) {
+    imm |= (kExtFieldBound | static_cast<std::int32_t>(extra_out[i]))
+           << (6 * static_cast<int>(i + 2));
+  }
+  return imm;
+}
+
+int ext_extra_inputs(const Instruction& ins,
+                     std::array<Reg, kMaxExtInputs - 2>& out) {
+  int count = 0;
+  for (int i = 0; i < kMaxExtInputs - 2; ++i) {
+    const std::int32_t f = ext_field(ins, i);
+    if ((f & kExtFieldBound) == 0) break;
+    out[count++] = static_cast<Reg>(f & 0x1F);
+  }
+  return count;
+}
+
+int ext_extra_outputs(const Instruction& ins,
+                      std::array<Reg, kMaxExtOutputs - 1>& out) {
+  int count = 0;
+  for (int i = 0; i < kMaxExtOutputs - 1; ++i) {
+    const std::int32_t f = ext_field(ins, i + 2);
+    if ((f & kExtFieldBound) == 0) break;
+    out[count++] = static_cast<Reg>(f & 0x1F);
+  }
+  return count;
+}
 
 SrcRegs src_regs(const Instruction& ins) {
   SrcRegs out;
@@ -29,11 +81,15 @@ SrcRegs src_regs(const Instruction& ins) {
       out.reg[0] = ins.rs;
       out.count = 1;
       break;
-    case OpKind::kExt:
+    case OpKind::kExt: {
       out.reg[0] = ins.rs;
       out.reg[1] = ins.rt;
       out.count = 2;
+      std::array<Reg, kMaxExtInputs - 2> extra{};
+      const int n = ext_extra_inputs(ins, extra);
+      for (int i = 0; i < n; ++i) out.reg[out.count++] = extra[i];
       break;
+    }
     case OpKind::kLui:
     case OpKind::kJump:
     case OpKind::kNop:
@@ -67,6 +123,19 @@ std::optional<Reg> dst_reg(const Instruction& ins) {
   return d;
 }
 
+DstRegs dst_regs(const Instruction& ins) {
+  DstRegs out;
+  if (const auto d = dst_reg(ins)) out.reg[out.count++] = *d;
+  if (op_kind(ins.op) == OpKind::kExt) {
+    std::array<Reg, kMaxExtOutputs - 1> extra{};
+    const int n = ext_extra_outputs(ins, extra);
+    for (int i = 0; i < n; ++i) {
+      if (extra[i] != kRegZero) out.reg[out.count++] = extra[i];
+    }
+  }
+  return out;
+}
+
 bool reads_reg(const Instruction& ins, Reg r) {
   const SrcRegs s = src_regs(ins);
   for (int i = 0; i < s.count; ++i) {
@@ -76,8 +145,11 @@ bool reads_reg(const Instruction& ins, Reg r) {
 }
 
 bool writes_reg(const Instruction& ins, Reg r) {
-  const auto d = dst_reg(ins);
-  return d.has_value() && *d == r;
+  const DstRegs d = dst_regs(ins);
+  for (int i = 0; i < d.count; ++i) {
+    if (d.reg[i] == r) return true;
+  }
+  return false;
 }
 
 std::string to_string(const Instruction& ins) {
@@ -117,10 +189,17 @@ std::string to_string(const Instruction& ins) {
         os << ' ' << r(ins.rs);
       }
       break;
-    case OpKind::kExt:
+    case OpKind::kExt: {
       os << ' ' << r(ins.rd) << ", " << r(ins.rs) << ", " << r(ins.rt)
          << ", conf=" << ins.conf;
+      std::array<Reg, kMaxExtInputs - 2> ein{};
+      std::array<Reg, kMaxExtOutputs - 1> eout{};
+      const int ni = ext_extra_inputs(ins, ein);
+      const int no = ext_extra_outputs(ins, eout);
+      for (int i = 0; i < ni; ++i) os << ", in" << (2 + i) << '=' << r(ein[i]);
+      for (int i = 0; i < no; ++i) os << ", out" << (1 + i) << '=' << r(eout[i]);
       break;
+    }
     case OpKind::kNop:
     case OpKind::kHalt:
       break;
@@ -169,6 +248,17 @@ Instruction make_jalr(Reg rd, Reg rs) {
 
 Instruction make_ext(Reg rd, Reg rs, Reg rt, ConfId conf) {
   return {.op = Opcode::kExt, .rd = rd, .rs = rs, .rt = rt, .conf = conf};
+}
+
+Instruction make_ext(Reg rd, Reg rs, Reg rt, ConfId conf,
+                     const std::vector<Reg>& extra_in,
+                     const std::vector<Reg>& extra_out) {
+  return {.op = Opcode::kExt,
+          .rd = rd,
+          .rs = rs,
+          .rt = rt,
+          .imm = pack_ext_extras(extra_in, extra_out),
+          .conf = conf};
 }
 
 Instruction make_nop() { return {.op = Opcode::kNop}; }

@@ -185,7 +185,40 @@ StepInfo Executor::step_reference() {
       if (ext_table_ == nullptr || ins.conf >= ext_table_->size()) {
         throw SimError("EXT with unknown Conf id " + std::to_string(ins.conf));
       }
-      write_dst(ins.rd, ext_table_->at(ins.conf).eval(a, b));
+      const ExtInstDef& def = ext_table_->at(ins.conf);
+      if (def.num_inputs() <= 2 && def.num_outputs() == 1) {
+        write_dst(ins.rd, def.eval(a, b));
+        break;
+      }
+      // MIMO shape: inputs beyond rs/rt and outputs beyond rd travel in the
+      // imm-packed extra operand fields (see instruction.hpp).
+      if (srcs.count < def.num_inputs()) {
+        throw SimError("EXT conf " + std::to_string(ins.conf) + " needs " +
+                       std::to_string(def.num_inputs()) +
+                       " inputs but the instruction binds " +
+                       std::to_string(srcs.count));
+      }
+      std::array<std::uint32_t, kMaxExtInputs> in{};
+      for (int i = 0; i < def.num_inputs(); ++i) {
+        in[static_cast<std::size_t>(i)] =
+            info.src_vals[static_cast<std::size_t>(i)];
+      }
+      std::array<std::uint32_t, kMaxExtOutputs> out{};
+      def.eval_multi(in, out);
+      std::array<Reg, kMaxExtOutputs - 1> extra_out{};
+      const int extra = ext_extra_outputs(ins, extra_out);
+      if (extra + 1 < def.num_outputs()) {
+        throw SimError("EXT conf " + std::to_string(ins.conf) + " needs " +
+                       std::to_string(def.num_outputs()) +
+                       " outputs but the instruction binds " +
+                       std::to_string(extra + 1));
+      }
+      // Extra outputs first, so StepInfo's single `result` slot reports the
+      // primary output exactly as in the classic shape.
+      for (int i = 1; i < def.num_outputs(); ++i) {
+        set_reg(extra_out[i - 1], out[static_cast<std::size_t>(i)]);
+      }
+      write_dst(ins.rd, out[0]);
       break;
     }
   }

@@ -50,7 +50,7 @@ struct StepInfo {
   std::uint8_t mem_size = 0;
   bool has_result = false;
   std::uint32_t result = 0;
-  std::array<std::uint32_t, 2> src_vals{};
+  std::array<std::uint32_t, kMaxExtInputs> src_vals{};
   int num_src = 0;
   bool branch_taken = false;
 };

@@ -192,8 +192,11 @@ DecodedStep decode_step(const StepInfo& info, const Program& program) {
   d.pc = program.pc_of(info.index);
   d.fu = fu_class(info.ins.op);
   d.srcs = src_regs(info.ins);
-  const std::optional<Reg> dst = dst_reg(info.ins);
-  d.dst = dst.has_value() ? static_cast<std::int8_t>(*dst) : std::int8_t{-1};
+  const DstRegs dsts = dst_regs(info.ins);
+  d.dst = dsts.count > 0 ? static_cast<std::int8_t>(dsts.reg[0])
+                         : std::int8_t{-1};
+  d.dst2 = dsts.count > 1 ? static_cast<std::int8_t>(dsts.reg[1])
+                          : std::int8_t{-1};
   // The halt opcode never consults the predictor (matching the fetch
   // stage's historical is_control && !kHalt test).
   d.is_ctrl = is_control(info.ins.op) && info.ins.op != Opcode::kHalt;

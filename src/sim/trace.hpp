@@ -180,6 +180,7 @@ struct DecodedStep {
   FuClass fu = FuClass::kNone;  // issue port class of the opcode
   SrcRegs srcs;                 // register operands read (renaming)
   std::int8_t dst = -1;         // register written; -1 = none
+  std::int8_t dst2 = -1;        // second register written (MIMO EXT only)
   bool is_ctrl = false;         // consults the branch predictor
   bool is_store = false;        // participates in store->load ordering
   bool is_ext = false;          // requests a PFU configuration at decode

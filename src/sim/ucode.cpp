@@ -98,6 +98,16 @@ Uop lower(const Instruction& ins, std::int32_t size,
         u.kind = UopKind::kInterp;
         return u;
       }
+      {
+        const ExtInstDef& def = table->at(ins.conf);
+        if (def.num_inputs() > 2 || def.num_outputs() > 1) {
+          // MIMO EXTs don't fit the 12-byte uop's two-source/one-dest
+          // shape; replay the step through the reference interpreter so
+          // both execution modes stay lockstep-identical.
+          u.kind = UopKind::kInterp;
+          return u;
+        }
+      }
       u.imm = ins.conf;
       break;
   }

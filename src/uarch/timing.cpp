@@ -79,7 +79,7 @@ class ExecutorSource {
 struct RuuEntry {
   DecodedStep step;
   std::uint64_t seq = 0;
-  std::uint64_t deps[2] = {kNoDep, kNoDep};
+  std::uint64_t deps[kMaxExtInputs] = {kNoDep, kNoDep, kNoDep, kNoDep};
   int num_deps = 0;
   bool issued = false;
   bool completed = false;
@@ -525,6 +525,9 @@ class Pipeline {
       }
       if (e.step.dst >= 0) {
         last_writer_[e.step.dst] = tail_;
+      }
+      if (e.step.dst2 >= 0) {
+        last_writer_[e.step.dst2] = tail_;
       }
       if (e.step.is_ext) {
         e.pfu_ready = pfus_.request(e.step.info.ins.conf, now_);

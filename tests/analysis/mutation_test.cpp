@@ -87,6 +87,9 @@ TEST_F(MutationTest, CleanSelectionVerifiesWithZeroDiagnostics) {
   // a proof over the whole input space, no sampling.
   EXPECT_EQ(report.stats.equiv_structural, report.stats.apps);
   EXPECT_EQ(report.stats.equiv_sampled, 0);
+  // ... and the translation validator discharges its symbolic proof for
+  // every application as well (analysis/equiv.hpp).
+  EXPECT_EQ(report.stats.translation_proven, report.stats.apps);
 }
 
 TEST_F(MutationTest, FlippedOpcodeBreaksEquivalence) {
@@ -192,6 +195,116 @@ TEST_F(MutationTest, EscapedIntermediateIsFlagged) {
   ASSERT_TRUE(rewired);
   ap_.liveness = compute_liveness(program_, ap_.cfg);
   EXPECT_TRUE(has_rule(verify(), "ext.output"));
+}
+
+// --- Translation-validator rules (equiv.*, analysis/equiv.hpp) -------------
+
+TEST_F(MutationTest, TruncatedIndexMapIsFlagged) {
+  rr_.index_map.pop_back();
+  EXPECT_TRUE(has_rule(verify(), "equiv.map"));
+}
+
+TEST_F(MutationTest, IndexMapSkippingAnIndexIsFlagged) {
+  // Bumping one interior entry creates a +1/-1 step pair: a deletion map
+  // may only step by 0 or 1.
+  ASSERT_GE(rr_.index_map.size(), 3u);
+  rr_.index_map[1] += 1;
+  EXPECT_TRUE(has_rule(verify(), "equiv.map"));
+}
+
+TEST_F(MutationTest, IndexMapEndingShortIsFlagged) {
+  for (std::int32_t& e : rr_.index_map) e = std::max(0, e - 1);
+  EXPECT_TRUE(has_rule(verify(), "equiv.map"));
+}
+
+TEST_F(MutationTest, TamperedUncoveredInstructionIsFlagged) {
+  // The loop counter's increment is uncovered (not PFU-eligible profile
+  // width aside, it feeds a branch); nudging its immediate must trip the
+  // byte-identity walk.
+  bool tampered = false;
+  for (Instruction& ins : rr_.program.text) {
+    if (ins.op == Opcode::kAddiu && ins.imm == 1) {
+      ins.imm = 2;
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered);
+  EXPECT_TRUE(has_rule(verify(), "equiv.replaced"));
+}
+
+TEST_F(MutationTest, BranchRetargetedInRangeIsFlagged) {
+  // Retarget the loop branch to a *valid* instruction index that is not
+  // where the old target maps: wf.branch-target stays quiet (the target is
+  // in range) and only the translation proof can notice.
+  bool tampered = false;
+  for (Instruction& ins : rr_.program.text) {
+    if (is_branch(ins.op)) {
+      ASSERT_NE(ins.imm, 0);
+      ins.imm = 0;
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered);
+  const VerifyReport report = verify();
+  EXPECT_TRUE(has_rule(report, "equiv.target")) << report.summary();
+  EXPECT_FALSE(has_rule(report, "wf.branch-target"));
+}
+
+TEST_F(MutationTest, TamperedTextSymbolIsFlagged) {
+  auto it = rr_.program.text_symbols.find("loop");
+  ASSERT_NE(it, rr_.program.text_symbols.end());
+  it->second += 1;
+  EXPECT_TRUE(has_rule(verify(), "equiv.target"));
+}
+
+TEST_F(MutationTest, SwappedInputBindingBreaksSymbolicProof) {
+  // The EXT's micro-program reads slot 0 where the window read $t3; binding
+  // the slots in the wrong order computes a different function of the
+  // inputs, which the shared-DAG proof distinguishes structurally.
+  Application& app = sel_.apps[0];
+  ASSERT_EQ(app.num_inputs, 2);
+  ASSERT_NE(app.inputs[0], app.inputs[1]);
+  std::swap(app.inputs[0], app.inputs[1]);
+  EXPECT_TRUE(has_rule(verify(), "equiv.symbolic"));
+}
+
+TEST_F(MutationTest, ArityMismatchBreaksSymbolicProof) {
+  // Claiming a single input against a 2-in configuration is a shape
+  // mismatch the symbolic phase reports before attempting a proof.
+  sel_.apps[0].num_inputs = 1;
+  EXPECT_TRUE(has_rule(verify(), "equiv.symbolic"));
+}
+
+TEST_F(MutationTest, ExtDroppingItsOutputIsFlagged) {
+  // Redirect the rewritten EXT's destination to the dead intermediate $t5:
+  // the live output $t7 is no longer written by anything, which only the
+  // rewritten-program liveness proof can see.
+  const Application& app = sel_.apps[0];
+  const std::int32_t ni =
+      rr_.index_map[static_cast<std::size_t>(app.positions.back())];
+  ASSERT_EQ(rr_.program.text[static_cast<std::size_t>(ni)].op, Opcode::kExt);
+  rr_.program.text[static_cast<std::size_t>(ni)].rd = 13;  // $t5
+  const VerifyReport report = verify();
+  EXPECT_TRUE(has_rule(report, "equiv.dead-kill")) << report.summary();
+}
+
+TEST_F(MutationTest, ResurrectedIntermediateIsFlagged) {
+  // Rewire the rewritten store to read the fused-away intermediate $t6:
+  // the uncovered-instruction walk sees the edit, and the liveness proof
+  // additionally reports that a killed register became live again.
+  bool rewired = false;
+  for (Instruction& ins : rr_.program.text) {
+    if (ins.op == Opcode::kSw && ins.rt == 15) {
+      ins.rt = kT6;
+      rewired = true;
+    }
+  }
+  ASSERT_TRUE(rewired);
+  const VerifyReport report = verify();
+  EXPECT_TRUE(has_rule(report, "equiv.replaced")) << report.summary();
+  EXPECT_TRUE(has_rule(report, "equiv.dead-kill")) << report.summary();
 }
 
 // rw.clobber needs a non-member between chain members, which the extractor

@@ -119,6 +119,10 @@ std::vector<Flip> identity_flips() {
       [](RunSpec& s) { s.policy.extract.min_length += 1; });
   add("policy.extract.max_length",
       [](RunSpec& s) { s.policy.extract.max_length += 1; });
+  add("policy.extract.max_inputs",
+      [](RunSpec& s) { s.policy.extract.max_inputs += 1; });
+  add("policy.extract.max_outputs",
+      [](RunSpec& s) { s.policy.extract.max_outputs += 1; });
   add("policy.extract.require_executed",
       [](RunSpec& s) {
         s.policy.extract.require_executed = !s.policy.extract.require_executed;

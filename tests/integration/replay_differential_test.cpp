@@ -244,6 +244,41 @@ TEST_P(ReplayDifferential, BatchedReplayMatchesSequentialRuns) {
   }
 }
 
+TEST_P(ReplayDifferential, WidenedShapesReplayByteForByte) {
+  // Widened candidate shapes (ExtractPolicy::max_inputs/max_outputs) route
+  // through their own shape-sensitive analysis and produce MIMO EXTs; the
+  // replay engine must stay cycle-exact for them too, and the selections
+  // must pass the full static battery (translation proof included) before
+  // they are timed.
+  const Workload& w = every_workload()[GetParam()];
+  WorkloadExperiment& exp = experiment(GetParam());
+
+  const int shapes[][2] = {{4, 1}, {4, 2}};
+  for (const auto& shape : shapes) {
+    for (const Selector selector : {Selector::kGreedy, Selector::kSelective}) {
+      RunSpec spec = spec_for(w, selector, machines()[0]);
+      spec.policy.extract.max_inputs = shape[0];
+      spec.policy.extract.max_outputs = shape[1];
+      spec.verify = true;
+      const std::string tag = w.name + " / " +
+                              std::string(selector_name(selector)) + " / " +
+                              std::to_string(shape[0]) + "in" +
+                              std::to_string(shape[1]) + "out";
+
+      const VerifyReport& report = exp.verify(spec);
+      EXPECT_TRUE(report.ok()) << tag << ": " << report.summary();
+
+      const WorkloadExperiment::PreparedView view = exp.prepared(spec);
+      ASSERT_NE(view.program, nullptr);
+      const RunOutcome replayed = exp.run(spec);
+      const SimStats direct =
+          simulate({.program = view.program, .ext_table = view.table, .machine = spec.machine, .max_cycles = spec.max_cycles});
+      EXPECT_EQ(to_json(direct).dump(), to_json(replayed.stats).dump()) << tag;
+      EXPECT_EQ(replayed.checksum, view.trace->checksum()) << tag;
+    }
+  }
+}
+
 TEST_P(ReplayDifferential, SharedSelectorsReuseOneTraceAcrossMachines) {
   // Baseline and greedy preparations do not depend on the machine, so
   // every machine configuration must replay the very same trace object.

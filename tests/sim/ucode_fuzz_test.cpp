@@ -1,14 +1,12 @@
 // Randomized differential testing of the uop interpreter.
 //
-// Generates verifier-legal programs from a seeded RNG — random basic
-// blocks of ALU/shift/immediate/memory work stitched together with
-// forward-only control flow (termination by construction), plus a bounded
-// backward loop template — and drives the reference interpreter
-// (ExecMode::kReference) and the pre-decoded uop interpreter side by side,
-// requiring step-for-step StepInfo equality and identical final
-// architectural state. Deliberate edge cases ride along: a branch whose
-// target is exactly program.size() (off the end of the last segment, into
-// the halt sentinel) and fall-through into the sentinel via `jr $ra`.
+// Drives seeded random programs (tests/support/random_program.hpp) through
+// the reference interpreter (ExecMode::kReference) and the pre-decoded uop
+// interpreter side by side, requiring step-for-step StepInfo equality and
+// identical final architectural state. Deliberate edge cases ride along: a
+// branch whose target is exactly program.size() (off the end of the last
+// segment, into the halt sentinel) and fall-through into the sentinel via
+// `jr $ra`.
 //
 // Every failure message carries the generating seed; to reproduce, run the
 // failing test and feed the seed to build_random_program() under a
@@ -16,7 +14,6 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <random>
 #include <string>
 #include <vector>
 
@@ -25,128 +22,14 @@
 #include "sim/executor.hpp"
 #include "sim/trace.hpp"
 #include "sim/ucode.hpp"
+#include "support/random_program.hpp"
 
 namespace t1000 {
 namespace {
 
+using fuzz::build_random_program;
+
 constexpr std::uint64_t kStepBound = 1u << 16;
-
-// Registers the generator allocates: $t0..$t7 scratch plus $s0 as the
-// loop counter and $a0 as the memory base. $zero is deliberately included
-// as an occasional destination (architectural no-op — the interpreters
-// must agree on it too).
-constexpr Reg kScratch[] = {8, 9, 10, 11, 12, 13, 14, 15, 0};
-
-Reg pick_reg(std::mt19937& rng) {
-  return kScratch[rng() % (sizeof kScratch / sizeof kScratch[0])];
-}
-
-// One random non-control instruction. Memory operations stay inside the
-// 256-byte data segment through $a0 (loaded with kDataBase and never
-// clobbered — the generator excludes $a0 from destinations).
-Instruction random_straightline(std::mt19937& rng) {
-  switch (rng() % 8) {
-    case 0:
-      return make_r(static_cast<Opcode>(rng() % 12), pick_reg(rng),
-                    pick_reg(rng), pick_reg(rng));
-    case 1: {
-      const Opcode shifts[] = {Opcode::kSll, Opcode::kSrl, Opcode::kSra};
-      // Shift amounts beyond 31 exercise the decoder's pre-masking.
-      return make_shift(shifts[rng() % 3], pick_reg(rng), pick_reg(rng),
-                        static_cast<int>(rng() % 64));
-    }
-    case 2: {
-      const Opcode imms[] = {Opcode::kAddiu, Opcode::kAndi, Opcode::kOri,
-                             Opcode::kXori, Opcode::kSlti, Opcode::kSltiu};
-      return make_imm(imms[rng() % 6], pick_reg(rng), pick_reg(rng),
-                      static_cast<std::int32_t>(rng() % 0x10000) - 0x8000);
-    }
-    case 3:
-      return make_lui(pick_reg(rng),
-                      static_cast<std::int32_t>(rng() % 0x10000));
-    case 4: {
-      const Opcode loads[] = {Opcode::kLw, Opcode::kLh, Opcode::kLhu,
-                              Opcode::kLb, Opcode::kLbu};
-      const int pick = static_cast<int>(rng() % 5);
-      const int align = pick == 0 ? 4 : pick <= 2 ? 2 : 1;
-      const std::int32_t disp =
-          static_cast<std::int32_t>(rng() % (256 / align)) * align;
-      return make_mem(loads[pick], pick_reg(rng), /*base=*/4, disp);
-    }
-    case 5: {
-      const Opcode stores[] = {Opcode::kSw, Opcode::kSh, Opcode::kSb};
-      const int pick = static_cast<int>(rng() % 3);
-      const int align = pick == 0 ? 4 : pick == 1 ? 2 : 1;
-      const std::int32_t disp =
-          static_cast<std::int32_t>(rng() % (256 / align)) * align;
-      return make_mem(stores[pick], pick_reg(rng), /*base=*/4, disp);
-    }
-    case 6:
-      return make_nop();
-    default:
-      return make_r(Opcode::kMul, pick_reg(rng), pick_reg(rng),
-                    pick_reg(rng));
-  }
-}
-
-// A random program: straight-line filler broken by forward-only branches
-// (every control target is strictly greater than the branch's own index,
-// so the program terminates no matter what the data does), one bounded
-// countdown loop in the middle, `halt` at the end. 256 bytes of zeroed
-// data backs the memory traffic.
-Program build_random_program(std::uint32_t seed) {
-  std::mt19937 rng(seed);
-  Program p;
-  p.data.assign(256, 0);
-
-  const int body = 24 + static_cast<int>(rng() % 40);
-  // Prologue: $a0 <- kDataBase, $s0 <- small loop count. The loop header
-  // index is known up front: two prologue instructions, then `body`
-  // random ones, then the loop.
-  p.text.push_back(make_lui(/*rd=*/4, kDataBase >> 16));
-  p.text.push_back(
-      make_imm(Opcode::kAddiu, /*rd=*/16, 0, 3 + (rng() % 5)));
-
-  for (int i = 0; i < body; ++i) {
-    // ~1 in 6 instructions is a forward branch over a small random gap.
-    if (rng() % 6 == 0) {
-      const auto here = static_cast<std::int32_t>(p.text.size());
-      const std::int32_t target = here + 1 + static_cast<std::int32_t>(rng() % 4);
-      switch (rng() % 4) {
-        case 0:
-          p.text.push_back(make_branch2(Opcode::kBeq, pick_reg(rng),
-                                        pick_reg(rng), target));
-          break;
-        case 1:
-          p.text.push_back(make_branch2(Opcode::kBne, pick_reg(rng),
-                                        pick_reg(rng), target));
-          break;
-        case 2:
-          p.text.push_back(
-              make_branch1(Opcode::kBgtz, pick_reg(rng), target));
-          break;
-        default:
-          p.text.push_back(make_jump(Opcode::kJ, target));
-          break;
-      }
-    } else {
-      p.text.push_back(random_straightline(rng));
-    }
-  }
-  // Pad past any forward target that may point into [size, size+4).
-  for (int i = 0; i < 4; ++i) p.text.push_back(random_straightline(rng));
-
-  // The bounded loop: body of random work, then $s0-- / bgtz back up.
-  const auto loop_head = static_cast<std::int32_t>(p.text.size());
-  const int loop_body = 2 + static_cast<int>(rng() % 6);
-  for (int i = 0; i < loop_body; ++i) {
-    p.text.push_back(random_straightline(rng));
-  }
-  p.text.push_back(make_imm(Opcode::kAddiu, /*rd=*/16, /*rs=*/16, -1));
-  p.text.push_back(make_branch1(Opcode::kBgtz, /*rs=*/16, loop_head));
-  p.text.push_back(make_halt());
-  return p;
-}
 
 // Drives the two interpreters in lockstep and asserts equality of every
 // StepInfo field, then of the full architectural state.

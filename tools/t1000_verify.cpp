@@ -66,11 +66,12 @@ void print_job(const VerifyJob& job, const VerifyReport& report) {
   const VerifyStats& s = report.stats;
   std::printf(
       "%s [%.*s]: %s (%d config(s), %d app(s); equivalence: %d structural, "
-      "%d exhaustive, %d sampled, %llu evaluation(s)) in %.1f ms\n",
+      "%d exhaustive, %d sampled, %llu evaluation(s); translation: %d "
+      "proven) in %.1f ms\n",
       job.name.c_str(), static_cast<int>(selector_name(job.selector).size()),
       selector_name(job.selector).data(), report.summary().c_str(), s.configs,
       s.apps, s.equiv_structural, s.equiv_exhaustive, s.equiv_sampled,
-      static_cast<unsigned long long>(s.equiv_evals),
+      static_cast<unsigned long long>(s.equiv_evals), s.translation_proven,
       report.timing.total_ms);
   for (const Diagnostic& d : report.diagnostics) {
     std::fprintf(stderr, "  %.*s: %s @ %s: %s\n",
@@ -105,6 +106,14 @@ int main(int argc, char** argv) {
                     "selective time threshold (default: 0.005)", &threshold);
   parser.add_flag("--no-matrix", "disable the subsequence matrix",
                   &no_matrix);
+  long max_inputs = 2;
+  long max_outputs = 1;
+  parser.add_int("--max-inputs", "N",
+                 "candidate shape: external register inputs (default: 2)",
+                 &max_inputs);
+  parser.add_int("--max-outputs", "N",
+                 "candidate shape: register outputs (default: 1)",
+                 &max_outputs);
   parser.add_flag("--pedantic",
                   "report profile-only width reliance as warnings",
                   &pedantic);
@@ -134,6 +143,8 @@ int main(int argc, char** argv) {
   policy.num_pfus = static_cast<int>(pfus);
   policy.time_threshold = threshold;
   policy.use_subsequence_matrix = !no_matrix;
+  policy.extract.max_inputs = static_cast<int>(max_inputs);
+  policy.extract.max_outputs = static_cast<int>(max_outputs);
 
   try {
     // Keep loaded objects alive for the duration (jobs hold table pointers).
