@@ -9,10 +9,12 @@
 // the *compiled* program) treats compiler output exactly like the
 // hand-written suite.
 #include <cstdio>
+#include <vector>
 
 #include "harness/grid.hpp"
 #include "harness/report.hpp"
 #include "minic/minic.hpp"
+#include "workloads/workload.hpp"
 
 using namespace t1000;
 
@@ -106,10 +108,20 @@ int main(int argc, char** argv) {
       "Compiled kernels: selective algorithm on MiniC-compiled code");
 
   ExperimentGrid grid;
+  std::vector<std::string> names;
   for (const CompiledKernel& k : kKernels) {
     grid.add_workload(compiled_workload(k));
-    grid.add(baseline_spec(k.name));
-    grid.add(selective_spec(k.name, "2pfu", 2, 10));
+    names.push_back(k.name);
+  }
+  // The bundled compiled suite (src/workloads/compiled.cpp) rides the same
+  // comparison: the CI-verified cikernel next to the bench-local kernels.
+  for (const Workload& w : compiled_workloads()) {
+    grid.add_workload(w);
+    names.push_back(w.name);
+  }
+  for (const std::string& name : names) {
+    grid.add(baseline_spec(name));
+    grid.add(selective_spec(name, "2pfu", 2, 10));
   }
   const GridResult res = grid.run(opts.grid);
 
@@ -120,18 +132,18 @@ int main(int argc, char** argv) {
   Table table({"kernel", "configs", "sites", "selective 2 PFUs",
                "checksum ok"});
   bool all_ok = true;
-  for (const CompiledKernel& k : kKernels) {
+  for (const std::string& name : names) {
     // A failed/timed-out run zeroes its outcome; skip the row rather
     // than print garbage (finish_bench reports the split + exit code).
-    if (!res.workload_ok(k.name)) continue;
-    const RunOutcome& base = res.outcome(k.name, "baseline");
-    const RunOutcome& fast = res.outcome(k.name, "2pfu");
+    if (!res.workload_ok(name)) continue;
+    const RunOutcome& base = res.outcome(name, "baseline");
+    const RunOutcome& fast = res.outcome(name, "2pfu");
     // The engine already validated the rewrite against the baseline run
     // and would have thrown on divergence; this re-checks the recorded
     // checksums end-to-end.
     const bool ok = base.checksum == fast.checksum;
     all_ok = all_ok && ok;
-    table.add_row({k.name, std::to_string(fast.num_configs),
+    table.add_row({name, std::to_string(fast.num_configs),
                    std::to_string(fast.num_apps),
                    fmt_ratio(speedup(base.stats, fast.stats)),
                    ok ? "yes" : "NO"});

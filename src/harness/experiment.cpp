@@ -26,7 +26,47 @@ std::string extract_key(const ExtractPolicy& policy) {
   return to_json(policy).dump();
 }
 
+// RAII phase instrumentation: one histogram observation
+// (exp.phase_ms|phase=<name>) plus one journal span (phase.<name>) under
+// the calling thread's current trace context. Both sinks optional; an
+// empty ExperimentObs costs one steady_clock read per phase.
+class PhaseTimer {
+ public:
+  PhaseTimer(const ExperimentObs& obs, std::string_view phase)
+      : obs_(obs),
+        phase_(phase),
+        span_(obs.journal, obs::current_trace_context(),
+              "phase." + std::string(phase)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~PhaseTimer() {
+    if (obs_.metrics == nullptr) return;
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    phase_histogram(obs_.metrics, phase_)
+        ->observe(static_cast<std::uint64_t>(ms));
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  const ExperimentObs& obs_;
+  std::string_view phase_;
+  obs::Journal::SpanScope span_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
+
+obs::Histogram* phase_histogram(obs::MetricsRegistry* metrics,
+                                std::string_view phase) {
+  if (metrics == nullptr) return nullptr;
+  return metrics->histogram(
+      "exp.phase_ms|phase=" + std::string(phase),
+      {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
+}
 
 std::string_view selector_name(Selector selector) {
   switch (selector) {
@@ -48,8 +88,9 @@ bool selector_from_name(std::string_view name, Selector* out) {
   return false;
 }
 
-WorkloadExperiment::WorkloadExperiment(const Workload& workload)
-    : workload_(workload), program_(workload_program(workload)) {
+WorkloadExperiment::WorkloadExperiment(const Workload& workload,
+                                       ExperimentObs obs)
+    : workload_(workload), obs_(obs), program_(workload_program(workload)) {
   analysis_ = analyze_program(program_, workload_.max_steps);
   default_extract_key_ = extract_key(analysis_.extract);
 
@@ -59,7 +100,10 @@ WorkloadExperiment::WorkloadExperiment(const Workload& workload)
   // recording replays that same uop stream.
   auto base = std::make_shared<PreparedRun>();
   base->ucode = analysis_.ucode;
-  base->trace = record_trace(*base->ucode, workload_.max_steps);
+  {
+    const PhaseTimer phase(obs_, "record");
+    base->trace = record_trace(*base->ucode, workload_.max_steps);
+  }
   base_checksum_ = base->trace.checksum();
   base->partial.checksum = base_checksum_;
   base->partial.trace_steps = base->trace.size();
@@ -102,17 +146,26 @@ WorkloadExperiment::build_prepared(const RunSpec& spec) const {
   // extract policy must select from the matching shape-sensitive analysis.
   const AnalyzedProgram& ap = analysis_for(spec.policy.extract);
   auto run = std::make_shared<PreparedRun>();
-  run->selection = spec.selector == Selector::kGreedy
-                       ? select_greedy(ap, spec.policy.lut_budget)
-                       : select_selective(ap, spec.policy);
-  run->rewrite = rewrite_program(program_, run->selection.apps);
-  run->rewritten = true;
-  // PreparedRun is heap-allocated and immutable once built, so the decoded
-  // stream's borrowed pointers (rewrite.program, selection.table) stay
-  // valid for as long as the ucode itself is reachable.
-  run->ucode = std::make_shared<const UopProgram>(
-      UopProgram::build(run->rewrite.program, &run->selection.table));
-  run->trace = record_trace(*run->ucode, workload_.max_steps);
+  {
+    // Everything between the analysis and the trace recording — selection,
+    // rewrite, uop decode — is the "decode" phase: producing the executable
+    // uop stream for this preparation.
+    const PhaseTimer phase(obs_, "decode");
+    run->selection = spec.selector == Selector::kGreedy
+                         ? select_greedy(ap, spec.policy.lut_budget)
+                         : select_selective(ap, spec.policy);
+    run->rewrite = rewrite_program(program_, run->selection.apps);
+    run->rewritten = true;
+    // PreparedRun is heap-allocated and immutable once built, so the
+    // decoded stream's borrowed pointers (rewrite.program, selection.table)
+    // stay valid for as long as the ucode itself is reachable.
+    run->ucode = std::make_shared<const UopProgram>(
+        UopProgram::build(run->rewrite.program, &run->selection.table));
+  }
+  {
+    const PhaseTimer phase(obs_, "record");
+    run->trace = record_trace(*run->ucode, workload_.max_steps);
+  }
   if (run->trace.checksum() != base_checksum_) {
     throw SimError("rewrite changed " + workload_.name + " checksum");
   }
@@ -171,6 +224,7 @@ const VerifyReport& WorkloadExperiment::verify(const RunSpec& spec) const {
     slot = entry;
   }
   std::call_once(slot->once, [&] {
+    const PhaseTimer phase(obs_, "verify");
     const auto start = std::chrono::steady_clock::now();
     try {
       const VerifyOptions options = verify_options_for(spec.policy);
@@ -205,6 +259,7 @@ RunOutcome WorkloadExperiment::run(const RunSpec& spec) const {
   const Program& program = prep.rewritten ? prep.rewrite.program : program_;
   const ExtInstTable* table = prep.rewritten ? &prep.selection.table : nullptr;
   RunOutcome out = prep.partial;
+  const PhaseTimer phase(obs_, "replay");
   if (spec.observe) {
     SimObservation obs;
     out.stats = simulate({.program = &program,
@@ -270,7 +325,11 @@ std::vector<WorkloadExperiment::BatchRunOutcome> WorkloadExperiment::run_batch(
     request.lanes[i].max_cycles = specs[i].max_cycles;
     if (specs[i].observe) request.lanes[i].observation = &observations[i];
   }
-  const std::vector<BatchLaneResult> lanes = simulate_replay_batch(request);
+  std::vector<BatchLaneResult> lanes;
+  {
+    const PhaseTimer phase(obs_, "replay");
+    lanes = simulate_replay_batch(request);
+  }
   for (std::size_t i = 0; i < specs.size(); ++i) {
     if (lanes[i].error) {
       out[i].error = lanes[i].error;

@@ -22,11 +22,34 @@
 #include "analysis/verifier.hpp"
 #include "extinst/rewrite.hpp"
 #include "extinst/select.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "sim/trace.hpp"
 #include "uarch/timing.hpp"
 #include "workloads/workload.hpp"
 
 namespace t1000 {
+
+// Optional observability sinks for the experiment's internal phases.
+// When `metrics` is set, each phase's wall-clock lands in a per-phase
+// latency histogram (`exp.phase_ms|phase=decode/record/replay/verify`;
+// the grid engine adds `phase=cache` for its cache operations). When
+// `journal` is set, each phase emits a begin/end span pair parented
+// under the calling thread's current TraceContext (obs/journal.hpp) —
+// this is how one serve request's trace reaches the phases without
+// every signature in between carrying a context. Both sinks are
+// borrowed, never owned, and must outlive the experiment; an empty
+// ExperimentObs (the default) makes every hook a no-op.
+struct ExperimentObs {
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Journal* journal = nullptr;
+};
+
+// Shared bucket bounds for the `exp.phase_ms|phase=...` histograms: the
+// registry aborts on a bounds mismatch for one name, so every creation
+// site funnels through phase_histogram().
+obs::Histogram* phase_histogram(obs::MetricsRegistry* metrics,
+                                std::string_view phase);
 
 enum class Selector {
   kNone,       // plain superscalar baseline
@@ -90,7 +113,8 @@ struct RunOutcome {
 // computed once and shared across machine configurations.
 class WorkloadExperiment {
  public:
-  explicit WorkloadExperiment(const Workload& workload);
+  explicit WorkloadExperiment(const Workload& workload,
+                              ExperimentObs obs = {});
 
   // The analysis pointers reference owned members; moving would dangle them.
   WorkloadExperiment(const WorkloadExperiment&) = delete;
@@ -221,6 +245,7 @@ class WorkloadExperiment {
   std::shared_ptr<const PreparedRun> build_prepared(const RunSpec& spec) const;
 
   Workload workload_;
+  ExperimentObs obs_;
   Program program_;
   AnalyzedProgram analysis_;       // default extract policy
   std::string default_extract_key_;

@@ -36,6 +36,7 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 // when some spec actually misses the cache.
 struct WorkloadSlot {
   const Workload* workload = nullptr;
+  ExperimentObs obs;  // set before the workers start
 
   std::once_flag hash_once;
   std::uint64_t hash = 0;
@@ -60,7 +61,7 @@ struct WorkloadSlot {
   const WorkloadExperiment& experiment_for() {
     std::call_once(experiment_once, [this] {
       try {
-        experiment = std::make_unique<WorkloadExperiment>(*workload);
+        experiment = std::make_unique<WorkloadExperiment>(*workload, obs);
       } catch (...) {
         experiment_error = std::current_exception();
       }
@@ -304,6 +305,7 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
     obs::Counter* incomplete = nullptr;
     obs::Span* run_wall = nullptr;
     obs::Histogram* run_wall_ms = nullptr;
+    obs::Histogram* cache_phase_ms = nullptr;
   } metrics;
   if (options.metrics != nullptr) {
     metrics.runs = options.metrics->counter("grid.runs");
@@ -314,6 +316,7 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
     metrics.run_wall_ms = options.metrics->histogram(
         "grid.run_wall_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
                              5000, 10000});
+    metrics.cache_phase_ms = phase_histogram(options.metrics, "cache");
   }
 
   ResultCache local_cache(options.cache_dir, options.cache_budget_bytes);
@@ -324,7 +327,47 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
   std::vector<WorkloadSlot> slots(workloads_.size());
   for (std::size_t i = 0; i < workloads_.size(); ++i) {
     slots[i].workload = &workloads_[i];
+    slots[i].obs = ExperimentObs{options.metrics, options.journal};
   }
+
+  // Journal emission helpers: cache operations become timed instants (the
+  // "cache" phase), runs and batches become spans the experiment's phase
+  // spans parent under. All of it no-ops without a journal + active trace.
+  obs::Journal* const journal = options.journal;
+  const auto cache_lookup = [&](ResultCache& c, const CacheKey& key,
+                                RunOutcome* outcome) {
+    const auto start = std::chrono::steady_clock::now();
+    const bool hit = c.lookup(key, outcome);
+    if (metrics.cache_phase_ms != nullptr) {
+      metrics.cache_phase_ms->observe(
+          static_cast<std::uint64_t>(ms_since(start)));
+    }
+    if (journal != nullptr) {
+      Json attrs = Json::object();
+      attrs["hit"] = Json(hit);
+      journal->instant(obs::current_trace_context(), "cache.lookup",
+                       std::move(attrs));
+    }
+    return hit;
+  };
+  const auto cache_store = [&](ResultCache& c, const CacheKey& key,
+                               const RunOutcome& outcome) {
+    const auto start = std::chrono::steady_clock::now();
+    c.store(key, outcome);
+    if (metrics.cache_phase_ms != nullptr) {
+      metrics.cache_phase_ms->observe(
+          static_cast<std::uint64_t>(ms_since(start)));
+    }
+    if (journal != nullptr) {
+      journal->instant(obs::current_trace_context(), "cache.store");
+    }
+  };
+  const auto run_attrs = [](const RunSpec& spec) {
+    Json attrs = Json::object();
+    attrs["workload"] = Json(spec.workload);
+    attrs["label"] = Json(spec.label);
+    return attrs;
+  };
 
   // The scheduling unit is a group of spec indices. Without batching every
   // group is a singleton and the engine behaves exactly as it always has;
@@ -384,6 +427,10 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
   };
 
   const auto worker = [&] {
+    // The grid's trace crosses the thread boundary here: each worker
+    // installs it so every emission below (and the experiment phases
+    // underneath) lands in the right trace.
+    const obs::ScopedTraceContext grid_scope(options.trace);
     for (;;) {
       const std::size_t g = next.fetch_add(1, std::memory_order_relaxed);
       if (g >= groups.size()) return;
@@ -438,15 +485,19 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
               duplicates.push_back(i);
               duplicate_keys.push_back(key);
               deferred = true;
-            } else if (cache.lookup(key, &out.outcome)) {
+            } else if (cache_lookup(cache, key, &out.outcome)) {
               out.cache_hit = true;
             } else if (group.size() > 1) {
               misses.push_back(i);
               miss_keys.push_back(key);
               deferred = true;
             } else {
+              obs::Journal::SpanScope run_span(journal,
+                                               obs::current_trace_context(),
+                                               "run", run_attrs(out.spec));
+              const obs::ScopedTraceContext run_scope(run_span.context());
               out.outcome = slot.experiment_for().run(out.spec);
-              cache.store(key, out.outcome);
+              cache_store(cache, key, out.outcome);
             }
           }
           if (deferred) continue;
@@ -499,6 +550,12 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
               metrics.run_wall != nullptr
                   ? std::make_unique<obs::Span::Scope>(metrics.run_wall)
                   : nullptr;
+          Json batch_attrs = run_attrs(lane_specs.front());
+          batch_attrs["lanes"] = Json(misses.size());
+          obs::Journal::SpanScope batch_span(journal,
+                                             obs::current_trace_context(),
+                                             "batch", std::move(batch_attrs));
+          const obs::ScopedTraceContext batch_scope(batch_span.context());
           WorkloadSlot& slot =
               slots[index_.find(lane_specs.front().workload)->second];
           lanes = slot.experiment_for().run_batch(lane_specs);
@@ -539,7 +596,7 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
               continue;
             }
             out.outcome = lanes[k].outcome;
-            cache.store(miss_keys[k], out.outcome);
+            cache_store(cache, miss_keys[k], out.outcome);
             if (metrics.runs != nullptr) {
               metrics.runs->add(1);
               metrics.simulated->add(1);
@@ -571,13 +628,17 @@ GridResult ExperimentGrid::run(const GridOptions& options) const {
                                    ? std::make_unique<obs::Span::Scope>(
                                          metrics.run_wall)
                                    : nullptr;
-            if (cache.lookup(duplicate_keys[k], &out.outcome)) {
+            if (cache_lookup(cache, duplicate_keys[k], &out.outcome)) {
               out.cache_hit = true;
             } else {
+              obs::Journal::SpanScope run_span(journal,
+                                               obs::current_trace_context(),
+                                               "run", run_attrs(out.spec));
+              const obs::ScopedTraceContext run_scope(run_span.context());
               WorkloadSlot& slot =
                   slots[index_.find(out.spec.workload)->second];
               out.outcome = slot.experiment_for().run(out.spec);
-              cache.store(duplicate_keys[k], out.outcome);
+              cache_store(cache, duplicate_keys[k], out.outcome);
             }
           }
           if (metrics.runs != nullptr) {
@@ -700,6 +761,15 @@ BenchOptions parse_bench_options(int argc, char** argv,
                     "write the engine's metrics registry (grid.* counters, "
                     "histograms, wall-clock spans) as JSON",
                     &out.metrics_path);
+  long journal_max_bytes = 64l << 20;
+  parser.add_string("--journal-out", "FILE",
+                    "append-only JSONL event journal of the grid's "
+                    "run/batch/cache/phase spans (one JSON object per line)",
+                    &out.journal_path);
+  parser.add_int("--journal-max-bytes", "N",
+                 "rotate the journal to FILE.1 past this size (default: "
+                 "64 MiB)",
+                 &journal_max_bytes, 1, std::numeric_limits<long>::max());
   parser.add_flag("--strict",
                   "abort the grid on the first failing run (default: record "
                   "the failure and keep going)",
@@ -723,6 +793,15 @@ BenchOptions parse_bench_options(int argc, char** argv,
   if (!out.metrics_path.empty()) {
     out.metrics = std::make_shared<obs::MetricsRegistry>();
     out.grid.metrics = out.metrics.get();
+  }
+  if (!out.journal_path.empty()) {
+    obs::Journal::Options jopts;
+    jopts.path = out.journal_path;
+    jopts.max_bytes = static_cast<std::uint64_t>(journal_max_bytes);
+    out.journal = std::make_shared<obs::Journal>(std::move(jopts));
+    out.grid.journal = out.journal.get();
+    // The whole bench invocation is one trace rooted at span 0.
+    out.grid.trace = obs::TraceContext{out.journal->new_id(), 0};
   }
   return out;
 }

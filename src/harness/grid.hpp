@@ -40,6 +40,7 @@
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
 #include "harness/options.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace t1000 {
@@ -135,6 +136,18 @@ struct GridOptions {
   // Instruments are shared get-or-create, so one registry can observe many
   // grids — the worker-pool updates are lock-free and TSan-clean.
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional event journal (obs/journal.hpp): when set together with an
+  // active `trace`, every worker installs the trace as its thread-local
+  // context and emits run/batch spans and cache.lookup/cache.store
+  // instants into the journal — and the experiment's phase spans
+  // (decode/record/replay/verify) parent under the enclosing run span.
+  // Borrowed, never owned; must outlive run(). A null journal or an
+  // inactive trace (trace_id == 0) makes every emission a no-op.
+  obs::Journal* journal = nullptr;
+  // The trace this grid's runs belong to — a serve job's id, a bench's
+  // root span. Threaded explicitly across the thread boundary: each
+  // worker installs it via ScopedTraceContext before touching a spec.
+  obs::TraceContext trace;
   // Test-only fault injection: invoked on the worker thread before each
   // run executes (cache lookup included); may throw or delay to simulate
   // failures. Exceptions it raises are classified like any other.
@@ -269,6 +282,12 @@ struct BenchOptions {
   // wired into grid.metrics; empty path = no registry, no export.
   std::string metrics_path;
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  // --journal-out <path>: append-only JSONL event journal of the grid's
+  // run/batch/cache/phase spans (obs/journal.hpp). Created by
+  // parse_bench_options with a fresh root trace and wired into
+  // grid.journal/grid.trace; empty path = no journal.
+  std::string journal_path;
+  std::shared_ptr<obs::Journal> journal;
   // --keep-going: exit 0 even when some runs failed (the failures still
   // show in the results JSON and engine summary). Default is to exit
   // nonzero so CI catches degraded sweeps.

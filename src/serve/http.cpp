@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -20,19 +21,22 @@
 namespace t1000::serve {
 namespace {
 
-// Sends the whole buffer, tolerating short writes. MSG_NOSIGNAL turns a
-// peer that hung up into EPIPE instead of a process-killing SIGPIPE.
-void send_all(int fd, const std::string& data) {
+// Sends the whole buffer, tolerating short writes; returns false once the
+// peer is gone (the chunked streamer uses that to stop). MSG_NOSIGNAL
+// turns a peer that hung up into EPIPE instead of a process-killing
+// SIGPIPE.
+bool send_all(int fd, std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return;  // peer gone; nothing useful to do with a response
+      return false;  // peer gone; nothing useful to do with a response
     }
     sent += static_cast<std::size_t>(n);
   }
+  return true;
 }
 
 void send_response(int fd, const HttpResponse& response) {
@@ -84,7 +88,8 @@ int read_request(int fd, std::size_t max_body_bytes, HttpRequest* out) {
     return 400;
   }
 
-  // Headers: only Content-Length matters to this API.
+  // Headers: Content-Length drives framing; everything else is kept for
+  // the handler (the API negotiates on Accept), names lowercased.
   std::size_t content_length = 0;
   std::size_t pos = line_end + 2;
   while (pos < header_end) {
@@ -92,6 +97,18 @@ int read_request(int fd, std::size_t max_body_bytes, HttpRequest* out) {
     if (eol == std::string::npos || eol > header_end) eol = header_end;
     const std::string line = buf.substr(pos, eol - pos);
     pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      for (char& c : name) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      std::size_t value_begin = colon + 1;
+      while (value_begin < line.size() && line[value_begin] == ' ') {
+        ++value_begin;
+      }
+      out->headers.emplace_back(std::move(name), line.substr(value_begin));
+    }
     if (iprefix(line, "content-length:")) {
       errno = 0;
       char* end = nullptr;
@@ -125,7 +142,42 @@ HttpResponse error_response(int status, std::string_view message) {
   return r;
 }
 
+// Streams a response that carries a `streamer`: status line + headers
+// with Transfer-Encoding: chunked, then one HTTP chunk per ChunkWriter
+// call, then the terminating zero chunk. A failed send latches — the
+// streamer sees `false` and is expected to wind down.
+void send_streaming_response(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.1 ";
+  head += std::to_string(response.status);
+  head += ' ';
+  head += http_status_reason(response.status);
+  head += "\r\nContent-Type: ";
+  head += response.content_type;
+  head += "\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+  bool alive = send_all(fd, head);
+  const ChunkWriter write = [fd, &alive](std::string_view data) {
+    if (!alive) return false;
+    if (data.empty()) return true;  // a zero-size chunk would end the stream
+    char size_line[32];
+    std::snprintf(size_line, sizeof(size_line), "%zx\r\n", data.size());
+    std::string chunk = size_line;
+    chunk += data;
+    chunk += "\r\n";
+    alive = send_all(fd, chunk);
+    return alive;
+  };
+  response.streamer(write);
+  if (alive) send_all(fd, "0\r\n\r\n");
+}
+
 }  // namespace
+
+std::string_view HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
 
 std::string_view http_status_reason(int status) {
   switch (status) {
@@ -179,7 +231,12 @@ struct HttpServer::Impl {
       // connection; answering is best-effort either way.
       send_response(fd, error_response(fail, http_status_reason(fail)));
     } else {
-      send_response(fd, handler(request));
+      const HttpResponse response = handler(request);
+      if (response.streamer) {
+        send_streaming_response(fd, response);
+      } else {
+        send_response(fd, response);
+      }
     }
     ::shutdown(fd, SHUT_RDWR);
     ::close(fd);

@@ -5,8 +5,12 @@
 // dumps, and every exchange is one request/one response on a short-lived
 // connection (the server always answers `Connection: close`). This file
 // implements exactly that subset over POSIX sockets — request line,
-// headers, Content-Length-delimited body — and nothing more: no chunked
-// encoding, no keep-alive, no TLS.
+// headers, Content-Length-delimited body — plus one addition the
+// streaming job-events route needs: a response may carry a `streamer`
+// instead of a body, in which case the server answers with
+// `Transfer-Encoding: chunked` and the streamer pushes chunks until it
+// returns or the peer disconnects. Still no keep-alive, no TLS, and no
+// chunked *requests*.
 //
 // Concurrency model: one accept thread feeds a *bounded* queue of
 // connection fds drained by a small handler pool. Admission control lives
@@ -20,6 +24,8 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace t1000::serve {
 
@@ -27,12 +33,29 @@ struct HttpRequest {
   std::string method;  // "GET", "POST", ...
   std::string target;  // request path, e.g. "/v1/jobs/3/results"
   std::string body;
+  // Every request header, in wire order, names lowercased (values
+  // untouched beyond trimming the leading space). The API reads these for
+  // content negotiation (GET /metrics honors Accept).
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  // First value of `name` (lowercase), or "" when absent.
+  std::string_view header(std::string_view name) const;
 };
+
+// Pushes one chunk to the client; returns false once the peer is gone
+// (the streamer should stop — further writes are dropped).
+using ChunkWriter = std::function<bool(std::string_view)>;
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  // Streaming alternative to `body`: when set, the server sends the
+  // status line + headers with `Transfer-Encoding: chunked`, invokes the
+  // streamer with a ChunkWriter, and closes the stream when it returns.
+  // The streamer runs on the handler thread, so a long-lived stream
+  // occupies one handler slot for its duration; `body` is ignored.
+  std::function<void(const ChunkWriter&)> streamer;
 };
 
 // Standard reason phrase for the handful of statuses the API uses.

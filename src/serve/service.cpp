@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "harness/serialize.hpp"
+#include "obs/prometheus.hpp"
 #include "workloads/workload.hpp"
 
 namespace t1000::serve {
@@ -51,6 +52,9 @@ std::string_view job_state_name(JobState state) {
 SimService::SimService(ServiceOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_dir, options_.cache_budget_bytes),
+      journal_(obs::Journal::Options{options_.journal_path,
+                                     options_.journal_max_bytes,
+                                     /*ring_capacity=*/8192}),
       start_time_(std::chrono::steady_clock::now()) {
   {
     std::lock_guard<std::mutex> lock(trace_mu_);
@@ -137,25 +141,32 @@ SimService::ParsedRequest SimService::parse_request(
   return parsed;
 }
 
-GridResult SimService::execute(const ParsedRequest& parsed) {
+GridResult SimService::execute(const ParsedRequest& parsed,
+                               obs::TraceContext trace) {
   ExperimentGrid grid;
-  // Everything find_workload() can name — the paper suite and the extended
-  // one — so parse-time validation and grid registration agree exactly.
+  // Everything find_workload() can name — the paper suite, the extended
+  // one, and the compiled-kernel set — so parse-time validation and grid
+  // registration agree exactly.
   grid.add_workloads(all_workloads());
   grid.add_workloads(extended_workloads());
+  grid.add_workloads(compiled_workloads());
   for (const RunSpec& spec : parsed.specs) grid.add(spec);
 
   GridOptions options = parsed.options;
   // The service's shared long-lived tiers, not per-grid ones.
   options.cache = &cache_;
   options.metrics = &metrics_;
+  options.journal = &journal_;
+  options.trace = trace;
   options.cache_dir.clear();
   return grid.run(options);
 }
 
 Json SimService::run_local(const Json& request) {
   const ParsedRequest parsed = parse_request(request);
-  return execute(parsed).to_json();
+  // A --local run is its own trace, rooted like a job's but without the
+  // queue bookkeeping.
+  return execute(parsed, obs::TraceContext{journal_.new_id(), 0}).to_json();
 }
 
 ResultCache::JanitorReport SimService::sweep_now(double min_age_seconds) {
@@ -165,6 +176,7 @@ ResultCache::JanitorReport SimService::sweep_now(double min_age_seconds) {
 void SimService::runner_main() {
   for (;;) {
     std::uint64_t id = 0;
+    std::uint64_t trace_id = 0;
     ParsedRequest parsed;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -176,29 +188,46 @@ void SimService::runner_main() {
       parsed = std::move(it->second);
       parsed_.erase(it);
       jobs_[id].state = JobState::kRunning;
+      trace_id = jobs_[id].trace_id;
     }
     {
       std::lock_guard<std::mutex> lock(trace_mu_);
       const auto ts = static_cast<std::uint64_t>(now_ms());
       trace_.end(ts, 1, static_cast<int>(id));  // "queued"
       trace_.begin("run", ts, 1, static_cast<int>(id));
+      // Closes the flow the submission opened: in Perfetto, the arrow
+      // lands on this job's "run" slice on the runner's track.
+      trace_.flow_end("job", trace_id, ts, 1, static_cast<int>(id));
     }
     if (test_run_hook) test_run_hook();
 
     Job finished;
     finished.state = JobState::kFailed;
-    try {
-      const obs::Span::Scope timer(metrics_.span("serve.job_wall"));
-      const GridResult result = execute(parsed);
-      finished.state = JobState::kDone;
-      finished.wall_ms = result.engine().wall_ms;
-      finished.summary = result.engine_summary();
-      finished.results = result.to_json();
-    } catch (const std::exception& e) {
-      finished.error = e.what();
-    } catch (...) {
-      finished.error = "non-standard exception";
+    const ResultCache::Counters cache_before = cache_.counters();
+    {
+      Json attrs = Json::object();
+      attrs["job"] = Json(id);
+      attrs["runs"] = Json(parsed.specs.size());
+      obs::Journal::SpanScope job_span(&journal_,
+                                       obs::TraceContext{trace_id, 0}, "job",
+                                       std::move(attrs));
+      try {
+        const obs::Span::Scope timer(metrics_.span("serve.job_wall"));
+        const GridResult result = execute(parsed, job_span.context());
+        finished.state = JobState::kDone;
+        finished.wall_ms = result.engine().wall_ms;
+        finished.summary = result.engine_summary();
+        finished.results = result.to_json();
+      } catch (const std::exception& e) {
+        finished.error = e.what();
+      } catch (...) {
+        finished.error = "non-standard exception";
+      }
+      Json end_attrs = Json::object();
+      end_attrs["state"] = Json(job_state_name(finished.state));
+      job_span.set_end_attrs(std::move(end_attrs));
     }
+    finished.cache_delta = cache_.counters().since(cache_before);
 
     {
       std::lock_guard<std::mutex> lock(trace_mu_);
@@ -217,6 +246,7 @@ void SimService::runner_main() {
       job.summary = std::move(finished.summary);
       job.error = std::move(finished.error);
       job.results = std::move(finished.results);
+      job.cache_delta = finished.cache_delta;
     }
   }
 }
@@ -226,6 +256,7 @@ Json SimService::job_status_json(const Job& job) const {
   j["job"] = Json(job.id);
   j["state"] = Json(job_state_name(job.state));
   j["runs"] = Json(job.runs);
+  j["trace"] = Json(to_hex(job.trace_id));
   if (job.state == JobState::kDone) {
     j["wall_ms"] = Json(job.wall_ms);
     j["summary"] = Json(job.summary);
@@ -246,6 +277,12 @@ HttpResponse SimService::handle_submit(const HttpRequest& request) {
   }
 
   std::uint64_t id = 0;
+  const std::uint64_t trace_id = journal_.new_id();
+  const std::size_t runs = parsed.specs.size();
+  // The ack snapshot is taken inside the same critical section that
+  // enqueues the job: once mu_ is released the runner may pick the job up
+  // at any moment, and the 202 body must still say "queued".
+  Json ack;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.size() >= options_.queue_limit) {
@@ -260,8 +297,10 @@ HttpResponse SimService::handle_submit(const HttpRequest& request) {
     Job& job = jobs_[id];
     job.id = id;
     job.runs = parsed.specs.size();
+    job.trace_id = trace_id;
     parsed_[id] = std::move(parsed);
     queue_.push_back(id);
+    ack = job_status_json(job);
   }
   {
     std::lock_guard<std::mutex> lock(trace_mu_);
@@ -269,12 +308,20 @@ HttpResponse SimService::handle_submit(const HttpRequest& request) {
     trace_.name_thread(1, static_cast<int>(id),
                        "job " + std::to_string(id));
     trace_.begin("queued", ts, 1, static_cast<int>(id));
+    // Opens the request's flow: the runner closes it when the job starts,
+    // correlating the submission with its execution in Perfetto.
+    trace_.flow_begin("job", trace_id, ts, 1, static_cast<int>(id));
+  }
+  {
+    Json attrs = Json::object();
+    attrs["job"] = Json(id);
+    attrs["runs"] = Json(runs);
+    journal_.instant(obs::TraceContext{trace_id, 0}, "job.submitted",
+                     std::move(attrs));
   }
   metrics_.counter("serve.jobs_submitted")->add();
   cv_.notify_one();
-
-  std::lock_guard<std::mutex> lock(mu_);
-  return json_response(202, job_status_json(jobs_.at(id)));
+  return json_response(202, ack);
 }
 
 HttpResponse SimService::handle_job_list() const {
@@ -315,6 +362,78 @@ HttpResponse SimService::handle_job_results(std::uint64_t id) const {
   return error_json(500, "unreachable job state");
 }
 
+HttpResponse SimService::handle_job_summary(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return error_json(404, "unknown job");
+  const Job& job = it->second;
+  if (job.state == JobState::kQueued || job.state == JobState::kRunning) {
+    // The deltas only exist once the grid has run; same contract as
+    // /results — 202 with the status document while pending.
+    return json_response(202, job_status_json(job));
+  }
+  Json body = job_status_json(job);
+  // This job's movement of the shared cache (Counters::since over
+  // snapshots around its grid): how much it hit, missed, stored, and
+  // evicted — attribution the global /metrics counters cannot give.
+  Json cache = Json::object();
+  const ResultCache::Counters& d = job.cache_delta;
+  cache["memory_hits"] = Json(d.memory_hits);
+  cache["disk_hits"] = Json(d.disk_hits);
+  cache["misses"] = Json(d.misses);
+  cache["stores"] = Json(d.stores);
+  cache["disk_errors"] = Json(d.disk_errors);
+  cache["quarantined"] = Json(d.quarantined);
+  cache["quarantine_removed"] = Json(d.quarantine_removed);
+  cache["evicted"] = Json(d.evicted);
+  cache["size_evicted"] = Json(d.size_evicted);
+  body["cache"] = std::move(cache);
+  return json_response(200, body);
+}
+
+HttpResponse SimService::handle_job_events(std::uint64_t id) {
+  std::uint64_t trace_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return error_json(404, "unknown job");
+    trace_id = it->second.trace_id;
+  }
+  const auto job_finished = [this, id] {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    return it == jobs_.end() || it->second.state == JobState::kDone ||
+           it->second.state == JobState::kFailed;
+  };
+  HttpResponse r;
+  r.content_type = "application/x-ndjson";
+  // Chunked NDJSON: one journal event per line, as they happen. Idle
+  // periods emit {"heartbeat":true} lines (~2/s) so a vanished client is
+  // detected by the failing write instead of pinning the handler thread.
+  // The stream ends once the job has finished and the ring is drained.
+  r.streamer = [this, trace_id, job_finished](const ChunkWriter& write) {
+    std::uint64_t after = 0;
+    for (;;) {
+      // Order matters: check finished *before* polling, so events landing
+      // between the poll and the check are picked up next iteration
+      // rather than lost.
+      const bool finished = job_finished();
+      const std::vector<obs::JournalEvent> events =
+          journal_.poll(after, trace_id, std::chrono::milliseconds(500));
+      if (events.empty()) {
+        if (finished) return;
+        if (!write("{\"heartbeat\":true}\n")) return;
+        continue;
+      }
+      for (const obs::JournalEvent& event : events) {
+        after = event.seq;
+        if (!write(obs::journal_event_line(event) + "\n")) return;
+      }
+    }
+  };
+  return r;
+}
+
 HttpResponse SimService::handle_summary() const {
   std::string lines;
   {
@@ -341,11 +460,43 @@ HttpResponse SimService::handle_summary() const {
   return r;
 }
 
-HttpResponse SimService::handle_metrics() const {
+HttpResponse SimService::handle_metrics(const HttpRequest& request) const {
+  const ResultCache::Counters c = cache_.counters();
+  // Content negotiation: a scraper that asks for text/plain gets the
+  // Prometheus exposition; everyone else (no Accept, */*, JSON clients)
+  // keeps the JSON document, byte-identical to what it always was.
+  const std::string_view accept = request.header("accept");
+  if (accept.find("text/plain") != std::string_view::npos) {
+    std::vector<obs::PrometheusGauge> gauges;
+    const auto cache_gauge = [&gauges](const char* kind, double value) {
+      gauges.push_back({std::string("serve.cache|counter=") + kind, value});
+    };
+    cache_gauge("memory_hits", static_cast<double>(c.memory_hits));
+    cache_gauge("disk_hits", static_cast<double>(c.disk_hits));
+    cache_gauge("misses", static_cast<double>(c.misses));
+    cache_gauge("stores", static_cast<double>(c.stores));
+    cache_gauge("disk_errors", static_cast<double>(c.disk_errors));
+    cache_gauge("quarantined", static_cast<double>(c.quarantined));
+    cache_gauge("quarantine_removed",
+                static_cast<double>(c.quarantine_removed));
+    cache_gauge("evicted", static_cast<double>(c.evicted));
+    cache_gauge("size_evicted", static_cast<double>(c.size_evicted));
+    gauges.push_back({"serve.cache_disk_usage_bytes",
+                      static_cast<double>(cache_.disk_usage_bytes())});
+    gauges.push_back({"serve.cache_size_budget_bytes",
+                      static_cast<double>(cache_.size_budget_bytes())});
+    gauges.push_back({"serve.journal_events",
+                      static_cast<double>(journal_.events_appended())});
+    gauges.push_back({"serve.journal_disk_errors",
+                      static_cast<double>(journal_.disk_errors())});
+    HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = obs::render_prometheus(metrics_, gauges);
+    return r;
+  }
   Json body = Json::object();
   body["metrics"] = metrics_.to_json();
   Json cache = Json::object();
-  const ResultCache::Counters c = cache_.counters();
   cache["memory_hits"] = Json(c.memory_hits);
   cache["disk_hits"] = Json(c.disk_hits);
   cache["misses"] = Json(c.misses);
@@ -386,15 +537,9 @@ HttpResponse SimService::handle_shutdown() {
   return json_response(200, body);
 }
 
-HttpResponse SimService::handle_http(const HttpRequest& request) {
-  metrics_.counter("serve.requests")->add();
-
-  // Strip any query string; the API is path-routed only.
-  std::string path = request.target;
-  if (const std::size_t q = path.find('?'); q != std::string::npos) {
-    path.resize(q);
-  }
-
+HttpResponse SimService::route_request(const HttpRequest& request,
+                                       const std::string& path,
+                                       std::string* route_label) {
   const bool get = request.method == "GET";
   const bool post = request.method == "POST";
 
@@ -407,7 +552,7 @@ HttpResponse SimService::handle_http(const HttpRequest& request) {
   }
   if (path == "/metrics") {
     if (!get) return error_json(405, "use GET");
-    return handle_metrics();
+    return handle_metrics(request);
   }
   if (path == "/v1/jobs") {
     if (post) return handle_submit(request);
@@ -417,18 +562,26 @@ HttpResponse SimService::handle_http(const HttpRequest& request) {
   if (path.rfind("/v1/jobs/", 0) == 0) {
     if (!get) return error_json(405, "use GET");
     std::string_view rest = std::string_view(path).substr(9);
-    const bool results = [&] {
-      const std::string_view suffix = "/results";
-      if (rest.size() > suffix.size() &&
-          rest.substr(rest.size() - suffix.size()) == suffix) {
-        rest = rest.substr(0, rest.size() - suffix.size());
-        return true;
+    // Sub-resource suffix, stripped from the id segment. The route label
+    // keeps the template, never the raw id — per-route histogram
+    // cardinality stays bounded by the API surface.
+    std::string_view suffix;
+    for (const std::string_view candidate : {"/results", "/summary",
+                                             "/events"}) {
+      if (rest.size() > candidate.size() &&
+          rest.substr(rest.size() - candidate.size()) == candidate) {
+        suffix = candidate;
+        rest = rest.substr(0, rest.size() - candidate.size());
+        break;
       }
-      return false;
-    }();
+    }
+    *route_label = "/v1/jobs/<id>" + std::string(suffix);
     std::uint64_t id = 0;
     if (!parse_job_id(rest, &id)) return error_json(404, "unknown job");
-    return results ? handle_job_results(id) : handle_job_status(id);
+    if (suffix == "/results") return handle_job_results(id);
+    if (suffix == "/summary") return handle_job_summary(id);
+    if (suffix == "/events") return handle_job_events(id);
+    return handle_job_status(id);
   }
   if (path == "/v1/summary") {
     if (!get) return error_json(405, "use GET");
@@ -446,7 +599,38 @@ HttpResponse SimService::handle_http(const HttpRequest& request) {
     if (!post) return error_json(405, "use POST");
     return handle_shutdown();
   }
+  *route_label = "other";
   return error_json(404, "no such route");
+}
+
+HttpResponse SimService::handle_http(const HttpRequest& request) {
+  metrics_.counter("serve.requests")->add();
+  const auto start = std::chrono::steady_clock::now();
+
+  // Strip any query string; the API is path-routed only.
+  std::string path = request.target;
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);
+  }
+
+  std::string route_label = path;
+  HttpResponse response = route_request(request, path, &route_label);
+
+  // Per-route latency histogram, labeled "<METHOD> <route template>".
+  // Both label parts are bounded: the template come from route_request
+  // (raw ids never leak into it) and unknown methods collapse to OTHER.
+  const std::string method = request.method == "GET"    ? "GET"
+                             : request.method == "POST" ? "POST"
+                                                        : "OTHER";
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  metrics_
+      .histogram("serve.route_ms|route=" + method + " " + route_label,
+                 {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+                  10000})
+      ->observe(static_cast<std::uint64_t>(ms));
+  return response;
 }
 
 }  // namespace t1000::serve

@@ -21,18 +21,39 @@
 // `queue_limit` queued-but-unstarted jobs are rejected with 429 and a
 // status body, never silently dropped or unboundedly buffered.
 //
-// API (all bodies JSON):
+// API (all bodies JSON unless noted):
 //   GET  /healthz                 liveness + version of the API surface
 //   POST /v1/jobs                 submit a grid request -> 202 {job, state}
 //   GET  /v1/jobs                 list all jobs with states
 //   GET  /v1/jobs/<id>            one job's status document
 //   GET  /v1/jobs/<id>/results    full results doc (202 + status while
 //                                 pending, 404 unknown)
+//   GET  /v1/jobs/<id>/summary    status + this job's cache-counter deltas
+//                                 (hits/misses/evictions attributed to the
+//                                 job via Counters::since)
+//   GET  /v1/jobs/<id>/events     chunked NDJSON stream of the job's
+//                                 journal events (trace spans, cache ops,
+//                                 experiment phases) as they happen;
+//                                 idle-heartbeat lines {"heartbeat":true};
+//                                 ends when the job finishes and drains
 //   GET  /v1/summary              text/plain engine-summary line per done job
-//   GET  /metrics                 metrics registry + cache/disk gauges
+//   GET  /metrics                 metrics registry + cache/disk gauges;
+//                                 content-negotiated — Accept: text/plain
+//                                 renders Prometheus text exposition
+//                                 (version 0.0.4), default stays the JSON
+//                                 document, byte-identical to before
 //   GET  /v1/trace                Perfetto traceEvents for the job timeline
+//                                 (queued/run slices + per-job flow events
+//                                 correlated by trace id)
 //   POST /v1/janitor              sweep cache debris now -> report
 //   POST /v1/shutdown             request daemon exit (polled by the tool)
+//
+// Tracing: every job gets a trace id (minted from the journal) at
+// submission. The runner wraps the job's grid in a "job" span and threads
+// the context into the grid via GridOptions.trace/journal, so the grid's
+// run/batch/cache events and the experiment's phase spans all land in the
+// job's trace — streamable live at /v1/jobs/<id>/events and, when the
+// daemon was started with --journal-out, on disk as JSONL.
 //
 // A grid request is:
 //   {"runs": [<RunSpec JSON, as serialized by to_json(RunSpec)>...],
@@ -58,6 +79,7 @@
 #include "harness/cache.hpp"
 #include "harness/grid.hpp"
 #include "harness/json.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_event.hpp"
 #include "serve/http.hpp"
@@ -79,6 +101,10 @@ struct ServiceOptions {
   std::uint64_t fail_limit = 0;  // default per-job circuit breaker
   // Queued-but-unstarted jobs beyond this are rejected with 429.
   std::size_t queue_limit = 8;
+  // On-disk JSONL event journal (--journal-out); empty = in-memory ring
+  // only, which still powers the /v1/jobs/<id>/events stream.
+  std::string journal_path;
+  std::uint64_t journal_max_bytes = 64ull << 20;
 };
 
 class SimService {
@@ -108,6 +134,7 @@ class SimService {
 
   ResultCache& cache() { return cache_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::Journal& journal() { return journal_; }
 
   // Test-only: runs on the runner thread after a job is dequeued and
   // marked running, before its grid executes. Lets the admission tests
@@ -119,10 +146,15 @@ class SimService {
     std::uint64_t id = 0;
     JobState state = JobState::kQueued;
     std::size_t runs = 0;
+    std::uint64_t trace_id = 0;  // journal trace (minted at submission)
     double wall_ms = 0.0;   // grid wall-clock once done
     std::string summary;    // engine summary once done
     std::string error;      // diagnostic once failed
     Json results;           // full results document once done
+    // The shared cache's counter movement attributed to this job
+    // (Counters::since over snapshots around the grid), filled once the
+    // job finishes; exported at /v1/jobs/<id>/summary.
+    ResultCache::Counters cache_delta;
   };
 
   struct ParsedRequest {
@@ -132,14 +164,23 @@ class SimService {
 
   // Throws JsonError with a client-appropriate message on any problem.
   ParsedRequest parse_request(const Json& request) const;
-  GridResult execute(const ParsedRequest& parsed);
+  GridResult execute(const ParsedRequest& parsed, obs::TraceContext trace);
+
+  // The routing body behind handle_http; `route_label` gets the bounded
+  // route template ("GET /v1/jobs/<id>", never a raw path) the per-route
+  // latency histogram is keyed by.
+  HttpResponse route_request(const HttpRequest& request,
+                             const std::string& path,
+                             std::string* route_label);
 
   HttpResponse handle_submit(const HttpRequest& request);
   HttpResponse handle_job_list() const;
   HttpResponse handle_job_status(std::uint64_t id) const;
   HttpResponse handle_job_results(std::uint64_t id) const;
+  HttpResponse handle_job_summary(std::uint64_t id) const;
+  HttpResponse handle_job_events(std::uint64_t id);
   HttpResponse handle_summary() const;
-  HttpResponse handle_metrics() const;
+  HttpResponse handle_metrics(const HttpRequest& request) const;
   HttpResponse handle_trace() const;
   HttpResponse handle_janitor();
   HttpResponse handle_shutdown();
@@ -152,6 +193,7 @@ class SimService {
   ServiceOptions options_;
   ResultCache cache_;
   obs::MetricsRegistry metrics_;
+  obs::Journal journal_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

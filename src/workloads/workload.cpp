@@ -20,6 +20,9 @@ const Workload* find_workload(std::string_view name) {
   for (const Workload& w : extended_workloads()) {
     if (w.name == name) return &w;
   }
+  for (const Workload& w : compiled_workloads()) {
+    if (w.name == name) return &w;
+  }
   return nullptr;
 }
 

@@ -37,6 +37,12 @@ const std::vector<Workload>& all_workloads();
 // Exercised by bench/extended_suite, not by the paper-figure benches.
 const std::vector<Workload>& extended_workloads();
 
+// Compiled-code suite: MiniC kernels built by the bundled t1000-cc
+// compiler (currently the CI-verified cikernel). Their `source` is
+// compiler output, produced lazily at first access; exercised by
+// bench/compiled_kernels, t1000-verify --workloads, and the serve daemon.
+const std::vector<Workload>& compiled_workloads();
+
 // Lookup by name; returns nullptr when unknown.
 const Workload* find_workload(std::string_view name);
 

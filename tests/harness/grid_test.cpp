@@ -12,8 +12,12 @@
 #include <string>
 #include <thread>
 
+#include <map>
+#include <set>
+
 #include "harness/cache.hpp"
 #include "harness/serialize.hpp"
+#include "obs/journal.hpp"
 
 namespace t1000 {
 namespace {
@@ -295,6 +299,110 @@ ExperimentGrid batchable_grid() {
     }
   }
   return grid;
+}
+
+TEST(Grid, JournalRecordsRunCacheAndPhaseSpansUnderOneTrace) {
+  const ExperimentGrid grid = small_grid();
+  obs::Journal journal;
+  GridOptions options;
+  options.jobs = 2;
+  options.journal = &journal;
+  options.trace = obs::TraceContext{journal.new_id(), 0};
+  const GridResult traced = grid.run(options);
+  const GridResult plain = grid.run(GridOptions{});
+  // Journaling must not perturb the deterministic results section.
+  EXPECT_EQ(traced.results_json().dump(), plain.results_json().dump());
+
+  const std::vector<obs::JournalEvent> events =
+      journal.poll(0, options.trace.trace_id, std::chrono::milliseconds(0));
+  ASSERT_FALSE(events.empty());
+
+  std::map<std::uint64_t, std::string> open;  // span_id -> name
+  std::set<std::uint64_t> run_ids;
+  std::size_t run_spans = 0;
+  std::size_t phase_spans = 0;
+  std::set<std::string> phases;
+  std::size_t lookups = 0;
+  std::size_t stores = 0;
+  for (const obs::JournalEvent& ev : events) {
+    EXPECT_EQ(ev.trace_id, options.trace.trace_id);
+    if (ev.kind == 'B') {
+      open.emplace(ev.span_id, ev.name);
+      if (ev.name == "run") {
+        ++run_spans;
+        run_ids.insert(ev.span_id);
+        EXPECT_FALSE(ev.attrs.at("workload").as_string().empty());
+        EXPECT_FALSE(ev.attrs.at("label").as_string().empty());
+      } else if (ev.name.rfind("phase.", 0) == 0) {
+        ++phase_spans;
+        phases.insert(ev.name);
+        // Every phase span parents under the run span that produced it.
+        EXPECT_EQ(run_ids.count(ev.parent_id), 1u) << ev.name;
+      }
+    } else if (ev.kind == 'E') {
+      const auto it = open.find(ev.span_id);
+      ASSERT_NE(it, open.end()) << "end without begin: " << ev.name;
+      EXPECT_EQ(it->second, ev.name);
+      open.erase(it);
+    } else if (ev.kind == 'i') {
+      if (ev.name == "cache.lookup") {
+        ++lookups;
+        EXPECT_TRUE(ev.attrs.at("hit").is_bool());
+      } else if (ev.name == "cache.store") {
+        ++stores;
+      }
+    }
+  }
+  EXPECT_TRUE(open.empty());  // every begun span ended
+  EXPECT_EQ(run_spans, grid.size());
+  // A fresh in-memory cache: every distinct spec misses once, stores once.
+  EXPECT_EQ(lookups, grid.size());
+  EXPECT_EQ(stores, grid.size());
+  EXPECT_GT(phase_spans, 0u);
+  EXPECT_EQ(phases.count("phase.decode"), 1u);
+  EXPECT_EQ(phases.count("phase.record"), 1u);
+  EXPECT_EQ(phases.count("phase.replay"), 1u);
+}
+
+TEST(Grid, JournalEmitsBatchSpansForGroupedLanes) {
+  const ExperimentGrid grid = batchable_grid();
+  obs::Journal journal;
+  GridOptions options;
+  options.journal = &journal;
+  options.trace = obs::TraceContext{journal.new_id(), 0};
+  const GridResult res = grid.run(options);
+  ASSERT_EQ(res.engine().batches, 4u);
+  ASSERT_EQ(res.engine().batched_runs, 12u);
+
+  const std::vector<obs::JournalEvent> events =
+      journal.poll(0, options.trace.trace_id, std::chrono::milliseconds(0));
+  std::size_t batch_begins = 0;
+  std::size_t batch_ends = 0;
+  std::size_t run_spans = 0;
+  for (const obs::JournalEvent& ev : events) {
+    if (ev.name == "batch" && ev.kind == 'B') {
+      ++batch_begins;
+      // All three lanes of each group missed the fresh cache together.
+      EXPECT_EQ(ev.attrs.at("lanes").as_uint(), 3u);
+      EXPECT_FALSE(ev.attrs.at("workload").as_string().empty());
+    } else if (ev.name == "batch" && ev.kind == 'E') {
+      ++batch_ends;
+    } else if (ev.name == "run" && ev.kind == 'B') {
+      ++run_spans;
+    }
+  }
+  EXPECT_EQ(batch_begins, 4u);
+  EXPECT_EQ(batch_ends, 4u);
+  EXPECT_EQ(run_spans, 2u);  // only the baseline singletons run solo
+}
+
+TEST(Grid, JournalStaysSilentWithoutAnActiveTrace) {
+  const ExperimentGrid grid = small_grid();
+  obs::Journal journal;
+  GridOptions options;
+  options.journal = &journal;  // wired, but no trace installed
+  grid.run(options);
+  EXPECT_EQ(journal.events_appended(), 0u);
 }
 
 TEST(Grid, BatchedRunMatchesUnbatchedByteForByte) {

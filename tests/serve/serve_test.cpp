@@ -271,6 +271,182 @@ TEST(Service, MetricsAndTraceObserveTheJobLifecycle) {
   EXPECT_NE(summary.body.find("job 1: [engine] 3 runs"), std::string::npos);
 }
 
+TEST(Service, JobSummaryAttributesCacheDeltasPerJob) {
+  SimService service(ServiceOptions{});
+  EXPECT_EQ(service.handle_http(get("/v1/jobs/9/summary")).status, 404);
+
+  const std::string body = small_request().dump();
+  ASSERT_EQ(service.handle_http(post("/v1/jobs", body)).status, 202);
+  ASSERT_EQ(wait_for_job(service, 1).at("state").as_string(), "done");
+  ASSERT_EQ(service.handle_http(post("/v1/jobs", body)).status, 202);
+  ASSERT_EQ(wait_for_job(service, 2).at("state").as_string(), "done");
+
+  // Job 1 populated the shared cache, job 2 rode it: the per-job deltas
+  // attribute exactly that, where the global counters only show totals.
+  const Json first =
+      Json::parse(service.handle_http(get("/v1/jobs/1/summary")).body);
+  EXPECT_EQ(first.at("cache").at("misses").as_uint(), 3u);
+  EXPECT_EQ(first.at("cache").at("stores").as_uint(), 3u);
+  EXPECT_EQ(first.at("cache").at("memory_hits").as_uint(), 0u);
+  const Json second =
+      Json::parse(service.handle_http(get("/v1/jobs/2/summary")).body);
+  EXPECT_EQ(second.at("cache").at("memory_hits").as_uint(), 3u);
+  EXPECT_EQ(second.at("cache").at("misses").as_uint(), 0u);
+  EXPECT_EQ(second.at("cache").at("stores").as_uint(), 0u);
+
+  // Every job's status documents carry its trace id.
+  EXPECT_NE(first.at("trace").as_string(), "0000000000000000");
+  EXPECT_NE(first.at("trace").as_string(), second.at("trace").as_string());
+}
+
+TEST(Service, JobSummaryIsStatus202WhilePending) {
+  ServiceOptions options;
+  SimService service(options);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  service.test_run_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  ASSERT_EQ(
+      service.handle_http(post("/v1/jobs", small_request().dump())).status,
+      202);
+  // While the job is queued/running the deltas do not exist yet; the
+  // route answers 202 with the status document, like /results.
+  const HttpResponse pending = service.handle_http(get("/v1/jobs/1/summary"));
+  EXPECT_EQ(pending.status, 202);
+  EXPECT_EQ(Json::parse(pending.body).find("cache"), nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  ASSERT_EQ(wait_for_job(service, 1).at("state").as_string(), "done");
+  EXPECT_EQ(service.handle_http(get("/v1/jobs/1/summary")).status, 200);
+}
+
+TEST(Service, EventsRouteStreamsTheJobTraceAsNdjson) {
+  SimService service(ServiceOptions{});
+  EXPECT_EQ(service.handle_http(get("/v1/jobs/9/events")).status, 404);
+
+  ASSERT_EQ(
+      service.handle_http(post("/v1/jobs", small_request().dump())).status,
+      202);
+  ASSERT_EQ(wait_for_job(service, 1).at("state").as_string(), "done");
+
+  const HttpResponse r = service.handle_http(get("/v1/jobs/1/events"));
+  ASSERT_TRUE(static_cast<bool>(r.streamer));
+  EXPECT_EQ(r.content_type, "application/x-ndjson");
+
+  // The job is done, so the streamer drains the ring and returns.
+  std::string collected;
+  r.streamer([&collected](std::string_view chunk) {
+    collected.append(chunk.data(), chunk.size());
+    return true;
+  });
+
+  const std::string job_trace =
+      Json::parse(service.handle_http(get("/v1/jobs/1")).body)
+          .at("trace")
+          .as_string();
+  int begins = 0;
+  int ends = 0;
+  int runs = 0;
+  bool saw_job = false;
+  bool saw_phase = false;
+  bool saw_cache = false;
+  std::size_t start = 0;
+  while (start < collected.size()) {
+    const std::size_t nl = collected.find('\n', start);
+    ASSERT_NE(nl, std::string::npos) << "stream must end on a newline";
+    const Json ev = Json::parse(collected.substr(start, nl - start));
+    start = nl + 1;
+    if (ev.find("heartbeat") != nullptr) continue;
+    // Schema: every event names the job's trace and a valid kind.
+    EXPECT_EQ(ev.at("trace").as_string(), job_trace);
+    EXPECT_GT(ev.at("seq").as_uint(), 0u);
+    const std::string& kind = ev.at("kind").as_string();
+    EXPECT_TRUE(kind == "B" || kind == "E" || kind == "i") << kind;
+    begins += kind == "B" ? 1 : 0;
+    ends += kind == "E" ? 1 : 0;
+    const std::string& name = ev.at("name").as_string();
+    saw_job = saw_job || name == "job";
+    runs += (kind == "B" && name == "run") ? 1 : 0;
+    saw_phase = saw_phase || name.rfind("phase.", 0) == 0;
+    saw_cache = saw_cache || name.rfind("cache.", 0) == 0;
+  }
+  EXPECT_EQ(begins, ends);
+  EXPECT_TRUE(saw_job);
+  EXPECT_EQ(runs, 3);  // one run span per spec
+  EXPECT_TRUE(saw_phase);
+  EXPECT_TRUE(saw_cache);
+}
+
+TEST(Service, MetricsContentNegotiatesPrometheusText) {
+  SimService service(ServiceOptions{});
+  ASSERT_EQ(
+      service.handle_http(post("/v1/jobs", small_request().dump())).status,
+      202);
+  ASSERT_EQ(wait_for_job(service, 1).at("state").as_string(), "done");
+
+  HttpRequest prom_request = get("/metrics");
+  prom_request.headers.push_back({"accept", "text/plain"});
+  const HttpResponse prom = service.handle_http(prom_request);
+  EXPECT_EQ(prom.status, 200);
+  EXPECT_EQ(prom.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(prom.body.find("# TYPE serve_jobs_completed_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("serve_jobs_completed_total 1\n"),
+            std::string::npos);
+  // The per-route and per-phase histograms render with label blocks.
+  EXPECT_NE(prom.body.find("serve_route_ms_bucket{route=\"POST /v1/jobs\","),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("exp_phase_ms_bucket{phase=\"replay\","),
+            std::string::npos);
+  // Cache movement rides as gauges.
+  EXPECT_NE(prom.body.find("serve_cache{counter=\"misses\"} 3\n"),
+            std::string::npos);
+
+  // Default (no Accept) and JSON clients keep the JSON document.
+  const HttpResponse json_default = service.handle_http(get("/metrics"));
+  EXPECT_EQ(json_default.content_type, "application/json");
+  const Json doc = Json::parse(json_default.body);
+  EXPECT_NE(doc.find("metrics"), nullptr);
+  EXPECT_NE(doc.find("cache"), nullptr);
+  HttpRequest json_request = get("/metrics");
+  json_request.headers.push_back({"accept", "application/json"});
+  EXPECT_EQ(service.handle_http(json_request).content_type,
+            "application/json");
+}
+
+TEST(Service, TraceCarriesPerJobFlowEvents) {
+  SimService service(ServiceOptions{});
+  ASSERT_EQ(
+      service.handle_http(post("/v1/jobs", small_request().dump())).status,
+      202);
+  ASSERT_EQ(wait_for_job(service, 1).at("state").as_string(), "done");
+
+  const std::string job_trace =
+      Json::parse(service.handle_http(get("/v1/jobs/1")).body)
+          .at("trace")
+          .as_string();
+  const Json trace = Json::parse(service.handle_http(get("/v1/trace")).body);
+  int flow_starts = 0;
+  int flow_finishes = 0;
+  for (const Json& ev : trace.at("traceEvents").items()) {
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph != "s" && ph != "f") continue;
+    // Flow events correlate the submission with the run start via the
+    // job's trace id.
+    EXPECT_EQ(ev.at("id").as_string(), job_trace);
+    flow_starts += ph == "s" ? 1 : 0;
+    flow_finishes += ph == "f" ? 1 : 0;
+  }
+  EXPECT_EQ(flow_starts, 1);
+  EXPECT_EQ(flow_finishes, 1);
+}
+
 // ---------------------------------------------------------------------------
 // HTTP transport over real loopback sockets.
 
@@ -346,6 +522,91 @@ TEST(Http, ServesTheServiceOverRealSockets) {
       http_round_trip(server.port(), "GET missing-the-version\r\n\r\n");
   EXPECT_NE(malformed.find("HTTP/1.1 400 Bad Request"), std::string::npos);
 
+  server.stop();
+}
+
+// Splits a raw HTTP response into (head, de-chunked body); fails the test
+// on a malformed chunk framing.
+std::string dechunk(const std::string& raw, std::string* head) {
+  const std::size_t split = raw.find("\r\n\r\n");
+  EXPECT_NE(split, std::string::npos);
+  *head = raw.substr(0, split);
+  std::string body;
+  std::size_t at = split + 4;
+  for (;;) {
+    const std::size_t line_end = raw.find("\r\n", at);
+    EXPECT_NE(line_end, std::string::npos) << "truncated chunk size line";
+    const std::size_t size =
+        std::stoull(raw.substr(at, line_end - at), nullptr, 16);
+    at = line_end + 2;
+    if (size == 0) break;
+    body += raw.substr(at, size);
+    at += size + 2;  // chunk data + trailing CRLF
+  }
+  return body;
+}
+
+TEST(Http, StreamsChunkedResponsesOverSockets) {
+  HttpServer::Options options;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "text/plain";
+    r.streamer = [](const ChunkWriter& write) {
+      write("hello ");
+      write("");  // empty chunks are suppressed, not stream terminators
+      write("world");
+    };
+    return r;
+  });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  std::string head;
+  const std::string raw =
+      http_round_trip(server.port(), request_text("GET", "/stream", ""));
+  const std::string body = dechunk(raw, &head);
+  EXPECT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(head.find("Transfer-Encoding: chunked"), std::string::npos);
+  EXPECT_NE(head.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(head.find("Content-Length"), std::string::npos);
+  EXPECT_EQ(body, "hello world");
+  server.stop();
+}
+
+TEST(Http, EventsStreamEndToEndOverSockets) {
+  SimService service(ServiceOptions{});
+  HttpServer::Options options;
+  HttpServer server(options, [&service](const HttpRequest& request) {
+    return service.handle_http(request);
+  });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const std::string submitted = http_round_trip(
+      server.port(),
+      request_text("POST", "/v1/jobs", small_request().dump()));
+  EXPECT_NE(submitted.find("HTTP/1.1 202 Accepted"), std::string::npos);
+  ASSERT_EQ(wait_for_job(service, 1).at("state").as_string(), "done");
+
+  // The job is finished, so the stream drains and closes on its own; the
+  // client just reads to EOF like any other route.
+  std::string head;
+  const std::string raw = http_round_trip(
+      server.port(), request_text("GET", "/v1/jobs/1/events", ""));
+  const std::string body = dechunk(raw, &head);
+  EXPECT_NE(head.find("Transfer-Encoding: chunked"), std::string::npos);
+  EXPECT_NE(head.find("Content-Type: application/x-ndjson"),
+            std::string::npos);
+  int events = 0;
+  std::size_t start = 0;
+  while (start < body.size()) {
+    const std::size_t nl = body.find('\n', start);
+    ASSERT_NE(nl, std::string::npos);
+    const Json ev = Json::parse(body.substr(start, nl - start));
+    start = nl + 1;
+    events += ev.find("heartbeat") == nullptr ? 1 : 0;
+  }
+  EXPECT_GT(events, 0);
   server.stop();
 }
 

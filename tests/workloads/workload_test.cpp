@@ -147,5 +147,29 @@ TEST(ExtendedSuiteGlobal, PegwitIsPfuHostile) {
   EXPECT_LT(hot_execs, prof.total_dynamic / 100);
 }
 
+TEST(CompiledSuite, CiKernelIsBundledAndFindable) {
+  const std::vector<Workload>& suite = compiled_workloads();
+  ASSERT_EQ(suite.size(), 1u);
+  const Workload& w = suite[0];
+  EXPECT_EQ(w.name, "cc_cikernel");
+  EXPECT_FALSE(w.description.empty());
+  EXPECT_EQ(find_workload("cc_cikernel"), &w);
+}
+
+TEST(CompiledSuite, CiKernelAssemblesHaltsAndIsDeterministic) {
+  const Workload& w = *find_workload("cc_cikernel");
+  const Program p = workload_program(w);
+  EXPECT_GT(p.size(), 30);
+  Executor a(p);
+  a.run(w.max_steps);
+  EXPECT_TRUE(a.halted()) << "cc_cikernel did not halt";
+  EXPECT_GT(a.steps_executed(), 50000u);
+  Executor b(p);
+  b.run(w.max_steps);
+  EXPECT_TRUE(b.halted());
+  EXPECT_EQ(a.reg(kRegV0), b.reg(kRegV0));
+  EXPECT_EQ(a.steps_executed(), b.steps_executed());
+}
+
 }  // namespace
 }  // namespace t1000

@@ -5,7 +5,8 @@
 //               [--queue-limit N] [--run-budget-ms MS]
 //               [--max-run-budget-ms MS] [--fail-limit N]
 //               [--janitor-ttl-s S] [--janitor-interval-s S]
-//               [--http-threads N]
+//               [--http-threads N] [--journal-out FILE]
+//               [--journal-max-bytes N]
 //   t1000-serve --local FILE [--verify] [--observe] ...
 //
 // Daemon mode speaks deterministic JSON over HTTP (see
@@ -97,6 +98,8 @@ int main(int argc, char** argv) {
   double janitor_ttl_s = 3600.0;
   double janitor_interval_s = 60.0;
   long http_threads = 4;
+  std::string journal_out;
+  long journal_max_bytes = 64l << 20;
   std::string local_file;
   bool verify = false;
   bool observe = false;
@@ -140,6 +143,14 @@ int main(int argc, char** argv) {
                     &janitor_interval_s);
   parser.add_int("--http-threads", "N", "HTTP handler threads",
                  &http_threads, 1, 64);
+  parser.add_string("--journal-out", "FILE",
+                    "append-only JSONL event journal of every job's trace "
+                    "(spans, cache ops, experiment phases)",
+                    &journal_out);
+  parser.add_int("--journal-max-bytes", "N",
+                 "rotate the journal to FILE.1 past this size (default: "
+                 "64 MiB)",
+                 &journal_max_bytes, 1, std::numeric_limits<long>::max());
   parser.add_string("--local", "FILE",
                     "run one grid request in-process and exit (\"-\" = "
                     "stdin)",
@@ -158,6 +169,8 @@ int main(int argc, char** argv) {
   options.max_run_budget_ms = max_run_budget_ms;
   options.fail_limit = static_cast<std::uint64_t>(fail_limit);
   options.queue_limit = static_cast<std::size_t>(queue_limit);
+  options.journal_path = journal_out;
+  options.journal_max_bytes = static_cast<std::uint64_t>(journal_max_bytes);
 
   if (!local_file.empty()) {
     try {

@@ -153,6 +153,7 @@ int main(int argc, char** argv) {
     if (workloads) {
       std::vector<Workload> all = all_workloads();
       for (const Workload& w : extended_workloads()) all.push_back(w);
+      for (const Workload& w : compiled_workloads()) all.push_back(w);
       for (const Workload& w : all) {
         for (const Selector s : selectors) {
           VerifyJob job;
